@@ -1,0 +1,70 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Scaling: every benchmark reads :class:`repro.experiments.ExperimentConfig`
+via ``bench_config`` (honouring ``REPRO_SCALE`` / ``REPRO_SEED``).  The
+§6 injection campaign behind Figures 7-10 runs once per session (it is by
+far the heaviest step) and is shared by the four figure benchmarks and the
+Table-4 cross-checks.
+
+Every benchmark writes its rendered table/figure plus a JSON data dump to
+``results/`` so EXPERIMENTS.md can reference the regenerated artefacts.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments import ExperimentConfig, run_section6  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig.from_env()
+
+
+@pytest.fixture(scope="session")
+def section6_results(bench_config):
+    """The §6 campaigns over all Table-2 programs (shared, run once)."""
+    cache_path = os.path.join(RESULTS_DIR, "section6_campaign.json")
+    if os.environ.get("REPRO_REUSE_CAMPAIGN") == "1" and os.path.exists(cache_path):
+        from repro.experiments import Section6Results
+
+        return Section6Results.from_json(cache_path)
+    results = run_section6(bench_config)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    results.to_json(cache_path)
+    return results
+
+
+@pytest.fixture(scope="session", autouse=True)
+def assemble_report():
+    """After the benchmark session, stitch results/ into REPORT.md."""
+    yield
+    try:
+        from repro.analysis import build_report
+
+        if os.path.isdir(RESULTS_DIR):
+            build_report(RESULTS_DIR)
+    except Exception:  # pragma: no cover - reporting must never fail the run
+        pass
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Writer for rendered artefacts: save_result(name, text, data=None)."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def writer(name: str, text: str, data=None) -> None:
+        with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        if data is not None:
+            with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w", encoding="utf-8") as handle:
+                json.dump(data, handle, indent=2)
+
+    return writer

@@ -1,0 +1,45 @@
+"""Ablation A3 — software error sets vs random hardware faults (§6.4).
+
+The paper notes its injected errors "also emulate hardware faults" and
+that random triggers are "typical from hardware faults".  Running a
+classic random hardware population (random bit flips in registers, data,
+code and the fetch bus, random instants) next to the §6.3 software error
+sets on the same program/input matrix separates the two signatures:
+
+* software error sets fire on (almost) every run and mostly corrupt the
+  output (Incorrect dominates);
+* the random hardware population is largely dormant, and its activated
+  share leans toward crashes — matching the earlier Xception/pin-level
+  campaigns the paper cites ([23], [26]).
+"""
+
+from repro.experiments import run_hardware_comparison
+from repro.swifi import FailureMode
+
+
+def test_hardware_vs_software(benchmark, bench_config, save_result):
+    result = benchmark.pedantic(
+        lambda: run_hardware_comparison(bench_config, hardware_faults=32),
+        rounds=1,
+        iterations=1,
+    )
+    text = result.render()
+    print("\n" + text)
+    save_result(
+        "ablation_a3_hardware_vs_software",
+        text,
+        data={
+            population: {mode.value: value for mode, value in distribution.items()}
+            for population, distribution in result.populations.items()
+        },
+    )
+
+    hardware = result.populations["hardware:random"]
+    software = result.populations["software:assignment"]
+    # Hardware faults are mostly dormant; software error sets always fire.
+    assert result.dormant["hardware:random"] > result.dormant["software:assignment"]
+    assert result.dormant["software:assignment"] == 0.0
+    # Software faults corrupt results more often than the hardware set.
+    assert software[FailureMode.INCORRECT] > hardware[FailureMode.INCORRECT]
+    # The two populations are far apart as distributions.
+    assert result.distance("software:assignment", "hardware:random") > 0.2

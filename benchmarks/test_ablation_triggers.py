@@ -1,0 +1,39 @@
+"""Ablation A2 — trigger representativeness (§6.4).
+
+Claim under test: the always-firing trigger ("the fault was inserted
+every time the trigger instruction was executed") is what makes injected
+faults hit so much harder than real software faults.  Softer When
+policies — first activation only, or only the n-th — leave progressively
+more runs Correct and more faults dormant, moving the failure-mode mix
+toward the Table-1 behaviour of real bugs.
+"""
+
+from repro.experiments import run_trigger_ablation
+from repro.swifi import FailureMode
+
+
+def test_trigger_ablation(benchmark, bench_config, save_result):
+    result = benchmark.pedantic(
+        lambda: run_trigger_ablation(bench_config, nth=40), rounds=1, iterations=1
+    )
+    text = result.render()
+    print("\n" + text)
+    save_result(
+        "ablation_a2_triggers",
+        text,
+        data={
+            policy: {mode.value: value for mode, value in distribution.items()}
+            for policy, distribution in result.policies.items()
+        },
+    )
+
+    every = result.correct_share("every execution")
+    once = result.correct_share("first execution only")
+    nth = result.correct_share("40th execution only")
+    # Monotone trend: rarer injection -> more correct runs.
+    assert every <= once + 1e-9
+    assert once <= nth + 1e-9
+    # The every-execution policy always injects; the 40th-execution policy
+    # leaves many faults dormant.
+    assert result.activated["every execution"] == 1.0
+    assert result.activated["40th execution only"] < 1.0

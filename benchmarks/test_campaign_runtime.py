@@ -1,0 +1,23 @@
+"""Timing benchmark for one §6 campaign (JB.team6, both fault classes).
+
+The four figure benchmarks share one big pre-computed campaign (see
+``conftest.py``); this one measures the end-to-end cost of a single
+program's campaign — fault generation, calibration, reboots, injection
+runs and classification — so campaign-throughput regressions are visible
+in the benchmark report.
+"""
+
+from repro.experiments import ExperimentConfig, run_section6
+
+
+def test_single_program_campaign(benchmark, bench_config):
+    results = benchmark.pedantic(
+        lambda: run_section6(bench_config, programs=["JB.team6"]),
+        rounds=1,
+        iterations=1,
+    )
+    assert results.total_runs > 0
+    assert len(results.campaigns) == 2
+    # Every run ended in a classified failure mode.
+    for record in results.records():
+        assert record.mode is not None

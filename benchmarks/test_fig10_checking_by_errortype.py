@@ -1,0 +1,39 @@
+"""Figure 10 — failure modes per error type, checking faults.
+
+Paper shape claims checked:
+* "the same does not apply to the error types used to emulate checking
+  faults" — the distributions differ strongly across error types;
+* "when the checking assignment is changed from != to = ... the
+  percentage of correct values is very low" (we measure ~0);
+* "when the error injected turns a < into a <= the percentage of correct
+  values is much higher".
+"""
+
+from repro.experiments import fig10
+from repro.swifi import FailureMode
+
+
+def test_fig10(benchmark, section6_results, save_result):
+    figure = benchmark.pedantic(
+        lambda: fig10(section6_results), rounds=1, iterations=1
+    )
+    text = figure.render()
+    print("\n" + text)
+    save_result("fig10_checking_by_errortype", text, data=figure.jsonable())
+
+    series = figure.series
+    # A healthy variety of checking error types got sampled.
+    assert len(series) >= 6
+
+    # Strong divergence across error types.
+    assert figure.max_pairwise_distance() > 0.4
+
+    # != -> = : almost never correct.
+    assert series["!= ="][FailureMode.CORRECT] <= 10.0
+
+    # < -> <= : correct much more often than != -> =.
+    if "< <=" in series:
+        assert (
+            series["< <="][FailureMode.CORRECT]
+            > series["!= ="][FailureMode.CORRECT] + 20.0
+        )

@@ -1,0 +1,44 @@
+"""Figure 7 — failure modes per program, assignment faults.
+
+Paper shape claims checked:
+* injected faults hit much harder than the real faults of Table 1 — no
+  program keeps even 60% correct results (the real bugs kept 69-99.95%);
+* almost no faults stay dormant (the always-firing trigger);
+* the dynamic-structures program C.team9 is the crash leader;
+* the JamesB programs show (close to) no hangs or crashes.
+"""
+
+from repro.emulation.operators import ASSIGNMENT_CLASS
+from repro.experiments import fig7
+from repro.swifi import FailureMode
+
+
+def test_fig7(benchmark, section6_results, save_result):
+    figure = benchmark.pedantic(
+        lambda: fig7(section6_results), rounds=1, iterations=1
+    )
+    text = figure.render()
+    print("\n" + text)
+    save_result("fig7_assignment_by_program", text, data=figure.jsonable())
+
+    series = figure.series
+    assert len(series) == 8
+
+    # Much stronger impact than the real faults of Table 1.
+    for program, distribution in series.items():
+        assert distribution[FailureMode.CORRECT] < 60.0, program
+
+    # Nearly nothing stays dormant: the trigger is the location itself.
+    assert section6_results.activated_fraction(ASSIGNMENT_CLASS) > 0.9
+
+    # C.team9 ("uses many dynamic structures") crashes at least as often
+    # as the average program — corrupted values reach pointers.
+    crashes = {p: d[FailureMode.CRASH] for p, d in series.items()}
+    mean_crash = sum(crashes.values()) / len(crashes)
+    assert crashes["C.team9"] >= mean_crash
+    assert crashes["C.team9"] > 0
+
+    # JamesB: small and simple -> hangs and crashes stay low.
+    for name in ("JB.team6", "JB.team11"):
+        hang_crash = series[name][FailureMode.HANG] + series[name][FailureMode.CRASH]
+        assert hang_crash <= 20.0

@@ -1,0 +1,37 @@
+"""Figure 8 — failure modes per program, checking faults.
+
+Paper shape claims checked:
+* "there are no clear patterns in the failure mode results when all the
+  faults of the same type are considered" — across programs the
+  distributions spread widely (large max pairwise distance);
+* the JamesB programs again show essentially no hangs or crashes;
+* the dynamic-structures program (C.team9) remains the crash leader.
+"""
+
+from repro.experiments import fig8
+from repro.swifi import FailureMode
+
+
+def test_fig8(benchmark, section6_results, save_result):
+    figure = benchmark.pedantic(
+        lambda: fig8(section6_results), rounds=1, iterations=1
+    )
+    text = figure.render()
+    print("\n" + text)
+    save_result("fig8_checking_by_program", text, data=figure.jsonable())
+
+    series = figure.series
+    assert len(series) == 8
+
+    # "No clear patterns": programs react to the same fault class in very
+    # different ways.
+    assert figure.max_pairwise_distance() > 0.3
+
+    # JamesB: no hangs at all; crashes rare.
+    for name in ("JB.team6", "JB.team11"):
+        assert series[name][FailureMode.HANG] == 0.0
+        assert series[name][FailureMode.CRASH] <= 15.0
+
+    # C.team9 crashes under checking faults too.
+    crashes = {p: d[FailureMode.CRASH] for p, d in series.items()}
+    assert crashes["C.team9"] == max(crashes.values())

@@ -1,0 +1,26 @@
+"""Figure 9 — failure modes per error type, assignment faults.
+
+Paper shape claim: "the results for each error type for the emulation of
+assignment faults are relatively similar" — unlike the checking types of
+Figure 10, the four assignment error types produce close distributions.
+"""
+
+from repro.experiments import fig9, fig10
+
+
+def test_fig9(benchmark, section6_results, save_result):
+    figure = benchmark.pedantic(
+        lambda: fig9(section6_results), rounds=1, iterations=1
+    )
+    text = figure.render()
+    print("\n" + text)
+    save_result("fig9_assignment_by_errortype", text, data=figure.jsonable())
+
+    # All four Table-3 assignment error types are exercised.
+    assert set(figure.series) == {"value +1", "value -1", "no assign", "random"}
+
+    # "Relatively similar": bounded spread across the four types ...
+    assert figure.max_pairwise_distance() < 0.5
+    # ... and strictly more homogeneous than the checking types.
+    checking = fig10(section6_results)
+    assert figure.dispersion() < checking.dispersion()

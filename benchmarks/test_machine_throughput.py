@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+Not a paper artefact — these track the interpreter and compiler speeds
+that all campaign wall-clock numbers derive from, so regressions in the
+hot loop show up here first.
+"""
+
+from repro.lang import compile_source
+from repro.machine import boot
+
+ALU_LOOP = """
+void main() {
+    int i;
+    int acc = 0;
+    for (i = 0; i < 100000; i++) {
+        acc = acc * 3 + i;
+    }
+    print_int(acc);
+    exit(0);
+}
+"""
+
+MEMORY_LOOP = """
+int table[64][64];
+void main() {
+    int i;
+    int j;
+    int r;
+    for (r = 0; r < 4; r++)
+        for (i = 0; i < 64; i++)
+            for (j = 0; j < 64; j++)
+                table[i][j] = table[j][i] + i - j;
+    print_int(table[5][7]);
+    exit(0);
+}
+"""
+
+
+def _run(compiled):
+    machine = boot(compiled.executable)
+    result = machine.run(max_instructions=50_000_000)
+    assert result.status == "exited"
+    return result.instructions
+
+
+def test_interpreter_alu_throughput(benchmark):
+    compiled = compile_source(ALU_LOOP, "alu-loop")
+    instructions = benchmark(lambda: _run(compiled))
+    assert instructions > 500_000
+
+
+def test_interpreter_memory_throughput(benchmark):
+    compiled = compile_source(MEMORY_LOOP, "memory-loop")
+    instructions = benchmark(lambda: _run(compiled))
+    assert instructions > 400_000
+
+
+def test_compiler_throughput(benchmark):
+    from repro.workloads import get_workload
+
+    source = get_workload("C.team1").source
+    compiled = benchmark(lambda: compile_source(source, "C.team1"))
+    assert compiled.executable.code
+
+
+def test_boot_reboot_cost(benchmark):
+    """The per-injection-run reboot the campaigns pay (fresh machine)."""
+    compiled = compile_source(ALU_LOOP, "alu-loop")
+
+    def reboot():
+        machine = boot(compiled.executable)
+        return machine
+
+    machine = benchmark(reboot)
+    assert machine.cores[0].pc == compiled.executable.entry

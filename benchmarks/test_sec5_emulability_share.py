@@ -1,0 +1,41 @@
+"""§5 headline — ~44% of field faults cannot be emulated by SWIFI.
+
+"Considered the field data results published in [5] these kind of faults
+(algorithm and function) accounts for nearly 44% of the software faults."
+"""
+
+from repro.odc import (
+    FIELD_DISTRIBUTION,
+    DefectType,
+    Emulability,
+    non_emulable_share,
+    share_by_emulability,
+    weighted_fault_counts,
+)
+
+
+def test_emulability_share(benchmark, save_result):
+    shares = benchmark.pedantic(share_by_emulability, rounds=1, iterations=1)
+    text_lines = ["Field share of software-fault types by SWIFI emulability", ""]
+    for verdict, value in shares.items():
+        text_lines.append(f"  {verdict.value:18s} {100 * value:5.1f}%")
+    text_lines.append("")
+    text_lines.append(
+        f"Not emulable (algorithm + function): {100 * non_emulable_share():.1f}% "
+        "(paper: ~44%)"
+    )
+    text = "\n".join(text_lines)
+    print("\n" + text)
+    save_result(
+        "sec5_emulability_share",
+        text,
+        data={v.value: s for v, s in shares.items()},
+    )
+
+    assert abs(non_emulable_share() - 0.44) < 0.005
+    assert shares[Emulability.EMULABLE] == (
+        FIELD_DISTRIBUTION[DefectType.ASSIGNMENT]
+        + FIELD_DISTRIBUTION[DefectType.CHECKING]
+    )
+    counts = weighted_fault_counts(1000)
+    assert counts[DefectType.ALGORITHM] + counts[DefectType.FUNCTION] in range(430, 450)

@@ -1,0 +1,66 @@
+"""§5 / Figures 3-6 — emulation of the actual software faults.
+
+The paper's three-way verdict, reproduced end to end:
+
+* category A — the checking fault (C.team1, Figure 5) and the plain
+  assignment fault (C.team4, Figure 3) emulate *exactly* through the
+  breakpoint registers;
+* category B — the stack-shift assignment fault (JB.team6, Figure 4)
+  exceeds the two breakpoint registers and needs trap insertion or the
+  memory-patch tool extension, under which it is exact;
+* category C — the four algorithm faults (incl. C.team5, Figure 6) are
+  not emulable by machine-level injection at all.
+"""
+
+from repro.experiments import (
+    CATEGORY_A,
+    CATEGORY_B,
+    CATEGORY_C,
+    run_sec5,
+)
+
+
+def test_sec5_real_fault_emulation(benchmark, bench_config, save_result):
+    result = benchmark.pedantic(
+        lambda: run_sec5(bench_config), rounds=1, iterations=1
+    )
+    text = result.render()
+    print("\n" + text)
+    save_result(
+        "sec5_real_fault_emulation",
+        text,
+        data=[
+            {
+                "fault": row.fault_id,
+                "odc_type": row.odc_type.value,
+                "category": row.category,
+                "accuracy": row.accuracy_by_mode,
+                "figure": row.paper_figure,
+                "reason": row.not_emulable_reason,
+            }
+            for row in result.rows
+        ],
+    )
+
+    by_id = {row.fault_id: row for row in result.rows}
+
+    # Category A: exact emulation via breakpoint registers.
+    assert by_id["C.team1"].category == CATEGORY_A
+    assert by_id["C.team1"].accuracy_by_mode["breakpoint"] == 1.0
+    assert by_id["C.team4"].category == CATEGORY_A
+    assert by_id["C.team4"].accuracy_by_mode["breakpoint"] == 1.0
+
+    # Category B: breakpoint registers exhausted; extensions are exact.
+    jb6 = by_id["JB.team6"]
+    assert jb6.category == CATEGORY_B
+    assert "breakpoint registers" in (jb6.breakpoint_error or "")
+    assert jb6.accuracy_by_mode["trap"] == 1.0
+    assert jb6.accuracy_by_mode["memory"] == 1.0
+
+    # Category C: every algorithm fault.
+    for fault_id in ("C.team2", "C.team3", "C.team5", "JB.team7"):
+        assert by_id[fault_id].category == CATEGORY_C
+        assert by_id[fault_id].not_emulable_reason
+
+    counts = result.category_counts()
+    assert (counts[CATEGORY_A], counts[CATEGORY_B], counts[CATEGORY_C]) == (2, 1, 4)

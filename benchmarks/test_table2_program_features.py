@@ -1,0 +1,34 @@
+"""Table 2 — target programs and main features (registry + metrics)."""
+
+from repro.experiments import run_table2
+
+
+def test_table2(benchmark, save_result):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    text = result.render()
+    print("\n" + text)
+    save_result(
+        "table2_program_features",
+        text,
+        data=[
+            {
+                "program": row.program,
+                "loc": row.source_lines,
+                "mccabe": row.mccabe_total,
+                "halstead_volume": row.halstead_volume,
+                "cores": row.num_cores,
+            }
+            for row in result.rows
+        ],
+    )
+    by_name = {row.program: row for row in result.rows}
+    # Paper shape: JamesB programs are the small ones, SOR is the largest,
+    # and SOR is the only parallel program.
+    assert by_name["JB.team6"].source_lines < by_name["C.team1"].source_lines
+    assert by_name["SOR"].source_lines == max(r.source_lines for r in result.rows)
+    assert by_name["SOR"].num_cores == 4
+    assert sum(1 for r in result.rows if r.num_cores > 1) == 1
+    # Two recursive entries, as in the paper's Table 2.
+    recursive = [r for r in result.rows if "ecursive algorithms" in r.features
+                 and "Non-" not in r.features.split(",")[0]]
+    assert {r.program for r in recursive} == {"C.team1", "C.team10"}

@@ -1,0 +1,21 @@
+"""Table 3 — the subset of injected error types (operator registry)."""
+
+from repro.experiments import run_table3
+
+
+def test_table3(benchmark, save_result):
+    result = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    text = result.render()
+    print("\n" + text)
+    save_result("table3_error_types", text,
+                data=[list(row) for row in result.rows])
+
+    labels = {row[2] for row in result.rows}
+    # The Figure 9 axis (assignment types).
+    assert {"value +1", "value -1", "no assign", "random"} <= labels
+    # The Figure 10 axis (checking types), as printed in the paper.
+    for expected in ("<= <", "< <=", "= !=", "= >=", "= <=", "and or",
+                     "or and", "[i] [i+1]", "[i] [i-1]", "true false",
+                     "false true", "!= ="):
+        assert expected in labels
+    assert len(result.rows) == 18

@@ -1,0 +1,63 @@
+"""Table 4 — possible/chosen fault locations and injected-fault counts.
+
+Shape claims: every Table-2 program exposes both assignment and checking
+locations; assignment locations outnumber checking locations for most
+programs (as in the paper, where every program but C.team2 has more);
+SOR — the largest program — has the most locations of either class; and
+at paper scale (300 runs per fault, full location counts) the grand total
+lands in the ballpark of the paper's 108,600 injected faults.
+"""
+
+from repro.experiments import ExperimentConfig, run_table4
+
+
+def test_table4(benchmark, bench_config, save_result):
+    result = benchmark.pedantic(
+        lambda: run_table4(bench_config), rounds=1, iterations=1
+    )
+    text = result.render()
+    print("\n" + text)
+    save_result(
+        "table4_fault_counts",
+        text,
+        data=[
+            {
+                "program": row.program,
+                "class": row.klass,
+                "possible": row.possible,
+                "chosen": row.chosen,
+                "injected": row.injected,
+                "paper": [row.paper_possible, row.paper_chosen, row.paper_injected],
+            }
+            for row in result.rows
+        ],
+    )
+
+    by_key = {(row.program, row.klass): row for row in result.rows}
+    programs = {row.program for row in result.rows}
+    for program in programs:
+        assert by_key[(program, "assignment")].possible > 0
+        assert by_key[(program, "checking")].possible > 0
+    # SOR — the largest program — has the most possible locations of both
+    # classes (paper: 363/195 vs <=92/<=53 elsewhere).
+    for klass in ("assignment", "checking"):
+        sor_possible = by_key[("SOR", klass)].possible
+        assert sor_possible == max(by_key[(p, klass)].possible for p in programs)
+    # Assignment locations dominate checking locations overall.
+    total_assignment = sum(by_key[(p, "assignment")].possible for p in programs)
+    total_checking = sum(by_key[(p, "checking")].possible for p in programs)
+    assert total_assignment > total_checking
+
+
+def test_table4_at_paper_scale_counts(benchmark, save_result):
+    """Full location fraction: our grand total is the same order of
+    magnitude as the paper's 108,600."""
+    config = ExperimentConfig.paper_scale()
+    result = benchmark.pedantic(lambda: run_table4(config), rounds=1, iterations=1)
+    total = result.total_injected()
+    save_result(
+        "table4_paper_scale_total",
+        f"Total injected faults at paper scale: {total:,} (paper: 108,600)",
+        data={"total": total, "paper": 108_600},
+    )
+    assert 20_000 <= total <= 400_000

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""A §6-style class-emulation campaign on one program.
+
+Applies the Christmansson/Chillarege-style rules (§6.3) to JB.team6:
+enumerate fault locations, pick some at random, take every applicable
+Table-3 error type, inject each fault against every input data set with
+a machine reboot in between, and chart the failure modes.
+
+Run:  python examples/error_set_campaign.py
+"""
+
+import os
+import random
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis import render_stacked_bars
+from repro.emulation import ASSIGNMENT_CLASS, CHECKING_CLASS, generate_error_set
+from repro.swifi import CampaignRunner, FailureMode
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = get_workload("JB.team6")
+    compiled = workload.compiled()
+    rng = random.Random(2024)
+
+    # The family test case: every program of a family sees the same inputs.
+    cases = workload.make_cases(8, seed=5)
+    runner = CampaignRunner(compiled, cases, num_cores=workload.num_cores)
+
+    series = {}
+    for klass in (ASSIGNMENT_CLASS, CHECKING_CLASS):
+        error_set = generate_error_set(
+            compiled, klass, max_locations=4, rng=rng
+        )
+        print(f"{klass}: {error_set.possible_locations} possible locations, "
+              f"{error_set.chosen_locations} chosen, "
+              f"{len(error_set.faults)} faults x {len(cases)} inputs = "
+              f"{len(error_set.faults) * len(cases)} runs")
+        outcome = runner.run(error_set.faults)
+        series[klass] = outcome.percentages()
+        dormant = outcome.dormant_fraction()
+        print(f"  dormant (trigger never fired): {100 * dormant:.0f}%")
+
+    print()
+    print(render_stacked_bars(
+        series, title="JB.team6 - failure modes by injected fault class"
+    ))
+
+    correct = series[ASSIGNMENT_CLASS][FailureMode.CORRECT]
+    print(f"\nNote the paper's core observation: only {correct:.0f}% of the "
+          "assignment-fault runs stayed correct — injected faults hit much "
+          "harder than the real JB.team6 bug, which fails on just ~0.1% of "
+          "inputs (Table 1).  The always-firing trigger (p1 = p2 = 1) is "
+          "the suspected cause.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""§6.1 — distributing faults with software metrics instead of field data.
+
+Field data about past faults is usually unavailable (and product-specific
+when it exists).  The paper suggests complexity metrics as the substitute
+for its two uses: choosing the modules to inject into and how many faults
+each gets.  This example allocates a budget of faults across all Table-2
+programs with every strategy, then actually runs a small metric-guided
+campaign.
+
+Run:  python examples/metric_guided_injection.py
+"""
+
+import os
+import random
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.emulation import ASSIGNMENT_CLASS, FaultLocator
+from repro.metrics import allocate
+from repro.experiments import run_metric_guidance
+from repro.swifi import CampaignRunner
+from repro.workloads import table2_workloads, get_workload
+
+
+def main() -> None:
+    guidance = run_metric_guidance(total_faults=60)
+    print(guidance.render())
+    rho = guidance.rank_correlation("mccabe", "sites")
+    print(f"\nSpearman rank correlation, McCabe vs true fault-site density: "
+          f"{rho:.2f}")
+    print("A cheap static metric ranks the programs close to the actual "
+          "density of assignment/checking locations — the §6.1 premise.\n")
+
+    # Now spend a small budget per the McCabe allocation on the two
+    # JamesB programs (kept small so the example runs in seconds).
+    budget = allocate([w.compiled() for w in table2_workloads()], 24, "mccabe")
+    rng = random.Random(9)
+    for name in ("JB.team6", "JB.team11"):
+        workload = get_workload(name)
+        count = max(1, budget[name])
+        locator = FaultLocator(workload.compiled())
+        locations = locator.locations(ASSIGNMENT_CLASS)
+        chosen = rng.sample(locations, min(count, len(locations)))
+        faults = []
+        for location in chosen:
+            faults.extend(locator.faults_for_location(location, rng=rng))
+        cases = workload.make_cases(6, seed=13)
+        runner = CampaignRunner(workload.compiled(), cases,
+                                num_cores=workload.num_cores)
+        outcome = runner.run(faults)
+        shares = outcome.percentages()
+        print(f"{name}: metric-allocated {count} locations -> "
+              f"{len(faults)} faults, {outcome.total_runs} runs; "
+              + "  ".join(f"{mode.value}={share:.0f}%"
+                          for mode, share in shares.items()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""The §5 story: emulating *real* software faults on real programs.
+
+Three of the paper's seven real faults, end to end:
+
+* C.team4 (Figure 3) — an assignment fault (wrong loop-start constant),
+  emulated exactly by corrupting the stored operand;
+* JB.team6 (Figure 4) — the stack-shift assignment fault: breakpoint-mode
+  emulation fails on the PowerPC-style two-IABR limit, the memory-patch
+  extension succeeds;
+* C.team5 (Figure 6) — the algorithm fault (Manhattan instead of
+  Chebyshev king distance), which no machine-level injection can emulate.
+
+Run:  python examples/real_fault_emulation.py
+"""
+
+import os
+import random
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.emulation import NotEmulableError
+from repro.machine import boot
+from repro.swifi import DebugResourceError, InjectionSession
+from repro.workloads import get_workload
+
+
+def compare_runs(name: str, mode: str, inputs: int = 5, seed: int = 7) -> None:
+    """Run faulty binary vs corrected binary + injected emulation."""
+    workload = get_workload(name)
+    corrected = workload.compiled()
+    faulty = workload.compiled_faulty()
+    specs = workload.real_fault.build_emulation(corrected, mode=mode)
+    rng = random.Random(seed)
+    matches = 0
+    for index in range(inputs):
+        pokes = workload.generate_pokes(rng)
+        machine = boot(faulty.executable, inputs=pokes)
+        faulty_run = machine.run(100_000_000)
+        machine = boot(corrected.executable, inputs=pokes)
+        session = InjectionSession(machine)
+        session.arm_all(specs)
+        emulated_run = session.run(100_000_000)
+        same = emulated_run.console == faulty_run.console
+        matches += same
+        print(f"    input {index}: faulty={faulty_run.console.decode().strip()!r:>8} "
+              f"emulated={emulated_run.console.decode().strip()!r:>8} "
+              f"{'MATCH' if same else 'MISMATCH'}")
+    print(f"    emulation accuracy: {matches}/{inputs}")
+
+
+def main() -> None:
+    print("=== C.team4: assignment fault (Figure 3) ===")
+    fault = get_workload("C.team4").real_fault
+    print(f"fault: {fault.source_change}")
+    print(f"emulation: {fault.strategy.describe()} via breakpoint registers")
+    compare_runs("C.team4", mode="breakpoint")
+
+    print("\n=== JB.team6: stack-shift assignment fault (Figure 4) ===")
+    workload = get_workload("JB.team6")
+    fault = workload.real_fault
+    print(f"fault: {fault.source_change}")
+    specs = fault.build_emulation(workload.compiled(), mode="breakpoint")
+    print(f"the emulation needs {len(specs)} trigger addresses; "
+          "the debug unit has 2 instruction-address breakpoint registers")
+    machine = boot(workload.compiled().executable,
+                   inputs=workload.generate_pokes(random.Random(0)))
+    session = InjectionSession(machine)
+    try:
+        session.arm_all(specs)
+    except DebugResourceError as error:
+        print(f"breakpoint mode: FAILS as in the paper -> {error}")
+    print("memory-patch extension (the tool improvement the paper proposes):")
+    compare_runs("JB.team6", mode="memory", inputs=4)
+    # Show it reproducing the actual failure on the one input that fires it.
+    pokes = {"in_seed": 99, "in_len": 80,
+             "in_str": bytes(33 + i % 90 for i in range(80)) + b"\x00"}
+    machine = boot(workload.compiled_faulty().executable, inputs=pokes)
+    faulty_run = machine.run(10_000_000)
+    machine = boot(workload.compiled().executable, inputs=pokes)
+    session = InjectionSession(machine)
+    session.arm_all(fault.build_emulation(workload.compiled(), mode="memory"))
+    emulated_run = session.run(10_000_000)
+    print(f"    length-80 input: faulty checksum line "
+          f"{faulty_run.console.splitlines()[1].decode()!r}, emulated "
+          f"{emulated_run.console.splitlines()[1].decode()!r} "
+          f"({'MATCH' if faulty_run.console == emulated_run.console else 'MISMATCH'})")
+
+    print("\n=== C.team5: algorithm fault (Figure 6) ===")
+    fault = get_workload("C.team5").real_fault
+    print(f"fault: {fault.source_change}")
+    try:
+        fault.build_emulation(get_workload("C.team5").compiled())
+    except NotEmulableError as error:
+        print(f"not emulable -> {error.reason}")
+        if error.evidence:
+            print(f"evidence: {error.evidence}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — reproduction of *On the Emulation of Software Faults by
+Software Fault Injection* (Madeira, Costa, Vieira; DSN 2000).
+
+Layer map (bottom-up):
+
+* :mod:`repro.isa` / :mod:`repro.machine` — the RX32 simulated target
+  system (stands in for the Parsytec PowerXplorer / PowerPC 601 / Parix);
+* :mod:`repro.lang` — the MiniC compiler the workload programs are built
+  with, including the statement-anchor debug info the injector consumes;
+* :mod:`repro.swifi` — the Xception-style injector: fault model
+  (What/Where/Which/When), debug-unit triggers, outcome classification,
+  campaign engine;
+* :mod:`repro.odc` — ODC defect types, triggers and field data;
+* :mod:`repro.emulation` — Table-3 error types, the fault locator, the
+  §6.3 rule engine and the §5 real-fault emulation strategies;
+* :mod:`repro.metrics` — complexity metrics and metric-guided allocation;
+* :mod:`repro.workloads` — the contest programs (Camelot, JamesB, SOR),
+  oracles, input models, and the seven real faults;
+* :mod:`repro.experiments` — one driver per table/figure of the paper;
+* :mod:`repro.analysis` — tables, stacked-bar figures, statistics.
+
+Quick start::
+
+    from repro.experiments import ExperimentConfig, run_sec5
+    print(run_sec5(ExperimentConfig.tiny()).render())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,25 @@
+"""Result analysis: ASCII tables, stacked-bar figures, distribution stats."""
+
+from .figures import render_stacked_bars, series_to_jsonable
+from .report import SECTIONS, build_report
+from .stats import (
+    dispersion,
+    max_pairwise_distance,
+    mean_distribution,
+    total_variation,
+    wilson_interval,
+)
+from .tables import render_table
+
+__all__ = [
+    "SECTIONS",
+    "build_report",
+    "render_stacked_bars",
+    "series_to_jsonable",
+    "dispersion",
+    "max_pairwise_distance",
+    "mean_distribution",
+    "total_variation",
+    "wilson_interval",
+    "render_table",
+]

@@ -1,0 +1,66 @@
+"""Plain-text stacked-bar rendering for the Figure 7-10 reproductions.
+
+The paper's figures are 100%-stacked bars of the four failure modes, one
+bar per program (Figures 7/8) or per injected error type (Figures 9/10).
+:func:`render_stacked_bars` draws the same thing in ASCII; the underlying
+data series are also returned by the experiment drivers for direct
+inspection and JSON export.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..swifi.outcomes import MODE_ORDER, FailureMode
+
+_GLYPHS = {
+    FailureMode.CORRECT: ".",
+    FailureMode.INCORRECT: "i",
+    FailureMode.HANG: "h",
+    FailureMode.CRASH: "#",
+}
+
+
+def render_stacked_bars(
+    series: Mapping[str, Mapping[FailureMode, float]],
+    *,
+    title: str,
+    width: int = 50,
+    order: Sequence[str] | None = None,
+) -> str:
+    """Render one 100%-stacked bar per key of *series*.
+
+    *series* maps a bar label to ``{FailureMode: percentage}`` (summing to
+    ~100).  Glyphs: ``.`` correct, ``i`` incorrect, ``h`` hang, ``#`` crash.
+    """
+    labels = list(order) if order is not None else list(series)
+    label_width = max((len(label) for label in labels), default=0)
+    lines = [title, "=" * len(title)]
+    legend = "  ".join(f"{_GLYPHS[mode]}={mode.label}" for mode in MODE_ORDER)
+    lines.append(legend)
+    lines.append("")
+    for label in labels:
+        percentages = series[label]
+        bar = ""
+        consumed = 0
+        for mode in MODE_ORDER:
+            share = percentages.get(mode, 0.0)
+            cells = int(round(share * width / 100.0))
+            cells = min(cells, width - consumed)
+            bar += _GLYPHS[mode] * cells
+            consumed += cells
+        bar = bar.ljust(width)
+        detail = " ".join(
+            f"{_GLYPHS[mode]}{percentages.get(mode, 0.0):5.1f}%" for mode in MODE_ORDER
+        )
+        lines.append(f"{label.rjust(label_width)} |{bar}| {detail}")
+    return "\n".join(lines)
+
+
+def series_to_jsonable(
+    series: Mapping[str, Mapping[FailureMode, float]]
+) -> dict[str, dict[str, float]]:
+    return {
+        label: {mode.value: round(value, 3) for mode, value in modes.items()}
+        for label, modes in series.items()
+    }

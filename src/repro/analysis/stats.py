@@ -1,0 +1,64 @@
+"""Small statistics helpers for comparing failure-mode distributions.
+
+Used by the Figure-9/10 analysis: the paper observes that "the results
+for each error type for the emulation of assignment faults are relatively
+similar, the same does not apply to the error types used to emulate
+checking faults".  We quantify that with the maximum pairwise total
+variation distance between the per-type distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..swifi.outcomes import MODE_ORDER, FailureMode
+
+Distribution = Mapping[FailureMode, float]
+
+
+def total_variation(first: Distribution, second: Distribution) -> float:
+    """Total variation distance between two percentage distributions (0..1)."""
+    return sum(
+        abs(first.get(mode, 0.0) - second.get(mode, 0.0)) for mode in MODE_ORDER
+    ) / 200.0
+
+
+def max_pairwise_distance(series: Mapping[str, Distribution]) -> float:
+    """The largest total-variation distance between any two distributions."""
+    labels = list(series)
+    best = 0.0
+    for i, a in enumerate(labels):
+        for b in labels[i + 1:]:
+            best = max(best, total_variation(series[a], series[b]))
+    return best
+
+
+def mean_distribution(series: Mapping[str, Distribution]) -> dict[FailureMode, float]:
+    labels = list(series)
+    if not labels:
+        return {mode: 0.0 for mode in MODE_ORDER}
+    return {
+        mode: sum(series[label].get(mode, 0.0) for label in labels) / len(labels)
+        for mode in MODE_ORDER
+    }
+
+
+def dispersion(series: Mapping[str, Distribution]) -> float:
+    """Mean total-variation distance of each member from the mean."""
+    labels = list(series)
+    if not labels:
+        return 0.0
+    centre = mean_distribution(series)
+    return sum(total_variation(series[label], centre) for label in labels) / len(labels)
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a proportion (used for Table-1 rates)."""
+    if trials == 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    denom = 1 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    margin = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return (max(0.0, centre - margin), min(1.0, centre + margin))

@@ -1,0 +1,60 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned ASCII table (right-aligns numeric cells)."""
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    columns = len(headers)
+    for row in text_rows:
+        if len(row) != columns:
+            raise ValueError("row width does not match header width")
+    widths = [
+        max(len(headers[index]), *(len(row[index]) for row in text_rows))
+        if text_rows
+        else len(headers[index])
+        for index in range(columns)
+    ]
+    numeric = [
+        bool(text_rows) and all(_is_numeric(row[index]) for row in text_rows)
+        for index in range(columns)
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if numeric[index] and _is_numeric(cell):
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    separator = "  ".join("-" * width for width in widths)
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(separator)
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def _is_numeric(text: str) -> bool:
+    if not text or text == "-":
+        return text == "-"
+    try:
+        float(text.rstrip("%"))
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,238 @@
+"""Command-line interface: regenerate any table/figure from a shell.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro table1           # real-fault failure symptoms
+    python -m repro table2           # target programs and features
+    python -m repro table3           # injected error types
+    python -m repro table4           # fault-location counts
+    python -m repro sec5             # real-fault emulation verdicts
+    python -m repro figures          # figures 7-10 (runs the campaigns)
+    python -m repro figures --programs JB.team6 SOR
+    python -m repro ablation-metrics
+    python -m repro ablation-triggers
+    python -m repro ablation-hardware
+    python -m repro disasm PROGRAM   # RX32 listing of a workload program
+    python -m repro coverage PROGRAM # fault-site coverage under random inputs
+    python -m repro inject FILE.c    # locate+inject faults in your MiniC file
+
+Scaling flags: ``--scale`` multiplies every run count; ``--seed`` fixes
+the RNG.  Defaults regenerate everything at the reduced scale documented
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from .experiments import (
+    ExperimentConfig,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    run_hardware_comparison,
+    run_metric_guidance,
+    run_sec5,
+    run_section6,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_trigger_ablation,
+)
+
+
+def _scale(args: argparse.Namespace) -> float:
+    return getattr(args, "scale", 1.0)
+
+
+def _seed(args: argparse.Namespace) -> int:
+    return getattr(args, "seed", 2000)
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    config = ExperimentConfig(seed=_seed(args))
+    if _scale(args) != 1.0:
+        config = config.scaled(_scale(args))
+    return config
+
+
+def _cmd_table1(args):
+    print(run_table1(_config(args)).render())
+
+
+def _cmd_table2(args):
+    print(run_table2().render())
+
+
+def _cmd_table3(args):
+    print(run_table3().render())
+
+
+def _cmd_table4(args):
+    print(run_table4(_config(args)).render())
+
+
+def _cmd_sec5(args):
+    print(run_sec5(_config(args)).render())
+
+
+def _cmd_figures(args):
+    results = run_section6(_config(args), programs=args.programs)
+    for figure in (fig7(results), fig8(results), fig9(results), fig10(results)):
+        print(figure.render())
+        print()
+
+
+def _cmd_ablation_metrics(args):
+    result = run_metric_guidance(total_faults=args.faults)
+    print(result.render())
+    print(f"\nSpearman(mccabe, sites) = {result.rank_correlation('mccabe', 'sites'):.2f}")
+
+
+def _cmd_ablation_triggers(args):
+    print(run_trigger_ablation(_config(args)).render())
+
+
+def _cmd_ablation_hardware(args):
+    print(run_hardware_comparison(_config(args)).render())
+
+
+def _cmd_disasm(args):
+    from .isa import listing
+    from .workloads import get_workload
+
+    workload = get_workload(args.program)
+    compiled = workload.compiled()
+    symbols = {
+        name: address
+        for name, address in compiled.executable.symbols.items()
+        if not name.startswith(".")
+    }
+    print(listing(compiled.executable.code, compiled.executable.code_base, symbols))
+
+
+def _cmd_coverage(args):
+    import random
+
+    from .machine import boot
+    from .swifi import CoverageSession
+    from .workloads import get_workload
+
+    workload = get_workload(args.program)
+    compiled = workload.compiled()
+    session = CoverageSession(compiled)
+    rng = random.Random(_seed(args))
+    merged_counts: dict[int, int] = {}
+    for _ in range(args.inputs):
+        machine = boot(compiled.executable, num_cores=workload.num_cores,
+                       inputs=workload.generate_pokes(rng))
+        _, report = CoverageSession(compiled).attach_and_run(machine)
+        for address, count in report.counts.items():
+            merged_counts[address] = merged_counts.get(address, 0) + count
+    from .swifi.coverage import CoverageReport
+
+    merged = CoverageReport(points=session.points, counts=merged_counts)
+    print(f"{args.program}: {args.inputs} random input(s)")
+    print(merged.render())
+    print("\nhottest fault sites:")
+    for point, count in merged.hot_spots(top=8):
+        print(f"  {count:>8}x  {point.kind:10s} {point.function}:{point.line}")
+
+
+def _cmd_inject(args):
+    from .emulation import FaultLocator
+    from .emulation.rules import generate_error_set
+    from .lang import compile_source
+
+    with open(args.file, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    compiled = compile_source(source, args.file)
+    locator = FaultLocator(compiled)
+    print(f"{args.file}: {compiled.source_lines} lines")
+    print(f"  assignment locations: {len(locator.assignment_locations())}")
+    print(f"  checking locations:   {len(locator.checking_locations())}")
+    rng = random.Random(_seed(args))
+    for klass in ("assignment", "checking"):
+        error_set = generate_error_set(
+            compiled, klass, max_locations=args.locations, rng=rng
+        )
+        print(f"\n{klass} error set ({len(error_set.faults)} faults):")
+        for spec in error_set.faults:
+            print(f"  {spec.describe()}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'On the Emulation of Software Faults by "
+            "Software Fault Injection' (DSN 2000)."
+        ),
+    )
+    # The flags are accepted both before and after the subcommand; the
+    # SUPPRESS default keeps a subcommand occurrence from clobbering a
+    # value parsed at the top level.
+    shared = argparse.ArgumentParser(add_help=False)
+    shared.add_argument("--scale", type=float, default=argparse.SUPPRESS,
+                        help="multiply every run count (default 1.0)")
+    shared.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                        help="master RNG seed (default 2000)")
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        parents=[shared],
+        description=parser.description,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", parents=[shared], help="Table 1: real-fault failure symptoms").set_defaults(fn=_cmd_table1)
+    sub.add_parser("table2", parents=[shared], help="Table 2: target programs").set_defaults(fn=_cmd_table2)
+    sub.add_parser("table3", parents=[shared], help="Table 3: injected error types").set_defaults(fn=_cmd_table3)
+    sub.add_parser("table4", parents=[shared], help="Table 4: fault-location counts").set_defaults(fn=_cmd_table4)
+    sub.add_parser("sec5", parents=[shared], help="S5: real-fault emulation verdicts").set_defaults(fn=_cmd_sec5)
+
+    figures = sub.add_parser("figures", parents=[shared], help="Figures 7-10 (runs the S6 campaigns)")
+    figures.add_argument("--programs", nargs="*", default=None,
+                         help="restrict to these Table-2 programs")
+    figures.set_defaults(fn=_cmd_figures)
+
+    metrics = sub.add_parser("ablation-metrics", parents=[shared], help="A1: metric-guided allocation")
+    metrics.add_argument("--faults", type=int, default=100)
+    metrics.set_defaults(fn=_cmd_ablation_metrics)
+
+    sub.add_parser("ablation-triggers", parents=[shared],
+                   help="A2: failure modes vs trigger When policy").set_defaults(fn=_cmd_ablation_triggers)
+    sub.add_parser("ablation-hardware", parents=[shared],
+                   help="A3: software vs random hardware faults").set_defaults(fn=_cmd_ablation_hardware)
+
+    disasm = sub.add_parser("disasm", parents=[shared], help="disassemble a workload program")
+    disasm.add_argument("program", help="workload name, e.g. C.team1")
+    disasm.set_defaults(fn=_cmd_disasm)
+
+    coverage = sub.add_parser(
+        "coverage", parents=[shared],
+        help="fault-site coverage of a workload under random inputs",
+    )
+    coverage.add_argument("program")
+    coverage.add_argument("--inputs", type=int, default=3)
+    coverage.set_defaults(fn=_cmd_coverage)
+
+    inject = sub.add_parser("inject", parents=[shared], help="locate faults in your own MiniC file")
+    inject.add_argument("file")
+    inject.add_argument("--locations", type=int, default=3)
+    inject.set_defaults(fn=_cmd_inject)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Software-fault emulation: Table-3 error types, the fault locator, the
+§6.3 rule engine, and the §5 real-fault emulation strategies."""
+
+from .locator import (
+    STRATEGY_DATABUS,
+    STRATEGY_MEMORY,
+    FaultLocation,
+    FaultLocator,
+    LocatorError,
+)
+from .operators import (
+    ARRAY_ERROR_TYPES,
+    ASSIGNMENT_CLASS,
+    ASSIGNMENT_ERROR_TYPES,
+    CHECKING_CLASS,
+    CHECKING_SWAPS,
+    JUNCTION_ERROR_TYPES,
+    REL_COND,
+    TRUTH_ERROR_TYPES,
+    ErrorType,
+    all_error_types,
+    checking_swaps_for,
+)
+from .realfaults import (
+    EmulationStrategy,
+    NoEmulation,
+    NotEmulableError,
+    OperatorSwapEmulation,
+    RealFault,
+    SiteNotFound,
+    StackShiftEmulation,
+    ValueDeltaEmulation,
+    find_assignment,
+    find_check,
+)
+from .rules import GeneratedErrorSet, generate_both_classes, generate_error_set
+
+__all__ = [
+    "STRATEGY_DATABUS",
+    "STRATEGY_MEMORY",
+    "FaultLocation",
+    "FaultLocator",
+    "LocatorError",
+    "ARRAY_ERROR_TYPES",
+    "ASSIGNMENT_CLASS",
+    "ASSIGNMENT_ERROR_TYPES",
+    "CHECKING_CLASS",
+    "CHECKING_SWAPS",
+    "JUNCTION_ERROR_TYPES",
+    "REL_COND",
+    "TRUTH_ERROR_TYPES",
+    "ErrorType",
+    "all_error_types",
+    "checking_swaps_for",
+    "EmulationStrategy",
+    "NoEmulation",
+    "NotEmulableError",
+    "OperatorSwapEmulation",
+    "RealFault",
+    "SiteNotFound",
+    "StackShiftEmulation",
+    "ValueDeltaEmulation",
+    "find_assignment",
+    "find_check",
+    "GeneratedErrorSet",
+    "generate_both_classes",
+    "generate_error_set",
+]

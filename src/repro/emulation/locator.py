@@ -1,0 +1,320 @@
+"""The fault locator: source-level fault sites → machine-level fault specs.
+
+This automates §6.3 step 1 ("all possible fault locations were identified
+... at the assembly level", guided by the compiler's symbol tables) and
+step 3 (selecting the applicable Table-3 error types per location), and
+then compiles each (location, error type) pair into a complete
+What/Where/Which/When :class:`repro.swifi.FaultSpec`:
+
+* **Which** — opcode fetch from the anchored instruction ("the
+  instructions selected to work as trigger for the injection were the same
+  instructions selected as location to inject the fault");
+* **When** — every execution ("the fault was inserted every time the
+  trigger instruction was executed");
+* **Where/What** — the machine-level rewrite for the error type, either as
+  a data-bus substitution of the fetched word / operand (``strategy
+  "databus"``, Figures 3/5 option 2) or as a persistent corruption of the
+  instruction in memory (``strategy "memory"``, option 1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..isa.encoding import COND_ALWAYS, NOP_WORD, OP_B, decode
+from ..lang.compiler import CompiledProgram
+from ..lang.debuginfo import AssignmentSite, CheckSite, JunctionSite
+from ..swifi.faults import (
+    Action,
+    Arithmetic,
+    CodeWord,
+    FaultSpec,
+    FetchedWord,
+    OpcodeFetch,
+    PatchField,
+    SetValue,
+    StoreValue,
+    WhenPolicy,
+)
+from .operators import (
+    ARRAY_ERROR_TYPES,
+    ASSIGNMENT_CLASS,
+    ASSIGNMENT_ERROR_TYPES,
+    CHECKING_CLASS,
+    JUNCTION_ERROR_TYPES,
+    REL_COND,
+    TRUTH_ERROR_TYPES,
+    ErrorType,
+    checking_swaps_for,
+)
+
+STRATEGY_DATABUS = "databus"  # transient corruption of the fetched word/operand
+STRATEGY_MEMORY = "memory"    # persistent corruption of the instruction in memory
+
+
+class LocatorError(ValueError):
+    """An (site, error type) pairing that does not apply."""
+
+
+@dataclass(frozen=True)
+class FaultLocation:
+    """One possible fault location plus its applicable error types."""
+
+    program: str
+    klass: str  # "assignment" | "checking"
+    site: AssignmentSite | CheckSite | JunctionSite
+    error_types: tuple[ErrorType, ...]
+
+    @property
+    def function(self) -> str:
+        return self.site.function
+
+    @property
+    def line(self) -> int:
+        return self.site.line
+
+    @property
+    def address(self) -> int:
+        if isinstance(self.site, AssignmentSite):
+            assert self.site.address is not None
+            return self.site.address
+        if isinstance(self.site, CheckSite):
+            assert self.site.address is not None
+            return self.site.address
+        assert self.site.bc_address is not None
+        return self.site.bc_address
+
+    def describe(self) -> str:
+        kinds = ",".join(e.name for e in self.error_types)
+        return f"{self.program}:{self.function}:{self.line} @{self.address:#x} [{kinds}]"
+
+
+class FaultLocator:
+    """Enumerates fault locations of a compiled program and builds specs."""
+
+    def __init__(self, compiled: CompiledProgram, *, truth_on_all: bool = False) -> None:
+        self.compiled = compiled
+        self.truth_on_all = truth_on_all
+        self._code = compiled.executable.code
+        self._code_base = compiled.executable.code_base
+
+    # -- enumeration -------------------------------------------------------
+
+    def assignment_locations(self) -> list[FaultLocation]:
+        return [
+            FaultLocation(
+                program=self.compiled.name,
+                klass=ASSIGNMENT_CLASS,
+                site=site,
+                error_types=ASSIGNMENT_ERROR_TYPES,
+            )
+            for site in self.compiled.debug.assignments
+        ]
+
+    def checking_locations(self) -> list[FaultLocation]:
+        locations: list[FaultLocation] = []
+        for site in self.compiled.debug.checks:
+            error_types: list[ErrorType] = []
+            if site.op in REL_COND:
+                error_types.extend(checking_swaps_for(site.op))
+                if self.truth_on_all:
+                    error_types.extend(TRUTH_ERROR_TYPES)
+            else:  # a bare truth test: if (x), while (p), ...
+                error_types.extend(TRUTH_ERROR_TYPES)
+            if site.array_load_addresses:
+                error_types.extend(ARRAY_ERROR_TYPES)
+            locations.append(
+                FaultLocation(
+                    program=self.compiled.name,
+                    klass=CHECKING_CLASS,
+                    site=site,
+                    error_types=tuple(error_types),
+                )
+            )
+        for junction in self.compiled.debug.junctions:
+            locations.append(
+                FaultLocation(
+                    program=self.compiled.name,
+                    klass=CHECKING_CLASS,
+                    site=junction,
+                    error_types=(JUNCTION_ERROR_TYPES[junction.op],),
+                )
+            )
+        return locations
+
+    def locations(self, klass: str) -> list[FaultLocation]:
+        if klass == ASSIGNMENT_CLASS:
+            return self.assignment_locations()
+        if klass == CHECKING_CLASS:
+            return self.checking_locations()
+        raise LocatorError(f"unknown fault class {klass!r}")
+
+    # -- spec construction ---------------------------------------------------
+
+    def _word_at(self, address: int) -> int:
+        offset = address - self._code_base
+        return int.from_bytes(self._code[offset : offset + 4], "big")
+
+    def build_fault(
+        self,
+        location: FaultLocation,
+        error_type: ErrorType,
+        *,
+        rng: random.Random | None = None,
+        strategy: str = STRATEGY_DATABUS,
+        mode: str = "breakpoint",
+        when: WhenPolicy | None = None,
+        fault_id: str | None = None,
+    ) -> FaultSpec:
+        """Compile one (location, error type) pair into a FaultSpec."""
+        if error_type not in location.error_types:
+            raise LocatorError(
+                f"error type {error_type.name} does not apply at {location.describe()}"
+            )
+        if strategy not in (STRATEGY_DATABUS, STRATEGY_MEMORY):
+            raise LocatorError(f"unknown strategy {strategy!r}")
+        when = when or WhenPolicy.every()
+        site = location.site
+
+        if isinstance(site, AssignmentSite):
+            trigger_address, actions = self._assignment_actions(site, error_type, rng, strategy)
+        elif isinstance(site, CheckSite):
+            trigger_address, actions = self._checking_actions(site, error_type, strategy)
+        else:
+            trigger_address, actions = self._junction_actions(site, error_type)
+
+        identifier = fault_id or (
+            f"{location.program}:{location.function}:{location.line}"
+            f"@{trigger_address:#x}:{error_type.name}"
+        )
+        spec = FaultSpec(
+            fault_id=identifier,
+            trigger=OpcodeFetch(trigger_address),
+            actions=tuple(actions),
+            when=when,
+            mode=mode,
+        )
+        return spec.with_metadata(
+            program=location.program,
+            klass=location.klass,
+            error_type=error_type.name,
+            error_label=error_type.paper_label,
+            function=location.function,
+            line=location.line,
+            strategy=strategy,
+        )
+
+    # -- per-class action builders -------------------------------------------
+
+    def _assignment_actions(self, site: AssignmentSite, error_type: ErrorType,
+                            rng: random.Random | None, strategy: str):
+        assert site.address is not None
+        address = site.address
+        if error_type.name == "value+1":
+            return address, [Action(StoreValue(), Arithmetic(1))]
+        if error_type.name == "value-1":
+            return address, [Action(StoreValue(), Arithmetic(-1))]
+        if error_type.name == "no-assign":
+            if strategy == STRATEGY_MEMORY:
+                return address, [Action(CodeWord(address), SetValue(NOP_WORD))]
+            return address, [Action(FetchedWord(), SetValue(NOP_WORD))]
+        if error_type.name == "random":
+            if rng is None:
+                raise LocatorError("the 'random' error type needs an RNG")
+            return address, [Action(StoreValue(), SetValue(rng.getrandbits(32)))]
+        raise LocatorError(f"unknown assignment error type {error_type.name}")
+
+    def _checking_actions(self, site: CheckSite, error_type: ErrorType, strategy: str):
+        assert site.address is not None
+        bc_address = site.address
+
+        def substitution(address: int, corruption) -> tuple[int, list[Action]]:
+            if strategy == STRATEGY_MEMORY:
+                return address, [Action(CodeWord(address), corruption)]
+            return address, [Action(FetchedWord(), corruption)]
+
+        name = error_type.name
+        if name.startswith("swap:"):
+            injected_op = name.split("->", 1)[1]
+            new_cond = REL_COND[injected_op]
+            return substitution(bc_address, PatchField(21, 5, new_cond))
+        if name == "true->false":
+            # The branch to the true target is never taken; control falls
+            # through to the unconditional branch to the false target.
+            return substitution(bc_address, SetValue(NOP_WORD))
+        if name == "false->true":
+            return substitution(bc_address, PatchField(21, 5, COND_ALWAYS))
+        if name in ("index+1", "index-1"):
+            if not site.array_load_addresses:
+                raise LocatorError("no array load to shift at this checking site")
+            load_address, element_size = site.array_load_addresses[0]
+            word = self._word_at(load_address)
+            displacement = word & 0xFFFF
+            if displacement >= 0x8000:
+                displacement -= 0x10000
+            delta = element_size if name == "index+1" else -element_size
+            new_displacement = displacement + delta
+            if not -0x8000 <= new_displacement <= 0x7FFF:
+                raise LocatorError("shifted displacement out of range")
+            return substitution(
+                load_address, PatchField(0, 16, new_displacement & 0xFFFF)
+            )
+        raise LocatorError(f"unknown checking error type {error_type.name}")
+
+    def _junction_actions(self, site: JunctionSite, error_type: ErrorType):
+        """Swap ``&&``/``||`` by retargeting the short-circuit branch pair.
+
+        Two instruction words change, so this is a persistent memory
+        corruption with a single trigger on the first of them — the
+        paper's Figure 3 option 1 flavour ("error inserted in memory").
+        """
+        if JUNCTION_ERROR_TYPES.get(site.op) != error_type:
+            raise LocatorError(f"{error_type.name} does not apply to a {site.op} junction")
+        assert site.bc_address is not None and site.b_address is not None
+        assert site.true_address is not None and site.false_address is not None
+        assert site.mid_address is not None
+        bc_word = self._word_at(site.bc_address)
+        if site.op == "&&":
+            # a && b:  bc cond -> mid ... b false      becomes (a || b):
+            #          bc cond -> TRUE ... b mid
+            new_bc_target = site.true_address
+            new_b_target = site.mid_address
+        else:
+            # a || b:  bc cond -> true ... b mid       becomes (a && b):
+            #          bc cond -> mid  ... b FALSE
+            new_bc_target = site.mid_address
+            new_b_target = site.false_address
+        bc_offset = (new_bc_target - site.bc_address) >> 2
+        b_offset = (new_b_target - site.b_address) >> 2
+        if not -0x8000 <= bc_offset <= 0x7FFF:
+            raise LocatorError("junction branch offset out of range")
+        new_bc_word = (bc_word & ~0xFFFF) | (bc_offset & 0xFFFF)
+        new_b_word = (OP_B << 26) | (b_offset & 0x3FFFFFF)
+        # Sanity: both words must still decode.
+        decode(new_bc_word)
+        decode(new_b_word)
+        actions = [
+            Action(CodeWord(site.bc_address), SetValue(new_bc_word)),
+            Action(CodeWord(site.b_address), SetValue(new_b_word)),
+        ]
+        return site.bc_address, actions
+
+    # -- convenience -----------------------------------------------------------
+
+    def faults_for_location(
+        self,
+        location: FaultLocation,
+        *,
+        rng: random.Random | None = None,
+        strategy: str = STRATEGY_DATABUS,
+        mode: str = "breakpoint",
+        when: WhenPolicy | None = None,
+    ) -> list[FaultSpec]:
+        """All applicable error types at one location (§6.3 step 3)."""
+        return [
+            self.build_fault(
+                location, error_type, rng=rng, strategy=strategy, mode=mode, when=when
+            )
+            for error_type in location.error_types
+        ]

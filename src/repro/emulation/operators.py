@@ -1,0 +1,147 @@
+"""The error types of the paper's Table 3.
+
+Table 3 defines the subset of injected error types, "described in
+high-level language terms", that the §6 campaigns draw from:
+
+* **assignment** errors: ``value → value+1``, ``value → value-1``,
+  ``value → unassigned``, ``value → random``;
+* **checking** errors: relational-operator swaps (``>= → >``, ``> → >=``,
+  ``<= → <``, ``< → <=``, ``== → !=``, ``== → >=``, ``== → <=``,
+  ``!= → ==``), logical-junction swaps (``&& → ||``, ``|| → &&``),
+  truth-value forcing (``true → false``, ``false → true``) and — "only
+  for checking over arrays" — index shifts (``[i] → [i+1]``,
+  ``[i] → [i-1]``).
+
+Each error type carries the exact machine-level rewrite it corresponds to
+on RX32; :mod:`repro.emulation.locator` turns (site, error type) pairs into
+:class:`repro.swifi.FaultSpec` objects.
+
+"The number of error types from table 3 that can be applied to each fault
+location depends on the actual instruction" — applicability here: a
+relational site takes its operator's swaps, a truth-value site (a bare
+``if (x)`` / ``while (p)`` test) takes the truth swaps, a junction site its
+logical swap, and sites whose condition reads an array element additionally
+take the index shifts.  Set ``truth_on_all=True`` in the locator to apply
+truth forcing to every checking site instead (the paper is not explicit;
+the default keeps per-location error-type counts in Table 4's range).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.encoding import COND_EQ, COND_GE, COND_GT, COND_LE, COND_LT, COND_NE
+
+ASSIGNMENT_CLASS = "assignment"
+CHECKING_CLASS = "checking"
+
+
+@dataclass(frozen=True)
+class ErrorType:
+    """One Table-3 error type."""
+
+    name: str         # stable identifier, e.g. "swap:<-><="
+    klass: str        # "assignment" or "checking"
+    paper_label: str  # the label used on the Figure 9/10 axes
+    description: str
+
+
+# -- assignment (Figure 9's four columns) -----------------------------------
+
+VALUE_PLUS_1 = ErrorType(
+    "value+1", ASSIGNMENT_CLASS, "value +1", "assigned value replaced by value+1"
+)
+VALUE_MINUS_1 = ErrorType(
+    "value-1", ASSIGNMENT_CLASS, "value -1", "assigned value replaced by value-1"
+)
+NO_ASSIGN = ErrorType(
+    "no-assign", ASSIGNMENT_CLASS, "no assign", "assignment never performed (store elided)"
+)
+RANDOM_VALUE = ErrorType(
+    "random", ASSIGNMENT_CLASS, "random", "assigned value replaced by a random word"
+)
+
+ASSIGNMENT_ERROR_TYPES: tuple[ErrorType, ...] = (
+    VALUE_PLUS_1,
+    VALUE_MINUS_1,
+    NO_ASSIGN,
+    RANDOM_VALUE,
+)
+
+# -- checking ----------------------------------------------------------------
+
+#: source operator -> list of operators Table 3 swaps it into
+CHECKING_SWAPS: dict[str, tuple[str, ...]] = {
+    ">=": (">",),
+    ">": (">=",),
+    "<=": ("<",),
+    "<": ("<=",),
+    "==": ("!=", ">=", "<="),
+    "!=": ("==",),
+}
+
+#: source relational operator -> RX32 branch condition code
+REL_COND: dict[str, int] = {
+    "<": COND_LT,
+    "<=": COND_LE,
+    ">": COND_GT,
+    ">=": COND_GE,
+    "==": COND_EQ,
+    "!=": COND_NE,
+}
+
+_PAPER_OP = {"==": "=", "!=": "!="}
+
+
+def _op_label(op: str) -> str:
+    return _PAPER_OP.get(op, op)
+
+
+def swap_error_type(source_op: str, injected_op: str) -> ErrorType:
+    return ErrorType(
+        name=f"swap:{source_op}->{injected_op}",
+        klass=CHECKING_CLASS,
+        paper_label=f"{_op_label(source_op)} {_op_label(injected_op)}",
+        description=f"checking operator {source_op} replaced by {injected_op}",
+    )
+
+
+TRUE_TO_FALSE = ErrorType(
+    "true->false", CHECKING_CLASS, "true false", "condition forced to false"
+)
+FALSE_TO_TRUE = ErrorType(
+    "false->true", CHECKING_CLASS, "false true", "condition forced to true"
+)
+AND_TO_OR = ErrorType(
+    "and->or", CHECKING_CLASS, "and or", "logical && replaced by ||"
+)
+OR_TO_AND = ErrorType(
+    "or->and", CHECKING_CLASS, "or and", "logical || replaced by &&"
+)
+INDEX_PLUS_1 = ErrorType(
+    "index+1", CHECKING_CLASS, "[i] [i+1]", "array checking index shifted by +1"
+)
+INDEX_MINUS_1 = ErrorType(
+    "index-1", CHECKING_CLASS, "[i] [i-1]", "array checking index shifted by -1"
+)
+
+TRUTH_ERROR_TYPES: tuple[ErrorType, ...] = (TRUE_TO_FALSE, FALSE_TO_TRUE)
+JUNCTION_ERROR_TYPES: dict[str, ErrorType] = {"&&": AND_TO_OR, "||": OR_TO_AND}
+ARRAY_ERROR_TYPES: tuple[ErrorType, ...] = (INDEX_PLUS_1, INDEX_MINUS_1)
+
+
+def checking_swaps_for(op: str) -> tuple[ErrorType, ...]:
+    """The swap error types applicable to a relational operator."""
+    return tuple(swap_error_type(op, injected) for injected in CHECKING_SWAPS.get(op, ()))
+
+
+def all_error_types() -> list[ErrorType]:
+    """Every Table-3 error type (for the Table 3 reproduction)."""
+    out: list[ErrorType] = list(ASSIGNMENT_ERROR_TYPES)
+    for source_op, targets in CHECKING_SWAPS.items():
+        for injected in targets:
+            out.append(swap_error_type(source_op, injected))
+    out.extend(TRUTH_ERROR_TYPES)
+    out.extend(JUNCTION_ERROR_TYPES.values())
+    out.extend(ARRAY_ERROR_TYPES)
+    return out

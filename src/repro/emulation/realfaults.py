@@ -1,0 +1,337 @@
+"""Emulation of *specific real* software faults (§5 of the paper).
+
+A real fault is a (faulty program, corrected program) pair plus the ODC
+classification of the change that corrects it.  Emulating the fault means:
+run the **corrected** binary while injecting errors that should make it
+behave exactly like the faulty binary — "if the results are the same in
+both runs it means Xception do emulate the fault accurately".
+
+The strategies here mirror the paper's Figures 3–6:
+
+* :class:`ValueDeltaEmulation` — Figure 3's assignment fault (a loop
+  initialised with the wrong constant): corrupt the operand stored by the
+  initialisation, every execution.
+* :class:`OperatorSwapEmulation` — Figure 5's checking fault (``<`` vs
+  ``<=``): rewrite the condition field of the anchored conditional branch.
+* :class:`StackShiftEmulation` — Figure 4's assignment fault (a stack
+  array declared one element short): shift every frame reference to the
+  victim array so it overlaps its neighbour exactly as in the faulty
+  binary.  In breakpoint mode this needs one trigger per referencing
+  instruction and **fails on the third** — the PowerPC/RX32 debug unit has
+  two instruction-address breakpoint registers, reproducing the paper's
+  finding B.  The ``memory`` strategy (patch the instructions through the
+  debug port, one trigger) is the "new Xception feature" the paper says
+  would fix it; ``trap`` mode works too but is intrusive.
+* :class:`NoEmulation` — algorithm/function faults (Figure 6): the
+  correction changes the shape of the generated code (different
+  instruction counts, different stack frames), so no machine-level error
+  at fixed locations can reproduce it.  ``build`` raises
+  :class:`NotEmulableError` carrying the structural evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..lang.compiler import CompiledProgram
+from ..lang.debuginfo import AssignmentSite, CheckSite
+from ..odc.defect_types import DefectType
+from ..swifi.faults import (
+    Action,
+    Arithmetic,
+    CodeWord,
+    FaultSpec,
+    FetchedWord,
+    OpcodeFetch,
+    PatchField,
+    StoreValue,
+    WhenPolicy,
+)
+from .operators import REL_COND
+
+
+class NotEmulableError(RuntimeError):
+    """The fault cannot be emulated by machine-level error injection."""
+
+    def __init__(self, reason: str, evidence: dict[str, object] | None = None) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.evidence = evidence or {}
+
+
+class SiteNotFound(LookupError):
+    """A selector matched no debug-info site (catalogue/program mismatch)."""
+
+
+# ---------------------------------------------------------------------------
+# site selectors
+# ---------------------------------------------------------------------------
+
+def _pick(matches: list, nth: int, what: str):
+    try:
+        return matches[nth]
+    except IndexError:
+        raise SiteNotFound(f"no {what} site #{nth} among {len(matches)} matches") from None
+
+
+def find_assignment(
+    compiled: CompiledProgram,
+    *,
+    function: str | None = None,
+    target: str | None = None,
+    kind: str | None = None,
+    line: int | None = None,
+    nth: int = 0,
+) -> AssignmentSite:
+    """Select an assignment site; *nth* may be negative (from the end)."""
+    matches = [
+        site
+        for site in compiled.debug.assignments
+        if (function is None or site.function == function)
+        and (target is None or site.target == target)
+        and (kind is None or site.kind == kind)
+        and (line is None or site.line == line)
+    ]
+    return _pick(matches, nth, f"assignment ({function}/{target}/{kind})")
+
+
+def find_check(
+    compiled: CompiledProgram,
+    *,
+    function: str | None = None,
+    op: str | None = None,
+    context: str | None = None,
+    line: int | None = None,
+    nth: int = 0,
+) -> CheckSite:
+    """Select a checking site; *nth* may be negative (from the end)."""
+    matches = [
+        site
+        for site in compiled.debug.checks
+        if (function is None or site.function == function)
+        and (op is None or site.op == op)
+        and (context is None or site.context == context)
+        and (line is None or site.line == line)
+    ]
+    return _pick(matches, nth, f"check ({function}/{op})")
+
+
+# ---------------------------------------------------------------------------
+# emulation strategies
+# ---------------------------------------------------------------------------
+
+class EmulationStrategy:
+    """Builds the fault specs that emulate one real fault on the corrected binary."""
+
+    #: how many hardware breakpoints the emulation needs in breakpoint mode
+    def build(self, corrected: CompiledProgram, *, mode: str = "breakpoint") -> list[FaultSpec]:
+        raise NotImplementedError  # pragma: no cover
+
+    def describe(self) -> str:
+        raise NotImplementedError  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class ValueDeltaEmulation(EmulationStrategy):
+    """Corrupt the value stored by one assignment by a constant delta."""
+
+    function: str
+    target: str
+    delta: int
+    kind: str | None = None
+    nth: int = 0
+
+    def build(self, corrected: CompiledProgram, *, mode: str = "breakpoint") -> list[FaultSpec]:
+        site = find_assignment(
+            corrected, function=self.function, target=self.target, kind=self.kind, nth=self.nth
+        )
+        assert site.address is not None
+        spec = FaultSpec(
+            fault_id=f"emulate:{corrected.name}:{self.describe()}",
+            trigger=OpcodeFetch(site.address),
+            actions=(Action(StoreValue(), Arithmetic(self.delta)),),
+            when=WhenPolicy.every(),
+            mode=mode,
+        )
+        return [spec.with_metadata(strategy="value-delta", target=self.target)]
+
+    def describe(self) -> str:
+        return f"{self.function}:{self.target} value{self.delta:+d}"
+
+
+@dataclass(frozen=True)
+class OperatorSwapEmulation(EmulationStrategy):
+    """Swap a relational operator in one checking statement."""
+
+    function: str
+    from_op: str
+    to_op: str
+    nth: int = 0
+    line: int | None = None
+
+    def build(self, corrected: CompiledProgram, *, mode: str = "breakpoint") -> list[FaultSpec]:
+        site = find_check(
+            corrected, function=self.function, op=self.from_op, nth=self.nth, line=self.line
+        )
+        assert site.address is not None
+        new_cond = REL_COND[self.to_op]
+        spec = FaultSpec(
+            fault_id=f"emulate:{corrected.name}:{self.describe()}",
+            trigger=OpcodeFetch(site.address),
+            actions=(Action(FetchedWord(), PatchField(21, 5, new_cond)),),
+            when=WhenPolicy.every(),
+            mode=mode,
+        )
+        return [spec.with_metadata(strategy="operator-swap",
+                                   swap=f"{self.from_op}->{self.to_op}")]
+
+    def describe(self) -> str:
+        return f"{self.function}: {self.from_op} -> {self.to_op}"
+
+
+@dataclass(frozen=True)
+class StackShiftEmulation(EmulationStrategy):
+    """Shift every frame reference to one local variable by *delta* bytes.
+
+    ``mode="breakpoint"``: one FaultSpec per referencing instruction, each
+    needing its own instruction-address breakpoint — arming fails when the
+    references outnumber the two IABRs (the paper's §5 finding B).
+
+    ``mode="trap"``: same per-reference specs via inserted trap
+    instructions — works, but intrusive.
+
+    ``mode="memory"``: a single spec whose trigger is the first reference
+    and whose actions patch *all* referencing instructions in memory — the
+    tool extension the paper proposes.
+    """
+
+    function: str
+    var: str
+    delta: int
+
+    def _reference_sites(self, corrected: CompiledProgram):
+        refs = corrected.debug.refs_for(self.function, self.var)
+        if not refs:
+            raise SiteNotFound(
+                f"no references to {self.function}:{self.var} in {corrected.name}"
+            )
+        return refs
+
+    def _patched_word(self, corrected: CompiledProgram, address: int) -> int:
+        code = corrected.executable.code
+        offset = address - corrected.executable.code_base
+        word = int.from_bytes(code[offset : offset + 4], "big")
+        displacement = word & 0xFFFF
+        if displacement >= 0x8000:
+            displacement -= 0x10000
+        new_displacement = displacement + self.delta
+        if not -0x8000 <= new_displacement <= 0x7FFF:
+            raise NotEmulableError("shifted frame displacement out of range")
+        return (word & ~0xFFFF) | (new_displacement & 0xFFFF)
+
+    def build(self, corrected: CompiledProgram, *, mode: str = "breakpoint") -> list[FaultSpec]:
+        refs = self._reference_sites(corrected)
+        if mode == "memory":
+            actions = []
+            for ref in refs:
+                assert ref.address is not None
+                actions.append(
+                    Action(
+                        CodeWord(ref.address),
+                        # SetValue of the fully patched word
+                        _set_word(self._patched_word(corrected, ref.address)),
+                    )
+                )
+            first = min(ref.address for ref in refs if ref.address is not None)
+            spec = FaultSpec(
+                fault_id=f"emulate:{corrected.name}:{self.describe()}",
+                trigger=OpcodeFetch(first),
+                actions=tuple(actions),
+                when=WhenPolicy.every(),  # idempotent patches
+                mode="breakpoint",        # a single trigger: one IABR suffices
+            )
+            return [spec.with_metadata(strategy="stack-shift", flavour="memory-patch",
+                                       references=len(refs))]
+        specs = []
+        for position, ref in enumerate(refs):
+            assert ref.address is not None
+            spec = FaultSpec(
+                fault_id=(
+                    f"emulate:{corrected.name}:{self.describe()}#ref{position}"
+                ),
+                trigger=OpcodeFetch(ref.address),
+                actions=(
+                    Action(
+                        FetchedWord(),
+                        _set_word(self._patched_word(corrected, ref.address)),
+                    ),
+                ),
+                when=WhenPolicy.every(),
+                mode=mode,
+            )
+            specs.append(
+                spec.with_metadata(strategy="stack-shift", flavour=mode,
+                                   references=len(refs))
+            )
+        return specs
+
+    def describe(self) -> str:
+        return f"{self.function}:{self.var} shift{self.delta:+d}"
+
+
+def _set_word(word: int):
+    from ..swifi.faults import SetValue
+
+    return SetValue(word)
+
+
+@dataclass(frozen=True)
+class NoEmulation(EmulationStrategy):
+    """Algorithm/function faults: raise with the structural evidence."""
+
+    reason: str
+    function: str | None = None
+
+    def build(self, corrected: CompiledProgram, *, mode: str = "breakpoint") -> list[FaultSpec]:
+        evidence: dict[str, object] = {}
+        if self.function and self.function in corrected.debug.functions:
+            info = corrected.debug.functions[self.function]
+            evidence["corrected_instructions"] = (
+                (info.end_index - info.start_index)
+            )
+            evidence["corrected_frame_size"] = info.frame_size
+        raise NotEmulableError(self.reason, evidence)
+
+    def describe(self) -> str:
+        return f"not emulable: {self.reason}"
+
+
+# ---------------------------------------------------------------------------
+# the real-fault record
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RealFault:
+    """One §5 real software fault (a faulty/corrected program pair)."""
+
+    fault_id: str                 # e.g. "C.team4"
+    program: str                  # workload family member carrying this fault
+    odc_type: DefectType
+    source_change: str            # the change that corrects the fault
+    paper_figure: str | None
+    strategy: EmulationStrategy
+    notes: str = ""
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def emulable_in_principle(self) -> bool:
+        return not isinstance(self.strategy, NoEmulation)
+
+    def build_emulation(
+        self, corrected: CompiledProgram, *, mode: str = "breakpoint"
+    ) -> list[FaultSpec]:
+        return self.strategy.build(corrected, mode=mode)
+
+
+StrategyFactory = Callable[[], EmulationStrategy]

@@ -1,0 +1,112 @@
+"""Rule-based error-set generation (§6.3) — the Christmansson/Chillarege-
+style rules evaluated by the paper.
+
+The five-step procedure, as the paper lists it:
+
+1. identify all possible fault locations (assignment / checking
+   statements, anchored at the assembly level via the compiler's symbol
+   information);
+2. choose some locations at random (the **where** parameter);
+3. at each location, take every applicable error type from Table 3 (the
+   **what** parameter);
+4. use the located instruction itself as the trigger (the **which**
+   parameter);
+5. insert the fault on every execution of the trigger (the **when**
+   parameter).
+
+:func:`generate_error_set` performs steps 1–5 for one program and one
+fault class and reports the same bookkeeping as the paper's Table 4:
+possible locations, chosen locations, and the resulting number of injected
+faults (``len(faults) × number of input data sets``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..lang.compiler import CompiledProgram
+from ..swifi.faults import FaultSpec
+from .locator import STRATEGY_DATABUS, FaultLocation, FaultLocator
+from .operators import ASSIGNMENT_CLASS, CHECKING_CLASS
+
+
+@dataclass
+class GeneratedErrorSet:
+    """The output of the rule engine for one (program, fault class) pair."""
+
+    program: str
+    klass: str
+    possible_locations: int
+    chosen_locations: int
+    faults: list[FaultSpec] = field(default_factory=list)
+    locations: list[FaultLocation] = field(default_factory=list)
+
+    def injected_faults(self, runs_per_fault: int) -> int:
+        """Table 4's 'Injected faults (all error types)' column."""
+        return len(self.faults) * runs_per_fault
+
+
+def generate_error_set(
+    compiled: CompiledProgram,
+    klass: str,
+    *,
+    max_locations: int,
+    rng: random.Random,
+    strategy: str = STRATEGY_DATABUS,
+    mode: str = "breakpoint",
+    truth_on_all: bool = False,
+) -> GeneratedErrorSet:
+    """Apply the §6.3 rules to one program for one fault class."""
+    if klass not in (ASSIGNMENT_CLASS, CHECKING_CLASS):
+        raise ValueError(f"unknown fault class {klass!r}")
+    locator = FaultLocator(compiled, truth_on_all=truth_on_all)
+    all_locations = locator.locations(klass)                       # step 1
+    count = min(max_locations, len(all_locations))
+    chosen = sorted(
+        rng.sample(all_locations, count),                          # step 2
+        key=lambda location: (location.function, location.line, location.address),
+    )
+    faults: list[FaultSpec] = []
+    for location in chosen:                                        # steps 3-5
+        faults.extend(
+            locator.faults_for_location(location, rng=rng, strategy=strategy, mode=mode)
+        )
+    return GeneratedErrorSet(
+        program=compiled.name,
+        klass=klass,
+        possible_locations=len(all_locations),
+        chosen_locations=count,
+        faults=faults,
+        locations=chosen,
+    )
+
+
+def generate_both_classes(
+    compiled: CompiledProgram,
+    *,
+    max_assignment_locations: int,
+    max_checking_locations: int,
+    rng: random.Random,
+    strategy: str = STRATEGY_DATABUS,
+    mode: str = "breakpoint",
+) -> dict[str, GeneratedErrorSet]:
+    """Both Table-4 rows (assignment and checking) for one program."""
+    return {
+        ASSIGNMENT_CLASS: generate_error_set(
+            compiled,
+            ASSIGNMENT_CLASS,
+            max_locations=max_assignment_locations,
+            rng=rng,
+            strategy=strategy,
+            mode=mode,
+        ),
+        CHECKING_CLASS: generate_error_set(
+            compiled,
+            CHECKING_CLASS,
+            max_locations=max_checking_locations,
+            rng=rng,
+            strategy=strategy,
+            mode=mode,
+        ),
+    }

@@ -1,0 +1,69 @@
+"""Experiment drivers: one per table/figure of the paper (see DESIGN.md §4)."""
+
+from .ablations import (
+    HardwareComparisonResult,
+    MetricGuidanceResult,
+    TriggerAblationResult,
+    run_hardware_comparison,
+    run_metric_guidance,
+    run_trigger_ablation,
+)
+from .campaign6 import ProgramCampaign, Section6Results, run_section6
+from .config import (
+    PAPER_RUNS_PER_FAULT,
+    PAPER_TABLE1,
+    PAPER_TABLE1_RUNS,
+    PAPER_TABLE4,
+    PAPER_TOTAL_INJECTED,
+    ExperimentConfig,
+)
+from .exposure import ExposureResult, ExposureRow, run_exposure
+from .figures import FigureResult, fig7, fig8, fig9, fig10
+from .sec5 import CATEGORY_A, CATEGORY_B, CATEGORY_C, Sec5Result, Sec5Row, run_sec5
+from .table1 import Table1Result, Table1Row, run_table1
+from .table2 import Table2Result, Table2Row, run_table2
+from .table3 import Table3Result, run_table3
+from .table4 import Table4Result, Table4Row, run_table4
+
+__all__ = [
+    "HardwareComparisonResult",
+    "MetricGuidanceResult",
+    "TriggerAblationResult",
+    "run_hardware_comparison",
+    "run_metric_guidance",
+    "run_trigger_ablation",
+    "ProgramCampaign",
+    "Section6Results",
+    "run_section6",
+    "PAPER_RUNS_PER_FAULT",
+    "PAPER_TABLE1",
+    "PAPER_TABLE1_RUNS",
+    "PAPER_TABLE4",
+    "PAPER_TOTAL_INJECTED",
+    "ExperimentConfig",
+    "ExposureResult",
+    "ExposureRow",
+    "run_exposure",
+    "FigureResult",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "CATEGORY_A",
+    "CATEGORY_B",
+    "CATEGORY_C",
+    "Sec5Result",
+    "Sec5Row",
+    "run_sec5",
+    "Table1Result",
+    "Table1Row",
+    "run_table1",
+    "Table2Result",
+    "Table2Row",
+    "run_table2",
+    "Table3Result",
+    "run_table3",
+    "Table4Result",
+    "Table4Row",
+    "run_table4",
+]

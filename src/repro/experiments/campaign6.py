@@ -1,0 +1,188 @@
+"""§6 — the class-emulation injection campaigns behind Figures 7-10.
+
+One campaign = one Table-2 program × one fault class: the §6.3 rules
+generate the error set, every fault runs against every input data set of
+the family test case (same inputs across all programs of a family, as in
+the paper), the machine is rebooted between runs, and outcomes are
+classified into the four failure modes.
+
+The aggregations match the paper's figures:
+
+* :meth:`Section6Results.series_by_program` — Figures 7 and 8;
+* :meth:`Section6Results.series_by_error_label` — Figures 9 and 10.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+from ..emulation.operators import ASSIGNMENT_CLASS, CHECKING_CLASS
+from ..emulation.rules import generate_error_set
+from ..swifi.campaign import CampaignRunner, RunRecord
+from ..swifi.outcomes import MODE_ORDER, FailureMode
+from ..workloads import table2_workloads
+from .config import ExperimentConfig
+
+FAULT_CLASSES = (ASSIGNMENT_CLASS, CHECKING_CLASS)
+
+
+@dataclass
+class ProgramCampaign:
+    program: str
+    klass: str
+    possible_locations: int
+    chosen_locations: int
+    fault_count: int
+    records: list[RunRecord] = field(default_factory=list)
+
+
+@dataclass
+class Section6Results:
+    campaigns: list[ProgramCampaign] = field(default_factory=list)
+
+    # -- record access ----------------------------------------------------
+
+    def records(self, klass: str | None = None,
+                program: str | None = None) -> list[RunRecord]:
+        out: list[RunRecord] = []
+        for campaign in self.campaigns:
+            if klass is not None and campaign.klass != klass:
+                continue
+            if program is not None and campaign.program != program:
+                continue
+            out.extend(campaign.records)
+        return out
+
+    @property
+    def total_runs(self) -> int:
+        return sum(len(campaign.records) for campaign in self.campaigns)
+
+    # -- aggregations ------------------------------------------------------
+
+    @staticmethod
+    def _percentages(records: list[RunRecord]) -> dict[FailureMode, float]:
+        total = len(records) or 1
+        return {
+            mode: 100.0 * sum(1 for r in records if r.mode == mode) / total
+            for mode in MODE_ORDER
+        }
+
+    def series_by_program(self, klass: str) -> dict[str, dict[FailureMode, float]]:
+        """Figure 7 (assignment) / Figure 8 (checking) data."""
+        series = {}
+        for campaign in self.campaigns:
+            if campaign.klass != klass:
+                continue
+            series.setdefault(campaign.program, [])
+            series[campaign.program].extend(campaign.records)
+        return {program: self._percentages(records) for program, records in series.items()}
+
+    def series_by_error_label(self, klass: str) -> dict[str, dict[FailureMode, float]]:
+        """Figure 9 (assignment) / Figure 10 (checking) data."""
+        by_label: dict[str, list[RunRecord]] = {}
+        for record in self.records(klass=klass):
+            label = str(record.meta.get("error_label"))
+            by_label.setdefault(label, []).append(record)
+        return {label: self._percentages(records) for label, records in by_label.items()}
+
+    def activated_fraction(self, klass: str | None = None) -> float:
+        """Share of runs in which the fault trigger actually fired."""
+        records = self.records(klass=klass)
+        if not records:
+            return 0.0
+        return sum(1 for r in records if r.injections > 0) / len(records)
+
+    def correct_with_activation_fraction(self, klass: str | None = None) -> float:
+        """Share of runs that were Correct although the error was injected.
+
+        The paper highlights these: "when the result of the programs is
+        correct the faulty code ... has been executed.  Thus, the reasons
+        why the error generated did not affect the results are related to
+        the input data sets."
+        """
+        records = self.records(klass=klass)
+        correct = [r for r in records if r.mode == FailureMode.CORRECT]
+        if not correct:
+            return 0.0
+        return sum(1 for r in correct if r.injections > 0) / len(correct)
+
+    # -- persistence --------------------------------------------------------
+
+    def to_json(self, path: str) -> None:
+        payload = [
+            {
+                "program": campaign.program,
+                "klass": campaign.klass,
+                "possible": campaign.possible_locations,
+                "chosen": campaign.chosen_locations,
+                "faults": campaign.fault_count,
+                "records": [record.to_dict() for record in campaign.records],
+            }
+            for campaign in self.campaigns
+        ]
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+    @staticmethod
+    def from_json(path: str) -> "Section6Results":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        results = Section6Results()
+        for entry in payload:
+            results.campaigns.append(
+                ProgramCampaign(
+                    program=entry["program"],
+                    klass=entry["klass"],
+                    possible_locations=entry["possible"],
+                    chosen_locations=entry["chosen"],
+                    fault_count=entry["faults"],
+                    records=[RunRecord.from_dict(r) for r in entry["records"]],
+                )
+            )
+        return results
+
+
+def run_section6(
+    config: ExperimentConfig | None = None,
+    *,
+    programs: list[str] | None = None,
+    classes: tuple[str, ...] = FAULT_CLASSES,
+    strategy: str = "databus",
+    progress=None,
+) -> Section6Results:
+    """Run the §6 campaigns over the Table-2 programs."""
+    config = config or ExperimentConfig()
+    results = Section6Results()
+    for workload in table2_workloads():
+        if programs is not None and workload.name not in programs:
+            continue
+        compiled = workload.compiled()
+        cases = workload.make_cases(config.campaign_inputs, seed=config.seed + 17)
+        runner = CampaignRunner(
+            compiled,
+            cases,
+            num_cores=workload.num_cores,
+            budget_factor=config.budget_factor,
+        )
+        rng = random.Random(config.seed + 31)
+        for klass in classes:
+            error_set = generate_error_set(
+                compiled,
+                klass,
+                max_locations=config.chosen_locations(workload.name, klass),
+                rng=rng,
+                strategy=strategy,
+            )
+            campaign = ProgramCampaign(
+                program=workload.name,
+                klass=klass,
+                possible_locations=error_set.possible_locations,
+                chosen_locations=error_set.chosen_locations,
+                fault_count=len(error_set.faults),
+            )
+            outcome = runner.run(error_set.faults, progress=progress)
+            campaign.records = outcome.records
+            results.campaigns.append(campaign)
+    return results

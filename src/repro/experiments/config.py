@@ -1,0 +1,120 @@
+"""Experiment scaling configuration.
+
+The paper's campaigns are large: >10,000 runs per program for Table 1 and
+108,600 injection runs for Figures 7-10, executed on real hardware.  Our
+target machine is a Python-interpreted simulator, so every experiment
+driver takes an :class:`ExperimentConfig` whose defaults regenerate every
+table and figure at a reduced-but-faithful scale (percentages are stable
+well below the paper's N), and whose knobs scale up to the paper's full
+counts (``ExperimentConfig.paper_scale()``).
+
+Environment overrides (picked up by :meth:`ExperimentConfig.from_env`):
+
+=================  =================================================
+``REPRO_SCALE``    multiply every run count (default 1.0)
+``REPRO_SEED``     master RNG seed (default 2000)
+=================  =================================================
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+#: Paper Table 4 — (possible, chosen) locations per program and fault class,
+#: plus the published injected-fault counts, used for side-by-side columns.
+PAPER_TABLE4: dict[str, dict[str, tuple[int, int, int]]] = {
+    # program: {class: (possible, chosen, injected)}
+    "C.team1": {"assignment": (92, 8, 9600), "checking": (49, 8, 4800)},
+    "C.team2": {"assignment": (63, 5, 6000), "checking": (45, 6, 7800)},
+    "C.team8": {"assignment": (84, 8, 9300), "checking": (31, 9, 3300)},
+    "C.team9": {"assignment": (87, 9, 10800), "checking": (53, 9, 3300)},
+    "C.team10": {"assignment": (88, 9, 10800), "checking": (43, 8, 4200)},
+    "JB.team6": {"assignment": (29, 5, 6000), "checking": (10, 5, 3300)},
+    "JB.team11": {"assignment": (21, 5, 5700), "checking": (11, 5, 2100)},
+    "SOR": {"assignment": (363, 12, 14400), "checking": (195, 12, 7200)},
+}
+
+#: Paper Table 1 — % wrong results of the real faults under intensive testing.
+PAPER_TABLE1: dict[str, float] = {
+    "C.team1": 7.3,
+    "C.team2": 16.9,
+    "C.team3": 1.0,
+    "C.team4": 30.8,
+    "C.team5": 2.9,
+    "JB.team6": 0.05,
+    "JB.team7": 1.8,
+}
+
+PAPER_RUNS_PER_FAULT = 300       # §6.2: 300 input data sets per test case
+PAPER_TABLE1_RUNS = 10_000       # §5: "more than 10.000 runs for each program"
+PAPER_TOTAL_INJECTED = 108_600   # §6.3
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    seed: int = 2000
+    # -- Table 1 (real-fault failure symptoms) --------------------------
+    table1_runs_camelot: int = 60
+    table1_runs_jamesb: int = 1500
+    # -- §5 (emulation of the specific real faults) ---------------------
+    sec5_inputs: int = 8
+    # -- §6 campaigns (Figures 7-10, Table 4) ---------------------------
+    campaign_inputs: int = 4          # paper: 300
+    location_fraction: float = 0.4    # of the paper's chosen-location counts
+    min_locations: int = 2
+    budget_factor: int = 8            # hang timeout = factor x fault-free run
+    # -- ablations -------------------------------------------------------
+    ablation_inputs: int = 4
+    ablation_faults: int = 6
+
+    def chosen_locations(self, program: str, klass: str) -> int:
+        """Scaled version of the paper's per-program chosen-location count."""
+        paper = PAPER_TABLE4.get(program)
+        paper_chosen = paper[klass][1] if paper else 8
+        return max(self.min_locations, round(paper_chosen * self.location_fraction))
+
+    def scaled(self, factor: float) -> "ExperimentConfig":
+        return replace(
+            self,
+            table1_runs_camelot=max(5, round(self.table1_runs_camelot * factor)),
+            table1_runs_jamesb=max(50, round(self.table1_runs_jamesb * factor)),
+            sec5_inputs=max(2, round(self.sec5_inputs * factor)),
+            campaign_inputs=max(2, round(self.campaign_inputs * factor)),
+            location_fraction=min(1.0, self.location_fraction * factor),
+            ablation_inputs=max(2, round(self.ablation_inputs * factor)),
+        )
+
+    @classmethod
+    def paper_scale(cls) -> "ExperimentConfig":
+        """The full published experiment sizes (hours of CPU on this simulator)."""
+        return cls(
+            table1_runs_camelot=PAPER_TABLE1_RUNS,
+            table1_runs_jamesb=PAPER_TABLE1_RUNS,
+            sec5_inputs=100,
+            campaign_inputs=PAPER_RUNS_PER_FAULT,
+            location_fraction=1.0,
+            min_locations=5,
+            budget_factor=15,
+        )
+
+    @classmethod
+    def tiny(cls) -> "ExperimentConfig":
+        """Fast settings for the test suite."""
+        return cls(
+            table1_runs_camelot=6,
+            table1_runs_jamesb=120,
+            sec5_inputs=3,
+            campaign_inputs=2,
+            location_fraction=0.15,
+            budget_factor=6,
+        )
+
+    @classmethod
+    def from_env(cls) -> "ExperimentConfig":
+        seed = int(os.environ.get("REPRO_SEED", "2000"))
+        scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+        config = cls(seed=seed)
+        if scale != 1.0:
+            config = config.scaled(scale)
+        return config

@@ -1,0 +1,99 @@
+"""Figures 7-10 — failure-mode charts from the §6 campaigns.
+
+* Figure 7 — failure modes per program, assignment faults;
+* Figure 8 — failure modes per program, checking faults;
+* Figure 9 — failure modes per error type, assignment faults;
+* Figure 10 — failure modes per error type, checking faults.
+
+Each driver slices one shared :class:`Section6Results`, renders the
+stacked bars, and exposes the shape metrics the paper's discussion rests
+on (dispersion across error types, crash share of the dynamic-structure
+program, hang+crash share of the JamesB programs, …).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.figures import render_stacked_bars, series_to_jsonable
+from ..analysis.stats import dispersion, max_pairwise_distance
+from ..emulation.operators import ASSIGNMENT_CLASS, CHECKING_CLASS
+from ..swifi.outcomes import FailureMode
+from ..workloads import TABLE2_ORDER
+from .campaign6 import Section6Results
+
+
+@dataclass
+class FigureResult:
+    figure: str
+    title: str
+    klass: str
+    series: dict[str, dict[FailureMode, float]]
+    order: list[str]
+
+    def render(self) -> str:
+        return render_stacked_bars(self.series, title=self.title, order=self.order)
+
+    def jsonable(self) -> dict:
+        return {
+            "figure": self.figure,
+            "title": self.title,
+            "series": series_to_jsonable(self.series),
+        }
+
+    def dispersion(self) -> float:
+        return dispersion(self.series)
+
+    def max_pairwise_distance(self) -> float:
+        return max_pairwise_distance(self.series)
+
+    def share(self, label: str, mode: FailureMode) -> float:
+        return self.series.get(label, {}).get(mode, 0.0)
+
+
+def _program_order(series: dict) -> list[str]:
+    return [name for name in TABLE2_ORDER if name in series]
+
+
+def fig7(results: Section6Results) -> FigureResult:
+    series = results.series_by_program(ASSIGNMENT_CLASS)
+    return FigureResult(
+        figure="Figure 7",
+        title="Figure 7 - Failure modes per program (assignment faults)",
+        klass=ASSIGNMENT_CLASS,
+        series=series,
+        order=_program_order(series),
+    )
+
+
+def fig8(results: Section6Results) -> FigureResult:
+    series = results.series_by_program(CHECKING_CLASS)
+    return FigureResult(
+        figure="Figure 8",
+        title="Figure 8 - Failure modes per program (checking faults)",
+        klass=CHECKING_CLASS,
+        series=series,
+        order=_program_order(series),
+    )
+
+
+def fig9(results: Section6Results) -> FigureResult:
+    series = results.series_by_error_label(ASSIGNMENT_CLASS)
+    return FigureResult(
+        figure="Figure 9",
+        title="Figure 9 - Failure modes per error type (assignment faults)",
+        klass=ASSIGNMENT_CLASS,
+        series=series,
+        order=sorted(series),
+    )
+
+
+def fig10(results: Section6Results) -> FigureResult:
+    series = results.series_by_error_label(CHECKING_CLASS)
+    return FigureResult(
+        figure="Figure 10",
+        title="Figure 10 - Failure modes per error type (checking faults)",
+        klass=CHECKING_CLASS,
+        series=series,
+        order=sorted(series),
+    )

@@ -1,0 +1,111 @@
+"""Table 4 — possible/chosen fault locations and injected-fault counts.
+
+This is pure fault-definition work (no execution): run the §6.3 rules on
+every Table-2 program, count the possible locations the locator finds,
+the randomly chosen subset, and the resulting faults; the injected-fault
+count is ``faults × runs-per-fault`` (300 in the paper).  The paper's own
+numbers are shown alongside.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..analysis.tables import render_table
+from ..emulation.operators import ASSIGNMENT_CLASS, CHECKING_CLASS
+from ..emulation.rules import GeneratedErrorSet, generate_error_set
+from ..workloads import table2_workloads
+from .config import PAPER_RUNS_PER_FAULT, PAPER_TABLE4, ExperimentConfig
+
+
+@dataclass
+class Table4Row:
+    program: str
+    klass: str
+    possible: int
+    chosen: int
+    faults: int
+    runs_per_fault: int
+    paper_possible: int
+    paper_chosen: int
+    paper_injected: int
+
+    @property
+    def injected(self) -> int:
+        return self.faults * self.runs_per_fault
+
+
+@dataclass
+class Table4Result:
+    rows: list[Table4Row] = field(default_factory=list)
+    error_sets: dict[tuple[str, str], GeneratedErrorSet] = field(default_factory=dict)
+
+    def total_injected(self) -> int:
+        return sum(row.injected for row in self.rows)
+
+    def render(self) -> str:
+        table_rows = []
+        for row in self.rows:
+            table_rows.append(
+                [
+                    row.program,
+                    row.klass,
+                    row.possible,
+                    row.chosen,
+                    row.injected,
+                    row.paper_possible,
+                    row.paper_chosen,
+                    row.paper_injected,
+                ]
+            )
+        rendered = render_table(
+            ["Program", "Class", "Possible", "Chosen", "Injected",
+             "Paper possible", "Paper chosen", "Paper injected"],
+            table_rows,
+            title="Table 4 - Injected faults",
+        )
+        return (
+            rendered
+            + f"\n\nTotal injected faults: {self.total_injected():,}"
+            + " (paper: 108,600)"
+        )
+
+
+def run_table4(config: ExperimentConfig | None = None,
+               runs_per_fault: int | None = None) -> Table4Result:
+    """Run the fault-definition rules for every Table-2 program.
+
+    *runs_per_fault* defaults to the paper's 300 so the injected-fault
+    column is directly comparable; campaigns that actually execute use
+    ``config.campaign_inputs`` runs instead.
+    """
+    config = config or ExperimentConfig()
+    runs = runs_per_fault if runs_per_fault is not None else PAPER_RUNS_PER_FAULT
+    result = Table4Result()
+    rng = random.Random(config.seed)
+    for workload in table2_workloads():
+        compiled = workload.compiled()
+        for klass in (ASSIGNMENT_CLASS, CHECKING_CLASS):
+            error_set = generate_error_set(
+                compiled,
+                klass,
+                max_locations=config.chosen_locations(workload.name, klass),
+                rng=rng,
+            )
+            paper = PAPER_TABLE4[workload.name][klass]
+            result.error_sets[(workload.name, klass)] = error_set
+            result.rows.append(
+                Table4Row(
+                    program=workload.name,
+                    klass=klass,
+                    possible=error_set.possible_locations,
+                    chosen=error_set.chosen_locations,
+                    faults=len(error_set.faults),
+                    runs_per_fault=runs,
+                    paper_possible=paper[0],
+                    paper_chosen=paper[1],
+                    paper_injected=paper[2],
+                )
+            )
+    return result

@@ -1,0 +1,88 @@
+"""RX32 instruction-set architecture: encoding, assembler, disassembler.
+
+RX32 is the simulated 32-bit RISC target of this reproduction, standing in
+for the PowerPC 601 of the paper's Parsytec PowerXplorer.  See
+``DESIGN.md`` for the substitution rationale.
+"""
+
+from . import instructions as ins
+from .assembler import AssembledProgram, Assembler, AssemblyError, assemble_text
+from .disassembler import DisassembledLine, disassemble, disassemble_word, listing
+from .encoding import (
+    COND_ALWAYS,
+    COND_BY_NAME,
+    COND_EQ,
+    COND_GE,
+    COND_GT,
+    COND_LE,
+    COND_LT,
+    COND_NAMES,
+    COND_NE,
+    COND_NEGATION,
+    INSTRUCTION_BYTES,
+    MNEMONICS,
+    NOP_WORD,
+    DecodingError,
+    EncodingError,
+    Instruction,
+    decode,
+    sign_extend,
+    try_decode,
+)
+from .registers import (
+    ARG_REGISTERS,
+    CR_EQ,
+    CR_GT,
+    CR_LT,
+    EVAL_POOL,
+    MAX_REG_ARGS,
+    NUM_REGISTERS,
+    RET,
+    SP,
+    ZERO,
+    parse_register,
+    register_name,
+)
+
+__all__ = [
+    "ins",
+    "AssembledProgram",
+    "Assembler",
+    "AssemblyError",
+    "assemble_text",
+    "DisassembledLine",
+    "disassemble",
+    "disassemble_word",
+    "listing",
+    "COND_ALWAYS",
+    "COND_BY_NAME",
+    "COND_EQ",
+    "COND_GE",
+    "COND_GT",
+    "COND_LE",
+    "COND_LT",
+    "COND_NAMES",
+    "COND_NE",
+    "COND_NEGATION",
+    "INSTRUCTION_BYTES",
+    "MNEMONICS",
+    "NOP_WORD",
+    "DecodingError",
+    "EncodingError",
+    "Instruction",
+    "decode",
+    "sign_extend",
+    "try_decode",
+    "ARG_REGISTERS",
+    "CR_EQ",
+    "CR_GT",
+    "CR_LT",
+    "EVAL_POOL",
+    "MAX_REG_ARGS",
+    "NUM_REGISTERS",
+    "RET",
+    "SP",
+    "ZERO",
+    "parse_register",
+    "register_name",
+]

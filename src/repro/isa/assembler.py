@@ -1,0 +1,271 @@
+"""Two-pass assembler for RX32.
+
+Two entry points:
+
+* :class:`Assembler` — a programmatic builder used by the MiniC code
+  generator and the runtime: emit instructions and labels, then
+  :meth:`Assembler.assemble` resolves branch targets and packs words.
+* :func:`assemble_text` — a small text-syntax assembler used by tests,
+  examples and hand-written snippets.
+
+Branch displacements are encoded in *words* relative to the branch
+instruction itself (the CPU adds ``offset * 4`` to the branch's own PC).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from . import instructions as ins
+from .encoding import (
+    COND_BY_NAME,
+    FORM_BY_MNEMONIC,
+    INSTRUCTION_BYTES,
+    Instruction,
+)
+from .registers import parse_register
+
+
+class AssemblyError(ValueError):
+    """Raised for undefined/duplicate labels or malformed assembly text."""
+
+
+@dataclass
+class _Fixup:
+    index: int  # word index of the branch instruction
+    mnemonic: str
+    cond: int | None
+    label: str
+
+
+@dataclass
+class AssembledProgram:
+    """The output of assembly: raw code plus a symbol table."""
+
+    base: int
+    words: list[int]
+    symbols: dict[str, int]  # label -> absolute byte address
+
+    @property
+    def code(self) -> bytes:
+        return struct.pack(f">{len(self.words)}I", *self.words)
+
+    def address_of(self, label: str) -> int:
+        try:
+            return self.symbols[label]
+        except KeyError:
+            raise AssemblyError(f"undefined symbol: {label!r}") from None
+
+
+class Assembler:
+    """Accumulates instructions and labels; resolves branches on assembly."""
+
+    def __init__(self) -> None:
+        self._items: list[Instruction | None] = []
+        self._fixups: list[_Fixup] = []
+        self._labels: dict[str, int] = {}  # label -> word index
+        self._label_counter = 0
+
+    # -- building ---------------------------------------------------------
+
+    @property
+    def position(self) -> int:
+        """Current word index (the index the next emitted word will get)."""
+        return len(self._items)
+
+    def emit(self, instruction: Instruction | list[Instruction]) -> int:
+        """Append one instruction (or an expansion list); return its index."""
+        index = len(self._items)
+        if isinstance(instruction, list):
+            self._items.extend(instruction)
+        else:
+            self._items.append(instruction)
+        return index
+
+    def label(self, name: str) -> None:
+        """Bind *name* to the current position."""
+        if name in self._labels:
+            raise AssemblyError(f"duplicate label: {name!r}")
+        self._labels[name] = len(self._items)
+
+    def new_label(self, prefix: str = "L") -> str:
+        self._label_counter += 1
+        return f".{prefix}{self._label_counter}"
+
+    def emit_branch(self, label: str) -> int:
+        """Emit an unconditional branch to *label* (fixed up on assemble)."""
+        return self._emit_fixup("b", None, label)
+
+    def emit_call(self, label: str) -> int:
+        """Emit a ``bl`` (call) to *label*."""
+        return self._emit_fixup("bl", None, label)
+
+    def emit_cond_branch(self, cond: int | str, label: str) -> int:
+        """Emit a conditional branch; *cond* is a code or name like ``"ge"``."""
+        if isinstance(cond, str):
+            cond = COND_BY_NAME[cond]
+        return self._emit_fixup("bc", cond, label)
+
+    def patch(self, index: int, instruction: Instruction) -> None:
+        """Replace a previously emitted instruction (e.g. a frame-size stub)."""
+        if not 0 <= index < len(self._items):
+            raise AssemblyError(f"patch index out of range: {index}")
+        self._items[index] = instruction
+
+    def _emit_fixup(self, mnemonic: str, cond: int | None, label: str) -> int:
+        index = len(self._items)
+        self._items.append(None)  # placeholder, patched in assemble()
+        self._fixups.append(_Fixup(index, mnemonic, cond, label))
+        return index
+
+    # -- assembling -------------------------------------------------------
+
+    def assemble(self, base: int = 0) -> AssembledProgram:
+        """Resolve labels and produce the final program at byte address *base*."""
+        items = list(self._items)
+        for fixup in self._fixups:
+            try:
+                target = self._labels[fixup.label]
+            except KeyError:
+                raise AssemblyError(f"undefined label: {fixup.label!r}") from None
+            offset = target - fixup.index
+            if fixup.mnemonic == "b":
+                items[fixup.index] = ins.b(offset)
+            elif fixup.mnemonic == "bl":
+                items[fixup.index] = ins.bl(offset)
+            else:
+                assert fixup.cond is not None
+                items[fixup.index] = ins.bc(fixup.cond, offset)
+        words = []
+        for index, item in enumerate(items):
+            if item is None:  # pragma: no cover - fixups fill every hole
+                raise AssemblyError(f"unresolved placeholder at word {index}")
+            words.append(item.encode())
+        symbols = {
+            name: base + index * INSTRUCTION_BYTES for name, index in self._labels.items()
+        }
+        return AssembledProgram(base=base, words=words, symbols=symbols)
+
+
+# ---------------------------------------------------------------------------
+# Text syntax
+# ---------------------------------------------------------------------------
+
+def _parse_operand_int(token: str) -> int:
+    token = token.strip()
+    return int(token, 0)
+
+
+def _parse_mem_operand(token: str) -> tuple[int, int]:
+    """Parse ``disp(rN)`` into (disp, reg)."""
+    token = token.strip()
+    if not token.endswith(")") or "(" not in token:
+        raise AssemblyError(f"malformed memory operand: {token!r}")
+    disp_text, reg_text = token[:-1].split("(", 1)
+    disp = int(disp_text, 0) if disp_text.strip() else 0
+    return disp, parse_register(reg_text)
+
+
+def assemble_text(source: str, base: int = 0) -> AssembledProgram:
+    """Assemble text with one instruction or ``label:`` per line.
+
+    Comments start with ``;`` or ``#``.  Branches may target labels or
+    numeric word offsets.  Example::
+
+        start:
+            addi r3, r0, 10
+        loop:
+            addi r3, r3, -1
+            cmpi r3, 0
+            bc gt, loop
+            sc 0
+    """
+    asm = Assembler()
+    for raw_line in source.splitlines():
+        line = raw_line.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        while line.endswith(":") or (":" in line and line.split(":")[0].strip().isidentifier()):
+            head, _, rest = line.partition(":")
+            head = head.strip()
+            if not head.isidentifier():
+                break
+            asm.label(head)
+            line = rest.strip()
+            if not line:
+                break
+        if not line:
+            continue
+        _assemble_line(asm, line)
+    return asm.assemble(base)
+
+
+def _assemble_line(asm: Assembler, line: str) -> None:
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    rest = parts[1] if len(parts) > 1 else ""
+    operands = [op.strip() for op in rest.split(",")] if rest.strip() else []
+
+    if mnemonic == "nop":
+        asm.emit(ins.nop())
+        return
+    if mnemonic == "mr":
+        asm.emit(ins.mr(parse_register(operands[0]), parse_register(operands[1])))
+        return
+    if mnemonic == "li32":
+        asm.emit(ins.li32(parse_register(operands[0]), _parse_operand_int(operands[1])))
+        return
+
+    if mnemonic not in FORM_BY_MNEMONIC:
+        raise AssemblyError(f"unknown mnemonic: {mnemonic!r}")
+    form = FORM_BY_MNEMONIC[mnemonic][1]
+
+    if form in ("D", "DU", "SH"):
+        asm.emit(
+            Instruction(
+                mnemonic,
+                rd=parse_register(operands[0]),
+                ra=parse_register(operands[1]),
+                imm=_parse_operand_int(operands[2]),
+            )
+        )
+    elif form in ("CMPI", "CMPLI"):
+        asm.emit(Instruction(mnemonic, ra=parse_register(operands[0]), imm=_parse_operand_int(operands[1])))
+    elif form == "MEM":
+        disp, ra = _parse_mem_operand(operands[1])
+        asm.emit(Instruction(mnemonic, rd=parse_register(operands[0]), ra=ra, imm=disp))
+    elif form == "B":
+        target = operands[0]
+        if target.lstrip("+-").isdigit():
+            asm.emit(Instruction(mnemonic, imm=int(target)))
+        elif mnemonic == "b":
+            asm.emit_branch(target)
+        else:
+            asm.emit_call(target)
+    elif form == "BC":
+        cond = operands[0].lower()
+        if cond not in COND_BY_NAME:
+            raise AssemblyError(f"unknown branch condition: {cond!r}")
+        target = operands[1]
+        if target.lstrip("+-").isdigit():
+            asm.emit(ins.bc(cond, int(target)))
+        else:
+            asm.emit_cond_branch(cond, target)
+    elif form == "NONE":
+        asm.emit(Instruction(mnemonic))
+    elif form == "R1":
+        asm.emit(Instruction(mnemonic, rd=parse_register(operands[0])))
+    elif form == "U16":
+        asm.emit(Instruction(mnemonic, imm=_parse_operand_int(operands[0])))
+    elif form in ("XO", "XO1"):
+        rd = parse_register(operands[0])
+        ra = parse_register(operands[1])
+        if form == "XO" and mnemonic != "cmp":
+            asm.emit(Instruction(mnemonic, rd=rd, ra=ra, rb=parse_register(operands[2])))
+        elif mnemonic == "cmp":
+            asm.emit(ins.cmp(rd, ra))
+        else:
+            asm.emit(Instruction(mnemonic, rd=rd, ra=ra))
+    else:  # pragma: no cover
+        raise AssemblyError(f"unhandled form {form!r}")

@@ -1,0 +1,53 @@
+"""Disassembler for RX32 code.
+
+Used by the fault-emulation reports (the paper's Figures 3-6 show the
+machine code around each fault) and by the fault locator to confirm what a
+corrupted word decodes to.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .encoding import INSTRUCTION_BYTES, Instruction, try_decode
+
+
+@dataclass(frozen=True)
+class DisassembledLine:
+    address: int
+    word: int
+    instruction: Instruction | None  # None when the word is illegal
+
+    def text(self) -> str:
+        body = self.instruction.text() if self.instruction else f".word {self.word:#010x}"
+        return f"{self.address:#010x}:  {self.word:08x}  {body}"
+
+
+def disassemble_word(address: int, word: int) -> DisassembledLine:
+    return DisassembledLine(address=address, word=word, instruction=try_decode(word))
+
+
+def disassemble(code: bytes, base: int = 0) -> list[DisassembledLine]:
+    """Disassemble a big-endian code blob starting at byte address *base*."""
+    if len(code) % INSTRUCTION_BYTES:
+        raise ValueError("code length is not a multiple of the instruction size")
+    count = len(code) // INSTRUCTION_BYTES
+    words = struct.unpack(f">{count}I", code)
+    return [
+        disassemble_word(base + index * INSTRUCTION_BYTES, word)
+        for index, word in enumerate(words)
+    ]
+
+
+def listing(code: bytes, base: int = 0, symbols: dict[str, int] | None = None) -> str:
+    """Render a human-readable listing, with symbol names interleaved."""
+    by_address: dict[int, list[str]] = {}
+    for name, address in (symbols or {}).items():
+        by_address.setdefault(address, []).append(name)
+    lines = []
+    for entry in disassemble(code, base):
+        for name in sorted(by_address.get(entry.address, [])):
+            lines.append(f"{name}:")
+        lines.append("    " + entry.text())
+    return "\n".join(lines)

@@ -1,0 +1,373 @@
+"""Binary encoding of the RX32 instruction set.
+
+Every instruction is one 32-bit word.  The primary opcode lives in the top
+six bits; register fields and immediates follow PowerPC-style packing:
+
+====================  =========================================
+Field                 Bits (big-endian bit numbering by value)
+====================  =========================================
+``opcode``            ``word[31:26]``
+``rD``                ``word[25:21]``
+``rA``                ``word[20:16]``
+``rB``                ``word[15:11]``
+``subop``             ``word[10:0]``   (XO group only)
+``imm16``             ``word[15:0]``
+``li26``              ``word[25:0]``   (b / bl displacement, in words)
+====================  =========================================
+
+A *real* bit-level encoding matters for this reproduction: the paper's
+fault injector corrupts instruction words with bit masks, so flipping a
+bit must yield either a different well-formed instruction or an illegal
+one that traps — exactly as on the PowerPC 601 target of the original
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# --------------------------------------------------------------------------
+# Primary opcodes
+# --------------------------------------------------------------------------
+
+OP_ILLEGAL = 0x00  # the all-zeroes word traps, like zeroed memory
+OP_ADDI = 0x01
+OP_ADDIS = 0x02
+OP_MULLI = 0x03
+OP_ANDI = 0x04
+OP_ORI = 0x05
+OP_XORI = 0x06
+OP_CMPI = 0x07
+OP_CMPLI = 0x08
+OP_LWZ = 0x09
+OP_STW = 0x0A
+OP_LBZ = 0x0B
+OP_STB = 0x0C
+OP_B = 0x0D
+OP_BL = 0x0E
+OP_BC = 0x0F
+OP_BLR = 0x10
+OP_MFLR = 0x11
+OP_MTLR = 0x12
+OP_SC = 0x13
+OP_XO = 0x14
+OP_SLWI = 0x15
+OP_SRWI = 0x16
+OP_SRAWI = 0x17
+OP_TRAP = 0x18
+
+# Extended (XO-group) sub-opcodes, in the low 11 bits of an OP_XO word.
+XO_ADD = 0
+XO_SUB = 1
+XO_MUL = 2
+XO_DIVW = 3
+XO_MODW = 4
+XO_AND = 5
+XO_OR = 6
+XO_XOR = 7
+XO_SLW = 8
+XO_SRW = 9
+XO_SRAW = 10
+XO_CMP = 11
+XO_NOR = 12
+XO_NEG = 13
+XO_NOT = 14
+
+# Branch conditions, carried in the rD field of an OP_BC word.  They test
+# the condition register written by the last cmp/cmpi/cmpli.
+COND_ALWAYS = 0
+COND_LT = 1
+COND_LE = 2
+COND_EQ = 3
+COND_GE = 4
+COND_GT = 5
+COND_NE = 6
+
+COND_NAMES = {
+    COND_ALWAYS: "always",
+    COND_LT: "lt",
+    COND_LE: "le",
+    COND_EQ: "eq",
+    COND_GE: "ge",
+    COND_GT: "gt",
+    COND_NE: "ne",
+}
+COND_BY_NAME = {name: code for code, name in COND_NAMES.items()}
+
+# The machine-level image of the source-level relational-operator swaps used
+# by the paper's Table 3 rules: swapping ``>=`` for ``>`` is one bit-level
+# rewrite of the cond field of a conditional branch.
+COND_NEGATION = {
+    COND_LT: COND_GE,
+    COND_GE: COND_LT,
+    COND_LE: COND_GT,
+    COND_GT: COND_LE,
+    COND_EQ: COND_NE,
+    COND_NE: COND_EQ,
+}
+
+# --------------------------------------------------------------------------
+# Instruction forms
+# --------------------------------------------------------------------------
+# form -> which operand fields are meaningful, and how `imm` is interpreted.
+#   D     rd, ra, imm (signed 16)
+#   DU    rd, ra, imm (unsigned 16)
+#   CMPI  ra, imm (signed 16)
+#   CMPLI ra, imm (unsigned 16)
+#   MEM   rd, imm(ra)            imm signed 16 byte displacement
+#   B     imm (signed 26, word offset)
+#   BC    cond(in rd), imm (signed 16, word offset)
+#   NONE  no operands
+#   R1    rd only
+#   U16   imm (unsigned 16)
+#   XO    rd, ra, rb
+#   XO1   rd, ra (rb must be zero)
+#   SH    rd, ra, imm (unsigned shift amount 0..31)
+
+_SPEC = {
+    "addi": (OP_ADDI, "D"),
+    "addis": (OP_ADDIS, "D"),
+    "mulli": (OP_MULLI, "D"),
+    "andi": (OP_ANDI, "DU"),
+    "ori": (OP_ORI, "DU"),
+    "xori": (OP_XORI, "DU"),
+    "cmpi": (OP_CMPI, "CMPI"),
+    "cmpli": (OP_CMPLI, "CMPLI"),
+    "lwz": (OP_LWZ, "MEM"),
+    "stw": (OP_STW, "MEM"),
+    "lbz": (OP_LBZ, "MEM"),
+    "stb": (OP_STB, "MEM"),
+    "b": (OP_B, "B"),
+    "bl": (OP_BL, "B"),
+    "bc": (OP_BC, "BC"),
+    "blr": (OP_BLR, "NONE"),
+    "mflr": (OP_MFLR, "R1"),
+    "mtlr": (OP_MTLR, "R1"),
+    "sc": (OP_SC, "U16"),
+    "slwi": (OP_SLWI, "SH"),
+    "srwi": (OP_SRWI, "SH"),
+    "srawi": (OP_SRAWI, "SH"),
+    "trap": (OP_TRAP, "U16"),
+}
+
+_XO_SPEC = {
+    "add": XO_ADD,
+    "sub": XO_SUB,
+    "mul": XO_MUL,
+    "divw": XO_DIVW,
+    "modw": XO_MODW,
+    "and": XO_AND,
+    "or": XO_OR,
+    "xor": XO_XOR,
+    "slw": XO_SLW,
+    "srw": XO_SRW,
+    "sraw": XO_SRAW,
+    "cmp": XO_CMP,
+    "nor": XO_NOR,
+    "neg": XO_NEG,
+    "not": XO_NOT,
+}
+_XO_ONE_OPERAND = {XO_NEG, XO_NOT}
+_XO_NAMES = {code: name for name, code in _XO_SPEC.items()}
+
+FORM_BY_MNEMONIC = dict(_SPEC)
+FORM_BY_MNEMONIC.update(
+    {name: (OP_XO, "XO1" if code in _XO_ONE_OPERAND else "XO") for name, code in _XO_SPEC.items()}
+)
+
+_OPCODE_TO_MNEMONIC = {spec[0]: name for name, spec in _SPEC.items()}
+
+MNEMONICS = tuple(sorted(FORM_BY_MNEMONIC))
+
+WORD_BITS = 32
+WORD_MASK = 0xFFFFFFFF
+INSTRUCTION_BYTES = 4
+
+
+class EncodingError(ValueError):
+    """Raised for out-of-range fields or malformed operands at encode time."""
+
+
+class DecodingError(ValueError):
+    """Raised when a 32-bit word does not decode to a valid instruction."""
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Interpret the low *bits* of *value* as a two's-complement integer."""
+    mask = (1 << bits) - 1
+    value &= mask
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def _check_reg(value: int, field: str) -> int:
+    if not 0 <= value <= 31:
+        raise EncodingError(f"{field} out of range: {value}")
+    return value
+
+
+def _check_simm(value: int, bits: int, field: str) -> int:
+    low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not low <= value <= high:
+        raise EncodingError(f"{field} out of signed {bits}-bit range: {value}")
+    return value & ((1 << bits) - 1)
+
+
+def _check_uimm(value: int, bits: int, field: str) -> int:
+    if not 0 <= value < (1 << bits):
+        raise EncodingError(f"{field} out of unsigned {bits}-bit range: {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded (or to-be-encoded) RX32 instruction.
+
+    Only the fields meaningful for the instruction's form are used; the
+    rest stay zero.  ``imm`` always holds the *logical* value (sign-extended
+    where the form is signed, a word offset for branches).
+    """
+
+    mnemonic: str
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0
+
+    @property
+    def form(self) -> str:
+        try:
+            return FORM_BY_MNEMONIC[self.mnemonic][1]
+        except KeyError:
+            raise EncodingError(f"unknown mnemonic: {self.mnemonic!r}") from None
+
+    def encode(self) -> int:
+        """Pack this instruction into its 32-bit word."""
+        opcode, form = FORM_BY_MNEMONIC[self.mnemonic]
+        word = opcode << 26
+        if form in ("D", "CMPI"):
+            word |= _check_reg(self.rd, "rD") << 21
+            word |= _check_reg(self.ra, "rA") << 16
+            word |= _check_simm(self.imm, 16, "imm16")
+        elif form in ("DU", "CMPLI"):
+            word |= _check_reg(self.rd, "rD") << 21
+            word |= _check_reg(self.ra, "rA") << 16
+            word |= _check_uimm(self.imm, 16, "uimm16")
+        elif form == "MEM":
+            word |= _check_reg(self.rd, "rD") << 21
+            word |= _check_reg(self.ra, "rA") << 16
+            word |= _check_simm(self.imm, 16, "displacement")
+        elif form == "B":
+            word |= _check_simm(self.imm, 26, "branch offset")
+        elif form == "BC":
+            if self.rd not in COND_NAMES:
+                raise EncodingError(f"invalid branch condition: {self.rd}")
+            word |= self.rd << 21
+            word |= _check_simm(self.imm, 16, "branch offset")
+        elif form == "NONE":
+            pass
+        elif form == "R1":
+            word |= _check_reg(self.rd, "rD") << 21
+        elif form == "U16":
+            word |= _check_uimm(self.imm, 16, "uimm16")
+        elif form == "SH":
+            word |= _check_reg(self.rd, "rD") << 21
+            word |= _check_reg(self.ra, "rA") << 16
+            word |= _check_uimm(self.imm, 5, "shift amount")
+        elif form in ("XO", "XO1"):
+            word |= _check_reg(self.rd, "rD") << 21
+            word |= _check_reg(self.ra, "rA") << 16
+            if form == "XO":
+                word |= _check_reg(self.rb, "rB") << 11
+            word |= _XO_SPEC[self.mnemonic]
+        else:  # pragma: no cover - exhaustive over forms
+            raise EncodingError(f"unhandled form {form!r}")
+        return word
+
+    def text(self) -> str:
+        """Render assembly text (used by the disassembler and in reports)."""
+        form = self.form
+        if form in ("D", "DU"):
+            return f"{self.mnemonic} r{self.rd}, r{self.ra}, {self.imm}"
+        if form in ("CMPI", "CMPLI"):
+            return f"{self.mnemonic} r{self.ra}, {self.imm}"
+        if form == "MEM":
+            return f"{self.mnemonic} r{self.rd}, {self.imm}(r{self.ra})"
+        if form == "B":
+            return f"{self.mnemonic} {self.imm}"
+        if form == "BC":
+            return f"bc {COND_NAMES[self.rd]}, {self.imm}"
+        if form == "NONE":
+            return self.mnemonic
+        if form == "R1":
+            return f"{self.mnemonic} r{self.rd}"
+        if form == "U16":
+            return f"{self.mnemonic} {self.imm}"
+        if form == "SH":
+            return f"{self.mnemonic} r{self.rd}, r{self.ra}, {self.imm}"
+        if form == "XO":
+            return f"{self.mnemonic} r{self.rd}, r{self.ra}, r{self.rb}"
+        if form == "XO1":
+            return f"{self.mnemonic} r{self.rd}, r{self.ra}"
+        raise AssertionError(form)
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word, raising :class:`DecodingError` if illegal.
+
+    Decoding is total over the fields that exist (5-bit register numbers are
+    always in range); only unknown primary opcodes, unknown XO sub-opcodes
+    and out-of-range branch conditions are illegal — the same shape of
+    "corrupted word may still execute" behaviour real SWIFI faults rely on.
+    """
+    word &= WORD_MASK
+    opcode = word >> 26
+    rd = (word >> 21) & 31
+    ra = (word >> 16) & 31
+    rb = (word >> 11) & 31
+    imm16 = word & 0xFFFF
+
+    if opcode == OP_XO:
+        subop = word & 0x7FF
+        name = _XO_NAMES.get(subop)
+        if name is None:
+            raise DecodingError(f"illegal XO sub-opcode {subop:#x} in word {word:#010x}")
+        if subop in _XO_ONE_OPERAND:
+            return Instruction(name, rd=rd, ra=ra)
+        return Instruction(name, rd=rd, ra=ra, rb=rb)
+
+    name = _OPCODE_TO_MNEMONIC.get(opcode)
+    if name is None:
+        raise DecodingError(f"illegal opcode {opcode:#x} in word {word:#010x}")
+    form = _SPEC[name][1]
+    if form in ("D", "CMPI", "MEM"):
+        return Instruction(name, rd=rd, ra=ra, imm=sign_extend(imm16, 16))
+    if form in ("DU", "CMPLI"):
+        return Instruction(name, rd=rd, ra=ra, imm=imm16)
+    if form == "B":
+        return Instruction(name, imm=sign_extend(word & 0x3FFFFFF, 26))
+    if form == "BC":
+        if rd not in COND_NAMES:
+            raise DecodingError(f"illegal branch condition {rd} in word {word:#010x}")
+        return Instruction(name, rd=rd, imm=sign_extend(imm16, 16))
+    if form == "NONE":
+        return Instruction(name)
+    if form == "R1":
+        return Instruction(name, rd=rd)
+    if form == "U16":
+        return Instruction(name, imm=imm16)
+    if form == "SH":
+        return Instruction(name, rd=rd, ra=ra, imm=imm16 & 31)
+    raise AssertionError(form)  # pragma: no cover
+
+
+def try_decode(word: int) -> Instruction | None:
+    """Decode *word*, returning ``None`` instead of raising when illegal."""
+    try:
+        return decode(word)
+    except DecodingError:
+        return None
+
+
+NOP_WORD = Instruction("ori", rd=0, ra=0, imm=0).encode()

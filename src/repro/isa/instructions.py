@@ -1,0 +1,202 @@
+"""Convenience constructors for RX32 instructions.
+
+These are thin builders over :class:`repro.isa.encoding.Instruction` so the
+code generator and hand-written runtime read like assembly listings:
+
+    ins.addi(regs.SP, regs.SP, -32)
+    ins.stw(13, 28, regs.SP)
+    ins.bc(encoding.COND_GE, +5)
+
+Pseudo-instructions (``li32``, ``nop``, ``mr``) expand to one or two real
+instructions and return a list.
+"""
+
+from __future__ import annotations
+
+from .encoding import (
+    COND_BY_NAME,
+    Instruction,
+)
+
+
+def addi(rd: int, ra: int, imm: int) -> Instruction:
+    return Instruction("addi", rd=rd, ra=ra, imm=imm)
+
+
+def addis(rd: int, ra: int, imm: int) -> Instruction:
+    return Instruction("addis", rd=rd, ra=ra, imm=imm)
+
+
+def mulli(rd: int, ra: int, imm: int) -> Instruction:
+    return Instruction("mulli", rd=rd, ra=ra, imm=imm)
+
+
+def andi(rd: int, ra: int, imm: int) -> Instruction:
+    return Instruction("andi", rd=rd, ra=ra, imm=imm)
+
+
+def ori(rd: int, ra: int, imm: int) -> Instruction:
+    return Instruction("ori", rd=rd, ra=ra, imm=imm)
+
+
+def xori(rd: int, ra: int, imm: int) -> Instruction:
+    return Instruction("xori", rd=rd, ra=ra, imm=imm)
+
+
+def cmpi(ra: int, imm: int) -> Instruction:
+    return Instruction("cmpi", ra=ra, imm=imm)
+
+
+def cmpli(ra: int, imm: int) -> Instruction:
+    return Instruction("cmpli", ra=ra, imm=imm)
+
+
+def lwz(rd: int, disp: int, ra: int) -> Instruction:
+    return Instruction("lwz", rd=rd, ra=ra, imm=disp)
+
+
+def stw(rs: int, disp: int, ra: int) -> Instruction:
+    return Instruction("stw", rd=rs, ra=ra, imm=disp)
+
+
+def lbz(rd: int, disp: int, ra: int) -> Instruction:
+    return Instruction("lbz", rd=rd, ra=ra, imm=disp)
+
+
+def stb(rs: int, disp: int, ra: int) -> Instruction:
+    return Instruction("stb", rd=rs, ra=ra, imm=disp)
+
+
+def b(offset_words: int) -> Instruction:
+    return Instruction("b", imm=offset_words)
+
+
+def bl(offset_words: int) -> Instruction:
+    return Instruction("bl", imm=offset_words)
+
+
+def bc(cond: int | str, offset_words: int) -> Instruction:
+    if isinstance(cond, str):
+        cond = COND_BY_NAME[cond]
+    return Instruction("bc", rd=cond, imm=offset_words)
+
+
+def blr() -> Instruction:
+    return Instruction("blr")
+
+
+def mflr(rd: int) -> Instruction:
+    return Instruction("mflr", rd=rd)
+
+
+def mtlr(rs: int) -> Instruction:
+    return Instruction("mtlr", rd=rs)
+
+
+def sc(number: int) -> Instruction:
+    return Instruction("sc", imm=number)
+
+
+def trap(code: int = 0) -> Instruction:
+    return Instruction("trap", imm=code)
+
+
+def add(rd: int, ra: int, rb: int) -> Instruction:
+    return Instruction("add", rd=rd, ra=ra, rb=rb)
+
+
+def sub(rd: int, ra: int, rb: int) -> Instruction:
+    return Instruction("sub", rd=rd, ra=ra, rb=rb)
+
+
+def mul(rd: int, ra: int, rb: int) -> Instruction:
+    return Instruction("mul", rd=rd, ra=ra, rb=rb)
+
+
+def divw(rd: int, ra: int, rb: int) -> Instruction:
+    return Instruction("divw", rd=rd, ra=ra, rb=rb)
+
+
+def modw(rd: int, ra: int, rb: int) -> Instruction:
+    return Instruction("modw", rd=rd, ra=ra, rb=rb)
+
+
+def and_(rd: int, ra: int, rb: int) -> Instruction:
+    return Instruction("and", rd=rd, ra=ra, rb=rb)
+
+
+def or_(rd: int, ra: int, rb: int) -> Instruction:
+    return Instruction("or", rd=rd, ra=ra, rb=rb)
+
+
+def xor(rd: int, ra: int, rb: int) -> Instruction:
+    return Instruction("xor", rd=rd, ra=ra, rb=rb)
+
+
+def nor(rd: int, ra: int, rb: int) -> Instruction:
+    return Instruction("nor", rd=rd, ra=ra, rb=rb)
+
+
+def slw(rd: int, ra: int, rb: int) -> Instruction:
+    return Instruction("slw", rd=rd, ra=ra, rb=rb)
+
+
+def srw(rd: int, ra: int, rb: int) -> Instruction:
+    return Instruction("srw", rd=rd, ra=ra, rb=rb)
+
+
+def sraw(rd: int, ra: int, rb: int) -> Instruction:
+    return Instruction("sraw", rd=rd, ra=ra, rb=rb)
+
+
+def cmp(ra: int, rb: int) -> Instruction:
+    return Instruction("cmp", ra=ra, rb=rb)
+
+
+def neg(rd: int, ra: int) -> Instruction:
+    return Instruction("neg", rd=rd, ra=ra)
+
+
+def not_(rd: int, ra: int) -> Instruction:
+    return Instruction("not", rd=rd, ra=ra)
+
+
+def slwi(rd: int, ra: int, sh: int) -> Instruction:
+    return Instruction("slwi", rd=rd, ra=ra, imm=sh)
+
+
+def srwi(rd: int, ra: int, sh: int) -> Instruction:
+    return Instruction("srwi", rd=rd, ra=ra, imm=sh)
+
+
+def srawi(rd: int, ra: int, sh: int) -> Instruction:
+    return Instruction("srawi", rd=rd, ra=ra, imm=sh)
+
+
+# ---------------------------------------------------------------------------
+# Pseudo-instructions
+# ---------------------------------------------------------------------------
+
+def nop() -> Instruction:
+    """No-operation (encoded as ``ori r0, r0, 0``; r0 is hardwired zero)."""
+    return ori(0, 0, 0)
+
+
+def mr(rd: int, rs: int) -> Instruction:
+    """Register move (encoded as ``ori rd, rs, 0``)."""
+    return ori(rd, rs, 0)
+
+
+def li32(rd: int, value: int) -> list[Instruction]:
+    """Load an arbitrary 32-bit constant into *rd* (1 or 2 instructions)."""
+    value &= 0xFFFFFFFF
+    signed = value - 0x100000000 if value & 0x80000000 else value
+    if -0x8000 <= signed <= 0x7FFF:
+        return [addi(rd, 0, signed)]
+    high = (value >> 16) & 0xFFFF
+    low = value & 0xFFFF
+    high_signed = high - 0x10000 if high & 0x8000 else high
+    out = [addis(rd, 0, high_signed)]
+    if low:
+        out.append(ori(rd, rd, low))
+    return out

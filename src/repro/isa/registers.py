@@ -1,0 +1,66 @@
+"""Register file conventions for the RX32 architecture.
+
+RX32 is the 32-bit RISC target machine used throughout this reproduction.
+It is PowerPC-inspired (fixed 32-bit instruction words, a link register,
+a condition register set by explicit compare instructions, and exactly two
+instruction-address breakpoint registers in the debug unit), but the
+register conventions below are our own ABI.
+
+Register map
+------------
+========  =============================================================
+Register  Role
+========  =============================================================
+r0        hardwired zero (writes are discarded)
+r1        stack pointer (grows downward)
+r2        reserved (unused by the ABI; available to hand-written asm)
+r3..r10   argument / return registers (r3 carries the return value)
+r11..r13  caller-saved scratch (codegen and runtime internals)
+r14..r27  expression-evaluation pool (caller-saved in this ABI)
+r28..r31  reserved for future callee-saved use
+lr        link register (call return address)
+cr        condition register: one of LT / EQ / GT
+========  =============================================================
+"""
+
+from __future__ import annotations
+
+NUM_REGISTERS = 32
+
+ZERO = 0
+SP = 1
+RESERVED = 2
+ARG0 = 3
+RET = 3
+ARG_REGISTERS = tuple(range(3, 11))
+MAX_REG_ARGS = len(ARG_REGISTERS)
+SCRATCH0 = 11
+SCRATCH1 = 12
+SCRATCH2 = 13
+EVAL_POOL = tuple(range(14, 28))
+
+# Condition-register states (the result of the last compare).
+CR_LT = -1
+CR_EQ = 0
+CR_GT = 1
+
+_ALIASES = {"zero": ZERO, "sp": SP, "ret": RET}
+
+
+def register_name(index: int) -> str:
+    """Return the canonical assembly name for a register index."""
+    if not 0 <= index < NUM_REGISTERS:
+        raise ValueError(f"register index out of range: {index}")
+    return f"r{index}"
+
+
+def parse_register(name: str) -> int:
+    """Parse an assembly register name (``r7``, ``sp``, ``zero``) to its index."""
+    text = name.strip().lower()
+    if text in _ALIASES:
+        return _ALIASES[text]
+    if text.startswith("r") and text[1:].isdigit():
+        index = int(text[1:])
+        if 0 <= index < NUM_REGISTERS:
+            return index
+    raise ValueError(f"unknown register name: {name!r}")

@@ -1,0 +1,72 @@
+"""MiniC: the C-subset compiler used to build the workload programs.
+
+The paper's target programs are C programs compiled for the PowerPC 601;
+ours are MiniC programs compiled for RX32.  MiniC supports ``int``,
+``char``, ``void``, pointers, multi-dimensional arrays, structs, the full
+C expression/statement core (including short-circuit logic, ternary,
+compound assignment, ``++``/``--``), ``sizeof``, string literals and a
+``#define NAME <int>`` constant facility.  Builtins map to machine
+syscalls: ``print_int``, ``print_char``, ``print_str``, ``exit``,
+``malloc``, ``free``, ``core_id``, ``num_cores``, ``barrier``.
+
+The compiler's distinguishing feature for this reproduction is its debug
+info (:mod:`repro.lang.debuginfo`): machine-level anchors for every
+assignment and checking statement, which the fault locator and the §5
+fault emulations consume.
+"""
+
+from . import astnodes
+from .codegen import CompileError
+from .compiler import CompiledProgram, compile_source
+from .debuginfo import (
+    AssignmentSite,
+    CheckSite,
+    DebugInfo,
+    FunctionInfo,
+    JunctionSite,
+    VarRefSite,
+)
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, parse
+from .types import (
+    CHAR,
+    INT,
+    VOID,
+    ArrayType,
+    CharType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VoidType,
+)
+
+__all__ = [
+    "astnodes",
+    "CompileError",
+    "CompiledProgram",
+    "compile_source",
+    "AssignmentSite",
+    "CheckSite",
+    "DebugInfo",
+    "FunctionInfo",
+    "JunctionSite",
+    "VarRefSite",
+    "LexError",
+    "Token",
+    "tokenize",
+    "ParseError",
+    "parse",
+    "CHAR",
+    "INT",
+    "VOID",
+    "ArrayType",
+    "CharType",
+    "FunctionType",
+    "IntType",
+    "PointerType",
+    "StructType",
+    "Type",
+    "VoidType",
+]

@@ -1,0 +1,181 @@
+"""MiniC abstract syntax tree.
+
+Nodes carry their source line — the paper characterises a software fault
+by the change in the *source code* needed to correct it, so every fault
+site the injector targets traces back to a line here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Optional
+
+from .types import Type
+
+
+@dataclass
+class Node:
+    line: int
+
+
+# -- expressions -------------------------------------------------------------
+
+@dataclass
+class IntLiteral(Node):
+    value: int
+
+
+@dataclass
+class StringLiteral(Node):
+    value: bytes
+
+
+@dataclass
+class Identifier(Node):
+    name: str
+
+
+@dataclass
+class Unary(Node):
+    op: str  # '-', '!', '~', '*', '&'
+    operand: "Expr"
+
+
+@dataclass
+class Binary(Node):
+    op: str  # arithmetic / relational / logical / bitwise / shifts
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass
+class Ternary(Node):
+    cond: "Expr"
+    then: "Expr"
+    other: "Expr"
+
+
+@dataclass
+class Assign(Node):
+    op: str  # '=', '+=', '-=', '*=', '/=', '%='
+    target: "Expr"
+    value: "Expr"
+
+
+@dataclass
+class IncDec(Node):
+    op: str  # '++' or '--'
+    target: "Expr"
+    prefix: bool
+
+
+@dataclass
+class Call(Node):
+    name: str
+    args: list["Expr"]
+
+
+@dataclass
+class Index(Node):
+    base: "Expr"
+    index: "Expr"
+
+
+@dataclass
+class Member(Node):
+    base: "Expr"
+    field: str
+    arrow: bool  # True for '->', False for '.'
+
+
+@dataclass
+class SizeOf(Node):
+    target: Type
+
+
+Expr = (
+    IntLiteral | StringLiteral | Identifier | Unary | Binary | Ternary
+    | Assign | IncDec | Call | Index | Member | SizeOf
+)
+
+
+# -- statements --------------------------------------------------------------
+
+@dataclass
+class Declaration(Node):
+    name: str
+    type: Type
+    init: Optional["Expr"] = None
+    init_list: Optional[list[int]] = None  # constant array initialiser
+
+
+@dataclass
+class ExprStatement(Node):
+    expr: "Expr"
+
+
+@dataclass
+class Block(Node):
+    statements: list["Stmt"] = dc_field(default_factory=list)
+
+
+@dataclass
+class If(Node):
+    cond: "Expr"
+    then: "Stmt"
+    other: Optional["Stmt"] = None
+
+
+@dataclass
+class While(Node):
+    cond: "Expr"
+    body: "Stmt"
+
+
+@dataclass
+class For(Node):
+    init: Optional["Stmt"]  # Declaration or ExprStatement
+    cond: Optional["Expr"]
+    post: Optional["Expr"]
+    body: "Stmt"
+
+
+@dataclass
+class Return(Node):
+    value: Optional["Expr"] = None
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+Stmt = Declaration | ExprStatement | Block | If | While | For | Return | Break | Continue
+
+
+# -- top level ---------------------------------------------------------------
+
+@dataclass
+class Parameter(Node):
+    name: str
+    type: Type
+
+
+@dataclass
+class Function(Node):
+    name: str
+    ret: Type
+    params: list[Parameter]
+    body: Optional[Block]  # None for a forward declaration (prototype)
+
+
+@dataclass
+class Program(Node):
+    globals: list[Declaration] = dc_field(default_factory=list)
+    functions: list[Function] = dc_field(default_factory=list)
+    structs: dict[str, Type] = dc_field(default_factory=dict)

@@ -1,0 +1,1118 @@
+"""MiniC code generator targeting RX32.
+
+Deliberately *naive* code, close to what late-90s contest compilers
+emitted without optimisation: every variable lives in memory (stack frame
+or data segment), expressions evaluate in a caller-saved register pool,
+conditions compile to explicit compare + conditional-branch pairs.  That
+naivety is a feature here — the paper's fault model depends on a clean,
+recognisable correspondence between source statements and machine
+instructions, and on stack frames laid out without bounds checks (so the
+JB.team6 ``char phrase[80]`` overflow silently corrupts its neighbour).
+
+Frame layout (fp = r30 points at the caller's stack pointer)::
+
+    fp-4   saved lr
+    fp-8   saved fp
+    fp-12… locals, in declaration order, growing downward
+    sp     = fp - frame_size; expression spills push below sp
+
+While emitting, the generator records every assignment's store, every
+check's compare/branch pair, every ``&&``/``||`` junction and every
+reference to each local — see :mod:`repro.lang.debuginfo`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa import ins
+from ..isa.assembler import Assembler
+from ..isa.encoding import (
+    COND_EQ,
+    COND_GE,
+    COND_GT,
+    COND_LE,
+    COND_LT,
+    COND_NE,
+)
+from ..machine.machine import DATA_BASE
+from ..machine.syscalls import (
+    SYS_BARRIER,
+    SYS_COREID,
+    SYS_EXIT,
+    SYS_FREE,
+    SYS_MALLOC,
+    SYS_NCORES,
+    SYS_PUTCHAR,
+    SYS_PUTINT,
+    SYS_PUTS,
+)
+from . import astnodes as ast
+from .debuginfo import (
+    AssignmentSite,
+    CheckSite,
+    DebugInfo,
+    FunctionInfo,
+    JunctionSite,
+    VarRefSite,
+)
+from .types import (
+    CHAR,
+    INT,
+    VOID,
+    ArrayType,
+    CharType,
+    FunctionType,
+    PointerType,
+    StructType,
+    Type,
+    decay,
+    is_integer,
+    is_pointer,
+    is_scalar,
+)
+
+from ..isa.registers import EVAL_POOL as _EVAL_POOL
+from ..isa.registers import SCRATCH1 as _SCRATCH_A
+from ..isa.registers import SCRATCH2 as _SCRATCH_B
+from ..isa.registers import SP
+
+FP = 30  # frame pointer register
+
+_REL_COND = {
+    "<": COND_LT,
+    "<=": COND_LE,
+    ">": COND_GT,
+    ">=": COND_GE,
+    "==": COND_EQ,
+    "!=": COND_NE,
+}
+
+# builtin name -> (syscall number, arg count, return type)
+_BUILTINS = {
+    "print_int": (SYS_PUTINT, 1, VOID),
+    "print_char": (SYS_PUTCHAR, 1, VOID),
+    "print_str": (SYS_PUTS, 1, VOID),
+    "exit": (SYS_EXIT, 1, VOID),
+    "malloc": (SYS_MALLOC, 1, PointerType(VOID)),
+    "free": (SYS_FREE, 1, VOID),
+    "core_id": (SYS_COREID, 0, INT),
+    "num_cores": (SYS_NCORES, 0, INT),
+    "barrier": (SYS_BARRIER, 0, VOID),
+}
+
+
+class CompileError(Exception):
+    def __init__(self, message: str, line: int | None = None) -> None:
+        prefix = f"line {line}: " if line is not None else ""
+        super().__init__(prefix + message)
+        self.line = line
+
+
+class _RegPool:
+    """LIFO pool of expression-evaluation registers."""
+
+    def __init__(self) -> None:
+        self._free = list(_EVAL_POOL)
+        self._used: list[int] = []
+
+    def alloc(self, line: int | None = None) -> int:
+        if not self._free:
+            raise CompileError("expression too complex (evaluation registers exhausted)", line)
+        reg = self._free.pop(0)
+        self._used.append(reg)
+        return reg
+
+    def free(self, reg: int) -> None:
+        if reg not in self._used:
+            raise CompileError(f"internal: freeing unallocated register r{reg}")
+        self._used.remove(reg)
+        self._free.append(reg)
+        self._free.sort()
+
+    def live(self) -> list[int]:
+        return list(self._used)
+
+    @property
+    def balanced(self) -> bool:
+        return not self._used
+
+
+@dataclass
+class _LValue:
+    """An addressable location: ``disp(reg)`` plus its type."""
+
+    reg: int
+    disp: int
+    type: Type
+    owns_reg: bool          # True when .reg is a pool register to free
+    var: str | None = None  # set when this is a direct frame-slot reference
+
+
+class CodeGen:
+    def __init__(self, program: ast.Program, name: str = "prog") -> None:
+        self.program = program
+        self.name = name
+        self.asm = Assembler()
+        self.debug = DebugInfo(name=name)
+        self.pool = _RegPool()
+
+        self.data = bytearray()
+        self.data_symbols: dict[str, int] = {}   # global name -> data offset
+        self.global_types: dict[str, Type] = {}
+        self.func_sigs: dict[str, FunctionType] = {}
+        self.strings: dict[bytes, int] = {}      # literal -> absolute address
+
+        self.current_function: str | None = None
+        self.scopes: list[dict[str, tuple[int, Type]]] = []
+        self.frame_cursor = 0
+        self.break_labels: list[str] = []
+        self.continue_labels: list[str] = []
+        self._check_loads: list[tuple[int, int]] | None = None
+        self._locals_map: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+
+    def compile(self):
+        """Produce (assembled_program, data_image, debug_info)."""
+        self._layout_globals()
+        defined: set[str] = set()
+        for function in self.program.functions:
+            if function.name in _BUILTINS:
+                raise CompileError(f"{function.name!r} is a builtin", function.line)
+            signature = FunctionType(function.ret, tuple(p.type for p in function.params))
+            if function.name in self.func_sigs:
+                if self.func_sigs[function.name] != signature:
+                    raise CompileError(
+                        f"conflicting declarations of {function.name!r}", function.line
+                    )
+                if function.body is not None and function.name in defined:
+                    raise CompileError(f"function {function.name!r} redefined", function.line)
+            self.func_sigs[function.name] = signature
+            if function.body is not None:
+                defined.add(function.name)
+        if "main" not in self.func_sigs:
+            raise CompileError("program has no main() function")
+
+        asm = self.asm
+        asm.label("__start")
+        asm.emit_call("main")
+        asm.emit(ins.sc(SYS_EXIT))
+
+        for function in self.program.functions:
+            if function.body is not None:
+                self._compile_function(function)
+
+        from ..machine.machine import CODE_BASE
+
+        assembled = asm.assemble(CODE_BASE)
+        symbols = dict(assembled.symbols)
+        for name, offset in self.data_symbols.items():
+            symbols[name] = DATA_BASE + offset
+        self.debug.resolve(CODE_BASE, assembled.symbols)
+        return assembled, bytes(self.data), symbols, self.debug
+
+    # ------------------------------------------------------------------
+    # globals and data
+    # ------------------------------------------------------------------
+
+    def _layout_globals(self) -> None:
+        for decl in self.program.globals:
+            if decl.name in self.global_types:
+                raise CompileError(f"global {decl.name!r} redefined", decl.line)
+            size = max(4, (decl.type.size + 3) & ~3)
+            offset = len(self.data)
+            self.data.extend(b"\x00" * size)
+            self.data_symbols[decl.name] = offset
+            self.global_types[decl.name] = decl.type
+            if decl.init is not None:
+                if not isinstance(decl.init, ast.IntLiteral):
+                    raise CompileError("global initialisers must be constants", decl.line)
+                self._poke_data(offset, decl.init.value, decl.type)
+            if decl.init_list is not None:
+                if not isinstance(decl.type, ArrayType):
+                    raise CompileError("brace initialiser on a non-array", decl.line)
+                if len(decl.init_list) > decl.type.count:
+                    raise CompileError("too many array initialiser values", decl.line)
+                element = decl.type.element
+                for position, value in enumerate(decl.init_list):
+                    self._poke_data(offset + position * element.size, value, element)
+
+    def _poke_data(self, offset: int, value: int, vtype: Type) -> None:
+        if isinstance(vtype, CharType):
+            self.data[offset] = value & 0xFF
+        else:
+            self.data[offset : offset + 4] = (value & 0xFFFFFFFF).to_bytes(4, "big")
+
+    def _intern_string(self, literal: bytes) -> int:
+        if literal not in self.strings:
+            offset = len(self.data)
+            self.data.extend(literal + b"\x00")
+            while len(self.data) % 4:
+                self.data.append(0)
+            self.strings[literal] = DATA_BASE + offset
+        return self.strings[literal]
+
+    # ------------------------------------------------------------------
+    # functions
+    # ------------------------------------------------------------------
+
+    def _compile_function(self, function: ast.Function) -> None:
+        if len(function.params) > 8:
+            raise CompileError("more than 8 parameters are not supported", function.line)
+        asm = self.asm
+        self.current_function = function.name
+        self.scopes = [{}]
+        self.frame_cursor = 8  # saved lr and saved fp
+        self.break_labels = []
+        self.continue_labels = []
+        self._locals_map = {}
+
+        info = FunctionInfo(
+            name=function.name,
+            label=function.name,
+            num_params=len(function.params),
+            start_index=asm.position,
+        )
+        asm.label(function.name)
+        asm.emit(ins.mflr(_SCRATCH_B))
+        asm.emit(ins.stw(_SCRATCH_B, -4, SP))
+        asm.emit(ins.stw(FP, -8, SP))
+        asm.emit(ins.mr(FP, SP))
+        frame_patch = asm.emit(ins.addi(SP, SP, 0))  # patched below
+
+        for position, param in enumerate(function.params):
+            if not is_scalar(param.type):
+                raise CompileError("parameters must be scalar", param.line)
+            offset = self._alloc_local(param.name, param.type, param.line)
+            index = asm.emit(
+                ins.stb(3 + position, offset, FP)
+                if isinstance(param.type, CharType)
+                else ins.stw(3 + position, offset, FP)
+            )
+            self.debug.add_var_ref(
+                VarRefSite(function.name, param.name, index, "store")
+            )
+
+        self._compile_block(function.body, new_scope=False)
+
+        # Fall-through return (returns 0 for int functions, like sloppy C89).
+        self.asm.emit(ins.addi(3, 0, 0))
+        self._emit_epilogue()
+
+        frame_size = (self.frame_cursor + 7) & ~7
+        asm.patch(frame_patch, ins.addi(SP, SP, -frame_size))
+        info.frame_size = frame_size
+        info.end_index = asm.position
+        info.locals = dict(self._locals_map)
+        self.debug.functions[function.name] = info
+        if not self.pool.balanced:  # pragma: no cover - internal invariant
+            raise CompileError(f"register pool leak in {function.name}")
+        self.current_function = None
+
+    def _emit_epilogue(self) -> None:
+        asm = self.asm
+        asm.emit(ins.lwz(_SCRATCH_A, -4, FP))
+        asm.emit(ins.mtlr(_SCRATCH_A))
+        asm.emit(ins.lwz(_SCRATCH_B, -8, FP))
+        asm.emit(ins.mr(SP, FP))
+        asm.emit(ins.mr(FP, _SCRATCH_B))
+        asm.emit(ins.blr())
+
+    def _alloc_local(self, name: str, vtype: Type, line: int) -> int:
+        scope = self.scopes[-1]
+        if name in scope:
+            raise CompileError(f"variable {name!r} redeclared", line)
+        if vtype.size <= 0:
+            raise CompileError(f"variable {name!r} has no size", line)
+        size = (vtype.size + 3) & ~3
+        self.frame_cursor += size
+        offset = -self.frame_cursor
+        scope[name] = (offset, vtype)
+        self._locals_map[name] = offset
+        return offset
+
+    def _lookup(self, name: str) -> tuple[str, int | None, Type]:
+        """Resolve *name* → ('local', offset, t) or ('global', address, t)."""
+        for scope in reversed(self.scopes):
+            if name in scope:
+                offset, vtype = scope[name]
+                return "local", offset, vtype
+        if name in self.global_types:
+            address = DATA_BASE + self.data_symbols[name]
+            return "global", address, self.global_types[name]
+        raise CompileError(f"undefined variable {name!r}")
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def _compile_block(self, block: ast.Block, new_scope: bool = True) -> None:
+        if new_scope:
+            self.scopes.append({})
+        for statement in block.statements:
+            self._compile_statement(statement)
+        if new_scope:
+            self.scopes.pop()
+
+    def _compile_statement(self, statement: ast.Stmt) -> None:
+        if isinstance(statement, ast.Block):
+            self._compile_block(statement)
+        elif isinstance(statement, ast.Declaration):
+            self._compile_local_declaration(statement)
+        elif isinstance(statement, ast.ExprStatement):
+            reg, _ = self._compile_expr(statement.expr)
+            if reg is not None:
+                self.pool.free(reg)
+        elif isinstance(statement, ast.If):
+            self._compile_if(statement)
+        elif isinstance(statement, ast.While):
+            self._compile_while(statement)
+        elif isinstance(statement, ast.For):
+            self._compile_for(statement)
+        elif isinstance(statement, ast.Return):
+            self._compile_return(statement)
+        elif isinstance(statement, ast.Break):
+            if not self.break_labels:
+                raise CompileError("break outside a loop", statement.line)
+            self.asm.emit_branch(self.break_labels[-1])
+        elif isinstance(statement, ast.Continue):
+            if not self.continue_labels:
+                raise CompileError("continue outside a loop", statement.line)
+            self.asm.emit_branch(self.continue_labels[-1])
+        else:  # pragma: no cover - parser produces no other nodes
+            raise CompileError(f"unsupported statement {statement!r}", statement.line)
+
+    def _compile_local_declaration(self, decl: ast.Declaration) -> None:
+        offset = self._alloc_local(decl.name, decl.type, decl.line)
+        if decl.init is None:
+            return
+        if not is_scalar(decl.type):
+            raise CompileError("only scalar locals may have initialisers", decl.line)
+        value_reg, value_type = self._compile_expr(decl.init)
+        self._check_assignable(decl.type, value_type, decl.line)
+        store = (
+            ins.stb(value_reg, offset, FP)
+            if isinstance(decl.type, CharType)
+            else ins.stw(value_reg, offset, FP)
+        )
+        index = self.asm.emit(store)
+        assert self.current_function is not None
+        self.debug.add_var_ref(VarRefSite(self.current_function, decl.name, index, "store"))
+        self.debug.assignments.append(
+            AssignmentSite(
+                function=self.current_function,
+                line=decl.line,
+                target=decl.name,
+                kind="init",
+                store_index=index,
+                element_size=decl.type.size,
+            )
+        )
+        self.pool.free(value_reg)
+
+    def _compile_if(self, statement: ast.If) -> None:
+        asm = self.asm
+        then_label = asm.new_label("then")
+        else_label = asm.new_label("else")
+        end_label = asm.new_label("endif") if statement.other is not None else else_label
+        self._compile_cond(statement.cond, then_label, else_label, "if")
+        asm.label(then_label)
+        self._compile_statement(statement.then)
+        if statement.other is not None:
+            asm.emit_branch(end_label)
+            asm.label(else_label)
+            self._compile_statement(statement.other)
+            asm.label(end_label)
+        else:
+            asm.label(else_label)
+
+    def _compile_while(self, statement: ast.While) -> None:
+        asm = self.asm
+        top = asm.new_label("while")
+        body = asm.new_label("body")
+        end = asm.new_label("endwhile")
+        asm.label(top)
+        self._compile_cond(statement.cond, body, end, "while")
+        asm.label(body)
+        self.break_labels.append(end)
+        self.continue_labels.append(top)
+        self._compile_statement(statement.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        asm.emit_branch(top)
+        asm.label(end)
+
+    def _compile_for(self, statement: ast.For) -> None:
+        asm = self.asm
+        self.scopes.append({})  # a for-init declaration scopes to the loop
+        if isinstance(statement.init, ast.Block):
+            # Multi-declarator init (`for (int i = 0, j = 0; ...)`) arrives as
+            # a Block; compile it without opening another scope so the
+            # declarations remain visible to the condition and body.
+            for init_statement in statement.init.statements:
+                self._compile_statement(init_statement)
+        elif statement.init is not None:
+            self._compile_statement(statement.init)
+        top = asm.new_label("for")
+        body = asm.new_label("body")
+        post = asm.new_label("post")
+        end = asm.new_label("endfor")
+        asm.label(top)
+        if statement.cond is not None:
+            self._compile_cond(statement.cond, body, end, "for")
+        asm.label(body)
+        self.break_labels.append(end)
+        self.continue_labels.append(post)
+        self._compile_statement(statement.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        asm.label(post)
+        if statement.post is not None:
+            reg, _ = self._compile_expr(statement.post)
+            if reg is not None:
+                self.pool.free(reg)
+        asm.emit_branch(top)
+        asm.label(end)
+
+    def _compile_return(self, statement: ast.Return) -> None:
+        if statement.value is not None:
+            reg, _ = self._compile_expr(statement.value)
+            self.asm.emit(ins.mr(3, reg))
+            self.pool.free(reg)
+        else:
+            self.asm.emit(ins.addi(3, 0, 0))
+        self._emit_epilogue()
+
+    # ------------------------------------------------------------------
+    # conditions
+    # ------------------------------------------------------------------
+
+    def _is_logical(self, expr: ast.Expr) -> bool:
+        return (isinstance(expr, ast.Binary) and expr.op in ("&&", "||")) or (
+            isinstance(expr, ast.Unary) and expr.op == "!"
+        )
+
+    def _compile_cond(self, expr: ast.Expr, true_label: str, false_label: str,
+                      context: str) -> None:
+        """Emit code that jumps to *true_label* / *false_label*."""
+        asm = self.asm
+        assert self.current_function is not None
+        if isinstance(expr, ast.Binary) and expr.op == "&&":
+            mid = asm.new_label("and")
+            simple = not self._is_logical(expr.left)
+            self._compile_cond(expr.left, mid, false_label, context)
+            if simple:
+                self.debug.junctions.append(
+                    JunctionSite(
+                        function=self.current_function,
+                        line=expr.line,
+                        op="&&",
+                        bc_index=asm.position - 2,
+                        b_index=asm.position - 1,
+                        true_label=true_label,
+                        false_label=false_label,
+                        mid_label=mid,
+                    )
+                )
+            asm.label(mid)
+            self._compile_cond(expr.right, true_label, false_label, context)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "||":
+            mid = asm.new_label("or")
+            simple = not self._is_logical(expr.left)
+            self._compile_cond(expr.left, true_label, mid, context)
+            if simple:
+                self.debug.junctions.append(
+                    JunctionSite(
+                        function=self.current_function,
+                        line=expr.line,
+                        op="||",
+                        bc_index=asm.position - 2,
+                        b_index=asm.position - 1,
+                        true_label=true_label,
+                        false_label=false_label,
+                        mid_label=mid,
+                    )
+                )
+            asm.label(mid)
+            self._compile_cond(expr.right, true_label, false_label, context)
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self._compile_cond(expr.operand, false_label, true_label, context)
+            return
+
+        # Leaf test: either an explicit relational operator or truthiness.
+        saved_loads = self._check_loads
+        self._check_loads = []
+        if isinstance(expr, ast.Binary) and expr.op in _REL_COND:
+            op = expr.op
+            cond = _REL_COND[op]
+            left_reg, left_type = self._compile_expr(expr.left)
+            if (
+                isinstance(expr.right, ast.IntLiteral)
+                and -0x8000 <= expr.right.value <= 0x7FFF
+            ):
+                self.asm.emit(ins.cmpi(left_reg, expr.right.value))
+                self.pool.free(left_reg)
+            else:
+                right_reg, right_type = self._compile_expr(expr.right)
+                self.asm.emit(ins.cmp(left_reg, right_reg))
+                self.pool.free(right_reg)
+                self.pool.free(left_reg)
+        else:
+            op = "bool"
+            cond = COND_NE
+            reg, rtype = self._compile_expr(expr)
+            self.asm.emit(ins.cmpi(reg, 0))
+            self.pool.free(reg)
+        bc_index = asm.emit_cond_branch(cond, true_label)
+        asm.emit_branch(false_label)
+        self.debug.checks.append(
+            CheckSite(
+                function=self.current_function,
+                line=expr.line,
+                context=context,
+                op=op,
+                bc_index=bc_index,
+                bc_cond=cond,
+                true_label=true_label,
+                false_label=false_label,
+                array_loads=list(self._check_loads),
+            )
+        )
+        self._check_loads = saved_loads
+
+    def _cond_value(self, expr: ast.Expr) -> tuple[int, Type]:
+        """Materialise a boolean expression into 0/1."""
+        asm = self.asm
+        result = self.pool.alloc(expr.line)
+        true_label = asm.new_label("vt")
+        false_label = asm.new_label("vf")
+        end_label = asm.new_label("vend")
+        self._compile_cond(expr, true_label, false_label, "expr")
+        asm.label(true_label)
+        asm.emit(ins.addi(result, 0, 1))
+        asm.emit_branch(end_label)
+        asm.label(false_label)
+        asm.emit(ins.addi(result, 0, 0))
+        asm.label(end_label)
+        return result, INT
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def _compile_expr(self, expr: ast.Expr) -> tuple[int | None, Type]:
+        """Compile *expr* as an rvalue; returns (register, type).
+
+        Arrays decay to pointers.  ``void`` calls return ``(None, VOID)``.
+        """
+        if isinstance(expr, ast.IntLiteral):
+            reg = self.pool.alloc(expr.line)
+            self.asm.emit(ins.li32(reg, expr.value))
+            return reg, INT
+        if isinstance(expr, ast.StringLiteral):
+            address = self._intern_string(expr.value)
+            reg = self.pool.alloc(expr.line)
+            self.asm.emit(ins.li32(reg, address))
+            return reg, PointerType(CHAR)
+        if isinstance(expr, ast.SizeOf):
+            reg = self.pool.alloc(expr.line)
+            self.asm.emit(ins.li32(reg, expr.target.size))
+            return reg, INT
+        if isinstance(expr, ast.Identifier):
+            return self._compile_identifier(expr)
+        if isinstance(expr, ast.Unary):
+            return self._compile_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._compile_binary(expr)
+        if isinstance(expr, ast.Ternary):
+            return self._compile_ternary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._compile_assign(expr)
+        if isinstance(expr, ast.IncDec):
+            return self._compile_incdec(expr)
+        if isinstance(expr, ast.Call):
+            return self._compile_call(expr)
+        if isinstance(expr, ast.Index):
+            return self._compile_index_rvalue(expr)
+        if isinstance(expr, ast.Member):
+            return self._load_lvalue(self._compile_lvalue(expr), expr.line)
+        raise CompileError(f"unsupported expression {expr!r}", expr.line)
+
+    def _compile_identifier(self, expr: ast.Identifier) -> tuple[int, Type]:
+        kind, location, vtype = self._lookup_or_error(expr)
+        assert self.current_function is not None
+        if isinstance(vtype, ArrayType):
+            reg = self.pool.alloc(expr.line)
+            if kind == "local":
+                index = self.asm.emit(ins.addi(reg, FP, location))
+                self.debug.add_var_ref(
+                    VarRefSite(self.current_function, expr.name, index, "addr")
+                )
+            else:
+                self.asm.emit(ins.li32(reg, location))
+            return reg, PointerType(vtype.element)
+        reg = self.pool.alloc(expr.line)
+        if kind == "local":
+            load = (
+                ins.lbz(reg, location, FP)
+                if isinstance(vtype, CharType)
+                else ins.lwz(reg, location, FP)
+            )
+            index = self.asm.emit(load)
+            self.debug.add_var_ref(
+                VarRefSite(self.current_function, expr.name, index, "load")
+            )
+        else:
+            self.asm.emit(ins.li32(reg, location))
+            load = (
+                ins.lbz(reg, 0, reg) if isinstance(vtype, CharType) else ins.lwz(reg, 0, reg)
+            )
+            self.asm.emit(load)
+        promoted = INT if isinstance(vtype, CharType) else vtype
+        return reg, promoted
+
+    def _lookup_or_error(self, expr: ast.Identifier):
+        try:
+            return self._lookup(expr.name)
+        except CompileError as error:
+            raise CompileError(str(error), expr.line) from None
+
+    def _compile_unary(self, expr: ast.Unary) -> tuple[int, Type]:
+        if expr.op == "!":
+            return self._cond_value(expr)
+        if expr.op == "-":
+            reg, rtype = self._compile_expr(expr.operand)
+            self._require_integer(rtype, expr.line, "unary -")
+            self.asm.emit(ins.neg(reg, reg))
+            return reg, INT
+        if expr.op == "~":
+            reg, rtype = self._compile_expr(expr.operand)
+            self._require_integer(rtype, expr.line, "unary ~")
+            self.asm.emit(ins.not_(reg, reg))
+            return reg, INT
+        if expr.op == "*":
+            lvalue = self._compile_lvalue(expr)
+            return self._load_lvalue(lvalue, expr.line)
+        if expr.op == "&":
+            lvalue = self._compile_lvalue(expr.operand)
+            return self._lvalue_address(lvalue, expr.line)
+        raise CompileError(f"unsupported unary operator {expr.op!r}", expr.line)
+
+    def _lvalue_address(self, lvalue: _LValue, line: int) -> tuple[int, Type]:
+        if lvalue.owns_reg:
+            if lvalue.disp:
+                self.asm.emit(ins.addi(lvalue.reg, lvalue.reg, lvalue.disp))
+            return lvalue.reg, PointerType(lvalue.type)
+        reg = self.pool.alloc(line)
+        index = self.asm.emit(ins.addi(reg, lvalue.reg, lvalue.disp))
+        if lvalue.var is not None:
+            assert self.current_function is not None
+            self.debug.add_var_ref(
+                VarRefSite(self.current_function, lvalue.var, index, "addr")
+            )
+        return reg, PointerType(lvalue.type)
+
+    def _compile_binary(self, expr: ast.Binary) -> tuple[int | None, Type]:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._cond_value(expr)
+        if op in _REL_COND:
+            return self._cond_value(expr)
+        if op == ",":
+            reg, _ = self._compile_expr(expr.left)
+            if reg is not None:
+                self.pool.free(reg)
+            return self._compile_expr(expr.right)
+
+        left_reg, left_type = self._compile_expr(expr.left)
+        right_reg, right_type = self._compile_expr(expr.right)
+        assert left_reg is not None and right_reg is not None
+        result_type: Type = INT
+
+        if op == "+":
+            if is_pointer(left_type) and is_integer(right_type):
+                self._scale(right_reg, left_type)
+                result_type = left_type
+            elif is_integer(left_type) and is_pointer(right_type):
+                self._scale(left_reg, right_type)
+                result_type = right_type
+            elif not (is_integer(left_type) and is_integer(right_type)):
+                raise CompileError("invalid operands to +", expr.line)
+            self.asm.emit(ins.add(left_reg, left_reg, right_reg))
+        elif op == "-":
+            if is_pointer(left_type) and is_integer(right_type):
+                self._scale(right_reg, left_type)
+                result_type = left_type
+            elif not (is_integer(left_type) and is_integer(right_type)):
+                raise CompileError("invalid operands to -", expr.line)
+            self.asm.emit(ins.sub(left_reg, left_reg, right_reg))
+        elif op == "*":
+            self._require_integer(left_type, expr.line, "*")
+            self._require_integer(right_type, expr.line, "*")
+            self.asm.emit(ins.mul(left_reg, left_reg, right_reg))
+        elif op == "/":
+            self._require_integer(left_type, expr.line, "/")
+            self.asm.emit(ins.divw(left_reg, left_reg, right_reg))
+        elif op == "%":
+            self._require_integer(left_type, expr.line, "%")
+            self.asm.emit(ins.modw(left_reg, left_reg, right_reg))
+        elif op == "&":
+            self.asm.emit(ins.and_(left_reg, left_reg, right_reg))
+        elif op == "|":
+            self.asm.emit(ins.or_(left_reg, left_reg, right_reg))
+        elif op == "^":
+            self.asm.emit(ins.xor(left_reg, left_reg, right_reg))
+        elif op == "<<":
+            self.asm.emit(ins.slw(left_reg, left_reg, right_reg))
+        elif op == ">>":
+            self.asm.emit(ins.sraw(left_reg, left_reg, right_reg))
+        else:  # pragma: no cover
+            raise CompileError(f"unsupported binary operator {op!r}", expr.line)
+        self.pool.free(right_reg)
+        return left_reg, result_type
+
+    def _scale(self, reg: int, pointer_type: Type) -> None:
+        assert isinstance(pointer_type, PointerType)
+        size = max(1, pointer_type.target.size)
+        if size == 1:
+            return
+        if size & (size - 1) == 0:
+            self.asm.emit(ins.slwi(reg, reg, size.bit_length() - 1))
+        else:
+            self.asm.emit(ins.mulli(reg, reg, size))
+
+    def _compile_ternary(self, expr: ast.Ternary) -> tuple[int, Type]:
+        asm = self.asm
+        result = self.pool.alloc(expr.line)
+        true_label = asm.new_label("tt")
+        false_label = asm.new_label("tf")
+        end_label = asm.new_label("tend")
+        self._compile_cond(expr.cond, true_label, false_label, "ternary")
+        asm.label(true_label)
+        then_reg, then_type = self._compile_expr(expr.then)
+        assert then_reg is not None
+        asm.emit(ins.mr(result, then_reg))
+        self.pool.free(then_reg)
+        asm.emit_branch(end_label)
+        asm.label(false_label)
+        other_reg, other_type = self._compile_expr(expr.other)
+        assert other_reg is not None
+        asm.emit(ins.mr(result, other_reg))
+        self.pool.free(other_reg)
+        asm.label(end_label)
+        result_type = then_type if not isinstance(then_type, (CharType,)) else INT
+        return result, result_type
+
+    # -- assignment ------------------------------------------------------
+
+    def _describe_lvalue(self, expr: ast.Expr) -> str:
+        if isinstance(expr, ast.Identifier):
+            return expr.name
+        if isinstance(expr, ast.Index):
+            return f"{self._describe_lvalue(expr.base)}[...]"
+        if isinstance(expr, ast.Member):
+            sep = "->" if expr.arrow else "."
+            return f"{self._describe_lvalue(expr.base)}{sep}{expr.field}"
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return f"*{self._describe_lvalue(expr.operand)}"
+        return "<expr>"
+
+    def _compile_assign(self, expr: ast.Assign) -> tuple[int, Type]:
+        assert self.current_function is not None
+        if expr.op == "=":
+            value_reg, value_type = self._compile_expr(expr.value)
+            assert value_reg is not None
+            lvalue = self._compile_lvalue(expr.target)
+            self._check_assignable(lvalue.type, value_type, expr.line)
+            index = self._store_lvalue(lvalue, value_reg)
+            self._record_assignment(expr, lvalue, index, "assign")
+            return value_reg, decay(lvalue.type)
+
+        # Compound assignment: load, combine, store.
+        value_reg, value_type = self._compile_expr(expr.value)
+        assert value_reg is not None
+        lvalue = self._compile_lvalue(expr.target)
+        current = self.pool.alloc(expr.line)
+        self._emit_load(current, lvalue, record=True)
+        arith = expr.op[0]
+        if is_pointer(lvalue.type) and arith in "+-" and is_integer(value_type):
+            self._scale(value_reg, lvalue.type)
+        if arith == "+":
+            self.asm.emit(ins.add(current, current, value_reg))
+        elif arith == "-":
+            self.asm.emit(ins.sub(current, current, value_reg))
+        elif arith == "*":
+            self.asm.emit(ins.mul(current, current, value_reg))
+        elif arith == "/":
+            self.asm.emit(ins.divw(current, current, value_reg))
+        elif arith == "%":
+            self.asm.emit(ins.modw(current, current, value_reg))
+        else:  # pragma: no cover
+            raise CompileError(f"unsupported compound assignment {expr.op!r}", expr.line)
+        self.pool.free(value_reg)
+        index = self._store_lvalue(lvalue, current)
+        self._record_assignment(expr, lvalue, index, "compound")
+        return current, decay(lvalue.type)
+
+    def _compile_incdec(self, expr: ast.IncDec) -> tuple[int, Type]:
+        lvalue = self._compile_lvalue(expr.target)
+        if not is_scalar(lvalue.type):
+            raise CompileError("++/-- needs a scalar operand", expr.line)
+        step = 1
+        if is_pointer(lvalue.type):
+            step = max(1, lvalue.type.target.size)
+        if expr.op == "--":
+            step = -step
+        # Keep the lvalue register alive across the load/store pair.
+        current = self.pool.alloc(expr.line)
+        self._emit_load(current, lvalue, record=True)
+        if expr.prefix:
+            self.asm.emit(ins.addi(current, current, step))
+            index = self._store_lvalue(lvalue, current, free_lvalue=True)
+            self._record_assignment(expr, None, index, "incdec",
+                                    target=self._describe_lvalue(expr.target))
+            return current, decay(lvalue.type)
+        old = self.pool.alloc(expr.line)
+        self.asm.emit(ins.mr(old, current))
+        self.asm.emit(ins.addi(current, current, step))
+        index = self._store_lvalue(lvalue, current, free_lvalue=True)
+        self._record_assignment(expr, None, index, "incdec",
+                                target=self._describe_lvalue(expr.target))
+        self.pool.free(current)
+        return old, decay(lvalue.type)
+
+    def _record_assignment(self, expr: ast.Expr, lvalue: _LValue | None,
+                           store_index: int, kind: str, target: str | None = None) -> None:
+        assert self.current_function is not None
+        if target is None:
+            target = self._describe_lvalue(
+                expr.target if isinstance(expr, (ast.Assign, ast.IncDec)) else expr
+            )
+        is_array = isinstance(expr, (ast.Assign, ast.IncDec)) and isinstance(
+            expr.target, ast.Index
+        )
+        via_pointer = isinstance(expr, (ast.Assign, ast.IncDec)) and isinstance(
+            expr.target, (ast.Member, ast.Unary)
+        )
+        element_size = 4
+        if lvalue is not None:
+            element_size = max(1, lvalue.type.size)
+        self.debug.assignments.append(
+            AssignmentSite(
+                function=self.current_function,
+                line=expr.line,
+                target=target,
+                kind=kind,
+                store_index=store_index,
+                is_array_element=is_array,
+                element_size=element_size,
+                via_pointer=via_pointer,
+            )
+        )
+
+    # -- lvalues ----------------------------------------------------------
+
+    def _compile_lvalue(self, expr: ast.Expr) -> _LValue:
+        assert self.current_function is not None
+        if isinstance(expr, ast.Identifier):
+            kind, location, vtype = self._lookup_or_error(expr)
+            if isinstance(vtype, ArrayType):
+                raise CompileError(f"cannot assign to array {expr.name!r}", expr.line)
+            if kind == "local":
+                return _LValue(FP, location, vtype, owns_reg=False, var=expr.name)
+            reg = self.pool.alloc(expr.line)
+            self.asm.emit(ins.li32(reg, location))
+            return _LValue(reg, 0, vtype, owns_reg=True)
+        if isinstance(expr, ast.Index):
+            reg, elem = self._index_address(expr)
+            if isinstance(elem, ArrayType):
+                raise CompileError("cannot assign to an array row", expr.line)
+            return _LValue(reg, 0, elem, owns_reg=True)
+        if isinstance(expr, ast.Member):
+            if expr.arrow:
+                base_reg, base_type = self._compile_expr(expr.base)
+                assert base_reg is not None
+                if not isinstance(base_type, PointerType) or not isinstance(
+                    base_type.target, StructType
+                ):
+                    raise CompileError("-> needs a struct pointer", expr.line)
+                offset, ftype = self._field_offset(base_type.target, expr.field, expr.line)
+                if isinstance(ftype, ArrayType):
+                    self.asm.emit(ins.addi(base_reg, base_reg, offset))
+                    return _LValue(base_reg, 0, ftype, owns_reg=True)
+                return _LValue(base_reg, offset, ftype, owns_reg=True)
+            base = self._compile_lvalue(expr.base)
+            if not isinstance(base.type, StructType):
+                raise CompileError(". needs a struct lvalue", expr.line)
+            offset, ftype = self._field_offset(base.type, expr.field, expr.line)
+            return _LValue(base.reg, base.disp + offset, ftype,
+                           owns_reg=base.owns_reg, var=base.var)
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            reg, rtype = self._compile_expr(expr.operand)
+            assert reg is not None
+            if not isinstance(rtype, PointerType):
+                raise CompileError("cannot dereference a non-pointer", expr.line)
+            if isinstance(rtype.target, VOID.__class__):
+                raise CompileError("cannot dereference void*", expr.line)
+            return _LValue(reg, 0, rtype.target, owns_reg=True)
+        raise CompileError("expression is not assignable", expr.line)
+
+    def _index_address(self, expr: ast.Index) -> tuple[int, Type]:
+        base_reg, base_type = self._compile_expr(expr.base)
+        assert base_reg is not None
+        if not isinstance(base_type, PointerType):
+            raise CompileError("cannot index a non-array value", expr.line)
+        element = base_type.target
+        if element.size <= 0:
+            raise CompileError("cannot index pointer to void", expr.line)
+        index_reg, index_type = self._compile_expr(expr.index)
+        assert index_reg is not None
+        self._require_integer(index_type, expr.line, "array subscript")
+        size = max(1, element.size)
+        if size != 1:
+            if size & (size - 1) == 0:
+                self.asm.emit(ins.slwi(index_reg, index_reg, size.bit_length() - 1))
+            else:
+                self.asm.emit(ins.mulli(index_reg, index_reg, size))
+        self.asm.emit(ins.add(base_reg, base_reg, index_reg))
+        self.pool.free(index_reg)
+        return base_reg, element
+
+    def _compile_index_rvalue(self, expr: ast.Index) -> tuple[int, Type]:
+        reg, element = self._index_address(expr)
+        if isinstance(element, ArrayType):
+            return reg, PointerType(element.element)
+        load = ins.lbz(reg, 0, reg) if isinstance(element, CharType) else ins.lwz(reg, 0, reg)
+        index = self.asm.emit(load)
+        if self._check_loads is not None:
+            self._check_loads.append((index, max(1, element.size)))
+        promoted = INT if isinstance(element, CharType) else element
+        return reg, promoted
+
+    def _emit_load(self, dest: int, lvalue: _LValue, record: bool = False) -> int:
+        load = (
+            ins.lbz(dest, lvalue.disp, lvalue.reg)
+            if isinstance(lvalue.type, CharType)
+            else ins.lwz(dest, lvalue.disp, lvalue.reg)
+        )
+        index = self.asm.emit(load)
+        if record and lvalue.var is not None:
+            assert self.current_function is not None
+            self.debug.add_var_ref(
+                VarRefSite(self.current_function, lvalue.var, index, "load")
+            )
+        return index
+
+    def _store_lvalue(self, lvalue: _LValue, value_reg: int,
+                      free_lvalue: bool = True) -> int:
+        store = (
+            ins.stb(value_reg, lvalue.disp, lvalue.reg)
+            if isinstance(lvalue.type, CharType)
+            else ins.stw(value_reg, lvalue.disp, lvalue.reg)
+        )
+        index = self.asm.emit(store)
+        if lvalue.var is not None:
+            assert self.current_function is not None
+            self.debug.add_var_ref(
+                VarRefSite(self.current_function, lvalue.var, index, "store")
+            )
+        if free_lvalue and lvalue.owns_reg:
+            self.pool.free(lvalue.reg)
+        return index
+
+    def _load_lvalue(self, lvalue: _LValue, line: int) -> tuple[int, Type]:
+        if isinstance(lvalue.type, ArrayType):
+            reg, ptr_type = self._lvalue_address(lvalue, line)
+            return reg, PointerType(lvalue.type.element)
+        if lvalue.owns_reg:
+            dest = lvalue.reg  # reuse: load overwrites the address register
+            self._emit_load(dest, lvalue)
+            promoted = INT if isinstance(lvalue.type, CharType) else lvalue.type
+            return dest, promoted
+        dest = self.pool.alloc(line)
+        self._emit_load(dest, lvalue, record=True)
+        promoted = INT if isinstance(lvalue.type, CharType) else lvalue.type
+        return dest, promoted
+
+    # -- calls ------------------------------------------------------------
+
+    def _compile_call(self, expr: ast.Call) -> tuple[int | None, Type]:
+        if expr.name in _BUILTINS:
+            syscall, nargs, ret = _BUILTINS[expr.name]
+            if len(expr.args) != nargs:
+                raise CompileError(
+                    f"{expr.name}() takes {nargs} argument(s), got {len(expr.args)}",
+                    expr.line,
+                )
+            if nargs:
+                arg_reg, _ = self._compile_expr(expr.args[0])
+                assert arg_reg is not None
+                self.asm.emit(ins.mr(3, arg_reg))
+                self.pool.free(arg_reg)
+            self.asm.emit(ins.sc(syscall))
+            if isinstance(ret, VOID.__class__):
+                return None, VOID
+            result = self.pool.alloc(expr.line)
+            self.asm.emit(ins.mr(result, 3))
+            return result, ret
+
+        signature = self.func_sigs.get(expr.name)
+        if signature is None:
+            raise CompileError(f"call to undefined function {expr.name!r}", expr.line)
+        if len(expr.args) != len(signature.params):
+            raise CompileError(
+                f"{expr.name}() takes {len(signature.params)} argument(s), "
+                f"got {len(expr.args)}",
+                expr.line,
+            )
+        arg_regs: list[int] = []
+        for argument, expected in zip(expr.args, signature.params):
+            reg, rtype = self._compile_expr(argument)
+            assert reg is not None
+            self._check_assignable(expected, rtype, expr.line)
+            arg_regs.append(reg)
+        saved = [reg for reg in self.pool.live() if reg not in arg_regs]
+        for reg in saved:
+            self.asm.emit(ins.addi(SP, SP, -4))
+            self.asm.emit(ins.stw(reg, 0, SP))
+        for position, reg in enumerate(arg_regs):
+            self.asm.emit(ins.mr(3 + position, reg))
+        for reg in arg_regs:
+            self.pool.free(reg)
+        self.asm.emit_call(expr.name)
+        result: int | None = None
+        if not isinstance(signature.ret, VOID.__class__):
+            result = self.pool.alloc(expr.line)
+            self.asm.emit(ins.mr(result, 3))
+        for reg in reversed(saved):
+            self.asm.emit(ins.lwz(reg, 0, SP))
+            self.asm.emit(ins.addi(SP, SP, 4))
+        return result, signature.ret if result is not None else VOID
+
+    # -- type helpers -------------------------------------------------------
+
+    def _field_offset(self, struct: StructType, field: str, line: int) -> tuple[int, Type]:
+        from .types import TypeError_
+
+        try:
+            return struct.field_offset(field)
+        except TypeError_ as error:
+            raise CompileError(str(error), line) from None
+
+    def _require_integer(self, t: Type, line: int, what: str) -> None:
+        if not is_integer(t):
+            raise CompileError(f"{what} needs an integer operand, got {t!r}", line)
+
+    def _check_assignable(self, dst: Type, src: Type, line: int) -> None:
+        if is_integer(dst) and is_integer(src):
+            return
+        if is_pointer(dst) and (is_pointer(src) or is_integer(src)):
+            return  # permissive, C89-style (0 literals, void* results)
+        if is_integer(dst) and is_pointer(src):
+            return
+        raise CompileError(f"cannot assign {src!r} to {dst!r}", line)

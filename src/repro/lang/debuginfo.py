@@ -1,0 +1,163 @@
+"""Compiler-emitted fault-site records.
+
+§6.3 of the paper, step 1: "All possible fault locations were identified.
+This was done manually at the assembly level.  To assist this process, the
+assignment and checking statements in the source code were first
+identified and the compiler facilities in terms of symbol tables and
+labels were used to help the identification of the assembly instructions
+corresponding to the assignment and checking statements."
+
+Our compiler automates exactly that bookkeeping.  While generating code it
+records, for every assignment and checking statement, which machine
+instructions *anchor* the statement:
+
+* an :class:`AssignmentSite` anchors the store that commits the assigned
+  value;
+* a :class:`CheckSite` anchors the compare/conditional-branch pair that
+  implements a relational test (plus any array-element loads feeding it);
+* a :class:`JunctionSite` anchors the short-circuit branch pair of a
+  ``&&``/``||`` operator;
+* :class:`VarRefSite` lists every instruction referencing a given local
+  variable's frame slot — the paper's Figure 4 stack-shift emulation needs
+  all of them.
+
+Indices are word indices into the code stream until
+:meth:`DebugInfo.resolve` turns them into absolute addresses using the
+assembled symbol table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AssignmentSite:
+    function: str
+    line: int
+    target: str           # human-readable description of the assigned lvalue
+    kind: str             # 'assign' | 'compound' | 'incdec' | 'init'
+    store_index: int      # word index of the anchored store instruction
+    is_array_element: bool = False
+    element_size: int = 4
+    via_pointer: bool = False
+    address: int | None = None  # filled by resolve()
+
+    @property
+    def key(self) -> str:
+        return f"{self.function}:{self.line}:{self.store_index}"
+
+
+@dataclass
+class CheckSite:
+    function: str
+    line: int
+    context: str          # 'if' | 'while' | 'for' | 'ternary' | 'expr'
+    op: str               # '<' '<=' '>' '>=' '==' '!=' 'bool'
+    bc_index: int         # word index of the conditional branch (taken when true)
+    bc_cond: int          # condition code encoded in that branch
+    true_label: str
+    false_label: str
+    array_loads: list[tuple[int, int]] = field(default_factory=list)  # (index, elem size)
+    address: int | None = None
+    true_address: int | None = None
+    false_address: int | None = None
+    array_load_addresses: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def key(self) -> str:
+        return f"{self.function}:{self.line}:{self.bc_index}"
+
+
+@dataclass
+class JunctionSite:
+    function: str
+    line: int
+    op: str               # '&&' or '||'
+    bc_index: int         # the left operand's final conditional branch
+    b_index: int          # the left operand's final unconditional branch
+    true_label: str
+    false_label: str
+    mid_label: str        # label where the right operand's code begins
+    bc_address: int | None = None
+    b_address: int | None = None
+    true_address: int | None = None
+    false_address: int | None = None
+    mid_address: int | None = None
+
+
+@dataclass
+class VarRefSite:
+    function: str
+    var: str
+    index: int            # word index of the referencing instruction
+    kind: str             # 'load' | 'store' | 'addr'
+    address: int | None = None
+
+
+@dataclass
+class FunctionInfo:
+    name: str
+    label: str
+    num_params: int
+    frame_size: int = 0
+    start_index: int = 0
+    end_index: int = 0
+    start_address: int | None = None
+    end_address: int | None = None
+    # local variable name -> frame offset relative to the frame pointer
+    locals: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class DebugInfo:
+    """Everything the fault locator and the §5 emulations need."""
+
+    name: str
+    assignments: list[AssignmentSite] = field(default_factory=list)
+    checks: list[CheckSite] = field(default_factory=list)
+    junctions: list[JunctionSite] = field(default_factory=list)
+    var_refs: dict[tuple[str, str], list[VarRefSite]] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    source_lines: int = 0
+
+    def add_var_ref(self, site: VarRefSite) -> None:
+        self.var_refs.setdefault((site.function, site.var), []).append(site)
+
+    def refs_for(self, function: str, var: str) -> list[VarRefSite]:
+        return self.var_refs.get((function, var), [])
+
+    def resolve(self, code_base: int, symbols: dict[str, int]) -> None:
+        """Convert word indices to absolute addresses; resolve labels."""
+        def addr(index: int) -> int:
+            return code_base + index * 4
+
+        for site in self.assignments:
+            site.address = addr(site.store_index)
+        for check in self.checks:
+            check.address = addr(check.bc_index)
+            check.true_address = symbols[check.true_label]
+            check.false_address = symbols[check.false_label]
+            check.array_load_addresses = [
+                (addr(index), size) for index, size in check.array_loads
+            ]
+        for junction in self.junctions:
+            junction.bc_address = addr(junction.bc_index)
+            junction.b_address = addr(junction.b_index)
+            junction.true_address = symbols[junction.true_label]
+            junction.false_address = symbols[junction.false_label]
+            junction.mid_address = symbols[junction.mid_label]
+        for refs in self.var_refs.values():
+            for ref in refs:
+                ref.address = addr(ref.index)
+        for info in self.functions.values():
+            info.start_address = addr(info.start_index)
+            info.end_address = addr(info.end_index)
+
+    # -- summary helpers used by tables and the metrics module ------------
+
+    def assignment_count(self) -> int:
+        return len(self.assignments)
+
+    def check_count(self) -> int:
+        return len(self.checks)

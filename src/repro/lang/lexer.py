@@ -1,0 +1,177 @@
+"""Lexer for MiniC, the C subset the workload programs are written in.
+
+MiniC covers what the paper's contest programs (Camelot, JamesB) and the
+SOR solver need: ``int``/``char``/``void``, pointers, multi-dimensional
+arrays, structs, the usual operators, ``sizeof``, string/char literals,
+``//`` and ``/* */`` comments, and a one-line ``#define NAME <int>``
+constant facility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "int",
+    "char",
+    "void",
+    "struct",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "break",
+    "continue",
+    "sizeof",
+}
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "++", "--", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+]
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+
+class LexError(SyntaxError):
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "int" | "char" | "string" | "ident" | "keyword" | "op" | "eof"
+    value: object
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, line={self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenise MiniC source, applying ``#define`` constant substitution."""
+    defines: dict[str, int] = {}
+    tokens: list[Token] = []
+    line = 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> LexError:
+        return LexError(message, line)
+
+    while index < length:
+        ch = source[index]
+        if ch == "\n":
+            line += 1
+            index += 1
+            continue
+        if ch in " \t\r":
+            index += 1
+            continue
+        if ch == "#":
+            end = source.find("\n", index)
+            if end == -1:
+                end = length
+            directive = source[index:end].split()
+            if len(directive) == 3 and directive[0] == "#define":
+                name, text = directive[1], directive[2]
+                if not name.isidentifier():
+                    raise error(f"bad #define name {name!r}")
+                try:
+                    defines[name] = int(text, 0)
+                except ValueError:
+                    raise error(f"#define value must be an integer literal: {text!r}") from None
+            else:
+                raise error(f"unsupported preprocessor directive: {' '.join(directive)!r}")
+            index = end
+            continue
+        if source.startswith("//", index):
+            end = source.find("\n", index)
+            index = length if end == -1 else end
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end == -1:
+                raise error("unterminated block comment")
+            line += source.count("\n", index, end)
+            index = end + 2
+            continue
+        if ch.isdigit():
+            start = index
+            if source.startswith("0x", index) or source.startswith("0X", index):
+                index += 2
+                while index < length and source[index] in "0123456789abcdefABCDEF":
+                    index += 1
+                tokens.append(Token("int", int(source[start:index], 16), line))
+            else:
+                while index < length and source[index].isdigit():
+                    index += 1
+                tokens.append(Token("int", int(source[start:index]), line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            word = source[start:index]
+            if word in KEYWORDS:
+                tokens.append(Token("keyword", word, line))
+            elif word in defines:
+                tokens.append(Token("int", defines[word], line))
+            else:
+                tokens.append(Token("ident", word, line))
+            continue
+        if ch == "'":
+            index += 1
+            if index >= length:
+                raise error("unterminated character literal")
+            if source[index] == "\\":
+                index += 1
+                escape = source[index] if index < length else ""
+                if escape not in _ESCAPES:
+                    raise error(f"unknown escape \\{escape}")
+                value = _ESCAPES[escape]
+                index += 1
+            else:
+                value = ord(source[index])
+                index += 1
+            if index >= length or source[index] != "'":
+                raise error("unterminated character literal")
+            index += 1
+            tokens.append(Token("int", value, line))
+            continue
+        if ch == '"':
+            index += 1
+            chars = bytearray()
+            while index < length and source[index] != '"':
+                if source[index] == "\\":
+                    index += 1
+                    escape = source[index] if index < length else ""
+                    if escape not in _ESCAPES:
+                        raise error(f"unknown escape \\{escape}")
+                    chars.append(_ESCAPES[escape])
+                    index += 1
+                else:
+                    if source[index] == "\n":
+                        raise error("newline in string literal")
+                    chars.append(ord(source[index]))
+                    index += 1
+            if index >= length:
+                raise error("unterminated string literal")
+            index += 1
+            tokens.append(Token("string", bytes(chars), line))
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, index):
+                tokens.append(Token("op", op, line))
+                index += len(op)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+    tokens.append(Token("eof", None, line))
+    return tokens

@@ -1,0 +1,453 @@
+"""Recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+from . import astnodes as ast
+from .lexer import Token, tokenize
+from .types import (
+    CHAR,
+    INT,
+    VOID,
+    ArrayType,
+    PointerType,
+    StructType,
+    Type,
+)
+
+
+class ParseError(SyntaxError):
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+# Binary operator precedence (higher binds tighter).  Assignment and the
+# ternary operator are handled separately.
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%="}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.structs: dict[str, StructType] = {}
+
+    # -- token helpers ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.current.line)
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, value: object = None) -> bool:
+        token = self.current
+        return token.kind == kind and (value is None or token.value == value)
+
+    def accept(self, kind: str, value: object = None) -> Token | None:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: object = None) -> Token:
+        token = self.accept(kind, value)
+        if token is None:
+            want = value if value is not None else kind
+            raise self.error(f"expected {want!r}, found {self.current.value!r}")
+        return token
+
+    # -- types ---------------------------------------------------------------
+
+    def at_type(self) -> bool:
+        if self.check("keyword", "int") or self.check("keyword", "char") or self.check("keyword", "void"):
+            return True
+        return self.check("keyword", "struct")
+
+    def parse_base_type(self) -> Type:
+        if self.accept("keyword", "int"):
+            return INT
+        if self.accept("keyword", "char"):
+            return CHAR
+        if self.accept("keyword", "void"):
+            return VOID
+        if self.accept("keyword", "struct"):
+            name_token = self.expect("ident")
+            name = name_token.value
+            if name not in self.structs:
+                # Forward reference (e.g. `struct node *next;` inside itself).
+                self.structs[name] = StructType(str(name))
+            return self.structs[str(name)]
+        raise self.error("expected a type")
+
+    def parse_pointers(self, base: Type) -> Type:
+        while self.accept("op", "*"):
+            base = PointerType(base)
+        return base
+
+    def parse_array_suffix(self, base: Type) -> Type:
+        dims: list[int] = []
+        while self.accept("op", "["):
+            size_token = self.expect("int")
+            dims.append(int(size_token.value))
+            self.expect("op", "]")
+        for dim in reversed(dims):
+            if dim <= 0:
+                raise self.error("array dimension must be positive")
+            base = ArrayType(base, dim)
+        return base
+
+    # -- top level -------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program(line=1)
+        while not self.check("eof"):
+            if self.check("keyword", "struct") and self.tokens[self.pos + 2].value == "{":
+                self.parse_struct_definition()
+                continue
+            line = self.current.line
+            base = self.parse_base_type()
+            base = self.parse_pointers(base)
+            name = str(self.expect("ident").value)
+            if self.check("op", "("):
+                program.functions.append(self.parse_function(base, name, line))
+            else:
+                program.globals.extend(self.parse_global_declarators(base, name, line))
+        program.structs = dict(self.structs)
+        return program
+
+    def parse_struct_definition(self) -> None:
+        self.expect("keyword", "struct")
+        name = str(self.expect("ident").value)
+        struct = self.structs.setdefault(name, StructType(name))
+        if struct.fields:
+            raise self.error(f"struct {name} redefined")
+        self.expect("op", "{")
+        while not self.accept("op", "}"):
+            base = self.parse_base_type()
+            while True:
+                ftype = self.parse_pointers(base)
+                fname = str(self.expect("ident").value)
+                ftype = self.parse_array_suffix(ftype)
+                struct.add_field(fname, ftype)
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ";")
+        struct.finalize()
+        self.expect("op", ";")
+
+    def parse_global_declarators(self, base: Type, first_name: str,
+                                 line: int) -> list[ast.Declaration]:
+        declarations = []
+        name = first_name
+        while True:
+            var_type = self.parse_array_suffix(base)
+            init = None
+            init_list = None
+            if self.accept("op", "="):
+                if self.check("op", "{"):
+                    init_list = self.parse_const_list()
+                else:
+                    init = self.parse_constant_expression()
+            declarations.append(
+                ast.Declaration(line=line, name=name, type=var_type, init=init,
+                                init_list=init_list)
+            )
+            if not self.accept("op", ","):
+                break
+            extra_base = self.parse_pointers(base)
+            name = str(self.expect("ident").value)
+            base = extra_base if isinstance(extra_base, PointerType) else base
+        self.expect("op", ";")
+        return declarations
+
+    def parse_const_list(self) -> list[int]:
+        self.expect("op", "{")
+        values: list[int] = []
+        while not self.check("op", "}"):
+            values.append(self.parse_constant_int())
+            if not self.accept("op", ","):
+                break
+        self.expect("op", "}")
+        return values
+
+    def parse_constant_int(self) -> int:
+        negative = bool(self.accept("op", "-"))
+        token = self.expect("int")
+        value = int(token.value)
+        return -value if negative else value
+
+    def parse_constant_expression(self) -> ast.Expr:
+        line = self.current.line
+        return ast.IntLiteral(line=line, value=self.parse_constant_int())
+
+    def parse_function(self, ret: Type, name: str, line: int) -> ast.Function:
+        self.expect("op", "(")
+        params: list[ast.Parameter] = []
+        if self.accept("keyword", "void") and self.check("op", ")"):
+            pass
+        elif not self.check("op", ")"):
+            while True:
+                p_line = self.current.line
+                p_type = self.parse_pointers(self.parse_base_type())
+                p_name = str(self.expect("ident").value)
+                # `int a[]` parameters decay to pointers.
+                if self.accept("op", "["):
+                    self.accept("int")
+                    self.expect("op", "]")
+                    p_type = PointerType(p_type)
+                params.append(ast.Parameter(line=p_line, name=p_name, type=p_type))
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        if self.accept("op", ";"):
+            return ast.Function(line=line, name=name, ret=ret, params=params, body=None)
+        body = self.parse_block()
+        return ast.Function(line=line, name=name, ret=ret, params=params, body=body)
+
+    # -- statements --------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        line = self.current.line
+        self.expect("op", "{")
+        block = ast.Block(line=line)
+        while not self.accept("op", "}"):
+            block.statements.append(self.parse_statement())
+        return block
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self.current
+        if token.kind == "op" and token.value == "{":
+            return self.parse_block()
+        if self.at_type():
+            return self.parse_local_declaration()
+        if token.kind == "keyword":
+            if token.value == "if":
+                return self.parse_if()
+            if token.value == "while":
+                return self.parse_while()
+            if token.value == "for":
+                return self.parse_for()
+            if token.value == "return":
+                self.advance()
+                value = None
+                if not self.check("op", ";"):
+                    value = self.parse_expression()
+                self.expect("op", ";")
+                return ast.Return(line=token.line, value=value)
+            if token.value == "break":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Break(line=token.line)
+            if token.value == "continue":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Continue(line=token.line)
+        if self.accept("op", ";"):
+            return ast.Block(line=token.line)  # empty statement
+        expr = self.parse_expression()
+        self.expect("op", ";")
+        return ast.ExprStatement(line=token.line, expr=expr)
+
+    def parse_local_declaration(self) -> ast.Stmt:
+        line = self.current.line
+        base = self.parse_base_type()
+        block = ast.Block(line=line)
+        while True:
+            var_type = self.parse_pointers(base)
+            name = str(self.expect("ident").value)
+            var_type = self.parse_array_suffix(var_type)
+            init = None
+            if self.accept("op", "="):
+                init = self.parse_assignment()
+            block.statements.append(
+                ast.Declaration(line=line, name=name, type=var_type, init=init)
+            )
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ";")
+        if len(block.statements) == 1:
+            return block.statements[0]
+        return block
+
+    def parse_if(self) -> ast.If:
+        line = self.expect("keyword", "if").line
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        then = self.parse_statement()
+        other = None
+        if self.accept("keyword", "else"):
+            other = self.parse_statement()
+        return ast.If(line=line, cond=cond, then=then, other=other)
+
+    def parse_while(self) -> ast.While:
+        line = self.expect("keyword", "while").line
+        self.expect("op", "(")
+        cond = self.parse_expression()
+        self.expect("op", ")")
+        body = self.parse_statement()
+        return ast.While(line=line, cond=cond, body=body)
+
+    def parse_for(self) -> ast.For:
+        line = self.expect("keyword", "for").line
+        self.expect("op", "(")
+        init: ast.Stmt | None = None
+        if not self.check("op", ";"):
+            if self.at_type():
+                init = self.parse_local_declaration()
+            else:
+                expr = self.parse_expression()
+                self.expect("op", ";")
+                init = ast.ExprStatement(line=line, expr=expr)
+        else:
+            self.expect("op", ";")
+        if isinstance(init, ast.Declaration) or isinstance(init, ast.Block):
+            pass  # parse_local_declaration consumed the ';'
+        cond = None
+        if not self.check("op", ";"):
+            cond = self.parse_expression()
+        self.expect("op", ";")
+        post = None
+        if not self.check("op", ")"):
+            post = self.parse_expression()
+        self.expect("op", ")")
+        body = self.parse_statement()
+        return ast.For(line=line, init=init, cond=cond, post=post, body=body)
+
+    # -- expressions --------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        expr = self.parse_assignment()
+        while self.accept("op", ","):
+            right = self.parse_assignment()
+            expr = ast.Binary(line=right.line, op=",", left=expr, right=right)
+        return expr
+
+    def parse_assignment(self) -> ast.Expr:
+        left = self.parse_ternary()
+        token = self.current
+        if token.kind == "op" and token.value in _ASSIGN_OPS:
+            self.advance()
+            value = self.parse_assignment()
+            return ast.Assign(line=token.line, op=str(token.value), target=left, value=value)
+        return left
+
+    def parse_ternary(self) -> ast.Expr:
+        cond = self.parse_binary(1)
+        if self.accept("op", "?"):
+            then = self.parse_expression()
+            self.expect("op", ":")
+            other = self.parse_ternary()
+            return ast.Ternary(line=cond.line, cond=cond, then=then, other=other)
+        return cond
+
+    def parse_binary(self, min_precedence: int) -> ast.Expr:
+        left = self.parse_unary()
+        while True:
+            token = self.current
+            if token.kind != "op":
+                return left
+            precedence = _PRECEDENCE.get(str(token.value))
+            if precedence is None or precedence < min_precedence:
+                return left
+            self.advance()
+            right = self.parse_binary(precedence + 1)
+            left = ast.Binary(line=token.line, op=str(token.value), left=left, right=right)
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "op" and token.value in ("-", "!", "~", "*", "&"):
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Unary(line=token.line, op=str(token.value), operand=operand)
+        if token.kind == "op" and token.value in ("++", "--"):
+            self.advance()
+            target = self.parse_unary()
+            return ast.IncDec(line=token.line, op=str(token.value), target=target, prefix=True)
+        if token.kind == "keyword" and token.value == "sizeof":
+            self.advance()
+            self.expect("op", "(")
+            target_type = self.parse_array_suffix(self.parse_pointers(self.parse_base_type()))
+            self.expect("op", ")")
+            return ast.SizeOf(line=token.line, target=target_type)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            token = self.current
+            if token.kind != "op":
+                return expr
+            if token.value == "[":
+                self.advance()
+                index = self.parse_expression()
+                self.expect("op", "]")
+                expr = ast.Index(line=token.line, base=expr, index=index)
+            elif token.value == "(":
+                if not isinstance(expr, ast.Identifier):
+                    raise self.error("only direct function calls are supported")
+                self.advance()
+                args: list[ast.Expr] = []
+                if not self.check("op", ")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                expr = ast.Call(line=token.line, name=expr.name, args=args)
+            elif token.value == ".":
+                self.advance()
+                field = str(self.expect("ident").value)
+                expr = ast.Member(line=token.line, base=expr, field=field, arrow=False)
+            elif token.value == "->":
+                self.advance()
+                field = str(self.expect("ident").value)
+                expr = ast.Member(line=token.line, base=expr, field=field, arrow=True)
+            elif token.value in ("++", "--"):
+                self.advance()
+                expr = ast.IncDec(line=token.line, op=str(token.value), target=expr, prefix=False)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            return ast.IntLiteral(line=token.line, value=int(token.value))
+        if token.kind == "string":
+            self.advance()
+            return ast.StringLiteral(line=token.line, value=bytes(token.value))
+        if token.kind == "ident":
+            self.advance()
+            return ast.Identifier(line=token.line, name=str(token.value))
+        if token.kind == "op" and token.value == "(":
+            self.advance()
+            expr = self.parse_expression()
+            self.expect("op", ")")
+            return expr
+        raise self.error(f"unexpected token {token.value!r}")
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MiniC source text into a :class:`repro.lang.astnodes.Program`."""
+    return Parser(tokenize(source)).parse_program()

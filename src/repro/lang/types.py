@@ -1,0 +1,148 @@
+"""MiniC type system.
+
+``char`` is an unsigned 8-bit byte (loads zero-extend, as RX32's ``lbz``
+does); ``int`` is a signed 32-bit word.  Arrays decay to pointers in
+expression contexts; multi-dimensional arrays are supported (the Camelot
+programs index ``visited[8][8]``-style boards).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class TypeError_(TypeError):
+    """MiniC static type error (named to avoid shadowing the builtin)."""
+
+
+class Type:
+    size: int = 0
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+
+class IntType(Type):
+    size = 4
+
+    def __repr__(self) -> str:
+        return "int"
+
+
+class CharType(Type):
+    size = 1
+
+    def __repr__(self) -> str:
+        return "char"
+
+
+class VoidType(Type):
+    size = 0
+
+    def __repr__(self) -> str:
+        return "void"
+
+
+INT = IntType()
+CHAR = CharType()
+VOID = VoidType()
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    target: Type
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return 4
+
+    def __repr__(self) -> str:
+        return f"{self.target!r}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    element: Type
+    count: int
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self.element.size * self.count
+
+    def __repr__(self) -> str:
+        return f"{self.element!r}[{self.count}]"
+
+
+@dataclass
+class StructType(Type):
+    name: str
+    # field name -> (offset, type); insertion order is declaration order.
+    fields: dict[str, tuple[int, Type]] = field(default_factory=dict)
+    size: int = 0
+
+    def add_field(self, name: str, ftype: Type) -> None:
+        if name in self.fields:
+            raise TypeError_(f"duplicate field {name!r} in struct {self.name}")
+        align = 4 if ftype.size >= 4 or isinstance(ftype, (PointerType, ArrayType)) else 1
+        offset = (self.size + align - 1) & ~(align - 1)
+        self.fields[name] = (offset, ftype)
+        self.size = offset + ftype.size
+
+    def finalize(self) -> None:
+        self.size = (self.size + 3) & ~3  # round struct size to a word
+
+    def field_offset(self, name: str) -> tuple[int, Type]:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise TypeError_(f"struct {self.name} has no field {name!r}") from None
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StructType) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("struct", self.name))
+
+    def __repr__(self) -> str:
+        return f"struct {self.name}"
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    ret: Type
+    params: tuple[Type, ...]
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(p) for p in self.params)
+        return f"{self.ret!r}({args})"
+
+
+def is_integer(t: Type) -> bool:
+    return isinstance(t, (IntType, CharType))
+
+
+def is_pointer(t: Type) -> bool:
+    return isinstance(t, PointerType)
+
+
+def is_scalar(t: Type) -> bool:
+    return is_integer(t) or is_pointer(t)
+
+
+def decay(t: Type) -> Type:
+    """Array-to-pointer decay for expression contexts."""
+    if isinstance(t, ArrayType):
+        return PointerType(t.element)
+    return t
+
+
+def element_size(t: Type) -> int:
+    """Size of the pointed-to / element type for pointer arithmetic."""
+    if isinstance(t, PointerType):
+        return max(1, t.target.size)
+    if isinstance(t, ArrayType):
+        return max(1, t.element.size)
+    raise TypeError_(f"not a pointer or array type: {t!r}")

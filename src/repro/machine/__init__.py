@@ -1,0 +1,106 @@
+"""The simulated target system (stand-in for the Parsytec/PowerPC 601/Parix).
+
+Public surface: :class:`Machine`, :class:`RunResult`, the loader
+(:class:`Executable`, :func:`boot`, :func:`load`), the debug unit and the
+trap hierarchy.
+"""
+
+from .cpu import Core, to_signed, to_unsigned
+from .debug import NUM_DABR, NUM_IABR, DebugResourceError, DebugUnit
+from .loader import (
+    Executable,
+    LoaderError,
+    boot,
+    load,
+    peek_global_word,
+    poke_global_bytes,
+    poke_global_word,
+    poke_global_words,
+)
+from .machine import (
+    CODE_BASE,
+    DATA_BASE,
+    DEFAULT_BUDGET,
+    HEAP_BASE,
+    MAX_CORES,
+    STACK_REGION,
+    STACK_SIZE,
+    Machine,
+    RunResult,
+)
+from .memory import Memory, Segment
+from .syscalls import (
+    SYS_BARRIER,
+    SYS_COREID,
+    SYS_EXIT,
+    SYS_FREE,
+    SYS_MALLOC,
+    SYS_NCORES,
+    SYS_PUTCHAR,
+    SYS_PUTHEX,
+    SYS_PUTINT,
+    SYS_PUTS,
+    SYSCALL_NAMES,
+    HeapManager,
+    SyscallHandler,
+)
+from .traps import (
+    AlignmentTrap,
+    ArithmeticTrap,
+    HeapTrap,
+    IllegalInstructionTrap,
+    InvalidSyscallTrap,
+    MemoryTrap,
+    Trap,
+    TrapInstructionHit,
+)
+
+__all__ = [
+    "Core",
+    "to_signed",
+    "to_unsigned",
+    "NUM_DABR",
+    "NUM_IABR",
+    "DebugResourceError",
+    "DebugUnit",
+    "Executable",
+    "LoaderError",
+    "boot",
+    "load",
+    "peek_global_word",
+    "poke_global_bytes",
+    "poke_global_word",
+    "poke_global_words",
+    "CODE_BASE",
+    "DATA_BASE",
+    "DEFAULT_BUDGET",
+    "HEAP_BASE",
+    "MAX_CORES",
+    "STACK_REGION",
+    "STACK_SIZE",
+    "Machine",
+    "RunResult",
+    "Memory",
+    "Segment",
+    "SYS_BARRIER",
+    "SYS_COREID",
+    "SYS_EXIT",
+    "SYS_FREE",
+    "SYS_MALLOC",
+    "SYS_NCORES",
+    "SYS_PUTCHAR",
+    "SYS_PUTHEX",
+    "SYS_PUTINT",
+    "SYS_PUTS",
+    "SYSCALL_NAMES",
+    "HeapManager",
+    "SyscallHandler",
+    "AlignmentTrap",
+    "ArithmeticTrap",
+    "HeapTrap",
+    "IllegalInstructionTrap",
+    "InvalidSyscallTrap",
+    "MemoryTrap",
+    "Trap",
+    "TrapInstructionHit",
+]

@@ -1,0 +1,123 @@
+"""Executable format and program loader.
+
+An :class:`Executable` is what the MiniC compiler (or the assembler) hands
+the machine: code, initialised data, a BSS size, an entry point and a
+symbol table.  The loader also plays the role the paper assigns to the
+Parix loader in §5: "The loader provides this information" — the absolute
+addresses the injector needs to place fault triggers and errors.
+
+:func:`boot` is the one-call path campaigns use: fresh machine, program
+loaded, input globals poked — the reproduction of "the target system is
+rebooted between injections to assure a clean state".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .machine import (
+    CODE_BASE,
+    DATA_BASE,
+    HEAP_BASE,
+    MAX_CORES,
+    STACK_REGION,
+    STACK_SIZE,
+    Machine,
+)
+
+
+class LoaderError(ValueError):
+    """Raised for images that do not fit the machine's address map."""
+
+
+@dataclass
+class Executable:
+    """A linked program image."""
+
+    code: bytes
+    entry: int
+    data: bytes = b""
+    bss_size: int = 0
+    code_base: int = CODE_BASE
+    data_base: int = DATA_BASE
+    symbols: dict[str, int] = field(default_factory=dict)
+    debug_info: Any = None  # compiler-attached; opaque to the machine
+    name: str = "a.out"
+
+    def address_of(self, symbol: str) -> int:
+        try:
+            return self.symbols[symbol]
+        except KeyError:
+            raise LoaderError(f"undefined symbol {symbol!r} in {self.name}") from None
+
+    @property
+    def data_size(self) -> int:
+        return len(self.data) + self.bss_size
+
+
+def load(machine: Machine, executable: Executable) -> None:
+    """Map an executable into a freshly constructed machine."""
+    if machine.executable is not None:
+        raise LoaderError("machine already has a program loaded; boot a fresh one")
+    if executable.code_base + len(executable.code) > DATA_BASE:
+        raise LoaderError("code image overflows into the data region")
+    data_size = (executable.data_size + 7) & ~7
+    if executable.data_base + data_size > HEAP_BASE:
+        raise LoaderError("data image overflows into the heap region")
+
+    machine.install_code(executable.code_base, executable.code)
+    if data_size:
+        machine.memory.add_segment("data", executable.data_base, data_size, writable=True)
+        if executable.data:
+            machine.memory.debug_write(executable.data_base, executable.data)
+    machine.memory.add_segment("heap", HEAP_BASE, machine.heap.size, writable=True)
+
+    for core in machine.cores:
+        stack_start = STACK_REGION + core.core_id * STACK_SIZE
+        machine.memory.add_segment(
+            f"stack{core.core_id}", stack_start, STACK_SIZE, writable=True
+        )
+        core.pc = executable.entry
+        # Leave a small red zone at the very top; keep 8-byte alignment.
+        core.regs[1] = stack_start + STACK_SIZE - 16
+    machine.executable = executable
+
+
+def poke_global_word(machine: Machine, symbol: str, value: int) -> None:
+    """Write one word into a named global (used to feed input data sets)."""
+    address = machine.executable.address_of(symbol)
+    machine.memory.debug_write_word(address, value & 0xFFFFFFFF)
+
+
+def poke_global_words(machine: Machine, symbol: str, values: list[int]) -> None:
+    address = machine.executable.address_of(symbol)
+    payload = b"".join((v & 0xFFFFFFFF).to_bytes(4, "big") for v in values)
+    machine.memory.debug_write(address, payload)
+
+
+def poke_global_bytes(machine: Machine, symbol: str, payload: bytes) -> None:
+    address = machine.executable.address_of(symbol)
+    machine.memory.debug_write(address, payload)
+
+
+def peek_global_word(machine: Machine, symbol: str) -> int:
+    address = machine.executable.address_of(symbol)
+    return machine.memory.debug_read_word(address)
+
+
+def boot(executable: Executable, *, num_cores: int = 1,
+         inputs: dict[str, int | list[int] | bytes] | None = None) -> Machine:
+    """Fresh machine + loaded program + input globals: one injection run's start state."""
+    if not 1 <= num_cores <= MAX_CORES:
+        raise LoaderError(f"num_cores must be 1..{MAX_CORES}")
+    machine = Machine(num_cores=num_cores)
+    load(machine, executable)
+    for symbol, value in (inputs or {}).items():
+        if isinstance(value, bytes):
+            poke_global_bytes(machine, symbol, value)
+        elif isinstance(value, list):
+            poke_global_words(machine, symbol, value)
+        else:
+            poke_global_word(machine, symbol, value)
+    return machine

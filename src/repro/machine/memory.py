@@ -1,0 +1,137 @@
+"""Segmented flat memory for the RX32 machine.
+
+The address space is one flat byte array carved into segments (code, data,
+heap, one stack per core).  Program-initiated accesses are checked against
+segment bounds and permissions — an access outside any segment, a store to
+read-only code, or a misaligned word access raises a trap, which is how the
+"Program crash" failure mode of the paper arises from corrupted pointers.
+
+The *debug port* (:meth:`Memory.debug_read` / :meth:`Memory.debug_write`)
+bypasses protection.  It models the processor debug facilities Xception
+uses: the loader and the fault injector write through it, including into
+the read-only code segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .traps import AlignmentTrap, MemoryTrap
+
+
+@dataclass(frozen=True)
+class Segment:
+    name: str
+    start: int
+    size: int
+    writable: bool
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    def contains(self, address: int, size: int = 1) -> bool:
+        return self.start <= address and address + size <= self.end
+
+
+class Memory:
+    """Byte-addressable memory with segment protection.
+
+    Words are big-endian (matching the PowerPC ancestry of the ISA).
+    """
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.data = bytearray(size)
+        self.segments: list[Segment] = []
+
+    # -- segment management -------------------------------------------------
+
+    def add_segment(self, name: str, start: int, size: int, *, writable: bool) -> Segment:
+        if start < 0 or start + size > self.size:
+            raise ValueError(f"segment {name!r} outside physical memory")
+        for existing in self.segments:
+            if start < existing.end and existing.start < start + size:
+                raise ValueError(f"segment {name!r} overlaps {existing.name!r}")
+        segment = Segment(name, start, size, writable)
+        self.segments.append(segment)
+        return segment
+
+    def segment_for(self, address: int, size: int = 1) -> Segment | None:
+        for segment in self.segments:
+            if segment.contains(address, size):
+                return segment
+        return None
+
+    def _check(self, address: int, size: int, write: bool, pc: int | None) -> None:
+        segment = self.segment_for(address, size)
+        if segment is None:
+            raise MemoryTrap(
+                f"access to unmapped address {address:#010x}", address=address, pc=pc
+            )
+        if write and not segment.writable:
+            raise MemoryTrap(
+                f"write to read-only segment {segment.name!r} at {address:#010x}",
+                address=address,
+                pc=pc,
+            )
+
+    # -- program-initiated accesses (checked) --------------------------------
+
+    def read_word(self, address: int, pc: int | None = None) -> int:
+        if address & 3:
+            raise AlignmentTrap(
+                f"misaligned word read at {address:#010x}", address=address, pc=pc
+            )
+        self._check(address, 4, False, pc)
+        data = self.data
+        return (data[address] << 24) | (data[address + 1] << 16) | (data[address + 2] << 8) | data[address + 3]
+
+    def write_word(self, address: int, value: int, pc: int | None = None) -> None:
+        if address & 3:
+            raise AlignmentTrap(
+                f"misaligned word write at {address:#010x}", address=address, pc=pc
+            )
+        self._check(address, 4, True, pc)
+        value &= 0xFFFFFFFF
+        data = self.data
+        data[address] = value >> 24
+        data[address + 1] = (value >> 16) & 0xFF
+        data[address + 2] = (value >> 8) & 0xFF
+        data[address + 3] = value & 0xFF
+
+    def read_byte(self, address: int, pc: int | None = None) -> int:
+        self._check(address, 1, False, pc)
+        return self.data[address]
+
+    def write_byte(self, address: int, value: int, pc: int | None = None) -> None:
+        self._check(address, 1, True, pc)
+        self.data[address] = value & 0xFF
+
+    # -- debug port (unchecked; models Xception's use of debug facilities) --
+
+    def debug_read(self, address: int, size: int) -> bytes:
+        if address < 0 or address + size > self.size:
+            raise ValueError(f"debug read outside physical memory: {address:#x}+{size}")
+        return bytes(self.data[address : address + size])
+
+    def debug_write(self, address: int, payload: bytes) -> None:
+        if address < 0 or address + len(payload) > self.size:
+            raise ValueError(f"debug write outside physical memory: {address:#x}")
+        self.data[address : address + len(payload)] = payload
+
+    def debug_read_word(self, address: int) -> int:
+        return int.from_bytes(self.debug_read(address, 4), "big")
+
+    def debug_write_word(self, address: int, value: int) -> None:
+        self.debug_write(address, (value & 0xFFFFFFFF).to_bytes(4, "big"))
+
+    def read_cstring(self, address: int, limit: int = 4096) -> bytes:
+        """Debug-port read of a NUL-terminated string (for syscalls/tests)."""
+        out = bytearray()
+        for offset in range(limit):
+            byte = self.data[address + offset]
+            if byte == 0:
+                break
+            out.append(byte)
+        return bytes(out)

@@ -1,0 +1,131 @@
+"""The Parix-like "kernel" interface of the simulated machine.
+
+The original experiments ran on Parix, a Unix-like OS for the Parsytec
+parallel machine.  Our programs reach the outside world exclusively through
+the ``sc`` instruction: console output, heap management, and the parallel
+primitives (core id, core count, barrier) that the SOR workload uses.
+
+Console output is captured in :attr:`Machine.console`; campaigns compare
+those bytes against the oracle's expected output to distinguish *Correct*
+from *Incorrect* results.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .cpu import to_signed
+from .traps import ConsoleLimitExceeded, HeapTrap, InvalidSyscallTrap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cpu import Core
+    from .machine import Machine
+
+SYS_EXIT = 0
+SYS_PUTINT = 1
+SYS_PUTCHAR = 2
+SYS_MALLOC = 3
+SYS_FREE = 4
+SYS_COREID = 5
+SYS_NCORES = 6
+SYS_BARRIER = 7
+SYS_PUTS = 8
+SYS_PUTHEX = 9
+
+SYSCALL_NAMES = {
+    SYS_EXIT: "exit",
+    SYS_PUTINT: "put_int",
+    SYS_PUTCHAR: "put_char",
+    SYS_MALLOC: "malloc",
+    SYS_FREE: "free",
+    SYS_COREID: "core_id",
+    SYS_NCORES: "num_cores",
+    SYS_BARRIER: "barrier",
+    SYS_PUTS: "put_str",
+    SYS_PUTHEX: "put_hex",
+}
+
+_HEAP_ALIGN = 8
+
+
+class HeapManager:
+    """A deliberately simple bump-plus-freelist allocator.
+
+    It is strict about misuse: freeing a pointer that was never returned by
+    ``malloc`` (or freeing twice) raises :class:`HeapTrap`, modelling the
+    heap-corruption aborts that gave the paper's C.team9 (the
+    dynamic-structures program) its elevated crash rate.
+    """
+
+    def __init__(self, base: int, size: int) -> None:
+        self.base = base
+        self.size = size
+        self._cursor = base
+        self._allocated: dict[int, int] = {}
+        self._free_by_size: dict[int, list[int]] = {}
+
+    def malloc(self, size: int) -> int:
+        """Allocate *size* bytes; returns 0 when out of memory (like Parix)."""
+        if size <= 0:
+            return 0
+        size = (size + _HEAP_ALIGN - 1) & ~(_HEAP_ALIGN - 1)
+        bucket = self._free_by_size.get(size)
+        if bucket:
+            address = bucket.pop()
+        else:
+            if self._cursor + size > self.base + self.size:
+                return 0
+            address = self._cursor
+            self._cursor += size
+        self._allocated[address] = size
+        return address
+
+    def free(self, address: int) -> None:
+        if address == 0:
+            return  # free(NULL) is a no-op, as in C
+        size = self._allocated.pop(address, None)
+        if size is None:
+            raise HeapTrap(f"invalid or double free of {address:#010x}", address=address)
+        self._free_by_size.setdefault(size, []).append(address)
+
+    @property
+    def bytes_in_use(self) -> int:
+        return sum(self._allocated.values())
+
+
+class SyscallHandler:
+    """Dispatches ``sc`` instructions against the owning machine."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+
+    def dispatch(self, core: "Core", number: int) -> None:
+        machine = self.machine
+        regs = core.regs
+        if number == SYS_PUTINT:
+            machine.console += b"%d" % to_signed(regs[3])
+        elif number == SYS_PUTCHAR:
+            machine.console.append(regs[3] & 0xFF)
+        elif number == SYS_EXIT:
+            core.halted = True
+            core.exit_code = to_signed(regs[3])
+        elif number == SYS_MALLOC:
+            regs[3] = machine.heap.malloc(to_signed(regs[3]))
+        elif number == SYS_FREE:
+            machine.heap.free(regs[3])
+        elif number == SYS_COREID:
+            regs[3] = core.core_id
+        elif number == SYS_NCORES:
+            regs[3] = len(machine.cores)
+        elif number == SYS_BARRIER:
+            machine.enter_barrier(core)
+        elif number == SYS_PUTS:
+            machine.console += machine.memory.read_cstring(regs[3])
+        elif number == SYS_PUTHEX:
+            machine.console += b"%08x" % (regs[3] & 0xFFFFFFFF)
+        else:
+            raise InvalidSyscallTrap(f"unknown syscall number {number}")
+        if len(machine.console) > machine.console_limit:
+            raise ConsoleLimitExceeded(
+                f"console output exceeded {machine.console_limit} bytes"
+            )

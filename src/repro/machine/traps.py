@@ -1,0 +1,87 @@
+"""Hardware trap conditions raised by the RX32 machine.
+
+Traps are what turn an injected error into a *Program crash* outcome in the
+paper's failure-mode taxonomy ("the program terminated abnormally and
+generated errors detected by the system (incorrect instructions, etc)").
+Every trap records the core, program counter and a short machine-level
+reason so campaigns can break crashes down by cause.
+"""
+
+from __future__ import annotations
+
+
+class Trap(Exception):
+    """Base class for all machine-detected error conditions."""
+
+    kind = "trap"
+
+    def __init__(self, message: str, *, address: int | None = None, pc: int | None = None,
+                 core_id: int | None = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.address = address
+        self.pc = pc
+        self.core_id = core_id
+
+    def describe(self) -> str:
+        parts = [f"{self.kind}: {self.message}"]
+        if self.pc is not None:
+            parts.append(f"pc={self.pc:#010x}")
+        if self.address is not None:
+            parts.append(f"addr={self.address:#010x}")
+        if self.core_id is not None:
+            parts.append(f"core={self.core_id}")
+        return " ".join(parts)
+
+
+class IllegalInstructionTrap(Trap):
+    """The fetched word does not decode to a valid instruction."""
+
+    kind = "illegal-instruction"
+
+
+class MemoryTrap(Trap):
+    """Access to an unmapped address or a protection violation."""
+
+    kind = "memory-fault"
+
+
+class AlignmentTrap(Trap):
+    """Word access to a non-word-aligned address."""
+
+    kind = "alignment-fault"
+
+
+class ArithmeticTrap(Trap):
+    """Integer division or modulo by zero."""
+
+    kind = "arithmetic-fault"
+
+
+class TrapInstructionHit(Trap):
+    """An explicit ``trap`` instruction executed outside debugger control."""
+
+    kind = "trap-instruction"
+
+
+class InvalidSyscallTrap(Trap):
+    """Unknown syscall number, or syscall arguments the kernel rejects."""
+
+    kind = "invalid-syscall"
+
+
+class HeapTrap(Trap):
+    """Heap-manager detected corruption (invalid free / double free)."""
+
+    kind = "heap-corruption"
+
+
+class ConsoleLimitExceeded(Trap):
+    """Runaway output: the program printed past the console byte limit.
+
+    The experiment manager classifies this as a *hang* — on the real
+    testbed a loop spewing output would be killed by the run timeout, not
+    detected by the processor.
+    """
+
+    kind = "console-overflow"

@@ -1,0 +1,18 @@
+"""Software complexity metrics and metric-guided injection (§6.1)."""
+
+from .guidance import STRATEGIES, allocate, allocation_table, metric_value
+from .halstead import HalsteadMetrics, from_source, from_tokens
+from .mccabe import function_complexity, program_complexity, total_complexity
+
+__all__ = [
+    "STRATEGIES",
+    "allocate",
+    "allocation_table",
+    "metric_value",
+    "HalsteadMetrics",
+    "from_source",
+    "from_tokens",
+    "function_complexity",
+    "program_complexity",
+    "total_complexity",
+]

@@ -1,0 +1,78 @@
+"""Metric-guided fault allocation (§6.1).
+
+When field data on previous software faults is unavailable — which §6.1
+argues is the common case — complexity metrics can substitute for its two
+uses: choosing *where* (which modules/programs) to inject and *how many*
+faults each gets.  This module implements that allocation, plus the
+baselines it is compared against in the ablation benchmark:
+
+* ``uniform``   — every program gets the same share ("all the possible
+  software faults and locations are equally likely");
+* ``loc``       — proportional to lines of code;
+* ``mccabe``    — proportional to total cyclomatic complexity;
+* ``halstead``  — proportional to Halstead volume;
+* ``sites``     — proportional to the number of actual fault locations
+  the locator finds (an oracle-ish upper bound for comparison).
+"""
+
+from __future__ import annotations
+
+from ..emulation.locator import FaultLocator
+from ..lang.compiler import CompiledProgram
+from . import halstead, mccabe
+
+STRATEGIES = ("uniform", "loc", "mccabe", "halstead", "sites")
+
+
+def metric_value(compiled: CompiledProgram, strategy: str) -> float:
+    if strategy == "uniform":
+        return 1.0
+    if strategy == "loc":
+        return float(compiled.source_lines)
+    if strategy == "mccabe":
+        return float(mccabe.total_complexity(compiled.tree))
+    if strategy == "halstead":
+        return halstead.from_source(compiled.source).volume
+    if strategy == "sites":
+        locator = FaultLocator(compiled)
+        return float(
+            len(locator.assignment_locations()) + len(locator.checking_locations())
+        )
+    raise ValueError(f"unknown allocation strategy {strategy!r}")
+
+
+def allocate(
+    programs: list[CompiledProgram], total_faults: int, strategy: str = "mccabe"
+) -> dict[str, int]:
+    """Distribute *total_faults* across programs, proportional to the metric.
+
+    Uses the largest-remainder method so the counts always sum exactly to
+    *total_faults* and every program with positive weight gets its fair
+    rounding.
+    """
+    if total_faults < 0:
+        raise ValueError("total_faults must be non-negative")
+    weights = {program.name: metric_value(program, strategy) for program in programs}
+    total_weight = sum(weights.values())
+    if total_weight <= 0:
+        raise ValueError("all metric weights are zero")
+    quotas = {
+        name: total_faults * weight / total_weight for name, weight in weights.items()
+    }
+    counts = {name: int(quota) for name, quota in quotas.items()}
+    remainder = total_faults - sum(counts.values())
+    by_fraction = sorted(
+        quotas, key=lambda name: (quotas[name] - counts[name], name), reverse=True
+    )
+    for name in by_fraction[:remainder]:
+        counts[name] += 1
+    return counts
+
+
+def allocation_table(
+    programs: list[CompiledProgram], total_faults: int
+) -> dict[str, dict[str, int]]:
+    """Every strategy's allocation side by side (the A1 ablation)."""
+    return {
+        strategy: allocate(programs, total_faults, strategy) for strategy in STRATEGIES
+    }

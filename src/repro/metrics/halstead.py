@@ -1,0 +1,72 @@
+"""Halstead software-science metrics over the MiniC token stream."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..lang.lexer import Token, tokenize
+
+_OPERATOR_KEYWORDS = {
+    "if", "else", "while", "for", "return", "break", "continue", "sizeof",
+    "struct",
+}
+_TYPE_KEYWORDS = {"int", "char", "void"}
+
+
+@dataclass(frozen=True)
+class HalsteadMetrics:
+    distinct_operators: int   # n1
+    distinct_operands: int    # n2
+    total_operators: int      # N1
+    total_operands: int       # N2
+
+    @property
+    def vocabulary(self) -> int:
+        return self.distinct_operators + self.distinct_operands
+
+    @property
+    def length(self) -> int:
+        return self.total_operators + self.total_operands
+
+    @property
+    def volume(self) -> float:
+        if self.vocabulary == 0:
+            return 0.0
+        return self.length * math.log2(self.vocabulary)
+
+    @property
+    def difficulty(self) -> float:
+        if self.distinct_operands == 0:
+            return 0.0
+        return (self.distinct_operators / 2.0) * (
+            self.total_operands / self.distinct_operands
+        )
+
+    @property
+    def effort(self) -> float:
+        return self.difficulty * self.volume
+
+
+def from_tokens(tokens: list[Token]) -> HalsteadMetrics:
+    operators: dict[object, int] = {}
+    operands: dict[object, int] = {}
+    for token in tokens:
+        if token.kind == "op":
+            operators[token.value] = operators.get(token.value, 0) + 1
+        elif token.kind == "keyword":
+            if token.value in _OPERATOR_KEYWORDS or token.value in _TYPE_KEYWORDS:
+                operators[token.value] = operators.get(token.value, 0) + 1
+        elif token.kind in ("ident", "int", "string"):
+            key = (token.kind, token.value)
+            operands[key] = operands.get(key, 0) + 1
+    return HalsteadMetrics(
+        distinct_operators=len(operators),
+        distinct_operands=len(operands),
+        total_operators=sum(operators.values()),
+        total_operands=sum(operands.values()),
+    )
+
+
+def from_source(source: str) -> HalsteadMetrics:
+    return from_tokens(tokenize(source))

@@ -1,0 +1,83 @@
+"""McCabe cyclomatic complexity over the MiniC AST.
+
+§6.1: "Existing studies indicate that fault probability correlates with
+the software module complexity.  This suggests that existing metrics (and
+tools) to predict the probability of a given module having software faults
+could be used when field data is not available."  Cyclomatic complexity is
+the canonical such metric.
+"""
+
+from __future__ import annotations
+
+from ..lang import astnodes as ast
+
+
+def _expression_decisions(expr: ast.Expr | None) -> int:
+    """Count decision points contributed by an expression (&&, ||, ?:)."""
+    if expr is None:
+        return 0
+    if isinstance(expr, ast.Binary):
+        own = 1 if expr.op in ("&&", "||") else 0
+        return own + _expression_decisions(expr.left) + _expression_decisions(expr.right)
+    if isinstance(expr, ast.Unary):
+        return _expression_decisions(expr.operand)
+    if isinstance(expr, ast.Ternary):
+        return (
+            1
+            + _expression_decisions(expr.cond)
+            + _expression_decisions(expr.then)
+            + _expression_decisions(expr.other)
+        )
+    if isinstance(expr, ast.Assign):
+        return _expression_decisions(expr.target) + _expression_decisions(expr.value)
+    if isinstance(expr, ast.IncDec):
+        return _expression_decisions(expr.target)
+    if isinstance(expr, ast.Call):
+        return sum(_expression_decisions(argument) for argument in expr.args)
+    if isinstance(expr, ast.Index):
+        return _expression_decisions(expr.base) + _expression_decisions(expr.index)
+    if isinstance(expr, ast.Member):
+        return _expression_decisions(expr.base)
+    return 0
+
+
+def _statement_decisions(statement: ast.Stmt) -> int:
+    if isinstance(statement, ast.Block):
+        return sum(_statement_decisions(child) for child in statement.statements)
+    if isinstance(statement, ast.If):
+        total = 1 + _expression_decisions(statement.cond)
+        total += _statement_decisions(statement.then)
+        if statement.other is not None:
+            total += _statement_decisions(statement.other)
+        return total
+    if isinstance(statement, ast.While):
+        return 1 + _expression_decisions(statement.cond) + _statement_decisions(statement.body)
+    if isinstance(statement, ast.For):
+        total = 1 if statement.cond is not None else 0
+        total += _expression_decisions(statement.cond)
+        if statement.init is not None:
+            total += _statement_decisions(statement.init)
+        total += _expression_decisions(statement.post)
+        total += _statement_decisions(statement.body)
+        return total
+    if isinstance(statement, ast.Return):
+        return _expression_decisions(statement.value)
+    if isinstance(statement, ast.ExprStatement):
+        return _expression_decisions(statement.expr)
+    if isinstance(statement, ast.Declaration):
+        return _expression_decisions(statement.init)
+    return 0
+
+
+def function_complexity(function: ast.Function) -> int:
+    """Cyclomatic complexity of one function: decisions + 1."""
+    return 1 + _statement_decisions(function.body)
+
+
+def program_complexity(program: ast.Program) -> dict[str, int]:
+    """Per-function cyclomatic complexity."""
+    return {function.name: function_complexity(function) for function in program.functions}
+
+
+def total_complexity(program: ast.Program) -> int:
+    return sum(program_complexity(program).values())

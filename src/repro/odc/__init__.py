@@ -1,0 +1,24 @@
+"""Orthogonal Defect Classification: defect types, triggers, field data."""
+
+from .defect_types import TYPE_EMULABILITY, DefectType, Emulability
+from .field_data import (
+    FIELD_DISTRIBUTION,
+    non_emulable_share,
+    share,
+    share_by_emulability,
+    weighted_fault_counts,
+)
+from .triggers import EXPOSURE_CHAIN, ODCTrigger
+
+__all__ = [
+    "TYPE_EMULABILITY",
+    "DefectType",
+    "Emulability",
+    "FIELD_DISTRIBUTION",
+    "non_emulable_share",
+    "share",
+    "share_by_emulability",
+    "weighted_fault_counts",
+    "EXPOSURE_CHAIN",
+    "ODCTrigger",
+]

@@ -1,0 +1,70 @@
+"""Orthogonal Defect Classification (ODC) defect types.
+
+The paper characterises a software fault "by the change in the code that
+is necessary to correct it" (the ODC notion of defect) and uses the ODC
+code-related defect types as its fault taxonomy (§3).  Descriptions below
+are the paper's own wording.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class DefectType(str, Enum):
+    ASSIGNMENT = "assignment"
+    CHECKING = "checking"
+    INTERFACE = "interface"
+    TIMING = "timing"
+    ALGORITHM = "algorithm"
+    FUNCTION = "function"
+
+    @property
+    def description(self) -> str:
+        return _DESCRIPTIONS[self]
+
+
+_DESCRIPTIONS = {
+    DefectType.ASSIGNMENT: "values assigned incorrectly or not assigned",
+    DefectType.CHECKING: (
+        "missing or incorrect validation of data or incorrect loop or "
+        "conditional statements"
+    ),
+    DefectType.INTERFACE: (
+        "errors in the interaction among components, modules, device "
+        "drivers, call statements, etc"
+    ),
+    DefectType.TIMING: "missing or incorrect serialization of shared resources",
+    DefectType.ALGORITHM: (
+        "incorrect or missing implementation that can be fixed by "
+        "(re)implementing an algorithm or data structure without the need "
+        "for a design change"
+    ),
+    DefectType.FUNCTION: (
+        "incorrect or missing implementation of a capability that affects a "
+        "substantial amount of code and requires a formal design change to "
+        "be corrected"
+    ),
+}
+
+
+class Emulability(str, Enum):
+    """The three §5 verdict categories for SWIFI emulation of a fault class."""
+
+    EMULABLE = "emulable"                      # category A
+    NEEDS_TOOL_EXTENSIONS = "needs-extensions"  # category B
+    NOT_EMULABLE = "not-emulable"               # category C
+
+
+# §5's per-type verdicts.  Interface faults "are somehow similar to
+# assignment faults ... and some of them can be emulated"; timing faults
+# are "heavily dependent on the specific fault".  The headline result uses
+# the clear-cut categories.
+TYPE_EMULABILITY = {
+    DefectType.ASSIGNMENT: Emulability.EMULABLE,
+    DefectType.CHECKING: Emulability.EMULABLE,
+    DefectType.INTERFACE: Emulability.NEEDS_TOOL_EXTENSIONS,
+    DefectType.TIMING: Emulability.NEEDS_TOOL_EXTENSIONS,
+    DefectType.ALGORITHM: Emulability.NOT_EMULABLE,
+    DefectType.FUNCTION: Emulability.NOT_EMULABLE,
+}

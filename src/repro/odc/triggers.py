@@ -1,0 +1,38 @@
+"""ODC fault triggers (the *system test* trigger classes).
+
+§3: "Only the system test class of triggers is relevant for our study, as
+it represents the broad environmental conditions when the faults are
+exposed during the operational use in the field. ... The normal mode
+category means that the software fault has been exposed when everything
+was supposed to work normally.  This is the trigger category relevant for
+our study as all the experiments have been done with the target system
+working in normal conditions."
+
+ODC triggers describe *environmental conditions*, not injection points —
+which is exactly why they "cannot be used to define the SWIFI fault
+triggers" and the paper decomposes the SWIFI When into Which + When
+instead (see :mod:`repro.swifi.faults`).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class ODCTrigger(str, Enum):
+    STARTUP_RESTART = "startup/restart"
+    WORKLOAD_STRESS = "workload volume/stress"
+    RECOVERY_EXCEPTION = "recovery/exception"
+    HW_SW_CONFIGURATION = "hardware/software configuration"
+    NORMAL_MODE = "normal mode"
+
+    @property
+    def is_experiment_relevant(self) -> bool:
+        """True for the trigger class this study injects under."""
+        return self is ODCTrigger.NORMAL_MODE
+
+
+#: p1 * p2 * p3 — the paper's Figure 2 exposure chain.  Injecting *errors*
+#: rather than faults collapses p1 and p2 to 1 (§3), which is the source of
+#: the representativeness question the paper investigates.
+EXPOSURE_CHAIN = ("p1: faulty code executed", "p2: errors generated", "p3: failure")

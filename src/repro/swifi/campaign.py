@@ -1,0 +1,257 @@
+"""Experiment management: the paper's host-side campaign software.
+
+Xception's "Experiment Management software ... is responsible for the
+fault definition, experiment execution control, outcome collection, and
+some preliminary results analysis".  :class:`CampaignRunner` plays that
+role here:
+
+* it calibrates a per-input instruction budget from the fault-free run
+  (the experiment manager's hang timeout), verifying at the same time
+  that the program's fault-free output matches the oracle;
+* it boots a **fresh machine for every injection run** ("the target
+  system is rebooted between injections to assure a clean state");
+* one run = one fault × one input data set; the fault's trigger may fire
+  many times within the run ("each program run corresponds to one fault,
+  no matter the number of times the fault is triggered");
+* it classifies every run into the four failure modes and keeps the
+  fault's metadata alongside, so results can be sliced by program, error
+  type, ODC class, trigger kind, …
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from ..lang.compiler import CompiledProgram
+from ..machine.loader import boot
+from .faults import FaultSpec
+from .injector import InjectionSession
+from .outcomes import MODE_ORDER, FailureMode, classify
+
+DEFAULT_BUDGET_FACTOR = 15
+DEFAULT_MIN_BUDGET = 100_000
+
+PokeValue = int | list[int] | bytes
+
+
+class CampaignError(RuntimeError):
+    """Raised when the fault-free program disagrees with its oracle."""
+
+
+@dataclass(frozen=True)
+class InputCase:
+    """One input data set: global pokes plus the oracle's expected output."""
+
+    case_id: str
+    pokes: Mapping[str, PokeValue]
+    expected: bytes
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """The outcome of one injection run."""
+
+    fault_id: str
+    case_id: str
+    mode: FailureMode
+    status: str
+    exit_code: int | None
+    trap_kind: str | None
+    activations: int
+    injections: int
+    instructions: int
+    metadata: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def meta(self) -> dict[str, object]:
+        return dict(self.metadata)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "fault_id": self.fault_id,
+            "case_id": self.case_id,
+            "mode": self.mode.value,
+            "status": self.status,
+            "exit_code": self.exit_code,
+            "trap_kind": self.trap_kind,
+            "activations": self.activations,
+            "injections": self.injections,
+            "instructions": self.instructions,
+            "metadata": dict(self.metadata),
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "RunRecord":
+        return RunRecord(
+            fault_id=payload["fault_id"],
+            case_id=payload["case_id"],
+            mode=FailureMode(payload["mode"]),
+            status=payload["status"],
+            exit_code=payload["exit_code"],
+            trap_kind=payload["trap_kind"],
+            activations=payload["activations"],
+            injections=payload["injections"],
+            instructions=payload["instructions"],
+            metadata=tuple(sorted(payload.get("metadata", {}).items())),
+        )
+
+
+@dataclass
+class CampaignResult:
+    """All run records of one campaign, with slicing helpers."""
+
+    program: str
+    records: list[RunRecord] = field(default_factory=list)
+
+    @property
+    def total_runs(self) -> int:
+        return len(self.records)
+
+    def tally(self, records: Iterable[RunRecord] | None = None) -> Counter:
+        counter: Counter = Counter()
+        for record in self.records if records is None else records:
+            counter[record.mode] += 1
+        return counter
+
+    def percentages(self, records: Iterable[RunRecord] | None = None) -> dict[FailureMode, float]:
+        subset = list(self.records if records is None else records)
+        total = len(subset) or 1
+        counts = self.tally(subset)
+        return {mode: 100.0 * counts.get(mode, 0) / total for mode in MODE_ORDER}
+
+    def by_metadata(self, key: str) -> dict[object, list[RunRecord]]:
+        groups: dict[object, list[RunRecord]] = {}
+        for record in self.records:
+            groups.setdefault(record.meta.get(key), []).append(record)
+        return groups
+
+    def dormant_fraction(self) -> float:
+        """Share of runs whose fault never actually injected an error."""
+        if not self.records:
+            return 0.0
+        dormant = sum(1 for record in self.records if record.injections == 0)
+        return dormant / len(self.records)
+
+    def merge(self, other: "CampaignResult") -> "CampaignResult":
+        merged = CampaignResult(program=self.program)
+        merged.records = self.records + other.records
+        return merged
+
+    # -- persistence -----------------------------------------------------
+
+    def to_json(self, path: str) -> None:
+        payload = {
+            "program": self.program,
+            "records": [record.to_dict() for record in self.records],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+    @staticmethod
+    def from_json(path: str) -> "CampaignResult":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        result = CampaignResult(program=payload["program"])
+        result.records = [RunRecord.from_dict(entry) for entry in payload["records"]]
+        return result
+
+
+class CampaignRunner:
+    """Runs faults × inputs against one compiled program."""
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        cases: list[InputCase],
+        *,
+        num_cores: int = 1,
+        budget_factor: int = DEFAULT_BUDGET_FACTOR,
+        min_budget: int = DEFAULT_MIN_BUDGET,
+        quantum: int = 64,
+    ) -> None:
+        if not cases:
+            raise ValueError("a campaign needs at least one input case")
+        self.compiled = compiled
+        self.cases = cases
+        self.num_cores = num_cores
+        self.budget_factor = budget_factor
+        self.min_budget = min_budget
+        self.quantum = quantum
+        self.budgets: dict[str, int] = {}
+        self.golden_instructions: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def calibrate(self) -> None:
+        """Fault-free run per input: oracle check + hang-budget derivation."""
+        for case in self.cases:
+            machine = boot(
+                self.compiled.executable, num_cores=self.num_cores, inputs=dict(case.pokes)
+            )
+            result = machine.run(quantum=self.quantum)
+            if result.status != "exited":
+                raise CampaignError(
+                    f"{self.compiled.name}/{case.case_id}: fault-free run did not "
+                    f"exit cleanly (status={result.status})"
+                )
+            if result.console != case.expected:
+                raise CampaignError(
+                    f"{self.compiled.name}/{case.case_id}: fault-free output "
+                    f"{result.console[:80]!r} differs from oracle {case.expected[:80]!r}"
+                )
+            self.golden_instructions[case.case_id] = result.instructions
+            self.budgets[case.case_id] = max(
+                self.min_budget, result.instructions * self.budget_factor
+            )
+
+    def _budget_for(self, case: InputCase) -> int:
+        if case.case_id not in self.budgets:
+            self.calibrate()
+        return self.budgets[case.case_id]
+
+    # ------------------------------------------------------------------
+
+    def run_one(self, spec: FaultSpec | None, case: InputCase) -> RunRecord:
+        """One injection run: fresh boot, arm, execute, classify."""
+        machine = boot(
+            self.compiled.executable, num_cores=self.num_cores, inputs=dict(case.pokes)
+        )
+        session = InjectionSession(machine)
+        if spec is not None:
+            session.arm(spec)
+        result = session.run(self._budget_for(case), quantum=self.quantum)
+        mode = classify(result, case.expected)
+        fault_id = spec.fault_id if spec is not None else "none"
+        return RunRecord(
+            fault_id=fault_id,
+            case_id=case.case_id,
+            mode=mode,
+            status=result.status,
+            exit_code=result.exit_code,
+            trap_kind=result.trap.kind if result.trap is not None else None,
+            activations=session.activation_count(fault_id),
+            injections=session.injection_count(fault_id),
+            instructions=result.instructions,
+            metadata=spec.metadata if spec is not None else (),
+        )
+
+    def run(
+        self,
+        faults: list[FaultSpec],
+        progress: Callable[[int, int], None] | None = None,
+    ) -> CampaignResult:
+        """The full campaign: every fault against every input case."""
+        self.calibrate()
+        result = CampaignResult(program=self.compiled.name)
+        total = len(faults) * len(self.cases)
+        done = 0
+        for spec in faults:
+            for case in self.cases:
+                result.records.append(self.run_one(spec, case))
+                done += 1
+                if progress is not None:
+                    progress(done, total)
+        return result

@@ -1,0 +1,116 @@
+"""Statement-level coverage via trap-instrumented observation probes.
+
+Which fault locations does a test case actually exercise?  The question
+sits underneath both §5 (p1, the probability the faulty code runs at all)
+and §6 (locations whose triggers never fire leave faults dormant).  This
+module measures it with the injector's own machinery: an observation
+probe (identity corruption) on every assignment/checking anchor of a
+program, armed in **trap mode** — the breakpoint registers could only
+watch two addresses, so coverage instrumentation is inherently the
+"intrusive" flavour, exactly like classic debugger breakpoints.
+
+Typical use::
+
+    coverage = CoverageSession(compiled)
+    machine = boot(compiled.executable, inputs=pokes)
+    result = coverage.attach_and_run(machine)
+    print(coverage.report())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang.compiler import CompiledProgram
+from ..machine.machine import DEFAULT_BUDGET, Machine, RunResult
+from .faults import MODE_TRAP, probe
+from .injector import InjectionSession
+
+
+@dataclass(frozen=True)
+class CoveragePoint:
+    """One instrumented fault-site anchor."""
+
+    address: int
+    kind: str        # "assignment" | "checking"
+    function: str
+    line: int
+
+
+@dataclass
+class CoverageReport:
+    points: list[CoveragePoint]
+    counts: dict[int, int]  # address -> executions
+
+    @property
+    def total_points(self) -> int:
+        return len(self.points)
+
+    @property
+    def covered_points(self) -> int:
+        return sum(1 for point in self.points if self.counts.get(point.address, 0) > 0)
+
+    @property
+    def coverage(self) -> float:
+        return self.covered_points / self.total_points if self.points else 0.0
+
+    def uncovered(self) -> list[CoveragePoint]:
+        return [p for p in self.points if self.counts.get(p.address, 0) == 0]
+
+    def hot_spots(self, top: int = 5) -> list[tuple[CoveragePoint, int]]:
+        ranked = sorted(
+            ((p, self.counts.get(p.address, 0)) for p in self.points),
+            key=lambda pair: pair[1],
+            reverse=True,
+        )
+        return ranked[:top]
+
+    def render(self) -> str:
+        lines = [
+            f"fault-site coverage: {self.covered_points}/{self.total_points} "
+            f"({100 * self.coverage:.0f}%)"
+        ]
+        for point in self.uncovered():
+            lines.append(
+                f"  never executed: {point.kind} at {point.function}:{point.line}"
+            )
+        return "\n".join(lines)
+
+
+class CoverageSession:
+    """Instruments every fault-site anchor of a compiled program."""
+
+    def __init__(self, compiled: CompiledProgram) -> None:
+        self.compiled = compiled
+        self.points: list[CoveragePoint] = []
+        seen: set[int] = set()
+        for site in compiled.debug.assignments:
+            if site.address is not None and site.address not in seen:
+                seen.add(site.address)
+                self.points.append(
+                    CoveragePoint(site.address, "assignment", site.function, site.line)
+                )
+        for site in compiled.debug.checks:
+            if site.address is not None and site.address not in seen:
+                seen.add(site.address)
+                self.points.append(
+                    CoveragePoint(site.address, "checking", site.function, site.line)
+                )
+
+    def attach(self, machine: Machine) -> InjectionSession:
+        """Arm one trap-mode probe per anchor on *machine*."""
+        session = InjectionSession(machine)
+        for point in self.points:
+            session.arm(probe(f"cov:{point.address:#x}", point.address, mode=MODE_TRAP))
+        return session
+
+    def attach_and_run(
+        self, machine: Machine, max_instructions: int = DEFAULT_BUDGET
+    ) -> tuple[RunResult, CoverageReport]:
+        session = self.attach(machine)
+        result = session.run(max_instructions)
+        counts = {
+            point.address: session.activation_count(f"cov:{point.address:#x}")
+            for point in self.points
+        }
+        return result, CoverageReport(points=list(self.points), counts=counts)

@@ -1,0 +1,139 @@
+"""Random hardware-fault generation (the classic Xception use case).
+
+§6.4 of the paper observes that the §6 error sets "also emulate hardware
+faults, which might explain the general small percentage of correct
+results", and that "the random fault trigger used is also typical from
+hardware faults" — citing earlier Xception [23] and pin-level [26]
+campaigns where hardware faults produced large shares of incorrect
+results and crashes.
+
+This module generates that classic fault population: single- and
+multi-bit flips in
+
+* general-purpose registers (transient, at a random execution instant),
+* data memory words (transient corruption of stored state),
+* code memory words (persistent corruption of an instruction),
+* the instruction-fetch data bus (transient, on a random fetch),
+
+with uniformly random temporal or spatial triggers.  The hardware-vs-
+software ablation benchmark compares the failure-mode mix of this
+population against the §6.3 rule-generated software error sets on the
+same programs and inputs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..lang.compiler import CompiledProgram
+from .faults import (
+    Action,
+    BitFlip,
+    CodeWord,
+    FaultSpec,
+    FetchedWord,
+    OpcodeFetch,
+    RegisterTarget,
+    Temporal,
+    WhenPolicy,
+)
+
+#: The hardware fault classes this generator draws from.
+HW_REGISTER = "hw-register"
+HW_MEMORY = "hw-memory"
+HW_CODE = "hw-code"
+HW_BUS = "hw-bus"
+
+HW_CLASSES = (HW_REGISTER, HW_MEMORY, HW_CODE, HW_BUS)
+
+
+@dataclass(frozen=True)
+class HardwareFaultModel:
+    """Knobs for the random hardware-fault population."""
+
+    max_bits: int = 2                 # 1 or 2 simultaneous bit flips
+    temporal_window: int = 200_000    # instruction window for temporal triggers
+    classes: tuple[str, ...] = HW_CLASSES
+
+
+def _mask(rng: random.Random, max_bits: int) -> int:
+    bits = rng.randint(1, max_bits)
+    mask = 0
+    while bin(mask).count("1") < bits:
+        mask |= 1 << rng.randrange(32)
+    return mask
+
+
+def _code_addresses(compiled: CompiledProgram) -> tuple[int, int]:
+    base = compiled.executable.code_base
+    return base, base + len(compiled.executable.code)
+
+
+def generate_hardware_fault(
+    compiled: CompiledProgram,
+    rng: random.Random,
+    model: HardwareFaultModel | None = None,
+    fault_id: str | None = None,
+) -> FaultSpec:
+    """One random hardware fault against *compiled*."""
+    model = model or HardwareFaultModel()
+    klass = rng.choice(model.classes)
+    mask = _mask(rng, model.max_bits)
+    code_base, code_end = _code_addresses(compiled)
+    identifier = fault_id or f"hw:{klass}:{rng.getrandbits(32):08x}"
+
+    if klass == HW_REGISTER:
+        register = rng.randrange(1, 32)  # r0 is hardwired zero
+        spec = FaultSpec(
+            identifier,
+            Temporal(rng.randrange(1, model.temporal_window)),
+            (Action(RegisterTarget(register), BitFlip(mask)),),
+            when=WhenPolicy.once(),
+        )
+    elif klass == HW_MEMORY:
+        data_base = compiled.executable.data_base
+        data_size = max(4, compiled.executable.data_size & ~3)
+        address = data_base + 4 * rng.randrange(data_size // 4)
+        spec = FaultSpec(
+            identifier,
+            Temporal(rng.randrange(1, model.temporal_window)),
+            (Action(CodeWord(address), BitFlip(mask)),),  # debug-port word write
+            when=WhenPolicy.once(),
+        )
+    elif klass == HW_CODE:
+        address = code_base + 4 * rng.randrange((code_end - code_base) // 4)
+        spec = FaultSpec(
+            identifier,
+            Temporal(rng.randrange(1, model.temporal_window)),
+            (Action(CodeWord(address), BitFlip(mask)),),
+            when=WhenPolicy.once(),
+        )
+    else:  # HW_BUS: transient corruption of one random instruction fetch
+        address = code_base + 4 * rng.randrange((code_end - code_base) // 4)
+        spec = FaultSpec(
+            identifier,
+            OpcodeFetch(address),
+            (Action(FetchedWord(), BitFlip(mask)),),
+            when=WhenPolicy.nth(rng.randint(1, 50)),
+        )
+    return spec.with_metadata(
+        program=compiled.name,
+        klass="hardware",
+        error_type=klass,
+        error_label=klass,
+        bits=bin(mask).count("1"),
+    )
+
+
+def generate_hardware_fault_set(
+    compiled: CompiledProgram,
+    count: int,
+    rng: random.Random,
+    model: HardwareFaultModel | None = None,
+) -> list[FaultSpec]:
+    """A population of *count* random hardware faults."""
+    return [
+        generate_hardware_fault(compiled, rng, model, fault_id=f"hw:{compiled.name}:{index}")
+        for index in range(count)
+    ]

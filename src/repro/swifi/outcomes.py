@@ -1,0 +1,66 @@
+"""Failure-mode classification (§6.2 of the paper).
+
+The four failure modes, verbatim from the paper:
+
+* **Correct results** — program terminated normally and the output is
+  correct;
+* **Incorrect results** — program terminated normally but the output is
+  incorrect;
+* **Program hang** — the program hangs (possibly went into a dead loop)
+  and was terminated by the experiment manager software after a timeout;
+* **Program crash** — the program terminated abnormally and generated
+  errors detected by the system (incorrect instructions, etc).
+
+Our "timeout" is an instruction budget (calibrated per input from the
+fault-free run); "errors detected by the system" are machine traps.
+Runaway console output is treated as a hang — the real experiment
+manager's timeout would kill it, nothing in the processor traps on it.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..machine.machine import RunResult
+from ..machine.traps import ConsoleLimitExceeded
+
+
+class FailureMode(str, Enum):
+    CORRECT = "correct"
+    INCORRECT = "incorrect"
+    HANG = "hang"
+    CRASH = "crash"
+
+    @property
+    def label(self) -> str:
+        return {
+            FailureMode.CORRECT: "Correct results",
+            FailureMode.INCORRECT: "Incorrect results",
+            FailureMode.HANG: "Program hang",
+            FailureMode.CRASH: "Program crash",
+        }[self]
+
+
+MODE_ORDER = (
+    FailureMode.CORRECT,
+    FailureMode.INCORRECT,
+    FailureMode.HANG,
+    FailureMode.CRASH,
+)
+
+
+def classify(result: RunResult, expected_output: bytes) -> FailureMode:
+    """Map a machine run to the paper's failure-mode taxonomy."""
+    if result.status == "hung":
+        return FailureMode.HANG
+    if result.status == "trapped":
+        if isinstance(result.trap, ConsoleLimitExceeded):
+            return FailureMode.HANG
+        return FailureMode.CRASH
+    if result.status == "paused":  # pragma: no cover - campaigns never stop here
+        raise ValueError("cannot classify a paused run")
+    return (
+        FailureMode.CORRECT
+        if result.console == expected_output
+        else FailureMode.INCORRECT
+    )

@@ -1,0 +1,35 @@
+"""Workloads: the contest programs, their oracles and the real faults.
+
+The families mirror the paper's §4.2 sample programs: **Camelot** and
+**JamesB** (many independent implementations from a programming contest,
+seven of which carry real software faults) and **SOR** (a parallel
+red-black Laplace relaxation, the "real life" program).
+"""
+
+from . import camelot, jamesb, sor
+from .base import Workload
+from .registry import (
+    REAL_FAULTS,
+    TABLE1_ORDER,
+    TABLE2_ORDER,
+    all_workloads,
+    get_workload,
+    real_faults,
+    table1_workloads,
+    table2_workloads,
+)
+
+__all__ = [
+    "camelot",
+    "jamesb",
+    "sor",
+    "Workload",
+    "REAL_FAULTS",
+    "TABLE1_ORDER",
+    "TABLE2_ORDER",
+    "all_workloads",
+    "get_workload",
+    "real_faults",
+    "table1_workloads",
+    "table2_workloads",
+]

@@ -1,0 +1,81 @@
+"""The Workload abstraction: program + oracle + input model + metadata.
+
+A :class:`Workload` bundles everything campaigns need about one target
+program: its (corrected) MiniC source, the optional faulty variant
+carrying one of the paper's seven real faults, the family input
+generator/oracle, the core count, and the Table-1/Table-2 metadata.
+Compilation is cached per workload instance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..emulation.realfaults import RealFault
+from ..lang.compiler import CompiledProgram, compile_source
+from ..swifi.campaign import InputCase
+
+
+@dataclass
+class Workload:
+    name: str                      # e.g. "C.team1"
+    family: str                    # "camelot" | "jamesb" | "sor"
+    source: str                    # corrected MiniC source
+    features: str                  # Table-2 style description
+    generate_pokes: Callable[[random.Random], dict]
+    oracle: Callable[[dict], bytes]
+    faulty_source: str | None = None
+    real_fault: RealFault | None = None
+    num_cores: int = 1
+    in_table2: bool = False        # participates in the §6 campaigns
+    paper_table1_percent: float | None = None  # paper's measured % wrong
+    _compiled: CompiledProgram | None = field(default=None, repr=False)
+    _compiled_faulty: CompiledProgram | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+
+    def compiled(self) -> CompiledProgram:
+        if self._compiled is None:
+            self._compiled = compile_source(self.source, self.name)
+        return self._compiled
+
+    def compiled_faulty(self) -> CompiledProgram:
+        if self.faulty_source is None:
+            raise ValueError(f"{self.name} has no faulty variant")
+        if self._compiled_faulty is None:
+            self._compiled_faulty = compile_source(
+                self.faulty_source, f"{self.name}-faulty"
+            )
+        return self._compiled_faulty
+
+    @property
+    def has_real_fault(self) -> bool:
+        return self.faulty_source is not None
+
+    # ------------------------------------------------------------------
+
+    def make_cases(self, count: int, seed: int) -> list[InputCase]:
+        """The §6.2 test case: *count* random input data sets.
+
+        The same (count, seed) yields the same cases for every workload of
+        a family — "all the injections in all the Camelot programs ...
+        used the same test case", enabling cross-program comparison.
+        """
+        rng = random.Random(seed)
+        cases = []
+        for index in range(count):
+            pokes = self.generate_pokes(rng)
+            cases.append(
+                InputCase(
+                    case_id=f"{self.family}-{seed}-{index}",
+                    pokes=pokes,
+                    expected=self.oracle(pokes),
+                )
+            )
+        return cases
+
+    @property
+    def source_lines(self) -> int:
+        return self.compiled().source_lines

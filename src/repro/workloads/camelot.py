@@ -1,0 +1,136 @@
+"""Camelot: the IOI-contest gathering problem (oracle + input model).
+
+Problem (as specified to the teams): on an 8×8 board there is one king
+and ``n`` knights (0 ≤ n ≤ 63).  A king step costs 1 (8 directions); a
+knight move costs 1 (chess knight).  A knight that stands on the king's
+square may pick the king up and carry it along at no extra cost.  Compute
+the minimum total number of moves to gather **all** pieces on one square.
+
+Equivalently: choose a gathering square *g*; every knight walks to *g*
+(knight distance); the king either walks to *g* itself (Chebyshev
+distance) or walks to some pickup square *p* where some knight *i* makes
+a detour through *p*:
+
+    answer = min over g of [ Σᵢ kd(kᵢ, g)
+                             + min( cheb(K, g),
+                                    minᵢ,ₚ kd(kᵢ, p) + cheb(K, p)
+                                          + kd(p, g) − kd(kᵢ, g) ) ]
+
+With no knights the answer is 0 (the king is already "gathered").
+
+The oracle below is the ground truth every corrected team program must
+match bit-for-bit; the faulty team variants deviate from it at the rates
+reported in Table 1.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from functools import lru_cache
+
+BOARD = 8
+SQUARES = BOARD * BOARD
+
+KNIGHT_MOVES = (
+    (1, 2), (2, 1), (2, -1), (1, -2),
+    (-1, -2), (-2, -1), (-2, 1), (-1, 2),
+)
+
+#: Input pokes use at most this many knights, keeping single runs around a
+#: million instructions so campaigns stay tractable (the problem statement
+#: allows up to 63).
+MAX_KNIGHTS = 5
+
+
+@lru_cache(maxsize=1)
+def knight_distance_table() -> tuple[tuple[int, ...], ...]:
+    """All-pairs knight distances on the 8×8 board (max value is 6)."""
+    table = []
+    for source in range(SQUARES):
+        dist = [-1] * SQUARES
+        dist[source] = 0
+        queue = deque([source])
+        while queue:
+            square = queue.popleft()
+            x, y = divmod(square, BOARD)
+            for dx, dy in KNIGHT_MOVES:
+                nx, ny = x + dx, y + dy
+                if 0 <= nx < BOARD and 0 <= ny < BOARD:
+                    neighbour = nx * BOARD + ny
+                    if dist[neighbour] < 0:
+                        dist[neighbour] = dist[square] + 1
+                        queue.append(neighbour)
+        table.append(tuple(dist))
+    return tuple(table)
+
+
+def chebyshev(x1: int, y1: int, x2: int, y2: int) -> int:
+    return max(abs(x1 - x2), abs(y1 - y2))
+
+
+def solve(king_x: int, king_y: int, knights: list[tuple[int, int]]) -> int:
+    """Reference solution (the oracle)."""
+    if not knights:
+        return 0
+    kd = knight_distance_table()
+    knight_squares = [x * BOARD + y for x, y in knights]
+    best = None
+    for gather in range(SQUARES):
+        gx, gy = divmod(gather, BOARD)
+        base = sum(kd[square][gather] for square in knight_squares)
+        king_cost = chebyshev(king_x, king_y, gx, gy)
+        for pickup in range(SQUARES):
+            px, py = divmod(pickup, BOARD)
+            walk = chebyshev(king_x, king_y, px, py)
+            if walk >= king_cost:
+                # A detour through p costs at least cheb(K, p); prune.
+                continue
+            for square in knight_squares:
+                candidate = kd[square][pickup] + walk + kd[pickup][gather] - kd[square][gather]
+                if candidate < king_cost:
+                    king_cost = candidate
+        total = base + king_cost
+        if best is None or total < best:
+            best = total
+    assert best is not None
+    return best
+
+
+# ---------------------------------------------------------------------------
+# input model
+# ---------------------------------------------------------------------------
+
+def generate_pokes(rng: random.Random) -> dict[str, int | list[int]]:
+    """One random Camelot input as loader pokes.
+
+    The knight count is skewed low (1..MAX_KNIGHTS) so the carry decision
+    is frequently pivotal — the regime where the real faults of the
+    C.team programs are exposed at Table-1-like rates.
+    """
+    count = rng.randint(1, MAX_KNIGHTS)
+    king_x = rng.randrange(BOARD)
+    king_y = rng.randrange(BOARD)
+    xs = [rng.randrange(BOARD) for _ in range(count)]
+    ys = [rng.randrange(BOARD) for _ in range(count)]
+    pad = [0] * (SQUARES - count)
+    return {
+        "in_n": count,
+        "in_kx": king_x,
+        "in_ky": king_y,
+        "in_nx": xs + pad,
+        "in_ny": ys + pad,
+    }
+
+
+def oracle(pokes: dict) -> bytes:
+    """Expected console output for one input."""
+    knights = [
+        (pokes["in_nx"][i], pokes["in_ny"][i]) for i in range(pokes["in_n"])
+    ]
+    answer = solve(pokes["in_kx"], pokes["in_ky"], knights)
+    return b"%d\n" % answer
+
+
+#: The globals every Camelot team program must declare for input injection.
+INPUT_GLOBALS = ("in_n", "in_kx", "in_ky", "in_nx", "in_ny")

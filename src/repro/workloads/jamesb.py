@@ -1,0 +1,70 @@
+"""JamesB: the string-codification contest problem (oracle + input model).
+
+Problem (as specified to the teams): codify a string under a numeric
+seed.  With ``s = seed % 95`` and the running key ``k(i) = s + i``, each
+printable character (ASCII 33..126) maps to
+
+    out[i] = 32 + ((in[i] - 32) + k(i)) mod 95
+
+The program prints the coded string, a newline, then a rolling checksum
+``chk`` (initialised to 7, updated ``chk = chk*31 + out[i]`` in wrapping
+32-bit arithmetic, printed signed), and a final newline.
+
+The input length distribution is heavily skewed short — most strings are
+1..13 characters, a couple of percent are 14..79, and about 0.08% are the
+maximum 80 characters.  That tail is what exposes the two real faults:
+
+* JB.team6's off-by-one buffer (``char phrase2[80]``) only overflows at
+  length exactly 80 — the paper's Table 1 reports 0.05% wrong results;
+* JB.team7's single-subtraction wrap only breaks when the running key
+  grows past one modulus, i.e. on long strings — Table 1 reports 1.8%.
+"""
+
+from __future__ import annotations
+
+import random
+
+KEY_STEP = 1
+MAX_LEN = 80
+
+
+def encode(seed: int, text: bytes) -> bytes:
+    s_eff = seed % 95
+    out = bytearray()
+    for index, char in enumerate(text):
+        out.append(32 + ((char - 32) + s_eff + KEY_STEP * index) % 95)
+    return bytes(out)
+
+
+def checksum(coded: bytes) -> int:
+    value = 7
+    for char in coded:
+        value = (value * 31 + char) & 0xFFFFFFFF
+    if value & 0x80000000:
+        value -= 0x100000000
+    return value
+
+
+def generate_pokes(rng: random.Random) -> dict[str, int | bytes]:
+    pick = rng.random()
+    if pick < 0.0008:
+        length = MAX_LEN
+    elif pick < 0.02:
+        length = rng.randint(14, MAX_LEN - 1)
+    else:
+        length = rng.randint(1, 13)
+    text = bytes(rng.randint(33, 126) for _ in range(length))
+    return {
+        "in_seed": rng.randint(0, 999999),
+        "in_len": length,
+        "in_str": text + b"\x00",
+    }
+
+
+def oracle(pokes: dict) -> bytes:
+    text = pokes["in_str"].rstrip(b"\x00")
+    coded = encode(pokes["in_seed"], text)
+    return coded + b"\n" + b"%d" % checksum(coded) + b"\n"
+
+
+INPUT_GLOBALS = ("in_seed", "in_len", "in_str")

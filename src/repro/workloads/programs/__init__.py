@@ -1,0 +1,20 @@
+"""MiniC sources of the workload programs.
+
+One module per contest entry, each exporting ``SOURCE`` (the corrected
+program) and, for entries carrying one of the paper's seven real faults,
+``FAULTY_SOURCE`` (identical except for the single faulty construct —
+derived mechanically so the only difference between the two binaries is
+the fault, which the §5 emulation-accuracy experiment depends on).
+"""
+
+from __future__ import annotations
+
+
+def make_faulty(source: str, correct_fragment: str, faulty_fragment: str) -> str:
+    """Derive the faulty variant by swapping exactly one source fragment."""
+    occurrences = source.count(correct_fragment)
+    if occurrences != 1:
+        raise ValueError(
+            f"expected exactly one occurrence of {correct_fragment!r}, found {occurrences}"
+        )
+    return source.replace(correct_fragment, faulty_fragment)

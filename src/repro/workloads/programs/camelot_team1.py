@@ -1,0 +1,157 @@
+"""C.team1 — Camelot solved with *recursive* breadth-first search.
+
+The team replaced every loop they could with recursion: the BFS queue is
+drained by a recursive function (`process`) rather than a ``while`` loop,
+and the per-gather knight-distance sum is accumulated recursively
+(`knight_sum`).  This is the first of Table 2's "recursive algorithms"
+entries.
+
+Real fault (ODC **checking**, the paper's Figure-5 shape — a single
+relational operator): the board boundary test in the BFS expansion writes
+``ny <= 8`` where it must be ``ny < 8``.  A phantom square ``(nx, 8)``
+aliases the real square ``(nx+1, 0)`` in the row-major distance table, so
+one distance per source is poisoned with a plausible small value and the
+gather minimisation sometimes picks a slightly wrong plan.  The program
+never crashes or hangs — every stray index stays inside the data segment
+(for ``nx == 7`` it lands in the adjacent ``queue`` array, rewritten
+before use) — it just intermittently prints a wrong total, which is the
+Table-1 behaviour (our measured rate runs above the paper's 7.3%; see
+EXPERIMENTS.md).  The §5 emulation is the Figure-5 recipe verbatim:
+rewrite the condition field of the single conditional branch implementing
+the ``<`` (a bit operation on the fetched instruction word), triggered on
+its opcode fetch.
+"""
+
+from . import make_faulty
+
+SOURCE = r"""
+/* C.team1 - Camelot (IOI) - recursion everywhere */
+
+int in_n;
+int in_kx;
+int in_ky;
+int in_nx[64];
+int in_ny[64];
+
+int kd[64][64];
+int queue[66];
+int tail;
+int dxs[8] = {1, 2, 2, 1, -1, -2, -2, -1};
+int dys[8] = {2, 1, -1, -2, -2, -1, 1, 2};
+
+void process(int source, int head) {
+    int sq;
+    int m;
+    int nx;
+    int ny;
+    if (head >= tail) {
+        return;
+    }
+    sq = queue[head];
+    for (m = 0; m < 8; m++) {
+        nx = sq / 8 + dxs[m];
+        ny = sq % 8 + dys[m];
+        if (nx >= 0 && nx < 8 && ny >= 0 && ny < 8) {
+            if (kd[source][nx * 8 + ny] == 99) {
+                kd[source][nx * 8 + ny] = kd[source][sq] + 1;
+                queue[tail] = nx * 8 + ny;
+                tail = tail + 1;
+            }
+        }
+    }
+    process(source, head + 1);
+}
+
+void clear_all(int s) {
+    int t;
+    if (s >= 64) {
+        return;
+    }
+    for (t = 0; t < 64; t++) {
+        kd[s][t] = 99;
+    }
+    clear_all(s + 1);
+}
+
+void build(int s) {
+    if (s >= 64) {
+        return;
+    }
+    kd[s][s] = 0;
+    queue[0] = s;
+    tail = 1;
+    process(s, 0);
+    build(s + 1);
+}
+
+int cheb(int x1, int y1, int x2, int y2) {
+    int dx = x1 - x2;
+    int dy = y1 - y2;
+    if (dx < 0) {
+        dx = -dx;
+    }
+    if (dy < 0) {
+        dy = -dy;
+    }
+    if (dx > dy) {
+        return dx;
+    }
+    return dy;
+}
+
+int knight_sum(int g, int i) {
+    if (i >= in_n) {
+        return 0;
+    }
+    return kd[in_nx[i] * 8 + in_ny[i]][g] + knight_sum(g, i + 1);
+}
+
+void main() {
+    int g;
+    int p;
+    int i;
+    int base;
+    int kc;
+    int w;
+    int ks;
+    int cand;
+    int best;
+
+    if (in_n == 0) {
+        print_int(0);
+        print_char('\n');
+        exit(0);
+    }
+    clear_all(0);
+    build(0);
+    best = 1000000;
+    for (g = 0; g < 64; g++) {
+        base = knight_sum(g, 0);
+        kc = cheb(in_kx, in_ky, g / 8, g % 8);
+        for (p = 0; p < 64; p++) {
+            w = cheb(in_kx, in_ky, p / 8, p % 8);
+            if (w >= kc) {
+                continue;
+            }
+            for (i = 0; i < in_n; i++) {
+                ks = in_nx[i] * 8 + in_ny[i];
+                cand = kd[ks][p] + w + kd[p][g] - kd[ks][g];
+                if (cand < kc) {
+                    kc = cand;
+                }
+            }
+        }
+        if (base + kc < best) {
+            best = base + kc;
+        }
+    }
+    print_int(best);
+    print_char('\n');
+    exit(0);
+}
+"""
+
+CORRECT_FRAGMENT = "nx >= 0 && nx < 8 && ny >= 0 && ny < 8"
+FAULTY_FRAGMENT = "nx >= 0 && nx < 8 && ny >= 0 && ny <= 8"
+
+FAULTY_SOURCE = make_faulty(SOURCE, CORRECT_FRAGMENT, FAULTY_FRAGMENT)

@@ -1,0 +1,141 @@
+"""C.team10 — Camelot with mutually recursive search functions.
+
+No known fault; the second "recursive algorithms" entry of Table 2
+(alongside C.team1).  Where team1 drains its BFS queue with one recursive
+function, team10 splits the work across two mutually recursive functions
+— ``step`` advances the queue head, ``expand`` walks the move list by
+index — and evaluates the 64 gathering squares recursively as well.
+"""
+
+SOURCE = r"""
+/* C.team10 - Camelot (IOI) - mutually recursive BFS */
+
+int in_n;
+int in_kx;
+int in_ky;
+int in_nx[64];
+int in_ny[64];
+
+int kd[64][64];
+int queue[64];
+int tail;
+int dxs[8] = {1, 2, 2, 1, -1, -2, -2, -1};
+int dys[8] = {2, 1, -1, -2, -2, -1, 1, 2};
+
+void step(int source, int head);
+
+void expand(int source, int head, int m) {
+    int sq;
+    int nx;
+    int ny;
+    if (m >= 8) {
+        step(source, head + 1);
+        return;
+    }
+    sq = queue[head];
+    nx = sq / 8 + dxs[m];
+    ny = sq % 8 + dys[m];
+    if (nx >= 0 && nx < 8 && ny >= 0 && ny < 8) {
+        if (kd[source][nx * 8 + ny] == 99) {
+            kd[source][nx * 8 + ny] = kd[source][sq] + 1;
+            queue[tail] = nx * 8 + ny;
+            tail = tail + 1;
+        }
+    }
+    expand(source, head, m + 1);
+}
+
+void step(int source, int head) {
+    if (head >= tail) {
+        return;
+    }
+    expand(source, head, 0);
+}
+
+void build(int s) {
+    int t;
+    if (s >= 64) {
+        return;
+    }
+    for (t = 0; t < 64; t++) {
+        kd[s][t] = 99;
+    }
+    kd[s][s] = 0;
+    queue[0] = s;
+    tail = 1;
+    step(s, 0);
+    build(s + 1);
+}
+
+int kingdist(int x1, int y1, int x2, int y2) {
+    int dx;
+    int dy;
+    dx = x1 - x2;
+    dy = y1 - y2;
+    if (dx < 0) {
+        dx = -dx;
+    }
+    if (dy < 0) {
+        dy = -dy;
+    }
+    if (dx > dy) {
+        return dx;
+    }
+    return dy;
+}
+
+int best_for(int g) {
+    int p;
+    int i;
+    int base;
+    int kc;
+    int w;
+    int ks;
+    int cand;
+    base = 0;
+    for (i = 0; i < in_n; i++) {
+        base = base + kd[in_nx[i] * 8 + in_ny[i]][g];
+    }
+    kc = kingdist(in_kx, in_ky, g / 8, g % 8);
+    for (p = 0; p < 64; p++) {
+        w = kingdist(in_kx, in_ky, p / 8, p % 8);
+        if (w >= kc) {
+            continue;
+        }
+        for (i = 0; i < in_n; i++) {
+            ks = in_nx[i] * 8 + in_ny[i];
+            cand = kd[ks][p] + w + kd[p][g] - kd[ks][g];
+            if (cand < kc) {
+                kc = cand;
+            }
+        }
+    }
+    return base + kc;
+}
+
+int search(int g, int best) {
+    int total;
+    if (g >= 64) {
+        return best;
+    }
+    total = best_for(g);
+    if (total < best) {
+        best = total;
+    }
+    return search(g + 1, best);
+}
+
+void main() {
+    if (in_n == 0) {
+        print_int(0);
+        print_char('\n');
+        exit(0);
+    }
+    build(0);
+    print_int(search(0, 1000000));
+    print_char('\n');
+    exit(0);
+}
+"""
+
+FAULTY_SOURCE = None

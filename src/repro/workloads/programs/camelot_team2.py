@@ -1,0 +1,158 @@
+"""C.team2 — Camelot with an iterative queue BFS and an algorithm fault.
+
+Structure: explicit array-based BFS queue per source square (no
+recursion), then the gather/pickup minimisation.
+
+Real fault (ODC **algorithm**): the faulty version only ever considers
+*one* knight — the one closest to the king by king-distance — as the
+potential carrier in the pickup search.  The correct program loops over
+all knights.  Correcting it means restructuring the pickup search (adding
+the inner loop and removing the pre-selection), not flipping an operator
+or a constant: a machine-level SWIFI error at fixed locations cannot
+reproduce it, because the corrected binary contains an entire loop whose
+body has no counterpart in the faulty binary.
+"""
+
+from . import make_faulty
+
+SOURCE = r"""
+/* C.team2 - Camelot (IOI) - iterative BFS implementation */
+
+int in_n;
+int in_kx;
+int in_ky;
+int in_nx[64];
+int in_ny[64];
+
+int kd[64][64];
+int queue[64];
+int dxs[8] = {1, 2, 2, 1, -1, -2, -2, -1};
+int dys[8] = {2, 1, -1, -2, -2, -1, 1, 2};
+
+void bfs(int source) {
+    int head;
+    int tail;
+    int sq;
+    int x;
+    int y;
+    int m;
+    int nx;
+    int ny;
+    int t;
+    for (t = 0; t < 64; t++) {
+        kd[source][t] = 99;
+    }
+    kd[source][source] = 0;
+    queue[0] = source;
+    head = 0;
+    tail = 1;
+    while (head < tail) {
+        sq = queue[head];
+        head = head + 1;
+        x = sq / 8;
+        y = sq % 8;
+        for (m = 0; m < 8; m++) {
+            nx = x + dxs[m];
+            ny = y + dys[m];
+            if (nx >= 0 && nx < 8 && ny >= 0 && ny < 8) {
+                if (kd[source][nx * 8 + ny] == 99) {
+                    kd[source][nx * 8 + ny] = kd[source][sq] + 1;
+                    queue[tail] = nx * 8 + ny;
+                    tail = tail + 1;
+                }
+            }
+        }
+    }
+}
+
+int kingdist(int x1, int y1, int x2, int y2) {
+    int dx;
+    int dy;
+    dx = x1 - x2;
+    dy = y1 - y2;
+    if (dx < 0) {
+        dx = -dx;
+    }
+    if (dy < 0) {
+        dy = -dy;
+    }
+    if (dx > dy) {
+        return dx;
+    }
+    return dy;
+}
+
+void main() {
+    int s;
+    int g;
+    int p;
+    int i;
+    int base;
+    int kc;
+    int w;
+    int ks;
+    int cand;
+    int best;
+
+    if (in_n == 0) {
+        print_int(0);
+        print_char('\n');
+        exit(0);
+    }
+    for (s = 0; s < 64; s++) {
+        bfs(s);
+    }
+    best = 1000000;
+    for (g = 0; g < 64; g++) {
+        base = 0;
+        for (i = 0; i < in_n; i++) {
+            base = base + kd[in_nx[i] * 8 + in_ny[i]][g];
+        }
+        kc = kingdist(in_kx, in_ky, g / 8, g % 8);
+        for (p = 0; p < 64; p++) {
+            w = kingdist(in_kx, in_ky, p / 8, p % 8);
+            if (w >= kc) {
+                continue;
+            }
+            for (i = 0; i < in_n; i++) {
+                ks = in_nx[i] * 8 + in_ny[i];
+                cand = kd[ks][p] + w + kd[p][g] - kd[ks][g];
+                if (cand < kc) {
+                    kc = cand;
+                }
+            }
+        }
+        if (base + kc < best) {
+            best = base + kc;
+        }
+    }
+    print_int(best);
+    print_char('\n');
+    exit(0);
+}
+"""
+
+# The faulty program pre-selects the knight nearest the king and searches
+# pickup squares for that knight only.
+CORRECT_FRAGMENT = r"""            for (i = 0; i < in_n; i++) {
+                ks = in_nx[i] * 8 + in_ny[i];
+                cand = kd[ks][p] + w + kd[p][g] - kd[ks][g];
+                if (cand < kc) {
+                    kc = cand;
+                }
+            }"""
+
+FAULTY_FRAGMENT = r"""            i = 0;
+            for (s = 1; s < in_n; s++) {
+                if (kingdist(in_kx, in_ky, in_nx[s], in_ny[s])
+                        < kingdist(in_kx, in_ky, in_nx[i], in_ny[i])) {
+                    i = s;
+                }
+            }
+            ks = in_nx[i] * 8 + in_ny[i];
+            cand = kd[ks][p] + w + kd[p][g] - kd[ks][g];
+            if (cand < kc) {
+                kc = cand;
+            }"""
+
+FAULTY_SOURCE = make_faulty(SOURCE, CORRECT_FRAGMENT, FAULTY_FRAGMENT)

@@ -1,0 +1,187 @@
+"""C.team3 — Camelot with frontier-sweep distances and an algorithm fault.
+
+Structure: knight distances computed by repeated frontier sweeps over the
+whole board (no queue, no recursion): distances 1, 2, 3, … are filled in
+rounds until a round adds nothing.
+
+Real fault (ODC **algorithm**): the faulty version runs only four sweep
+rounds and *assumes* every still-unreached square is five moves away —
+the team convinced themselves nothing on an 8×8 board is further than
+five knight moves.  Almost true: only a handful of square pairs are at
+distance six, so the program fails on the rare inputs whose optimal plan
+touches one (Table 1 reports C.team3 at 1.0% wrong results).  The
+correction replaces the bounded sweep + guess with a run-to-fixpoint
+sweep — a restructuring of the algorithm, not an operator/constant fix,
+hence not emulable by machine-level error injection.
+"""
+
+from . import make_faulty
+
+SOURCE = r"""
+/* C.team3 - Camelot (IOI) - frontier-sweep implementation */
+
+int in_n;
+int in_kx;
+int in_ky;
+int in_nx[64];
+int in_ny[64];
+
+int kd[64][64];
+int dxs[8] = {1, 2, 2, 1, -1, -2, -2, -1};
+int dys[8] = {2, 1, -1, -2, -2, -1, 1, 2};
+
+void sweep(int source) {
+    int round;
+    int sq;
+    int x;
+    int y;
+    int m;
+    int nx;
+    int ny;
+    int changed;
+    int t;
+    for (t = 0; t < 64; t++) {
+        kd[source][t] = 99;
+    }
+    kd[source][source] = 0;
+    changed = 1;
+    round = 0;
+    while (changed) {
+        changed = 0;
+        for (sq = 0; sq < 64; sq++) {
+            if (kd[source][sq] == round) {
+                x = sq / 8;
+                y = sq % 8;
+                for (m = 0; m < 8; m++) {
+                    nx = x + dxs[m];
+                    ny = y + dys[m];
+                    if (nx >= 0 && nx < 8 && ny >= 0 && ny < 8) {
+                        if (kd[source][nx * 8 + ny] > round + 1) {
+                            kd[source][nx * 8 + ny] = round + 1;
+                            changed = 1;
+                        }
+                    }
+                }
+            }
+        }
+        round = round + 1;
+    }
+}
+
+int kingdist(int x1, int y1, int x2, int y2) {
+    int dx;
+    int dy;
+    dx = x1 - x2;
+    dy = y1 - y2;
+    if (dx < 0) {
+        dx = -dx;
+    }
+    if (dy < 0) {
+        dy = -dy;
+    }
+    if (dx > dy) {
+        return dx;
+    }
+    return dy;
+}
+
+void main() {
+    int s;
+    int g;
+    int p;
+    int i;
+    int base;
+    int kc;
+    int w;
+    int ks;
+    int cand;
+    int best;
+
+    if (in_n == 0) {
+        print_int(0);
+        print_char('\n');
+        exit(0);
+    }
+    for (s = 0; s < 64; s++) {
+        sweep(s);
+    }
+    best = 1000000;
+    for (g = 0; g < 64; g++) {
+        base = 0;
+        for (i = 0; i < in_n; i++) {
+            base = base + kd[in_nx[i] * 8 + in_ny[i]][g];
+        }
+        kc = kingdist(in_kx, in_ky, g / 8, g % 8);
+        for (p = 0; p < 64; p++) {
+            w = kingdist(in_kx, in_ky, p / 8, p % 8);
+            if (w >= kc) {
+                continue;
+            }
+            for (i = 0; i < in_n; i++) {
+                ks = in_nx[i] * 8 + in_ny[i];
+                cand = kd[ks][p] + w + kd[p][g] - kd[ks][g];
+                if (cand < kc) {
+                    kc = cand;
+                }
+            }
+        }
+        if (base + kc < best) {
+            best = base + kc;
+        }
+    }
+    print_int(best);
+    print_char('\n');
+    exit(0);
+}
+"""
+
+CORRECT_FRAGMENT = r"""    changed = 1;
+    round = 0;
+    while (changed) {
+        changed = 0;
+        for (sq = 0; sq < 64; sq++) {
+            if (kd[source][sq] == round) {
+                x = sq / 8;
+                y = sq % 8;
+                for (m = 0; m < 8; m++) {
+                    nx = x + dxs[m];
+                    ny = y + dys[m];
+                    if (nx >= 0 && nx < 8 && ny >= 0 && ny < 8) {
+                        if (kd[source][nx * 8 + ny] > round + 1) {
+                            kd[source][nx * 8 + ny] = round + 1;
+                            changed = 1;
+                        }
+                    }
+                }
+            }
+        }
+        round = round + 1;
+    }"""
+
+# The faulty program sweeps four rounds and guesses "5" for the rest —
+# "nothing is more than five knight moves away on an 8x8 board".
+FAULTY_FRAGMENT = r"""    for (round = 0; round < 4; round++) {
+        for (sq = 0; sq < 64; sq++) {
+            if (kd[source][sq] == round) {
+                x = sq / 8;
+                y = sq % 8;
+                for (m = 0; m < 8; m++) {
+                    nx = x + dxs[m];
+                    ny = y + dys[m];
+                    if (nx >= 0 && nx < 8 && ny >= 0 && ny < 8) {
+                        if (kd[source][nx * 8 + ny] > round + 1) {
+                            kd[source][nx * 8 + ny] = round + 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (sq = 0; sq < 64; sq++) {
+        if (kd[source][sq] == 99) {
+            kd[source][sq] = 5;
+        }
+    }
+    changed = 0;"""
+
+FAULTY_SOURCE = make_faulty(SOURCE, CORRECT_FRAGMENT, FAULTY_FRAGMENT)

@@ -1,0 +1,140 @@
+"""C.team4 — Camelot, knight-major search order, with an assignment fault.
+
+Structure: iterative BFS distances (like team2) but the gather
+minimisation iterates knights in the outer loop of the carry search and
+uses a dedicated carrier index variable ``c``.
+
+Real fault (ODC **assignment**, the paper's Figure-3 shape): the carrier
+loop is initialised with the wrong constant — ``for (c = 1; ...)`` where
+the correct program starts at ``c = 0`` — so knight 0 is never considered
+as the king's carrier.  At machine level the difference is exactly
+Figure 3's: one ``addi rX, r0, 1`` that should be ``addi rX, r0, 0``.
+The fault is emulated on the corrected binary by corrupting the operand
+stored by that initialisation (+1) on every execution — the Figure-3
+option-2 "data bus" emulation.
+
+Wrong results appear whenever knight 0 is the uniquely-best carrier,
+which with few knights on the board is frequent — this is the program
+with the highest Table-1 failure rate (30.8% in the paper).
+"""
+
+from . import make_faulty
+
+SOURCE = r"""
+/* C.team4 - Camelot (IOI) - knight-major carry search */
+
+int in_n;
+int in_kx;
+int in_ky;
+int in_nx[64];
+int in_ny[64];
+
+int kd[64][64];
+int queue[64];
+int dxs[8] = {1, 2, 2, 1, -1, -2, -2, -1};
+int dys[8] = {2, 1, -1, -2, -2, -1, 1, 2};
+
+void bfs(int source) {
+    int head;
+    int tail;
+    int sq;
+    int m;
+    int nx;
+    int ny;
+    int t;
+    for (t = 0; t < 64; t++) {
+        kd[source][t] = 99;
+    }
+    kd[source][source] = 0;
+    queue[0] = source;
+    head = 0;
+    tail = 1;
+    while (head < tail) {
+        sq = queue[head];
+        head = head + 1;
+        for (m = 0; m < 8; m++) {
+            nx = sq / 8 + dxs[m];
+            ny = sq % 8 + dys[m];
+            if (nx >= 0 && nx < 8 && ny >= 0 && ny < 8) {
+                if (kd[source][nx * 8 + ny] > kd[source][sq] + 1) {
+                    kd[source][nx * 8 + ny] = kd[source][sq] + 1;
+                    queue[tail] = nx * 8 + ny;
+                    tail = tail + 1;
+                }
+            }
+        }
+    }
+}
+
+int kingdist(int x1, int y1, int x2, int y2) {
+    int dx;
+    int dy;
+    dx = x1 - x2;
+    if (dx < 0) {
+        dx = -dx;
+    }
+    dy = y1 - y2;
+    if (dy < 0) {
+        dy = -dy;
+    }
+    if (dx > dy) {
+        return dx;
+    }
+    return dy;
+}
+
+void main() {
+    int s;
+    int g;
+    int p;
+    int i;
+    int c;
+    int base;
+    int kc;
+    int w;
+    int ks;
+    int cand;
+    int best;
+
+    if (in_n == 0) {
+        print_int(0);
+        print_char('\n');
+        exit(0);
+    }
+    for (s = 0; s < 64; s++) {
+        bfs(s);
+    }
+    best = 1000000;
+    for (g = 0; g < 64; g++) {
+        base = 0;
+        for (i = 0; i < in_n; i++) {
+            base = base + kd[in_nx[i] * 8 + in_ny[i]][g];
+        }
+        kc = kingdist(in_kx, in_ky, g / 8, g % 8);
+        for (c = 0; c < in_n; c++) {
+            ks = in_nx[c] * 8 + in_ny[c];
+            for (p = 0; p < 64; p++) {
+                w = kingdist(in_kx, in_ky, p / 8, p % 8);
+                if (w >= kc) {
+                    continue;
+                }
+                cand = kd[ks][p] + w + kd[p][g] - kd[ks][g];
+                if (cand < kc) {
+                    kc = cand;
+                }
+            }
+        }
+        if (base + kc < best) {
+            best = base + kc;
+        }
+    }
+    print_int(best);
+    print_char('\n');
+    exit(0);
+}
+"""
+
+CORRECT_FRAGMENT = "for (c = 0; c < in_n; c++)"
+FAULTY_FRAGMENT = "for (c = 1; c < in_n; c++)"
+
+FAULTY_SOURCE = make_faulty(SOURCE, CORRECT_FRAGMENT, FAULTY_FRAGMENT)

@@ -1,0 +1,136 @@
+"""C.team5 — Camelot with the paper's Figure-6 algorithm fault, verbatim.
+
+Structure: straightforward iterative BFS plus a small ``dist`` helper for
+the king's distance — the function shown in Figure 6.
+
+Real fault (ODC **algorithm**, Figure 6): ``dist`` returns
+
+    ((dx>0)?dx:-dx) + ((dy>0)?dy:-dy)        /* faulty: Manhattan */
+
+where the king actually moves like a chess king, so the correct value is
+
+    max(((dx>0)?dx:-dx), ((dy>0)?dy:-dy))    /* Chebyshev */
+
+The correction introduces a call to a ``max`` function: as the paper's
+Figure-6 note 2 observes, "the stack size reserved for the function dist
+in the corrected version is greater than in the original program" — the
+two binaries differ in code shape and frame layout, which is precisely
+why the Xception cannot emulate this fault.
+
+The failure rate is low (2.9% in Table 1): the king usually rides a
+knight, and the short walks to pickup squares are most often straight
+lines, where Manhattan and Chebyshev agree.
+"""
+
+from . import make_faulty
+
+SOURCE = r"""
+/* C.team5 - Camelot (IOI) - BFS with a dist() helper */
+
+int in_n;
+int in_kx;
+int in_ky;
+int in_nx[64];
+int in_ny[64];
+
+int kd[64][64];
+int queue[64];
+int dxs[8] = {1, 2, 2, 1, -1, -2, -2, -1};
+int dys[8] = {2, 1, -1, -2, -2, -1, 1, 2};
+
+void bfs(int source) {
+    int head;
+    int tail;
+    int sq;
+    int m;
+    int nx;
+    int ny;
+    int t;
+    for (t = 0; t < 64; t++) {
+        kd[source][t] = 99;
+    }
+    kd[source][source] = 0;
+    queue[0] = source;
+    head = 0;
+    tail = 1;
+    while (head < tail) {
+        sq = queue[head];
+        head = head + 1;
+        for (m = 0; m < 8; m++) {
+            nx = sq / 8 + dxs[m];
+            ny = sq % 8 + dys[m];
+            if (nx >= 0 && nx < 8 && ny >= 0 && ny < 8) {
+                if (kd[source][nx * 8 + ny] == 99) {
+                    kd[source][nx * 8 + ny] = kd[source][sq] + 1;
+                    queue[tail] = nx * 8 + ny;
+                    tail = tail + 1;
+                }
+            }
+        }
+    }
+}
+
+int max(int a, int b) {
+    return (a > b) ? a : b;
+}
+
+int dist(int x1, int y1, int x2, int y2) {
+    int dx = x1 - x2;
+    int dy = y1 - y2;
+    return max(((dx > 0) ? dx : -dx), ((dy > 0) ? dy : -dy));
+}
+
+void main() {
+    int s;
+    int g;
+    int p;
+    int i;
+    int base;
+    int kc;
+    int w;
+    int ks;
+    int cand;
+    int best;
+
+    if (in_n == 0) {
+        print_int(0);
+        print_char('\n');
+        exit(0);
+    }
+    for (s = 0; s < 64; s++) {
+        bfs(s);
+    }
+    best = 1000000;
+    for (g = 0; g < 64; g++) {
+        base = 0;
+        for (i = 0; i < in_n; i++) {
+            base = base + kd[in_nx[i] * 8 + in_ny[i]][g];
+        }
+        kc = dist(in_kx, in_ky, g / 8, g % 8);
+        for (p = 0; p < 64; p++) {
+            w = dist(in_kx, in_ky, p / 8, p % 8);
+            if (w >= kc) {
+                continue;
+            }
+            for (i = 0; i < in_n; i++) {
+                ks = in_nx[i] * 8 + in_ny[i];
+                cand = kd[ks][p] + w + kd[p][g] - kd[ks][g];
+                if (cand < kc) {
+                    kc = cand;
+                }
+            }
+        }
+        if (base + kc < best) {
+            best = base + kc;
+        }
+    }
+    print_int(best);
+    print_char('\n');
+    exit(0);
+}
+"""
+
+CORRECT_FRAGMENT = "return max(((dx > 0) ? dx : -dx), ((dy > 0) ? dy : -dy));"
+FAULTY_FRAGMENT = "return ((dx > 0) ? dx : -dx) + ((dy > 0) ? dy : -dy);"
+
+FAULTY_SOURCE = make_faulty(SOURCE, CORRECT_FRAGMENT, FAULTY_FRAGMENT)

@@ -1,0 +1,145 @@
+"""C.team8 — Camelot with precomputed neighbour lists (non-recursive).
+
+No known fault; used in the §6 class-emulation campaigns as a second
+"non-recursive algorithms" entry alongside C.team2 (Table 2).
+
+Structure: the knight-move graph is materialised once into flat
+neighbour arrays (``nbr``/``nbr_count``), so the per-source BFS inner
+loop is pure array traffic with no boundary checks.
+"""
+
+SOURCE = r"""
+/* C.team8 - Camelot (IOI) - precomputed neighbour lists */
+
+int in_n;
+int in_kx;
+int in_ky;
+int in_nx[64];
+int in_ny[64];
+
+int kd[64][64];
+int nbr[64][8];
+int nbr_count[64];
+int queue[64];
+int dxs[8] = {1, 2, 2, 1, -1, -2, -2, -1};
+int dys[8] = {2, 1, -1, -2, -2, -1, 1, 2};
+
+void build_graph(void) {
+    int sq;
+    int m;
+    int x;
+    int y;
+    int nx;
+    int ny;
+    for (sq = 0; sq < 64; sq++) {
+        nbr_count[sq] = 0;
+        x = sq / 8;
+        y = sq % 8;
+        for (m = 0; m < 8; m++) {
+            nx = x + dxs[m];
+            ny = y + dys[m];
+            if (nx >= 0 && nx < 8 && ny >= 0 && ny < 8) {
+                nbr[sq][nbr_count[sq]] = nx * 8 + ny;
+                nbr_count[sq] = nbr_count[sq] + 1;
+            }
+        }
+    }
+}
+
+void bfs(int source) {
+    int head;
+    int tail;
+    int sq;
+    int m;
+    int t;
+    int next;
+    for (t = 0; t < 64; t++) {
+        kd[source][t] = 99;
+    }
+    kd[source][source] = 0;
+    queue[0] = source;
+    head = 0;
+    tail = 1;
+    while (head < tail) {
+        sq = queue[head];
+        head = head + 1;
+        for (m = 0; m < nbr_count[sq]; m++) {
+            next = nbr[sq][m];
+            if (kd[source][next] == 99) {
+                kd[source][next] = kd[source][sq] + 1;
+                queue[tail] = next;
+                tail = tail + 1;
+            }
+        }
+    }
+}
+
+int kingdist(int x1, int y1, int x2, int y2) {
+    int dx;
+    int dy;
+    dx = x1 - x2;
+    dy = y1 - y2;
+    if (dx < 0) {
+        dx = -dx;
+    }
+    if (dy < 0) {
+        dy = -dy;
+    }
+    if (dx > dy) {
+        return dx;
+    }
+    return dy;
+}
+
+void main() {
+    int s;
+    int g;
+    int p;
+    int i;
+    int base;
+    int kc;
+    int w;
+    int ks;
+    int cand;
+    int best;
+
+    if (in_n == 0) {
+        print_int(0);
+        print_char('\n');
+        exit(0);
+    }
+    build_graph();
+    for (s = 0; s < 64; s++) {
+        bfs(s);
+    }
+    best = 1000000;
+    for (g = 0; g < 64; g++) {
+        base = 0;
+        for (i = 0; i < in_n; i++) {
+            base = base + kd[in_nx[i] * 8 + in_ny[i]][g];
+        }
+        kc = kingdist(in_kx, in_ky, g / 8, g % 8);
+        for (p = 0; p < 64; p++) {
+            w = kingdist(in_kx, in_ky, p / 8, p % 8);
+            if (w >= kc) {
+                continue;
+            }
+            for (i = 0; i < in_n; i++) {
+                ks = in_nx[i] * 8 + in_ny[i];
+                cand = kd[ks][p] + w + kd[p][g] - kd[ks][g];
+                if (cand < kc) {
+                    kc = cand;
+                }
+            }
+        }
+        if (base + kc < best) {
+            best = base + kc;
+        }
+    }
+    print_int(best);
+    print_char('\n');
+    exit(0);
+}
+"""
+
+FAULTY_SOURCE = None

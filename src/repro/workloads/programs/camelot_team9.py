@@ -1,0 +1,144 @@
+"""C.team9 — Camelot built on dynamic data structures.
+
+Table 2 singles this entry out: "non-recursive algorithm, use many
+dynamic structures".  Every BFS queue node is a malloc'd linked-list cell
+(freed as it is dequeued) and the distance table itself is an array of 64
+heap-allocated rows reached through a pointer table.
+
+Under §6 fault injection this program shows an elevated crash rate — the
+paper's explanation being exactly this design: corrupted values flow into
+pointers (queue links, row pointers) and the next dereference or ``free``
+hits unmapped memory or the heap manager's consistency checks.
+"""
+
+SOURCE = r"""
+/* C.team9 - Camelot (IOI) - linked-list queue, heap-allocated table */
+
+struct cell {
+    int sq;
+    struct cell *next;
+};
+
+int in_n;
+int in_kx;
+int in_ky;
+int in_nx[64];
+int in_ny[64];
+
+int *rows[64];
+int dxs[8] = {1, 2, 2, 1, -1, -2, -2, -1};
+int dys[8] = {2, 1, -1, -2, -2, -1, 1, 2};
+
+void bfs(int source) {
+    struct cell *head;
+    struct cell *tail;
+    struct cell *node;
+    int *dist;
+    int sq;
+    int m;
+    int nx;
+    int ny;
+    int t;
+    dist = rows[source];
+    for (t = 0; t < 64; t++) {
+        dist[t] = 99;
+    }
+    dist[source] = 0;
+    head = malloc(sizeof(struct cell));
+    head->sq = source;
+    head->next = 0;
+    tail = head;
+    while (head != 0) {
+        sq = head->sq;
+        for (m = 0; m < 8; m++) {
+            nx = sq / 8 + dxs[m];
+            ny = sq % 8 + dys[m];
+            if (nx >= 0 && nx < 8 && ny >= 0 && ny < 8) {
+                if (dist[nx * 8 + ny] == 99) {
+                    dist[nx * 8 + ny] = dist[sq] + 1;
+                    node = malloc(sizeof(struct cell));
+                    node->sq = nx * 8 + ny;
+                    node->next = 0;
+                    tail->next = node;
+                    tail = node;
+                }
+            }
+        }
+        node = head;
+        head = head->next;
+        free(node);
+    }
+}
+
+int kingdist(int x1, int y1, int x2, int y2) {
+    int dx;
+    int dy;
+    dx = x1 - x2;
+    dy = y1 - y2;
+    if (dx < 0) {
+        dx = -dx;
+    }
+    if (dy < 0) {
+        dy = -dy;
+    }
+    if (dx > dy) {
+        return dx;
+    }
+    return dy;
+}
+
+void main() {
+    int s;
+    int g;
+    int p;
+    int i;
+    int base;
+    int kc;
+    int w;
+    int ks;
+    int cand;
+    int best;
+
+    if (in_n == 0) {
+        print_int(0);
+        print_char('\n');
+        exit(0);
+    }
+    for (s = 0; s < 64; s++) {
+        rows[s] = malloc(64 * sizeof(int));
+        bfs(s);
+    }
+    best = 1000000;
+    for (g = 0; g < 64; g++) {
+        base = 0;
+        for (i = 0; i < in_n; i++) {
+            base = base + rows[in_nx[i] * 8 + in_ny[i]][g];
+        }
+        kc = kingdist(in_kx, in_ky, g / 8, g % 8);
+        for (p = 0; p < 64; p++) {
+            w = kingdist(in_kx, in_ky, p / 8, p % 8);
+            if (w >= kc) {
+                continue;
+            }
+            for (i = 0; i < in_n; i++) {
+                ks = in_nx[i] * 8 + in_ny[i];
+                cand = rows[ks][p] + w + rows[p][g] - rows[ks][g];
+                if (cand < kc) {
+                    kc = cand;
+                }
+            }
+        }
+        if (base + kc < best) {
+            best = base + kc;
+        }
+    }
+    for (s = 0; s < 64; s++) {
+        free(rows[s]);
+    }
+    print_int(best);
+    print_char('\n');
+    exit(0);
+}
+"""
+
+FAULTY_SOURCE = None

@@ -1,0 +1,43 @@
+"""JB.team11 — JamesB in direct-arithmetic, pointer-walking style.
+
+No known fault; Table 2's second JamesB entry ("non-recursive algorithms,
+different from JB.team6").  Everything is computed per character with the
+modulo operator, walking the input through a char pointer.
+"""
+
+SOURCE = r"""
+/* JB.team11 - JamesB (contest) - direct arithmetic, pointer walk */
+
+int in_seed;
+int in_len;
+char in_str[81];
+
+char coded[81];
+
+void main() {
+    char *p;
+    int i;
+    int chk;
+    int s;
+
+    s = in_seed % 95;
+    chk = 7;
+    i = 0;
+    p = in_str;
+    while (*p != 0) {
+        coded[i] = 32 + (*p - 32 + s + i) % 95;
+        chk = chk * 31 + coded[i];
+        p = p + 1;
+        i = i + 1;
+    }
+    coded[i] = 0;
+
+    print_str(coded);
+    print_char('\n');
+    print_int(chk);
+    print_char('\n');
+    exit(0);
+}
+"""
+
+FAULTY_SOURCE = None

@@ -1,0 +1,71 @@
+"""JB.team6 — JamesB via a translation table, with the Figure-4 fault.
+
+Structure: builds the 95-entry substitution table for the seed once, then
+maps each character through it.
+
+Real fault (ODC **assignment**, the paper's Figure 4): the output buffer
+is declared ``char phrase2[80]`` where 81 bytes are needed (80 characters
+plus the terminating NUL).  The frame places ``chk`` — the rolling
+checksum, fully computed *before* the terminator is written — directly
+above ``phrase2``, so on an 80-character input the ``phrase2[len] = 0``
+terminator lands on the most significant byte of ``chk`` and the printed
+checksum is wrong.  Nothing crashes and nothing hangs; the failure rate
+equals the probability of a maximum-length input (Table 1: 0.05%).
+
+§5 emulation on the corrected binary (Figure 4's recipe): shift every
+frame reference to ``phrase2`` by +4 so that index 80 aliases ``chk``
+exactly as in the faulty frame.  The references outnumber the two
+breakpoint registers, which is the paper's finding B — breakpoint-mode
+arming fails, and the emulation needs either inserted traps (intrusive)
+or the proposed memory-patch tool extension.
+"""
+
+from . import make_faulty
+
+SOURCE = r"""
+/* JB.team6 - JamesB (contest) - table-based codification */
+
+int in_seed;
+int in_len;
+char in_str[81];
+
+void main() {
+    int i;
+    int len;
+    int key;
+    int chk;
+    char phrase2[81];
+    char phrase[81];
+    int tab[95];
+
+    key = in_seed % 95;
+    for (i = 0; i < 95; i++) {
+        tab[i] = 32 + (i + key) % 95;
+    }
+
+    len = 0;
+    while (in_str[len] != 0) {
+        phrase[len] = in_str[len];
+        len = len + 1;
+    }
+    phrase[len] = 0;
+
+    chk = 7;
+    for (i = 0; i < len; i++) {
+        phrase2[i] = tab[(phrase[i] - 32 + i) % 95];
+        chk = chk * 31 + phrase2[i];
+    }
+    phrase2[len] = 0;
+
+    print_str(phrase2);
+    print_char('\n');
+    print_int(chk);
+    print_char('\n');
+    exit(0);
+}
+"""
+
+CORRECT_FRAGMENT = "char phrase2[81];"
+FAULTY_FRAGMENT = "char phrase2[80];"
+
+FAULTY_SOURCE = make_faulty(SOURCE, CORRECT_FRAGMENT, FAULTY_FRAGMENT)

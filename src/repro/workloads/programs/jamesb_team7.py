@@ -1,0 +1,77 @@
+"""JB.team7 — JamesB with a running key, and a wrap algorithm fault.
+
+Structure: no table; the key is carried in an accumulator (``key += 1``
+per character) and the coded value is brought back into the printable
+range by reduction.
+
+Real fault (ODC **algorithm**): the faulty program reduces with a single
+conditional subtraction —
+
+    v = phrase[i] - 32 + key;
+    if (v >= 95) v = v - 95;
+
+— which is only correct while the running key is below one modulus.  On
+long strings the key grows past 95 and the value needs reducing more than
+once; the correct program replaces the ``if`` with a ``while`` loop.
+Replacing a conditional by a loop is a reimplementation of the reduction
+algorithm (the branch structure and code size change), not an
+operator/constant fix — a machine-level error at a fixed location cannot
+turn the faulty binary into the correct one.  Failure rate tracks the
+long-string tail of the input distribution (Table 1: 1.8%).
+"""
+
+from . import make_faulty
+
+SOURCE = r"""
+/* JB.team7 - JamesB (contest) - running-key codification */
+
+int in_seed;
+int in_len;
+char in_str[81];
+
+void main() {
+    int i;
+    int len;
+    int key;
+    int v;
+    int chk;
+    char phrase[81];
+    char coded[81];
+
+    len = 0;
+    while (in_str[len] != 0) {
+        phrase[len] = in_str[len];
+        len = len + 1;
+    }
+    phrase[len] = 0;
+
+    key = in_seed % 95;
+    chk = 7;
+    for (i = 0; i < len; i++) {
+        v = phrase[i] - 32 + key;
+        while (v >= 95) {
+            v = v - 95;
+        }
+        coded[i] = 32 + v;
+        chk = chk * 31 + coded[i];
+        key = key + 1;
+    }
+    coded[len] = 0;
+
+    print_str(coded);
+    print_char('\n');
+    print_int(chk);
+    print_char('\n');
+    exit(0);
+}
+"""
+
+CORRECT_FRAGMENT = r"""        while (v >= 95) {
+            v = v - 95;
+        }"""
+
+FAULTY_FRAGMENT = r"""        if (v >= 95) {
+            v = v - 95;
+        }"""
+
+FAULTY_SOURCE = make_faulty(SOURCE, CORRECT_FRAGMENT, FAULTY_FRAGMENT)

@@ -1,0 +1,226 @@
+"""SOR — the parallel red-black Laplace relaxation in MiniC.
+
+Runs on all four cores of the machine: every core strides over the
+interior rows (row ``r`` belongs to core ``(r - 1) % num_cores``), the
+red and black half-sweeps are separated by barriers, and core 0 prints
+the result matrix (row sums, their total, and the final residual) after
+the last barrier.
+
+This is the reproduction's "real life program ... larger size" entry: the
+paper's SOR was ~2400 lines of production C; ours is proportionally
+smaller but remains the largest workload and the only parallel one
+(see DESIGN.md §2).  No known real fault; SOR participates in the §6
+class-emulation campaigns, where the paper observed it to be "quite
+sensitive to checking faults" with a large share of crashes.
+"""
+
+SOURCE = r"""
+/* SOR - parallel red-black over-relaxation on an n x n grid.
+ *
+ * Phases (all cores execute main; work is split by core id):
+ *   1. core 0 initialises the grid and boundaries
+ *   2. in_iters iterations of: red half-sweep, barrier,
+ *                              black half-sweep, barrier
+ *   3. core 0 prints row sums, the grand total, and the residual
+ */
+
+#define MAXN 16
+#define RED 0
+#define BLACK 1
+
+int in_size;
+int in_iters;
+int in_north[16];
+int in_south[16];
+int in_west[16];
+int in_east[16];
+
+int grid[16][16];
+
+void clear_interior(void) {
+    int i;
+    int j;
+    for (i = 0; i < in_size; i++) {
+        for (j = 0; j < in_size; j++) {
+            grid[i][j] = 0;
+        }
+    }
+}
+
+void init_north_edge(void) {
+    int j;
+    for (j = 0; j < in_size; j++) {
+        grid[0][j] = in_north[j];
+    }
+}
+
+void init_south_edge(void) {
+    int j;
+    for (j = 0; j < in_size; j++) {
+        grid[in_size - 1][j] = in_south[j];
+    }
+}
+
+void init_west_edge(void) {
+    int i;
+    for (i = 1; i < in_size - 1; i++) {
+        grid[i][0] = in_west[i];
+    }
+}
+
+void init_east_edge(void) {
+    int i;
+    for (i = 1; i < in_size - 1; i++) {
+        grid[i][in_size - 1] = in_east[i];
+    }
+}
+
+void init_boundaries(void) {
+    clear_interior();
+    init_north_edge();
+    init_south_edge();
+    init_west_edge();
+    init_east_edge();
+}
+
+int stencil(int i, int j) {
+    int acc;
+    acc = grid[i - 1][j] + grid[i + 1][j];
+    acc = acc + grid[i][j - 1] + grid[i][j + 1];
+    return acc / 4;
+}
+
+void sweep_row(int i, int parity) {
+    int j;
+    for (j = 1; j < in_size - 1; j++) {
+        if ((i + j) % 2 == parity) {
+            grid[i][j] = stencil(i, j);
+        }
+    }
+}
+
+void half_sweep(int me, int workers, int parity) {
+    int i;
+    for (i = 1 + me; i < in_size - 1; i += workers) {
+        sweep_row(i, parity);
+    }
+}
+
+int row_sum(int i) {
+    int j;
+    int total = 0;
+    for (j = 0; j < in_size; j++) {
+        total = total + grid[i][j];
+    }
+    return total;
+}
+
+int col_sum(int j) {
+    int i;
+    int total = 0;
+    for (i = 0; i < in_size; i++) {
+        total = total + grid[i][j];
+    }
+    return total;
+}
+
+int grid_min(void) {
+    int i;
+    int j;
+    int best = grid[0][0];
+    for (i = 0; i < in_size; i++) {
+        for (j = 0; j < in_size; j++) {
+            if (grid[i][j] < best) {
+                best = grid[i][j];
+            }
+        }
+    }
+    return best;
+}
+
+int grid_max(void) {
+    int i;
+    int j;
+    int best = grid[0][0];
+    for (i = 0; i < in_size; i++) {
+        for (j = 0; j < in_size; j++) {
+            if (grid[i][j] > best) {
+                best = grid[i][j];
+            }
+        }
+    }
+    return best;
+}
+
+int residual(void) {
+    /* Sum of |cell - stencil(cell)| over the interior: how far the grid
+     * still is from the discrete-Laplace fixpoint. */
+    int i;
+    int j;
+    int diff;
+    int total = 0;
+    for (i = 1; i < in_size - 1; i++) {
+        for (j = 1; j < in_size - 1; j++) {
+            diff = grid[i][j] - stencil(i, j);
+            if (diff < 0) {
+                diff = -diff;
+            }
+            total = total + diff;
+        }
+    }
+    return total;
+}
+
+void print_result(void) {
+    int i;
+    int j;
+    int r;
+    int total = 0;
+    for (i = 0; i < in_size; i++) {
+        r = row_sum(i);
+        total = total + r;
+        print_int(r);
+        print_char('\n');
+    }
+    for (j = 0; j < in_size; j++) {
+        print_int(col_sum(j));
+        print_char('\n');
+    }
+    print_int(total);
+    print_char('\n');
+    print_int(grid_min());
+    print_char(' ');
+    print_int(grid_max());
+    print_char('\n');
+    print_int(residual());
+    print_char('\n');
+}
+
+void main() {
+    int me;
+    int workers;
+    int iter;
+
+    me = core_id();
+    workers = num_cores();
+
+    if (me == 0) {
+        init_boundaries();
+    }
+    barrier();
+
+    for (iter = 0; iter < in_iters; iter++) {
+        half_sweep(me, workers, RED);
+        barrier();
+        half_sweep(me, workers, BLACK);
+        barrier();
+    }
+
+    if (me == 0) {
+        print_result();
+    }
+    exit(0);
+}
+"""
+
+FAULTY_SOURCE = None

@@ -1,0 +1,279 @@
+"""The workload registry: all target programs and the seven real faults.
+
+* :func:`table1_workloads` — the seven programs in which real software
+  faults were found (paper Table 1);
+* :func:`table2_workloads` — the eight programs of the §6 class-emulation
+  campaigns (paper Table 2);
+* :func:`real_faults` — the §5 catalogue: each fault's ODC class, the
+  source change that corrects it, and the Xception emulation strategy
+  (or the reason none exists).
+"""
+
+from __future__ import annotations
+
+from ..emulation.realfaults import (
+    NoEmulation,
+    OperatorSwapEmulation,
+    RealFault,
+    StackShiftEmulation,
+    ValueDeltaEmulation,
+)
+from ..odc.defect_types import DefectType
+from . import camelot, jamesb, sor
+from .base import Workload
+from .programs import (
+    camelot_team1,
+    camelot_team2,
+    camelot_team3,
+    camelot_team4,
+    camelot_team5,
+    camelot_team8,
+    camelot_team9,
+    camelot_team10,
+    jamesb_team6,
+    jamesb_team7,
+    jamesb_team11,
+    sor_program,
+)
+
+
+def _fragment_line(source: str, fragment: str) -> int:
+    """1-based line number of the unique source line containing *fragment*."""
+    lines = [i for i, text in enumerate(source.splitlines(), start=1) if fragment in text]
+    if len(lines) != 1:
+        raise ValueError(f"fragment {fragment!r} found on {len(lines)} lines")
+    return lines[0]
+
+
+_BOUNDARY_LINE = _fragment_line(camelot_team1.SOURCE, "ny >= 0 && ny < 8")
+
+REAL_FAULTS: dict[str, RealFault] = {
+    "C.team1": RealFault(
+        fault_id="C.team1",
+        program="C.team1",
+        odc_type=DefectType.CHECKING,
+        source_change="boundary test 'ny <= 8' must be 'ny < 8' (one relational operator)",
+        paper_figure="Figure 5 (checking fault, operator swap)",
+        strategy=OperatorSwapEmulation(
+            function="process", from_op="<", to_op="<=", nth=-1, line=_BOUNDARY_LINE
+        ),
+        notes=(
+            "Emulated by rewriting the condition field of the conditional "
+            "branch implementing the '<' — a single-word corruption with an "
+            "opcode-fetch trigger, as in the paper's Figure 5."
+        ),
+    ),
+    "C.team2": RealFault(
+        fault_id="C.team2",
+        program="C.team2",
+        odc_type=DefectType.ALGORITHM,
+        source_change=(
+            "the pickup search must loop over all knights; the faulty program "
+            "pre-selects the knight nearest the king and considers only it"
+        ),
+        paper_figure=None,
+        strategy=NoEmulation(
+            reason=(
+                "correcting the fault adds an inner loop over knights; the "
+                "corrected binary contains instructions with no counterpart "
+                "in the faulty one, so no fixed-location machine-level error "
+                "can turn one into the other"
+            ),
+            function="main",
+        ),
+    ),
+    "C.team3": RealFault(
+        fault_id="C.team3",
+        program="C.team3",
+        odc_type=DefectType.ALGORITHM,
+        source_change=(
+            "the bounded 4-round distance sweep plus 'assume 5' guess must be "
+            "replaced by a run-to-fixpoint sweep"
+        ),
+        paper_figure=None,
+        strategy=NoEmulation(
+            reason=(
+                "the correction replaces a counted loop plus a patch-up pass "
+                "by a fixpoint loop — a different control structure, not a "
+                "different operand or operator"
+            ),
+            function="sweep",
+        ),
+    ),
+    "C.team4": RealFault(
+        fault_id="C.team4",
+        program="C.team4",
+        odc_type=DefectType.ASSIGNMENT,
+        source_change="carrier loop init 'c = 1' must be 'c = 0' (one constant)",
+        paper_figure="Figure 3 (assignment fault, wrong loop-start constant)",
+        strategy=ValueDeltaEmulation(function="main", target="c", delta=1, kind="assign"),
+        notes=(
+            "Emulated by corrupting the operand stored by the loop "
+            "initialisation (+1) on every execution — Figure 3's option 2 "
+            "(data-bus corruption of the stored value)."
+        ),
+    ),
+    "C.team5": RealFault(
+        fault_id="C.team5",
+        program="C.team5",
+        odc_type=DefectType.ALGORITHM,
+        source_change=(
+            "dist() must return max(|dx|, |dy|) (a call to max) instead of "
+            "|dx| + |dy| (an add)"
+        ),
+        paper_figure="Figure 6 (algorithm fault: sum instead of max)",
+        strategy=NoEmulation(
+            reason=(
+                "the corrected dist() calls max(): its code is longer and its "
+                "stack frame differs from the faulty version (the paper's "
+                "Figure-6 note), so the fault is beyond any fixed-location "
+                "machine-level corruption"
+            ),
+            function="dist",
+        ),
+    ),
+    "JB.team6": RealFault(
+        fault_id="JB.team6",
+        program="JB.team6",
+        odc_type=DefectType.ASSIGNMENT,
+        source_change="char phrase2[80] must be char phrase2[81]",
+        paper_figure="Figure 4 (assignment fault causing a stack shift)",
+        strategy=StackShiftEmulation(function="main", var="phrase2", delta=4),
+        notes=(
+            "Needs every frame reference to phrase2 shifted: more trigger "
+            "addresses than the two breakpoint registers — breakpoint-mode "
+            "arming fails (the paper's finding B); trap insertion or the "
+            "memory-patch extension succeed."
+        ),
+    ),
+    "JB.team7": RealFault(
+        fault_id="JB.team7",
+        program="JB.team7",
+        odc_type=DefectType.ALGORITHM,
+        source_change=(
+            "the single conditional subtraction must become a while loop "
+            "(the running key can exceed one modulus)"
+        ),
+        paper_figure=None,
+        strategy=NoEmulation(
+            reason=(
+                "an 'if' must become a 'while': the corrected code adds a "
+                "back-edge that does not exist in the faulty binary"
+            ),
+            function="main",
+        ),
+    ),
+}
+
+
+def _camelot(name: str, module, features: str, *, in_table2: bool,
+             paper_pct: float | None) -> Workload:
+    return Workload(
+        name=name,
+        family="camelot",
+        source=module.SOURCE,
+        faulty_source=module.FAULTY_SOURCE,
+        real_fault=REAL_FAULTS.get(name),
+        features=features,
+        generate_pokes=camelot.generate_pokes,
+        oracle=camelot.oracle,
+        in_table2=in_table2,
+        paper_table1_percent=paper_pct,
+    )
+
+
+def _jamesb(name: str, module, features: str, *, in_table2: bool,
+            paper_pct: float | None) -> Workload:
+    return Workload(
+        name=name,
+        family="jamesb",
+        source=module.SOURCE,
+        faulty_source=module.FAULTY_SOURCE,
+        real_fault=REAL_FAULTS.get(name),
+        features=features,
+        generate_pokes=jamesb.generate_pokes,
+        oracle=jamesb.oracle,
+        in_table2=in_table2,
+        paper_table1_percent=paper_pct,
+    )
+
+
+def _build_registry() -> dict[str, Workload]:
+    workloads = [
+        _camelot("C.team1", camelot_team1,
+                 "Recursive algorithms, 1 real fault (corrected)",
+                 in_table2=True, paper_pct=7.3),
+        _camelot("C.team2", camelot_team2,
+                 "Non-recursive algorithms, 1 real fault (corrected)",
+                 in_table2=True, paper_pct=16.9),
+        _camelot("C.team3", camelot_team3,
+                 "Non-recursive (frontier sweeps), 1 real fault (corrected)",
+                 in_table2=False, paper_pct=1.0),
+        _camelot("C.team4", camelot_team4,
+                 "Non-recursive, knight-major carry search, 1 real fault (corrected)",
+                 in_table2=False, paper_pct=30.8),
+        _camelot("C.team5", camelot_team5,
+                 "Non-recursive, dist() helper, 1 real fault (corrected)",
+                 in_table2=False, paper_pct=2.9),
+        _camelot("C.team8", camelot_team8,
+                 "Non-recursive algorithms (precomputed neighbour lists)",
+                 in_table2=True, paper_pct=None),
+        _camelot("C.team9", camelot_team9,
+                 "Non-recursive, uses many dynamic structures "
+                 "(linked-list queue, heap-allocated table)",
+                 in_table2=True, paper_pct=None),
+        _camelot("C.team10", camelot_team10,
+                 "Recursive algorithms (mutually recursive search)",
+                 in_table2=True, paper_pct=None),
+        _jamesb("JB.team6", jamesb_team6,
+                "Non-recursive, table-based, 1 real fault (corrected)",
+                in_table2=True, paper_pct=0.05),
+        _jamesb("JB.team7", jamesb_team7,
+                "Non-recursive, running key, 1 real fault (corrected)",
+                in_table2=False, paper_pct=1.8),
+        _jamesb("JB.team11", jamesb_team11,
+                "Non-recursive algorithms (different from JB.team6)",
+                in_table2=True, paper_pct=None),
+        Workload(
+            name="SOR",
+            family="sor",
+            source=sor_program.SOURCE,
+            features="Parallel program, real-life program, largest size",
+            generate_pokes=sor.generate_pokes,
+            oracle=sor.oracle,
+            num_cores=sor.NUM_CORES,
+            in_table2=True,
+        ),
+    ]
+    return {workload.name: workload for workload in workloads}
+
+
+_REGISTRY = _build_registry()
+
+TABLE1_ORDER = ("C.team1", "C.team2", "C.team3", "C.team4", "C.team5",
+                "JB.team6", "JB.team7")
+TABLE2_ORDER = ("C.team1", "C.team2", "C.team8", "C.team9", "C.team10",
+                "JB.team6", "JB.team11", "SOR")
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; have {sorted(_REGISTRY)}") from None
+
+
+def all_workloads() -> list[Workload]:
+    return list(_REGISTRY.values())
+
+
+def table1_workloads() -> list[Workload]:
+    return [_REGISTRY[name] for name in TABLE1_ORDER]
+
+
+def table2_workloads() -> list[Workload]:
+    return [_REGISTRY[name] for name in TABLE2_ORDER]
+
+
+def real_faults() -> list[RealFault]:
+    return [REAL_FAULTS[name] for name in TABLE1_ORDER]

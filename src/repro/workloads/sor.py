@@ -1,0 +1,113 @@
+"""SOR: parallel red-black successive over-relaxation (oracle + inputs).
+
+The paper's third target is "an implementation of a parallel algorithm to
+solve the Laplace equation over a grid ... based on the over-relaxation
+scheme with red-black ordering" — a real-life program, by far the largest
+of the three, whose "result is given in the form of a matrix".
+
+Our SOR solves the integer Laplace relaxation on an ``n × n`` grid with
+fixed boundary values: for a fixed number of iterations, every interior
+cell is replaced by the mean of its four neighbours, first the *red*
+cells (``(i + j)`` even), a barrier, then the *black* cells, a barrier.
+Red cells depend only on black neighbours and vice versa, so the result
+is deterministic no matter how the four cores interleave — that is the
+point of red-black ordering, and it is why the corrected program can be
+checked bit-for-bit against this sequential oracle.
+
+Arithmetic is integer (the RX32 has no floating point; DESIGN.md §2
+documents the substitution): values are non-negative and bounded by the
+boundary maximum, and the mean uses truncating division exactly as the
+MiniC ``/`` does.
+
+Output — a compact rendition of "the result is given in the form of a
+matrix": one line per grid row (the row's cell sum), one line per column
+(the column's cell sum), the grand total, the grid minimum and maximum,
+and finally the residual (the summed absolute deviation of every interior
+cell from its four-neighbour mean).
+"""
+
+from __future__ import annotations
+
+import random
+
+MAX_GRID = 16
+NUM_CORES = 4
+
+
+def relax(size: int, iters: int, north: list[int], south: list[int],
+          west: list[int], east: list[int]) -> list[list[int]]:
+    """Sequential reference of the red-black relaxation."""
+    grid = [[0] * size for _ in range(size)]
+    for j in range(size):
+        grid[0][j] = north[j]
+        grid[size - 1][j] = south[j]
+    for i in range(1, size - 1):
+        grid[i][0] = west[i]
+        grid[i][size - 1] = east[i]
+    for _ in range(iters):
+        for parity in (0, 1):
+            for i in range(1, size - 1):
+                for j in range(1, size - 1):
+                    if (i + j) % 2 == parity:
+                        grid[i][j] = (
+                            grid[i - 1][j] + grid[i + 1][j]
+                            + grid[i][j - 1] + grid[i][j + 1]
+                        ) // 4
+    return grid
+
+
+def generate_pokes(rng: random.Random) -> dict[str, int | list[int]]:
+    size = rng.choice((10, 12, 14, 16))
+    iters = rng.randint(6, 14)
+    def edge() -> list[int]:
+        values = [rng.randint(0, 100000) for _ in range(size)]
+        return values + [0] * (MAX_GRID - size)
+    return {
+        "in_size": size,
+        "in_iters": iters,
+        "in_north": edge(),
+        "in_south": edge(),
+        "in_west": edge(),
+        "in_east": edge(),
+    }
+
+
+def residual(grid: list[list[int]]) -> int:
+    """Summed |cell − four-neighbour mean| over the interior (integer)."""
+    size = len(grid)
+    total = 0
+    for i in range(1, size - 1):
+        for j in range(1, size - 1):
+            stencil = (
+                grid[i - 1][j] + grid[i + 1][j] + grid[i][j - 1] + grid[i][j + 1]
+            ) // 4
+            total += abs(grid[i][j] - stencil)
+    return total
+
+
+def oracle(pokes: dict) -> bytes:
+    size = pokes["in_size"]
+    grid = relax(
+        size,
+        pokes["in_iters"],
+        pokes["in_north"][:size],
+        pokes["in_south"][:size],
+        pokes["in_west"][:size],
+        pokes["in_east"][:size],
+    )
+    out = bytearray()
+    total = 0
+    for row in grid:
+        row_sum = sum(row)
+        total += row_sum
+        out += b"%d\n" % row_sum
+    for j in range(size):
+        out += b"%d\n" % sum(grid[i][j] for i in range(size))
+    out += b"%d\n" % total
+    cells = [cell for row in grid for cell in row]
+    out += b"%d %d\n" % (min(cells), max(cells))
+    out += b"%d\n" % residual(grid)
+    return bytes(out)
+
+
+INPUT_GLOBALS = ("in_size", "in_iters", "in_north", "in_south", "in_west", "in_east")

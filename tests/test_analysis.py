@@ -1,0 +1,135 @@
+"""Tests for tables, figures and statistics helpers."""
+
+import pytest
+
+from repro.analysis import (
+    dispersion,
+    max_pairwise_distance,
+    mean_distribution,
+    render_stacked_bars,
+    render_table,
+    series_to_jsonable,
+    total_variation,
+    wilson_interval,
+)
+from repro.swifi import FailureMode
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        text = render_table(["Name", "N"], [["alpha", 1], ["b", 20]])
+        lines = text.splitlines()
+        assert lines[0].startswith("Name")
+        assert lines[-1].endswith("20")
+
+    def test_title(self):
+        text = render_table(["A"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "========"
+
+    def test_numeric_right_alignment(self):
+        text = render_table(["V"], [[5], [500]])
+        rows = text.splitlines()[-2:]
+        assert rows[0].rjust(len(rows[1])) == rows[0] or rows[0].endswith("  5")
+
+    def test_float_formatting(self):
+        text = render_table(["V"], [[1.23456]])
+        assert "1.23" in text
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["A", "B"], [["only-one"]])
+
+    def test_empty_rows(self):
+        text = render_table(["A", "B"], [])
+        assert "A" in text
+
+
+def make_series():
+    return {
+        "p1": {FailureMode.CORRECT: 50.0, FailureMode.INCORRECT: 50.0,
+               FailureMode.HANG: 0.0, FailureMode.CRASH: 0.0},
+        "p2": {FailureMode.CORRECT: 0.0, FailureMode.INCORRECT: 50.0,
+               FailureMode.HANG: 25.0, FailureMode.CRASH: 25.0},
+    }
+
+
+class TestFigures:
+    def test_stacked_bars_render(self):
+        text = render_stacked_bars(make_series(), title="T")
+        assert "p1" in text and "p2" in text
+        assert "=Correct" in text
+
+    def test_bar_width_respected(self):
+        text = render_stacked_bars(make_series(), title="T", width=20)
+        bar_line = next(line for line in text.splitlines() if line.startswith("p1") or "p1 |" in line)
+        inner = bar_line.split("|")[1]
+        assert len(inner) == 20
+
+    def test_order_parameter(self):
+        text = render_stacked_bars(make_series(), title="T", order=["p2", "p1"])
+        assert text.index("p2") < text.index("p1")
+
+    def test_jsonable(self):
+        payload = series_to_jsonable(make_series())
+        assert payload["p1"]["correct"] == 50.0
+
+
+class TestStats:
+    def test_total_variation_identity(self):
+        series = make_series()
+        assert total_variation(series["p1"], series["p1"]) == 0.0
+
+    def test_total_variation_range(self):
+        a = {FailureMode.CORRECT: 100.0}
+        b = {FailureMode.CRASH: 100.0}
+        assert total_variation(a, b) == pytest.approx(1.0)
+
+    def test_max_pairwise(self):
+        assert max_pairwise_distance(make_series()) == pytest.approx(0.5)
+
+    def test_dispersion_zero_for_identical(self):
+        series = {"a": make_series()["p1"], "b": make_series()["p1"]}
+        assert dispersion(series) == 0.0
+
+    def test_mean_distribution(self):
+        mean = mean_distribution(make_series())
+        assert mean[FailureMode.CORRECT] == pytest.approx(25.0)
+        assert sum(mean.values()) == pytest.approx(100.0)
+
+    def test_empty_series(self):
+        assert dispersion({}) == 0.0
+        assert max_pairwise_distance({}) == 0.0
+
+    def test_wilson_interval_contains_point(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.3 < high
+
+    def test_wilson_zero_trials(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_wilson_extremes(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0 and high < 0.15
+        low, high = wilson_interval(50, 50)
+        assert high == 1.0 and low > 0.85
+
+
+class TestReport:
+    def test_build_report_with_partial_results(self, tmp_path):
+        from repro.analysis import build_report
+
+        (tmp_path / "table3_error_types.txt").write_text("TABLE3 CONTENT")
+        path = build_report(str(tmp_path))
+        text = open(path).read()
+        assert "TABLE3 CONTENT" in text
+        assert "not regenerated yet" in text  # the missing artefacts
+        assert text.index("Table 1") < text.index("Figure 10")
+
+    def test_report_sections_cover_all_artefacts(self):
+        from repro.analysis import SECTIONS
+
+        stems = [stem for stem, _ in SECTIONS]
+        assert len(stems) == len(set(stems))
+        assert any("fig7" in stem for stem in stems)
+        assert any("ablation_a3" in stem for stem in stems)

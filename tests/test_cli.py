@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_global_flags_before_subcommand(self):
+        args = build_parser().parse_args(["--scale", "0.5", "--seed", "9", "table3"])
+        assert args.scale == 0.5
+        assert args.seed == 9
+
+    def test_global_flags_after_subcommand(self):
+        args = build_parser().parse_args(["table3", "--scale", "0.25"])
+        assert args.scale == 0.25
+
+    def test_flags_default_via_getattr(self):
+        args = build_parser().parse_args(["table3"])
+        assert getattr(args, "scale", 1.0) == 1.0
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("table1", "table2", "table3", "table4", "sec5",
+                        "figures", "ablation-metrics", "ablation-triggers",
+                        "ablation-hardware", "disasm", "inject"):
+            args = parser.parse_args(
+                [command] + (["C.team1"] if command == "disasm" else [])
+                + (["f.c"] if command == "inject" else [])
+            )
+            assert args.command == command
+
+
+class TestFastCommands:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "SOR" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        assert "value +1" in capsys.readouterr().out
+
+    def test_table4(self, capsys):
+        assert main(["table4"]) == 0
+        assert "Paper injected" in capsys.readouterr().out
+
+    def test_disasm(self, capsys):
+        assert main(["disasm", "JB.team11"]) == 0
+        out = capsys.readouterr().out
+        assert "main:" in out and "blr" in out
+
+    def test_ablation_metrics(self, capsys):
+        assert main(["ablation-metrics", "--faults", "20"]) == 0
+        assert "Ablation A1" in capsys.readouterr().out
+
+    def test_inject_custom_file(self, capsys, tmp_path):
+        source = tmp_path / "mini.c"
+        source.write_text(
+            "void main() { int x = 1; if (x < 3) { x = 2; } print_int(x); exit(0); }"
+        )
+        assert main(["inject", str(source), "--locations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "assignment locations" in out
+        assert "OpcodeFetch" in out

@@ -1,0 +1,296 @@
+"""Tests for the fault locator: every Table-3 error type, behaviourally.
+
+A small program with a known output is compiled; for each error type the
+locator builds a FaultSpec, the injector runs it, and the observed output
+must equal what the *source-level* mutation would produce — this is the
+core soundness property of the emulation layer.
+"""
+
+import random
+
+import pytest
+
+from repro.emulation import (
+    ASSIGNMENT_CLASS,
+    CHECKING_CLASS,
+    FaultLocator,
+    LocatorError,
+    all_error_types,
+)
+from repro.emulation.operators import swap_error_type
+from repro.lang import compile_source
+from repro.machine import boot
+from repro.swifi import InjectionSession
+
+# sums i for i in 0..4 (i < 5), prints 10; also walks an array inside a
+# condition, and uses && / || junctions and a bare truth test.
+SOURCE = """
+int guard[2];
+int data[6] = {0, 10, 20, 30, 40, 50};
+
+void main() {
+    int i;
+    int total = 0;
+    int hits = 0;
+    for (i = 0; i < 5; i++) {
+        total = total + i;
+    }
+    for (i = 0; i < 5; i++) {
+        if (data[i] == 20) {
+            hits = hits + 1;
+        }
+    }
+    if (total > 5 && hits == 1) {
+        hits = hits + 10;
+    }
+    if (total < 3 || hits > 5) {
+        hits = hits + 100;
+    }
+    while (total) {
+        total = total - 1;
+    }
+    print_int(hits);
+    print_int(total);
+    exit(0);
+}
+"""
+
+CLEAN_OUTPUT = b"1110"
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_source(SOURCE, "locator-target")
+
+
+@pytest.fixture(scope="module")
+def locator(compiled):
+    return FaultLocator(compiled)
+
+
+def run_with(compiled, spec):
+    machine = boot(compiled.executable)
+    session = InjectionSession(machine)
+    session.arm(spec)
+    result = session.run(2_000_000)
+    return result
+
+
+def mutated_output(mutation_source: str) -> bytes:
+    mutated = compile_source(mutation_source, "mutated")
+    machine = boot(mutated.executable)
+    result = machine.run(2_000_000)
+    assert result.status == "exited"
+    return result.console
+
+
+class TestEnumeration:
+    def test_clean_run(self, compiled):
+        machine = boot(compiled.executable)
+        assert machine.run().console == CLEAN_OUTPUT
+
+    def test_assignment_locations_have_four_types(self, locator):
+        for location in locator.assignment_locations():
+            assert len(location.error_types) == 4
+
+    def test_checking_location_counts(self, locator):
+        locations = locator.checking_locations()
+        # 3 for/if relational + '>' '<' '==' sites + junctions + bool test
+        ops = [loc.site.op for loc in locations if hasattr(loc.site, "op")]
+        assert "bool" in ops
+        assert any(getattr(loc.site, "op", None) in ("&&", "||") for loc in locations)
+
+    def test_locations_by_class(self, locator):
+        assert locator.locations(ASSIGNMENT_CLASS)
+        assert locator.locations(CHECKING_CLASS)
+        with pytest.raises(LocatorError):
+            locator.locations("timing")
+
+    def test_describe(self, locator):
+        text = locator.assignment_locations()[0].describe()
+        assert "locator-target" in text
+
+
+class TestAssignmentErrorTypes:
+    def _site(self, locator, target, kind="assign"):
+        return next(
+            loc for loc in locator.assignment_locations()
+            if loc.site.target == target and loc.site.kind == kind
+        )
+
+    def _type(self, location, name):
+        return next(e for e in location.error_types if e.name == name)
+
+    def test_value_plus_1(self, compiled, locator):
+        location = self._site(locator, "total")
+        spec = locator.build_fault(location, self._type(location, "value+1"))
+        result = run_with(compiled, spec)
+        expected = mutated_output(SOURCE.replace(
+            "total = total + i;", "total = total + i + 1;"
+        ))
+        assert result.console == expected
+
+    def test_value_minus_1(self, compiled, locator):
+        location = self._site(locator, "total")
+        spec = locator.build_fault(location, self._type(location, "value-1"))
+        result = run_with(compiled, spec)
+        expected = mutated_output(SOURCE.replace(
+            "total = total + i;", "total = total + i - 1;"
+        ))
+        assert result.console == expected
+
+    def test_no_assign(self, compiled, locator):
+        location = self._site(locator, "total")
+        spec = locator.build_fault(location, self._type(location, "no-assign"))
+        result = run_with(compiled, spec)
+        expected = mutated_output(SOURCE.replace("total = total + i;", ";"))
+        assert result.console == expected
+
+    def test_random_requires_rng(self, locator):
+        location = self._site(locator, "total")
+        with pytest.raises(LocatorError):
+            locator.build_fault(location, self._type(location, "random"))
+
+    def test_random_value_applied(self, compiled, locator):
+        location = self._site(locator, "hits")
+        spec = locator.build_fault(
+            location, self._type(location, "random"), rng=random.Random(1)
+        )
+        result = run_with(compiled, spec)
+        assert result.status in ("exited", "hung", "trapped")
+
+    def test_memory_strategy_no_assign(self, compiled, locator):
+        location = self._site(locator, "total")
+        spec = locator.build_fault(
+            location, self._type(location, "no-assign"), strategy="memory"
+        )
+        result = run_with(compiled, spec)
+        expected = mutated_output(SOURCE.replace("total = total + i;", ";"))
+        assert result.console == expected
+
+
+class TestCheckingErrorTypes:
+    def _rel_site(self, locator, op, line_fragment):
+        source_lines = SOURCE.splitlines()
+        line = next(
+            index for index, text in enumerate(source_lines, start=1)
+            if line_fragment in text
+        )
+        return next(
+            loc for loc in locator.checking_locations()
+            if getattr(loc.site, "op", None) == op and loc.site.line == line
+        )
+
+    def test_swap_lt_le(self, compiled, locator):
+        location = self._rel_site(locator, "<", "for (i = 0; i < 5; i++) {\n        total"[:20])
+        spec = locator.build_fault(location, swap_error_type("<", "<="))
+        result = run_with(compiled, spec)
+        expected = mutated_output(SOURCE.replace(
+            "for (i = 0; i < 5; i++) {\n        total = total + i;",
+            "for (i = 0; i <= 5; i++) {\n        total = total + i;",
+        ))
+        assert result.console == expected
+
+    def test_swap_eq_ne(self, compiled, locator):
+        location = self._rel_site(locator, "==", "data[i] == 20")
+        spec = locator.build_fault(location, swap_error_type("==", "!="))
+        result = run_with(compiled, spec)
+        expected = mutated_output(SOURCE.replace("data[i] == 20", "data[i] != 20"))
+        assert result.console == expected
+
+    def test_true_to_false(self, compiled):
+        # Truth forcing on relational sites needs the truth_on_all policy.
+        locator = FaultLocator(compiled, truth_on_all=True)
+        location = self._rel_site(locator, "==", "data[i] == 20")
+        error = next(e for e in location.error_types if e.name == "true->false")
+        spec = locator.build_fault(location, error)
+        result = run_with(compiled, spec)
+        expected = mutated_output(SOURCE.replace("data[i] == 20", "0"))
+        assert result.console == expected
+
+    def test_false_to_true(self, compiled):
+        locator = FaultLocator(compiled, truth_on_all=True)
+        location = self._rel_site(locator, "==", "data[i] == 20")
+        error = next(e for e in location.error_types if e.name == "false->true")
+        spec = locator.build_fault(location, error)
+        result = run_with(compiled, spec)
+        expected = mutated_output(SOURCE.replace("data[i] == 20", "1"))
+        assert result.console == expected
+
+    def test_index_plus_one(self, compiled, locator):
+        location = self._rel_site(locator, "==", "data[i] == 20")
+        error = next(e for e in location.error_types if e.name == "index+1")
+        spec = locator.build_fault(location, error)
+        result = run_with(compiled, spec)
+        expected = mutated_output(SOURCE.replace("data[i] == 20", "data[i + 1] == 20"))
+        assert result.console == expected
+
+    def test_index_minus_one(self, compiled, locator):
+        location = self._rel_site(locator, "==", "data[i] == 20")
+        error = next(e for e in location.error_types if e.name == "index-1")
+        spec = locator.build_fault(location, error)
+        result = run_with(compiled, spec)
+        expected = mutated_output(SOURCE.replace("data[i] == 20", "data[i - 1] == 20"))
+        assert result.console == expected
+
+    def test_and_to_or(self, compiled, locator):
+        location = next(
+            loc for loc in locator.checking_locations()
+            if getattr(loc.site, "op", None) == "&&"
+        )
+        spec = locator.build_fault(location, location.error_types[0])
+        result = run_with(compiled, spec)
+        expected = mutated_output(SOURCE.replace(
+            "total > 5 && hits == 1", "total > 5 || hits == 1"
+        ))
+        assert result.console == expected
+
+    def test_or_to_and(self, compiled, locator):
+        location = next(
+            loc for loc in locator.checking_locations()
+            if getattr(loc.site, "op", None) == "||"
+        )
+        spec = locator.build_fault(location, location.error_types[0])
+        result = run_with(compiled, spec)
+        expected = mutated_output(SOURCE.replace(
+            "total < 3 || hits > 5", "total < 3 && hits > 5"
+        ))
+        assert result.console == expected
+
+    def test_truth_types_on_bool_site(self, compiled, locator):
+        location = next(
+            loc for loc in locator.checking_locations()
+            if getattr(loc.site, "op", None) == "bool"
+        )
+        names = {e.name for e in location.error_types}
+        assert names == {"true->false", "false->true"}
+        # while (total) forced false: the drain loop never runs.
+        error = next(e for e in location.error_types if e.name == "true->false")
+        result = run_with(compiled, locator.build_fault(location, error))
+        expected = mutated_output(SOURCE.replace("while (total)", "while (0)"))
+        assert result.console == expected
+
+    def test_inapplicable_type_rejected(self, compiled, locator):
+        location = self._rel_site(locator, "==", "data[i] == 20")
+        with pytest.raises(LocatorError):
+            locator.build_fault(location, swap_error_type("<", "<="))
+
+    def test_metadata_attached(self, compiled, locator):
+        location = self._rel_site(locator, "==", "data[i] == 20")
+        spec = locator.build_fault(location, swap_error_type("==", "!="))
+        assert spec.meta["program"] == "locator-target"
+        assert spec.meta["klass"] == CHECKING_CLASS
+        assert spec.meta["error_type"] == "swap:==->!="
+
+
+class TestErrorTypeRegistry:
+    def test_all_error_types_count(self):
+        types = all_error_types()
+        assert len(types) == 18  # 4 assignment + 14 checking
+        assert len({t.name for t in types}) == len(types)
+
+    def test_figure_labels_present(self):
+        labels = {t.paper_label for t in all_error_types()}
+        for expected in ("<= <", "< <=", "= !=", "!= =", "and or", "or and",
+                         "[i] [i+1]", "[i] [i-1]", "true false", "false true"):
+            assert expected in labels

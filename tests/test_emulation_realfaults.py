@@ -1,0 +1,185 @@
+"""Tests for the §5 real-fault machinery on small purpose-built programs.
+
+(The seven actual workload faults are exercised end-to-end in
+``test_integration_sec5.py``; here the strategies and selectors are
+validated in isolation.)
+"""
+
+import pytest
+
+from repro.emulation import (
+    NoEmulation,
+    NotEmulableError,
+    OperatorSwapEmulation,
+    SiteNotFound,
+    StackShiftEmulation,
+    ValueDeltaEmulation,
+    find_assignment,
+    find_check,
+)
+from repro.lang import compile_source
+from repro.machine import boot
+from repro.swifi import DebugResourceError, InjectionSession
+
+SOURCE = """
+void main() {
+    int i;
+    int total = 0;
+    int bound = 4;
+    for (i = 0; i < bound; i++) {
+        total += i;
+    }
+    if (total >= 6) {
+        total = total * 10;
+    }
+    print_int(total);
+    exit(0);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_source(SOURCE, "rf")
+
+
+def run_specs(compiled, specs):
+    machine = boot(compiled.executable)
+    session = InjectionSession(machine)
+    session.arm_all(specs)
+    return session.run(1_000_000)
+
+
+class TestSelectors:
+    def test_find_assignment_by_target_kind(self, compiled):
+        site = find_assignment(compiled, function="main", target="bound", kind="init")
+        assert site.target == "bound"
+
+    def test_find_assignment_nth_negative(self, compiled):
+        last = find_assignment(compiled, function="main", target="total", nth=-1)
+        first = find_assignment(compiled, function="main", target="total", nth=0)
+        assert last.line > first.line
+
+    def test_find_check_by_op(self, compiled):
+        site = find_check(compiled, function="main", op=">=")
+        assert site.op == ">="
+
+    def test_find_check_by_line(self, compiled):
+        line = SOURCE.splitlines().index("    for (i = 0; i < bound; i++) {") + 1
+        site = find_check(compiled, function="main", op="<", line=line)
+        assert site.line == line
+
+    def test_missing_site_raises(self, compiled):
+        with pytest.raises(SiteNotFound):
+            find_assignment(compiled, function="main", target="ghost")
+        with pytest.raises(SiteNotFound):
+            find_check(compiled, function="nope", op="<")
+
+
+class TestValueDelta:
+    def test_changes_loop_start(self, compiled):
+        # Emulate "i = 1" fault: sum becomes 1+2+3 = 6 -> >=6 -> 60.
+        strategy = ValueDeltaEmulation(function="main", target="i", delta=1, kind="assign")
+        specs = strategy.build(compiled)
+        assert len(specs) == 1
+        result = run_specs(compiled, specs)
+        assert result.console == b"60"
+
+    def test_describe(self):
+        strategy = ValueDeltaEmulation(function="f", target="x", delta=-2)
+        assert "x" in strategy.describe()
+
+
+class TestOperatorSwap:
+    def test_swap_lt_le(self, compiled):
+        # i < bound -> i <= bound: sum 0..4 = 10 -> 100.
+        strategy = OperatorSwapEmulation(function="main", from_op="<", to_op="<=")
+        result = run_specs(compiled, strategy.build(compiled))
+        assert result.console == b"100"
+
+    def test_swap_ge_gt(self, compiled):
+        # total >= 6 -> total > 6: 6 stays unscaled.
+        strategy = OperatorSwapEmulation(function="main", from_op=">=", to_op=">")
+        result = run_specs(compiled, strategy.build(compiled))
+        assert result.console == b"6"
+
+
+STACK_SOURCE = """
+void main() {
+    int marker;
+    char buf[8];
+    int i;
+    marker = 0x11223344;
+    for (i = 0; i < 8; i++) {
+        buf[i] = 'a' + i;
+    }
+    print_int(marker);
+    exit(0);
+}
+"""
+
+
+class TestStackShift:
+    @pytest.fixture(scope="class")
+    def stack_compiled(self):
+        return compile_source(STACK_SOURCE, "ss")
+
+    def test_clean_marker(self, stack_compiled):
+        machine = boot(stack_compiled.executable)
+        assert machine.run().console == b"287454020"
+
+    def test_memory_mode_shifts_references(self, stack_compiled):
+        # Shifting buf's references +4 makes buf[4..7] overwrite marker.
+        strategy = StackShiftEmulation(function="main", var="buf", delta=4)
+        specs = strategy.build(stack_compiled, mode="memory")
+        assert len(specs) == 1
+        result = run_specs(stack_compiled, specs)
+        assert result.status == "exited"
+        assert result.console != b"287454020"
+        # marker's bytes become 'e','f','g','h'.
+        assert int(result.console) == int.from_bytes(b"efgh", "big")
+
+    def test_breakpoint_mode_exhausts_registers(self):
+        # A variable referenced from more statements than there are IABRs.
+        source = """
+        void main() {
+            char buf[8];
+            buf[0] = 1;
+            buf[1] = 2;
+            buf[2] = 3;
+            print_int(buf[0] + buf[1] + buf[2]);
+            exit(0);
+        }
+        """
+        compiled_many = compile_source(source, "many-refs")
+        strategy = StackShiftEmulation(function="main", var="buf", delta=4)
+        specs = strategy.build(compiled_many, mode="breakpoint")
+        assert len(specs) >= 3  # more reference sites than IABRs
+        machine = boot(compiled_many.executable)
+        session = InjectionSession(machine)
+        with pytest.raises(DebugResourceError):
+            session.arm_all(specs)
+
+    def test_trap_mode_works_but_is_intrusive(self, stack_compiled):
+        strategy = StackShiftEmulation(function="main", var="buf", delta=4)
+        specs = strategy.build(stack_compiled, mode="trap")
+        machine = boot(stack_compiled.executable)
+        session = InjectionSession(machine)
+        session.arm_all(specs)
+        result = session.run(1_000_000)
+        assert machine.debug.intrusive
+        assert int(result.console) == int.from_bytes(b"efgh", "big")
+
+    def test_unknown_variable(self, stack_compiled):
+        strategy = StackShiftEmulation(function="main", var="ghost", delta=4)
+        with pytest.raises(SiteNotFound):
+            strategy.build(stack_compiled)
+
+
+class TestNoEmulation:
+    def test_raises_with_reason(self, compiled):
+        strategy = NoEmulation(reason="needs a structural change", function="main")
+        with pytest.raises(NotEmulableError) as info:
+            strategy.build(compiled)
+        assert "structural" in info.value.reason
+        assert info.value.evidence.get("corrected_frame_size", 0) > 0

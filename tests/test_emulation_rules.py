@@ -1,0 +1,139 @@
+"""Tests for the §6.3 rule-based error-set generator."""
+
+import random
+
+import pytest
+
+from repro.emulation import (
+    ASSIGNMENT_CLASS,
+    CHECKING_CLASS,
+    generate_both_classes,
+    generate_error_set,
+)
+from repro.lang import compile_source
+from repro.swifi.faults import OpcodeFetch
+
+SOURCE = """
+int table[4];
+
+void main() {
+    int i;
+    int total = 0;
+    for (i = 0; i < 4; i++) {
+        table[i] = i * 2;
+        total += table[i];
+    }
+    if (total > 10 && total < 100) {
+        total = total - 1;
+    }
+    print_int(total);
+    exit(0);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_source(SOURCE, "rules-target")
+
+
+class TestGeneration:
+    def test_assignment_set(self, compiled):
+        error_set = generate_error_set(
+            compiled, ASSIGNMENT_CLASS, max_locations=3, rng=random.Random(1)
+        )
+        assert error_set.klass == ASSIGNMENT_CLASS
+        assert error_set.chosen_locations == 3
+        assert error_set.possible_locations >= 3
+        # Every assignment location takes all four Table-3 types.
+        assert len(error_set.faults) == 12
+
+    def test_checking_set(self, compiled):
+        error_set = generate_error_set(
+            compiled, CHECKING_CLASS, max_locations=10, rng=random.Random(1)
+        )
+        assert error_set.chosen_locations == min(10, error_set.possible_locations)
+        assert error_set.faults
+
+    def test_choosing_more_than_possible_caps(self, compiled):
+        error_set = generate_error_set(
+            compiled, ASSIGNMENT_CLASS, max_locations=10_000, rng=random.Random(0)
+        )
+        assert error_set.chosen_locations == error_set.possible_locations
+
+    def test_unknown_class_rejected(self, compiled):
+        with pytest.raises(ValueError):
+            generate_error_set(compiled, "timing", max_locations=1, rng=random.Random(0))
+
+    def test_deterministic_under_seed(self, compiled):
+        first = generate_error_set(
+            compiled, CHECKING_CLASS, max_locations=2, rng=random.Random(42)
+        )
+        second = generate_error_set(
+            compiled, CHECKING_CLASS, max_locations=2, rng=random.Random(42)
+        )
+        assert [f.fault_id for f in first.faults] == [f.fault_id for f in second.faults]
+
+    def test_different_seeds_differ(self, compiled):
+        sets = {
+            tuple(
+                f.fault_id
+                for f in generate_error_set(
+                    compiled, ASSIGNMENT_CLASS, max_locations=2, rng=random.Random(seed)
+                ).faults
+            )
+            for seed in range(8)
+        }
+        assert len(sets) > 1
+
+    def test_trigger_is_the_location_instruction(self, compiled):
+        error_set = generate_error_set(
+            compiled, ASSIGNMENT_CLASS, max_locations=2, rng=random.Random(3)
+        )
+        location_addresses = {loc.address for loc in error_set.locations}
+        for fault in error_set.faults:
+            assert isinstance(fault.trigger, OpcodeFetch)
+            assert fault.trigger.address in location_addresses
+
+    def test_when_is_every_execution(self, compiled):
+        error_set = generate_error_set(
+            compiled, ASSIGNMENT_CLASS, max_locations=1, rng=random.Random(3)
+        )
+        for fault in error_set.faults:
+            assert fault.when.count is None and fault.when.start == 1
+
+    def test_metadata_complete(self, compiled):
+        error_set = generate_error_set(
+            compiled, CHECKING_CLASS, max_locations=2, rng=random.Random(3)
+        )
+        for fault in error_set.faults:
+            meta = fault.meta
+            assert meta["program"] == "rules-target"
+            assert meta["klass"] == CHECKING_CLASS
+            assert "error_label" in meta and "line" in meta
+
+    def test_injected_faults_arithmetic(self, compiled):
+        error_set = generate_error_set(
+            compiled, ASSIGNMENT_CLASS, max_locations=2, rng=random.Random(3)
+        )
+        assert error_set.injected_faults(300) == len(error_set.faults) * 300
+
+    def test_both_classes(self, compiled):
+        both = generate_both_classes(
+            compiled,
+            max_assignment_locations=2,
+            max_checking_locations=2,
+            rng=random.Random(5),
+        )
+        assert set(both) == {ASSIGNMENT_CLASS, CHECKING_CLASS}
+        assert all(es.faults for es in both.values())
+
+    def test_unique_fault_ids(self, compiled):
+        both = generate_both_classes(
+            compiled,
+            max_assignment_locations=100,
+            max_checking_locations=100,
+            rng=random.Random(5),
+        )
+        ids = [f.fault_id for es in both.values() for f in es.faults]
+        assert len(ids) == len(set(ids))

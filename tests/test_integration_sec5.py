@@ -1,0 +1,128 @@
+"""End-to-end integration of the §5 experiment on the real workloads.
+
+These are the reproduction's load-bearing claims, exercised on the actual
+programs (small input counts — Camelot runs cost ~1s each):
+
+* the checking fault (C.team1) and the assignment fault (C.team4) are
+  emulated *exactly*: corrected binary + injection ≡ faulty binary;
+* the stack-shift fault (JB.team6) exhausts the two breakpoint registers
+  and is exact under the memory-patch extension;
+* the four algorithm faults raise NotEmulableError;
+* the campaign pipeline is deterministic under a fixed seed.
+"""
+
+import random
+
+import pytest
+
+from repro.emulation import NotEmulableError
+from repro.experiments import ExperimentConfig, run_section6
+from repro.machine import boot
+from repro.swifi import DebugResourceError, InjectionSession
+from repro.workloads import get_workload
+
+
+def faulty_vs_emulated(name: str, inputs: int, mode: str = "breakpoint", seed: int = 11):
+    workload = get_workload(name)
+    corrected = workload.compiled()
+    faulty = workload.compiled_faulty()
+    specs = workload.real_fault.build_emulation(corrected, mode=mode)
+    rng = random.Random(seed)
+    matches = 0
+    activated = 0
+    for _ in range(inputs):
+        pokes = workload.generate_pokes(rng)
+        machine_faulty = boot(faulty.executable, num_cores=workload.num_cores, inputs=pokes)
+        run_faulty = machine_faulty.run(100_000_000)
+        machine_emulated = boot(corrected.executable, num_cores=workload.num_cores, inputs=pokes)
+        session = InjectionSession(machine_emulated)
+        session.arm_all(specs)
+        run_emulated = session.run(100_000_000)
+        if session.any_injected:
+            activated += 1
+        if (run_emulated.status, run_emulated.console) == (run_faulty.status, run_faulty.console):
+            matches += 1
+    return matches, activated, inputs
+
+
+class TestExactEmulation:
+    def test_checking_fault_team1(self):
+        matches, activated, total = faulty_vs_emulated("C.team1", inputs=4)
+        assert matches == total
+        assert activated == total  # the trigger instruction runs every time
+
+    def test_assignment_fault_team4(self):
+        matches, activated, total = faulty_vs_emulated("C.team4", inputs=4)
+        assert matches == total
+        assert activated == total
+
+    def test_stack_shift_jb6_memory_mode(self):
+        matches, _, total = faulty_vs_emulated("JB.team6", inputs=30, mode="memory")
+        assert matches == total
+
+    def test_stack_shift_jb6_trap_mode(self):
+        matches, _, total = faulty_vs_emulated("JB.team6", inputs=30, mode="trap")
+        assert matches == total
+
+    def test_stack_shift_jb6_emulates_the_failure_itself(self):
+        """On a length-80 input the emulated run must MISbehave like the bug."""
+        workload = get_workload("JB.team6")
+        pokes = {
+            "in_seed": 4242,
+            "in_len": 80,
+            "in_str": bytes(33 + (i * 7) % 90 for i in range(80)) + b"\x00",
+        }
+        expected = workload.oracle(pokes)
+        faulty_machine = boot(workload.compiled_faulty().executable, inputs=pokes)
+        faulty_run = faulty_machine.run(10_000_000)
+        assert faulty_run.console != expected  # the bug fires
+        specs = workload.real_fault.build_emulation(workload.compiled(), mode="memory")
+        emulated_machine = boot(workload.compiled().executable, inputs=pokes)
+        session = InjectionSession(emulated_machine)
+        session.arm_all(specs)
+        emulated_run = session.run(10_000_000)
+        assert emulated_run.console == faulty_run.console
+
+
+class TestBreakpointLimit:
+    def test_jb6_breakpoint_mode_needs_too_many_registers(self):
+        workload = get_workload("JB.team6")
+        specs = workload.real_fault.build_emulation(workload.compiled(), mode="breakpoint")
+        assert len(specs) > 2
+        machine = boot(workload.compiled().executable,
+                       inputs=workload.generate_pokes(random.Random(0)))
+        session = InjectionSession(machine)
+        with pytest.raises(DebugResourceError):
+            session.arm_all(specs)
+
+
+class TestNotEmulable:
+    @pytest.mark.parametrize("name", ["C.team2", "C.team3", "C.team5", "JB.team7"])
+    def test_algorithm_faults_rejected(self, name):
+        workload = get_workload(name)
+        with pytest.raises(NotEmulableError):
+            workload.real_fault.build_emulation(workload.compiled())
+
+
+class TestCampaignDeterminism:
+    def test_same_seed_same_outcomes(self):
+        config = ExperimentConfig.tiny()
+        first = run_section6(config, programs=["JB.team11"])
+        second = run_section6(config, programs=["JB.team11"])
+        key = lambda results: [
+            (r.fault_id, r.case_id, r.mode) for r in results.records()
+        ]
+        assert key(first) == key(second)
+
+    def test_different_seed_differs_somewhere(self):
+        base = ExperimentConfig.tiny()
+        other = ExperimentConfig.tiny().__class__(
+            **{**base.__dict__, "seed": base.seed + 1}
+        )
+        first = run_section6(base, programs=["JB.team11"])
+        second = run_section6(other, programs=["JB.team11"])
+        first_ids = [r.fault_id for r in first.records()]
+        second_ids = [r.fault_id for r in second.records()]
+        assert first_ids != second_ids or [r.mode for r in first.records()] != [
+            r.mode for r in second.records()
+        ]

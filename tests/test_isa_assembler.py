@@ -1,0 +1,189 @@
+"""Unit tests for the two assembler front-ends."""
+
+import pytest
+
+from repro.isa import (
+    Assembler,
+    AssemblyError,
+    Instruction,
+    assemble_text,
+    decode,
+    ins,
+)
+
+
+class TestProgrammaticAssembler:
+    def test_simple_emit(self):
+        asm = Assembler()
+        asm.emit(ins.addi(3, 0, 1))
+        asm.emit(ins.sc(0))
+        program = asm.assemble(0x1000)
+        assert len(program.words) == 2
+        assert decode(program.words[0]).mnemonic == "addi"
+
+    def test_emit_expansion_list(self):
+        asm = Assembler()
+        asm.emit(ins.li32(3, 0x12345678))
+        program = asm.assemble()
+        assert len(program.words) == 2
+
+    def test_label_address(self):
+        asm = Assembler()
+        asm.emit(ins.nop())
+        asm.label("here")
+        asm.emit(ins.nop())
+        program = asm.assemble(0x1000)
+        assert program.address_of("here") == 0x1004
+
+    def test_forward_branch_resolution(self):
+        asm = Assembler()
+        asm.emit_branch("end")
+        asm.emit(ins.nop())
+        asm.label("end")
+        program = asm.assemble()
+        assert decode(program.words[0]) == Instruction("b", imm=2)
+
+    def test_backward_branch_resolution(self):
+        asm = Assembler()
+        asm.label("top")
+        asm.emit(ins.nop())
+        asm.emit_cond_branch("gt", "top")
+        program = asm.assemble()
+        assert decode(program.words[1]).imm == -1
+
+    def test_call_resolution(self):
+        asm = Assembler()
+        asm.emit_call("fn")
+        asm.label("fn")
+        asm.emit(ins.blr())
+        program = asm.assemble()
+        assert decode(program.words[0]) == Instruction("bl", imm=1)
+
+    def test_duplicate_label_rejected(self):
+        asm = Assembler()
+        asm.label("x")
+        with pytest.raises(AssemblyError):
+            asm.label("x")
+
+    def test_undefined_label_rejected(self):
+        asm = Assembler()
+        asm.emit_branch("nowhere")
+        with pytest.raises(AssemblyError):
+            asm.assemble()
+
+    def test_new_label_unique(self):
+        asm = Assembler()
+        assert asm.new_label() != asm.new_label()
+
+    def test_patch(self):
+        asm = Assembler()
+        index = asm.emit(ins.addi(1, 1, 0))
+        asm.patch(index, ins.addi(1, 1, -64))
+        program = asm.assemble()
+        assert decode(program.words[0]).imm == -64
+
+    def test_patch_out_of_range(self):
+        asm = Assembler()
+        with pytest.raises(AssemblyError):
+            asm.patch(0, ins.nop())
+
+    def test_position_tracks_words(self):
+        asm = Assembler()
+        assert asm.position == 0
+        asm.emit(ins.nop())
+        assert asm.position == 1
+
+    def test_code_bytes_big_endian(self):
+        asm = Assembler()
+        asm.emit(ins.sc(0))
+        program = asm.assemble()
+        assert program.code == program.words[0].to_bytes(4, "big")
+
+    def test_symbol_table_offsets(self):
+        asm = Assembler()
+        asm.label("a")
+        asm.emit(ins.nop())
+        asm.emit(ins.nop())
+        asm.label("b")
+        program = asm.assemble(0x2000)
+        assert program.symbols == {"a": 0x2000, "b": 0x2008}
+
+    def test_missing_symbol_lookup(self):
+        asm = Assembler()
+        program = asm.assemble()
+        with pytest.raises(AssemblyError):
+            program.address_of("ghost")
+
+
+class TestTextAssembler:
+    def test_loop_program(self):
+        program = assemble_text(
+            """
+            start:
+                addi r3, r0, 5
+                addi r4, r0, 0
+            loop:
+                add r4, r4, r3
+                addi r3, r3, -1
+                cmpi r3, 0
+                bc gt, loop
+                sc 0
+            """
+        )
+        assert program.symbols["loop"] == 8
+        assert len(program.words) == 7
+
+    def test_comments_stripped(self):
+        program = assemble_text("nop ; trailing\n# full line\nnop")
+        assert len(program.words) == 2
+
+    def test_memory_operands(self):
+        program = assemble_text("lwz r3, -8(r30)\nstw r3, 0(r1)")
+        first = decode(program.words[0])
+        assert (first.rd, first.ra, first.imm) == (3, 30, -8)
+
+    def test_numeric_branch_offsets(self):
+        program = assemble_text("b 4\nbc eq, -1\nbl 2")
+        assert decode(program.words[0]).imm == 4
+        assert decode(program.words[1]).imm == -1
+        assert decode(program.words[2]).mnemonic == "bl"
+
+    def test_register_aliases(self):
+        program = assemble_text("addi sp, sp, -16\naddi r3, zero, 1")
+        assert decode(program.words[0]).rd == 1
+        assert decode(program.words[1]).ra == 0
+
+    def test_xo_and_unary(self):
+        program = assemble_text("add r3, r4, r5\nneg r3, r3\ncmp r3, r4")
+        assert decode(program.words[1]).mnemonic == "neg"
+        assert decode(program.words[2]).mnemonic == "cmp"
+
+    def test_pseudo_ops(self):
+        program = assemble_text("nop\nmr r3, r4\nli32 r5, 0x12345678")
+        assert len(program.words) == 4
+
+    def test_hex_immediates(self):
+        program = assemble_text("ori r3, r3, 0xFF")
+        assert decode(program.words[0]).imm == 0xFF
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble_text("fly r1, r2")
+
+    def test_unknown_condition(self):
+        with pytest.raises(AssemblyError):
+            assemble_text("bc sometimes, 3")
+
+    def test_malformed_memory_operand(self):
+        with pytest.raises(AssemblyError):
+            assemble_text("lwz r3, 8[r1]")
+
+    def test_shift_instruction(self):
+        program = assemble_text("slwi r3, r4, 2")
+        inst = decode(program.words[0])
+        assert (inst.rd, inst.ra, inst.imm) == (3, 4, 2)
+
+    def test_label_same_line(self):
+        program = assemble_text("start: nop")
+        assert program.symbols["start"] == 0
+        assert len(program.words) == 1

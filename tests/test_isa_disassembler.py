@@ -1,0 +1,41 @@
+"""Unit tests for the disassembler."""
+
+import pytest
+
+from repro.isa import assemble_text, disassemble, disassemble_word, ins, listing
+
+
+class TestDisassemble:
+    def test_roundtrip_simple(self):
+        program = assemble_text("addi r3, r0, 7\nsc 0", base=0x1000)
+        lines = disassemble(program.code, base=0x1000)
+        assert lines[0].address == 0x1000
+        assert "addi r3, r0, 7" in lines[0].text()
+        assert "sc 0" in lines[1].text()
+
+    def test_illegal_word_rendered_as_data(self):
+        line = disassemble_word(0x2000, 0)
+        assert line.instruction is None
+        assert ".word 0x00000000" in line.text()
+
+    def test_length_must_be_word_multiple(self):
+        with pytest.raises(ValueError):
+            disassemble(b"\x00\x00\x00")
+
+    def test_addresses_advance_by_four(self):
+        program = assemble_text("nop\nnop\nnop")
+        lines = disassemble(program.code)
+        assert [entry.address for entry in lines] == [0, 4, 8]
+
+    def test_listing_includes_symbols(self):
+        program = assemble_text("entry:\n  nop\nhelper:\n  blr", base=0x400)
+        text = listing(program.code, base=0x400, symbols=program.symbols)
+        assert "entry:" in text
+        assert "helper:" in text
+        assert text.index("entry:") < text.index("helper:")
+
+    def test_word_field_matches_encoding(self):
+        word = ins.addi(1, 1, -8).encode()
+        line = disassemble_word(0, word)
+        assert line.word == word
+        assert f"{word:08x}" in line.text()

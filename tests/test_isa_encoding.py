@@ -1,0 +1,208 @@
+"""Unit tests for the RX32 binary encoding."""
+
+import pytest
+
+from repro.isa import (
+    COND_ALWAYS,
+    COND_BY_NAME,
+    COND_EQ,
+    COND_GE,
+    COND_GT,
+    COND_LE,
+    COND_LT,
+    COND_NAMES,
+    COND_NE,
+    COND_NEGATION,
+    NOP_WORD,
+    DecodingError,
+    EncodingError,
+    Instruction,
+    decode,
+    ins,
+    sign_extend,
+    try_decode,
+)
+from repro.isa.encoding import MNEMONICS, FORM_BY_MNEMONIC
+
+
+class TestSignExtend:
+    def test_positive_stays(self):
+        assert sign_extend(0x1234, 16) == 0x1234
+
+    def test_negative_wraps(self):
+        assert sign_extend(0xFFFF, 16) == -1
+        assert sign_extend(0x8000, 16) == -0x8000
+
+    def test_boundary(self):
+        assert sign_extend(0x7FFF, 16) == 0x7FFF
+
+    def test_26_bit(self):
+        assert sign_extend(0x3FFFFFF, 26) == -1
+        assert sign_extend(0x2000000, 26) == -0x2000000
+
+    def test_masks_upper_bits(self):
+        assert sign_extend(0x1_0001, 16) == 1
+
+
+class TestRoundTrip:
+    def test_addi(self):
+        word = ins.addi(3, 4, -17).encode()
+        back = decode(word)
+        assert back == Instruction("addi", rd=3, ra=4, imm=-17)
+
+    def test_all_register_forms(self):
+        for mnemonic in ("add", "sub", "mul", "divw", "modw", "and", "or",
+                         "xor", "nor", "slw", "srw", "sraw"):
+            word = Instruction(mnemonic, rd=5, ra=6, rb=7).encode()
+            assert decode(word) == Instruction(mnemonic, rd=5, ra=6, rb=7)
+
+    def test_one_operand_xo(self):
+        for mnemonic in ("neg", "not"):
+            word = Instruction(mnemonic, rd=9, ra=10).encode()
+            assert decode(word) == Instruction(mnemonic, rd=9, ra=10)
+
+    def test_cmp(self):
+        word = ins.cmp(3, 4).encode()
+        assert decode(word).mnemonic == "cmp"
+
+    def test_memory_forms(self):
+        for mnemonic in ("lwz", "stw", "lbz", "stb"):
+            word = Instruction(mnemonic, rd=8, ra=1, imm=-44).encode()
+            assert decode(word) == Instruction(mnemonic, rd=8, ra=1, imm=-44)
+
+    def test_branches(self):
+        assert decode(ins.b(-5).encode()) == Instruction("b", imm=-5)
+        assert decode(ins.bl(1000).encode()) == Instruction("bl", imm=1000)
+        word = ins.bc(COND_GE, -3).encode()
+        assert decode(word) == Instruction("bc", rd=COND_GE, imm=-3)
+
+    def test_branch_by_name(self):
+        assert ins.bc("lt", 2) == ins.bc(COND_LT, 2)
+
+    def test_lr_ops(self):
+        assert decode(ins.mflr(13).encode()).mnemonic == "mflr"
+        assert decode(ins.mtlr(13).encode()).mnemonic == "mtlr"
+        assert decode(ins.blr().encode()).mnemonic == "blr"
+
+    def test_syscall_and_trap(self):
+        assert decode(ins.sc(7).encode()) == Instruction("sc", imm=7)
+        assert decode(ins.trap(3).encode()) == Instruction("trap", imm=3)
+
+    def test_shift_immediates(self):
+        for mnemonic in ("slwi", "srwi", "srawi"):
+            word = Instruction(mnemonic, rd=2, ra=3, imm=31).encode()
+            assert decode(word) == Instruction(mnemonic, rd=2, ra=3, imm=31)
+
+    def test_unsigned_immediates(self):
+        word = ins.ori(4, 5, 0xFFFF).encode()
+        assert decode(word) == Instruction("ori", rd=4, ra=5, imm=0xFFFF)
+
+
+class TestEncodingErrors:
+    def test_register_out_of_range(self):
+        with pytest.raises(EncodingError):
+            Instruction("addi", rd=32, ra=0, imm=0).encode()
+
+    def test_signed_immediate_overflow(self):
+        with pytest.raises(EncodingError):
+            ins.addi(1, 1, 0x8000).encode()
+        with pytest.raises(EncodingError):
+            ins.addi(1, 1, -0x8001).encode()
+
+    def test_unsigned_immediate_overflow(self):
+        with pytest.raises(EncodingError):
+            ins.ori(1, 1, 0x10000).encode()
+        with pytest.raises(EncodingError):
+            ins.ori(1, 1, -1).encode()
+
+    def test_branch_offset_overflow(self):
+        with pytest.raises(EncodingError):
+            ins.bc(COND_EQ, 0x8000).encode()
+
+    def test_invalid_condition(self):
+        with pytest.raises(EncodingError):
+            Instruction("bc", rd=9, imm=0).encode()
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(EncodingError):
+            Instruction("fly", rd=0).form
+
+
+class TestDecodingErrors:
+    def test_all_zero_word_is_illegal(self):
+        with pytest.raises(DecodingError):
+            decode(0)
+
+    def test_unknown_primary_opcode(self):
+        with pytest.raises(DecodingError):
+            decode(0x3F << 26)
+
+    def test_unknown_xo_subop(self):
+        word = (0x14 << 26) | 0x7FF
+        with pytest.raises(DecodingError):
+            decode(word)
+
+    def test_illegal_branch_condition(self):
+        word = (0x0F << 26) | (25 << 21)
+        with pytest.raises(DecodingError):
+            decode(word)
+
+    def test_try_decode_returns_none(self):
+        assert try_decode(0) is None
+        assert try_decode(ins.nop().encode()) is not None
+
+
+class TestConditionTables:
+    def test_negation_is_involutive(self):
+        for cond, negated in COND_NEGATION.items():
+            assert COND_NEGATION[negated] == cond
+
+    def test_names_and_codes_agree(self):
+        for code, name in COND_NAMES.items():
+            assert COND_BY_NAME[name] == code
+
+    def test_always_not_negatable(self):
+        assert COND_ALWAYS not in COND_NEGATION
+
+    def test_all_conditions_distinct(self):
+        codes = {COND_ALWAYS, COND_LT, COND_LE, COND_EQ, COND_GE, COND_GT, COND_NE}
+        assert len(codes) == 7
+
+
+class TestPseudoInstructions:
+    def test_nop_is_ori_zero(self):
+        assert decode(NOP_WORD) == Instruction("ori", rd=0, ra=0, imm=0)
+
+    def test_mr(self):
+        assert ins.mr(3, 4) == Instruction("ori", rd=3, ra=4, imm=0)
+
+    def test_li32_small(self):
+        assert ins.li32(3, 42) == [ins.addi(3, 0, 42)]
+        assert ins.li32(3, -42) == [ins.addi(3, 0, -42)]
+
+    def test_li32_large(self):
+        seq = ins.li32(3, 0x12345678)
+        assert len(seq) == 2
+        assert seq[0].mnemonic == "addis"
+        assert seq[1].mnemonic == "ori"
+
+    def test_li32_high_only(self):
+        seq = ins.li32(3, 0x10000)
+        assert len(seq) == 1
+        assert seq[0].mnemonic == "addis"
+
+    def test_li32_negative_large(self):
+        seq = ins.li32(3, 0x80000000)
+        words = [i.encode() for i in seq]
+        assert all(isinstance(w, int) for w in words)
+
+
+class TestText:
+    def test_every_mnemonic_renders(self):
+        for mnemonic in MNEMONICS:
+            form = FORM_BY_MNEMONIC[mnemonic][1]
+            operands = {"rd": 1, "ra": 2, "rb": 3, "imm": 4}
+            if form == "BC":
+                operands["rd"] = COND_NE
+            text = Instruction(mnemonic, **operands).text()
+            assert mnemonic.split(":")[0] in text or text.startswith("bc")

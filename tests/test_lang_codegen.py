@@ -1,0 +1,450 @@
+"""Behavioural tests of the MiniC compiler: compile, run, inspect output."""
+
+import pytest
+
+from repro.lang import CompileError, compile_source
+from repro.machine import boot
+
+
+def run(source: str, inputs=None, num_cores: int = 1):
+    compiled = compile_source(source, "t")
+    machine = boot(compiled.executable, num_cores=num_cores, inputs=inputs or {})
+    result = machine.run(max_instructions=10_000_000)
+    assert result.status == "exited", (result.status, result.trap and result.trap.describe())
+    return result.console.decode()
+
+
+def expr_value(expression: str, prelude: str = "") -> int:
+    out = run(prelude + "void main() { print_int(" + expression + "); exit(0); }")
+    return int(out)
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert expr_value("2 + 3 * 4 - 1") == 13
+        assert expr_value("(2 + 3) * 4") == 20
+
+    def test_division_c_semantics(self):
+        assert expr_value("-7 / 2") == -3
+        assert expr_value("-7 % 2") == -1
+        assert expr_value("7 / -2") == -3
+        assert expr_value("7 % -2") == 1
+
+    def test_bitwise(self):
+        assert expr_value("(0xF0 & 0x3C) | 0x01") == 0x31
+        assert expr_value("0xFF ^ 0x0F") == 0xF0
+        assert expr_value("~0") == -1
+
+    def test_shifts(self):
+        assert expr_value("1 << 10") == 1024
+        assert expr_value("-16 >> 2") == -4
+
+    def test_unary_minus(self):
+        assert expr_value("-(3 + 4)") == -7
+
+    def test_relational_values(self):
+        assert expr_value("3 < 4") == 1
+        assert expr_value("4 <= 3") == 0
+        assert expr_value("(1 < 2) + (3 > 2) + (2 == 2) + (2 != 2)") == 3
+
+    def test_logical_values(self):
+        assert expr_value("1 && 2") == 1
+        assert expr_value("0 || 0") == 0
+        assert expr_value("!5") == 0
+        assert expr_value("!0") == 1
+
+    def test_short_circuit_skips_side_effect(self):
+        source = """
+        int hits;
+        int bump(void) { hits = hits + 1; return 1; }
+        void main() {
+            int r = 0 && bump();
+            r = 1 || bump();
+            print_int(hits);
+            exit(0);
+        }
+        """
+        assert run(source) == "0"
+
+    def test_ternary(self):
+        assert expr_value("1 ? 10 : 20") == 10
+        assert expr_value("0 ? 10 : 20") == 20
+
+    def test_nested_ternary(self):
+        assert expr_value("0 ? 1 : 1 ? 2 : 3") == 2
+
+    def test_comma(self):
+        source = "void main() { int a; int b; a = (b = 4, b + 1); print_int(a); exit(0); }"
+        assert run(source) == "5"
+
+    def test_sizeof(self):
+        assert expr_value("sizeof(int)") == 4
+        assert expr_value("sizeof(char)") == 1
+        assert expr_value("sizeof(int[10])") == 40
+
+    def test_deep_expression(self):
+        text = "1" + " + 1" * 12
+        assert expr_value(text) == 13
+
+    def test_char_literals_and_arithmetic(self):
+        assert expr_value("'a' + 1") == 98
+
+
+class TestVariablesAndControl:
+    def test_locals_and_assignment(self):
+        assert run("void main() { int x = 3; int y; y = x * x; print_int(y); exit(0); }") == "9"
+
+    def test_compound_assignments(self):
+        source = """
+        void main() {
+            int x = 10;
+            x += 5; x -= 3; x *= 2; x /= 4; x %= 4;
+            print_int(x);
+            exit(0);
+        }
+        """
+        assert run(source) == "2"
+
+    def test_incdec_postfix_value(self):
+        source = "void main() { int i = 5; print_int(i++); print_int(i); exit(0); }"
+        assert run(source) == "56"
+
+    def test_incdec_prefix_value(self):
+        source = "void main() { int i = 5; print_int(--i); print_int(i); exit(0); }"
+        assert run(source) == "44"
+
+    def test_while_loop(self):
+        source = "void main() { int i = 0; int s = 0; while (i < 5) { s += i; i++; } print_int(s); exit(0); }"
+        assert run(source) == "10"
+
+    def test_for_loop_with_break_continue(self):
+        source = """
+        void main() {
+            int i; int s = 0;
+            for (i = 0; i < 10; i++) {
+                if (i == 7) break;
+                if (i % 2 == 0) continue;
+                s += i;
+            }
+            print_int(s);
+            exit(0);
+        }
+        """
+        assert run(source) == "9"  # 1 + 3 + 5
+
+    def test_nested_loops(self):
+        source = """
+        void main() {
+            int i; int j; int c = 0;
+            for (i = 0; i < 3; i++)
+                for (j = 0; j <= i; j++)
+                    c++;
+            print_int(c);
+            exit(0);
+        }
+        """
+        assert run(source) == "6"
+
+    def test_if_else_chain(self):
+        source = """
+        int grade(int x) {
+            if (x >= 90) return 1;
+            else if (x >= 50) return 2;
+            else return 3;
+        }
+        void main() { print_int(grade(95) * 100 + grade(60) * 10 + grade(10)); exit(0); }
+        """
+        assert run(source) == "123"
+
+    def test_block_scoping(self):
+        source = """
+        void main() {
+            int x = 1;
+            { int y = 10; x = x + y; }
+            { int y = 20; x = x + y; }
+            print_int(x);
+            exit(0);
+        }
+        """
+        assert run(source) == "31"
+
+    def test_for_init_declaration_scope(self):
+        source = """
+        void main() {
+            int total = 0;
+            for (int i = 0; i < 3; i++) total += i;
+            for (int i = 0; i < 3; i++) total += i;
+            print_int(total);
+            exit(0);
+        }
+        """
+        assert run(source) == "6"
+
+
+class TestFunctions:
+    def test_recursion(self):
+        source = """
+        int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }
+        void main() { print_int(fact(7)); exit(0); }
+        """
+        assert run(source) == "5040"
+
+    def test_mutual_recursion(self):
+        source = """
+        int is_odd(int n);
+        int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+        void main() { print_int(is_even(10) * 10 + is_odd(7)); exit(0); }
+        """
+        assert run(source) == "11"
+
+    def test_eight_parameters(self):
+        source = """
+        int addup(int a, int b, int c, int d, int e, int f, int g, int h) {
+            return a + b + c + d + e + f + g + h;
+        }
+        void main() { print_int(addup(1, 2, 3, 4, 5, 6, 7, 8)); exit(0); }
+        """
+        assert run(source) == "36"
+
+    def test_call_in_expression_preserves_pending_values(self):
+        source = """
+        int five(void) { return 5; }
+        int three(void) { return 3; }
+        void main() { print_int(five() * 10 + three() + five()); exit(0); }
+        """
+        assert run(source) == "58"
+
+    def test_fallthrough_returns_zero(self):
+        source = "int f(void) { }\nvoid main() { print_int(f() + 1); exit(0); }"
+        assert run(source) == "1"
+
+    def test_main_return_value_is_exit_code(self):
+        compiled = compile_source("int main() { return 9; }", "t")
+        machine = boot(compiled.executable)
+        assert machine.run().exit_code == 9
+
+
+class TestArraysAndPointers:
+    def test_global_array(self):
+        source = """
+        int a[5];
+        void main() {
+            int i;
+            for (i = 0; i < 5; i++) a[i] = i * i;
+            print_int(a[4] + a[1]);
+            exit(0);
+        }
+        """
+        assert run(source) == "17"
+
+    def test_local_array(self):
+        source = """
+        void main() {
+            int a[4];
+            a[0] = 3; a[3] = 4;
+            print_int(a[0] + a[3]);
+            exit(0);
+        }
+        """
+        assert run(source) == "7"
+
+    def test_multi_dim(self):
+        source = """
+        int g[3][4];
+        void main() {
+            int i; int j;
+            for (i = 0; i < 3; i++)
+                for (j = 0; j < 4; j++)
+                    g[i][j] = i * 10 + j;
+            print_int(g[2][3]);
+            exit(0);
+        }
+        """
+        assert run(source) == "23"
+
+    def test_global_array_initialiser(self):
+        source = """
+        int squares[4] = {0, 1, 4, 9};
+        void main() { print_int(squares[3] + squares[2]); exit(0); }
+        """
+        assert run(source) == "13"
+
+    def test_pointer_deref_and_address_of(self):
+        source = """
+        void main() {
+            int x = 5;
+            int *p = &x;
+            *p = *p + 2;
+            print_int(x);
+            exit(0);
+        }
+        """
+        assert run(source) == "7"
+
+    def test_pointer_arithmetic_scales(self):
+        source = """
+        int a[4] = {10, 20, 30, 40};
+        void main() {
+            int *p = a;
+            p = p + 2;
+            print_int(*p);
+            exit(0);
+        }
+        """
+        assert run(source) == "30"
+
+    def test_array_argument_decays(self):
+        source = """
+        int total(int *v, int n) {
+            int i; int s = 0;
+            for (i = 0; i < n; i++) s += v[i];
+            return s;
+        }
+        int data[3] = {7, 8, 9};
+        void main() { print_int(total(data, 3)); exit(0); }
+        """
+        assert run(source) == "24"
+
+    def test_char_array_and_string(self):
+        source = """
+        void main() {
+            char buf[8];
+            buf[0] = 'h'; buf[1] = 'i'; buf[2] = 0;
+            print_str(buf);
+            exit(0);
+        }
+        """
+        assert run(source) == "hi"
+
+    def test_string_literal(self):
+        assert run('void main() { print_str("ok\\n"); exit(0); }') == "ok\n"
+
+    def test_char_pointer_walk(self):
+        source = """
+        void main() {
+            char *p = "abc";
+            int total = 0;
+            while (*p != 0) { total += *p; p = p + 1; }
+            print_int(total);
+            exit(0);
+        }
+        """
+        assert run(source) == str(ord("a") + ord("b") + ord("c"))
+
+    def test_char_is_unsigned_byte(self):
+        source = """
+        void main() {
+            char c;
+            c = 200;
+            print_int(c);
+            exit(0);
+        }
+        """
+        # stored as a byte, read back zero-extended
+        assert run(source) == "200"
+
+
+class TestStructs:
+    def test_struct_member_access(self):
+        source = """
+        struct point { int x; int y; };
+        struct point origin;
+        void main() {
+            origin.x = 3; origin.y = 4;
+            print_int(origin.x * origin.y);
+            exit(0);
+        }
+        """
+        assert run(source) == "12"
+
+    def test_struct_pointer_arrow(self):
+        source = """
+        struct pair { int a; int b; };
+        void main() {
+            struct pair *p = malloc(sizeof(struct pair));
+            p->a = 6; p->b = 7;
+            print_int(p->a * p->b);
+            free(p);
+            exit(0);
+        }
+        """
+        assert run(source) == "42"
+
+    def test_linked_list(self):
+        source = """
+        struct node { int value; struct node *next; };
+        void main() {
+            struct node *head = 0;
+            struct node *n;
+            int i;
+            for (i = 1; i <= 4; i++) {
+                n = malloc(sizeof(struct node));
+                n->value = i;
+                n->next = head;
+                head = n;
+            }
+            int s = 0;
+            while (head != 0) { s += head->value; head = head->next; }
+            print_int(s);
+            exit(0);
+        }
+        """
+        assert run(source) == "10"
+
+    def test_struct_array_field(self):
+        source = """
+        struct row { int cells[4]; };
+        struct row r;
+        void main() {
+            r.cells[2] = 9;
+            print_int(r.cells[2]);
+            exit(0);
+        }
+        """
+        assert run(source) == "9"
+
+
+class TestGlobalsAndInputs:
+    def test_global_scalar_initialiser(self):
+        assert run("int g = -7;\nvoid main() { print_int(g); exit(0); }") == "-7"
+
+    def test_input_poke_roundtrip(self):
+        source = "int in_x;\nvoid main() { print_int(in_x * 2); exit(0); }"
+        assert run(source, inputs={"in_x": 21}) == "42"
+
+    def test_builtin_core_id_single(self):
+        assert run("void main() { print_int(core_id() + num_cores()); exit(0); }") == "1"
+
+
+class TestCompileErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "void main() { x = 1; }",                        # undefined variable
+            "void main() { int x; int x; }",                 # redeclared
+            "void main() { undefined(); }",                  # undefined function
+            "int f(int a) { return a; }\nvoid main() { f(); }",   # arity
+            "void main() { break; }",                        # break outside loop
+            "void main() { continue; }",                     # continue outside loop
+            "int a[3];\nvoid main() { a = 0; }",             # assign to array
+            "void main() { int x; x = *x; }",                # deref non-pointer
+            "void main() { print_int(1, 2); }",              # builtin arity
+            "int main(int a) { return 0; }\nint main() { return 0; }",  # conflict
+            "void f() { }\nvoid f() { }",                    # redefinition
+            "int exit(int x) { return x; }",                 # builtin shadow
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(CompileError):
+            compile_source(source, "bad")
+
+    def test_missing_main(self):
+        with pytest.raises(CompileError):
+            compile_source("int helper(void) { return 1; }", "bad")
+
+    def test_source_lines_counts_code(self):
+        compiled = compile_source(
+            "// comment\n\nvoid main() {\n  exit(0);\n}\n", "t"
+        )
+        assert compiled.source_lines == 3

@@ -1,0 +1,313 @@
+"""Edge-case behavioural tests for the MiniC compiler."""
+
+import pytest
+
+from repro.lang import CompileError, compile_source
+from repro.machine import boot
+
+
+def run(source: str, inputs=None, num_cores: int = 1):
+    compiled = compile_source(source, "edge")
+    machine = boot(compiled.executable, num_cores=num_cores, inputs=inputs or {})
+    result = machine.run(max_instructions=10_000_000)
+    assert result.status == "exited", (result.status, result.trap and result.trap.describe())
+    return result.console.decode()
+
+
+class TestControlFlowEdges:
+    def test_break_leaves_only_inner_loop(self):
+        source = """
+        void main() {
+            int i; int j; int c = 0;
+            for (i = 0; i < 3; i++) {
+                for (j = 0; j < 10; j++) {
+                    if (j == 2) break;
+                    c++;
+                }
+            }
+            print_int(c);
+            exit(0);
+        }
+        """
+        assert run(source) == "6"
+
+    def test_continue_in_while_rechecks_condition(self):
+        source = """
+        void main() {
+            int i = 0; int c = 0;
+            while (i < 6) {
+                i++;
+                if (i % 2) continue;
+                c += i;
+            }
+            print_int(c);
+            exit(0);
+        }
+        """
+        assert run(source) == "12"
+
+    def test_return_inside_loop(self):
+        source = """
+        int find(int needle) {
+            int i;
+            for (i = 0; i < 100; i++) {
+                if (i * i >= needle) return i;
+            }
+            return -1;
+        }
+        void main() { print_int(find(30)); exit(0); }
+        """
+        assert run(source) == "6"
+
+    def test_empty_loop_body(self):
+        source = """
+        void main() {
+            int i;
+            for (i = 0; i < 5; i++);
+            print_int(i);
+            exit(0);
+        }
+        """
+        assert run(source) == "5"
+
+    def test_deeply_nested_ifs(self):
+        source = """
+        void main() {
+            int x = 3;
+            if (x > 0) { if (x > 1) { if (x > 2) { if (x > 3) { x = 100; }
+                else { x = 42; } } } }
+            print_int(x);
+            exit(0);
+        }
+        """
+        assert run(source) == "42"
+
+    def test_while_with_side_effect_condition(self):
+        source = """
+        void main() {
+            int i = 0;
+            while (i++ < 4);
+            print_int(i);
+            exit(0);
+        }
+        """
+        assert run(source) == "5"
+
+
+class TestExpressionEdges:
+    def test_assignment_value_chains(self):
+        source = """
+        void main() {
+            int a; int b; int c;
+            a = b = c = 7;
+            print_int(a + b + c);
+            exit(0);
+        }
+        """
+        assert run(source) == "21"
+
+    def test_ternary_with_calls(self):
+        source = """
+        int f(void) { return 3; }
+        int g(void) { return 4; }
+        void main() { print_int(1 ? f() : g()); print_int(0 ? f() : g()); exit(0); }
+        """
+        assert run(source) == "34"
+
+    def test_logical_as_value_of_pointer(self):
+        source = """
+        void main() {
+            int x = 5;
+            int *p = &x;
+            int *q = 0;
+            print_int((p && 1) + (q || 0));
+            exit(0);
+        }
+        """
+        assert run(source) == "1"
+
+    def test_negative_modulo_in_expressions(self):
+        source = "void main() { print_int((-13 % 5) * 100 + (13 % -5)); exit(0); }"
+        assert run(source) == "-297"  # -3*100 + 3
+
+    def test_char_comparisons(self):
+        source = """
+        void main() {
+            char c = 'm';
+            print_int(c >= 'a' && c <= 'z');
+            exit(0);
+        }
+        """
+        assert run(source) == "1"
+
+    def test_unsigned_wrap_multiplication(self):
+        source = "void main() { print_int(65536 * 65536); exit(0); }"
+        assert run(source) == "0"
+
+    def test_shift_by_variable(self):
+        source = """
+        void main() {
+            int n = 3;
+            print_int(1 << n << 1);
+            exit(0);
+        }
+        """
+        assert run(source) == "16"
+
+    def test_not_of_comparison(self):
+        assert run("void main() { print_int(!(3 < 4)); exit(0); }") == "0"
+
+
+class TestDataEdges:
+    def test_struct_in_struct_via_pointer(self):
+        source = """
+        struct inner { int v; };
+        struct outer { int tag; struct inner nested; };
+        struct outer box;
+        void main() {
+            box.nested.v = 9;
+            box.tag = 2;
+            print_int(box.tag * 10 + box.nested.v);
+            exit(0);
+        }
+        """
+        assert run(source) == "29"
+
+    def test_array_of_structs_on_heap(self):
+        source = """
+        struct item { int a; int b; };
+        void main() {
+            struct item *items = malloc(4 * sizeof(struct item));
+            int i;
+            for (i = 0; i < 4; i++) {
+                items[i].a = i;
+                items[i].b = i * i;
+            }
+            print_int(items[3].a + items[3].b);
+            free(items);
+            exit(0);
+        }
+        """
+        assert run(source) == "12"
+
+    def test_pointer_to_pointer_effect(self):
+        source = """
+        void main() {
+            int x = 1;
+            int *p = &x;
+            *p += 41;
+            print_int(x);
+            exit(0);
+        }
+        """
+        assert run(source) == "42"
+
+    def test_three_dimensional_array(self):
+        source = """
+        int cube[2][3][4];
+        void main() {
+            cube[1][2][3] = 77;
+            print_int(cube[1][2][3] + cube[0][0][0]);
+            exit(0);
+        }
+        """
+        assert run(source) == "77"
+
+    def test_char_array_in_struct_byte_access(self):
+        source = """
+        struct msg { int id; char text[8]; };
+        struct msg m;
+        void main() {
+            m.id = 1;
+            m.text[0] = 'o'; m.text[1] = 'k'; m.text[2] = 0;
+            print_str(m.text);
+            exit(0);
+        }
+        """
+        assert run(source) == "ok"
+
+    def test_global_initialiser_arrays_of_char(self):
+        source = """
+        char digits[4] = {'a', 'b', 'c', 0};
+        void main() { print_str(digits); exit(0); }
+        """
+        assert run(source) == "abc"
+
+    def test_sizeof_struct_padding(self):
+        source = """
+        struct mixed { char c; int v; };
+        void main() { print_int(sizeof(struct mixed)); exit(0); }
+        """
+        assert run(source) == "8"  # char padded to word alignment
+
+    def test_string_literals_interned(self):
+        source = """
+        void main() {
+            char *a = "same";
+            char *b = "same";
+            print_int(a == b);
+            exit(0);
+        }
+        """
+        assert run(source) == "1"
+
+
+class TestCallEdges:
+    def test_recursion_depth_hundreds(self):
+        source = """
+        int depth(int n) { if (n == 0) return 0; return 1 + depth(n - 1); }
+        void main() { print_int(depth(500)); exit(0); }
+        """
+        assert run(source) == "500"
+
+    def test_arguments_evaluated_before_call(self):
+        source = """
+        int combine(int a, int b, int c) { return a * 100 + b * 10 + c; }
+        int bump(void) { return 5; }
+        void main() { print_int(combine(bump(), bump() + 1, 2)); exit(0); }
+        """
+        assert run(source) == "562"
+
+    def test_call_result_in_condition(self):
+        source = """
+        int half(int x) { return x / 2; }
+        void main() {
+            int n = 40; int steps = 0;
+            while (half(n) > 0) { n = half(n); steps++; }
+            print_int(steps);
+            exit(0);
+        }
+        """
+        assert run(source) == "5"
+
+    def test_void_function_call_statement(self):
+        source = """
+        int log_count;
+        void note(void) { log_count++; }
+        void main() { note(); note(); print_int(log_count); exit(0); }
+        """
+        assert run(source) == "2"
+
+
+class TestErrorEdges:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "void main() { int a[2][2]; a[0] = 0; }",   # assign to array row
+            "struct s { int x; };\nvoid main() { struct s v; v.y = 1; }",
+            "void main() { char *p; p = p * 2; }",      # pointer multiply
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(CompileError):
+            compile_source(source, "bad")
+
+    def test_stack_overflow_is_crash_not_host_error(self):
+        source = """
+        int forever(int n) { return forever(n + 1); }
+        void main() { print_int(forever(0)); exit(0); }
+        """
+        compiled = compile_source(source, "deep")
+        machine = boot(compiled.executable)
+        result = machine.run(max_instructions=50_000_000)
+        assert result.status == "trapped"  # runs off the stack segment

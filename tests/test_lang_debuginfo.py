@@ -1,0 +1,151 @@
+"""Tests for the compiler's fault-site debug records — the contract the
+fault locator and the §5 emulations depend on."""
+
+import pytest
+
+from repro.isa import COND_GE, COND_LT, decode
+from repro.lang import compile_source
+
+SOURCE = """
+int flag;
+int table[8];
+
+int classify(int x, int limit) {
+    if (x < limit && x != 0) {
+        return 1;
+    }
+    if (table[x] == 7) {
+        return 2;
+    }
+    while (flag) {
+        flag = flag - 1;
+    }
+    return 0;
+}
+
+void main() {
+    int i;
+    int total = 0;
+    for (i = 0; i < 8; i++) {
+        table[i] = i;
+        total += table[i];
+    }
+    flag = classify(total, 100) ? 1 : 0;
+    exit(0);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_source(SOURCE, "dbg")
+
+
+class TestAssignmentSites:
+    def test_counts_and_kinds(self, compiled):
+        assignments = compiled.debug.assignments
+        kinds = {site.kind for site in assignments}
+        assert {"init", "assign", "compound", "incdec"} <= kinds
+
+    def test_array_element_flag(self, compiled):
+        array_sites = [s for s in compiled.debug.assignments if s.is_array_element]
+        assert any(s.target == "table[...]" for s in array_sites)
+
+    def test_addresses_resolved_in_code(self, compiled):
+        base = compiled.executable.code_base
+        end = base + len(compiled.executable.code)
+        for site in compiled.debug.assignments:
+            assert base <= site.address < end
+
+    def test_anchored_instruction_is_a_store(self, compiled):
+        code = compiled.executable.code
+        base = compiled.executable.code_base
+        for site in compiled.debug.assignments:
+            word = int.from_bytes(code[site.address - base: site.address - base + 4], "big")
+            assert decode(word).mnemonic in ("stw", "stb")
+
+
+class TestCheckSites:
+    def test_operators_recorded(self, compiled):
+        ops = {site.op for site in compiled.debug.checks}
+        assert {"<", "!=", "==", "bool"} <= ops
+
+    def test_context_recorded(self, compiled):
+        contexts = {site.context for site in compiled.debug.checks}
+        assert {"if", "while", "for", "ternary"} <= contexts
+
+    def test_anchored_instruction_is_conditional_branch(self, compiled):
+        code = compiled.executable.code
+        base = compiled.executable.code_base
+        for site in compiled.debug.checks:
+            word = int.from_bytes(code[site.address - base: site.address - base + 4], "big")
+            instruction = decode(word)
+            assert instruction.mnemonic == "bc"
+            assert instruction.rd == site.bc_cond
+
+    def test_bc_cond_matches_operator(self, compiled):
+        lt_site = next(s for s in compiled.debug.checks if s.op == "<" and s.context == "if")
+        assert lt_site.bc_cond == COND_LT
+
+    def test_true_false_targets_resolved(self, compiled):
+        for site in compiled.debug.checks:
+            assert site.true_address is not None
+            assert site.false_address is not None
+            assert site.true_address != site.false_address
+
+    def test_array_load_recorded_for_table_check(self, compiled):
+        site = next(s for s in compiled.debug.checks if s.op == "==")
+        assert site.array_load_addresses
+        address, size = site.array_load_addresses[0]
+        assert size == 4
+
+
+class TestJunctions:
+    def test_and_junction_recorded(self, compiled):
+        junctions = compiled.debug.junctions
+        assert any(j.op == "&&" for j in junctions)
+
+    def test_junction_addresses_resolved(self, compiled):
+        for junction in compiled.debug.junctions:
+            assert junction.bc_address is not None
+            assert junction.b_address == junction.bc_address + 4
+            assert junction.mid_address is not None
+
+
+class TestVarRefs:
+    def test_local_references_tracked(self, compiled):
+        refs = compiled.debug.refs_for("main", "total")
+        kinds = {r.kind for r in refs}
+        assert "store" in kinds and "load" in kinds
+        assert len(refs) >= 3
+
+    def test_param_store_tracked(self, compiled):
+        refs = compiled.debug.refs_for("classify", "x")
+        assert any(r.kind == "store" for r in refs)
+
+    def test_unknown_var_is_empty(self, compiled):
+        assert compiled.debug.refs_for("main", "ghost") == []
+
+
+class TestFunctionInfo:
+    def test_functions_present(self, compiled):
+        assert set(compiled.debug.functions) == {"classify", "main"}
+
+    def test_frame_size_positive_and_aligned(self, compiled):
+        for info in compiled.debug.functions.values():
+            assert info.frame_size >= 8
+            assert info.frame_size % 8 == 0
+
+    def test_locals_map(self, compiled):
+        locals_map = compiled.debug.functions["main"].locals
+        assert "i" in locals_map and "total" in locals_map
+        assert locals_map["i"] != locals_map["total"]
+        assert all(offset < 0 for offset in locals_map.values())
+
+    def test_declaration_order_goes_downward(self, compiled):
+        locals_map = compiled.debug.functions["main"].locals
+        assert locals_map["i"] > locals_map["total"]
+
+    def test_address_range(self, compiled):
+        info = compiled.debug.functions["main"]
+        assert info.start_address < info.end_address

@@ -1,0 +1,100 @@
+"""Unit tests for the MiniC lexer."""
+
+import pytest
+
+from repro.lang import LexError, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_identifiers_and_keywords(self):
+        assert kinds("int foo") == [("keyword", "int"), ("ident", "foo")]
+
+    def test_numbers(self):
+        assert kinds("0 42 0x1F") == [("int", 0), ("int", 42), ("int", 31)]
+
+    def test_operators_maximal_munch(self):
+        assert [v for _, v in kinds("a<=b<c==d")] == ["a", "<=", "b", "<", "c", "==", "d"]
+        assert [v for _, v in kinds("x+++y")] == ["x", "++", "+", "y"]
+
+    def test_arrow_vs_minus(self):
+        assert [v for _, v in kinds("p->f - q")] == ["p", "->", "f", "-", "q"]
+
+    def test_eof_token(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind == "eof"
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+
+class TestLiterals:
+    def test_char_literal(self):
+        assert kinds("'A'") == [("int", 65)]
+
+    def test_char_escapes(self):
+        assert kinds(r"'\n' '\t' '\0' '\\'") == [
+            ("int", 10), ("int", 9), ("int", 0), ("int", 92)
+        ]
+
+    def test_string_literal(self):
+        assert kinds('"hi"') == [("string", b"hi")]
+
+    def test_string_escapes(self):
+        assert kinds(r'"a\nb"') == [("string", b"a\nb")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            tokenize("'a")
+
+    def test_unknown_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r"'\q'")
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexError):
+            tokenize('"a\nb"')
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment_tracks_lines(self):
+        tokens = tokenize("/* 1\n2\n3 */ x")
+        assert tokens[0].line == 3
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+
+class TestDefines:
+    def test_define_substitution(self):
+        assert ("int", 8) in kinds("#define N 8\nint a[N];")
+
+    def test_define_hex(self):
+        assert kinds("#define M 0x10\nM") == [("int", 16)]
+
+    def test_define_bad_value(self):
+        with pytest.raises(LexError):
+            tokenize("#define N eight")
+
+    def test_unknown_directive(self):
+        with pytest.raises(LexError):
+            tokenize("#include <stdio.h>")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")

@@ -1,0 +1,213 @@
+"""Unit tests for the MiniC parser (AST structure, not execution)."""
+
+import pytest
+
+from repro.lang import ParseError, parse
+from repro.lang import astnodes as ast
+from repro.lang.types import ArrayType, IntType, PointerType, StructType
+
+
+def parse_main(body: str) -> ast.Function:
+    program = parse("void main() {" + body + "}")
+    return program.functions[0]
+
+
+class TestTopLevel:
+    def test_globals(self):
+        program = parse("int x; int a[8]; char *p;")
+        assert [d.name for d in program.globals] == ["x", "a", "p"]
+        assert isinstance(program.globals[1].type, ArrayType)
+        assert isinstance(program.globals[2].type, PointerType)
+
+    def test_global_initialisers(self):
+        program = parse("int x = -3; int a[3] = {1, 2, 3};")
+        assert program.globals[0].init.value == -3
+        assert program.globals[1].init_list == [1, 2, 3]
+
+    def test_multi_dim_array(self):
+        program = parse("int grid[4][8];")
+        outer = program.globals[0].type
+        assert isinstance(outer, ArrayType) and outer.count == 4
+        assert isinstance(outer.element, ArrayType) and outer.element.count == 8
+
+    def test_struct_definition(self):
+        program = parse("struct node { int v; struct node *next; };")
+        struct = program.structs["node"]
+        assert isinstance(struct, StructType)
+        assert list(struct.fields) == ["v", "next"]
+
+    def test_function_with_params(self):
+        program = parse("int add(int a, int b) { return a + b; }")
+        function = program.functions[0]
+        assert [p.name for p in function.params] == ["a", "b"]
+
+    def test_prototype(self):
+        program = parse("void f(int x);\nvoid f(int x) { }")
+        assert program.functions[0].body is None
+        assert program.functions[1].body is not None
+
+    def test_array_parameter_decays(self):
+        program = parse("int f(int a[]) { return a[0]; }")
+        assert isinstance(program.functions[0].params[0].type, PointerType)
+
+    def test_void_param_list(self):
+        program = parse("int f(void) { return 1; }")
+        assert program.functions[0].params == []
+
+
+class TestStatements:
+    def test_if_else(self):
+        function = parse_main("if (1) { } else { }")
+        statement = function.body.statements[0]
+        assert isinstance(statement, ast.If)
+        assert statement.other is not None
+
+    def test_dangling_else_binds_inner(self):
+        function = parse_main("if (1) if (2) return; else return;")
+        outer = function.body.statements[0]
+        assert outer.other is None
+        assert outer.then.other is not None
+
+    def test_while(self):
+        function = parse_main("while (x) { x = x - 1; }")
+        assert isinstance(function.body.statements[0], ast.While)
+
+    def test_for_full(self):
+        function = parse_main("for (i = 0; i < 8; i++) { }")
+        loop = function.body.statements[0]
+        assert loop.init is not None and loop.cond is not None and loop.post is not None
+
+    def test_for_empty_clauses(self):
+        function = parse_main("for (;;) { break; }")
+        loop = function.body.statements[0]
+        assert loop.init is None and loop.cond is None and loop.post is None
+
+    def test_for_with_declaration(self):
+        function = parse_main("for (int i = 0; i < 4; i++) { }")
+        assert isinstance(function.body.statements[0].init, ast.Declaration)
+
+    def test_break_continue_return(self):
+        function = parse_main("while (1) { break; continue; } return 3;")
+        loop = function.body.statements[0]
+        assert isinstance(loop.body.statements[0], ast.Break)
+        assert isinstance(loop.body.statements[1], ast.Continue)
+        assert function.body.statements[1].value.value == 3
+
+    def test_multi_declarator_becomes_block(self):
+        function = parse_main("int a, b;")
+        block = function.body.statements[0]
+        assert isinstance(block, ast.Block)
+        assert len(block.statements) == 2
+
+    def test_empty_statement(self):
+        function = parse_main(";")
+        assert isinstance(function.body.statements[0], ast.Block)
+
+
+class TestExpressions:
+    def expr(self, text):
+        return parse_main(f"x = {text};").body.statements[0].expr.value
+
+    def test_precedence_mul_over_add(self):
+        node = self.expr("1 + 2 * 3")
+        assert node.op == "+"
+        assert node.right.op == "*"
+
+    def test_precedence_relational_over_logical(self):
+        node = self.expr("a < b && c > d")
+        assert node.op == "&&"
+        assert node.left.op == "<"
+
+    def test_or_binds_looser_than_and(self):
+        node = self.expr("a || b && c")
+        assert node.op == "||"
+        assert node.right.op == "&&"
+
+    def test_ternary(self):
+        node = self.expr("a ? b : c")
+        assert isinstance(node, ast.Ternary)
+
+    def test_ternary_right_associative(self):
+        node = self.expr("a ? b : c ? d : e")
+        assert isinstance(node.other, ast.Ternary)
+
+    def test_assignment_right_associative(self):
+        function = parse_main("a = b = 1;")
+        outer = function.body.statements[0].expr
+        assert isinstance(outer.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        function = parse_main("a += 2;")
+        assert function.body.statements[0].expr.op == "+="
+
+    def test_unary_chain(self):
+        node = self.expr("-~!y")
+        assert node.op == "-"
+        assert node.operand.op == "~"
+
+    def test_postfix_incdec(self):
+        node = self.expr("y++")
+        assert isinstance(node, ast.IncDec) and not node.prefix
+
+    def test_prefix_incdec(self):
+        node = self.expr("--y")
+        assert isinstance(node, ast.IncDec) and node.prefix
+
+    def test_index_chain(self):
+        node = self.expr("a[1][2]")
+        assert isinstance(node, ast.Index)
+        assert isinstance(node.base, ast.Index)
+
+    def test_member_access(self):
+        dot = self.expr("s.f")
+        arrow = self.expr("p->f")
+        assert not dot.arrow and arrow.arrow
+
+    def test_call_with_args(self):
+        node = self.expr("f(1, g(2))")
+        assert isinstance(node, ast.Call)
+        assert isinstance(node.args[1], ast.Call)
+
+    def test_sizeof_type(self):
+        node = self.expr("sizeof(int)")
+        assert isinstance(node, ast.SizeOf)
+        assert isinstance(node.target, IntType)
+
+    def test_sizeof_struct(self):
+        program = parse(
+            "struct n { int a; int b; };\nvoid main() { x = sizeof(struct n); }"
+        )
+        node = program.functions[0].body.statements[0].expr.value
+        assert node.target.size == 8
+
+    def test_comma_expression(self):
+        function = parse_main("for (i = 0, j = 1; ; ) break;")
+        init = function.body.statements[0].init
+        assert init.expr.op == ","
+
+    def test_address_and_deref(self):
+        node = self.expr("*&y")
+        assert node.op == "*"
+        assert node.operand.op == "&"
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int f( { }",
+            "void main() { if 1 { } }",
+            "void main() { x = ; }",
+            "void main() { (1)(2); }",
+            "int a[0];",
+            "struct s { int x; }",  # missing trailing semicolon
+            "void main() { return 1 }",
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(ParseError):
+            parse(source)
+
+    def test_struct_redefinition(self):
+        with pytest.raises(ParseError):
+            parse("struct s { int a; };\nstruct s { int b; };")

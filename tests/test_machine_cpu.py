@@ -1,0 +1,232 @@
+"""Behavioural tests of the CPU core: one class per instruction group.
+
+Each test assembles a snippet, runs it on a booted machine, and inspects
+registers / console / traps.
+"""
+
+import pytest
+
+from repro.isa import assemble_text
+from repro.machine import (
+    ArithmeticTrap,
+    Executable,
+    IllegalInstructionTrap,
+    Machine,
+    MemoryTrap,
+    TrapInstructionHit,
+    boot,
+    load,
+    to_signed,
+)
+
+
+def run_asm(source: str, max_instructions: int = 100_000):
+    program = assemble_text(source, base=0x1000)
+    executable = Executable(code=program.code, entry=0x1000, symbols=program.symbols)
+    machine = boot(executable)
+    result = machine.run(max_instructions=max_instructions)
+    return machine, result
+
+
+def reg(machine, index):
+    return machine.cores[0].regs[index]
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        machine, _ = run_asm("addi r3, r0, 30\naddi r4, r0, 12\nadd r5, r3, r4\nsub r6, r3, r4\nsc 0")
+        assert reg(machine, 5) == 42
+        assert reg(machine, 6) == 18
+
+    def test_wraparound(self):
+        machine, _ = run_asm("addis r3, r0, 0x7FFF\nori r3, r3, 0xFFFF\naddi r3, r3, 1\nsc 0")
+        assert reg(machine, 3) == 0x80000000
+
+    def test_mul(self):
+        machine, _ = run_asm("addi r3, r0, -7\naddi r4, r0, 6\nmul r5, r3, r4\nsc 0")
+        assert to_signed(reg(machine, 5)) == -42
+
+    def test_mulli(self):
+        machine, _ = run_asm("addi r3, r0, 11\nmulli r3, r3, -3\nsc 0")
+        assert to_signed(reg(machine, 3)) == -33
+
+    def test_divw_truncates_toward_zero(self):
+        machine, _ = run_asm("addi r3, r0, -7\naddi r4, r0, 2\ndivw r5, r3, r4\nsc 0")
+        assert to_signed(reg(machine, 5)) == -3
+
+    def test_modw_c_semantics(self):
+        machine, _ = run_asm("addi r3, r0, -7\naddi r4, r0, 2\nmodw r5, r3, r4\nsc 0")
+        assert to_signed(reg(machine, 5)) == -1
+
+    def test_divide_by_zero_traps(self):
+        _, result = run_asm("addi r3, r0, 1\ndivw r4, r3, r0\nsc 0")
+        assert result.status == "trapped"
+        assert isinstance(result.trap, ArithmeticTrap)
+
+    def test_neg_not(self):
+        machine, _ = run_asm("addi r3, r0, 5\nneg r4, r3\nnot r5, r3\nsc 0")
+        assert to_signed(reg(machine, 4)) == -5
+        assert to_signed(reg(machine, 5)) == -6
+
+
+class TestLogicAndShifts:
+    def test_bitwise(self):
+        machine, _ = run_asm(
+            "addi r3, r0, 0xFF\naddi r4, r0, 0x0F\n"
+            "and r5, r3, r4\nor r6, r3, r4\nxor r7, r3, r4\nnor r8, r3, r4\nsc 0"
+        )
+        assert reg(machine, 5) == 0x0F
+        assert reg(machine, 6) == 0xFF
+        assert reg(machine, 7) == 0xF0
+        assert reg(machine, 8) == 0xFFFFFF00
+
+    def test_immediate_logic(self):
+        machine, _ = run_asm("addi r3, r0, 0xF0\nandi r4, r3, 0x3C\nori r5, r3, 0x0F\nxori r6, r3, 0xFF\nsc 0")
+        assert reg(machine, 4) == 0x30
+        assert reg(machine, 5) == 0xFF
+        assert reg(machine, 6) == 0x0F
+
+    def test_shift_registers(self):
+        machine, _ = run_asm(
+            "addi r3, r0, -16\naddi r4, r0, 2\n"
+            "slw r5, r3, r4\nsrw r6, r3, r4\nsraw r7, r3, r4\nsc 0"
+        )
+        assert to_signed(reg(machine, 5)) == -64
+        assert reg(machine, 6) == 0x3FFFFFFC
+        assert to_signed(reg(machine, 7)) == -4
+
+    def test_shift_amount_masked_to_31(self):
+        machine, _ = run_asm("addi r3, r0, 1\naddi r4, r0, 33\nslw r5, r3, r4\nsc 0")
+        assert reg(machine, 5) == 2
+
+    def test_shift_immediates(self):
+        machine, _ = run_asm("addi r3, r0, -8\nslwi r4, r3, 1\nsrwi r5, r3, 1\nsrawi r6, r3, 1\nsc 0")
+        assert to_signed(reg(machine, 4)) == -16
+        assert reg(machine, 5) == 0x7FFFFFFC
+        assert to_signed(reg(machine, 6)) == -4
+
+
+class TestCompareAndBranch:
+    @pytest.mark.parametrize(
+        "cond,pair,taken",
+        [
+            ("lt", (1, 2), True), ("lt", (2, 2), False),
+            ("le", (2, 2), True), ("le", (3, 2), False),
+            ("eq", (5, 5), True), ("eq", (5, 6), False),
+            ("ge", (2, 2), True), ("ge", (1, 2), False),
+            ("gt", (3, 2), True), ("gt", (2, 2), False),
+            ("ne", (1, 2), True), ("ne", (2, 2), False),
+        ],
+    )
+    def test_conditions(self, cond, pair, taken):
+        a, b = pair
+        machine, _ = run_asm(
+            f"addi r3, r0, {a}\naddi r4, r0, {b}\ncmp r3, r4\n"
+            f"bc {cond}, taken\naddi r5, r0, 0\nsc 0\n"
+            "taken:\naddi r5, r0, 1\nsc 0"
+        )
+        assert reg(machine, 5) == (1 if taken else 0)
+
+    def test_signed_compare(self):
+        machine, _ = run_asm(
+            "addi r3, r0, -1\naddi r4, r0, 1\ncmp r3, r4\n"
+            "bc lt, less\naddi r5, r0, 0\nsc 0\nless:\naddi r5, r0, 1\nsc 0"
+        )
+        assert reg(machine, 5) == 1
+
+    def test_cmpli_is_unsigned(self):
+        machine, _ = run_asm(
+            "addi r3, r0, -1\ncmpli r3, 10\n"
+            "bc gt, big\naddi r5, r0, 0\nsc 0\nbig:\naddi r5, r0, 1\nsc 0"
+        )
+        assert reg(machine, 5) == 1  # 0xFFFFFFFF > 10 unsigned
+
+    def test_cmpi_signed(self):
+        machine, _ = run_asm(
+            "addi r3, r0, -5\ncmpi r3, -4\n"
+            "bc lt, yes\naddi r5, r0, 0\nsc 0\nyes:\naddi r5, r0, 1\nsc 0"
+        )
+        assert reg(machine, 5) == 1
+
+    def test_bc_always(self):
+        machine, _ = run_asm(
+            "bc always, over\naddi r5, r0, 9\nover:\nsc 0"
+        )
+        assert reg(machine, 5) == 0
+
+    def test_call_and_return(self):
+        machine, _ = run_asm(
+            "bl fn\nsc 0\nfn:\naddi r3, r0, 77\nblr"
+        )
+        assert reg(machine, 3) == 77
+
+    def test_mflr_mtlr(self):
+        machine, _ = run_asm("bl next\nnext:\nmflr r9\nmtlr r9\nsc 0")
+        assert reg(machine, 9) == 0x1004
+
+
+class TestRegisterZero:
+    def test_r0_reads_zero_after_write(self):
+        machine, _ = run_asm("addi r0, r0, 99\nadd r3, r0, r0\nsc 0")
+        assert reg(machine, 0) == 0
+        assert reg(machine, 3) == 0
+
+
+class TestMemoryInstructions:
+    def test_store_load_word(self):
+        machine, _ = run_asm("addi r3, r0, 1234\nstw r3, -8(r1)\nlwz r4, -8(r1)\nsc 0")
+        assert reg(machine, 4) == 1234
+
+    def test_store_load_byte(self):
+        machine, _ = run_asm("addi r3, r0, 0x1FF\nstb r3, -1(r1)\nlbz r4, -1(r1)\nsc 0")
+        assert reg(machine, 4) == 0xFF  # truncated to a byte, zero-extended back
+
+    def test_unmapped_access_traps(self):
+        _, result = run_asm("lwz r3, 0(r0)\nsc 0")
+        assert result.status == "trapped"
+        assert isinstance(result.trap, MemoryTrap)
+
+    def test_misaligned_access_traps(self):
+        _, result = run_asm("addi r3, r1, -7\nlwz r4, 0(r3)\nsc 0")
+        assert result.status == "trapped"
+
+    def test_store_to_code_traps(self):
+        _, result = run_asm("addis r3, r0, 0\nori r3, r3, 0x1000\nstw r3, 0(r3)\nsc 0")
+        assert result.status == "trapped"
+        assert isinstance(result.trap, MemoryTrap)
+
+    def test_trap_reports_pc_and_core(self):
+        _, result = run_asm("lwz r3, 0(r0)")
+        assert result.trap.pc == 0x1000
+        assert result.trap.core_id == 0
+
+
+class TestTrapsAndBudget:
+    def test_trap_instruction(self):
+        _, result = run_asm("trap 7")
+        assert result.status == "trapped"
+        assert isinstance(result.trap, TrapInstructionHit)
+
+    def test_illegal_opcode_via_debug_write(self):
+        program = assemble_text("nop\nsc 0", base=0x1000)
+        executable = Executable(code=program.code, entry=0x1000, symbols={})
+        machine = boot(executable)
+        machine.debug_write_code(0x1000, 0)  # all-zero word
+        result = machine.run()
+        assert result.status == "trapped"
+        assert isinstance(result.trap, IllegalInstructionTrap)
+
+    def test_budget_exhaustion_reports_hang(self):
+        _, result = run_asm("loop:\nb loop", max_instructions=500)
+        assert result.status == "hung"
+        assert result.instructions == 500
+
+    def test_fetch_outside_code_traps(self):
+        # blr with lr=0 jumps to unmapped address 0.
+        _, result = run_asm("blr")
+        assert result.status == "trapped"
+
+    def test_instret_counts(self):
+        machine, result = run_asm("nop\nnop\nnop\nsc 0")
+        assert result.instructions == 4
+        assert machine.cores[0].instret == 4

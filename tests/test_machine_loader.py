@@ -1,0 +1,108 @@
+"""Tests for the executable format and loader."""
+
+import pytest
+
+from repro.isa import assemble_text
+from repro.machine import (
+    DATA_BASE,
+    Executable,
+    LoaderError,
+    Machine,
+    boot,
+    load,
+    peek_global_word,
+    poke_global_bytes,
+    poke_global_word,
+    poke_global_words,
+)
+
+
+def make_executable(**kwargs) -> Executable:
+    program = assemble_text("addi r3, r0, 0\nsc 0", base=0x1000)
+    defaults = dict(code=program.code, entry=0x1000, symbols=program.symbols)
+    defaults.update(kwargs)
+    return Executable(**defaults)
+
+
+class TestLoad:
+    def test_boot_sets_pc_and_sp(self):
+        machine = boot(make_executable())
+        core = machine.cores[0]
+        assert core.pc == 0x1000
+        assert core.regs[1] % 8 == 0
+        assert core.regs[1] > 0x40_0000
+
+    def test_each_core_gets_its_own_stack(self):
+        machine = boot(make_executable(), num_cores=4)
+        pointers = {core.regs[1] for core in machine.cores}
+        assert len(pointers) == 4
+
+    def test_data_image_loaded(self):
+        machine = boot(make_executable(data=b"\x01\x02\x03\x04", symbols={"g": DATA_BASE}))
+        assert machine.memory.debug_read_word(DATA_BASE) == 0x01020304
+
+    def test_bss_reserved(self):
+        executable = make_executable(data=b"", bss_size=64, symbols={"g": DATA_BASE})
+        machine = boot(executable)
+        assert machine.memory.segment_for(DATA_BASE, 64) is not None
+
+    def test_double_load_rejected(self):
+        machine = Machine()
+        executable = make_executable()
+        load(machine, executable)
+        with pytest.raises(LoaderError):
+            load(machine, executable)
+
+    def test_code_overflow_rejected(self):
+        big = Executable(code=b"\x00" * (DATA_BASE - 0x1000 + 4), entry=0x1000)
+        machine = Machine()
+        with pytest.raises(LoaderError):
+            load(machine, big)
+
+    def test_bad_core_count(self):
+        with pytest.raises(LoaderError):
+            boot(make_executable(), num_cores=9)
+
+
+class TestPokes:
+    def test_poke_word(self):
+        executable = make_executable(data=b"\x00" * 8, symbols={"x": DATA_BASE})
+        machine = boot(executable, inputs={"x": -5})
+        assert peek_global_word(machine, "x") == 0xFFFFFFFB
+
+    def test_poke_word_list(self):
+        executable = make_executable(data=b"\x00" * 16, symbols={"arr": DATA_BASE})
+        machine = boot(executable)
+        poke_global_words(machine, "arr", [1, 2, 3])
+        assert machine.memory.debug_read_word(DATA_BASE + 8) == 3
+
+    def test_poke_bytes(self):
+        executable = make_executable(data=b"\x00" * 16, symbols={"s": DATA_BASE})
+        machine = boot(executable)
+        poke_global_bytes(machine, "s", b"hi\x00")
+        assert machine.memory.read_cstring(DATA_BASE) == b"hi"
+
+    def test_boot_inputs_dispatch_on_type(self):
+        executable = make_executable(
+            data=b"\x00" * 32,
+            symbols={"n": DATA_BASE, "arr": DATA_BASE + 4, "s": DATA_BASE + 16},
+        )
+        machine = boot(executable, inputs={"n": 7, "arr": [9, 8], "s": b"ok\x00"})
+        assert peek_global_word(machine, "n") == 7
+        assert machine.memory.debug_read_word(DATA_BASE + 4) == 9
+        assert machine.memory.read_cstring(DATA_BASE + 16) == b"ok"
+
+    def test_unknown_symbol_raises(self):
+        machine = boot(make_executable())
+        with pytest.raises(LoaderError):
+            poke_global_word(machine, "ghost", 0)
+
+
+class TestExecutable:
+    def test_address_of(self):
+        executable = make_executable(symbols={"main": 0x1234})
+        assert executable.address_of("main") == 0x1234
+
+    def test_data_size_includes_bss(self):
+        executable = make_executable(data=b"\x00" * 10, bss_size=6)
+        assert executable.data_size == 16

@@ -1,0 +1,105 @@
+"""Unit tests for segmented memory and its protection model."""
+
+import pytest
+
+from repro.machine import AlignmentTrap, Memory, MemoryTrap
+
+
+@pytest.fixture
+def memory():
+    mem = Memory(0x10000)
+    mem.add_segment("code", 0x1000, 0x1000, writable=False)
+    mem.add_segment("data", 0x4000, 0x1000, writable=True)
+    return mem
+
+
+class TestSegments:
+    def test_segment_lookup(self, memory):
+        assert memory.segment_for(0x1000).name == "code"
+        assert memory.segment_for(0x4FFF).name == "data"
+        assert memory.segment_for(0x3000) is None
+
+    def test_lookup_respects_span(self, memory):
+        # A 4-byte access ending past the segment is not contained.
+        assert memory.segment_for(0x1FFD, 4) is None
+
+    def test_overlapping_segments_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.add_segment("clash", 0x1800, 0x100, writable=True)
+
+    def test_segment_outside_physical_rejected(self):
+        mem = Memory(0x1000)
+        with pytest.raises(ValueError):
+            mem.add_segment("big", 0x800, 0x1000, writable=True)
+
+
+class TestCheckedAccess:
+    def test_word_roundtrip(self, memory):
+        memory.write_word(0x4000, 0xDEADBEEF)
+        assert memory.read_word(0x4000) == 0xDEADBEEF
+
+    def test_byte_roundtrip(self, memory):
+        memory.write_byte(0x4005, 0xAB)
+        assert memory.read_byte(0x4005) == 0xAB
+
+    def test_word_is_big_endian(self, memory):
+        memory.write_word(0x4000, 0x11223344)
+        assert memory.read_byte(0x4000) == 0x11
+        assert memory.read_byte(0x4003) == 0x44
+
+    def test_unmapped_read_traps(self, memory):
+        with pytest.raises(MemoryTrap):
+            memory.read_word(0x9000)
+
+    def test_unmapped_write_traps(self, memory):
+        with pytest.raises(MemoryTrap):
+            memory.write_byte(0x9000, 1)
+
+    def test_write_to_code_traps(self, memory):
+        with pytest.raises(MemoryTrap):
+            memory.write_word(0x1000, 0)
+
+    def test_read_from_code_allowed(self, memory):
+        assert memory.read_word(0x1000) == 0
+
+    def test_misaligned_word_traps(self, memory):
+        with pytest.raises(AlignmentTrap):
+            memory.read_word(0x4001)
+        with pytest.raises(AlignmentTrap):
+            memory.write_word(0x4002, 1)
+
+    def test_trap_carries_address(self, memory):
+        with pytest.raises(MemoryTrap) as info:
+            memory.read_word(0x9000, pc=0x1234)
+        assert info.value.address == 0x9000
+        assert info.value.pc == 0x1234
+
+    def test_value_masked_to_32_bits(self, memory):
+        memory.write_word(0x4000, 0x1_FFFF_FFFF)
+        assert memory.read_word(0x4000) == 0xFFFFFFFF
+
+
+class TestDebugPort:
+    def test_debug_write_ignores_protection(self, memory):
+        memory.debug_write(0x1000, b"\x01\x02\x03\x04")
+        assert memory.read_word(0x1000) == 0x01020304
+
+    def test_debug_write_outside_physical_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.debug_write(0xFFFE, b"\x00\x00\x00\x00")
+
+    def test_debug_word_helpers(self, memory):
+        memory.debug_write_word(0x4000, 0xCAFEBABE)
+        assert memory.debug_read_word(0x4000) == 0xCAFEBABE
+
+    def test_debug_read_unmapped_gap(self, memory):
+        # The debug port sees raw physical memory, even between segments.
+        assert memory.debug_read(0x3000, 4) == b"\x00\x00\x00\x00"
+
+    def test_read_cstring(self, memory):
+        memory.debug_write(0x4000, b"hello\x00world")
+        assert memory.read_cstring(0x4000) == b"hello"
+
+    def test_read_cstring_limit(self, memory):
+        memory.debug_write(0x4000, b"a" * 16)
+        assert memory.read_cstring(0x4000, limit=8) == b"a" * 8

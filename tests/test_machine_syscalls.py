@@ -1,0 +1,126 @@
+"""Tests for the kernel interface: console, heap, parallel primitives."""
+
+import pytest
+
+from repro.isa import assemble_text
+from repro.machine import (
+    Executable,
+    HeapManager,
+    HeapTrap,
+    InvalidSyscallTrap,
+    boot,
+)
+from repro.machine.traps import ConsoleLimitExceeded
+
+
+def run_asm(source: str, num_cores: int = 1, **kwargs):
+    program = assemble_text(source, base=0x1000)
+    executable = Executable(code=program.code, entry=0x1000, symbols=program.symbols)
+    machine = boot(executable, num_cores=num_cores, **kwargs)
+    return machine, machine.run()
+
+
+class TestConsole:
+    def test_put_int_signed(self):
+        _, result = run_asm("addi r3, r0, -42\nsc 1\nsc 0")
+        assert result.console == b"-42"
+
+    def test_put_char(self):
+        _, result = run_asm("addi r3, r0, 65\nsc 2\nsc 0")
+        assert result.console == b"A"
+
+    def test_put_hex(self):
+        _, result = run_asm("addi r3, r0, 255\nsc 9\nsc 0")
+        assert result.console == b"000000ff"
+
+    def test_console_overflow_is_distinct_trap(self):
+        program = assemble_text("loop:\naddi r3, r0, 88\nsc 2\nb loop", base=0x1000)
+        executable = Executable(code=program.code, entry=0x1000, symbols={})
+        from repro.machine import Machine, load
+
+        machine = Machine(console_limit=64)
+        load(machine, executable)
+        result = machine.run(max_instructions=10_000)
+        assert result.status == "trapped"
+        assert isinstance(result.trap, ConsoleLimitExceeded)
+
+    def test_unknown_syscall_traps(self):
+        _, result = run_asm("sc 99")
+        assert result.status == "trapped"
+        assert isinstance(result.trap, InvalidSyscallTrap)
+
+
+class TestExit:
+    def test_exit_code(self):
+        _, result = run_asm("addi r3, r0, 3\nsc 0")
+        assert result.status == "exited"
+        assert result.exit_code == 3
+
+    def test_negative_exit_code(self):
+        _, result = run_asm("addi r3, r0, -1\nsc 0")
+        assert result.exit_code == -1
+
+
+class TestHeapSyscalls:
+    def test_malloc_returns_heap_pointer(self):
+        machine, result = run_asm("addi r3, r0, 64\nsc 3\nsc 0")
+        assert result.status == "exited"
+        assert machine.heap.base <= result.exit_code < machine.heap.base + machine.heap.size
+
+    def test_free_invalid_pointer_traps(self):
+        _, result = run_asm("addi r3, r0, 12345\nsc 4\nsc 0")
+        assert result.status == "trapped"
+        assert isinstance(result.trap, HeapTrap)
+
+    def test_free_null_is_noop(self):
+        _, result = run_asm("addi r3, r0, 0\nsc 4\naddi r3, r0, 0\nsc 0")
+        assert result.status == "exited"
+
+
+class TestHeapManager:
+    def test_alignment(self):
+        heap = HeapManager(0x1000, 0x1000)
+        first = heap.malloc(3)
+        second = heap.malloc(3)
+        assert first % 8 == 0 and second % 8 == 0
+        assert second - first >= 8
+
+    def test_reuse_after_free(self):
+        heap = HeapManager(0x1000, 0x1000)
+        block = heap.malloc(32)
+        heap.free(block)
+        assert heap.malloc(32) == block
+
+    def test_double_free_traps(self):
+        heap = HeapManager(0x1000, 0x1000)
+        block = heap.malloc(16)
+        heap.free(block)
+        with pytest.raises(HeapTrap):
+            heap.free(block)
+
+    def test_out_of_memory_returns_zero(self):
+        heap = HeapManager(0x1000, 64)
+        assert heap.malloc(128) == 0
+
+    def test_zero_size_returns_zero(self):
+        heap = HeapManager(0x1000, 64)
+        assert heap.malloc(0) == 0
+
+    def test_bytes_in_use(self):
+        heap = HeapManager(0x1000, 0x1000)
+        block = heap.malloc(24)
+        assert heap.bytes_in_use == 24  # rounded to alignment
+        heap.free(block)
+        assert heap.bytes_in_use == 0
+
+
+class TestParallelSyscalls:
+    def test_core_id_and_count(self):
+        # Each core prints its id; round-robin order is deterministic.
+        source = "sc 5\nsc 1\naddi r3, r0, 0\nsc 0"
+        _, result = run_asm(source, num_cores=4)
+        assert sorted(result.console.decode()) == ["0", "1", "2", "3"]
+
+    def test_num_cores(self):
+        _, result = run_asm("sc 6\nmr r3, r3\nsc 1\naddi r3, r0, 0\nsc 0", num_cores=3)
+        assert result.console == b"333"

@@ -1,0 +1,145 @@
+"""Tests for complexity metrics and metric-guided allocation."""
+
+import pytest
+
+from repro.lang import compile_source, parse
+from repro.metrics import (
+    STRATEGIES,
+    allocate,
+    allocation_table,
+    from_source,
+    function_complexity,
+    metric_value,
+    program_complexity,
+    total_complexity,
+)
+
+
+class TestMcCabe:
+    def test_straight_line_is_one(self):
+        program = parse("void f(void) { int x = 1; x = x + 1; }")
+        assert function_complexity(program.functions[0]) == 1
+
+    def test_if_adds_one(self):
+        program = parse("void f(int a) { if (a) { a = 1; } }")
+        assert function_complexity(program.functions[0]) == 2
+
+    def test_if_else_adds_one(self):
+        program = parse("void f(int a) { if (a) { a = 1; } else { a = 2; } }")
+        assert function_complexity(program.functions[0]) == 2
+
+    def test_loops_add_one_each(self):
+        program = parse("void f(int a) { while (a) { a--; } for (;;) { break; } }")
+        assert function_complexity(program.functions[0]) == 2  # for(;;) has no decision
+
+    def test_logical_operators_add(self):
+        program = parse("void f(int a, int b) { if (a && b || a) { a = 1; } }")
+        assert function_complexity(program.functions[0]) == 4  # if + && + ||
+
+    def test_ternary_adds(self):
+        program = parse("int f(int a) { return a ? 1 : 2; }")
+        assert function_complexity(program.functions[0]) == 2
+
+    def test_nested_statements_counted(self):
+        program = parse(
+            "void f(int a) { while (a) { if (a > 2) { a -= 1; } else { a = 0; } } }"
+        )
+        assert function_complexity(program.functions[0]) == 3
+
+    def test_program_complexity_per_function(self):
+        program = parse(
+            "int g(int a) { return a ? 1 : 0; }\nvoid f(void) { }"
+        )
+        by_function = program_complexity(program)
+        assert by_function == {"g": 2, "f": 1}
+        assert total_complexity(program) == 3
+
+
+class TestHalstead:
+    def test_empty_source(self):
+        metrics = from_source("")
+        assert metrics.volume == 0.0
+        assert metrics.length == 0
+
+    def test_counts(self):
+        metrics = from_source("int x = a + a;")
+        # operators: int, =, +, ; / operands: x, a, a
+        assert metrics.distinct_operands == 2
+        assert metrics.total_operands == 3
+        assert metrics.total_operators >= 3
+
+    def test_volume_grows_with_code(self):
+        small = from_source("int x = 1;")
+        large = from_source("int x = 1; int y = x + 2; int z = y * x + 3;")
+        assert large.volume > small.volume
+
+    def test_difficulty_and_effort_nonnegative(self):
+        metrics = from_source("int f(int a) { return a * a + 1; }")
+        assert metrics.difficulty > 0
+        assert metrics.effort >= metrics.volume
+
+
+class TestAllocation:
+    @pytest.fixture(scope="class")
+    def programs(self):
+        sources = {
+            "tiny": "void main() { int x = 1; exit(x - 1); }",
+            "medium": """
+                void main() {
+                    int i; int s = 0;
+                    for (i = 0; i < 4; i++) { if (i % 2) { s += i; } }
+                    print_int(s);
+                    exit(0);
+                }
+            """,
+            "large": """
+                int t[8];
+                int f(int a, int b) { return (a > b) ? a - b : b - a; }
+                void main() {
+                    int i; int j; int s = 0;
+                    for (i = 0; i < 8; i++) {
+                        for (j = 0; j < 8; j++) {
+                            if (f(i, j) > 2 && i != j) { s += 1; }
+                        }
+                        t[i] = s;
+                    }
+                    print_int(s);
+                    exit(0);
+                }
+            """,
+        }
+        return [compile_source(text, name) for name, text in sources.items()]
+
+    def test_allocation_sums_exactly(self, programs):
+        for strategy in STRATEGIES:
+            counts = allocate(programs, 97, strategy)
+            assert sum(counts.values()) == 97
+
+    def test_uniform_is_even(self, programs):
+        counts = allocate(programs, 9, "uniform")
+        assert set(counts.values()) == {3}
+
+    def test_complexity_favours_large_program(self, programs):
+        counts = allocate(programs, 100, "mccabe")
+        assert counts["large"] > counts["medium"] > counts["tiny"]
+
+    def test_zero_faults(self, programs):
+        counts = allocate(programs, 0, "loc")
+        assert sum(counts.values()) == 0
+
+    def test_negative_rejected(self, programs):
+        with pytest.raises(ValueError):
+            allocate(programs, -1, "loc")
+
+    def test_unknown_strategy_rejected(self, programs):
+        with pytest.raises(ValueError):
+            allocate(programs, 10, "vibes")
+
+    def test_allocation_table_covers_all_strategies(self, programs):
+        table = allocation_table(programs, 30)
+        assert set(table) == set(STRATEGIES)
+
+    def test_metric_value_positive(self, programs):
+        for program in programs:
+            for strategy in STRATEGIES:
+                assert metric_value(program, strategy) > 0

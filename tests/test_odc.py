@@ -1,0 +1,80 @@
+"""Tests for the ODC taxonomy and field-data module."""
+
+import pytest
+
+from repro.odc import (
+    EXPOSURE_CHAIN,
+    FIELD_DISTRIBUTION,
+    TYPE_EMULABILITY,
+    DefectType,
+    Emulability,
+    ODCTrigger,
+    non_emulable_share,
+    share,
+    share_by_emulability,
+    weighted_fault_counts,
+)
+
+
+class TestDefectTypes:
+    def test_six_code_related_types(self):
+        assert len(DefectType) == 6
+
+    def test_descriptions_from_paper(self):
+        assert "not assigned" in DefectType.ASSIGNMENT.description
+        assert "design change" in DefectType.FUNCTION.description
+
+    def test_emulability_verdicts(self):
+        assert TYPE_EMULABILITY[DefectType.ASSIGNMENT] is Emulability.EMULABLE
+        assert TYPE_EMULABILITY[DefectType.CHECKING] is Emulability.EMULABLE
+        assert TYPE_EMULABILITY[DefectType.ALGORITHM] is Emulability.NOT_EMULABLE
+        assert TYPE_EMULABILITY[DefectType.FUNCTION] is Emulability.NOT_EMULABLE
+
+
+class TestTriggers:
+    def test_normal_mode_is_the_relevant_trigger(self):
+        relevant = [t for t in ODCTrigger if t.is_experiment_relevant]
+        assert relevant == [ODCTrigger.NORMAL_MODE]
+
+    def test_exposure_chain_has_three_stages(self):
+        assert len(EXPOSURE_CHAIN) == 3
+
+
+class TestFieldData:
+    def test_distribution_sums_to_one(self):
+        assert sum(FIELD_DISTRIBUTION.values()) == pytest.approx(1.0)
+
+    def test_every_type_has_mass(self):
+        assert set(FIELD_DISTRIBUTION) == set(DefectType)
+        assert all(value > 0 for value in FIELD_DISTRIBUTION.values())
+
+    def test_headline_44_percent(self):
+        assert non_emulable_share() == pytest.approx(0.44, abs=0.005)
+
+    def test_share_helper(self):
+        combined = share(DefectType.ASSIGNMENT, DefectType.CHECKING)
+        assert combined == pytest.approx(
+            FIELD_DISTRIBUTION[DefectType.ASSIGNMENT]
+            + FIELD_DISTRIBUTION[DefectType.CHECKING]
+        )
+
+    def test_qualitative_ordering(self):
+        dist = FIELD_DISTRIBUTION
+        assert dist[DefectType.ALGORITHM] > dist[DefectType.ASSIGNMENT]
+        assert dist[DefectType.ASSIGNMENT] > dist[DefectType.CHECKING]
+        assert dist[DefectType.CHECKING] > dist[DefectType.INTERFACE]
+        assert dist[DefectType.INTERFACE] > dist[DefectType.TIMING]
+
+    def test_share_by_emulability_partitions(self):
+        shares = share_by_emulability()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares[Emulability.NOT_EMULABLE] == pytest.approx(non_emulable_share())
+
+    def test_weighted_counts_sum_exactly(self):
+        for total in (1, 7, 100, 1234):
+            counts = weighted_fault_counts(total)
+            assert sum(counts.values()) == total
+
+    def test_weighted_counts_track_distribution(self):
+        counts = weighted_fault_counts(10_000)
+        assert counts[DefectType.ALGORITHM] == pytest.approx(4040, abs=2)

@@ -1,0 +1,49 @@
+"""The README quickstart snippet must actually run as printed."""
+
+import os
+import re
+
+import pytest
+
+README = os.path.join(os.path.dirname(__file__), "..", "README.md")
+
+
+def extract_python_blocks(text: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadme:
+    @pytest.fixture(scope="class")
+    def readme(self):
+        with open(README, "r", encoding="utf-8") as handle:
+            return handle.read()
+
+    def test_has_python_quickstart(self, readme):
+        assert extract_python_blocks(readme)
+
+    def test_quickstart_snippet_executes(self, readme):
+        snippet = extract_python_blocks(readme)[0]
+        namespace: dict = {}
+        exec(compile(snippet, "<README quickstart>", "exec"), namespace)  # noqa: S102
+        # The snippet ends by classifying the injected run.
+        from repro.swifi import FailureMode
+
+        assert namespace["result"].console == b"55"
+        assert namespace["clean"].console == b"45"
+
+    def test_referenced_files_exist(self, readme):
+        for path in ("DESIGN.md", "EXPERIMENTS.md", "examples/quickstart.py",
+                     "examples/real_fault_emulation.py",
+                     "examples/error_set_campaign.py",
+                     "examples/metric_guided_injection.py",
+                     "examples/custom_program.py"):
+            assert os.path.exists(os.path.join(os.path.dirname(README), path)), path
+
+    def test_benchmark_table_matches_files(self, readme):
+        bench_dir = os.path.join(os.path.dirname(README), "benchmarks")
+        for name in ("test_table1_real_fault_symptoms",
+                     "test_sec5_real_fault_emulation",
+                     "test_fig2_exposure_chain",
+                     "test_ablation_hardware_vs_software"):
+            assert name in readme
+            assert os.path.exists(os.path.join(bench_dir, f"{name}.py")), name

@@ -1,0 +1,121 @@
+"""Harness robustness: arbitrary corruption must never crash the *host*.
+
+The injector exists to corrupt the simulated machine; whatever a fault
+does — illegal opcodes, wild jumps, stack destruction, heap corruption —
+the simulator must contain it and return a classified RunResult.  These
+fuzz-style tests hammer that boundary.
+"""
+
+import random
+
+import pytest
+
+from repro.lang import compile_source
+from repro.machine import boot
+from repro.swifi import (
+    Action,
+    BitFlip,
+    CodeWord,
+    FaultSpec,
+    InjectionSession,
+    OpcodeFetch,
+    RegisterTarget,
+    SetValue,
+    Temporal,
+    WhenPolicy,
+)
+
+SOURCE = """
+int in_x;
+int table[8];
+
+int helper(int v) {
+    if (v % 3 == 0) return v / 3;
+    return v * 2 + 1;
+}
+
+void main() {
+    int i;
+    int acc = in_x;
+    for (i = 0; i < 8; i++) {
+        table[i] = helper(acc + i);
+        acc += table[i] % 7;
+    }
+    print_int(acc);
+    exit(0);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_source(SOURCE, "fuzz-target")
+
+
+class TestRandomCorruption:
+    def test_random_code_bit_flips_are_contained(self, compiled):
+        rng = random.Random(1234)
+        code_base = compiled.executable.code_base
+        code_words = len(compiled.executable.code) // 4
+        statuses = set()
+        for _ in range(120):
+            address = code_base + 4 * rng.randrange(code_words)
+            mask = 1 << rng.randrange(32)
+            machine = boot(compiled.executable, inputs={"in_x": rng.randrange(100)})
+            session = InjectionSession(machine)
+            session.arm(FaultSpec(
+                "fuzz", OpcodeFetch(address),
+                (Action(CodeWord(address), BitFlip(mask)),),
+                when=WhenPolicy.once(),
+            ))
+            result = session.run(max_instructions=200_000)
+            assert result.status in ("exited", "hung", "trapped")
+            statuses.add(result.status)
+        # Random corruption produces every kind of ending eventually.
+        assert "trapped" in statuses
+        assert "exited" in statuses
+
+    def test_random_register_stomps_are_contained(self, compiled):
+        rng = random.Random(99)
+        for _ in range(60):
+            machine = boot(compiled.executable, inputs={"in_x": 5})
+            session = InjectionSession(machine)
+            session.arm(FaultSpec(
+                "stomp", Temporal(rng.randrange(1, 2_000)),
+                (Action(RegisterTarget(rng.randrange(1, 32)),
+                        SetValue(rng.getrandbits(32))),),
+                when=WhenPolicy.once(),
+            ))
+            result = session.run(max_instructions=200_000)
+            assert result.status in ("exited", "hung", "trapped")
+
+    def test_stomping_the_stack_pointer(self, compiled):
+        for value in (0, 0xFFFFFFFF, 0x1000, 0x7FFFFFFF):
+            machine = boot(compiled.executable, inputs={"in_x": 5})
+            session = InjectionSession(machine)
+            session.arm(FaultSpec(
+                "sp", Temporal(50),
+                (Action(RegisterTarget(1), SetValue(value)),),
+                when=WhenPolicy.once(),
+            ))
+            result = session.run(max_instructions=200_000)
+            assert result.status in ("exited", "hung", "trapped")
+
+    def test_wild_jump_via_link_register(self, compiled):
+        machine = boot(compiled.executable, inputs={"in_x": 5})
+        core = machine.cores[0]
+        core.lr = 0xDEAD0000
+        machine.debug_write_code(compiled.executable.entry, 0x40000000)  # blr
+        result = machine.run(max_instructions=10_000)
+        assert result.status == "trapped"
+
+    def test_every_single_word_zeroed_one_at_a_time(self, compiled):
+        """Zeroing any one instruction (a persistent stuck-at-0 word)
+        yields a clean, classified outcome — sampled across the image."""
+        code_base = compiled.executable.code_base
+        code_words = len(compiled.executable.code) // 4
+        for index in range(0, code_words, 7):
+            machine = boot(compiled.executable, inputs={"in_x": 3})
+            machine.debug_write_code(code_base + 4 * index, 0)
+            result = machine.run(max_instructions=100_000)
+            assert result.status in ("exited", "hung", "trapped")

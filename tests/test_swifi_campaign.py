@@ -1,0 +1,160 @@
+"""Tests for outcome classification and the campaign engine."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.machine import boot
+from repro.machine.machine import RunResult
+from repro.machine.traps import ConsoleLimitExceeded, MemoryTrap
+from repro.swifi import (
+    Action,
+    Arithmetic,
+    CampaignError,
+    CampaignResult,
+    CampaignRunner,
+    FailureMode,
+    FaultSpec,
+    InputCase,
+    MODE_ORDER,
+    OpcodeFetch,
+    RunRecord,
+    StoreValue,
+    classify,
+)
+
+SOURCE = """
+int in_x;
+void main() {
+    int doubled = in_x * 2;
+    print_int(doubled);
+    exit(0);
+}
+"""
+
+
+def make_result(status, console=b"", trap=None, exit_code=0):
+    return RunResult(
+        status=status, exit_code=exit_code, trap=trap,
+        instructions=10, console=console,
+    )
+
+
+class TestClassify:
+    def test_correct(self):
+        assert classify(make_result("exited", b"42"), b"42") is FailureMode.CORRECT
+
+    def test_incorrect_output(self):
+        assert classify(make_result("exited", b"41"), b"42") is FailureMode.INCORRECT
+
+    def test_hang(self):
+        assert classify(make_result("hung"), b"") is FailureMode.HANG
+
+    def test_crash(self):
+        trap = MemoryTrap("boom")
+        assert classify(make_result("trapped", trap=trap), b"") is FailureMode.CRASH
+
+    def test_console_overflow_counts_as_hang(self):
+        trap = ConsoleLimitExceeded("spew")
+        assert classify(make_result("trapped", trap=trap), b"") is FailureMode.HANG
+
+    def test_mode_order_covers_all(self):
+        assert set(MODE_ORDER) == set(FailureMode)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    compiled = compile_source(SOURCE, "double")
+    cases = [
+        InputCase("a", {"in_x": 3}, b"6"),
+        InputCase("b", {"in_x": -5}, b"-10"),
+    ]
+    return CampaignRunner(compiled, cases)
+
+
+def make_fault(runner_fixture, delta=1, fault_id="f1"):
+    compiled = runner_fixture.compiled
+    site = compiled.debug.assignments[0]
+    return FaultSpec(
+        fault_id, OpcodeFetch(site.address),
+        (Action(StoreValue(), Arithmetic(delta)),),
+    ).with_metadata(klass="assignment", error_type="value+1")
+
+
+class TestCampaignRunner:
+    def test_calibration_records_budgets(self, runner):
+        runner.calibrate()
+        assert set(runner.budgets) == {"a", "b"}
+        assert all(budget >= runner.min_budget for budget in runner.budgets.values())
+
+    def test_calibration_rejects_wrong_oracle(self):
+        compiled = compile_source(SOURCE, "double")
+        bad_cases = [InputCase("bad", {"in_x": 1}, b"3")]
+        with pytest.raises(CampaignError):
+            CampaignRunner(compiled, bad_cases).calibrate()
+
+    def test_clean_run_is_correct(self, runner):
+        record = runner.run_one(None, runner.cases[0])
+        assert record.mode is FailureMode.CORRECT
+        assert record.fault_id == "none"
+
+    def test_fault_changes_outcome(self, runner):
+        record = runner.run_one(make_fault(runner), runner.cases[0])
+        assert record.mode is FailureMode.INCORRECT
+        assert record.injections >= 1
+
+    def test_full_matrix(self, runner):
+        result = runner.run([make_fault(runner, 1, "f1"), make_fault(runner, 2, "f2")])
+        assert result.total_runs == 4
+        assert all(r.mode is FailureMode.INCORRECT for r in result.records)
+
+    def test_no_cases_rejected(self, runner):
+        with pytest.raises(ValueError):
+            CampaignRunner(runner.compiled, [])
+
+
+class TestCampaignResult:
+    def _result(self):
+        records = [
+            RunRecord("f", "a", FailureMode.CORRECT, "exited", 0, None, 1, 0, 10,
+                      (("error_type", "value+1"),)),
+            RunRecord("f", "b", FailureMode.INCORRECT, "exited", 0, None, 2, 2, 10,
+                      (("error_type", "value+1"),)),
+            RunRecord("g", "a", FailureMode.CRASH, "trapped", None, "memory-fault",
+                      1, 1, 5, (("error_type", "random"),)),
+            RunRecord("g", "b", FailureMode.HANG, "hung", None, None, 3, 3, 99,
+                      (("error_type", "random"),)),
+        ]
+        result = CampaignResult(program="p")
+        result.records = records
+        return result
+
+    def test_tally_partitions_runs(self):
+        result = self._result()
+        assert sum(result.tally().values()) == result.total_runs
+
+    def test_percentages_sum_to_100(self):
+        result = self._result()
+        assert sum(result.percentages().values()) == pytest.approx(100.0)
+
+    def test_by_metadata_groups(self):
+        result = self._result()
+        groups = result.by_metadata("error_type")
+        assert set(groups) == {"value+1", "random"}
+        assert len(groups["value+1"]) == 2
+
+    def test_dormant_fraction(self):
+        result = self._result()
+        assert result.dormant_fraction() == pytest.approx(0.25)
+
+    def test_merge(self):
+        result = self._result()
+        merged = result.merge(result)
+        assert merged.total_runs == 8
+
+    def test_json_roundtrip(self, tmp_path):
+        result = self._result()
+        path = tmp_path / "campaign.json"
+        result.to_json(str(path))
+        loaded = CampaignResult.from_json(str(path))
+        assert loaded.program == "p"
+        assert loaded.records == result.records

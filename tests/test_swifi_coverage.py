@@ -1,0 +1,85 @@
+"""Tests for the fault-site coverage instrumentation."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.machine import boot
+from repro.swifi import CoverageSession
+
+SOURCE = """
+int in_mode;
+
+int rare_path(int x) {
+    int y = x * 2;
+    return y + 1;
+}
+
+void main() {
+    int i;
+    int total = 0;
+    for (i = 0; i < 4; i++) {
+        total += i;
+    }
+    if (in_mode == 77) {
+        total = rare_path(total);
+    }
+    print_int(total);
+    exit(0);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_source(SOURCE, "coverage-target")
+
+
+class TestCoverage:
+    def test_instrumentation_does_not_perturb(self, compiled):
+        clean = boot(compiled.executable, inputs={"in_mode": 0}).run()
+        machine = boot(compiled.executable, inputs={"in_mode": 0})
+        result, report = CoverageSession(compiled).attach_and_run(machine)
+        assert result.status == "exited"
+        assert result.console == clean.console
+
+    def test_partial_coverage_without_rare_path(self, compiled):
+        machine = boot(compiled.executable, inputs={"in_mode": 0})
+        _, report = CoverageSession(compiled).attach_and_run(machine)
+        assert 0.0 < report.coverage < 1.0
+        uncovered_functions = {p.function for p in report.uncovered()}
+        assert "rare_path" in uncovered_functions
+
+    def test_full_coverage_with_rare_path(self, compiled):
+        machine = boot(compiled.executable, inputs={"in_mode": 77})
+        _, report = CoverageSession(compiled).attach_and_run(machine)
+        assert report.coverage == 1.0
+        assert report.uncovered() == []
+
+    def test_counts_reflect_loop_iterations(self, compiled):
+        machine = boot(compiled.executable, inputs={"in_mode": 0})
+        _, report = CoverageSession(compiled).attach_and_run(machine)
+        loop_counts = [
+            report.counts[p.address]
+            for p in report.points
+            if p.function == "main" and p.kind == "assignment"
+        ]
+        assert max(loop_counts) >= 4  # the loop-body store ran per iteration
+
+    def test_hot_spots_sorted(self, compiled):
+        machine = boot(compiled.executable, inputs={"in_mode": 0})
+        _, report = CoverageSession(compiled).attach_and_run(machine)
+        hot = report.hot_spots(top=3)
+        counts = [count for _, count in hot]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_render(self, compiled):
+        machine = boot(compiled.executable, inputs={"in_mode": 0})
+        _, report = CoverageSession(compiled).attach_and_run(machine)
+        text = report.render()
+        assert "fault-site coverage" in text
+        assert "never executed" in text
+
+    def test_instrumentation_is_intrusive(self, compiled):
+        machine = boot(compiled.executable, inputs={"in_mode": 0})
+        CoverageSession(compiled).attach(machine)
+        assert machine.debug.intrusive  # trap insertion rewrites the image

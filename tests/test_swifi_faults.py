@@ -1,0 +1,104 @@
+"""Unit tests for the fault model (What / Where / Which / When)."""
+
+import random
+
+import pytest
+
+from repro.swifi import (
+    Action,
+    Arithmetic,
+    BitAnd,
+    BitFlip,
+    BitOr,
+    FaultSpec,
+    FetchedWord,
+    OpcodeFetch,
+    PatchField,
+    SetValue,
+    WhenPolicy,
+    random_word,
+)
+
+
+class TestCorruptions:
+    def test_bit_flip(self):
+        assert BitFlip(0xFF).apply(0x0F0F) == 0x0FF0
+
+    def test_bit_and(self):
+        assert BitAnd(0x00FF).apply(0xABCD) == 0x00CD
+
+    def test_bit_or(self):
+        assert BitOr(0xF000).apply(0x0ABC) == 0xFABC
+
+    def test_arithmetic_wraps(self):
+        assert Arithmetic(1).apply(0xFFFFFFFF) == 0
+        assert Arithmetic(-1).apply(0) == 0xFFFFFFFF
+
+    def test_set_value(self):
+        assert SetValue(42).apply(999) == 42
+
+    def test_patch_field(self):
+        # Replace bits [21:26) — the bc condition field.
+        patch = PatchField(21, 5, 0b00011)
+        word = 0xFFFFFFFF
+        assert (patch.apply(word) >> 21) & 31 == 3
+        assert patch.apply(word) & 0x1FFFFF == 0x1FFFFF
+
+    def test_random_word_is_seeded(self):
+        assert random_word(random.Random(7)).value == random_word(random.Random(7)).value
+
+    def test_describe_strings(self):
+        for corruption in (BitFlip(1), BitAnd(1), BitOr(1), Arithmetic(2),
+                           SetValue(3), PatchField(0, 4, 5)):
+            assert isinstance(corruption.describe(), str)
+
+
+class TestWhenPolicy:
+    def test_every(self):
+        policy = WhenPolicy.every()
+        assert all(policy.fires(a) for a in range(1, 10))
+
+    def test_once(self):
+        policy = WhenPolicy.once()
+        assert policy.fires(1)
+        assert not policy.fires(2)
+
+    def test_nth(self):
+        policy = WhenPolicy.nth(5)
+        assert not policy.fires(4)
+        assert policy.fires(5)
+        assert not policy.fires(6)
+
+    def test_before_start_never_fires(self):
+        assert not WhenPolicy(start=3).fires(2)
+
+
+class TestFaultSpec:
+    def _spec(self, **kwargs):
+        defaults = dict(
+            fault_id="f",
+            trigger=OpcodeFetch(0x1000),
+            actions=(Action(FetchedWord(), SetValue(0)),),
+        )
+        defaults.update(kwargs)
+        return FaultSpec(**defaults)
+
+    def test_requires_actions(self):
+        with pytest.raises(ValueError):
+            self._spec(actions=())
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            self._spec(mode="hardware")
+
+    def test_metadata_roundtrip(self):
+        spec = self._spec().with_metadata(program="P", klass="checking")
+        assert spec.meta == {"program": "P", "klass": "checking"}
+
+    def test_with_metadata_merges(self):
+        spec = self._spec().with_metadata(a=1).with_metadata(b=2)
+        assert spec.meta == {"a": 1, "b": 2}
+
+    def test_describe(self):
+        text = self._spec().describe()
+        assert "OpcodeFetch" in text and "f:" in text

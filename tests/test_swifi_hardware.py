@@ -1,0 +1,111 @@
+"""Tests for the random hardware-fault generator (the A3 ablation input)."""
+
+import random
+
+import pytest
+
+from repro.lang import compile_source
+from repro.machine import boot
+from repro.swifi import (
+    HW_CLASSES,
+    HardwareFaultModel,
+    InjectionSession,
+    generate_hardware_fault,
+    generate_hardware_fault_set,
+)
+
+SOURCE = """
+int data[16];
+void main() {
+    int i;
+    int sum = 0;
+    for (i = 0; i < 16; i++) {
+        data[i] = i * 3;
+        sum += data[i];
+    }
+    print_int(sum);
+    exit(0);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_source(SOURCE, "hw-target")
+
+
+class TestGeneration:
+    def test_set_size_and_unique_ids(self, compiled):
+        faults = generate_hardware_fault_set(compiled, 20, random.Random(1))
+        assert len(faults) == 20
+        assert len({f.fault_id for f in faults}) == 20
+
+    def test_deterministic_under_seed(self, compiled):
+        first = generate_hardware_fault_set(compiled, 10, random.Random(5))
+        second = generate_hardware_fault_set(compiled, 10, random.Random(5))
+        assert [f.describe() for f in first] == [f.describe() for f in second]
+
+    def test_all_classes_appear(self, compiled):
+        faults = generate_hardware_fault_set(compiled, 60, random.Random(2))
+        classes = {f.meta["error_type"] for f in faults}
+        assert classes == set(HW_CLASSES)
+
+    def test_metadata_marks_hardware(self, compiled):
+        fault = generate_hardware_fault(compiled, random.Random(3))
+        assert fault.meta["klass"] == "hardware"
+        assert fault.meta["bits"] in (1, 2)
+
+    def test_bit_budget_respected(self, compiled):
+        model = HardwareFaultModel(max_bits=1)
+        faults = generate_hardware_fault_set(compiled, 30, random.Random(4), model)
+        assert all(f.meta["bits"] == 1 for f in faults)
+
+    def test_register_faults_never_touch_r0(self, compiled):
+        from repro.swifi.faults import RegisterTarget
+
+        faults = generate_hardware_fault_set(compiled, 80, random.Random(6))
+        for fault in faults:
+            for action in fault.actions:
+                if isinstance(action.location, RegisterTarget):
+                    assert action.location.index != 0
+
+
+class TestExecution:
+    def test_every_fault_runs_to_an_outcome(self, compiled):
+        faults = generate_hardware_fault_set(compiled, 25, random.Random(7))
+        statuses = set()
+        for fault in faults:
+            machine = boot(compiled.executable)
+            session = InjectionSession(machine)
+            session.arm(fault)
+            result = session.run(max_instructions=100_000)
+            statuses.add(result.status)
+            assert result.status in ("exited", "hung", "trapped")
+        # A random population produces more than one kind of ending.
+        assert len(statuses) >= 2
+
+    def test_code_corruption_can_crash(self, compiled):
+        # Zeroing an executed instruction word produces an illegal opcode.
+        from repro.swifi.faults import (
+            Action,
+            BitAnd,
+            CodeWord,
+            FaultSpec,
+            Temporal,
+            WhenPolicy,
+        )
+
+        # Zero an instruction inside the loop so it is re-fetched after
+        # the corruption lands (the all-zero word is an illegal opcode).
+        loop_store = compiled.debug.assignments[-1].address
+        spec = FaultSpec(
+            "hw-zero",
+            Temporal(50),
+            (Action(CodeWord(loop_store), BitAnd(0)),),
+            when=WhenPolicy.once(),
+        )
+        machine = boot(compiled.executable)
+        session = InjectionSession(machine)
+        session.arm(spec)
+        result = session.run(max_instructions=100_000)
+        assert result.status == "trapped"

@@ -1,0 +1,308 @@
+"""Tests for the injection engine: triggers, modes, corruptions, counts."""
+
+import pytest
+
+from repro.isa import NOP_WORD, assemble_text, ins
+from repro.machine import Executable, boot
+from repro.swifi import (
+    Action,
+    Arithmetic,
+    BitFlip,
+    CodeWord,
+    DataAccess,
+    DebugResourceError,
+    FaultSpec,
+    FetchedWord,
+    InjectionError,
+    InjectionSession,
+    LoadValue,
+    MemoryWord,
+    OpcodeFetch,
+    RegisterTarget,
+    SetValue,
+    StoreValue,
+    Temporal,
+    WhenPolicy,
+)
+
+# r3 counts iterations: 5 rounds of +1 then exit with r3.
+LOOP = """
+start:
+    addi r3, r0, 0
+    addi r4, r0, 5
+loop:
+    addi r3, r3, 1
+    cmp r3, r4
+    bc lt, loop
+    sc 0
+"""
+
+
+def make_machine(source: str = LOOP, data: bytes = b""):
+    program = assemble_text(source, base=0x1000)
+    executable = Executable(
+        code=program.code, entry=0x1000, data=data, symbols=program.symbols
+    )
+    return boot(executable), program
+
+
+class TestOpcodeFetchTrigger:
+    def test_activation_counting(self):
+        machine, program = make_machine()
+        session = InjectionSession(machine)
+        increment = program.symbols["loop"]
+        spec = FaultSpec(
+            "count", OpcodeFetch(increment),
+            (Action(FetchedWord(), SetValue(ins.addi(3, 3, 1).encode())),),
+        )
+        session.arm(spec)
+        result = session.run()
+        assert result.status == "exited"
+        assert session.activation_count("count") == 5
+        assert session.injection_count("count") == 5
+
+    def test_fetched_word_substitution_changes_behavior(self):
+        machine, program = make_machine()
+        session = InjectionSession(machine)
+        spec = FaultSpec(
+            "sub", OpcodeFetch(program.symbols["loop"]),
+            (Action(FetchedWord(), SetValue(ins.addi(3, 3, 2).encode())),),
+        )
+        session.arm(spec)
+        result = session.run()
+        assert result.exit_code == 6  # increments of 2 overshoot the limit
+
+    def test_substitution_is_transient(self):
+        machine, program = make_machine()
+        session = InjectionSession(machine)
+        spec = FaultSpec(
+            "once", OpcodeFetch(program.symbols["loop"]),
+            (Action(FetchedWord(), SetValue(NOP_WORD)),),
+            when=WhenPolicy.once(),
+        )
+        session.arm(spec)
+        result = session.run()
+        # First increment skipped; memory unchanged so later ones execute.
+        assert result.exit_code == 5
+        assert machine.debug_read_code(program.symbols["loop"]) == ins.addi(3, 3, 1).encode()
+
+    def test_code_word_corruption_is_persistent(self):
+        machine, program = make_machine()
+        session = InjectionSession(machine)
+        target = program.symbols["loop"]
+        spec = FaultSpec(
+            "patch", OpcodeFetch(target),
+            (Action(CodeWord(target), SetValue(NOP_WORD)),),
+            when=WhenPolicy.once(),
+        )
+        session.arm(spec)
+        result = session.run(max_instructions=2000)
+        # Increment NOPed in memory: loop never terminates.
+        assert result.status == "hung"
+        assert machine.debug_read_code(target) == NOP_WORD
+
+    def test_register_corruption(self):
+        machine, program = make_machine()
+        session = InjectionSession(machine)
+        spec = FaultSpec(
+            "reg", OpcodeFetch(program.symbols["loop"]),
+            (Action(RegisterTarget(4), SetValue(2)),),
+            when=WhenPolicy.once(),
+        )
+        session.arm(spec)
+        result = session.run()
+        assert result.exit_code == 2  # loop limit lowered to 2
+
+    def test_register_zero_stays_zero(self):
+        machine, program = make_machine()
+        session = InjectionSession(machine)
+        spec = FaultSpec(
+            "r0", OpcodeFetch(program.symbols["loop"]),
+            (Action(RegisterTarget(0), SetValue(123)),),
+        )
+        session.arm(spec)
+        session.run()
+        assert machine.cores[0].regs[0] == 0
+
+    def test_when_nth(self):
+        machine, program = make_machine()
+        session = InjectionSession(machine)
+        spec = FaultSpec(
+            "nth", OpcodeFetch(program.symbols["loop"]),
+            (Action(FetchedWord(), SetValue(NOP_WORD)),),
+            when=WhenPolicy.nth(3),
+        )
+        session.arm(spec)
+        result = session.run()
+        assert result.exit_code == 5
+        assert session.injection_count("nth") == 1
+        assert session.activation_count("nth") == 6  # one extra iteration
+
+
+STORE_PROGRAM = """
+start:
+    addi r3, r0, 7
+    addis r5, r0, 16
+    stw r3, 0(r5)
+    lwz r3, 0(r5)
+    sc 0
+"""
+
+
+class TestOperandCorruptions:
+    def test_store_value_transform(self):
+        machine, program = make_machine(STORE_PROGRAM, data=b"\x00" * 8)
+        session = InjectionSession(machine)
+        store_address = 0x1000 + 8  # the stw
+        spec = FaultSpec(
+            "sv", OpcodeFetch(store_address),
+            (Action(StoreValue(), Arithmetic(10)),),
+        )
+        session.arm(spec)
+        result = session.run()
+        assert result.exit_code == 17
+
+    def test_load_value_transform(self):
+        machine, program = make_machine(STORE_PROGRAM, data=b"\x00" * 8)
+        session = InjectionSession(machine)
+        load_address = 0x1000 + 12  # the lwz
+        spec = FaultSpec(
+            "lv", OpcodeFetch(load_address),
+            (Action(LoadValue(), BitFlip(0x1)),),
+        )
+        session.arm(spec)
+        result = session.run()
+        assert result.exit_code == 6  # 7 ^ 1
+
+    def test_data_access_trigger_on_load(self):
+        machine, program = make_machine(STORE_PROGRAM, data=b"\x00" * 8)
+        session = InjectionSession(machine)
+        from repro.machine import DATA_BASE
+
+        spec = FaultSpec(
+            "da", DataAccess(DATA_BASE, on_load=True),
+            (Action(LoadValue(), SetValue(99)),),
+        )
+        session.arm(spec)
+        result = session.run()
+        assert result.exit_code == 99
+        assert session.injection_count("da") == 1
+
+    def test_data_access_rejects_fetch_corruption(self):
+        machine, _ = make_machine()
+        session = InjectionSession(machine)
+        spec = FaultSpec(
+            "bad", DataAccess(0x4000),
+            (Action(FetchedWord(), SetValue(0)),),
+        )
+        with pytest.raises(InjectionError):
+            session.arm(spec)
+
+
+class TestBreakpointResources:
+    def test_two_breakpoints_allowed(self):
+        machine, program = make_machine()
+        session = InjectionSession(machine)
+        for index, address in enumerate((0x1000, 0x1004)):
+            session.arm(FaultSpec(
+                f"bp{index}", OpcodeFetch(address),
+                (Action(FetchedWord(), SetValue(NOP_WORD)),),
+                when=WhenPolicy.nth(10_000),
+            ))
+        assert machine.debug.iabr_in_use == 2
+
+    def test_third_breakpoint_exhausts_hardware(self):
+        machine, _ = make_machine()
+        session = InjectionSession(machine)
+        for index, address in enumerate((0x1000, 0x1004)):
+            session.arm(FaultSpec(
+                f"bp{index}", OpcodeFetch(address),
+                (Action(FetchedWord(), SetValue(NOP_WORD)),),
+            ))
+        with pytest.raises(DebugResourceError):
+            session.arm(FaultSpec(
+                "bp2", OpcodeFetch(0x1008),
+                (Action(FetchedWord(), SetValue(NOP_WORD)),),
+            ))
+
+    def test_trap_mode_is_unlimited_but_intrusive(self):
+        machine, program = make_machine()
+        session = InjectionSession(machine)
+        for index, address in enumerate((0x1000, 0x1004, 0x1008)):
+            session.arm(FaultSpec(
+                f"tp{index}", OpcodeFetch(address),
+                (Action(FetchedWord(), SetValue(NOP_WORD)),),
+                when=WhenPolicy.nth(10_000),
+                mode="trap",
+            ))
+        assert machine.debug.intrusive
+        result = session.run()
+        assert result.status == "exited"
+        assert result.exit_code == 5  # traps transparent when fault dormant
+
+
+class TestTemporalTrigger:
+    def test_temporal_register_corruption(self):
+        machine, _ = make_machine()
+        session = InjectionSession(machine)
+        spec = FaultSpec(
+            "t", Temporal(4),
+            (Action(RegisterTarget(4), SetValue(1)),),
+        )
+        session.arm(spec)
+        result = session.run()
+        assert result.status == "exited"
+        assert session.injection_count("t") == 1
+        assert result.exit_code < 5
+
+    def test_temporal_memory_corruption(self):
+        machine, program = make_machine()
+        session = InjectionSession(machine)
+        target = program.symbols["loop"]
+        spec = FaultSpec(
+            "tm", Temporal(3),
+            (Action(MemoryWord(target), SetValue(NOP_WORD)),),
+        )
+        session.arm(spec)
+        result = session.run(max_instructions=500)
+        assert result.status == "hung"
+
+    def test_temporal_rejects_fetch_corruption(self):
+        machine, _ = make_machine()
+        session = InjectionSession(machine)
+        spec = FaultSpec(
+            "tf", Temporal(5),
+            (Action(FetchedWord(), SetValue(0)),),
+        )
+        with pytest.raises(InjectionError):
+            session.arm(spec)
+
+    def test_temporal_after_exit_is_dormant(self):
+        machine, _ = make_machine()
+        session = InjectionSession(machine)
+        spec = FaultSpec(
+            "late", Temporal(10_000),
+            (Action(RegisterTarget(3), SetValue(0)),),
+        )
+        session.arm(spec)
+        result = session.run()
+        assert result.status == "exited"
+        assert session.injection_count("late") == 0
+
+
+class TestCompoundActions:
+    def test_multiple_actions_one_trigger(self):
+        machine, program = make_machine()
+        session = InjectionSession(machine)
+        loop = program.symbols["loop"]
+        spec = FaultSpec(
+            "multi", OpcodeFetch(loop),
+            (
+                Action(RegisterTarget(4), SetValue(3)),
+                Action(FetchedWord(), SetValue(ins.addi(3, 3, 1).encode())),
+            ),
+            when=WhenPolicy.once(),
+        )
+        session.arm(spec)
+        result = session.run()
+        assert result.exit_code == 3

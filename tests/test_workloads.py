@@ -1,0 +1,280 @@
+"""Tests for the workload programs, oracles and the fault catalogue.
+
+Camelot runs cost about a second each on the simulator, so compiled-run
+checks are kept to a handful of inputs per program; the oracles themselves
+are validated more heavily in pure Python.
+"""
+
+import random
+
+import pytest
+
+from repro.machine import boot
+from repro.odc import DefectType
+from repro.workloads import (
+    REAL_FAULTS,
+    TABLE1_ORDER,
+    TABLE2_ORDER,
+    all_workloads,
+    camelot,
+    get_workload,
+    jamesb,
+    real_faults,
+    sor,
+    table1_workloads,
+    table2_workloads,
+)
+
+
+class TestCamelotOracle:
+    def test_no_knights_is_zero(self):
+        assert camelot.solve(3, 3, []) == 0
+
+    def test_knight_on_king_square(self):
+        assert camelot.solve(0, 0, [(0, 0)]) == 0
+
+    def test_single_adjacent_knight(self):
+        # Knight at (1,2) is one knight-move from (0,0): picking the king
+        # up at the king's square and gathering there costs 1.
+        assert camelot.solve(0, 0, [(1, 2)]) == 1
+
+    def test_answer_symmetry(self):
+        rng = random.Random(4)
+        for _ in range(20):
+            kx, ky = rng.randrange(8), rng.randrange(8)
+            knights = [(rng.randrange(8), rng.randrange(8)) for _ in range(3)]
+            mirrored = [(7 - x, y) for x, y in knights]
+            assert camelot.solve(kx, ky, knights) == camelot.solve(7 - kx, ky, mirrored)
+
+    def test_extra_knight_never_decreases_cost(self):
+        rng = random.Random(9)
+        for _ in range(10):
+            kx, ky = rng.randrange(8), rng.randrange(8)
+            knights = [(rng.randrange(8), rng.randrange(8)) for _ in range(2)]
+            extra = knights + [(rng.randrange(8), rng.randrange(8))]
+            assert camelot.solve(kx, ky, extra) >= camelot.solve(kx, ky, knights)
+
+    def test_knight_distance_table_properties(self):
+        table = camelot.knight_distance_table()
+        assert all(table[s][s] == 0 for s in range(64))
+        assert max(max(row) for row in table) == 6
+        for a in range(0, 64, 7):
+            for b in range(0, 64, 11):
+                assert table[a][b] == table[b][a]
+
+    def test_generate_pokes_bounds(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            pokes = camelot.generate_pokes(rng)
+            assert 1 <= pokes["in_n"] <= camelot.MAX_KNIGHTS
+            assert 0 <= pokes["in_kx"] < 8 and 0 <= pokes["in_ky"] < 8
+            assert len(pokes["in_nx"]) == 64
+
+    def test_oracle_output_format(self):
+        pokes = {"in_n": 1, "in_kx": 0, "in_ky": 0, "in_nx": [1] + [0] * 63,
+                 "in_ny": [2] + [0] * 63}
+        assert camelot.oracle(pokes) == b"1\n"
+
+
+class TestJamesBOracle:
+    def test_encode_is_shift_cipher(self):
+        assert jamesb.encode(0, b"!") == b"!"
+        assert jamesb.encode(1, b"!") == b'"'
+
+    def test_encode_wraps(self):
+        assert jamesb.encode(94, b"~") == b"}"  # (94 + 94) % 95 = 93
+
+    def test_position_dependence(self):
+        coded = jamesb.encode(0, b"AA")
+        assert coded[0] != coded[1]
+
+    def test_output_printable(self):
+        rng = random.Random(1)
+        for _ in range(30):
+            pokes = jamesb.generate_pokes(rng)
+            coded = jamesb.encode(pokes["in_seed"], pokes["in_str"].rstrip(b"\x00"))
+            assert all(32 <= c <= 126 for c in coded)
+
+    def test_checksum_wraps_to_signed(self):
+        value = jamesb.checksum(b"~" * 80)
+        assert -0x80000000 <= value <= 0x7FFFFFFF
+
+    def test_length_distribution_tail(self):
+        rng = random.Random(7)
+        lengths = [len(jamesb.generate_pokes(rng)["in_str"]) - 1 for _ in range(3000)]
+        assert max(lengths) <= jamesb.MAX_LEN
+        assert sum(1 for n in lengths if n >= 14) < 200  # ~2% tail
+
+
+class TestSOROracle:
+    def test_relaxation_preserves_boundaries(self):
+        grid = sor.relax(6, 3, [9] * 6, [9] * 6, [9] * 6, [9] * 6)
+        assert grid[0] == [9] * 6
+        assert grid[5] == [9] * 6
+
+    def test_uniform_boundary_converges_to_uniform(self):
+        grid = sor.relax(6, 60, [8] * 6, [8] * 6, [8] * 6, [8] * 6)
+        interior = [grid[i][j] for i in range(1, 5) for j in range(1, 5)]
+        # truncating integer division biases the fixpoint below the
+        # boundary value, but it must stay in a narrow band under it
+        assert all(4 <= v <= 8 for v in interior)
+
+    def test_zero_iterations_leaves_interior_zero(self):
+        grid = sor.relax(5, 0, [7] * 5, [7] * 5, [7] * 5, [7] * 5)
+        assert grid[2][2] == 0
+
+    def test_oracle_row_count(self):
+        rng = random.Random(3)
+        pokes = sor.generate_pokes(rng)
+        lines = sor.oracle(pokes).splitlines()
+        # rows + columns + total + "min max" + residual
+        assert len(lines) == 2 * pokes["in_size"] + 3
+
+    def test_total_is_sum_of_rows(self):
+        rng = random.Random(5)
+        pokes = sor.generate_pokes(rng)
+        size = pokes["in_size"]
+        lines = sor.oracle(pokes).splitlines()
+        rows = [int(x) for x in lines[:size]]
+        cols = [int(x) for x in lines[size:2 * size]]
+        total = int(lines[2 * size])
+        assert total == sum(rows) == sum(cols)
+
+    def test_residual_shrinks_with_iterations(self):
+        rng = random.Random(6)
+        pokes = sor.generate_pokes(rng)
+        size = pokes["in_size"]
+        edges = (pokes["in_north"][:size], pokes["in_south"][:size],
+                 pokes["in_west"][:size], pokes["in_east"][:size])
+        early = sor.residual(sor.relax(size, 1, *edges))
+        late = sor.residual(sor.relax(size, 30, *edges))
+        assert late < early
+
+
+class TestRegistry:
+    def test_counts(self):
+        assert len(all_workloads()) == 12
+        assert len(table1_workloads()) == 7
+        assert len(table2_workloads()) == 8
+
+    def test_orders_match_paper(self):
+        assert TABLE1_ORDER[0] == "C.team1"
+        assert "SOR" in TABLE2_ORDER
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_workload("C.team99")
+
+    def test_table1_programs_have_faulty_variants(self):
+        for workload in table1_workloads():
+            assert workload.has_real_fault
+            assert workload.faulty_source != workload.source
+
+    def test_faulty_variant_differs_minimally(self):
+        import difflib
+
+        for workload in table1_workloads():
+            matcher = difflib.SequenceMatcher(
+                None,
+                workload.source.splitlines(),
+                workload.faulty_source.splitlines(),
+            )
+            changed = sum(
+                max(i2 - i1, j2 - j1)
+                for tag, i1, i2, j1, j2 in matcher.get_opcodes()
+                if tag != "equal"
+            )
+            # The fault is a localised change (the paper's notion of a
+            # defect: the change in the code needed to correct it).
+            assert 1 <= changed <= 20
+
+    def test_real_fault_catalogue(self):
+        faults = real_faults()
+        types = [fault.odc_type for fault in faults]
+        assert types.count(DefectType.ALGORITHM) == 4
+        assert types.count(DefectType.ASSIGNMENT) == 2
+        assert types.count(DefectType.CHECKING) == 1
+
+    def test_emulable_flags(self):
+        assert REAL_FAULTS["C.team1"].emulable_in_principle
+        assert REAL_FAULTS["C.team4"].emulable_in_principle
+        assert REAL_FAULTS["JB.team6"].emulable_in_principle
+        assert not REAL_FAULTS["C.team5"].emulable_in_principle
+
+    def test_sor_is_parallel(self):
+        assert get_workload("SOR").num_cores == 4
+
+    def test_make_cases_deterministic(self):
+        workload = get_workload("JB.team11")
+        first = workload.make_cases(5, seed=3)
+        second = workload.make_cases(5, seed=3)
+        assert [c.pokes for c in first] == [c.pokes for c in second]
+
+    def test_same_family_shares_test_case(self):
+        a = get_workload("C.team1").make_cases(3, seed=8)
+        b = get_workload("C.team8").make_cases(3, seed=8)
+        assert [c.pokes for c in a] == [c.pokes for c in b]
+
+
+class TestCompiledWorkloads:
+    """Each program, run against its oracle on a couple of inputs."""
+
+    @pytest.mark.parametrize("name", [w.name for w in all_workloads()])
+    def test_corrected_matches_oracle(self, name):
+        workload = get_workload(name)
+        count = 2 if workload.family == "camelot" else 5
+        for case in workload.make_cases(count, seed=101):
+            machine = boot(
+                workload.compiled().executable,
+                num_cores=workload.num_cores,
+                inputs=dict(case.pokes),
+            )
+            result = machine.run(max_instructions=100_000_000)
+            assert result.status == "exited"
+            assert result.console == case.expected
+
+    def test_jamesb_team6_fault_fires_only_at_len_80(self):
+        workload = get_workload("JB.team6")
+        faulty = workload.compiled_faulty()
+        base = bytes((33 + i % 90) for i in range(80))
+        for length in (10, 79, 80):
+            pokes = {"in_seed": 7, "in_len": length, "in_str": base[:length] + b"\x00"}
+            machine = boot(faulty.executable, inputs=pokes)
+            result = machine.run(10_000_000)
+            expected = jamesb.oracle(pokes)
+            assert result.status == "exited"
+            if length < 80:
+                assert result.console == expected
+            else:
+                assert result.console != expected
+
+    def test_jamesb_team7_fault_fires_on_long_strings(self):
+        workload = get_workload("JB.team7")
+        faulty = workload.compiled_faulty()
+        pokes = {"in_seed": 94, "in_len": 60,
+                 "in_str": b"~" * 60 + b"\x00"}
+        machine = boot(faulty.executable, inputs=pokes)
+        result = machine.run(10_000_000)
+        assert result.console != jamesb.oracle(pokes)
+
+    def test_camelot_team4_fault_changes_some_answer(self):
+        workload = get_workload("C.team4")
+        faulty = workload.compiled_faulty()
+        # A configuration (found by search against the oracle) where
+        # knight 0 is the uniquely best carrier, so skipping it changes
+        # the optimal total from 6 to 7.
+        pokes = {"in_n": 3, "in_kx": 4, "in_ky": 4,
+                 "in_nx": [6, 6, 2] + [0] * 61, "in_ny": [6, 0, 2] + [0] * 61}
+        machine = boot(faulty.executable, inputs=pokes)
+        result = machine.run(100_000_000)
+        assert result.status == "exited"
+        assert result.console != camelot.oracle(pokes)
+
+    def test_sor_runs_on_one_core_too(self):
+        workload = get_workload("SOR")
+        case = workload.make_cases(1, seed=44)[0]
+        machine = boot(workload.compiled().executable, num_cores=1,
+                       inputs=dict(case.pokes))
+        result = machine.run(100_000_000)
+        assert result.status == "exited"
+        assert result.console == case.expected

@@ -1,0 +1,59 @@
+"""Cross-implementation consistency: the contest property.
+
+All Camelot entries were "written according to a formal, clear, and
+correct problem specification" — so every corrected implementation must
+print the same answer on the same input; likewise for JamesB.  This is
+the property the paper's §5 methodology leans on when it treats the
+corrected programs as interchangeable ground truth.
+"""
+
+import pytest
+
+from repro.machine import boot
+from repro.workloads import get_workload
+
+CAMELOT_TEAMS = ("C.team1", "C.team2", "C.team3", "C.team4", "C.team5",
+                 "C.team8", "C.team9", "C.team10")
+JAMESB_TEAMS = ("JB.team6", "JB.team7", "JB.team11")
+
+
+def outputs_on_shared_case(names, seed):
+    outputs = {}
+    for name in names:
+        workload = get_workload(name)
+        case = workload.make_cases(1, seed=seed)[0]
+        machine = boot(workload.compiled().executable,
+                       num_cores=workload.num_cores, inputs=dict(case.pokes))
+        result = machine.run(100_000_000)
+        assert result.status == "exited", (name, result.status)
+        outputs[name] = result.console
+    return outputs
+
+
+class TestCrossTeamAgreement:
+    def test_all_camelot_teams_agree(self):
+        outputs = outputs_on_shared_case(CAMELOT_TEAMS, seed=321)
+        assert len(set(outputs.values())) == 1, outputs
+
+    def test_all_jamesb_teams_agree(self):
+        outputs = outputs_on_shared_case(JAMESB_TEAMS, seed=654)
+        assert len(set(outputs.values())) == 1, outputs
+
+    def test_camelot_zero_knights_edge(self):
+        pokes = {"in_n": 0, "in_kx": 4, "in_ky": 4,
+                 "in_nx": [0] * 64, "in_ny": [0] * 64}
+        for name in ("C.team1", "C.team2", "C.team9"):
+            workload = get_workload(name)
+            machine = boot(workload.compiled().executable, inputs=pokes)
+            result = machine.run(100_000_000)
+            assert result.console == b"0\n", name
+
+    def test_jamesb_single_char_edge(self):
+        pokes = {"in_seed": 0, "in_len": 1, "in_str": b"!\x00"}
+        outputs = set()
+        for name in JAMESB_TEAMS:
+            workload = get_workload(name)
+            machine = boot(workload.compiled().executable, inputs=pokes)
+            result = machine.run(10_000_000)
+            outputs.add(result.console)
+        assert outputs == {b"!\n%d\n" % (7 * 31 + ord("!"))}
