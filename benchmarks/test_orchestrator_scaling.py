@@ -1,0 +1,83 @@
+"""Serial vs parallel campaign wall-clock: the orchestrator scaling bench.
+
+Runs the same scaled-down §6 campaign (JB.team6, both fault classes)
+serially (``jobs=1``) and through the sharded worker pool (``jobs=4``),
+records both wall-clocks plus the speedup to
+``results/orchestrator_scaling.json``, and cross-checks the ISSUE's
+determinism criterion: the parallel campaign must aggregate
+bit-identically to the serial one.
+
+The ≥2× speedup assertion only applies where 4 workers can actually run
+in parallel — on fewer than 4 CPUs the bench still records the numbers
+(so a constrained CI box documents its own topology) but does not fail.
+"""
+
+import os
+import time
+
+from repro.experiments import ExperimentConfig, run_section6
+
+JOBS = 4
+SPEEDUP_FLOOR = 2.0
+
+
+def _campaign_config(bench_config: ExperimentConfig) -> ExperimentConfig:
+    # The scaled-down campaign: enough runs for the pool to amortise
+    # worker start-up, small enough to keep the bench in seconds.
+    return ExperimentConfig(
+        seed=bench_config.seed,
+        campaign_inputs=max(8, bench_config.campaign_inputs * 2),
+        location_fraction=0.8,
+        budget_factor=bench_config.budget_factor,
+    )
+
+
+def test_orchestrator_scaling(benchmark, bench_config, save_result):
+    config = _campaign_config(bench_config)
+
+    started = time.perf_counter()
+    serial = run_section6(config, programs=["JB.team6"])
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = benchmark.pedantic(
+        lambda: run_section6(config, programs=["JB.team6"], jobs=JOBS),
+        rounds=1,
+        iterations=1,
+    )
+    parallel_seconds = time.perf_counter() - started
+
+    # Determinism across jobs counts is part of the contract being timed.
+    assert parallel.total_runs == serial.total_runs
+    for klass in ("assignment", "checking"):
+        assert parallel.series_by_program(klass) == serial.series_by_program(klass)
+    for ours, theirs in zip(serial.campaigns, parallel.campaigns):
+        assert ours.records == theirs.records
+
+    cpus = os.cpu_count() or 1
+    speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else 0.0
+    data = {
+        "campaign_runs": serial.total_runs,
+        "jobs": JOBS,
+        "cpu_count": cpus,
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(speedup, 3),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "floor_enforced": cpus >= JOBS,
+    }
+    text = (
+        "Orchestrator scaling - one JB.team6 campaign, serial vs sharded pool\n"
+        f"  runs: {serial.total_runs}   cpus: {cpus}   jobs: {JOBS}\n"
+        f"  serial:   {serial_seconds:8.2f}s\n"
+        f"  parallel: {parallel_seconds:8.2f}s\n"
+        f"  speedup:  {speedup:8.2f}x (floor {SPEEDUP_FLOOR}x, "
+        f"{'enforced' if cpus >= JOBS else 'not enforced: fewer CPUs than workers'})"
+    )
+    save_result("orchestrator_scaling", text, data)
+
+    if cpus >= JOBS:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"expected >= {SPEEDUP_FLOOR}x speedup at {JOBS} workers on "
+            f"{cpus} CPUs, measured {speedup:.2f}x"
+        )

@@ -81,7 +81,19 @@ def _cmd_sec5(args):
 
 
 def _cmd_figures(args):
-    results = run_section6(_config(args), programs=args.programs)
+    from .orchestrator import CompositeSink, JsonTelemetryWriter, ProgressRenderer
+
+    sinks = [ProgressRenderer(sys.stderr)]
+    if args.telemetry_json:
+        sinks.append(JsonTelemetryWriter(args.telemetry_json))
+    results = run_section6(
+        _config(args),
+        programs=args.programs,
+        jobs=args.jobs,
+        journal_dir=args.journal_dir,
+        resume=args.resume,
+        telemetry=CompositeSink(*sinks),
+    )
     for figure in (fig7(results), fig8(results), fig9(results), fig10(results)):
         print(figure.render())
         print()
@@ -94,11 +106,11 @@ def _cmd_ablation_metrics(args):
 
 
 def _cmd_ablation_triggers(args):
-    print(run_trigger_ablation(_config(args)).render())
+    print(run_trigger_ablation(_config(args), jobs=getattr(args, "jobs", 1)).render())
 
 
 def _cmd_ablation_hardware(args):
-    print(run_hardware_comparison(_config(args)).render())
+    print(run_hardware_comparison(_config(args), jobs=getattr(args, "jobs", 1)).render())
 
 
 def _cmd_disasm(args):
@@ -197,16 +209,32 @@ def build_parser() -> argparse.ArgumentParser:
     figures = sub.add_parser("figures", parents=[shared], help="Figures 7-10 (runs the S6 campaigns)")
     figures.add_argument("--programs", nargs="*", default=None,
                          help="restrict to these Table-2 programs")
+    figures.add_argument("--jobs", type=int, default=1,
+                         help="worker processes per campaign (default 1 = serial; "
+                              "results are bit-identical at any value)")
+    figures.add_argument("--journal-dir", default=None,
+                         help="journal completed runs here so a killed campaign "
+                              "can be resumed")
+    figures.add_argument("--resume", action="store_true",
+                         help="continue from the journal in --journal-dir "
+                              "instead of re-running journaled runs")
+    figures.add_argument("--telemetry-json", default=None,
+                         help="write per-campaign telemetry snapshots "
+                              "(runs/sec, tallies, ETA) to this JSON file")
     figures.set_defaults(fn=_cmd_figures)
 
     metrics = sub.add_parser("ablation-metrics", parents=[shared], help="A1: metric-guided allocation")
     metrics.add_argument("--faults", type=int, default=100)
     metrics.set_defaults(fn=_cmd_ablation_metrics)
 
-    sub.add_parser("ablation-triggers", parents=[shared],
-                   help="A2: failure modes vs trigger When policy").set_defaults(fn=_cmd_ablation_triggers)
-    sub.add_parser("ablation-hardware", parents=[shared],
-                   help="A3: software vs random hardware faults").set_defaults(fn=_cmd_ablation_hardware)
+    triggers = sub.add_parser("ablation-triggers", parents=[shared],
+                              help="A2: failure modes vs trigger When policy")
+    triggers.add_argument("--jobs", type=int, default=1)
+    triggers.set_defaults(fn=_cmd_ablation_triggers)
+    hardware = sub.add_parser("ablation-hardware", parents=[shared],
+                              help="A3: software vs random hardware faults")
+    hardware.add_argument("--jobs", type=int, default=1)
+    hardware.set_defaults(fn=_cmd_ablation_hardware)
 
     disasm = sub.add_parser("disasm", parents=[shared], help="disassemble a workload program")
     disasm.add_argument("program", help="workload name, e.g. C.team1")

@@ -143,6 +143,7 @@ def run_trigger_ablation(
     program: str = "JB.team6",
     klass: str = ASSIGNMENT_CLASS,
     nth: int = 40,
+    jobs: int = 1,
 ) -> TriggerAblationResult:
     """Re-run one error set under different When policies."""
     config = config or ExperimentConfig()
@@ -169,7 +170,9 @@ def run_trigger_ablation(
             specs.extend(
                 locator.faults_for_location(location, rng=rng, when=when)
             )
-        outcome = runner.run(specs)
+        outcome = runner.run(
+            specs, jobs=jobs, seed=config.seed, label=f"A2:{policy_name}"
+        )
         result.policies[policy_name] = outcome.percentages()
         injected = sum(1 for record in outcome.records if record.injections > 0)
         result.activated[policy_name] = injected / len(outcome.records)
@@ -212,6 +215,7 @@ def run_hardware_comparison(
     *,
     program: str = "JB.team6",
     hardware_faults: int = 24,
+    jobs: int = 1,
 ) -> HardwareComparisonResult:
     """Run §6.3 software error sets and a random hardware population
     against the same program and inputs."""
@@ -230,7 +234,9 @@ def run_hardware_comparison(
         error_set = generate_error_set(
             compiled, klass, max_locations=config.ablation_faults, rng=rng
         )
-        outcome = runner.run(error_set.faults)
+        outcome = runner.run(
+            error_set.faults, jobs=jobs, seed=config.seed, label=f"A3:{klass}"
+        )
         result.populations[f"software:{klass}"] = outcome.percentages()
         result.dormant[f"software:{klass}"] = outcome.dormant_fraction()
 
@@ -238,7 +244,9 @@ def run_hardware_comparison(
         10_000, min(runner.golden_instructions.values())
     ))
     hardware = generate_hardware_fault_set(compiled, hardware_faults, rng, model)
-    outcome = runner.run(hardware)
+    outcome = runner.run(
+        hardware, jobs=jobs, seed=config.seed, label="A3:hardware"
+    )
     result.populations["hardware:random"] = outcome.percentages()
     result.dormant["hardware:random"] = outcome.dormant_fraction()
     return result

@@ -15,11 +15,13 @@ The aggregations match the paper's figures:
 from __future__ import annotations
 
 import json
+import os
 import random
 from dataclasses import dataclass, field
 
 from ..emulation.operators import ASSIGNMENT_CLASS, CHECKING_CLASS
 from ..emulation.rules import generate_error_set
+from ..persist import atomic_write_json
 from ..swifi.campaign import CampaignRunner, RunRecord
 from ..swifi.outcomes import MODE_ORDER, FailureMode
 from ..workloads import table2_workloads
@@ -122,8 +124,7 @@ class Section6Results:
             }
             for campaign in self.campaigns
         ]
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
+        atomic_write_json(path, payload)
 
     @staticmethod
     def from_json(path: str) -> "Section6Results":
@@ -151,8 +152,21 @@ def run_section6(
     classes: tuple[str, ...] = FAULT_CLASSES,
     strategy: str = "databus",
     progress=None,
+    jobs: int = 1,
+    journal_dir: str | None = None,
+    resume: bool = False,
+    telemetry=None,
 ) -> Section6Results:
-    """Run the §6 campaigns over the Table-2 programs."""
+    """Run the §6 campaigns over the Table-2 programs.
+
+    ``jobs`` > 1 executes each campaign through the orchestrator's worker
+    pool; results are bit-identical to ``jobs=1`` for the same config.
+    With ``journal_dir`` set, every (program, fault class) campaign
+    journals into its own subdirectory (``<dir>/<program>__<klass>/``) so
+    a killed invocation re-run with ``resume=True`` skips every journaled
+    run.  ``telemetry`` is a :class:`repro.orchestrator.TelemetrySink`
+    shared by all campaigns (each begins/finishes with its own label).
+    """
     config = config or ExperimentConfig()
     results = Section6Results()
     for workload in table2_workloads():
@@ -182,7 +196,21 @@ def run_section6(
                 chosen_locations=error_set.chosen_locations,
                 fault_count=len(error_set.faults),
             )
-            outcome = runner.run(error_set.faults, progress=progress)
+            campaign_journal = None
+            if journal_dir is not None:
+                campaign_journal = os.path.join(
+                    journal_dir, f"{workload.name}__{klass}"
+                )
+            outcome = runner.run(
+                error_set.faults,
+                progress=progress,
+                jobs=jobs,
+                journal_dir=campaign_journal,
+                resume=resume,
+                seed=config.seed,
+                telemetry=telemetry,
+                label=f"{workload.name}/{klass}",
+            )
             campaign.records = outcome.records
             results.campaigns.append(campaign)
     return results

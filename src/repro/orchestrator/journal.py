@@ -1,0 +1,188 @@
+"""The resumable campaign journal: an append-only JSONL run log.
+
+Layout of a journal directory::
+
+    <journal_dir>/
+        manifest.json   # campaign fingerprint, written atomically
+        runs.jsonl      # one line per completed run (or shard failure)
+
+The manifest pins the journal to one exact campaign — program, seed,
+fault ids, case ids, run count — so ``--resume`` can refuse to splice
+records from a different campaign into this one.  It is written through
+:func:`repro.persist.atomic_write_json`, the same helper
+:meth:`CampaignResult.to_json` uses, so a crash never leaves a truncated
+manifest.
+
+``runs.jsonl`` is append-only: each completed run is one self-contained
+JSON line, flushed as soon as the supervisor sees it.  If the campaign
+process is killed mid-append the file may end in a partial line;
+:meth:`CampaignJournal.open` tolerates exactly that (the half-written
+trailing line is dropped, the run re-executes on resume) — every other
+malformed line is an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+
+from ..persist import atomic_write_json
+from ..swifi.campaign import RunRecord
+
+MANIFEST_NAME = "manifest.json"
+RUNS_NAME = "runs.jsonl"
+JOURNAL_VERSION = 1
+
+
+class JournalError(RuntimeError):
+    """Raised for fingerprint mismatches and malformed journal files."""
+
+
+def campaign_fingerprint(
+    *,
+    program: str,
+    seed: int,
+    fault_ids: list[str],
+    case_ids: list[str],
+) -> dict:
+    """The identity of one campaign, as stored in the manifest."""
+    fault_digest = hashlib.sha256("\n".join(fault_ids).encode("utf-8")).hexdigest()
+    return {
+        "version": JOURNAL_VERSION,
+        "program": program,
+        "seed": seed,
+        "total_runs": len(fault_ids) * len(case_ids),
+        "fault_count": len(fault_ids),
+        "fault_digest": fault_digest,
+        "case_ids": list(case_ids),
+    }
+
+
+@dataclass
+class JournalState:
+    """What a (re)opened journal already knows about the campaign."""
+
+    records: dict[int, RunRecord] = field(default_factory=dict)
+    past_failures: list[dict] = field(default_factory=list)
+
+    @property
+    def completed_runs(self) -> int:
+        return len(self.records)
+
+
+class CampaignJournal:
+    """Append-only journal of completed runs for one campaign."""
+
+    def __init__(self, directory: str, fingerprint: dict) -> None:
+        self.directory = directory
+        self.fingerprint = fingerprint
+        self._handle = None
+
+    # -- opening -------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    @property
+    def runs_path(self) -> str:
+        return os.path.join(self.directory, RUNS_NAME)
+
+    def open(self, *, resume: bool) -> JournalState:
+        """Create or re-open the journal; return already-journaled state.
+
+        A fresh directory is always fine.  An existing journal is only
+        re-opened when *resume* is set (anything else silently mixing two
+        campaigns' records would be worse than an error) and only when
+        its manifest matches this campaign's fingerprint.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        state = JournalState()
+        if os.path.exists(self.manifest_path):
+            if not resume:
+                raise JournalError(
+                    f"journal {self.directory!r} already exists; pass resume=True "
+                    "to continue it or point --journal-dir at a fresh directory"
+                )
+            with open(self.manifest_path, "r", encoding="utf-8") as handle:
+                stored = json.load(handle)
+            if stored != self.fingerprint:
+                raise JournalError(
+                    f"journal {self.directory!r} was written by a different "
+                    "campaign (program/seed/fault set/case set differ); refusing "
+                    "to resume from it"
+                )
+            state = self._load_runs()
+        else:
+            atomic_write_json(self.manifest_path, self.fingerprint)
+        self._handle = open(self.runs_path, "a", encoding="utf-8")
+        return state
+
+    def _load_runs(self) -> JournalState:
+        state = JournalState()
+        if not os.path.exists(self.runs_path):
+            return state
+        with open(self.runs_path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+        lines = raw.split("\n")
+        for position, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                # Only an unterminated final line can be a crash artefact.
+                if position == len(lines) - 1 and not raw.endswith("\n"):
+                    break
+                raise JournalError(
+                    f"corrupt journal line {position + 1} in {self.runs_path!r}"
+                ) from None
+            kind = entry.get("type")
+            if kind == "run":
+                state.records[int(entry["index"])] = RunRecord.from_dict(entry["record"])
+            elif kind == "shard-failed":
+                state.past_failures.append(entry)
+            else:
+                raise JournalError(
+                    f"unknown journal entry type {kind!r} in {self.runs_path!r}"
+                )
+        return state
+
+    # -- appending -----------------------------------------------------
+
+    def _append(self, entry: dict) -> None:
+        if self._handle is None:
+            raise JournalError("journal is not open")
+        self._handle.write(json.dumps(entry) + "\n")
+        self._handle.flush()
+
+    def append_record(self, run_index: int, record: RunRecord) -> None:
+        self._append({"type": "run", "index": run_index, "record": record.to_dict()})
+
+    def append_shard_failure(
+        self, shard_id: int, run_indices: list[int], error: str
+    ) -> None:
+        self._append(
+            {
+                "type": "shard-failed",
+                "shard": shard_id,
+                "runs": list(run_indices),
+                "error": error,
+            }
+        )
+
+    def sync(self) -> None:
+        """Flush and fsync the run log (called at shard boundaries)."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self.sync()
+            finally:
+                self._handle.close()
+                self._handle = None

@@ -1,0 +1,264 @@
+"""Live campaign telemetry: progress events, rates, ETA, per-mode tallies.
+
+The worker pool feeds one event per completed run into a
+:class:`TelemetryAggregator`; the aggregator maintains the running
+campaign statistics (runs/sec over a sliding window, per-failure-mode
+tallies, ETA, retry/failure counts) and produces JSON-serialisable
+:class:`TelemetrySnapshot` objects.  Consumers implement the small
+:class:`TelemetrySink` interface:
+
+* :class:`ProgressRenderer` — the CLI's live one-line progress display
+  (written to stderr so piped stdout stays clean);
+* :class:`JsonTelemetryWriter` — collects the final snapshot of every
+  campaign and atomically writes them to a JSON file for the benchmarks.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import IO
+
+from ..persist import atomic_write_json
+from ..swifi.campaign import RunRecord
+from ..swifi.outcomes import MODE_ORDER
+
+#: Sliding window (seconds) for the instantaneous runs/sec estimate.
+RATE_WINDOW = 20.0
+
+
+@dataclass
+class TelemetrySnapshot:
+    """One JSON-serialisable view of a campaign's progress."""
+
+    label: str
+    total_runs: int
+    resumed_runs: int      # loaded from the journal, not re-executed
+    executed_runs: int     # executed by this invocation
+    failed_runs: int       # abandoned after worker retries were exhausted
+    retries: int
+    workers: int
+    elapsed_seconds: float
+    runs_per_second: float
+    eta_seconds: float | None
+    mode_tallies: dict[str, int]
+
+    @property
+    def completed_runs(self) -> int:
+        return self.resumed_runs + self.executed_runs
+
+    @property
+    def remaining_runs(self) -> int:
+        return max(0, self.total_runs - self.completed_runs - self.failed_runs)
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "total_runs": self.total_runs,
+            "resumed_runs": self.resumed_runs,
+            "executed_runs": self.executed_runs,
+            "completed_runs": self.completed_runs,
+            "failed_runs": self.failed_runs,
+            "retries": self.retries,
+            "workers": self.workers,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "runs_per_second": round(self.runs_per_second, 3),
+            "eta_seconds": None if self.eta_seconds is None else round(self.eta_seconds, 3),
+            "mode_tallies": dict(self.mode_tallies),
+        }
+
+
+class TelemetryAggregator:
+    """Consumes per-run events and maintains the campaign statistics."""
+
+    def __init__(self, *, label: str, total_runs: int, workers: int,
+                 resumed: dict[int, RunRecord] | None = None) -> None:
+        self.label = label
+        self.total_runs = total_runs
+        self.workers = workers
+        self.started = time.monotonic()
+        self.executed = 0
+        self.failed = 0
+        self.retries = 0
+        self.modes: Counter = Counter()
+        self.resumed_runs = 0
+        self._recent: list[float] = []  # completion times inside RATE_WINDOW
+        if resumed:
+            self.resumed_runs = len(resumed)
+            for record in resumed.values():
+                self.modes[record.mode.value] += 1
+
+    # -- event intake ---------------------------------------------------
+
+    def record_run(self, record: RunRecord) -> None:
+        self.executed += 1
+        self.modes[record.mode.value] += 1
+        now = time.monotonic()
+        self._recent.append(now)
+        cutoff = now - RATE_WINDOW
+        while self._recent and self._recent[0] < cutoff:
+            self._recent.pop(0)
+
+    def record_retry(self) -> None:
+        self.retries += 1
+
+    def record_failures(self, count: int) -> None:
+        self.failed += count
+
+    # -- derived numbers ------------------------------------------------
+
+    def rate(self) -> float:
+        """Runs per second over the recent window (whole run if shorter)."""
+        elapsed = time.monotonic() - self.started
+        if self.executed == 0 or elapsed <= 0:
+            return 0.0
+        if len(self._recent) >= 2 and elapsed > RATE_WINDOW:
+            span = self._recent[-1] - self._recent[0]
+            if span > 0:
+                return (len(self._recent) - 1) / span
+        return self.executed / elapsed
+
+    def snapshot(self) -> TelemetrySnapshot:
+        rate = self.rate()
+        completed = self.resumed_runs + self.executed
+        remaining = max(0, self.total_runs - completed - self.failed)
+        eta = (remaining / rate) if rate > 0 else None
+        return TelemetrySnapshot(
+            label=self.label,
+            total_runs=self.total_runs,
+            resumed_runs=self.resumed_runs,
+            executed_runs=self.executed,
+            failed_runs=self.failed,
+            retries=self.retries,
+            workers=self.workers,
+            elapsed_seconds=time.monotonic() - self.started,
+            runs_per_second=rate,
+            eta_seconds=eta,
+            mode_tallies={mode.value: self.modes.get(mode.value, 0) for mode in MODE_ORDER},
+        )
+
+
+# ---------------------------------------------------------------------------
+# Sinks
+# ---------------------------------------------------------------------------
+
+
+class TelemetrySink:
+    """Interface for progress consumers; every method is optional."""
+
+    def begin(self, snapshot: TelemetrySnapshot) -> None:  # pragma: no cover
+        pass
+
+    def update(self, snapshot: TelemetrySnapshot) -> None:  # pragma: no cover
+        pass
+
+    def finish(self, snapshot: TelemetrySnapshot) -> None:  # pragma: no cover
+        pass
+
+
+class NullSink(TelemetrySink):
+    pass
+
+
+class CompositeSink(TelemetrySink):
+    def __init__(self, *sinks: TelemetrySink) -> None:
+        self.sinks = [sink for sink in sinks if sink is not None]
+
+    def begin(self, snapshot: TelemetrySnapshot) -> None:
+        for sink in self.sinks:
+            sink.begin(snapshot)
+
+    def update(self, snapshot: TelemetrySnapshot) -> None:
+        for sink in self.sinks:
+            sink.update(snapshot)
+
+    def finish(self, snapshot: TelemetrySnapshot) -> None:
+        for sink in self.sinks:
+            sink.finish(snapshot)
+
+
+class ProgressRenderer(TelemetrySink):
+    """One-line live progress display for the CLI.
+
+    On a TTY the line is redrawn in place; otherwise a plain line is
+    printed at most every *interval* seconds, so logs stay readable.
+    """
+
+    def __init__(self, stream: IO[str] | None = None, *, interval: float = 0.5) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self._last_emit = 0.0
+        self._line_open = False
+
+    def _is_tty(self) -> bool:
+        return bool(getattr(self.stream, "isatty", lambda: False)())
+
+    def _format(self, snapshot: TelemetrySnapshot) -> str:
+        done = snapshot.completed_runs
+        percent = 100.0 * done / snapshot.total_runs if snapshot.total_runs else 100.0
+        tallies = " ".join(
+            f"{name[:4]}={count}" for name, count in snapshot.mode_tallies.items()
+        )
+        eta = "--" if snapshot.eta_seconds is None else f"{snapshot.eta_seconds:.0f}s"
+        parts = [
+            f"[{snapshot.label}]",
+            f"{done}/{snapshot.total_runs} ({percent:.0f}%)",
+            f"{snapshot.runs_per_second:.1f} runs/s",
+            f"eta {eta}",
+            tallies,
+            f"jobs={snapshot.workers}",
+        ]
+        if snapshot.resumed_runs:
+            parts.append(f"resumed={snapshot.resumed_runs}")
+        if snapshot.retries:
+            parts.append(f"retries={snapshot.retries}")
+        if snapshot.failed_runs:
+            parts.append(f"failed={snapshot.failed_runs}")
+        return "  ".join(parts)
+
+    def begin(self, snapshot: TelemetrySnapshot) -> None:
+        self._last_emit = 0.0
+        self.update(snapshot)
+
+    def update(self, snapshot: TelemetrySnapshot) -> None:
+        now = time.monotonic()
+        if now - self._last_emit < self.interval:
+            return
+        self._last_emit = now
+        line = self._format(snapshot)
+        if self._is_tty():
+            self.stream.write("\r\x1b[2K" + line)
+            self._line_open = True
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def finish(self, snapshot: TelemetrySnapshot) -> None:
+        line = self._format(snapshot)
+        if self._is_tty() and self._line_open:
+            self.stream.write("\r\x1b[2K" + line + "\n")
+            self._line_open = False
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+
+class JsonTelemetryWriter(TelemetrySink):
+    """Collects final snapshots and atomically writes them as JSON."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.snapshots: list[TelemetrySnapshot] = []
+
+    def finish(self, snapshot: TelemetrySnapshot) -> None:
+        self.snapshots.append(snapshot)
+        self.write()
+
+    def write(self) -> None:
+        atomic_write_json(
+            self.path,
+            [snapshot.to_dict() for snapshot in self.snapshots],
+            indent=2,
+        )

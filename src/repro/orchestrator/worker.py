@@ -1,0 +1,120 @@
+"""The shard worker: one fresh process per shard of injection runs.
+
+The paper reboots the target machine between injections; the serial
+campaign loop reproduces that with a fresh simulated machine per run.
+The orchestrator strengthens it the way a real farm would: every shard
+is executed by a **fresh worker process**, so not even interpreter state
+(caches, allocator, a corrupted C extension…) can leak between shards —
+and a worker that dies takes only its own shard's un-journaled runs with
+it.
+
+Everything a worker needs rides in one picklable :class:`ShardTask`; the
+worker streams one message per completed run back through the result
+queue and finishes with a ``shard-done`` marker.  The supervisor treats
+a missing marker (dead process, exceeded deadline) as a shard failure
+and retries only the runs whose messages never arrived.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+import traceback
+from dataclasses import dataclass
+
+from ..machine.loader import Executable
+from ..swifi.campaign import InputCase, execute_injection_run
+from ..swifi.faults import FaultSpec
+
+#: Message tags on the result queue.
+MSG_RUN = "run"          # (MSG_RUN, shard_id, run_index, record_dict)
+MSG_DONE = "done"        # (MSG_DONE, shard_id, attempt)
+MSG_ERROR = "error"      # (MSG_ERROR, shard_id, traceback_text)
+
+#: Exit code used by the crash-simulation hook (tests / supervision drills).
+CRASH_EXIT_CODE = 17
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's worth of work, shipped whole to a fresh process.
+
+    ``faults``/``cases`` are compacted to just the specs this shard
+    references; ``runs`` maps each serial run index to positions in those
+    tuples.  ``seed`` is the shard's private RNG stream (derived by the
+    scheduler from the campaign seed), kept separate per shard so results
+    never depend on how the campaign was partitioned.
+    """
+
+    shard_id: int
+    attempt: int
+    program: str
+    executable: Executable
+    num_cores: int
+    quantum: int
+    budgets: dict[str, int]
+    faults: tuple[FaultSpec | None, ...]
+    cases: tuple[InputCase, ...]
+    runs: tuple[tuple[int, int, int], ...]  # (run_index, fault_pos, case_pos)
+    seed: int
+    # -- supervision drill hooks (exercised by the test suite) ----------
+    crash_after_runs: int | None = None
+    crash_attempts: int = 0
+    stall_seconds: float = 0.0
+    stall_attempts: int = 0
+
+    def should_crash(self, sent: int) -> bool:
+        return (
+            self.crash_after_runs is not None
+            and self.attempt <= self.crash_attempts
+            and sent >= self.crash_after_runs
+        )
+
+    def should_stall(self) -> bool:
+        return self.stall_seconds > 0 and self.attempt <= self.stall_attempts
+
+
+def shard_worker_main(task: ShardTask, queue) -> None:
+    """Entry point of a worker process: execute the shard, stream results."""
+    rng = random.Random(task.seed)  # the shard's private stream; handed to
+    del rng                         # stochastic run components when they exist
+    sent = 0
+    try:
+        if task.should_stall():
+            time.sleep(task.stall_seconds)  # a "hung" worker for the deadline drill
+        for run_index, fault_pos, case_pos in task.runs:
+            spec = task.faults[fault_pos]
+            case = task.cases[case_pos]
+            record = execute_injection_run(
+                task.executable,
+                spec,
+                case,
+                budget=task.budgets[case.case_id],
+                num_cores=task.num_cores,
+                quantum=task.quantum,
+            )
+            queue.put((MSG_RUN, task.shard_id, run_index, record.to_dict()))
+            sent += 1
+            if task.should_crash(sent):
+                _die_abruptly(queue)
+        queue.put((MSG_DONE, task.shard_id, task.attempt))
+    except BaseException:
+        queue.put((MSG_ERROR, task.shard_id, traceback.format_exc()))
+        _drain_and_exit(queue, 1)
+        return
+    _drain_and_exit(queue, 0)
+
+
+def _drain_and_exit(queue, code: int) -> None:
+    """Flush the queue's feeder thread, then exit without cleanup races."""
+    queue.close()
+    queue.join_thread()
+    os._exit(code)
+
+
+def _die_abruptly(queue) -> None:
+    """Simulate a worker crash *after* flushing already-sent messages."""
+    queue.close()
+    queue.join_thread()
+    os._exit(CRASH_EXIT_CODE)

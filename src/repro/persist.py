@@ -1,0 +1,43 @@
+"""Crash-safe file persistence shared by results and the campaign journal.
+
+A campaign interrupted mid-write must never leave a truncated artefact
+behind: results files are replayed by ``--resume`` and by the figure
+benchmarks (``REPRO_REUSE_CAMPAIGN``), so a half-written JSON file would
+poison later runs.  Both :meth:`CampaignResult.to_json` and the
+orchestrator's journal manifest therefore go through the same helper:
+write the full payload to a temporary file *in the same directory* (so
+``os.replace`` stays on one filesystem and is atomic), fsync, then
+replace the target in one step.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write *text* to *path* so readers see either the old or the new file."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    descriptor, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str, payload: object, *, indent: int | None = None) -> None:
+    """Serialise *payload* and atomically write it to *path*."""
+    atomic_write_text(path, json.dumps(payload, indent=indent))

@@ -23,13 +23,18 @@ from __future__ import annotations
 import json
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
 from ..lang.compiler import CompiledProgram
 from ..machine.loader import boot
+from ..persist import atomic_write_json
 from .faults import FaultSpec
 from .injector import InjectionSession
 from .outcomes import MODE_ORDER, FailureMode, classify
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..machine.loader import Executable
+    from ..orchestrator.telemetry import TelemetrySink
 
 DEFAULT_BUDGET_FACTOR = 15
 DEFAULT_MIN_BUDGET = 100_000
@@ -147,8 +152,7 @@ class CampaignResult:
             "program": self.program,
             "records": [record.to_dict() for record in self.records],
         }
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
+        atomic_write_json(path, payload)
 
     @staticmethod
     def from_json(path: str) -> "CampaignResult":
@@ -157,6 +161,44 @@ class CampaignResult:
         result = CampaignResult(program=payload["program"])
         result.records = [RunRecord.from_dict(entry) for entry in payload["records"]]
         return result
+
+
+def execute_injection_run(
+    executable: "Executable",
+    spec: FaultSpec | None,
+    case: InputCase,
+    *,
+    budget: int,
+    num_cores: int = 1,
+    quantum: int = 64,
+) -> RunRecord:
+    """One injection run: fresh boot, arm, execute, classify.
+
+    This is the unit of work both the serial :class:`CampaignRunner` loop
+    and the orchestrator's worker processes execute — keeping it a plain
+    module-level function of picklable arguments is what lets a shard be
+    shipped to a fresh process (the paper's "the target system is rebooted
+    between injections" becomes "a fresh machine in a fresh worker").
+    """
+    machine = boot(executable, num_cores=num_cores, inputs=dict(case.pokes))
+    session = InjectionSession(machine)
+    if spec is not None:
+        session.arm(spec)
+    result = session.run(budget, quantum=quantum)
+    mode = classify(result, case.expected)
+    fault_id = spec.fault_id if spec is not None else "none"
+    return RunRecord(
+        fault_id=fault_id,
+        case_id=case.case_id,
+        mode=mode,
+        status=result.status,
+        exit_code=result.exit_code,
+        trap_kind=result.trap.kind if result.trap is not None else None,
+        activations=session.activation_count(fault_id),
+        injections=session.injection_count(fault_id),
+        instructions=result.instructions,
+        metadata=spec.metadata if spec is not None else (),
+    )
 
 
 class CampaignRunner:
@@ -185,73 +227,95 @@ class CampaignRunner:
 
     # ------------------------------------------------------------------
 
+    def calibrate_case(self, case: InputCase) -> None:
+        """Fault-free run of one input: oracle check + hang-budget derivation."""
+        machine = boot(
+            self.compiled.executable, num_cores=self.num_cores, inputs=dict(case.pokes)
+        )
+        result = machine.run(quantum=self.quantum)
+        if result.status != "exited":
+            raise CampaignError(
+                f"{self.compiled.name}/{case.case_id}: fault-free run did not "
+                f"exit cleanly (status={result.status})"
+            )
+        if result.console != case.expected:
+            raise CampaignError(
+                f"{self.compiled.name}/{case.case_id}: fault-free output "
+                f"{result.console[:80]!r} differs from oracle {case.expected[:80]!r}"
+            )
+        self.golden_instructions[case.case_id] = result.instructions
+        self.budgets[case.case_id] = max(
+            self.min_budget, result.instructions * self.budget_factor
+        )
+
     def calibrate(self) -> None:
         """Fault-free run per input: oracle check + hang-budget derivation."""
         for case in self.cases:
-            machine = boot(
-                self.compiled.executable, num_cores=self.num_cores, inputs=dict(case.pokes)
-            )
-            result = machine.run(quantum=self.quantum)
-            if result.status != "exited":
-                raise CampaignError(
-                    f"{self.compiled.name}/{case.case_id}: fault-free run did not "
-                    f"exit cleanly (status={result.status})"
-                )
-            if result.console != case.expected:
-                raise CampaignError(
-                    f"{self.compiled.name}/{case.case_id}: fault-free output "
-                    f"{result.console[:80]!r} differs from oracle {case.expected[:80]!r}"
-                )
-            self.golden_instructions[case.case_id] = result.instructions
-            self.budgets[case.case_id] = max(
-                self.min_budget, result.instructions * self.budget_factor
-            )
+            if case.case_id not in self.budgets:
+                self.calibrate_case(case)
 
     def _budget_for(self, case: InputCase) -> int:
         if case.case_id not in self.budgets:
-            self.calibrate()
+            self.calibrate_case(case)
         return self.budgets[case.case_id]
 
     # ------------------------------------------------------------------
 
     def run_one(self, spec: FaultSpec | None, case: InputCase) -> RunRecord:
         """One injection run: fresh boot, arm, execute, classify."""
-        machine = boot(
-            self.compiled.executable, num_cores=self.num_cores, inputs=dict(case.pokes)
-        )
-        session = InjectionSession(machine)
-        if spec is not None:
-            session.arm(spec)
-        result = session.run(self._budget_for(case), quantum=self.quantum)
-        mode = classify(result, case.expected)
-        fault_id = spec.fault_id if spec is not None else "none"
-        return RunRecord(
-            fault_id=fault_id,
-            case_id=case.case_id,
-            mode=mode,
-            status=result.status,
-            exit_code=result.exit_code,
-            trap_kind=result.trap.kind if result.trap is not None else None,
-            activations=session.activation_count(fault_id),
-            injections=session.injection_count(fault_id),
-            instructions=result.instructions,
-            metadata=spec.metadata if spec is not None else (),
+        return execute_injection_run(
+            self.compiled.executable,
+            spec,
+            case,
+            budget=self._budget_for(case),
+            num_cores=self.num_cores,
+            quantum=self.quantum,
         )
 
     def run(
         self,
         faults: list[FaultSpec],
         progress: Callable[[int, int], None] | None = None,
+        *,
+        jobs: int = 1,
+        journal_dir: str | None = None,
+        resume: bool = False,
+        seed: int = 0,
+        telemetry: "TelemetrySink | None" = None,
+        label: str | None = None,
     ) -> CampaignResult:
-        """The full campaign: every fault against every input case."""
-        self.calibrate()
-        result = CampaignResult(program=self.compiled.name)
-        total = len(faults) * len(self.cases)
-        done = 0
-        for spec in faults:
-            for case in self.cases:
-                result.records.append(self.run_one(spec, case))
-                done += 1
-                if progress is not None:
-                    progress(done, total)
-        return result
+        """The full campaign: every fault against every input case.
+
+        With the defaults (``jobs=1``, no journal) this is the classic
+        serial loop.  Any other combination delegates to the
+        :mod:`repro.orchestrator` subsystem: the (fault, case) matrix is
+        partitioned into shards, executed by fresh worker processes, and
+        journaled so an interrupted campaign can ``resume``.  Results are
+        bit-identical to the serial loop in every configuration.
+        """
+        if jobs == 1 and journal_dir is None and telemetry is None:
+            self.calibrate()
+            result = CampaignResult(program=self.compiled.name)
+            total = len(faults) * len(self.cases)
+            done = 0
+            for spec in faults:
+                for case in self.cases:
+                    result.records.append(self.run_one(spec, case))
+                    done += 1
+                    if progress is not None:
+                        progress(done, total)
+            return result
+
+        from ..orchestrator import CampaignOrchestrator, OrchestratorOptions
+
+        orchestrator = CampaignOrchestrator.from_runner(
+            self,
+            faults,
+            options=OrchestratorOptions(
+                jobs=jobs, journal_dir=journal_dir, resume=resume, seed=seed
+            ),
+            telemetry=telemetry,
+            progress=progress,
+            label=label,
+        )
+        return orchestrator.run().result
