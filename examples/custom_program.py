@@ -17,11 +17,14 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.analysis import render_stacked_bars
-from repro.emulation import CHECKING_CLASS, FaultLocator
-from repro.lang import compile_source
-from repro.machine import boot
-from repro.swifi import CampaignRunner, InputCase
+from repro.api import (
+    CHECKING_CLASS,
+    CampaignRunner,
+    FaultLocator,
+    InputCase,
+    compile_source,
+    render_stacked_bars,
+)
 
 SOURCE = """
 /* Compound interest in Q16.16 fixed point, with a sanity check table. */

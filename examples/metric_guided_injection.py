@@ -17,11 +17,15 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.emulation import ASSIGNMENT_CLASS, FaultLocator
-from repro.metrics import allocate
-from repro.experiments import run_metric_guidance
-from repro.swifi import CampaignRunner
-from repro.workloads import table2_workloads, get_workload
+from repro.api import (
+    ASSIGNMENT_CLASS,
+    CampaignRunner,
+    FaultLocator,
+    allocate,
+    get_workload,
+    run_metric_guidance,
+    table2_workloads,
+)
 
 
 def main() -> None:

@@ -18,11 +18,14 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.emulation import FaultLocator
-from repro.emulation.operators import swap_error_type
-from repro.lang import compile_source
-from repro.machine import boot
-from repro.swifi import InjectionSession, classify
+from repro.api import (
+    FaultLocator,
+    InjectionSession,
+    boot,
+    classify,
+    compile_source,
+    swap_error_type,
+)
 
 SOURCE = """
 int limit;

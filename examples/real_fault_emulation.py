@@ -20,10 +20,13 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.emulation import NotEmulableError
-from repro.machine import boot
-from repro.swifi import DebugResourceError, InjectionSession
-from repro.workloads import get_workload
+from repro.api import (
+    DebugResourceError,
+    InjectionSession,
+    NotEmulableError,
+    boot,
+    get_workload,
+)
 
 
 def compare_runs(name: str, mode: str, inputs: int = 5, seed: int = 7) -> None:

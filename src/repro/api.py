@@ -1,0 +1,206 @@
+"""repro.api — the supported public surface in one stable module.
+
+Examples, the README and downstream scripts import from here instead of
+reaching into five deep module paths; anything re-exported below is the
+API this project commits to keeping stable.  Typical session::
+
+    from repro.api import (
+        CampaignConfig, CampaignRunner, InputCase, boot, compile_source,
+    )
+
+    compiled = compile_source(source, "demo.c")
+    runner = CampaignRunner(compiled, cases)
+    result = runner.run(faults, config=CampaignConfig(jobs=4, snapshot="auto"))
+
+Grouped by layer:
+
+* **machine** — :func:`boot`, :class:`Machine`, :class:`Executable`,
+  snapshot types;
+* **lang** — :func:`compile_source`, :class:`CompiledProgram`;
+* **swifi** — the What/Where/Which/When fault model, the
+  :class:`InjectionSession` engine, outcome classification, and the
+  campaign layer (:class:`CampaignRunner`, :class:`CampaignConfig`,
+  snapshot fast-path controls);
+* **emulation** — :class:`FaultLocator` and the §6.3
+  :func:`generate_error_set` rules;
+* **experiments** — :class:`ExperimentConfig` and the per-table/figure
+  entry points;
+* **orchestrator telemetry** — the sinks accepted by
+  ``CampaignConfig(telemetry=...)``.
+"""
+
+from __future__ import annotations
+
+from .analysis import render_stacked_bars
+from .emulation import (
+    ASSIGNMENT_CLASS,
+    CHECKING_CLASS,
+    FaultLocator,
+    NotEmulableError,
+)
+from .emulation.operators import swap_error_type
+from .emulation.rules import GeneratedErrorSet, generate_both_classes, generate_error_set
+from .experiments import (
+    ExperimentConfig,
+    Section6Results,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    run_hardware_comparison,
+    run_metric_guidance,
+    run_sec5,
+    run_section6,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_trigger_ablation,
+)
+from .lang import CompiledProgram, compile_source
+from .metrics import allocate
+from .machine import (
+    Executable,
+    Machine,
+    MachineBaseline,
+    MachineSnapshot,
+    RunResult,
+    boot,
+)
+from .orchestrator import (
+    CompositeSink,
+    JsonTelemetryWriter,
+    ProgressRenderer,
+    TelemetrySink,
+)
+from .swifi import (
+    MODE_BREAKPOINT,
+    MODE_TRAP,
+    RESULT_SCHEMA_VERSION,
+    SNAPSHOT_AUTO,
+    SNAPSHOT_OFF,
+    SNAPSHOT_POLICIES,
+    SNAPSHOT_VERIFY,
+    Action,
+    Arithmetic,
+    BitAnd,
+    BitFlip,
+    BitOr,
+    CampaignConfig,
+    CampaignError,
+    CampaignResult,
+    CampaignRunner,
+    CodeWord,
+    DataAccess,
+    DebugResourceError,
+    FailureMode,
+    FaultSpec,
+    FetchedWord,
+    InjectionSession,
+    InputCase,
+    LegacyCampaignAPIWarning,
+    LoadValue,
+    MemoryWord,
+    OpcodeFetch,
+    RegisterTarget,
+    RunRecord,
+    SetValue,
+    SnapshotCache,
+    SnapshotDivergence,
+    StoreValue,
+    Temporal,
+    WhenPolicy,
+    classify,
+    probe,
+)
+from .workloads import get_workload, table2_workloads
+
+__all__ = [
+    # machine
+    "boot",
+    "Machine",
+    "Executable",
+    "RunResult",
+    "MachineBaseline",
+    "MachineSnapshot",
+    # lang
+    "compile_source",
+    "CompiledProgram",
+    # swifi fault model (What / Where / Which / When)
+    "FaultSpec",
+    "Action",
+    "WhenPolicy",
+    "OpcodeFetch",
+    "DataAccess",
+    "Temporal",
+    "BitFlip",
+    "BitAnd",
+    "BitOr",
+    "Arithmetic",
+    "SetValue",
+    "CodeWord",
+    "MemoryWord",
+    "RegisterTarget",
+    "FetchedWord",
+    "LoadValue",
+    "StoreValue",
+    "MODE_BREAKPOINT",
+    "MODE_TRAP",
+    "probe",
+    # swifi engine + outcomes
+    "InjectionSession",
+    "DebugResourceError",
+    "FailureMode",
+    "classify",
+    # campaign layer
+    "CampaignRunner",
+    "CampaignConfig",
+    "CampaignResult",
+    "CampaignError",
+    "InputCase",
+    "RunRecord",
+    "LegacyCampaignAPIWarning",
+    "RESULT_SCHEMA_VERSION",
+    "SNAPSHOT_OFF",
+    "SNAPSHOT_AUTO",
+    "SNAPSHOT_VERIFY",
+    "SNAPSHOT_POLICIES",
+    "SnapshotCache",
+    "SnapshotDivergence",
+    # emulation (Table 3 / §6.3)
+    "FaultLocator",
+    "GeneratedErrorSet",
+    "generate_error_set",
+    "generate_both_classes",
+    "ASSIGNMENT_CLASS",
+    "CHECKING_CLASS",
+    "NotEmulableError",
+    "swap_error_type",
+    # workloads
+    "get_workload",
+    "table2_workloads",
+    # experiments
+    "ExperimentConfig",
+    "Section6Results",
+    "run_section6",
+    "run_sec5",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_trigger_ablation",
+    "run_hardware_comparison",
+    "run_metric_guidance",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    # metrics + analysis helpers used throughout examples/
+    "allocate",
+    "render_stacked_bars",
+    # telemetry sinks (CampaignConfig.telemetry)
+    "TelemetrySink",
+    "ProgressRenderer",
+    "JsonTelemetryWriter",
+    "CompositeSink",
+]

@@ -93,6 +93,7 @@ def _cmd_figures(args):
         journal_dir=args.journal_dir,
         resume=args.resume,
         telemetry=CompositeSink(*sinks),
+        snapshot=args.snapshot,
     )
     for figure in (fig7(results), fig8(results), fig9(results), fig10(results)):
         print(figure.render())
@@ -106,11 +107,13 @@ def _cmd_ablation_metrics(args):
 
 
 def _cmd_ablation_triggers(args):
-    print(run_trigger_ablation(_config(args), jobs=getattr(args, "jobs", 1)).render())
+    print(run_trigger_ablation(_config(args), jobs=getattr(args, "jobs", 1),
+                               snapshot=getattr(args, "snapshot", "off")).render())
 
 
 def _cmd_ablation_hardware(args):
-    print(run_hardware_comparison(_config(args), jobs=getattr(args, "jobs", 1)).render())
+    print(run_hardware_comparison(_config(args), jobs=getattr(args, "jobs", 1),
+                                  snapshot=getattr(args, "snapshot", "off")).render())
 
 
 def _cmd_disasm(args):
@@ -221,6 +224,12 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--telemetry-json", default=None,
                          help="write per-campaign telemetry snapshots "
                               "(runs/sec, tallies, ETA) to this JSON file")
+    figures.add_argument("--snapshot", choices=("off", "auto", "verify"),
+                         default="off",
+                         help="golden-run snapshot fast path: restore at the "
+                              "trigger instead of rebooting per run (auto), "
+                              "or cross-check both paths (verify); outcomes "
+                              "are bit-identical to off")
     figures.set_defaults(fn=_cmd_figures)
 
     metrics = sub.add_parser("ablation-metrics", parents=[shared], help="A1: metric-guided allocation")
@@ -230,10 +239,14 @@ def build_parser() -> argparse.ArgumentParser:
     triggers = sub.add_parser("ablation-triggers", parents=[shared],
                               help="A2: failure modes vs trigger When policy")
     triggers.add_argument("--jobs", type=int, default=1)
+    triggers.add_argument("--snapshot", choices=("off", "auto", "verify"),
+                          default="off")
     triggers.set_defaults(fn=_cmd_ablation_triggers)
     hardware = sub.add_parser("ablation-hardware", parents=[shared],
                               help="A3: software vs random hardware faults")
     hardware.add_argument("--jobs", type=int, default=1)
+    hardware.add_argument("--snapshot", choices=("off", "auto", "verify"),
+                          default="off")
     hardware.set_defaults(fn=_cmd_ablation_hardware)
 
     disasm = sub.add_parser("disasm", parents=[shared], help="disassemble a workload program")

@@ -35,7 +35,7 @@ from ..emulation.locator import FaultLocator
 from ..emulation.operators import ASSIGNMENT_CLASS, CHECKING_CLASS
 from ..emulation.rules import generate_error_set
 from ..metrics.guidance import STRATEGIES, allocation_table
-from ..swifi.campaign import CampaignRunner
+from ..swifi.campaign import SNAPSHOT_OFF, CampaignConfig, CampaignRunner
 from ..swifi.faults import WhenPolicy
 from ..swifi.hardware import HardwareFaultModel, generate_hardware_fault_set
 from ..swifi.outcomes import MODE_ORDER, FailureMode
@@ -144,6 +144,7 @@ def run_trigger_ablation(
     klass: str = ASSIGNMENT_CLASS,
     nth: int = 40,
     jobs: int = 1,
+    snapshot: str = SNAPSHOT_OFF,
 ) -> TriggerAblationResult:
     """Re-run one error set under different When policies."""
     config = config or ExperimentConfig()
@@ -171,7 +172,11 @@ def run_trigger_ablation(
                 locator.faults_for_location(location, rng=rng, when=when)
             )
         outcome = runner.run(
-            specs, jobs=jobs, seed=config.seed, label=f"A2:{policy_name}"
+            specs,
+            config=CampaignConfig(
+                jobs=jobs, seed=config.seed, snapshot=snapshot,
+                label=f"A2:{policy_name}",
+            ),
         )
         result.policies[policy_name] = outcome.percentages()
         injected = sum(1 for record in outcome.records if record.injections > 0)
@@ -216,6 +221,7 @@ def run_hardware_comparison(
     program: str = "JB.team6",
     hardware_faults: int = 24,
     jobs: int = 1,
+    snapshot: str = SNAPSHOT_OFF,
 ) -> HardwareComparisonResult:
     """Run §6.3 software error sets and a random hardware population
     against the same program and inputs."""
@@ -235,7 +241,10 @@ def run_hardware_comparison(
             compiled, klass, max_locations=config.ablation_faults, rng=rng
         )
         outcome = runner.run(
-            error_set.faults, jobs=jobs, seed=config.seed, label=f"A3:{klass}"
+            error_set.faults,
+            config=CampaignConfig(
+                jobs=jobs, seed=config.seed, snapshot=snapshot, label=f"A3:{klass}"
+            ),
         )
         result.populations[f"software:{klass}"] = outcome.percentages()
         result.dormant[f"software:{klass}"] = outcome.dormant_fraction()
@@ -245,7 +254,10 @@ def run_hardware_comparison(
     ))
     hardware = generate_hardware_fault_set(compiled, hardware_faults, rng, model)
     outcome = runner.run(
-        hardware, jobs=jobs, seed=config.seed, label="A3:hardware"
+        hardware,
+        config=CampaignConfig(
+            jobs=jobs, seed=config.seed, snapshot=snapshot, label="A3:hardware"
+        ),
     )
     result.populations["hardware:random"] = outcome.percentages()
     result.dormant["hardware:random"] = outcome.dormant_fraction()

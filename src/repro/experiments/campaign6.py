@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from ..emulation.operators import ASSIGNMENT_CLASS, CHECKING_CLASS
 from ..emulation.rules import generate_error_set
 from ..persist import atomic_write_json
-from ..swifi.campaign import CampaignRunner, RunRecord
+from ..swifi.campaign import SNAPSHOT_OFF, CampaignConfig, CampaignRunner, RunRecord
 from ..swifi.outcomes import MODE_ORDER, FailureMode
 from ..workloads import table2_workloads
 from .config import ExperimentConfig
@@ -156,6 +156,7 @@ def run_section6(
     journal_dir: str | None = None,
     resume: bool = False,
     telemetry=None,
+    snapshot: str = SNAPSHOT_OFF,
 ) -> Section6Results:
     """Run the §6 campaigns over the Table-2 programs.
 
@@ -166,6 +167,8 @@ def run_section6(
     a killed invocation re-run with ``resume=True`` skips every journaled
     run.  ``telemetry`` is a :class:`repro.orchestrator.TelemetrySink`
     shared by all campaigns (each begins/finishes with its own label).
+    ``snapshot`` selects the golden-run restore fast path
+    (off / auto / verify); outcomes are bit-identical either way.
     """
     config = config or ExperimentConfig()
     results = Section6Results()
@@ -204,12 +207,15 @@ def run_section6(
             outcome = runner.run(
                 error_set.faults,
                 progress=progress,
-                jobs=jobs,
-                journal_dir=campaign_journal,
-                resume=resume,
-                seed=config.seed,
-                telemetry=telemetry,
-                label=f"{workload.name}/{klass}",
+                config=CampaignConfig(
+                    jobs=jobs,
+                    journal_dir=campaign_journal,
+                    resume=resume,
+                    seed=config.seed,
+                    snapshot=snapshot,
+                    telemetry=telemetry,
+                    label=f"{workload.name}/{klass}",
+                ),
             )
             campaign.records = outcome.records
             results.campaigns.append(campaign)

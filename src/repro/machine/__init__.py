@@ -28,7 +28,8 @@ from .machine import (
     Machine,
     RunResult,
 )
-from .memory import Memory, Segment
+from .memory import PAGE_SIZE, Memory, Segment
+from .snapshot import CoreState, MachineBaseline, MachineSnapshot
 from .syscalls import (
     SYS_BARRIER,
     SYS_COREID,
@@ -81,7 +82,11 @@ __all__ = [
     "Machine",
     "RunResult",
     "Memory",
+    "PAGE_SIZE",
     "Segment",
+    "CoreState",
+    "MachineBaseline",
+    "MachineSnapshot",
     "SYS_BARRIER",
     "SYS_COREID",
     "SYS_EXIT",

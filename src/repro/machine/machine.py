@@ -83,6 +83,10 @@ class Machine:
 
         self._barrier_waiting: set[int] = set()
         self.executable = None  # set by the loader
+        # Code-mirror indices rewritten through the debug port since the
+        # last snapshot baseline (lets restore repair the mirror and the
+        # decode cache without rebuilding either).
+        self._mirror_dirty: set[int] = set()
 
     # ------------------------------------------------------------------
 
@@ -127,9 +131,32 @@ class Machine:
             index = (address - self.code_base) >> 2
             self.code_words[index] = word & 0xFFFFFFFF
             self.decode_cache[index] = None
+            self._mirror_dirty.add(index)
 
     def debug_read_code(self, address: int) -> int:
         return self.memory.debug_read_word(address)
+
+    # -- checkpoint / restore (see machine/snapshot.py) -----------------
+
+    def baseline(self):
+        """Full post-boot image; the reference snapshots delta against."""
+        from .snapshot import capture_baseline
+
+        return capture_baseline(self)
+
+    def snapshot(self, baseline=None):
+        """Checkpoint the current state (sparse delta over *baseline*)."""
+        from .snapshot import capture_baseline, capture_snapshot
+
+        if baseline is None:
+            baseline = capture_baseline(self)
+        return capture_snapshot(self, baseline)
+
+    def restore(self, snapshot) -> None:
+        """Rewind to *snapshot*; disarms every debug-unit hook."""
+        from .snapshot import restore_snapshot
+
+        restore_snapshot(self, snapshot)
 
     # ------------------------------------------------------------------
 

@@ -18,6 +18,12 @@ from dataclasses import dataclass
 
 from .traps import AlignmentTrap, MemoryTrap
 
+#: Granularity of snapshot/restore (see :mod:`repro.machine.snapshot`).
+#: 64 KiB keeps the page count of the 5.25 MiB address space small enough
+#: that a restore is a handful of slice compares, while one dirtied byte
+#: never drags more than 64 KiB of copying with it.
+PAGE_SIZE = 1 << 16
+
 
 @dataclass(frozen=True)
 class Segment:
@@ -44,6 +50,11 @@ class Memory:
         self.size = size
         self.data = bytearray(size)
         self.segments: list[Segment] = []
+        # Pages touched through the debug port since the last snapshot
+        # baseline.  Debug writes may land outside any segment (e.g. a
+        # MemoryWord corruption aimed at a gap), so segment-derived page
+        # sets alone cannot tell a restore which pages to reset.
+        self._debug_dirty_pages: set[int] = set()
 
     # -- segment management -------------------------------------------------
 
@@ -118,6 +129,10 @@ class Memory:
     def debug_write(self, address: int, payload: bytes) -> None:
         if address < 0 or address + len(payload) > self.size:
             raise ValueError(f"debug write outside physical memory: {address:#x}")
+        if payload:
+            self._debug_dirty_pages.update(
+                range(address // PAGE_SIZE, (address + len(payload) - 1) // PAGE_SIZE + 1)
+            )
         self.data[address : address + len(payload)] = payload
 
     def debug_read_word(self, address: int) -> int:
@@ -125,6 +140,46 @@ class Memory:
 
     def debug_write_word(self, address: int, value: int) -> None:
         self.debug_write(address, (value & 0xFFFFFFFF).to_bytes(4, "big"))
+
+    # -- snapshot support (page granularity) ---------------------------------
+
+    def segment_pages(self) -> list[int]:
+        """Page numbers overlapping any segment, ascending."""
+        pages: set[int] = set()
+        for segment in self.segments:
+            if segment.size:
+                pages.update(
+                    range(segment.start // PAGE_SIZE, (segment.end - 1) // PAGE_SIZE + 1)
+                )
+        return sorted(pages)
+
+    def capture_pages(self, pages: list[int]) -> dict[int, bytes]:
+        """Immutable copies of the given pages (page number → bytes)."""
+        data = self.data
+        out: dict[int, bytes] = {}
+        for page in pages:
+            start = page * PAGE_SIZE
+            out[page] = bytes(data[start : start + PAGE_SIZE])
+        return out
+
+    def restore_pages(self, pages: dict[int, bytes]) -> int:
+        """Write back captured pages, skipping those already identical.
+
+        The compare-before-copy is what makes restore copy-on-write in
+        practice: a run that dirtied two pages costs two page copies, not
+        a full image copy.  Returns the number of pages rewritten.
+        """
+        # NB: slice the bytearray rather than a memoryview — memoryview's
+        # rich-compare walks element-by-element (~25x slower than the
+        # memcmp path a bytes/bytearray compare takes).
+        data = self.data
+        rewritten = 0
+        for page, image in pages.items():
+            start = page * PAGE_SIZE
+            if data[start : start + PAGE_SIZE] != image:
+                data[start : start + PAGE_SIZE] = image
+                rewritten += 1
+        return rewritten
 
     def read_cstring(self, address: int, limit: int = 4096) -> bytes:
         """Debug-port read of a NUL-terminated string (for syscalls/tests)."""

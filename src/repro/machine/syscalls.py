@@ -92,6 +92,22 @@ class HeapManager:
     def bytes_in_use(self) -> int:
         return sum(self._allocated.values())
 
+    # -- snapshot support ---------------------------------------------------
+
+    def capture(self) -> tuple:
+        """Immutable allocator state for :meth:`Machine.snapshot`."""
+        return (
+            self._cursor,
+            tuple(self._allocated.items()),
+            tuple((size, tuple(stack)) for size, stack in self._free_by_size.items()),
+        )
+
+    def restore(self, state: tuple) -> None:
+        cursor, allocated, free_by_size = state
+        self._cursor = cursor
+        self._allocated = dict(allocated)
+        self._free_by_size = {size: list(stack) for size, stack in free_by_size}
+
 
 class SyscallHandler:
     """Dispatches ``sc`` instructions against the owning machine."""

@@ -72,6 +72,7 @@ class OrchestratorOptions:
     journal_dir: str | None = None
     resume: bool = False
     seed: int = 0
+    snapshot: str = "off"                   # golden-run restore fast path
     shard_size: int | None = None
     max_retries: int = 2
     shard_deadline: float | None = None     # seconds per shard attempt
@@ -237,6 +238,20 @@ class CampaignOrchestrator:
             executed_runs=aggregator.executed,
         )
 
+    def _snapshot_cache(self):
+        """One golden-run snapshot cache for this process, or ``None``."""
+        if self.options.snapshot == "off":
+            return None
+        from ..swifi.snapshot import SnapshotCache
+
+        return SnapshotCache(
+            self.executable,
+            self.faults,
+            num_cores=self.num_cores,
+            quantum=self.quantum,
+            policy=self.options.snapshot,
+        )
+
     # -- inline (jobs=1) path ------------------------------------------
 
     def _run_inline(
@@ -246,6 +261,7 @@ class CampaignOrchestrator:
         journal: CampaignJournal | None,
         aggregator: TelemetryAggregator,
     ) -> None:
+        snapshots = self._snapshot_cache()
         for index in pending:
             spec, case = self._pair(index)
             record = execute_injection_run(
@@ -255,6 +271,7 @@ class CampaignOrchestrator:
                 budget=self.budgets[case.case_id],
                 num_cores=self.num_cores,
                 quantum=self.quantum,
+                snapshots=snapshots,
             )
             completed[index] = record
             if journal is not None:
@@ -309,6 +326,7 @@ class CampaignOrchestrator:
             cases=tuple(cases),
             runs=tuple(runs),
             seed=state.shard.seed,
+            snapshot=self.options.snapshot,
             crash_after_runs=crash_after if crash_attempts else None,
             crash_attempts=crash_attempts,
             stall_seconds=stall_seconds,

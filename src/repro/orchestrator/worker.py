@@ -58,6 +58,7 @@ class ShardTask:
     cases: tuple[InputCase, ...]
     runs: tuple[tuple[int, int, int], ...]  # (run_index, fault_pos, case_pos)
     seed: int
+    snapshot: str = "off"  # golden-run restore policy; cache built in-process
     # -- supervision drill hooks (exercised by the test suite) ----------
     crash_after_runs: int | None = None
     crash_attempts: int = 0
@@ -83,6 +84,19 @@ def shard_worker_main(task: ShardTask, queue) -> None:
     try:
         if task.should_stall():
             time.sleep(task.stall_seconds)  # a "hung" worker for the deadline drill
+        snapshots = None
+        if task.snapshot != "off":
+            # Built fresh per worker: snapshots are shared by every run of
+            # this shard but never cross a process boundary.
+            from ..swifi.snapshot import SnapshotCache
+
+            snapshots = SnapshotCache(
+                task.executable,
+                task.faults,
+                num_cores=task.num_cores,
+                quantum=task.quantum,
+                policy=task.snapshot,
+            )
         for run_index, fault_pos, case_pos in task.runs:
             spec = task.faults[fault_pos]
             case = task.cases[case_pos]
@@ -93,6 +107,7 @@ def shard_worker_main(task: ShardTask, queue) -> None:
                 budget=task.budgets[case.case_id],
                 num_cores=task.num_cores,
                 quantum=task.quantum,
+                snapshots=snapshots,
             )
             queue.put((MSG_RUN, task.shard_id, run_index, record.to_dict()))
             sent += 1

@@ -21,6 +21,7 @@ role here:
 from __future__ import annotations
 
 import json
+import warnings
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping
@@ -35,15 +36,86 @@ from .outcomes import MODE_ORDER, FailureMode, classify
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..machine.loader import Executable
     from ..orchestrator.telemetry import TelemetrySink
+    from .snapshot import SnapshotCache
 
 DEFAULT_BUDGET_FACTOR = 15
 DEFAULT_MIN_BUDGET = 100_000
+
+#: Snapshot fast-path policies (see repro/swifi/snapshot.py).
+SNAPSHOT_OFF = "off"        # fresh boot per run, as in the paper
+SNAPSHOT_AUTO = "auto"      # restore a golden-run snapshot when provably safe
+SNAPSHOT_VERIFY = "verify"  # run both paths, raise on any outcome divergence
+SNAPSHOT_POLICIES = (SNAPSHOT_OFF, SNAPSHOT_AUTO, SNAPSHOT_VERIFY)
+
+#: Version of the CampaignResult JSON schema (see CampaignResult.to_json).
+RESULT_SCHEMA_VERSION = 2
 
 PokeValue = int | list[int] | bytes
 
 
 class CampaignError(RuntimeError):
     """Raised when the fault-free program disagrees with its oracle."""
+
+
+class LegacyCampaignAPIWarning(DeprecationWarning):
+    """Campaign execution options passed as loose keyword arguments.
+
+    ``CampaignRunner.run(faults, jobs=..., journal_dir=..., ...)`` still
+    works, but the supported spelling is
+    ``CampaignRunner.run(faults, config=CampaignConfig(...))``.  Internal
+    callers must use the config form; CI promotes this warning to an
+    error outside the shim's own tests.
+    """
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that shapes *how* a campaign executes (never *what*).
+
+    One frozen value object instead of a sprawl of keyword arguments:
+
+    * ``jobs`` — worker processes (1 = the classic serial loop);
+    * ``journal_dir``/``resume`` — JSONL journal of completed runs, and
+      whether to continue from it instead of re-running;
+    * ``seed`` — campaign seed for per-shard RNG streams;
+    * ``snapshot`` — the golden-run snapshot fast path: ``"off"`` boots a
+      fresh machine per run, ``"auto"`` restores a snapshot whenever the
+      fault is provably equivalent (falling back to fresh boot for
+      temporal triggers, trap-insertion mode, multi-core machines, and
+      never-activated triggers on a non-exiting golden run), and
+      ``"verify"`` runs both paths and raises on any divergence;
+    * ``telemetry``/``label`` — live telemetry sink and display label;
+    * ``budget_factor``/``min_budget`` — override the runner's hang
+      budget calibration (``None`` keeps the runner's values).
+
+    Results are bit-identical across every combination of these options.
+    """
+
+    jobs: int = 1
+    journal_dir: str | None = None
+    resume: bool = False
+    seed: int = 0
+    snapshot: str = SNAPSHOT_OFF
+    telemetry: "TelemetrySink | None" = None
+    label: str | None = None
+    budget_factor: int | None = None
+    min_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.snapshot not in SNAPSHOT_POLICIES:
+            raise ValueError(
+                f"snapshot must be one of {SNAPSHOT_POLICIES}, got {self.snapshot!r}"
+            )
+        if self.resume and self.journal_dir is None:
+            raise ValueError("resume=True needs a journal_dir to resume from")
+
+
+#: run() keyword arguments accepted by the deprecated pre-config API.
+_LEGACY_RUN_KEYS = frozenset(
+    {"jobs", "journal_dir", "resume", "seed", "telemetry", "label"}
+)
 
 
 @dataclass(frozen=True)
@@ -75,6 +147,13 @@ class RunRecord:
         return dict(self.metadata)
 
     def to_dict(self) -> dict[str, object]:
+        """Schema-v2 payload: metadata as an ordered list of [key, value].
+
+        Metadata order is part of the fault's identity (``FaultSpec`` keeps
+        it as a tuple of pairs), so serialising through a plain JSON object
+        and re-sorting on load — the schema-v1 behaviour — silently
+        reordered it and broke record round-trip equality.
+        """
         return {
             "fault_id": self.fault_id,
             "case_id": self.case_id,
@@ -85,11 +164,16 @@ class RunRecord:
             "activations": self.activations,
             "injections": self.injections,
             "instructions": self.instructions,
-            "metadata": dict(self.metadata),
+            "metadata": [[key, value] for key, value in self.metadata],
         }
 
     @staticmethod
     def from_dict(payload: dict) -> "RunRecord":
+        raw = payload.get("metadata") or {}
+        if isinstance(raw, Mapping):  # schema v1: a JSON object, file order
+            pairs = tuple((key, value) for key, value in raw.items())
+        else:  # schema v2: ordered [key, value] pairs
+            pairs = tuple((key, value) for key, value in raw)
         return RunRecord(
             fault_id=payload["fault_id"],
             case_id=payload["case_id"],
@@ -100,7 +184,7 @@ class RunRecord:
             activations=payload["activations"],
             injections=payload["injections"],
             instructions=payload["instructions"],
-            metadata=tuple(sorted(payload.get("metadata", {}).items())),
+            metadata=pairs,
         )
 
 
@@ -148,7 +232,27 @@ class CampaignResult:
     # -- persistence -----------------------------------------------------
 
     def to_json(self, path: str) -> None:
+        """Write the documented, versioned campaign-result schema.
+
+        Schema v2 (``"schema": 2``)::
+
+            {
+              "schema": 2,
+              "program": "<program name>",
+              "records": [
+                {"fault_id": str, "case_id": str, "mode": str,
+                 "status": str, "exit_code": int|null, "trap_kind": str|null,
+                 "activations": int, "injections": int, "instructions": int,
+                 "metadata": [[key, value], ...]},   # order-preserving
+                ...
+              ]
+            }
+
+        v1 files (no ``schema`` key; ``metadata`` as a JSON object) are
+        still readable by :meth:`from_json`.
+        """
         payload = {
+            "schema": RESULT_SCHEMA_VERSION,
             "program": self.program,
             "records": [record.to_dict() for record in self.records],
         }
@@ -158,6 +262,12 @@ class CampaignResult:
     def from_json(path: str) -> "CampaignResult":
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
+        schema = payload.get("schema", 1)
+        if schema not in (1, RESULT_SCHEMA_VERSION):
+            raise ValueError(
+                f"{path}: unsupported campaign-result schema {schema!r} "
+                f"(this build reads 1..{RESULT_SCHEMA_VERSION})"
+            )
         result = CampaignResult(program=payload["program"])
         result.records = [RunRecord.from_dict(entry) for entry in payload["records"]]
         return result
@@ -171,6 +281,7 @@ def execute_injection_run(
     budget: int,
     num_cores: int = 1,
     quantum: int = 64,
+    snapshots: "SnapshotCache | None" = None,
 ) -> RunRecord:
     """One injection run: fresh boot, arm, execute, classify.
 
@@ -179,7 +290,17 @@ def execute_injection_run(
     module-level function of picklable arguments is what lets a shard be
     shipped to a fresh process (the paper's "the target system is rebooted
     between injections" becomes "a fresh machine in a fresh worker").
+
+    With a :class:`repro.swifi.snapshot.SnapshotCache` (built per process
+    / per shard — it is deliberately not picklable state), eligible runs
+    restore a golden-run snapshot at the trigger's first activation
+    instead of re-booting; the cache falls back to the fresh-boot path
+    below whenever equivalence cannot be proven.
     """
+    if snapshots is not None and spec is not None and snapshots.wants(spec):
+        record = snapshots.execute(spec, case, budget)
+        if record is not None:
+            return record
     machine = boot(executable, num_cores=num_cores, inputs=dict(case.pokes))
     session = InjectionSession(machine)
     if spec is not None:
@@ -272,35 +393,91 @@ class CampaignRunner:
             quantum=self.quantum,
         )
 
+    def _apply_budget_overrides(self, config: CampaignConfig) -> None:
+        if config.budget_factor is None and config.min_budget is None:
+            return
+        factor = self.budget_factor if config.budget_factor is None else config.budget_factor
+        floor = self.min_budget if config.min_budget is None else config.min_budget
+        if (factor, floor) != (self.budget_factor, self.min_budget):
+            self.budget_factor = factor
+            self.min_budget = floor
+            self.budgets.clear()  # recalibrate under the new budget rule
+            self.golden_instructions.clear()
+
     def run(
         self,
         faults: list[FaultSpec],
         progress: Callable[[int, int], None] | None = None,
         *,
-        jobs: int = 1,
-        journal_dir: str | None = None,
-        resume: bool = False,
-        seed: int = 0,
-        telemetry: "TelemetrySink | None" = None,
-        label: str | None = None,
+        config: CampaignConfig | None = None,
+        **legacy,
     ) -> CampaignResult:
         """The full campaign: every fault against every input case.
 
-        With the defaults (``jobs=1``, no journal) this is the classic
-        serial loop.  Any other combination delegates to the
-        :mod:`repro.orchestrator` subsystem: the (fault, case) matrix is
-        partitioned into shards, executed by fresh worker processes, and
-        journaled so an interrupted campaign can ``resume``.  Results are
-        bit-identical to the serial loop in every configuration.
+        Execution options ride in one :class:`CampaignConfig`.  With the
+        default config this is the classic serial loop; ``jobs > 1``, a
+        ``journal_dir`` or a ``telemetry`` sink delegate to the
+        :mod:`repro.orchestrator` subsystem (sharded worker pool,
+        resumable journal), and ``snapshot`` enables the golden-run
+        restore fast path.  Results are bit-identical to the plain serial
+        loop in every configuration.
+
+        The pre-config keyword arguments (``jobs=``, ``journal_dir=``,
+        ``resume=``, ``seed=``, ``telemetry=``, ``label=``) still work but
+        emit :class:`LegacyCampaignAPIWarning`.
         """
-        if jobs == 1 and journal_dir is None and telemetry is None:
+        if legacy:
+            if config is not None:
+                raise TypeError(
+                    "pass config=CampaignConfig(...) or the legacy keyword "
+                    "arguments, not both"
+                )
+            unknown = set(legacy) - _LEGACY_RUN_KEYS
+            if unknown:
+                raise TypeError(
+                    f"unknown campaign option(s): {sorted(unknown)}; "
+                    "see CampaignConfig"
+                )
+            warnings.warn(
+                "CampaignRunner.run(jobs=..., journal_dir=..., ...) is "
+                "deprecated; pass config=CampaignConfig(...) instead",
+                LegacyCampaignAPIWarning,
+                stacklevel=2,
+            )
+            config = CampaignConfig(**legacy)
+        elif config is None:
+            config = CampaignConfig()
+        self._apply_budget_overrides(config)
+
+        if config.jobs == 1 and config.journal_dir is None and config.telemetry is None:
             self.calibrate()
+            snapshots = None
+            if config.snapshot != SNAPSHOT_OFF:
+                from .snapshot import SnapshotCache
+
+                snapshots = SnapshotCache(
+                    self.compiled.executable,
+                    faults,
+                    num_cores=self.num_cores,
+                    quantum=self.quantum,
+                    policy=config.snapshot,
+                )
             result = CampaignResult(program=self.compiled.name)
             total = len(faults) * len(self.cases)
             done = 0
             for spec in faults:
                 for case in self.cases:
-                    result.records.append(self.run_one(spec, case))
+                    result.records.append(
+                        execute_injection_run(
+                            self.compiled.executable,
+                            spec,
+                            case,
+                            budget=self._budget_for(case),
+                            num_cores=self.num_cores,
+                            quantum=self.quantum,
+                            snapshots=snapshots,
+                        )
+                    )
                     done += 1
                     if progress is not None:
                         progress(done, total)
@@ -312,10 +489,14 @@ class CampaignRunner:
             self,
             faults,
             options=OrchestratorOptions(
-                jobs=jobs, journal_dir=journal_dir, resume=resume, seed=seed
+                jobs=config.jobs,
+                journal_dir=config.journal_dir,
+                resume=config.resume,
+                seed=config.seed,
+                snapshot=config.snapshot,
             ),
-            telemetry=telemetry,
+            telemetry=config.telemetry,
             progress=progress,
-            label=label,
+            label=config.label,
         )
         return orchestrator.run().result
