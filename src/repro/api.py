@@ -26,7 +26,9 @@ Grouped by layer:
 * **experiments** — :class:`ExperimentConfig` and the per-table/figure
   entry points;
 * **orchestrator telemetry** — the sinks accepted by
-  ``CampaignConfig(telemetry=...)``.
+  ``CampaignConfig(telemetry=...)``;
+* **observability** — run-level tracing controls and the journal-backed
+  trace reports behind ``repro trace report``.
 """
 
 from __future__ import annotations
@@ -66,6 +68,16 @@ from .machine import (
     MachineSnapshot,
     RunResult,
     boot,
+)
+from .observability import (
+    TraceReport,
+    TraceStats,
+    build_trace_report,
+    disable_tracing,
+    enable_tracing,
+    export_perfetto,
+    render_trace_report,
+    tracing_enabled,
 )
 from .orchestrator import (
     CompositeSink,
@@ -203,4 +215,13 @@ __all__ = [
     "ProgressRenderer",
     "JsonTelemetryWriter",
     "CompositeSink",
+    # observability (CampaignConfig.trace / repro trace report)
+    "TraceReport",
+    "TraceStats",
+    "build_trace_report",
+    "render_trace_report",
+    "export_perfetto",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
 ]

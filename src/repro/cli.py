@@ -12,6 +12,7 @@ Usage (also via ``python -m repro``)::
     python -m repro ablation-metrics
     python -m repro ablation-triggers
     python -m repro ablation-hardware
+    python -m repro trace report DIR # per-phase/fallback report of --trace journals
     python -m repro disasm PROGRAM   # RX32 listing of a workload program
     python -m repro coverage PROGRAM # fault-site coverage under random inputs
     python -m repro inject FILE.c    # locate+inject faults in your MiniC file
@@ -94,6 +95,7 @@ def _cmd_figures(args):
         resume=args.resume,
         telemetry=CompositeSink(*sinks),
         snapshot=args.snapshot,
+        trace=args.trace,
     )
     for figure in (fig7(results), fig8(results), fig9(results), fig10(results)):
         print(figure.render())
@@ -114,6 +116,21 @@ def _cmd_ablation_triggers(args):
 def _cmd_ablation_hardware(args):
     print(run_hardware_comparison(_config(args), jobs=getattr(args, "jobs", 1),
                                   snapshot=getattr(args, "snapshot", "off")).render())
+
+
+def _cmd_trace_report(args):
+    from .observability import build_trace_report, export_perfetto, render_trace_report
+
+    try:
+        report = build_trace_report(args.journal_dir)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(render_trace_report(report))
+    if args.perfetto:
+        events = export_perfetto(report, args.perfetto)
+        print(f"\nwrote {events} trace events to {args.perfetto}")
+    return 0
 
 
 def _cmd_disasm(args):
@@ -230,7 +247,30 @@ def build_parser() -> argparse.ArgumentParser:
                               "trigger instead of rebooting per run (auto), "
                               "or cross-check both paths (verify); outcomes "
                               "are bit-identical to off")
+    figures.add_argument("--trace", action="store_true",
+                         help="record per-run span traces (phase timings, "
+                              "snapshot fast-path accounting) into the journal "
+                              "and telemetry; read back with 'repro trace "
+                              "report'")
     figures.set_defaults(fn=_cmd_figures)
+
+    trace = sub.add_parser(
+        "trace", parents=[shared],
+        help="inspect per-run traces recorded with --trace",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_report = trace_sub.add_parser(
+        "report", parents=[shared],
+        help="per-phase time breakdown and fallback-reason table of a "
+             "journal directory (or a directory of journals)",
+    )
+    trace_report.add_argument("journal_dir",
+                              help="a campaign journal directory, or a parent "
+                                   "directory holding one journal per campaign")
+    trace_report.add_argument("--perfetto", metavar="FILE", default=None,
+                              help="additionally export the span trees as "
+                                   "Chrome/Perfetto trace-event JSON")
+    trace_report.set_defaults(fn=_cmd_trace_report)
 
     metrics = sub.add_parser("ablation-metrics", parents=[shared], help="A1: metric-guided allocation")
     metrics.add_argument("--faults", type=int, default=100)
@@ -271,8 +311,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.fn(args)
-    return 0
+    status = args.fn(args)
+    return 0 if status is None else int(status)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -157,6 +157,7 @@ def run_section6(
     resume: bool = False,
     telemetry=None,
     snapshot: str = SNAPSHOT_OFF,
+    trace: bool = False,
 ) -> Section6Results:
     """Run the §6 campaigns over the Table-2 programs.
 
@@ -169,6 +170,8 @@ def run_section6(
     shared by all campaigns (each begins/finishes with its own label).
     ``snapshot`` selects the golden-run restore fast path
     (off / auto / verify); outcomes are bit-identical either way.
+    ``trace`` records per-run span traces into each campaign's journal
+    and telemetry (``repro trace report <journal_dir>`` reads them back).
     """
     config = config or ExperimentConfig()
     results = Section6Results()
@@ -215,6 +218,7 @@ def run_section6(
                     snapshot=snapshot,
                     telemetry=telemetry,
                     label=f"{workload.name}/{klass}",
+                    trace=trace,
                 ),
             )
             campaign.records = outcome.records

@@ -83,6 +83,7 @@ from .traps import (
     ArithmeticTrap,
     IllegalInstructionTrap,
     MemoryTrap,
+    Trap,
     TrapInstructionHit,
 )
 
@@ -453,10 +454,15 @@ class Core:
                     raise IllegalInstructionTrap(
                         f"illegal opcode {opcode:#x} at {pc:#010x}"
                     )
-        except Exception as error:
-            if getattr(error, "pc", None) is None and hasattr(error, "pc"):
+        except Trap as error:
+            # Only machine-detected faults get location info attached.  A
+            # blanket ``except Exception`` here used to dress up *any*
+            # python error (a TypeError in a watch handler, say) like a
+            # machine trap on its way out; genuine tool bugs must surface
+            # undecorated instead of being classified as program crashes.
+            if error.pc is None:
                 error.pc = pc
-            if getattr(error, "core_id", None) is None and hasattr(error, "core_id"):
+            if error.core_id is None:
                 error.core_id = self.core_id
             raise
         finally:

@@ -146,17 +146,21 @@ class Machine:
 
     def snapshot(self, baseline=None):
         """Checkpoint the current state (sparse delta over *baseline*)."""
+        from ..observability import trace as _trace
         from .snapshot import capture_baseline, capture_snapshot
 
-        if baseline is None:
-            baseline = capture_baseline(self)
-        return capture_snapshot(self, baseline)
+        with _trace.phase(_trace.PHASE_SNAPSHOT_CAPTURE):
+            if baseline is None:
+                baseline = capture_baseline(self)
+            return capture_snapshot(self, baseline)
 
     def restore(self, snapshot) -> None:
         """Rewind to *snapshot*; disarms every debug-unit hook."""
+        from ..observability import trace as _trace
         from .snapshot import restore_snapshot
 
-        restore_snapshot(self, snapshot)
+        with _trace.phase(_trace.PHASE_SNAPSHOT_RESTORE):
+            restore_snapshot(self, snapshot)
 
     # ------------------------------------------------------------------
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from ..observability import trace as _trace
 from .memory import PAGE_SIZE
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -123,6 +124,7 @@ def capture_snapshot(machine: "Machine", baseline: MachineBaseline) -> MachineSn
             if chunk != _ZERO_PAGE:
                 delta[page] = bytes(chunk)
     code_words = tuple(machine.code_words) if machine._mirror_dirty else None
+    _trace.add_counter("pages_captured", len(delta))
     return MachineSnapshot(
         baseline=baseline,
         page_delta=delta,
@@ -162,7 +164,8 @@ def restore_snapshot(machine: "Machine", snapshot: MachineSnapshot) -> None:
     for page in memory._debug_dirty_pages:
         if page not in targets:
             targets[page] = _ZERO_PAGE
-    memory.restore_pages(targets)
+    rewritten = memory.restore_pages(targets)
+    _trace.add_counter("pages_restored", rewritten)
     # Gap pages carried by the delta still diverge from the baseline.
     memory._debug_dirty_pages = {
         page for page in snapshot.page_delta if page not in snapshot.baseline.pages

@@ -1,0 +1,48 @@
+"""Run-level observability for injection campaigns.
+
+Structured, low-overhead tracing threaded through the machine, SWIFI and
+orchestrator layers (:mod:`.trace`), plus the journal-backed reporting
+tools behind ``repro trace report`` (:mod:`.report`).  Tracing is off by
+default; enable it per campaign with ``CampaignConfig(trace=True)`` /
+``--trace`` or globally with :func:`enable_tracing`.
+"""
+
+from .report import (
+    JournalTraceSummary,
+    TraceReport,
+    build_trace_report,
+    export_perfetto,
+    find_journal_dirs,
+    render_trace_report,
+)
+from .trace import (
+    FALLBACK_REASONS,
+    PATHS,
+    PHASES,
+    RunTrace,
+    Span,
+    TraceStats,
+    disable_tracing,
+    enable_tracing,
+    set_tracing,
+    tracing_enabled,
+)
+
+__all__ = [
+    "FALLBACK_REASONS",
+    "PATHS",
+    "PHASES",
+    "JournalTraceSummary",
+    "RunTrace",
+    "Span",
+    "TraceReport",
+    "TraceStats",
+    "build_trace_report",
+    "disable_tracing",
+    "enable_tracing",
+    "export_perfetto",
+    "find_journal_dirs",
+    "render_trace_report",
+    "set_tracing",
+    "tracing_enabled",
+]

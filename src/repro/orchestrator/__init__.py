@@ -20,7 +20,13 @@ pool:
   tallies, ETA, a CLI renderer and a JSON exporter.
 """
 
-from .journal import CampaignJournal, JournalError, JournalState, campaign_fingerprint
+from .journal import (
+    CampaignJournal,
+    JournalError,
+    JournalState,
+    campaign_fingerprint,
+    load_runs_file,
+)
 from .pool import (
     CampaignInterrupted,
     CampaignOrchestrator,
@@ -50,6 +56,7 @@ __all__ = [
     "JournalError",
     "JournalState",
     "campaign_fingerprint",
+    "load_runs_file",
     "CampaignInterrupted",
     "CampaignOrchestrator",
     "OrchestratorOptions",

@@ -14,7 +14,10 @@ records from a different campaign into this one.  It is written through
 manifest.
 
 ``runs.jsonl`` is append-only: each completed run is one self-contained
-JSON line, flushed as soon as the supervisor sees it.  If the campaign
+JSON line, flushed as soon as the supervisor sees it.  With tracing on
+(``CampaignConfig(trace=True)`` / ``--trace``) every run entry is
+followed by a ``trace`` entry carrying the run's span tree and fast-path
+accounting; ``repro trace report`` reads them back.  If the campaign
 process is killed mid-append the file may end in a partial line;
 :meth:`CampaignJournal.open` tolerates exactly that (the half-written
 trailing line is dropped, the run re-executes on resume) — every other
@@ -66,10 +69,54 @@ class JournalState:
 
     records: dict[int, RunRecord] = field(default_factory=dict)
     past_failures: list[dict] = field(default_factory=list)
+    #: Per-run trace payloads (see repro.observability.trace), present
+    #: only for runs journaled with tracing enabled.
+    traces: dict[int, dict] = field(default_factory=dict)
 
     @property
     def completed_runs(self) -> int:
         return len(self.records)
+
+
+def load_runs_file(path: str) -> JournalState:
+    """Parse one ``runs.jsonl`` into a :class:`JournalState`.
+
+    Tolerates exactly one malformed line — an unterminated final line
+    left by a kill mid-append (that run simply re-executes on resume);
+    any other malformed or unknown entry is a :class:`JournalError`.
+    Used both by :meth:`CampaignJournal.open` and by the fingerprint-free
+    readers in :mod:`repro.observability.report`.
+    """
+    state = JournalState()
+    if not os.path.exists(path):
+        return state
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = handle.read()
+    lines = raw.split("\n")
+    for position, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            # Only an unterminated final line can be a crash artefact.
+            if position == len(lines) - 1 and not raw.endswith("\n"):
+                break
+            raise JournalError(
+                f"corrupt journal line {position + 1} in {path!r}"
+            ) from None
+        kind = entry.get("type")
+        if kind == "run":
+            state.records[int(entry["index"])] = RunRecord.from_dict(entry["record"])
+        elif kind == "trace":
+            state.traces[int(entry["index"])] = entry["trace"]
+        elif kind == "shard-failed":
+            state.past_failures.append(entry)
+        else:
+            raise JournalError(
+                f"unknown journal entry type {kind!r} in {path!r}"
+            )
+    return state
 
 
 class CampaignJournal:
@@ -121,34 +168,7 @@ class CampaignJournal:
         return state
 
     def _load_runs(self) -> JournalState:
-        state = JournalState()
-        if not os.path.exists(self.runs_path):
-            return state
-        with open(self.runs_path, "r", encoding="utf-8") as handle:
-            raw = handle.read()
-        lines = raw.split("\n")
-        for position, line in enumerate(lines):
-            if not line.strip():
-                continue
-            try:
-                entry = json.loads(line)
-            except json.JSONDecodeError:
-                # Only an unterminated final line can be a crash artefact.
-                if position == len(lines) - 1 and not raw.endswith("\n"):
-                    break
-                raise JournalError(
-                    f"corrupt journal line {position + 1} in {self.runs_path!r}"
-                ) from None
-            kind = entry.get("type")
-            if kind == "run":
-                state.records[int(entry["index"])] = RunRecord.from_dict(entry["record"])
-            elif kind == "shard-failed":
-                state.past_failures.append(entry)
-            else:
-                raise JournalError(
-                    f"unknown journal entry type {kind!r} in {self.runs_path!r}"
-                )
-        return state
+        return load_runs_file(self.runs_path)
 
     # -- appending -----------------------------------------------------
 
@@ -160,6 +180,10 @@ class CampaignJournal:
 
     def append_record(self, run_index: int, record: RunRecord) -> None:
         self._append({"type": "run", "index": run_index, "record": record.to_dict()})
+
+    def append_trace(self, run_index: int, trace: dict) -> None:
+        """Journal one run's trace payload next to its run entry."""
+        self._append({"type": "trace", "index": run_index, "trace": trace})
 
     def append_shard_failure(
         self, shard_id: int, run_indices: list[int], error: str

@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, field as dataclass_field
 from typing import TYPE_CHECKING, Callable
 
+from ..observability import trace as _trace
 from ..swifi.campaign import CampaignResult, InputCase, RunRecord, execute_injection_run
 from ..swifi.faults import FaultSpec
 from .journal import CampaignJournal, JournalState, campaign_fingerprint
@@ -73,6 +74,7 @@ class OrchestratorOptions:
     resume: bool = False
     seed: int = 0
     snapshot: str = "off"                   # golden-run restore fast path
+    trace: bool = False                     # per-run span tracing
     shard_size: int | None = None
     max_retries: int = 2
     shard_deadline: float | None = None     # seconds per shard attempt
@@ -210,17 +212,25 @@ class CampaignOrchestrator:
             total_runs=self.total_runs,
             workers=max(1, self.options.jobs),
             resumed=completed,
+            tracing=self.options.trace,
         )
         self.telemetry.begin(aggregator.snapshot())
         self._notify_progress(len(completed))
 
         failed: dict[int, str] = {}
+        previous_tracing = False
+        if self.options.trace:
+            # Inline runs execute in this process; pool workers enable the
+            # flag themselves from ShardTask.trace.
+            previous_tracing = _trace.set_tracing(True)
         try:
             if self.options.jobs <= 1:
                 self._run_inline(pending, completed, journal, aggregator)
             else:
                 self._run_pool(pending, completed, failed, journal, aggregator)
         finally:
+            if self.options.trace:
+                _trace.set_tracing(previous_tracing)
             if journal is not None:
                 journal.close()
 
@@ -273,10 +283,13 @@ class CampaignOrchestrator:
                 quantum=self.quantum,
                 snapshots=snapshots,
             )
+            trace_payload = _trace.take_completed() if self.options.trace else None
             completed[index] = record
             if journal is not None:
                 journal.append_record(index, record)
-            aggregator.record_run(record)
+                if trace_payload is not None:
+                    journal.append_trace(index, trace_payload)
+            aggregator.record_run(record, trace=trace_payload)
             self.telemetry.update(aggregator.snapshot())
             self._notify_progress(len(completed))
             if (
@@ -327,6 +340,7 @@ class CampaignOrchestrator:
             runs=tuple(runs),
             seed=state.shard.seed,
             snapshot=self.options.snapshot,
+            trace=self.options.trace,
             crash_after_runs=crash_after if crash_attempts else None,
             crash_attempts=crash_attempts,
             stall_seconds=stall_seconds,
@@ -419,14 +433,16 @@ class CampaignOrchestrator:
                 if message is not None:
                     tag = message[0]
                     if tag == MSG_RUN:
-                        _, shard_id, run_index, payload = message
+                        _, shard_id, run_index, payload, trace_payload = message
                         state = states[shard_id]
                         record = RunRecord.from_dict(payload)
                         completed[run_index] = record
                         state.remaining.discard(run_index)
                         if journal is not None:
                             journal.append_record(run_index, record)
-                        aggregator.record_run(record)
+                            if trace_payload is not None:
+                                journal.append_trace(run_index, trace_payload)
+                        aggregator.record_run(record, trace=trace_payload)
                         self.telemetry.update(aggregator.snapshot())
                         self._notify_progress(len(completed))
                         if (

@@ -9,8 +9,16 @@ tallies, ETA, retry/failure counts) and produces JSON-serialisable
 
 * :class:`ProgressRenderer` — the CLI's live one-line progress display
   (written to stderr so piped stdout stays clean);
-* :class:`JsonTelemetryWriter` — collects the final snapshot of every
-  campaign and atomically writes them to a JSON file for the benchmarks.
+* :class:`JsonTelemetryWriter` — streams the campaign's snapshots to a
+  JSON file: the latest in-progress snapshot is written atomically at
+  most once per ``interval`` from :meth:`update` (so a killed campaign
+  still leaves recent telemetry on disk), and the final snapshot of
+  every campaign is appended in :meth:`finish`.
+
+With tracing on (``CampaignConfig(trace=True)``), snapshots additionally
+carry an aggregated ``trace`` block (:class:`repro.observability.trace.
+TraceStats`); the key is simply absent otherwise, so schema-v2 consumers
+are unaffected.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import IO
 
+from ..observability.trace import TraceStats
 from ..persist import atomic_write_json
 from ..swifi.campaign import RunRecord
 from ..swifi.outcomes import MODE_ORDER
@@ -44,6 +53,9 @@ class TelemetrySnapshot:
     runs_per_second: float
     eta_seconds: float | None
     mode_tallies: dict[str, int]
+    #: Aggregated run tracing (TraceStats.to_dict()); None when tracing
+    #: is off — the JSON key is then absent entirely (schema-additive).
+    trace: dict | None = None
 
     @property
     def completed_runs(self) -> int:
@@ -54,7 +66,7 @@ class TelemetrySnapshot:
         return max(0, self.total_runs - self.completed_runs - self.failed_runs)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "label": self.label,
             "total_runs": self.total_runs,
             "resumed_runs": self.resumed_runs,
@@ -68,13 +80,17 @@ class TelemetrySnapshot:
             "eta_seconds": None if self.eta_seconds is None else round(self.eta_seconds, 3),
             "mode_tallies": dict(self.mode_tallies),
         }
+        if self.trace is not None:
+            payload["trace"] = dict(self.trace)
+        return payload
 
 
 class TelemetryAggregator:
     """Consumes per-run events and maintains the campaign statistics."""
 
     def __init__(self, *, label: str, total_runs: int, workers: int,
-                 resumed: dict[int, RunRecord] | None = None) -> None:
+                 resumed: dict[int, RunRecord] | None = None,
+                 tracing: bool = False) -> None:
         self.label = label
         self.total_runs = total_runs
         self.workers = workers
@@ -85,16 +101,21 @@ class TelemetryAggregator:
         self.modes: Counter = Counter()
         self.resumed_runs = 0
         self._recent: list[float] = []  # completion times inside RATE_WINDOW
+        self.trace_stats: TraceStats | None = TraceStats() if tracing else None
         if resumed:
             self.resumed_runs = len(resumed)
             for record in resumed.values():
                 self.modes[record.mode.value] += 1
+            if self.trace_stats is not None:
+                self.trace_stats.resume_skips = len(resumed)
 
     # -- event intake ---------------------------------------------------
 
-    def record_run(self, record: RunRecord) -> None:
+    def record_run(self, record: RunRecord, trace: dict | None = None) -> None:
         self.executed += 1
         self.modes[record.mode.value] += 1
+        if self.trace_stats is not None and trace is not None:
+            self.trace_stats.add_run(trace)
         now = time.monotonic()
         self._recent.append(now)
         cutoff = now - RATE_WINDOW
@@ -103,6 +124,8 @@ class TelemetryAggregator:
 
     def record_retry(self) -> None:
         self.retries += 1
+        if self.trace_stats is not None:
+            self.trace_stats.retries += 1
 
     def record_failures(self, count: int) -> None:
         self.failed += count
@@ -110,10 +133,17 @@ class TelemetryAggregator:
     # -- derived numbers ------------------------------------------------
 
     def rate(self) -> float:
-        """Runs per second over the recent window (whole run if shorter)."""
-        elapsed = time.monotonic() - self.started
-        if self.executed == 0 or elapsed <= 0:
+        """Runs per second over the recent window (whole run if shorter).
+
+        Guaranteed positive once a run has completed: the first
+        ``record_run`` can land within the clock's resolution of
+        ``started``, so zero elapsed time is clamped rather than reported
+        as a zero rate (which would knock out the ETA right as the
+        campaign starts).
+        """
+        if self.executed == 0:
             return 0.0
+        elapsed = max(time.monotonic() - self.started, 1e-9)
         if len(self._recent) >= 2 and elapsed > RATE_WINDOW:
             span = self._recent[-1] - self._recent[0]
             if span > 0:
@@ -137,6 +167,7 @@ class TelemetryAggregator:
             runs_per_second=rate,
             eta_seconds=eta,
             mode_tallies={mode.value: self.modes.get(mode.value, 0) for mode in MODE_ORDER},
+            trace=None if self.trace_stats is None else self.trace_stats.to_dict(),
         )
 
 
@@ -189,7 +220,11 @@ class ProgressRenderer(TelemetrySink):
     def __init__(self, stream: IO[str] | None = None, *, interval: float = 0.5) -> None:
         self.stream = stream if stream is not None else sys.stderr
         self.interval = interval
-        self._last_emit = 0.0
+        # None = nothing emitted yet.  A 0.0 start value would compare
+        # against the raw monotonic clock, whose epoch is arbitrary — on
+        # platforms where it starts near zero the begin() render (and
+        # every update inside the first interval) would be dropped.
+        self._last_emit: float | None = None
         self._line_open = False
 
     def _is_tty(self) -> bool:
@@ -216,15 +251,24 @@ class ProgressRenderer(TelemetrySink):
             parts.append(f"retries={snapshot.retries}")
         if snapshot.failed_runs:
             parts.append(f"failed={snapshot.failed_runs}")
+        if snapshot.trace is not None:
+            fast = snapshot.trace.get("fast_path_hits", 0)
+            if fast:
+                parts.append(f"fast={fast}")
+            fallbacks = sum(
+                (snapshot.trace.get("fallback_reasons") or {}).values()
+            )
+            if fallbacks:
+                parts.append(f"fb={fallbacks}")
         return "  ".join(parts)
 
     def begin(self, snapshot: TelemetrySnapshot) -> None:
-        self._last_emit = 0.0
+        self._last_emit = None
         self.update(snapshot)
 
     def update(self, snapshot: TelemetrySnapshot) -> None:
         now = time.monotonic()
-        if now - self._last_emit < self.interval:
+        if self._last_emit is not None and now - self._last_emit < self.interval:
             return
         self._last_emit = now
         line = self._format(snapshot)
@@ -236,6 +280,8 @@ class ProgressRenderer(TelemetrySink):
         self.stream.flush()
 
     def finish(self, snapshot: TelemetrySnapshot) -> None:
+        # Unthrottled on purpose: however recently update() emitted (or
+        # swallowed) a snapshot, the final totals always render.
         line = self._format(snapshot)
         if self._is_tty() and self._line_open:
             self.stream.write("\r\x1b[2K" + line + "\n")
@@ -246,19 +292,41 @@ class ProgressRenderer(TelemetrySink):
 
 
 class JsonTelemetryWriter(TelemetrySink):
-    """Collects final snapshots and atomically writes them as JSON."""
+    """Streams campaign snapshots to a JSON file, atomically.
 
-    def __init__(self, path: str) -> None:
+    Historically this sink wrote only from :meth:`finish`, so a campaign
+    killed mid-flight left *nothing* on disk.  Now every throttled
+    :meth:`update` rewrites the file (via ``atomic_write_json``, so
+    readers never see a torn file) with the finished campaigns' final
+    snapshots plus the in-flight campaign's latest snapshot, marked
+    ``"in_progress": true``.  :meth:`finish` replaces that marker entry
+    with the final snapshot.
+    """
+
+    def __init__(self, path: str, *, interval: float = 1.0) -> None:
         self.path = path
+        self.interval = interval
         self.snapshots: list[TelemetrySnapshot] = []
+        self._current: TelemetrySnapshot | None = None
+        self._last_write: float | None = None
+
+    def update(self, snapshot: TelemetrySnapshot) -> None:
+        self._current = snapshot
+        now = time.monotonic()
+        if self._last_write is not None and now - self._last_write < self.interval:
+            return
+        self._last_write = now
+        self.write()
 
     def finish(self, snapshot: TelemetrySnapshot) -> None:
+        self._current = None
         self.snapshots.append(snapshot)
         self.write()
 
     def write(self) -> None:
-        atomic_write_json(
-            self.path,
-            [snapshot.to_dict() for snapshot in self.snapshots],
-            indent=2,
-        )
+        payload = [snapshot.to_dict() for snapshot in self.snapshots]
+        if self._current is not None:
+            entry = self._current.to_dict()
+            entry["in_progress"] = True
+            payload.append(entry)
+        atomic_write_json(self.path, payload, indent=2)

@@ -24,11 +24,12 @@ import traceback
 from dataclasses import dataclass
 
 from ..machine.loader import Executable
+from ..observability import trace as _trace
 from ..swifi.campaign import InputCase, execute_injection_run
 from ..swifi.faults import FaultSpec
 
 #: Message tags on the result queue.
-MSG_RUN = "run"          # (MSG_RUN, shard_id, run_index, record_dict)
+MSG_RUN = "run"          # (MSG_RUN, shard_id, run_index, record_dict, trace|None)
 MSG_DONE = "done"        # (MSG_DONE, shard_id, attempt)
 MSG_ERROR = "error"      # (MSG_ERROR, shard_id, traceback_text)
 
@@ -59,6 +60,7 @@ class ShardTask:
     runs: tuple[tuple[int, int, int], ...]  # (run_index, fault_pos, case_pos)
     seed: int
     snapshot: str = "off"  # golden-run restore policy; cache built in-process
+    trace: bool = False    # per-run span tracing (repro.observability)
     # -- supervision drill hooks (exercised by the test suite) ----------
     crash_after_runs: int | None = None
     crash_attempts: int = 0
@@ -82,6 +84,8 @@ def shard_worker_main(task: ShardTask, queue) -> None:
     del rng                         # stochastic run components when they exist
     sent = 0
     try:
+        if task.trace:
+            _trace.enable_tracing()
         if task.should_stall():
             time.sleep(task.stall_seconds)  # a "hung" worker for the deadline drill
         snapshots = None
@@ -109,7 +113,8 @@ def shard_worker_main(task: ShardTask, queue) -> None:
                 quantum=task.quantum,
                 snapshots=snapshots,
             )
-            queue.put((MSG_RUN, task.shard_id, run_index, record.to_dict()))
+            payload = _trace.take_completed() if task.trace else None
+            queue.put((MSG_RUN, task.shard_id, run_index, record.to_dict(), payload))
             sent += 1
             if task.should_crash(sent):
                 _die_abruptly(queue)

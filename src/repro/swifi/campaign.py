@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
 from ..lang.compiler import CompiledProgram
 from ..machine.loader import boot
+from ..observability import trace as _trace
 from ..persist import atomic_write_json
 from .faults import FaultSpec
 from .injector import InjectionSession
@@ -85,6 +86,10 @@ class CampaignConfig:
       never-activated triggers on a non-exiting golden run), and
       ``"verify"`` runs both paths and raises on any divergence;
     * ``telemetry``/``label`` — live telemetry sink and display label;
+    * ``trace`` — per-run span tracing (:mod:`repro.observability`): each
+      run's phase timings, execution path and fallback reason are
+      journaled beside its record and aggregated into telemetry; read
+      them back with ``repro trace report``;
     * ``budget_factor``/``min_budget`` — override the runner's hang
       budget calibration (``None`` keeps the runner's values).
 
@@ -98,6 +103,7 @@ class CampaignConfig:
     snapshot: str = SNAPSHOT_OFF
     telemetry: "TelemetrySink | None" = None
     label: str | None = None
+    trace: bool = False
     budget_factor: int | None = None
     min_budget: int | None = None
 
@@ -297,29 +303,43 @@ def execute_injection_run(
     instead of re-booting; the cache falls back to the fresh-boot path
     below whenever equivalence cannot be proven.
     """
-    if snapshots is not None and spec is not None and snapshots.wants(spec):
-        record = snapshots.execute(spec, case, budget)
-        if record is not None:
-            return record
-    machine = boot(executable, num_cores=num_cores, inputs=dict(case.pokes))
-    session = InjectionSession(machine)
-    if spec is not None:
-        session.arm(spec)
-    result = session.run(budget, quantum=quantum)
-    mode = classify(result, case.expected)
     fault_id = spec.fault_id if spec is not None else "none"
-    return RunRecord(
-        fault_id=fault_id,
-        case_id=case.case_id,
-        mode=mode,
-        status=result.status,
-        exit_code=result.exit_code,
-        trap_kind=result.trap.kind if result.trap is not None else None,
-        activations=session.activation_count(fault_id),
-        injections=session.injection_count(fault_id),
-        instructions=result.instructions,
-        metadata=spec.metadata if spec is not None else (),
-    )
+    run_trace = _trace.begin_run(fault_id, case.case_id)
+    try:
+        if snapshots is not None and spec is not None:
+            record = snapshots.execute(spec, case, budget)
+            if run_trace is not None:
+                path, reason = snapshots.last_path
+                run_trace.set_path(path, reason)
+            if record is not None:
+                _trace.end_run(run_trace, record)
+                return record
+        with _trace.phase(_trace.PHASE_BOOT):
+            machine = boot(executable, num_cores=num_cores, inputs=dict(case.pokes))
+        session = InjectionSession(machine)
+        if spec is not None:
+            session.arm(spec)
+        with _trace.phase(_trace.PHASE_EXECUTE):
+            result = session.run(budget, quantum=quantum)
+        with _trace.phase(_trace.PHASE_CLASSIFY):
+            mode = classify(result, case.expected)
+        record = RunRecord(
+            fault_id=fault_id,
+            case_id=case.case_id,
+            mode=mode,
+            status=result.status,
+            exit_code=result.exit_code,
+            trap_kind=result.trap.kind if result.trap is not None else None,
+            activations=session.activation_count(fault_id),
+            injections=session.injection_count(fault_id),
+            instructions=result.instructions,
+            metadata=spec.metadata if spec is not None else (),
+        )
+        _trace.end_run(run_trace, record)
+        return record
+    except BaseException:
+        _trace.abort_run(run_trace)
+        raise
 
 
 class CampaignRunner:
@@ -449,7 +469,12 @@ class CampaignRunner:
             config = CampaignConfig()
         self._apply_budget_overrides(config)
 
-        if config.jobs == 1 and config.journal_dir is None and config.telemetry is None:
+        if (
+            config.jobs == 1
+            and config.journal_dir is None
+            and config.telemetry is None
+            and not config.trace
+        ):
             self.calibrate()
             snapshots = None
             if config.snapshot != SNAPSHOT_OFF:
@@ -494,6 +519,7 @@ class CampaignRunner:
                 resume=config.resume,
                 seed=config.seed,
                 snapshot=config.snapshot,
+                trace=config.trace,
             ),
             telemetry=config.telemetry,
             progress=progress,

@@ -48,9 +48,11 @@ run is replayed fresh-boot and any field-level divergence raises
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import TYPE_CHECKING
 
 from ..machine.loader import Executable, boot
+from ..observability import trace as _trace
 from .campaign import (
     SNAPSHOT_AUTO,
     SNAPSHOT_OFF,
@@ -60,7 +62,7 @@ from .campaign import (
     RunRecord,
     execute_injection_run,
 )
-from .faults import MODE_BREAKPOINT, DataAccess, FaultSpec, OpcodeFetch
+from .faults import MODE_BREAKPOINT, DataAccess, FaultSpec, OpcodeFetch, Temporal
 from .injector import InjectionSession
 from .outcomes import classify
 
@@ -113,6 +115,28 @@ def trigger_events(spec: FaultSpec) -> TriggerKey | None:
     return None
 
 
+def ineligible_reason(spec: FaultSpec, num_cores: int) -> str | None:
+    """Why the fast path must decline *spec* up front, or ``None``.
+
+    One of the :data:`repro.observability.trace.FALLBACK_REASONS`:
+    ``multi-core`` (restoring mid-run would realign the round-robin
+    quanta), ``temporal-trigger`` (fires by elapsed count, not at an
+    address), ``trap-mode`` (the program image is patched before the run
+    starts, so the prefix is not fault-free).  Anything else without
+    watchable trigger events counts as a ``cache-miss``.
+    """
+    if num_cores != 1:
+        return _trace.REASON_MULTI_CORE
+    trigger = spec.trigger
+    if isinstance(trigger, Temporal):
+        return _trace.REASON_TEMPORAL
+    if isinstance(trigger, OpcodeFetch) and spec.mode != MODE_BREAKPOINT:
+        return _trace.REASON_TRAP_MODE
+    if trigger_events(spec) is None:
+        return _trace.REASON_CACHE_MISS
+    return None
+
+
 class CaseTrace:
     """Golden-run checkpoints of one (program, input case) pair.
 
@@ -132,12 +156,16 @@ class CaseTrace:
         quantum: int,
     ) -> None:
         self.case = case
-        self.machine: "Machine" = boot(executable, num_cores=1, inputs=dict(case.pokes))
+        with _trace.phase(_trace.PHASE_BOOT):
+            self.machine: "Machine" = boot(
+                executable, num_cores=1, inputs=dict(case.pokes)
+            )
         self.baseline = self.machine.baseline()
         self.snapshots: dict[TriggerKey, object] = {}
         self.dormant: set[TriggerKey] = set()
         self.golden: "RunResult | None" = None
-        self._capture(keys, budget, quantum)
+        with _trace.phase(_trace.PHASE_GOLDEN_RUN):
+            self._capture(keys, budget, quantum)
 
     # -- golden run ----------------------------------------------------
 
@@ -236,11 +264,14 @@ class CaseTrace:
             return None
         session = InjectionSession(machine)
         session.arm(spec)
-        result = session.run(budget - machine.instret, quantum=quantum)
+        with _trace.phase(_trace.PHASE_POST_TRIGGER):
+            result = session.run(budget - machine.instret, quantum=quantum)
+        with _trace.phase(_trace.PHASE_CLASSIFY):
+            mode = classify(result, self.case.expected)
         return RunRecord(
             fault_id=spec.fault_id,
             case_id=self.case.case_id,
-            mode=classify(result, self.case.expected),
+            mode=mode,
             status=result.status,
             exit_code=result.exit_code,
             trap_kind=result.trap.kind if result.trap is not None else None,
@@ -290,6 +321,16 @@ class SnapshotCache:
                 self._keys.add(key)
         self._traces: dict[str, CaseTrace] = {}
         self.stats = {"fast": 0, "dormant": 0, "fallback": 0, "verified": 0}
+        # Per-reason accounting beside the legacy stats dict: the legacy
+        # "fallback" key only counts runs the cache *accepted* and then
+        # missed on (see execute()); fallback_reasons additionally labels
+        # runs declined up front (temporal / trap-mode / multi-core) and
+        # dormant synthesis (golden-run-exit).
+        self.fallback_reasons: Counter = Counter()
+        #: (path, reason) of the most recent execute() call; read by the
+        #: trace layer in execute_injection_run (single-threaded per
+        #: process, so a plain attribute is race-free).
+        self.last_path: tuple[str, str | None] = (_trace.PATH_FRESH, None)
 
     def wants(self, spec: FaultSpec) -> bool:
         """Whether the fast path may handle *spec* (it can still miss)."""
@@ -306,15 +347,30 @@ class SnapshotCache:
 
     def execute(self, spec: FaultSpec, case: InputCase, budget: int) -> RunRecord | None:
         """Fast-path record for one run, or ``None`` to fall back."""
-        key = trigger_events(spec)
-        if key is None or self.num_cores != 1:
+        reason = ineligible_reason(spec, self.num_cores)
+        if reason is not None:
+            # Declined up front: not a legacy stats["fallback"] (those
+            # count accepted-then-missed runs only), but labelled for the
+            # per-reason trace accounting.
+            self.fallback_reasons[reason] += 1
+            self.last_path = (_trace.PATH_FRESH, reason)
             return None
+        key = trigger_events(spec)
+        assert key is not None  # ineligible_reason covers every None case
         trace = self.trace_for(case, budget)
         record = trace.run_fast(spec, key, budget, self.quantum)
         if record is None:
             self.stats["fallback"] += 1
+            self.fallback_reasons[_trace.REASON_CACHE_MISS] += 1
+            self.last_path = (_trace.PATH_FRESH, _trace.REASON_CACHE_MISS)
             return None
-        self.stats["dormant" if record.activations == 0 else "fast"] += 1
+        if record.activations == 0:
+            self.stats["dormant"] += 1
+            self.fallback_reasons[_trace.REASON_GOLDEN_EXIT] += 1
+            self.last_path = (_trace.PATH_DORMANT, _trace.REASON_GOLDEN_EXIT)
+        else:
+            self.stats["fast"] += 1
+            self.last_path = (_trace.PATH_SNAPSHOT, None)
         if self.policy == SNAPSHOT_VERIFY:
             fresh = execute_injection_run(
                 self.executable,
@@ -339,5 +395,6 @@ __all__ = [
     "SnapshotCache",
     "SnapshotDivergence",
     "SnapshotPoint",
+    "ineligible_reason",
     "trigger_events",
 ]

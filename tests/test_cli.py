@@ -67,3 +67,59 @@ class TestFastCommands:
         out = capsys.readouterr().out
         assert "assignment locations" in out
         assert "OpcodeFetch" in out
+
+
+class TestTraceCommand:
+    def test_trace_flag_registered_on_figures(self):
+        args = build_parser().parse_args(["figures", "--trace"])
+        assert args.trace is True
+        assert build_parser().parse_args(["figures"]).trace is False
+
+    def test_trace_report_parses(self):
+        args = build_parser().parse_args(
+            ["trace", "report", "some/dir", "--perfetto", "out.json"]
+        )
+        assert args.command == "trace"
+        assert args.journal_dir == "some/dir"
+        assert args.perfetto == "out.json"
+
+    def test_trace_report_missing_journal_is_an_error(self, capsys, tmp_path):
+        assert main(["trace", "report", str(tmp_path / "nope")]) == 1
+        assert "no campaign journal" in capsys.readouterr().err
+
+    def test_trace_report_renders_journal(self, capsys, tmp_path):
+        from repro.lang import compile_source
+        from repro.swifi import (
+            Action, Arithmetic, CampaignConfig, CampaignRunner, FaultSpec,
+            InputCase, OpcodeFetch, StoreValue,
+        )
+
+        source = (
+            "int in_x;\n"
+            "void main() {\n"
+            "    int total = in_x + 1;\n"
+            "    print_int(total);\n"
+            "    exit(0);\n"
+            "}\n"
+        )
+        compiled = compile_source(source, "addone")
+        cases = [InputCase("a", {"in_x": 4}, b"5")]
+        site = compiled.debug.assignments[0]
+        faults = [FaultSpec("fetch", OpcodeFetch(site.address),
+                            (Action(StoreValue(), Arithmetic(1)),))]
+        journal_dir = str(tmp_path / "journal")
+        CampaignRunner(compiled, cases).run(faults, config=CampaignConfig(
+            journal_dir=journal_dir, trace=True, snapshot="auto", seed=1,
+        ))
+        perfetto = str(tmp_path / "perfetto.json")
+        assert main(["trace", "report", journal_dir,
+                     "--perfetto", perfetto]) == 0
+        out = capsys.readouterr().out
+        assert "journaled runs: 1" in out
+        assert "Execution paths" in out
+        assert "trace events" in out
+        import json
+        import os
+        assert os.path.exists(perfetto)
+        with open(perfetto, "r", encoding="utf-8") as handle:
+            assert json.load(handle)["traceEvents"]

@@ -230,3 +230,37 @@ class TestTrapsAndBudget:
         machine, result = run_asm("nop\nnop\nnop\nsc 0")
         assert result.instructions == 4
         assert machine.cores[0].instret == 4
+
+
+class TestTrapAttributionNarrowing:
+    """Only machine Traps get pc/core_id attached; tool bugs surface raw.
+
+    Regression: the run loop's ``except Exception`` used to catch *any*
+    python error raised inside it (e.g. a buggy watch handler) and dress
+    it up with fault-location attributes on its way out — downstream, a
+    TypeError in tool code would then look like a program crash.
+    """
+
+    def test_python_error_in_watch_handler_propagates_undecorated(self):
+        program = assemble_text("addi r3, r0, 5\nsc 0", base=0x1000)
+        executable = Executable(
+            code=program.code, entry=0x1000, symbols=program.symbols
+        )
+        machine = boot(executable)
+
+        def buggy_handler(core, address, value):
+            raise TypeError("tool bug, not a program fault")
+
+        machine._fetch_watch[0x1000] = buggy_handler
+        with pytest.raises(TypeError) as info:
+            machine.run(max_instructions=100)
+        # Undecorated: no pc/core_id grafted onto the foreign exception.
+        assert not hasattr(info.value, "pc")
+        assert not hasattr(info.value, "core_id")
+
+    def test_machine_trap_still_gets_location_attached(self):
+        _, result = run_asm("trap 7")
+        assert result.status == "trapped"
+        assert isinstance(result.trap, TrapInstructionHit)
+        assert result.trap.pc == 0x1000
+        assert result.trap.core_id == 0

@@ -1,0 +1,418 @@
+"""Run-level tracing: span trees, fast-path accounting, trace reports.
+
+ISSUE acceptance: with ``CampaignConfig(trace=True)`` every run journals
+a span tree (boot / golden-run / snapshot-restore / post-trigger-execute
+/ classify) with its execution path and fallback reason; each fallback
+cause increments exactly its own counter at ``jobs=1`` and ``jobs=4``
+with identical aggregates; ``repro trace report`` totals exactly match
+the journal's record count; telemetry snapshots gain a ``trace`` block
+additively (schema-v2 consumers see no change with tracing off).
+"""
+
+import json
+
+import pytest
+
+from repro.lang import compile_source
+from repro.machine import boot
+from repro.observability import (
+    TraceStats,
+    build_trace_report,
+    export_perfetto,
+    find_journal_dirs,
+    render_trace_report,
+    set_tracing,
+    tracing_enabled,
+)
+from repro.observability import trace as trace_mod
+from repro.orchestrator import TelemetrySink, load_runs_file
+from repro.swifi import (
+    MODE_TRAP,
+    Action,
+    Arithmetic,
+    BitFlip,
+    CampaignConfig,
+    CampaignRunner,
+    DataAccess,
+    FaultSpec,
+    InputCase,
+    LoadValue,
+    OpcodeFetch,
+    RegisterTarget,
+    SnapshotCache,
+    StoreValue,
+    Temporal,
+    WhenPolicy,
+)
+from repro.swifi.campaign import execute_injection_run
+
+SOURCE = """
+int in_x;
+int unused_global;
+
+void main() {
+    int i;
+    int total = 0;
+    for (i = 0; i < in_x; i++) {
+        total = total + i;
+    }
+    print_int(total);
+    exit(0);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def small():
+    compiled = compile_source(SOURCE, "sumloop")
+    cases = [
+        InputCase("a", {"in_x": 10}, b"45"),
+        InputCase("b", {"in_x": 3}, b"3"),
+    ]
+    return compiled, cases
+
+
+@pytest.fixture(autouse=True)
+def tracing_off_after():
+    """No test may leak the module-level flag into the rest of the suite."""
+    yield
+    trace_mod.disable_tracing()
+    trace_mod._run_stack.clear()
+    trace_mod.take_completed()
+
+
+def fault_for(compiled, cause: str) -> FaultSpec:
+    """One fault whose every run takes exactly the given fallback cause."""
+    site = compiled.debug.assignments[0]
+    unused = compiled.executable.symbols["unused_global"]
+    if cause == trace_mod.REASON_TEMPORAL:
+        return FaultSpec("temporal", Temporal(40),
+                         (Action(RegisterTarget(9), BitFlip(3)),),
+                         when=WhenPolicy.once())
+    if cause == trace_mod.REASON_TRAP_MODE:
+        return FaultSpec("trap-mode", OpcodeFetch(site.address),
+                         (Action(StoreValue(), Arithmetic(1)),), mode=MODE_TRAP)
+    if cause == trace_mod.REASON_GOLDEN_EXIT:
+        return FaultSpec("dormant", DataAccess(unused, on_load=True),
+                         (Action(LoadValue(), BitFlip(1)),))
+    if cause == trace_mod.REASON_MULTI_CORE:
+        return FaultSpec("fetch", OpcodeFetch(site.address),
+                         (Action(StoreValue(), Arithmetic(1)),))
+    raise AssertionError(cause)
+
+
+class CaptureSink(TelemetrySink):
+    """Keeps every snapshot it sees; .final is the finish() snapshot."""
+
+    def __init__(self):
+        self.updates = []
+        self.final = None
+
+    def update(self, snapshot):
+        self.updates.append(snapshot)
+
+    def finish(self, snapshot):
+        self.final = snapshot
+
+
+# ---------------------------------------------------------------------------
+# Core producer protocol
+# ---------------------------------------------------------------------------
+
+
+class TestTraceCore:
+    def test_disabled_by_default_and_begin_run_is_noop(self):
+        assert not tracing_enabled()
+        assert trace_mod.begin_run("f", "c") is None
+        with trace_mod.phase("boot"):
+            pass  # the shared null context: no run, no allocation
+        assert trace_mod.take_completed() is None
+
+    def test_span_tree_and_exclusive_phase_seconds(self):
+        previous = set_tracing(True)
+        try:
+            run = trace_mod.begin_run("fault-1", "case-a")
+            with trace_mod.phase("golden-run"):
+                with trace_mod.phase("snapshot-capture"):
+                    pass
+            with trace_mod.phase("classify"):
+                pass
+            trace_mod.add_counter("pages_restored", 3)
+            trace_mod.end_run(run)
+        finally:
+            set_tracing(previous)
+        payload = trace_mod.take_completed()
+        assert payload["fault_id"] == "fault-1"
+        assert [span["name"] for span in payload["spans"]] == [
+            "golden-run", "classify",
+        ]
+        nested = payload["spans"][0]["children"]
+        assert [span["name"] for span in nested] == ["snapshot-capture"]
+        # Exclusive accounting: phases sum to at most the run's seconds.
+        assert sum(payload["phases"].values()) <= payload["seconds"] + 1e-6
+        assert payload["counters"] == {"pages_restored": 3}
+        # One payload, handed out once.
+        assert trace_mod.take_completed() is None
+
+    def test_nested_runs_attach_spans_to_innermost(self):
+        previous = set_tracing(True)
+        try:
+            outer = trace_mod.begin_run("outer", "c")
+            inner = trace_mod.begin_run("inner", "c")
+            with trace_mod.phase("boot"):
+                pass
+            trace_mod.end_run(inner)
+            inner_payload = trace_mod.take_completed()
+            with trace_mod.phase("classify"):
+                pass
+            trace_mod.end_run(outer)
+            outer_payload = trace_mod.take_completed()
+        finally:
+            set_tracing(previous)
+        assert [s["name"] for s in inner_payload["spans"]] == ["boot"]
+        assert [s["name"] for s in outer_payload["spans"]] == ["classify"]
+
+    def test_abort_run_discards_payload(self):
+        previous = set_tracing(True)
+        try:
+            run = trace_mod.begin_run("f", "c")
+            trace_mod.abort_run(run)
+        finally:
+            set_tracing(previous)
+        assert trace_mod.take_completed() is None
+        assert trace_mod.current() is None
+
+    def test_stats_roundtrip_and_merge(self):
+        a = TraceStats()
+        a.add_run({"seconds": 1.0, "path": "snapshot", "mode": "Correct",
+                   "phases": {"boot": 0.25}, "counters": {"pages_restored": 2}})
+        b = TraceStats.from_dict(a.to_dict())
+        b.merge(a)
+        assert b.runs == 2
+        assert b.paths["snapshot"] == 2
+        assert b.counters["pages_restored"] == 4
+        assert b.fast_path_hits == 2
+
+
+# ---------------------------------------------------------------------------
+# Fallback-reason accounting (the parametrized satellite)
+# ---------------------------------------------------------------------------
+
+CAUSES = (
+    trace_mod.REASON_TEMPORAL,
+    trace_mod.REASON_TRAP_MODE,
+    trace_mod.REASON_MULTI_CORE,
+    trace_mod.REASON_GOLDEN_EXIT,
+)
+
+
+class TestFallbackReasons:
+    @pytest.mark.parametrize("cause", CAUSES)
+    def test_cache_counts_exactly_its_own_reason(self, small, cause):
+        compiled, cases = small
+        num_cores = 2 if cause == trace_mod.REASON_MULTI_CORE else 1
+        spec = fault_for(compiled, cause)
+        cache = SnapshotCache(compiled.executable, [spec], num_cores=num_cores)
+        runner = CampaignRunner(compiled, cases)
+        runner.calibrate()
+        cache.execute(spec, cases[0], runner.budgets["a"])
+        others = [r for r in trace_mod.FALLBACK_REASONS if r != cause]
+        assert cache.fallback_reasons[cause] == 1
+        assert all(cache.fallback_reasons[reason] == 0 for reason in others)
+        expected_path = (
+            trace_mod.PATH_DORMANT
+            if cause == trace_mod.REASON_GOLDEN_EXIT
+            else trace_mod.PATH_FRESH
+        )
+        assert cache.last_path == (expected_path, cause)
+
+    @pytest.mark.parametrize("cause", CAUSES)
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_campaign_counts_exactly_its_own_reason(self, small, tmp_path,
+                                                    cause, jobs):
+        compiled, cases = small
+        if cause == trace_mod.REASON_MULTI_CORE:
+            # All cores run main, so the oracle is the 2-core golden output.
+            machine = boot(compiled.executable, num_cores=2,
+                           inputs={"in_x": 10})
+            golden = machine.run()
+            assert golden.status == "exited"
+            cases = [InputCase("a", {"in_x": 10}, bytes(golden.console))]
+            runner = CampaignRunner(compiled, cases, num_cores=2)
+        else:
+            runner = CampaignRunner(compiled, cases)
+        spec = fault_for(compiled, cause)
+        sink = CaptureSink()
+        journal_dir = str(tmp_path / f"journal-{cause}-{jobs}")
+        runner.run([spec], config=CampaignConfig(
+            jobs=jobs, seed=5, snapshot="auto", trace=True,
+            journal_dir=journal_dir, telemetry=sink,
+        ))
+        total = len(cases)
+        trace = sink.final.trace
+        assert trace is not None
+        assert trace["runs"] == total
+        assert trace["fallback_reasons"] == {cause: total}
+        expected_path = (
+            trace_mod.PATH_DORMANT
+            if cause == trace_mod.REASON_GOLDEN_EXIT
+            else trace_mod.PATH_FRESH
+        )
+        assert trace["paths"] == {expected_path: total}
+
+    def test_aggregates_identical_across_jobs(self, small, tmp_path):
+        """jobs=1 and jobs=4 agree on every path/reason tally."""
+        compiled, cases = small
+        site = compiled.debug.assignments[0]
+        in_x = compiled.executable.symbols["in_x"]
+        unused = compiled.executable.symbols["unused_global"]
+        faults = [
+            FaultSpec("fetch", OpcodeFetch(site.address),
+                      (Action(StoreValue(), Arithmetic(1)),)),
+            FaultSpec("data-load", DataAccess(in_x, on_load=True),
+                      (Action(LoadValue(), Arithmetic(2)),)),
+            fault_for(compiled, trace_mod.REASON_TEMPORAL),
+            fault_for(compiled, trace_mod.REASON_TRAP_MODE),
+            fault_for(compiled, trace_mod.REASON_GOLDEN_EXIT),
+        ]
+        tallies = {}
+        for jobs in (1, 4):
+            sink = CaptureSink()
+            CampaignRunner(compiled, cases).run(faults, config=CampaignConfig(
+                jobs=jobs, seed=5, snapshot="auto", trace=True, telemetry=sink,
+            ))
+            trace = sink.final.trace
+            tallies[jobs] = (trace["paths"], trace["fallback_reasons"],
+                             trace["modes"], trace["runs"])
+        assert tallies[1] == tallies[4]
+        paths, reasons, _, runs = tallies[1]
+        assert runs == len(faults) * len(cases)
+        # fetch + data-load restore snapshots; dormant synthesises; the
+        # temporal and trap-mode faults boot fresh, each with its label.
+        assert paths == {"snapshot": 4, "dormant": 2, "fresh": 4}
+        assert reasons == {
+            trace_mod.REASON_TEMPORAL: 2,
+            trace_mod.REASON_TRAP_MODE: 2,
+            trace_mod.REASON_GOLDEN_EXIT: 2,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Journals and reports
+# ---------------------------------------------------------------------------
+
+
+def run_traced_campaign(compiled, cases, faults, journal_dir, *, jobs=1,
+                        snapshot="auto", sink=None):
+    return CampaignRunner(compiled, cases).run(faults, config=CampaignConfig(
+        jobs=jobs, seed=5, snapshot=snapshot, trace=True,
+        journal_dir=journal_dir, telemetry=sink,
+    ))
+
+
+def small_faults(compiled):
+    site = compiled.debug.assignments[0]
+    return [
+        FaultSpec("fetch", OpcodeFetch(site.address),
+                  (Action(StoreValue(), Arithmetic(1)),)),
+        fault_for(compiled, trace_mod.REASON_TEMPORAL),
+    ]
+
+
+class TestJournalTraces:
+    def test_trace_entries_ride_beside_run_entries(self, small, tmp_path):
+        compiled, cases = small
+        journal_dir = str(tmp_path / "journal")
+        result = run_traced_campaign(compiled, cases, small_faults(compiled),
+                                     journal_dir)
+        state = load_runs_file(f"{journal_dir}/runs.jsonl")
+        assert len(state.records) == len(result.records) == 4
+        assert sorted(state.traces) == sorted(state.records)
+        for payload in state.traces.values():
+            assert payload["path"] in trace_mod.PATHS
+            assert payload["seconds"] >= 0.0
+
+    def test_untraced_journal_loads_with_empty_traces(self, small, tmp_path):
+        compiled, cases = small
+        journal_dir = str(tmp_path / "journal")
+        CampaignRunner(compiled, cases).run(
+            small_faults(compiled),
+            config=CampaignConfig(journal_dir=journal_dir, seed=5),
+        )
+        state = load_runs_file(f"{journal_dir}/runs.jsonl")
+        assert state.traces == {}
+        assert len(state.records) == 4
+
+    def test_tracing_flag_restored_after_campaign(self, small, tmp_path):
+        compiled, cases = small
+        assert not tracing_enabled()
+        run_traced_campaign(compiled, cases, small_faults(compiled),
+                            str(tmp_path / "journal"))
+        assert not tracing_enabled()
+
+
+class TestTraceReport:
+    def test_totals_exactly_match_journal_record_count(self, small, tmp_path):
+        compiled, cases = small
+        journal_dir = str(tmp_path / "journal")
+        result = run_traced_campaign(compiled, cases, small_faults(compiled),
+                                     journal_dir)
+        report = build_trace_report(journal_dir)
+        assert report.record_count == len(result.records)
+        assert report.traced_count == report.record_count
+        stats = report.merged_stats()
+        assert stats.runs == report.record_count
+        assert sum(stats.paths.values()) == report.record_count
+        rendered = render_trace_report(report)
+        assert f"journaled runs: {report.record_count}" in rendered
+        assert "post-trigger-execute" in rendered
+        assert trace_mod.REASON_TEMPORAL in rendered
+
+    def test_multiple_journals_under_one_root(self, small, tmp_path):
+        compiled, cases = small
+        faults = small_faults(compiled)
+        run_traced_campaign(compiled, cases, faults, str(tmp_path / "one"))
+        run_traced_campaign(compiled, cases, faults, str(tmp_path / "two"))
+        assert len(find_journal_dirs(str(tmp_path))) == 2
+        report = build_trace_report(str(tmp_path))
+        assert len(report.journals) == 2
+        assert report.record_count == 8
+        assert {journal.label for journal in report.journals} == {"one", "two"}
+
+    def test_report_counts_untraced_runs_instead_of_dropping(self, small,
+                                                             tmp_path):
+        compiled, cases = small
+        journal_dir = str(tmp_path / "journal")
+        # Trace off: records journal without trace entries.
+        CampaignRunner(compiled, cases).run(
+            small_faults(compiled),
+            config=CampaignConfig(journal_dir=journal_dir, seed=5),
+        )
+        report = build_trace_report(journal_dir)
+        assert report.record_count == 4
+        assert report.traced_count == 0
+        rendered = render_trace_report(report)
+        assert "untraced" in rendered
+
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            build_trace_report(str(tmp_path / "nope"))
+
+    def test_perfetto_export(self, small, tmp_path):
+        compiled, cases = small
+        journal_dir = str(tmp_path / "journal")
+        result = run_traced_campaign(compiled, cases, small_faults(compiled),
+                                     journal_dir)
+        out = str(tmp_path / "trace.json")
+        events = export_perfetto(journal_dir, out)
+        with open(out, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert len(payload["traceEvents"]) == events
+        run_events = [e for e in payload["traceEvents"]
+                      if e["ph"] == "X" and e["name"].startswith("run ")]
+        assert len(run_events) == len(result.records)
+        metas = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert metas and metas[0]["args"]["name"] == "journal"
+        for event in payload["traceEvents"]:
+            if event["ph"] == "X":
+                assert event["dur"] >= 0.0

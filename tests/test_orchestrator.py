@@ -232,3 +232,152 @@ class TestTelemetry:
         payload = aggregator.snapshot().to_dict()
         assert json.loads(json.dumps(payload)) == payload
         assert payload["failed_runs"] == 1
+
+
+class TestTelemetryTraceAdditivity:
+    def test_no_trace_key_when_tracing_off(self):
+        aggregator = TelemetryAggregator(label="t", total_runs=1, workers=1)
+        aggregator.record_run(make_record())
+        payload = aggregator.snapshot().to_dict()
+        assert "trace" not in payload
+
+    def test_trace_block_when_tracing_on(self):
+        aggregator = TelemetryAggregator(
+            label="t", total_runs=2, workers=1, tracing=True
+        )
+        aggregator.record_run(
+            make_record(),
+            trace={"seconds": 0.5, "path": "snapshot", "mode": "Correct",
+                   "phases": {"snapshot-restore": 0.1}},
+        )
+        aggregator.record_run(make_record())  # a run without a payload
+        aggregator.record_retry()
+        payload = aggregator.snapshot().to_dict()
+        assert payload["trace"]["runs"] == 1
+        assert payload["trace"]["paths"] == {"snapshot": 1}
+        assert payload["trace"]["fast_path_hits"] == 1
+        assert payload["trace"]["retries"] == 1
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_resumed_runs_count_as_resume_skips(self):
+        resumed = {0: make_record(), 1: make_record()}
+        aggregator = TelemetryAggregator(
+            label="t", total_runs=4, workers=1, resumed=resumed, tracing=True
+        )
+        assert aggregator.snapshot().trace["resume_skips"] == 2
+
+
+class TestRateGuards:
+    def test_rate_positive_immediately_after_first_run(self):
+        """Zero elapsed clock on the first record_run cannot zero the rate."""
+        aggregator = TelemetryAggregator(label="t", total_runs=4, workers=1)
+        aggregator.record_run(make_record())
+        aggregator.started = aggregator._recent[-1]  # force elapsed == 0
+        assert aggregator.rate() > 0
+
+    def test_rate_zero_before_any_run(self):
+        aggregator = TelemetryAggregator(label="t", total_runs=4, workers=1)
+        assert aggregator.rate() == 0.0
+        assert aggregator.snapshot().eta_seconds is None
+
+
+class TestProgressRendererGuards:
+    def _snapshot(self, aggregator=None):
+        aggregator = aggregator or TelemetryAggregator(
+            label="t", total_runs=2, workers=1
+        )
+        return aggregator.snapshot()
+
+    def test_begin_always_renders_even_with_small_monotonic_clock(self):
+        import io
+        import time
+        from unittest import mock
+
+        from repro.orchestrator import ProgressRenderer
+
+        stream = io.StringIO()
+        renderer = ProgressRenderer(stream, interval=10.0)
+        # Simulate a platform whose monotonic epoch is near zero: with the
+        # old `_last_emit = 0.0` initialiser, begin()'s render was dropped.
+        with mock.patch.object(time, "monotonic", return_value=0.001):
+            renderer.begin(self._snapshot())
+        assert "[t]" in stream.getvalue()
+
+    def test_finish_renders_final_totals_despite_throttle(self):
+        import io
+
+        from repro.orchestrator import ProgressRenderer
+
+        stream = io.StringIO()
+        renderer = ProgressRenderer(stream, interval=3600.0)
+        aggregator = TelemetryAggregator(label="t", total_runs=2, workers=1)
+        renderer.begin(aggregator.snapshot())
+        aggregator.record_run(make_record())
+        renderer.update(aggregator.snapshot())  # throttled away
+        aggregator.record_run(make_record())
+        renderer.update(aggregator.snapshot())  # throttled away
+        renderer.finish(aggregator.snapshot())
+        lines = [line for line in stream.getvalue().splitlines() if line]
+        assert "0/2" in lines[0]
+        assert "2/2" in lines[-1]  # the final snapshot always lands
+
+    def test_trace_fields_appear_on_the_progress_line(self):
+        import io
+
+        from repro.orchestrator import ProgressRenderer
+
+        stream = io.StringIO()
+        aggregator = TelemetryAggregator(
+            label="t", total_runs=1, workers=1, tracing=True
+        )
+        aggregator.record_run(
+            make_record(), trace={"seconds": 0.1, "path": "snapshot"}
+        )
+        ProgressRenderer(stream).finish(aggregator.snapshot())
+        assert "fast=1" in stream.getvalue()
+
+
+class TestJsonTelemetryWriterStreaming:
+    def test_update_writes_in_progress_snapshot(self, tmp_path):
+        from repro.orchestrator import JsonTelemetryWriter
+
+        path = str(tmp_path / "telemetry.json")
+        writer = JsonTelemetryWriter(path, interval=0.0)
+        aggregator = TelemetryAggregator(label="t", total_runs=2, workers=1)
+        aggregator.record_run(make_record())
+        writer.update(aggregator.snapshot())
+        # Mid-campaign, the file already exists with the latest snapshot.
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert len(payload) == 1
+        assert payload[0]["in_progress"] is True
+        assert payload[0]["executed_runs"] == 1
+
+    def test_finish_replaces_in_progress_with_final(self, tmp_path):
+        from repro.orchestrator import JsonTelemetryWriter
+
+        path = str(tmp_path / "telemetry.json")
+        writer = JsonTelemetryWriter(path, interval=0.0)
+        aggregator = TelemetryAggregator(label="t", total_runs=1, workers=1)
+        aggregator.record_run(make_record())
+        writer.update(aggregator.snapshot())
+        writer.finish(aggregator.snapshot())
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert len(payload) == 1
+        assert "in_progress" not in payload[0]
+
+    def test_throttle_skips_rapid_updates(self, tmp_path):
+        from repro.orchestrator import JsonTelemetryWriter
+
+        path = str(tmp_path / "telemetry.json")
+        writer = JsonTelemetryWriter(path, interval=3600.0)
+        aggregator = TelemetryAggregator(label="t", total_runs=3, workers=1)
+        aggregator.record_run(make_record())
+        writer.update(aggregator.snapshot())   # first write goes through
+        first = os.path.getmtime(path)
+        aggregator.record_run(make_record())
+        writer.update(aggregator.snapshot())   # throttled: no rewrite
+        assert os.path.getmtime(path) == first
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle)[0]["executed_runs"] == 1
