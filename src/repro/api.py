@@ -86,6 +86,9 @@ from .orchestrator import (
     TelemetrySink,
 )
 from .swifi import (
+    ENGINE_BLOCK,
+    ENGINE_SIMPLE,
+    ENGINES,
     MODE_BREAKPOINT,
     MODE_TRAP,
     RESULT_SCHEMA_VERSION,
@@ -173,6 +176,9 @@ __all__ = [
     "RunRecord",
     "LegacyCampaignAPIWarning",
     "RESULT_SCHEMA_VERSION",
+    "ENGINE_BLOCK",
+    "ENGINE_SIMPLE",
+    "ENGINES",
     "SNAPSHOT_OFF",
     "SNAPSHOT_AUTO",
     "SNAPSHOT_VERIFY",

@@ -35,7 +35,12 @@ from ..emulation.locator import FaultLocator
 from ..emulation.operators import ASSIGNMENT_CLASS, CHECKING_CLASS
 from ..emulation.rules import generate_error_set
 from ..metrics.guidance import STRATEGIES, allocation_table
-from ..swifi.campaign import SNAPSHOT_OFF, CampaignConfig, CampaignRunner
+from ..swifi.campaign import (
+    ENGINE_SIMPLE,
+    SNAPSHOT_OFF,
+    CampaignConfig,
+    CampaignRunner,
+)
 from ..swifi.faults import WhenPolicy
 from ..swifi.hardware import HardwareFaultModel, generate_hardware_fault_set
 from ..swifi.outcomes import MODE_ORDER, FailureMode
@@ -145,6 +150,7 @@ def run_trigger_ablation(
     nth: int = 40,
     jobs: int = 1,
     snapshot: str = SNAPSHOT_OFF,
+    engine: str = ENGINE_SIMPLE,
 ) -> TriggerAblationResult:
     """Re-run one error set under different When policies."""
     config = config or ExperimentConfig()
@@ -175,7 +181,7 @@ def run_trigger_ablation(
             specs,
             config=CampaignConfig(
                 jobs=jobs, seed=config.seed, snapshot=snapshot,
-                label=f"A2:{policy_name}",
+                label=f"A2:{policy_name}", engine=engine,
             ),
         )
         result.policies[policy_name] = outcome.percentages()
@@ -222,6 +228,7 @@ def run_hardware_comparison(
     hardware_faults: int = 24,
     jobs: int = 1,
     snapshot: str = SNAPSHOT_OFF,
+    engine: str = ENGINE_SIMPLE,
 ) -> HardwareComparisonResult:
     """Run §6.3 software error sets and a random hardware population
     against the same program and inputs."""
@@ -243,7 +250,8 @@ def run_hardware_comparison(
         outcome = runner.run(
             error_set.faults,
             config=CampaignConfig(
-                jobs=jobs, seed=config.seed, snapshot=snapshot, label=f"A3:{klass}"
+                jobs=jobs, seed=config.seed, snapshot=snapshot,
+                label=f"A3:{klass}", engine=engine,
             ),
         )
         result.populations[f"software:{klass}"] = outcome.percentages()
@@ -256,7 +264,8 @@ def run_hardware_comparison(
     outcome = runner.run(
         hardware,
         config=CampaignConfig(
-            jobs=jobs, seed=config.seed, snapshot=snapshot, label="A3:hardware"
+            jobs=jobs, seed=config.seed, snapshot=snapshot,
+            label="A3:hardware", engine=engine,
         ),
     )
     result.populations["hardware:random"] = outcome.percentages()

@@ -22,7 +22,13 @@ from dataclasses import dataclass, field
 from ..emulation.operators import ASSIGNMENT_CLASS, CHECKING_CLASS
 from ..emulation.rules import generate_error_set
 from ..persist import atomic_write_json
-from ..swifi.campaign import SNAPSHOT_OFF, CampaignConfig, CampaignRunner, RunRecord
+from ..swifi.campaign import (
+    ENGINE_SIMPLE,
+    SNAPSHOT_OFF,
+    CampaignConfig,
+    CampaignRunner,
+    RunRecord,
+)
 from ..swifi.outcomes import MODE_ORDER, FailureMode
 from ..workloads import table2_workloads
 from .config import ExperimentConfig
@@ -158,6 +164,7 @@ def run_section6(
     telemetry=None,
     snapshot: str = SNAPSHOT_OFF,
     trace: bool = False,
+    engine: str = ENGINE_SIMPLE,
 ) -> Section6Results:
     """Run the §6 campaigns over the Table-2 programs.
 
@@ -172,6 +179,8 @@ def run_section6(
     (off / auto / verify); outcomes are bit-identical either way.
     ``trace`` records per-run span traces into each campaign's journal
     and telemetry (``repro trace report <journal_dir>`` reads them back).
+    ``engine`` picks the machine execution engine (simple / block); the
+    block engine is faster but bit-identical, so figures never change.
     """
     config = config or ExperimentConfig()
     results = Section6Results()
@@ -219,6 +228,7 @@ def run_section6(
                     telemetry=telemetry,
                     label=f"{workload.name}/{klass}",
                     trace=trace,
+                    engine=engine,
                 ),
             )
             campaign.records = outcome.records

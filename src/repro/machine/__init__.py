@@ -17,10 +17,14 @@ from .loader import (
     poke_global_word,
     poke_global_words,
 )
+from .blocks import BlockEngine
 from .machine import (
     CODE_BASE,
     DATA_BASE,
     DEFAULT_BUDGET,
+    ENGINE_BLOCK,
+    ENGINE_SIMPLE,
+    ENGINES,
     HEAP_BASE,
     MAX_CORES,
     STACK_REGION,
@@ -72,9 +76,13 @@ __all__ = [
     "poke_global_bytes",
     "poke_global_word",
     "poke_global_words",
+    "BlockEngine",
     "CODE_BASE",
     "DATA_BASE",
     "DEFAULT_BUDGET",
+    "ENGINE_BLOCK",
+    "ENGINE_SIMPLE",
+    "ENGINES",
     "HEAP_BASE",
     "MAX_CORES",
     "STACK_REGION",

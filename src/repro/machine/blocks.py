@@ -1,0 +1,763 @@
+"""Block-compiling execution engine: superinstruction closures for RX32.
+
+The per-instruction interpreter in :mod:`repro.machine.cpu` pays fetch,
+bounds check, decode-cache lookup and a long if/elif dispatch for every
+retired instruction.  Campaign throughput lives in that loop, so this
+module trades a one-time compilation cost for straight-line execution:
+
+* :class:`BlockEngine` scans ``Machine.code_words`` into **basic blocks**
+  — runs of straight-line instructions terminated by a branch
+  (``b``/``bl``/``blr``/``bc``), cut before ``sc``/``trap`` and before
+  any PC carrying a fetch watch;
+* each block is compiled **once** into a specialized Python closure:
+  operands are baked in as constants, registers live in Python locals
+  for the duration of the block, branch targets and trap messages are
+  precomputed, and ``regs``/``mem_data``/access-range checks are
+  captured in the closure;
+* the dispatch loop executes block-at-a-time from a cache keyed by the
+  block's entry index, falling back to the per-instruction loop whenever
+  a block would overrun the quantum / ``pause_at_instret`` budget, when
+  the next PC carries a fetch watch, and for the entire remainder of a
+  quantum while any data watch or one-shot load/store transform is
+  armed — so every fault-injection hook keeps bit-identical semantics.
+
+Compiled closures are invalidated by a generation check at every
+``run_quantum`` entry and after every fetch-watch step: the machine's
+``_code_gen`` counter (bumped by ``debug_write_code`` and by snapshot
+restore of dirty code-mirror pages), the :class:`~repro.machine.debug.
+DebugUnit` ``generation`` counter (bumped on every watch arm/disarm),
+the memory's segment version, and the literal fetch-watch address set
+(which callers such as the golden-run tracer mutate directly).
+
+The Python *code objects* are cached at module level keyed by the raw
+word tuple — a campaign boots a fresh machine per injection run, so
+per-machine instantiation must be cheap: it is one factory call per
+block, not a re-``compile()``.
+
+Correctness contract (enforced by ``tests/test_engine_equivalence.py``):
+for any program and any fault from the paper's Table-3 classes, the
+block engine retires the same instructions, produces the same register
+file, memory image, console and trap (with identical pc/core attribution
+and retired-instruction count) as the simple interpreter.
+"""
+
+from __future__ import annotations
+
+from struct import pack_into, unpack_from
+from typing import TYPE_CHECKING
+
+from ..isa.encoding import (
+    COND_ALWAYS,
+    COND_EQ,
+    COND_GE,
+    COND_GT,
+    COND_LE,
+    COND_LT,
+    COND_NE,
+    OP_ADDI,
+    OP_ADDIS,
+    OP_ANDI,
+    OP_B,
+    OP_BC,
+    OP_BL,
+    OP_BLR,
+    OP_CMPI,
+    OP_CMPLI,
+    OP_LBZ,
+    OP_LWZ,
+    OP_MFLR,
+    OP_MTLR,
+    OP_MULLI,
+    OP_ORI,
+    OP_SLWI,
+    OP_SRAWI,
+    OP_SRWI,
+    OP_STB,
+    OP_STW,
+    OP_XO,
+    OP_XORI,
+    XO_ADD,
+    XO_AND,
+    XO_CMP,
+    XO_DIVW,
+    XO_MODW,
+    XO_MUL,
+    XO_NEG,
+    XO_NOR,
+    XO_NOT,
+    XO_OR,
+    XO_SLW,
+    XO_SRAW,
+    XO_SRW,
+    XO_SUB,
+    XO_XOR,
+)
+from ..observability import trace as _trace
+from .cpu import decode_fields
+from .traps import ArithmeticTrap, Trap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cpu import Core
+    from .machine import Machine
+
+#: Longest straight-line run compiled into one closure.  Basic blocks in
+#: compiled MiniC are far shorter; the cap only bounds codegen size.
+MAX_BLOCK = 64
+
+#: Cache entry for a PC that cannot head a compiled block (``sc``,
+#: ``trap``, an illegal word): the dispatcher single-steps it instead.
+_UNCOMPILED: tuple[int, None] = (0, None)
+
+_TERMINATORS = frozenset({OP_B, OP_BL, OP_BLR, OP_BC})
+
+_STRAIGHT = frozenset(
+    {
+        OP_ADDI,
+        OP_ADDIS,
+        OP_MULLI,
+        OP_ANDI,
+        OP_ORI,
+        OP_XORI,
+        OP_CMPI,
+        OP_CMPLI,
+        OP_SLWI,
+        OP_SRWI,
+        OP_SRAWI,
+        OP_MFLR,
+        OP_MTLR,
+        OP_LWZ,
+        OP_STW,
+        OP_LBZ,
+        OP_STB,
+    }
+)
+
+_XO_VALID = frozenset(
+    {
+        XO_ADD,
+        XO_SUB,
+        XO_MUL,
+        XO_CMP,
+        XO_DIVW,
+        XO_MODW,
+        XO_AND,
+        XO_OR,
+        XO_XOR,
+        XO_NOR,
+        XO_SLW,
+        XO_SRW,
+        XO_SRAW,
+        XO_NEG,
+        XO_NOT,
+    }
+)
+
+_COND_EXPR = {
+    COND_LT: "cr < 0",
+    COND_LE: "cr <= 0",
+    COND_EQ: "cr == 0",
+    COND_GE: "cr >= 0",
+    COND_GT: "cr > 0",
+    COND_NE: "cr != 0",
+}
+
+_M = "0xFFFFFFFF"
+
+
+def _supported(decoded: tuple[int, int, int, int, int]) -> bool:
+    """Whether codegen handles this word (illegal words fall to the
+    interpreter, which raises the trap with full context)."""
+    opcode = decoded[0]
+    if opcode == OP_XO:
+        return decoded[4] in _XO_VALID
+    if opcode == OP_BC:
+        return decoded[1] == COND_ALWAYS or decoded[1] in _COND_EXPR
+    return opcode in _STRAIGHT or opcode in _TERMINATORS
+
+
+class _Emitter:
+    """Generates the body of one block closure from decoded words.
+
+    Registers used anywhere in the block are hoisted into Python locals
+    (``r5 = regs[5]``) and written back in the epilogue — and, because
+    the block is straight-line, the locals hold the exact architectural
+    state of the completed-instruction prefix at every point, which is
+    what the trap handler writes back.  ``r0`` is modelled faithfully:
+    it is a readable register until the first register-writing
+    instruction zeroes it (matching the interpreter's ``regs[0] = 0``
+    after every write), after which reads fold to the literal ``0``.
+    """
+
+    def __init__(self) -> None:
+        self.prelude: list[str] = []  # factory-level constants
+        self.lines: list[str] = []    # run() body
+        self.used: dict[int, bool] = {}
+        self.uses_cr = False
+        self.uses_lr = False
+        self.r0_zero = False
+        self.can_trap = False
+
+    # -- register plumbing ------------------------------------------------
+
+    def read(self, reg: int) -> str:
+        if reg == 0 and self.r0_zero:
+            return "0"
+        self.used[reg] = True
+        return f"r{reg}"
+
+    def write(self, rd: int, expr: str) -> None:
+        self.used[rd] = True
+        self.lines.append(f"r{rd} = {expr}")
+        if rd == 0:
+            self.lines.append("r0 = 0")
+        elif not self.r0_zero:
+            self.used[0] = True
+            self.lines.append("r0 = 0")
+        self.r0_zero = True
+
+    def _signed(self, expr: str, temp: str) -> str:
+        """Emit a signed-view temp of *expr*; returns the temp name."""
+        self.lines.append(f"{temp} = {expr}")
+        self.lines.append(f"if {temp} >= 0x80000000:")
+        self.lines.append(f"    {temp} -= 0x100000000")
+        return temp
+
+    # -- straight-line instructions --------------------------------------
+
+    def emit(self, k: int, decoded: tuple[int, int, int, int, int]) -> None:
+        opcode, rd, ra, rb, imm = decoded
+        if opcode == OP_ADDI:
+            a = self.read(ra)
+            self.write(rd, hex(imm & 0xFFFFFFFF) if a == "0"
+                       else f"({a} + {imm}) & {_M}")
+        elif opcode == OP_ADDIS:
+            a = self.read(ra)
+            self.write(rd, hex((imm << 16) & 0xFFFFFFFF) if a == "0"
+                       else f"({a} + {imm << 16}) & {_M}")
+        elif opcode == OP_MULLI:
+            a = self.read(ra)
+            self.write(rd, "0" if a == "0" else f"({a} * {imm}) & {_M}")
+        elif opcode == OP_ANDI:
+            a = self.read(ra)
+            self.write(rd, "0" if a == "0" else f"{a} & {imm}")
+        elif opcode == OP_ORI:
+            a = self.read(ra)
+            self.write(rd, hex(imm) if a == "0" else f"{a} | {imm}")
+        elif opcode == OP_XORI:
+            a = self.read(ra)
+            self.write(rd, hex(imm) if a == "0" else f"{a} ^ {imm}")
+        elif opcode == OP_CMPI:
+            self.uses_cr = True
+            a = self.read(ra)
+            if a == "0":
+                self.lines.append(
+                    f"cr = {-1 if 0 < imm else (1 if 0 > imm else 0)}"
+                )
+            else:
+                t = self._signed(a, "t")
+                self.lines.append(
+                    f"cr = -1 if {t} < {imm} else (1 if {t} > {imm} else 0)"
+                )
+        elif opcode == OP_CMPLI:
+            self.uses_cr = True
+            a = self.read(ra)
+            if a == "0":
+                self.lines.append(f"cr = {-1 if 0 < imm else 0}")
+            else:
+                self.lines.append(
+                    f"cr = -1 if {a} < {imm} else (1 if {a} > {imm} else 0)"
+                )
+        elif opcode == OP_SLWI:
+            a = self.read(ra)
+            self.write(rd, "0" if a == "0" else f"({a} << {imm & 31}) & {_M}")
+        elif opcode == OP_SRWI:
+            a = self.read(ra)
+            self.write(rd, "0" if a == "0" else f"{a} >> {imm & 31}")
+        elif opcode == OP_SRAWI:
+            a = self.read(ra)
+            if a == "0":
+                self.write(rd, "0")
+            else:
+                t = self._signed(a, "t")
+                self.write(rd, f"({t} >> {imm & 31}) & {_M}")
+        elif opcode == OP_MFLR:
+            self.uses_lr = True
+            self.write(rd, f"lr & {_M}")
+        elif opcode == OP_MTLR:
+            self.uses_lr = True
+            self.lines.append(f"lr = {self.read(rd)}")
+        elif opcode == OP_LWZ:
+            self._emit_load_word(k, rd, ra, imm)
+        elif opcode == OP_STW:
+            self._emit_store_word(k, rd, ra, imm)
+        elif opcode == OP_LBZ:
+            self._emit_load_byte(k, rd, ra, imm)
+        elif opcode == OP_STB:
+            self._emit_store_byte(k, rd, ra, imm)
+        elif opcode == OP_XO:
+            self._emit_xo(k, rd, ra, rb, imm)
+        else:  # pragma: no cover - the scanner only admits supported words
+            raise AssertionError(f"unsupported opcode {opcode:#x} in block")
+
+    # -- memory -----------------------------------------------------------
+
+    def _effective_address(self, k: int, ra: int, imm: int) -> None:
+        self.can_trap = True
+        self.prelude.append(f"_pc{k} = entry_pc + {4 * k}")
+        self.lines.append(f"ip = {k}")
+        a = self.read(ra)
+        if a == "0":
+            self.lines.append(f"ea = {hex(imm & 0xFFFFFFFF)}")
+        else:
+            self.lines.append(f"ea = ({a} + {imm}) & {_M}")
+
+    def _emit_load_word(self, k: int, rd: int, ra: int, imm: int) -> None:
+        self._effective_address(k, ra, imm)
+        self.lines += [
+            "if ea & 3 == 0:",
+            "    for lo, hi in read_ranges:",
+            "        if lo <= ea < hi:",
+            "            t = unpack_from('>I', mem_data, ea)[0]",
+            "            break",
+            "    else:",
+            f"        t = read_word(ea, _pc{k})",
+            "else:",
+            f"    t = read_word(ea, _pc{k})",
+        ]
+        self.write(rd, "t")
+
+    def _emit_store_word(self, k: int, rd: int, ra: int, imm: int) -> None:
+        self._effective_address(k, ra, imm)
+        self.lines += [
+            f"t = {self.read(rd)}",
+            "if ea & 3 == 0:",
+            "    for lo, hi in write_ranges:",
+            "        if lo <= ea < hi:",
+            "            pack_into('>I', mem_data, ea, t)",
+            "            break",
+            "    else:",
+            f"        write_word(ea, t, _pc{k})",
+            "else:",
+            f"    write_word(ea, t, _pc{k})",
+        ]
+
+    def _emit_load_byte(self, k: int, rd: int, ra: int, imm: int) -> None:
+        self._effective_address(k, ra, imm)
+        self.lines += [
+            "for lo, hi in read_ranges:",
+            "    if lo <= ea < hi:",
+            "        t = mem_data[ea]",
+            "        break",
+            "else:",
+            f"    t = read_byte(ea, _pc{k})",
+        ]
+        self.write(rd, "t")
+
+    def _emit_store_byte(self, k: int, rd: int, ra: int, imm: int) -> None:
+        self._effective_address(k, ra, imm)
+        self.lines += [
+            f"t = {self.read(rd)}",
+            "for lo, hi in write_ranges:",
+            "    if lo <= ea < hi:",
+            "        mem_data[ea] = t & 0xFF",
+            "        break",
+            "else:",
+            f"    write_byte(ea, t, _pc{k})",
+        ]
+
+    # -- the XO register-register group -----------------------------------
+
+    def _emit_xo(self, k: int, rd: int, ra: int, rb: int, subop: int) -> None:
+        a = self.read(ra)
+        b = self.read(rb)
+        if subop == XO_ADD:
+            self.write(rd, f"({a} + {b}) & {_M}")
+        elif subop == XO_SUB:
+            self.write(rd, f"({a} - {b}) & {_M}")
+        elif subop == XO_MUL:
+            self.write(rd, f"({a} * {b}) & {_M}")
+        elif subop == XO_CMP:
+            self.uses_cr = True
+            t = self._signed(a, "t")
+            u = self._signed(b, "u")
+            self.lines.append(
+                f"cr = -1 if {t} < {u} else (1 if {t} > {u} else 0)"
+            )
+        elif subop in (XO_DIVW, XO_MODW):
+            self.can_trap = True
+            self.prelude.append(
+                f"_msg{k} = 'integer division by zero at ' "
+                f"+ format(entry_pc + {4 * k}, '#010x')"
+            )
+            self.lines.append(f"ip = {k}")
+            t = self._signed(a, "t")
+            u = self._signed(b, "u")
+            self.lines += [
+                f"if {u} == 0:",
+                f"    raise ArithmeticTrap(_msg{k})",
+                f"q = abs({t}) // abs({u})",
+                f"if ({t} < 0) != ({u} < 0):",
+                "    q = -q",
+            ]
+            if subop == XO_DIVW:
+                self.write(rd, f"q & {_M}")
+            else:
+                self.write(rd, f"({t} - q * {u}) & {_M}")
+        elif subop == XO_AND:
+            self.write(rd, f"{a} & {b}")
+        elif subop == XO_OR:
+            self.write(rd, f"{a} | {b}")
+        elif subop == XO_XOR:
+            self.write(rd, f"{a} ^ {b}")
+        elif subop == XO_NOR:
+            self.write(rd, f"({a} | {b}) ^ {_M}")
+        elif subop == XO_SLW:
+            self.write(rd, f"({a} << ({b} & 31)) & {_M}")
+        elif subop == XO_SRW:
+            self.write(rd, f"{a} >> ({b} & 31)")
+        elif subop == XO_SRAW:
+            t = self._signed(a, "t")
+            self.write(rd, f"({t} >> ({b} & 31)) & {_M}")
+        elif subop == XO_NEG:
+            self.write(rd, f"(-{a}) & {_M}")
+        elif subop == XO_NOT:
+            self.write(rd, f"{a} ^ {_M}")
+        else:  # pragma: no cover - the scanner only admits valid subops
+            raise AssertionError(f"unsupported XO subop {subop:#x} in block")
+
+    # -- terminators -------------------------------------------------------
+
+    def emit_terminal(self, k: int, decoded: tuple[int, int, int, int, int]) -> str:
+        """The terminal branch; returns the ``return <next_pc>`` line."""
+        opcode, rd, _ra, _rb, imm = decoded
+        if opcode == OP_B:
+            self.prelude.append(
+                f"_t{k} = (entry_pc + {4 * (k + imm)}) & 0xFFFFFFFF"
+            )
+            return f"return _t{k}"
+        if opcode == OP_BL:
+            self.uses_lr = True
+            self.prelude.append(
+                f"_t{k} = (entry_pc + {4 * (k + imm)}) & 0xFFFFFFFF"
+            )
+            self.prelude.append(f"_l{k} = entry_pc + {4 * k + 4}")
+            self.lines.append(f"lr = _l{k}")
+            return f"return _t{k}"
+        if opcode == OP_BLR:
+            self.uses_lr = True
+            return "return lr"
+        assert opcode == OP_BC
+        self.prelude.append(
+            f"_t{k} = (entry_pc + {4 * (k + imm)}) & 0xFFFFFFFF"
+        )
+        if rd == COND_ALWAYS:
+            return f"return _t{k}"
+        self.uses_cr = True
+        self.prelude.append(f"_f{k} = entry_pc + {4 * k + 4}")
+        return f"return _t{k} if {_COND_EXPR[rd]} else _f{k}"
+
+    def emit_fallthrough(self, count: int) -> str:
+        """No terminal branch (block cut by a watch / ``sc`` / cap)."""
+        self.prelude.append(f"_fall = entry_pc + {4 * count}")
+        return "return _fall"
+
+
+def _generate_source(decoded: tuple[tuple[int, int, int, int, int], ...]) -> str:
+    """Python source of the factory producing one block's ``run`` closure."""
+    emitter = _Emitter()
+    count = len(decoded)
+    terminal = decoded[-1][0] in _TERMINATORS
+    for k in range(count - 1 if terminal else count):
+        emitter.emit(k, decoded[k])
+    if terminal:
+        ret = emitter.emit_terminal(count - 1, decoded[count - 1])
+    else:
+        ret = emitter.emit_fallthrough(count)
+
+    hoists = [f"r{reg} = regs[{reg}]" for reg in emitter.used]
+    writebacks = [f"regs[{reg}] = r{reg}" for reg in emitter.used]
+    if emitter.uses_cr:
+        hoists.append("cr = core.cr")
+        writebacks.append("core.cr = cr")
+    if emitter.uses_lr:
+        hoists.append("lr = core.lr")
+        writebacks.append("core.lr = lr")
+
+    out = [
+        "def factory(entry_pc, mem_data, read_ranges, write_ranges, machine,",
+        "            read_word, write_word, read_byte, write_byte,",
+        "            unpack_from, pack_into, ArithmeticTrap, Trap):",
+    ]
+    out += ["    " + line for line in emitter.prelude]
+    out.append("    def run(core, regs):")
+    if emitter.can_trap:
+        out.append("        ip = 0")
+        out.append("        try:")
+        inner = "            "
+    else:
+        inner = "        "
+    for line in hoists + emitter.lines + writebacks:
+        out.append(inner + line)
+    out.append(inner + ret)
+    if emitter.can_trap:
+        out.append("        except Trap as err:")
+        handler = "            "
+        for line in writebacks:
+            out.append(handler + line)
+        out += [
+            handler + "n = ip + 1",
+            handler + "core.instret += n",
+            handler + "machine.instret += n",
+            handler + "pc = entry_pc + ip * 4",
+            handler + "core.pc = pc",
+            handler + "if err.pc is None:",
+            handler + "    err.pc = pc",
+            handler + "if err.core_id is None:",
+            handler + "    err.core_id = core.core_id",
+            handler + "raise",
+        ]
+    out.append("    return run")
+    out.append("")
+    return "\n".join(out)
+
+
+#: Code-object cache: raw word tuple → compiled factory.  Shared across
+#: machines (and therefore across the campaign's per-run fresh boots), so
+#: ``compile()`` is paid once per distinct block, not once per run.
+_FACTORY_CACHE: dict[tuple[int, ...], object] = {}
+
+#: Backstop against pathological churn (randomised fuzz programs); real
+#: campaigns use a handful of programs and never approach this.
+_FACTORY_CACHE_LIMIT = 8192
+
+
+def _factory_for(words: tuple[int, ...]):
+    factory = _FACTORY_CACHE.get(words)
+    if factory is None:
+        if len(_FACTORY_CACHE) >= _FACTORY_CACHE_LIMIT:
+            _FACTORY_CACHE.clear()
+        decoded = tuple(decode_fields(word) for word in words)
+        source = _generate_source(decoded)
+        namespace: dict = {}
+        exec(compile(source, f"<rx32-block[{len(words)}]>", "exec"), namespace)
+        factory = namespace["factory"]
+        _FACTORY_CACHE[words] = factory
+    return factory
+
+
+class BlockEngine:
+    """Per-machine block cache + dispatch loop (see module docstring)."""
+
+    __slots__ = (
+        "machine",
+        "blocks",
+        "_gen_key",
+        "_watch_keys",
+        "compiled",
+        "invalidated",
+    )
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        #: entry pc → (instruction count, run closure); count 0 marks a PC
+        #: the dispatcher must single-step (sc / trap / illegal / a fetch
+        #: watch on the entry itself, so the hot loop needs no watch check).
+        self.blocks: dict[int, tuple] = {}
+        self._gen_key: tuple | None = None
+        self._watch_keys: frozenset[int] = frozenset()
+        self.compiled = 0
+        self.invalidated = 0
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop every compiled block."""
+        if self.blocks:
+            self.invalidated += len(self.blocks)
+            _trace.add_counter("blocks_invalidated", len(self.blocks))
+            self.blocks.clear()
+
+    def _sync(self) -> None:
+        """Invalidate if code, watches or segments changed since last sync.
+
+        The generation counters catch every in-band mutation path
+        (``debug_write_code``, snapshot restore, the debug unit); the
+        literal fetch-watch key comparison additionally catches callers
+        that mutate ``machine._fetch_watch`` directly (the golden-run
+        tracer does) — fetch-watched PCs are block boundaries, so the
+        block partition depends on that exact set.
+        """
+        machine = self.machine
+        key = (
+            machine._code_gen,
+            machine.debug.generation,
+            machine.memory._ranges_gen,
+        )
+        watch_keys = machine._fetch_watch.keys()
+        if key != self._gen_key or watch_keys != self._watch_keys:
+            self.invalidate()
+            self._gen_key = key
+            self._watch_keys = frozenset(watch_keys)
+
+    # -- compilation -------------------------------------------------------
+
+    def _compile(self, entry_pc: int) -> tuple:
+        machine = self.machine
+        words = machine.code_words
+        code_base = machine.code_base
+        watched = self._watch_keys
+        index = (entry_pc - code_base) >> 2
+        total = len(words)
+        decoded: list[tuple[int, int, int, int, int]] = []
+        k = index
+        while k < total and len(decoded) < MAX_BLOCK:
+            # A fetch-watched PC (including the entry itself) is never
+            # part of a compiled block: the dispatcher single-steps it so
+            # the watch handler runs with architecturally exact state.
+            if (code_base + 4 * k) in watched:
+                break
+            fields = decode_fields(words[k])
+            if not _supported(fields):
+                break
+            decoded.append(fields)
+            k += 1
+            if fields[0] in _TERMINATORS:
+                break
+        if not decoded:
+            self.blocks[entry_pc] = _UNCOMPILED
+            return _UNCOMPILED
+        with _trace.phase(_trace.PHASE_BLOCK_COMPILE):
+            factory = _factory_for(tuple(words[index : index + len(decoded)]))
+            memory = machine.memory
+            read_ranges, write_ranges = machine.access_ranges()
+            run = factory(
+                entry_pc,
+                memory.data,
+                read_ranges,
+                write_ranges,
+                machine,
+                memory.read_word,
+                memory.write_word,
+                memory.read_byte,
+                memory.write_byte,
+                unpack_from,
+                pack_into,
+                ArithmeticTrap,
+                Trap,
+            )
+        entry = (len(decoded), run)
+        self.blocks[entry_pc] = entry
+        self.compiled += 1
+        _trace.add_counter("blocks_compiled", 1)
+        return entry
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch(self, core: "Core", limit: int) -> int:
+        """Execute up to *limit* instructions on *core*; return the count.
+
+        Identical contract to the interpreter's ``run_quantum``: executes
+        exactly *limit* instructions unless the core halts, blocks or
+        traps, and leaves ``core.pc`` / retired counters current at every
+        exit — partial quanta included.
+        """
+        machine = self.machine
+        self._sync()
+        blocks_get = self.blocks.get
+        simple = core._run_quantum_simple
+        regs = core.regs
+        executed = 0
+        # ``pc`` shadows ``core.pc`` and ``pending`` holds block-retired
+        # instructions not yet flushed to the architectural counters; both
+        # are synchronised before every interpreter excursion and on every
+        # exit, so observable state is exact at every boundary.  On a trap
+        # inside a block the closure's handler accounts for its own
+        # partial progress and sets ``core.pc``; the except arm below
+        # flushes the blocks that completed before it.
+        pending = 0
+        pc = core.pc
+        # Hooks can only become armed through interpreted steps (fetch
+        # handlers / callers outside run_quantum) — never by a compiled
+        # block, which is pure computation — so the armed check runs at
+        # entry and after every interpreter excursion, not per block.
+        check_hooks = True
+        try:
+            while executed < limit:
+                if check_hooks:
+                    if (
+                        machine._load_watch
+                        or machine._store_watch
+                        or core._load_transform is not None
+                        or core._store_transform is not None
+                    ):
+                        # Data watches / one-shot transforms hook
+                        # individual loads and stores: the interpreter
+                        # runs the remainder.
+                        core.pc = pc
+                        core.instret += pending
+                        machine.instret += pending
+                        pending = 0
+                        executed += simple(limit - executed)
+                        if core.halted or core.blocked:
+                            return executed
+                        pc = core.pc
+                        continue  # handlers may have disarmed; re-check
+                    check_hooks = False
+                entry = blocks_get(pc)
+                if entry is None:
+                    core.pc = pc
+                    if pc < machine.code_base or pc >= machine.code_end:
+                        core.instret += pending
+                        machine.instret += pending
+                        pending = 0
+                        executed += simple(limit - executed)  # fetch trap
+                        if core.halted or core.blocked:  # pragma: no cover
+                            return executed
+                        pc = core.pc  # pragma: no cover
+                        continue  # pragma: no cover
+                    entry = self._compile(pc)
+                count = entry[0]
+                if count == 0:
+                    # sc / trap / illegal word / fetch watch on this PC:
+                    # one interpreted step runs it (applying any watch
+                    # handler), which may rewrite code or re-arm hooks —
+                    # re-validate both afterwards.
+                    core.pc = pc
+                    core.instret += pending
+                    machine.instret += pending
+                    pending = 0
+                    executed += simple(1)
+                    if core.halted or core.blocked:
+                        return executed
+                    self._sync()
+                    blocks_get = self.blocks.get
+                    check_hooks = True
+                    pc = core.pc
+                    continue
+                if count > limit - executed:
+                    # The block would overrun the quantum / pause budget:
+                    # the interpreter finishes the partial slice exactly.
+                    core.pc = pc
+                    core.instret += pending
+                    machine.instret += pending
+                    pending = 0
+                    executed += simple(limit - executed)
+                    if core.halted or core.blocked:
+                        return executed
+                    pc = core.pc
+                    continue
+                pc = entry[1](core, regs)
+                pending += count
+                executed += count
+            core.pc = pc
+            core.instret += pending
+            machine.instret += pending
+            pending = 0
+            return executed
+        except BaseException:
+            core.instret += pending
+            machine.instret += pending
+            raise
+
+
+__all__ = ["BlockEngine", "MAX_BLOCK"]

@@ -178,8 +178,18 @@ class Core:
 
         Stops early when the core halts (exit syscall), blocks (barrier)
         or raises a trap.  Traps propagate to the caller with core/pc
-        context attached.
+        context attached.  Dispatches to the machine's block-compiling
+        engine when one is configured (``Machine(engine="block")``); the
+        engine itself falls back to :meth:`_run_quantum_simple` around
+        every fault-injection hook.
         """
+        engine = self.machine.block_engine
+        if engine is not None:
+            return engine.dispatch(self, limit)
+        return self._run_quantum_simple(limit)
+
+    def _run_quantum_simple(self, limit: int) -> int:
+        """The per-instruction interpreter loop (the ``simple`` engine)."""
         machine = self.machine
         mem = machine.memory
         read_word = mem.read_word
@@ -386,7 +396,10 @@ class Core:
                     if store_watch:
                         handler = store_watch.get(ea)
                         if handler is not None:
-                            value = handler(self, ea, value) & _MASK
+                            # Byte ops mask handler results to a byte, same
+                            # as the OP_LBZ load-watch path: the bus only
+                            # carries 8 bits here.
+                            value = handler(self, ea, value) & 0xFF
                     for lo, hi in write_ranges:
                         if lo <= ea < hi:
                             mem_data[ea] = value & 0xFF

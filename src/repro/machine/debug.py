@@ -52,6 +52,9 @@ class DebugUnit:
         self._dabr: dict[int, DataHandler] = {}
         self._software_breakpoints: dict[int, tuple[int, FetchHandler]] = {}
         self.intrusive = False  # True once trap insertion has modified the program
+        # Bumped on every arm/disarm; the block engine keys its compiled-
+        # block cache on it (watched PCs are block boundaries).
+        self.generation = 0
 
     # -- hardware breakpoints ------------------------------------------------
 
@@ -63,11 +66,13 @@ class DebugUnit:
             )
         self._iabr[address] = handler
         self.machine._fetch_watch[address] = handler
+        self.generation += 1
 
     def clear_iabr(self, address: int) -> None:
         self._iabr.pop(address, None)
         if address not in self._software_breakpoints:
             self.machine._fetch_watch.pop(address, None)
+        self.generation += 1
 
     def set_dabr(
         self,
@@ -87,11 +92,13 @@ class DebugUnit:
             self.machine._load_watch[address] = handler
         if on_store:
             self.machine._store_watch[address] = handler
+        self.generation += 1
 
     def clear_dabr(self, address: int) -> None:
         self._dabr.pop(address, None)
         self.machine._load_watch.pop(address, None)
         self.machine._store_watch.pop(address, None)
+        self.generation += 1
 
     @property
     def iabr_in_use(self) -> int:
@@ -128,6 +135,7 @@ class DebugUnit:
             return saved if substitute is None else substitute
 
         machine._fetch_watch[address] = on_fetch
+        self.generation += 1
 
     def remove_trap(self, address: int) -> None:
         entry = self._software_breakpoints.pop(address, None)
@@ -138,6 +146,7 @@ class DebugUnit:
         self.machine._fetch_watch.pop(address, None)
         if address in self._iabr:  # pragma: no cover - defensive
             self.machine._fetch_watch[address] = self._iabr[address]
+        self.generation += 1
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -150,3 +159,4 @@ class DebugUnit:
         self.machine._fetch_watch.clear()
         self.machine._load_watch.clear()
         self.machine._store_watch.clear()
+        self.generation += 1

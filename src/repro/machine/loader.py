@@ -19,6 +19,7 @@ from typing import Any
 from .machine import (
     CODE_BASE,
     DATA_BASE,
+    ENGINE_SIMPLE,
     HEAP_BASE,
     MAX_CORES,
     STACK_REGION,
@@ -107,11 +108,12 @@ def peek_global_word(machine: Machine, symbol: str) -> int:
 
 
 def boot(executable: Executable, *, num_cores: int = 1,
-         inputs: dict[str, int | list[int] | bytes] | None = None) -> Machine:
+         inputs: dict[str, int | list[int] | bytes] | None = None,
+         engine: str = ENGINE_SIMPLE) -> Machine:
     """Fresh machine + loaded program + input globals: one injection run's start state."""
     if not 1 <= num_cores <= MAX_CORES:
         raise LoaderError(f"num_cores must be 1..{MAX_CORES}")
-    machine = Machine(num_cores=num_cores)
+    machine = Machine(num_cores=num_cores, engine=engine)
     load(machine, executable)
     for symbol, value in (inputs or {}).items():
         if isinstance(value, bytes):

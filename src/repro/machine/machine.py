@@ -37,6 +37,14 @@ PHYSICAL_SIZE = STACK_REGION + MAX_CORES * STACK_SIZE
 DEFAULT_QUANTUM = 64
 DEFAULT_BUDGET = 50_000_000
 
+# Execution engines (see cpu.py and blocks.py).  ``simple`` is the
+# per-instruction threaded interpreter; ``block`` compiles basic blocks
+# into specialized closures and falls back to ``simple`` around every
+# fault-injection hook, so outcomes are bit-identical between the two.
+ENGINE_SIMPLE = "simple"
+ENGINE_BLOCK = "block"
+ENGINES = (ENGINE_SIMPLE, ENGINE_BLOCK)
+
 
 @dataclass(frozen=True)
 class RunResult:
@@ -58,9 +66,12 @@ class Machine:
     """One bootable instance of the simulated target system."""
 
     def __init__(self, num_cores: int = 1, *, heap_size: int = 0x0010_0000,
-                 console_limit: int = 1 << 20) -> None:
+                 console_limit: int = 1 << 20,
+                 engine: str = ENGINE_SIMPLE) -> None:
         if not 1 <= num_cores <= MAX_CORES:
             raise ValueError(f"num_cores must be 1..{MAX_CORES}")
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         self.memory = Memory(PHYSICAL_SIZE)
         self.cores = [Core(self, index) for index in range(num_cores)]
         self.console = bytearray()
@@ -87,6 +98,20 @@ class Machine:
         # last snapshot baseline (lets restore repair the mirror and the
         # decode cache without rebuilding either).
         self._mirror_dirty: set[int] = set()
+        # Code-mirror version: bumped whenever code_words changes after
+        # install (debug_write_code, snapshot restore of dirty indices).
+        self._code_gen = 0
+        # access_ranges() cache, keyed on the memory's segment version.
+        self._access_ranges: tuple | None = None
+        self._access_ranges_gen = -1
+
+        self.engine = engine
+        if engine == ENGINE_BLOCK:
+            from .blocks import BlockEngine
+
+            self.block_engine = BlockEngine(self)
+        else:
+            self.block_engine = None
 
     # ------------------------------------------------------------------
 
@@ -108,8 +133,15 @@ class Machine:
         """(readable, writable) address ranges for the CPU fast path.
 
         Ordered by expected access frequency: stacks first (locals dominate
-        compiled code), then data, heap, and — for reads — code.
+        compiled code), then data, heap, and — for reads — code.  Cached on
+        the instance against the memory's segment version — this is called
+        once per quantum, and re-sorting all segments every 64 instructions
+        is measurable on multi-core runs.
         """
+        cached = self._access_ranges
+        if cached is not None and self._access_ranges_gen == self.memory._ranges_gen:
+            return cached
+
         def sort_key(segment) -> int:
             if segment.name.startswith("stack"):
                 return 0
@@ -122,7 +154,9 @@ class Machine:
         ordered = sorted(self.memory.segments, key=sort_key)
         readable = [(s.start, s.end) for s in ordered]
         writable = [(s.start, s.end) for s in ordered if s.writable]
-        return readable, writable
+        self._access_ranges = (readable, writable)
+        self._access_ranges_gen = self.memory._ranges_gen
+        return self._access_ranges
 
     def debug_write_code(self, address: int, word: int) -> None:
         """Debug-port write into the code segment, keeping the mirror hot."""
@@ -132,6 +166,7 @@ class Machine:
             self.code_words[index] = word & 0xFFFFFFFF
             self.decode_cache[index] = None
             self._mirror_dirty.add(index)
+            self._code_gen += 1
 
     def debug_read_code(self, address: int) -> int:
         return self.memory.debug_read_word(address)
@@ -231,7 +266,7 @@ class Machine:
         )
         return RunResult(
             status=status,
-            exit_code=exit_code if status == "exited" else exit_code,
+            exit_code=exit_code,
             trap=trap,
             instructions=self.instret,
             console=bytes(self.console),

@@ -50,6 +50,9 @@ class Memory:
         self.size = size
         self.data = bytearray(size)
         self.segments: list[Segment] = []
+        # Segment-layout version; consumers caching derived views of the
+        # segment list (Machine.access_ranges, the block engine) key on it.
+        self._ranges_gen = 0
         # Pages touched through the debug port since the last snapshot
         # baseline.  Debug writes may land outside any segment (e.g. a
         # MemoryWord corruption aimed at a gap), so segment-derived page
@@ -66,6 +69,7 @@ class Memory:
                 raise ValueError(f"segment {name!r} overlaps {existing.name!r}")
         segment = Segment(name, start, size, writable)
         self.segments.append(segment)
+        self._ranges_gen += 1
         return segment
 
     def segment_for(self, address: int, size: int = 1) -> Segment | None:

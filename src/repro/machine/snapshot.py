@@ -181,11 +181,13 @@ def restore_snapshot(machine: "Machine", snapshot: MachineSnapshot) -> None:
             for index, word in enumerate(snapshot.code_words)
             if word != snapshot.baseline.code_words[index]
         )
+        machine._code_gen += 1
     elif machine._mirror_dirty:
         for index in machine._mirror_dirty:
             machine.code_words[index] = snapshot.baseline.code_words[index]
             machine.decode_cache[index] = None
         machine._mirror_dirty.clear()
+        machine._code_gen += 1
 
     # 4. Cores (including the one-shot load/store transforms, which are
     #    never live at a snapshot point — they exist only within a single

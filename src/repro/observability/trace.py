@@ -45,6 +45,7 @@ PHASE_SNAPSHOT_RESTORE = "snapshot-restore"
 PHASE_POST_TRIGGER = "post-trigger-execute"
 PHASE_EXECUTE = "execute"  # full fresh-boot execution (prefix + suffix)
 PHASE_CLASSIFY = "classify"
+PHASE_BLOCK_COMPILE = "block-compile"  # block engine compiling a basic block
 
 PHASES = (
     PHASE_BOOT,
@@ -54,6 +55,7 @@ PHASES = (
     PHASE_POST_TRIGGER,
     PHASE_EXECUTE,
     PHASE_CLASSIFY,
+    PHASE_BLOCK_COMPILE,
 )
 
 # -- execution paths and fallback reasons ------------------------------------
@@ -436,6 +438,7 @@ __all__ = [
     "PATH_FRESH",
     "PATH_SNAPSHOT",
     "PHASES",
+    "PHASE_BLOCK_COMPILE",
     "PHASE_BOOT",
     "PHASE_CLASSIFY",
     "PHASE_EXECUTE",

@@ -75,6 +75,7 @@ class OrchestratorOptions:
     seed: int = 0
     snapshot: str = "off"                   # golden-run restore fast path
     trace: bool = False                     # per-run span tracing
+    engine: str = "simple"                  # machine execution engine
     shard_size: int | None = None
     max_retries: int = 2
     shard_deadline: float | None = None     # seconds per shard attempt
@@ -260,6 +261,7 @@ class CampaignOrchestrator:
             num_cores=self.num_cores,
             quantum=self.quantum,
             policy=self.options.snapshot,
+            engine=self.options.engine,
         )
 
     # -- inline (jobs=1) path ------------------------------------------
@@ -282,6 +284,7 @@ class CampaignOrchestrator:
                 num_cores=self.num_cores,
                 quantum=self.quantum,
                 snapshots=snapshots,
+                engine=self.options.engine,
             )
             trace_payload = _trace.take_completed() if self.options.trace else None
             completed[index] = record
@@ -341,6 +344,7 @@ class CampaignOrchestrator:
             seed=state.shard.seed,
             snapshot=self.options.snapshot,
             trace=self.options.trace,
+            engine=self.options.engine,
             crash_after_runs=crash_after if crash_attempts else None,
             crash_attempts=crash_attempts,
             stall_seconds=stall_seconds,

@@ -61,6 +61,7 @@ class ShardTask:
     seed: int
     snapshot: str = "off"  # golden-run restore policy; cache built in-process
     trace: bool = False    # per-run span tracing (repro.observability)
+    engine: str = "simple"  # machine execution engine for every run
     # -- supervision drill hooks (exercised by the test suite) ----------
     crash_after_runs: int | None = None
     crash_attempts: int = 0
@@ -100,6 +101,7 @@ def shard_worker_main(task: ShardTask, queue) -> None:
                 num_cores=task.num_cores,
                 quantum=task.quantum,
                 policy=task.snapshot,
+                engine=task.engine,
             )
         for run_index, fault_pos, case_pos in task.runs:
             spec = task.faults[fault_pos]
@@ -112,6 +114,7 @@ def shard_worker_main(task: ShardTask, queue) -> None:
                 num_cores=task.num_cores,
                 quantum=task.quantum,
                 snapshots=snapshots,
+                engine=task.engine,
             )
             payload = _trace.take_completed() if task.trace else None
             queue.put((MSG_RUN, task.shard_id, run_index, record.to_dict(), payload))

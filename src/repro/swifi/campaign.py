@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
 from ..lang.compiler import CompiledProgram
 from ..machine.loader import boot
+from ..machine.machine import ENGINE_BLOCK, ENGINE_SIMPLE, ENGINES
 from ..observability import trace as _trace
 from ..persist import atomic_write_json
 from .faults import FaultSpec
@@ -90,6 +91,10 @@ class CampaignConfig:
       run's phase timings, execution path and fallback reason are
       journaled beside its record and aggregated into telemetry; read
       them back with ``repro trace report``;
+    * ``engine`` — the machine's execution engine: ``"simple"`` is the
+      per-instruction interpreter, ``"block"`` the block-compiling engine
+      (:mod:`repro.machine.blocks`), which is faster and falls back to
+      the interpreter around every fault-injection hook;
     * ``budget_factor``/``min_budget`` — override the runner's hang
       budget calibration (``None`` keeps the runner's values).
 
@@ -104,6 +109,7 @@ class CampaignConfig:
     telemetry: "TelemetrySink | None" = None
     label: str | None = None
     trace: bool = False
+    engine: str = ENGINE_SIMPLE
     budget_factor: int | None = None
     min_budget: int | None = None
 
@@ -113,6 +119,10 @@ class CampaignConfig:
         if self.snapshot not in SNAPSHOT_POLICIES:
             raise ValueError(
                 f"snapshot must be one of {SNAPSHOT_POLICIES}, got {self.snapshot!r}"
+            )
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
             )
         if self.resume and self.journal_dir is None:
             raise ValueError("resume=True needs a journal_dir to resume from")
@@ -288,6 +298,7 @@ def execute_injection_run(
     num_cores: int = 1,
     quantum: int = 64,
     snapshots: "SnapshotCache | None" = None,
+    engine: str = ENGINE_SIMPLE,
 ) -> RunRecord:
     """One injection run: fresh boot, arm, execute, classify.
 
@@ -315,7 +326,10 @@ def execute_injection_run(
                 _trace.end_run(run_trace, record)
                 return record
         with _trace.phase(_trace.PHASE_BOOT):
-            machine = boot(executable, num_cores=num_cores, inputs=dict(case.pokes))
+            machine = boot(
+                executable, num_cores=num_cores, inputs=dict(case.pokes),
+                engine=engine,
+            )
         session = InjectionSession(machine)
         if spec is not None:
             session.arm(spec)
@@ -363,6 +377,7 @@ class CampaignRunner:
         self.budget_factor = budget_factor
         self.min_budget = min_budget
         self.quantum = quantum
+        self.engine = ENGINE_SIMPLE  # set per-campaign from CampaignConfig
         self.budgets: dict[str, int] = {}
         self.golden_instructions: dict[str, int] = {}
 
@@ -371,7 +386,8 @@ class CampaignRunner:
     def calibrate_case(self, case: InputCase) -> None:
         """Fault-free run of one input: oracle check + hang-budget derivation."""
         machine = boot(
-            self.compiled.executable, num_cores=self.num_cores, inputs=dict(case.pokes)
+            self.compiled.executable, num_cores=self.num_cores,
+            inputs=dict(case.pokes), engine=self.engine,
         )
         result = machine.run(quantum=self.quantum)
         if result.status != "exited":
@@ -411,6 +427,7 @@ class CampaignRunner:
             budget=self._budget_for(case),
             num_cores=self.num_cores,
             quantum=self.quantum,
+            engine=self.engine,
         )
 
     def _apply_budget_overrides(self, config: CampaignConfig) -> None:
@@ -468,6 +485,10 @@ class CampaignRunner:
         elif config is None:
             config = CampaignConfig()
         self._apply_budget_overrides(config)
+        if config.engine != self.engine:
+            self.engine = config.engine
+            # Budgets are engine-independent (instret is bit-identical),
+            # so calibrations from a previous engine remain valid.
 
         if (
             config.jobs == 1
@@ -486,6 +507,7 @@ class CampaignRunner:
                     num_cores=self.num_cores,
                     quantum=self.quantum,
                     policy=config.snapshot,
+                    engine=config.engine,
                 )
             result = CampaignResult(program=self.compiled.name)
             total = len(faults) * len(self.cases)
@@ -501,6 +523,7 @@ class CampaignRunner:
                             num_cores=self.num_cores,
                             quantum=self.quantum,
                             snapshots=snapshots,
+                            engine=config.engine,
                         )
                     )
                     done += 1
@@ -520,6 +543,7 @@ class CampaignRunner:
                 seed=config.seed,
                 snapshot=config.snapshot,
                 trace=config.trace,
+                engine=config.engine,
             ),
             telemetry=config.telemetry,
             progress=progress,

@@ -52,6 +52,7 @@ from collections import Counter
 from typing import TYPE_CHECKING
 
 from ..machine.loader import Executable, boot
+from ..machine.machine import ENGINE_SIMPLE
 from ..observability import trace as _trace
 from .campaign import (
     SNAPSHOT_AUTO,
@@ -154,11 +155,12 @@ class CaseTrace:
         *,
         budget: int,
         quantum: int,
+        engine: str = ENGINE_SIMPLE,
     ) -> None:
         self.case = case
         with _trace.phase(_trace.PHASE_BOOT):
             self.machine: "Machine" = boot(
-                executable, num_cores=1, inputs=dict(case.pokes)
+                executable, num_cores=1, inputs=dict(case.pokes), engine=engine
             )
         self.baseline = self.machine.baseline()
         self.snapshots: dict[TriggerKey, object] = {}
@@ -300,6 +302,7 @@ class SnapshotCache:
         num_cores: int = 1,
         quantum: int = 64,
         policy: str = SNAPSHOT_AUTO,
+        engine: str = ENGINE_SIMPLE,
     ) -> None:
         if policy not in SNAPSHOT_POLICIES or policy == SNAPSHOT_OFF:
             raise ValueError(
@@ -310,6 +313,7 @@ class SnapshotCache:
         self.num_cores = num_cores
         self.quantum = quantum
         self.policy = policy
+        self.engine = engine
         # Every eligible trigger key in the campaign, so one golden run
         # per case captures the checkpoints for all of its faults.
         self._keys: set[TriggerKey] = set()
@@ -340,7 +344,8 @@ class SnapshotCache:
         trace = self._traces.get(case.case_id)
         if trace is None:
             trace = CaseTrace(
-                self.executable, case, self._keys, budget=budget, quantum=self.quantum
+                self.executable, case, self._keys, budget=budget,
+                quantum=self.quantum, engine=self.engine,
             )
             self._traces[case.case_id] = trace
         return trace
@@ -379,6 +384,7 @@ class SnapshotCache:
                 budget=budget,
                 num_cores=self.num_cores,
                 quantum=self.quantum,
+                engine=self.engine,
             )
             if fresh != record:
                 raise SnapshotDivergence(

@@ -1,0 +1,273 @@
+"""The block-compiled engine must be bit-identical to the interpreter.
+
+ISSUE acceptance for the execution-engine tentpole: for any program and
+any fault, ``Machine(engine="block")`` produces the same
+:class:`RunResult` *and* the same final architectural state (registers,
+cr/lr/pc, full memory image, console, retired-instruction counts) as the
+per-instruction interpreter — including traps raised mid-block, budget
+exhaustion at exact instruction counts, ``pause_at_instret`` boundaries,
+fault-injection watches (which force per-instruction fallback), snapshot
+restore, and the ``jobs=4`` orchestrated path.
+"""
+
+import random
+
+import pytest
+
+from repro.emulation import ASSIGNMENT_CLASS, CHECKING_CLASS
+from repro.emulation.rules import generate_error_set
+from repro.lang import compile_source
+from repro.machine import ENGINE_BLOCK, ENGINE_SIMPLE, boot
+from repro.swifi import CampaignConfig, CampaignRunner, InputCase
+from repro.swifi.campaign import execute_injection_run
+
+ENGINES = (ENGINE_SIMPLE, ENGINE_BLOCK)
+
+
+def final_state(machine, result):
+    """Everything architecturally observable after a run."""
+    return {
+        "status": result.status,
+        "exit_code": result.exit_code,
+        "trap": repr(result.trap),
+        "instructions": result.instructions,
+        "console": result.console,
+        "machine_instret": machine.instret,
+        "cores": [
+            (core.pc, core.cr, core.lr, core.instret, tuple(core.regs))
+            for core in machine.cores
+        ],
+        "memory": bytes(machine.memory.data),
+    }
+
+
+def run_both(compiled, *, inputs=None, num_cores=1, budget=2_000_000,
+             pause_at_instret=None):
+    states = []
+    for engine in ENGINES:
+        machine = boot(compiled.executable, num_cores=num_cores,
+                       inputs=inputs, engine=engine)
+        result = machine.run(max_instructions=budget,
+                             pause_at_instret=pause_at_instret)
+        states.append(final_state(machine, result))
+    return states
+
+
+# ---------------------------------------------------------------------------
+# Randomised straight-line / branchy programs
+# ---------------------------------------------------------------------------
+
+_BINOPS = ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"]
+
+
+def random_program(rng: random.Random) -> str:
+    """A short random MiniC program: arithmetic soup with loops and branches.
+
+    Divisions by a possibly-zero expression are *kept* — an arithmetic
+    trap raised from the middle of a compiled block is exactly the kind
+    of path this suite must prove identical.
+    """
+    lines = ["int in_a;", "int in_b;", "void main() {"]
+    names = ["in_a", "in_b"]
+    for i in range(rng.randint(3, 7)):
+        var = f"v{i}"
+        a, b = rng.choice(names), rng.choice(names)
+        op = rng.choice(_BINOPS)
+        lines.append(f"    int {var} = ({a} {op} ({b} & 15)) + {rng.randint(-9, 99)};")
+        names.append(var)
+    loop_var = "i"
+    lines.append("    int acc = 1;")
+    lines.append(f"    int {loop_var};")
+    lines.append(f"    for ({loop_var} = 0; {loop_var} < {rng.randint(5, 60)}; {loop_var}++) {{")
+    a, b = rng.choice(names), rng.choice(names)
+    lines.append(f"        acc = acc * 3 + ({a} {rng.choice(_BINOPS)} ({b} | 1));")
+    lines.append(f"        if (acc > {rng.randint(100, 10_000)}) {{ acc = acc - {a}; }}")
+    lines.append("    }")
+    for name in names[2:]:
+        lines.append(f"    print_int({name});")
+    lines.append("    print_int(acc);")
+    lines.append(f"    exit(acc & {rng.randint(0, 3)});")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+class TestRandomProgramEquivalence:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_program_full_state_identical(self, seed):
+        rng = random.Random(1000 + seed)
+        compiled = compile_source(random_program(rng), f"rand{seed}")
+        inputs = {"in_a": rng.randint(-1 << 31, (1 << 31) - 1),
+                  "in_b": rng.randint(-100, 100)}
+        simple, block = run_both(compiled, inputs=inputs)
+        assert block == simple
+
+    def test_division_by_zero_trap_identical(self):
+        source = """
+        int in_x;
+        void main() {
+            int a = 7;
+            int b = a / in_x;
+            print_int(b);
+            exit(0);
+        }
+        """
+        compiled = compile_source(source, "divzero")
+        simple, block = run_both(compiled, inputs={"in_x": 0})
+        assert simple["status"] == "trapped"
+        assert block == simple
+
+
+SUM_SOURCE = """
+int in_x;
+void main() {
+    int i;
+    int total = 0;
+    for (i = 0; i < in_x; i++) {
+        total = total + i;
+    }
+    print_int(total);
+    exit(0);
+}
+"""
+
+
+class TestBoundaryEquivalence:
+    """Quantum, budget and pause boundaries cut blocks mid-flight."""
+
+    @pytest.fixture(scope="class")
+    def summer(self):
+        return compile_source(SUM_SOURCE, "summer")
+
+    def test_budget_exhaustion_exact(self, summer):
+        simple, block = run_both(summer, inputs={"in_x": 1 << 30}, budget=997)
+        assert simple["status"] == "hung"
+        assert simple["instructions"] == 997
+        assert block == simple
+
+    @pytest.mark.parametrize("pause", [1, 2, 63, 64, 65, 500])
+    def test_pause_at_instret_exact(self, summer, pause):
+        simple, block = run_both(
+            summer, inputs={"in_x": 1 << 30}, pause_at_instret=pause
+        )
+        assert simple["status"] == "paused"
+        assert simple["machine_instret"] == pause
+        assert block == simple
+
+    def test_multicore_round_robin_identical(self):
+        source = """
+        void main() {
+            int i;
+            int acc = core_id() + 1;
+            for (i = 0; i < 200; i++) {
+                acc = acc * 5 + i;
+            }
+            print_int(acc);
+            barrier();
+            exit(0);
+        }
+        """
+        compiled = compile_source(source, "multicore")
+        simple, block = run_both(compiled, num_cores=2)
+        assert simple["status"] == "exited"
+        assert block == simple
+
+
+class TestInvalidation:
+    """Self-modifying code and snapshot restore must drop stale blocks."""
+
+    def test_debug_write_code_invalidates(self):
+        compiled = compile_source(SUM_SOURCE, "summer")
+        machines = []
+        for engine in ENGINES:
+            machine = boot(compiled.executable, inputs={"in_x": 50},
+                           engine=engine)
+            # Warm the block cache (or the interpreter) past the loop head...
+            machine.run(max_instructions=40, pause_at_instret=40)
+            # ...then rewrite an instruction under its feet: patch the
+            # first word of main into a no-op-like addi r0, r0, 0.
+            machine.debug_write_code(machine.code_base, 0x14 << 26)
+            machines.append((machine, machine.run()))
+        simple, block = (final_state(m, r) for m, r in machines)
+        assert block == simple
+
+    def test_snapshot_restore_reexecutes_identically(self):
+        from repro.machine.snapshot import (
+            capture_baseline,
+            capture_snapshot,
+            restore_snapshot,
+        )
+
+        compiled = compile_source(SUM_SOURCE, "summer")
+        for engine in ENGINES:
+            machine = boot(compiled.executable, inputs={"in_x": 30},
+                           engine=engine)
+            machine.run(max_instructions=100, pause_at_instret=100)
+            baseline = capture_baseline(machine)
+            snapshot = capture_snapshot(machine, baseline)
+            first = final_state(machine, machine.run())
+            restore_snapshot(machine, snapshot)
+            second = final_state(machine, machine.run())
+            assert second == first
+
+    def test_block_engine_counters_move(self):
+        compiled = compile_source(SUM_SOURCE, "summer")
+        machine = boot(compiled.executable, inputs={"in_x": 10},
+                       engine=ENGINE_BLOCK)
+        engine = machine.block_engine
+        machine.run()
+        assert engine.compiled > 0
+        cached = len(engine.blocks)
+        assert cached > 0
+        machine.debug_write_code(machine.code_base, 0x14 << 26)
+        engine._sync()
+        # ``invalidated`` counts dropped cache entries, not events.
+        assert engine.invalidated == cached
+        assert not engine.blocks
+
+
+# ---------------------------------------------------------------------------
+# Fault injection: the engines must agree under every Table-3 error type
+# ---------------------------------------------------------------------------
+
+
+class TestInjectionEquivalence:
+    @pytest.mark.parametrize("klass", [ASSIGNMENT_CLASS, CHECKING_CLASS])
+    def test_error_set_runs_identical(self, klass):
+        from repro.workloads import get_workload
+
+        workload = get_workload("JB.team11")
+        compiled = workload.compiled()
+        cases = workload.make_cases(1, seed=77)
+        error_set = generate_error_set(
+            compiled, klass, max_locations=3, rng=random.Random(13)
+        )
+        assert error_set.faults
+        for spec in error_set.faults:
+            for case in cases:
+                records = [
+                    execute_injection_run(
+                        compiled.executable, spec, case,
+                        budget=2_000_000, engine=engine,
+                    ).to_dict()
+                    for engine in ENGINES
+                ]
+                assert records[1] == records[0], spec.fault_id
+
+    def test_campaign_block_engine_matches_simple(self):
+        compiled = compile_source(SUM_SOURCE, "summer")
+        cases = [InputCase("a", {"in_x": 10}, b"45"),
+                 InputCase("b", {"in_x": 3}, b"3")]
+        error_set = generate_error_set(
+            compiled, ASSIGNMENT_CLASS, max_locations=3, rng=random.Random(5)
+        )
+        baseline = CampaignRunner(compiled, cases).run(error_set.faults)
+        for config in (
+            CampaignConfig(engine=ENGINE_BLOCK),
+            CampaignConfig(engine=ENGINE_BLOCK, snapshot="auto"),
+            CampaignConfig(engine=ENGINE_BLOCK, snapshot="verify"),
+            CampaignConfig(engine=ENGINE_BLOCK, jobs=4, seed=11),
+        ):
+            outcome = CampaignRunner(compiled, cases).run(
+                error_set.faults, config=config
+            )
+            assert outcome.records == baseline.records

@@ -201,6 +201,51 @@ class TestMemoryInstructions:
         assert result.trap.core_id == 0
 
 
+class TestByteWatchMasking:
+    """Watch handlers on byte ops produce bytes: the bus carries 8 bits.
+
+    Regression: the OP_STB store-watch path used to mask handler results
+    with the 32-bit register mask while OP_LBZ masked with 0xFF — an
+    injection handler returning a wide value leaked bits above the byte
+    bus into the store path and relied on the memory layer to drop them.
+    Both paths now truncate at the watch, so the value the rest of the
+    instruction sees *is* the architecturally visible byte.
+    """
+
+    def _boot(self, source):
+        program = assemble_text(source, base=0x1000)
+        executable = Executable(
+            code=program.code, entry=0x1000, symbols=program.symbols
+        )
+        return boot(executable)
+
+    def test_stb_watch_result_truncated_to_byte(self):
+        machine = self._boot(
+            "addi r3, r0, 0x12\nstb r3, -1(r1)\nlbz r4, -1(r1)\nsc 0"
+        )
+        address = (machine.cores[0].regs[1] - 1) & 0xFFFFFFFF
+        seen = []
+
+        def corrupt(core, ea, value):
+            seen.append(value)
+            return value | 0xF00  # wider than the byte bus
+
+        machine._store_watch[address] = corrupt
+        machine.run(max_instructions=100)
+        assert seen == [0x12]                      # full register reaches the watch
+        assert machine.memory.data[address] == 0x12  # bus truncated the 0xF00
+        assert reg(machine, 4) == 0x12
+
+    def test_lbz_watch_result_truncated_to_byte(self):
+        machine = self._boot(
+            "addi r3, r0, 0x34\nstb r3, -1(r1)\nlbz r4, -1(r1)\nsc 0"
+        )
+        address = (machine.cores[0].regs[1] - 1) & 0xFFFFFFFF
+        machine._load_watch[address] = lambda core, ea, value: value | 0xF00
+        machine.run(max_instructions=100)
+        assert reg(machine, 4) == 0x34  # register gets a byte, not a word
+
+
 class TestTrapsAndBudget:
     def test_trap_instruction(self):
         _, result = run_asm("trap 7")

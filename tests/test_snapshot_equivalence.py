@@ -113,12 +113,13 @@ class TestEligibility:
 
 
 class TestSerialEquivalence:
-    def test_mixed_faults_bit_identical_with_fallbacks(self, small):
+    @pytest.mark.parametrize("engine", ["simple", "block"])
+    def test_mixed_faults_bit_identical_with_fallbacks(self, small, engine):
         compiled, cases = small
         faults = mixed_fault_set(compiled)
         baseline = fresh_runner(compiled, cases).run(faults)
         fast = fresh_runner(compiled, cases).run(
-            faults, config=CampaignConfig(snapshot="auto")
+            faults, config=CampaignConfig(snapshot="auto", engine=engine)
         )
         assert fast.records == baseline.records
 
@@ -140,12 +141,13 @@ class TestSerialEquivalence:
         assert cache.stats["dormant"] == 2    # unused_global is never touched
         assert cache.stats["fallback"] == 0   # temporal/trap never reach it
 
-    def test_verify_policy_runs_clean(self, small):
+    @pytest.mark.parametrize("engine", ["simple", "block"])
+    def test_verify_policy_runs_clean(self, small, engine):
         compiled, cases = small
         faults = mixed_fault_set(compiled)
         baseline = fresh_runner(compiled, cases).run(faults)
         verified = fresh_runner(compiled, cases).run(
-            faults, config=CampaignConfig(snapshot="verify")
+            faults, config=CampaignConfig(snapshot="verify", engine=engine)
         )
         assert verified.records == baseline.records
 
@@ -171,13 +173,14 @@ class TestErrorSetEquivalence:
 
 
 class TestOrchestratedEquivalence:
-    def test_jobs4_with_snapshots_matches_serial_fresh(self, small):
+    @pytest.mark.parametrize("engine", ["simple", "block"])
+    def test_jobs4_with_snapshots_matches_serial_fresh(self, small, engine):
         compiled, cases = small
         faults = mixed_fault_set(compiled)
         baseline = fresh_runner(compiled, cases).run(faults)
         parallel = fresh_runner(compiled, cases).run(
             faults,
-            config=CampaignConfig(jobs=4, seed=11, snapshot="auto"),
+            config=CampaignConfig(jobs=4, seed=11, snapshot="auto", engine=engine),
         )
         assert parallel.records == baseline.records
 
