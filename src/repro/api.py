@@ -28,7 +28,10 @@ Grouped by layer:
 * **orchestrator telemetry** — the sinks accepted by
   ``CampaignConfig(telemetry=...)``;
 * **observability** — run-level tracing controls and the journal-backed
-  trace reports behind ``repro trace report``.
+  trace reports behind ``repro trace report``;
+* **verify** — the differential verification subsystem behind
+  ``repro verify fuzz``: seeded program generation, fault sampling, the
+  cross-configuration oracle, shrinking and divergence artifacts.
 """
 
 from __future__ import annotations
@@ -127,6 +130,19 @@ from .swifi import (
     WhenPolicy,
     classify,
     probe,
+)
+from .verify import (
+    DifferentialOracle,
+    Divergence,
+    FaultDescriptor,
+    FuzzConfig,
+    FuzzReport,
+    MatrixConfig,
+    generate_program,
+    replay_artifact,
+    run_fuzz,
+    sample_descriptors,
+    shrink_case,
 )
 from .workloads import get_workload, table2_workloads
 
@@ -230,4 +246,16 @@ __all__ = [
     "enable_tracing",
     "disable_tracing",
     "tracing_enabled",
+    # verify (repro verify fuzz / replay)
+    "FuzzConfig",
+    "FuzzReport",
+    "run_fuzz",
+    "DifferentialOracle",
+    "Divergence",
+    "MatrixConfig",
+    "FaultDescriptor",
+    "generate_program",
+    "sample_descriptors",
+    "shrink_case",
+    "replay_artifact",
 ]

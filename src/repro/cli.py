@@ -16,6 +16,8 @@ Usage (also via ``python -m repro``)::
     python -m repro disasm PROGRAM   # RX32 listing of a workload program
     python -m repro coverage PROGRAM # fault-site coverage under random inputs
     python -m repro inject FILE.c    # locate+inject faults in your MiniC file
+    python -m repro verify fuzz --seed 0 --cases 200   # differential fuzzer
+    python -m repro verify replay ARTIFACT.json        # re-run a divergence
 
 Scaling flags: ``--scale`` multiplies every run count; ``--seed`` fixes
 the RNG.  Defaults regenerate everything at the reduced scale documented
@@ -200,6 +202,42 @@ def _cmd_inject(args):
             print(f"  {spec.describe()}")
 
 
+def _cmd_verify_fuzz(args):
+    from .verify import FuzzConfig, run_fuzz
+
+    progress = None
+    if not args.quiet:
+        progress = lambda message: print(message, file=sys.stderr)  # noqa: E731
+    report = run_fuzz(FuzzConfig(
+        seed=args.seed,
+        cases=args.cases,
+        time_budget=args.time_budget,
+        faults_per_program=args.faults,
+        inputs_per_program=args.inputs,
+        record_tier=not args.state_only,
+        shrink=not args.no_shrink,
+        artifact_dir=args.artifact_dir,
+        progress=progress,
+    ))
+    print("\n".join(report.summary_lines()))
+    return 0 if report.ok() else 1
+
+
+def _cmd_verify_replay(args):
+    from .verify import replay_artifact
+
+    try:
+        divergence = replay_artifact(args.artifact)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if divergence is None:
+        print("divergence no longer reproduces")
+        return 0
+    print(divergence.summary())
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -317,6 +355,48 @@ def build_parser() -> argparse.ArgumentParser:
     inject.add_argument("file")
     inject.add_argument("--locations", type=int, default=3)
     inject.set_defaults(fn=_cmd_inject)
+
+    verify = sub.add_parser(
+        "verify",
+        help="differential verification: fuzz the engine/snapshot/jobs matrix",
+    )
+    verify_sub = verify.add_subparsers(dest="verify_command", required=True)
+    fuzz = verify_sub.add_parser(
+        "fuzz",
+        help="run a seeded differential fuzz campaign: generated programs x "
+             "sampled faults across {engine} x {snapshot} x {jobs}, asserting "
+             "bit-identical results; divergences are shrunk and persisted",
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed; the whole run is a pure function "
+                           "of it (default 0)")
+    fuzz.add_argument("--cases", type=int, default=200,
+                      help="state-tier differential comparisons to run "
+                           "(default 200)")
+    fuzz.add_argument("--time-budget", type=float, default=None, metavar="SECONDS",
+                      help="stop after this much wall-clock time")
+    fuzz.add_argument("--faults", type=int, default=8,
+                      help="fault descriptors sampled per program (default 8)")
+    fuzz.add_argument("--inputs", type=int, default=2,
+                      help="input data sets per program (default 2)")
+    fuzz.add_argument("--artifact-dir", default=None,
+                      help="write divergence artifacts (JSON + standalone "
+                           "repro script) into this directory")
+    fuzz.add_argument("--state-only", action="store_true",
+                      help="skip the record tier (campaign matrix with "
+                           "snapshot policies and worker pools)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report divergences without minimizing them")
+    fuzz.add_argument("--quiet", action="store_true",
+                      help="suppress per-program progress on stderr")
+    fuzz.set_defaults(fn=_cmd_verify_fuzz)
+    replay = verify_sub.add_parser(
+        "replay",
+        help="re-run one divergence artifact; exits 1 while it reproduces, "
+             "0 once the configurations agree again",
+    )
+    replay.add_argument("artifact", help="path to a divergence-*.json artifact")
+    replay.set_defaults(fn=_cmd_verify_replay)
     return parser
 
 

@@ -264,7 +264,13 @@ def _assemble_line(asm: Assembler, line: str) -> None:
         if form == "XO" and mnemonic != "cmp":
             asm.emit(Instruction(mnemonic, rd=rd, ra=ra, rb=parse_register(operands[2])))
         elif mnemonic == "cmp":
-            asm.emit(ins.cmp(rd, ra))
+            # Two syntaxes: the hand-written shorthand "cmp rA, rB" and
+            # the disassembler's full "cmp rD, rA, rB" — accepting both
+            # keeps disassembly -> assembly an identity.
+            if len(operands) >= 3:
+                asm.emit(Instruction(mnemonic, rd=rd, ra=ra, rb=parse_register(operands[2])))
+            else:
+                asm.emit(ins.cmp(rd, ra))
         else:
             asm.emit(Instruction(mnemonic, rd=rd, ra=ra))
     else:  # pragma: no cover

@@ -186,10 +186,16 @@ class Memory:
         return rewritten
 
     def read_cstring(self, address: int, limit: int = 4096) -> bytes:
-        """Debug-port read of a NUL-terminated string (for syscalls/tests)."""
+        """Checked read of a NUL-terminated string (for syscalls/tests).
+
+        Every byte goes through the segment check: a corrupted pointer —
+        negative, unmapped, or running off the end of a segment before
+        the NUL — raises :class:`MemoryTrap` like any other bad program
+        access, instead of wrapping around or crashing the tool.
+        """
         out = bytearray()
         for offset in range(limit):
-            byte = self.data[address + offset]
+            byte = self.read_byte(address + offset)
             if byte == 0:
                 break
             out.append(byte)

@@ -119,6 +119,19 @@ def load_runs_file(path: str) -> JournalState:
     return state
 
 
+def _trim_partial_tail(path: str) -> None:
+    """Truncate an unterminated final line left by a crash mid-append."""
+    if not os.path.exists(path):
+        return
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if not data or data.endswith(b"\n"):
+        return
+    keep = data.rfind(b"\n") + 1  # 0 when the whole file is one partial line
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+
+
 class CampaignJournal:
     """Append-only journal of completed runs for one campaign."""
 
@@ -164,6 +177,11 @@ class CampaignJournal:
             state = self._load_runs()
         else:
             atomic_write_json(self.manifest_path, self.fingerprint)
+        # A kill mid-append can leave runs.jsonl ending in a partial line.
+        # The reader drops it, but appending after it would fuse the next
+        # record onto the fragment — corrupting the middle of the file for
+        # every later resume — so trim the fragment before reopening.
+        _trim_partial_tail(self.runs_path)
         self._handle = open(self.runs_path, "a", encoding="utf-8")
         return state
 

@@ -1,0 +1,355 @@
+"""The fuzz campaign driver: ``repro verify fuzz`` lives here.
+
+One fuzz campaign is a pure function of its seed.  Per generated
+program the driver:
+
+1. generates the program and a couple of input data sets
+   (:mod:`repro.verify.generator`), computing each input's golden console
+   output with a fault-free run;
+2. checks *golden conformance* — the fault-free run itself must produce a
+   bit-identical :class:`StateDigest` on every engine;
+3. realizes a batch of sampled fault descriptors
+   (:mod:`repro.verify.sampler`) and runs the state-tier differential for
+   every (fault, input) pair;
+4. runs the record-tier differential: the whole mini-campaign under every
+   {engine} x {snapshot} x {jobs} configuration, compared record by
+   record against the base configuration.
+
+On the first divergence for a program the shrinker
+(:mod:`repro.verify.shrinker`) minimizes the case and a replayable
+artifact is written (:mod:`repro.verify.artifacts`).  The campaign stops
+after ``cases`` state-tier comparisons, when the wall-clock budget runs
+out, or after ``max_divergences`` distinct failures.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from .artifacts import write_artifact
+from .generator import generate_pokes, generate_program, GenProgram
+from .oracle import (
+    DEFAULT_JOBS_AXIS,
+    DifferentialOracle,
+    Divergence,
+    MatrixConfig,
+    default_budget,
+    full_matrix,
+    run_state,
+)
+from .sampler import FaultDescriptor, SamplerError, sample_descriptors
+from .shrinker import ShrinkResult, shrink_case
+from ..lang import compile_source
+from ..machine.machine import ENGINE_SIMPLE
+from ..swifi.campaign import CampaignError, InputCase
+
+#: Generous budget for the very first fault-free run of a fresh program
+#: (before we know its golden instruction count).
+GOLDEN_BUDGET = 2_000_000
+
+
+@dataclass
+class FuzzConfig:
+    """Knobs for one fuzz campaign (all defaults CI-friendly)."""
+
+    seed: int = 0
+    cases: int = 200                 # state-tier comparisons to run
+    time_budget: float | None = None  # wall-clock seconds, None = unlimited
+    faults_per_program: int = 8
+    inputs_per_program: int = 2
+    record_tier: bool = True         # run the full-matrix campaign tier
+    jobs_axis: tuple[int, ...] = DEFAULT_JOBS_AXIS
+    shrink: bool = True
+    max_shrink_checks: int = 400
+    max_divergences: int = 5         # stop fuzzing after this many failures
+    artifact_dir: str | Path | None = None
+    progress: Callable[[str], None] | None = None
+
+
+@dataclass
+class FuzzReport:
+    """What one fuzz campaign did and what it found."""
+
+    seed: int
+    programs: int = 0
+    state_cases: int = 0
+    record_campaigns: int = 0
+    total_runs: int = 0
+    skipped_faults: int = 0
+    elapsed: float = 0.0
+    stopped_early: bool = False
+    divergences: list[Divergence] = field(default_factory=list)
+    shrinks: list[ShrinkResult] = field(default_factory=list)
+    artifacts: list[Path] = field(default_factory=list)
+
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"verify fuzz: seed={self.seed} programs={self.programs} "
+            f"state-cases={self.state_cases} record-campaigns={self.record_campaigns} "
+            f"runs={self.total_runs} elapsed={self.elapsed:.1f}s"
+            + (" (stopped early: budget)" if self.stopped_early else ""),
+        ]
+        if self.skipped_faults:
+            lines.append(f"  skipped {self.skipped_faults} unrealizable fault descriptors")
+        if not self.divergences:
+            lines.append("  no divergences: all configurations agree bit-for-bit")
+        for index, divergence in enumerate(self.divergences):
+            lines.append(f"  DIVERGENCE[{index}] {divergence.summary()}")
+        for shrink in self.shrinks:
+            lines.append(
+                f"  shrunk {shrink.statements_before} -> "
+                f"{shrink.statements_after} statements "
+                f"({shrink.checks} checks, {shrink.rounds} rounds)"
+            )
+        for artifact in self.artifacts:
+            lines.append(f"  artifact: {artifact}")
+        return lines
+
+
+class _Clock:
+    def __init__(self, budget: float | None) -> None:
+        self.start = time.monotonic()
+        self.budget = budget
+
+    @property
+    def elapsed(self) -> float:
+        return time.monotonic() - self.start
+
+    @property
+    def expired(self) -> bool:
+        return self.budget is not None and self.elapsed >= self.budget
+
+
+def _emit(config: FuzzConfig, message: str) -> None:
+    if config.progress is not None:
+        config.progress(message)
+
+
+def build_cases(compiled, seed: int, index: int, count: int) -> list[InputCase]:
+    """Seeded input cases with golden console output as the oracle."""
+    from ..machine.loader import boot
+
+    rng = random.Random(f"repro.verify.inputs:{seed}:{index}")
+    cases: list[InputCase] = []
+    for k in range(count):
+        pokes = generate_pokes(rng)
+        machine = boot(compiled.executable, inputs=dict(pokes),
+                       engine=ENGINE_SIMPLE)
+        result = machine.run(GOLDEN_BUDGET)
+        if result.status != "exited" or result.exit_code != 0:
+            raise CampaignError(
+                f"{compiled.name}: generated program did not exit cleanly "
+                f"fault-free (status={result.status})"
+            )
+        cases.append(InputCase(f"in{k}", pokes, bytes(machine.console)))
+    return cases
+
+
+def _golden_console(compiled, pokes) -> bytes:
+    from ..machine.loader import boot
+
+    machine = boot(compiled.executable, inputs=dict(pokes), engine=ENGINE_SIMPLE)
+    machine.run(GOLDEN_BUDGET)
+    return bytes(machine.console)
+
+
+def realize_faults(compiled, descriptors: list[FaultDescriptor],
+                   golden_instructions: int):
+    """(spec, descriptor) pairs for the realizable subset, skip count."""
+    realized = []
+    skipped = 0
+    for descriptor in descriptors:
+        try:
+            spec = descriptor.realize(compiled, golden_instructions)
+        except SamplerError:
+            skipped += 1
+            continue
+        realized.append((spec, descriptor))
+    return realized, skipped
+
+
+def run_fuzz(config: FuzzConfig) -> FuzzReport:
+    """Run one seeded fuzz campaign; see the module docstring."""
+    report = FuzzReport(seed=config.seed)
+    clock = _Clock(config.time_budget)
+    matrix = full_matrix(config.jobs_axis) if config.record_tier else []
+    index = 0
+    while report.state_cases < config.cases:
+        if clock.expired:
+            report.stopped_early = True
+            break
+        if len(report.divergences) >= config.max_divergences:
+            break
+        program = generate_program(config.seed, index)
+        compiled = compile_source(program.render(), program.name)
+        cases = build_cases(compiled, config.seed, index, config.inputs_per_program)
+        oracle = DifferentialOracle(compiled, cases, matrix=matrix)
+        report.programs += 1
+        program_diverged = False
+
+        # -- golden conformance: no fault, every engine -----------------
+        golden_instructions = 0
+        for case in cases:
+            divergence, digests = oracle.check_state(None, case, budget=GOLDEN_BUDGET)
+            golden_instructions = max(
+                golden_instructions, digests[ENGINE_SIMPLE].instructions
+            )
+            report.state_cases += 1
+            if divergence is not None:
+                _handle_divergence(config, report, program, None, case,
+                                   cases, divergence)
+                program_diverged = True
+                break
+        budget = default_budget(golden_instructions)
+
+        # -- state tier: every realized fault on every input ------------
+        faults = []
+        if not program_diverged:
+            rng = random.Random(f"repro.verify.faults:{config.seed}:{index}")
+            descriptors = sample_descriptors(rng, config.faults_per_program)
+            faults, skipped = realize_faults(compiled, descriptors,
+                                             golden_instructions)
+            report.skipped_faults += skipped
+            for spec, descriptor in faults:
+                for case in cases:
+                    if report.state_cases >= config.cases or clock.expired:
+                        break
+                    divergence, _ = oracle.check_state(spec, case, budget=budget)
+                    report.state_cases += 1
+                    if divergence is not None:
+                        _handle_divergence(config, report, program, descriptor,
+                                           case, cases, divergence)
+                        program_diverged = True
+                        break
+                if program_diverged:
+                    break
+
+        # -- record tier: the full configuration matrix -----------------
+        if config.record_tier and faults and not program_diverged \
+                and not clock.expired:
+            divergences = oracle.check_records([spec for spec, _ in faults])
+            report.record_campaigns += len(matrix)
+            for divergence in divergences:
+                descriptor = _descriptor_for(faults, divergence.fault_id)
+                case = _case_for(cases, divergence.case_id)
+                _handle_divergence(config, report, program, descriptor, case,
+                                   cases, divergence)
+                if len(report.divergences) >= config.max_divergences:
+                    break
+
+        report.total_runs += oracle.runs
+        _emit(config, f"program {index}: {report.state_cases}/{config.cases} "
+                      f"state cases, {len(report.divergences)} divergences")
+        index += 1
+    report.elapsed = clock.elapsed
+    return report
+
+
+def _descriptor_for(faults, fault_id: str) -> FaultDescriptor | None:
+    for spec, descriptor in faults:
+        if spec.fault_id == fault_id:
+            return descriptor
+    return None
+
+
+def _case_for(cases: list[InputCase], case_id: str) -> InputCase:
+    for case in cases:
+        if case.case_id == case_id:
+            return case
+    return cases[0]
+
+
+# ---------------------------------------------------------------------------
+# Divergence handling: shrink, then persist
+# ---------------------------------------------------------------------------
+
+
+def _handle_divergence(config: FuzzConfig, report: FuzzReport,
+                       program: GenProgram, descriptor: FaultDescriptor | None,
+                       case: InputCase, cases: list[InputCase],
+                       divergence: Divergence) -> None:
+    report.divergences.append(divergence)
+    _emit(config, f"divergence: {divergence.summary()}")
+    shrink = None
+    final_program = program
+    final_descriptor = descriptor
+    if config.shrink:
+        predicate = make_predicate(case, divergence)
+        shrink = shrink_case(program, descriptor, predicate,
+                             max_checks=config.max_shrink_checks)
+        report.shrinks.append(shrink)
+        final_program = shrink.program
+        final_descriptor = shrink.descriptor
+        _emit(config, f"shrunk to {shrink.statements_after} statements")
+    if config.artifact_dir is not None:
+        paths = write_artifact(
+            Path(config.artifact_dir),
+            ordinal=len(report.divergences) - 1,
+            divergence=divergence,
+            program=final_program,
+            descriptor=final_descriptor,
+            case=case,
+            shrink=shrink,
+        )
+        report.artifacts.extend(paths)
+
+
+def make_predicate(case: InputCase, divergence: Divergence):
+    """The shrinker's "does this variant still diverge?" check.
+
+    A candidate must compile, exit cleanly fault-free, keep the fault
+    descriptor realizable, and reproduce a mismatch between the two
+    configurations named by the original divergence.  Compile errors and
+    unrealizable descriptors mean "does not fail" — the shrinker rolls
+    that edit back.
+    """
+
+    def still_fails(program: GenProgram,
+                    descriptor: FaultDescriptor | None) -> bool:
+        try:
+            compiled = compile_source(program.render(), program.name)
+        except Exception:
+            return False
+        golden = run_state(compiled.executable, None, case,
+                           budget=GOLDEN_BUDGET, engine=ENGINE_SIMPLE)
+        if golden.status != "exited" or golden.exit_code != 0:
+            return False
+        spec = None
+        if descriptor is not None:
+            try:
+                spec = descriptor.realize(compiled, golden.instructions)
+            except SamplerError:
+                return False
+        budget = default_budget(golden.instructions)
+        replay_case = InputCase(case.case_id, case.pokes,
+                                _golden_console(compiled, case.pokes))
+        return check_configs(compiled, spec, replay_case,
+                             divergence.config_a, divergence.config_b,
+                             budget=budget, tier=divergence.tier)
+
+    return still_fails
+
+
+def check_configs(compiled, spec, case: InputCase, config_a: MatrixConfig,
+                  config_b: MatrixConfig, *, budget: int, tier: str) -> bool:
+    """True when the two configurations disagree on this single case."""
+    if tier == "state":
+        oracle = DifferentialOracle(
+            compiled, [case], matrix=[],
+            state_engines=(config_a.engine, config_b.engine),
+        )
+        divergence, _ = oracle.check_state(spec, case, budget=budget)
+        return divergence is not None
+    oracle = DifferentialOracle(compiled, [case], matrix=[config_a, config_b])
+    try:
+        divergences = oracle.check_records([spec] if spec is not None else [])
+    except CampaignError:
+        return False
+    return bool(divergences)

@@ -1,0 +1,305 @@
+"""The differential oracle: one case, every configuration, one verdict.
+
+Two comparison tiers, both bit-exact:
+
+* **State tier** — for each (program, input, fault) case the oracle runs
+  the injection once per execution engine with direct machine access and
+  compares a full :class:`StateDigest`: run status, exit code, trap kind,
+  retired instruction count, console bytes, every core's registers and a
+  SHA-256 over the entire physical memory image and the heap allocator
+  state.  Anything the engines disagree on — a single stale register, one
+  byte of stack — flips the digest.
+
+* **Record tier** — per generated program the oracle runs the whole
+  (faults x inputs) mini-campaign once per configuration in the
+  {engine} x {snapshot} x {jobs} matrix and compares the resulting
+  :class:`RunRecord` lists against the base configuration
+  (simple / off / serial).  This exercises exactly the production paths:
+  the snapshot fast path's eligibility analysis and the orchestrator's
+  sharded workers.
+
+A mismatch in either tier is reported as a :class:`Divergence` carrying
+both sides, ready for the shrinker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..machine.loader import boot
+from ..machine.machine import ENGINE_BLOCK, ENGINE_SIMPLE, ENGINES
+from ..swifi.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    DEFAULT_BUDGET_FACTOR,
+    DEFAULT_MIN_BUDGET,
+    InputCase,
+    RunRecord,
+    SNAPSHOT_OFF,
+    SNAPSHOT_POLICIES,
+)
+from ..swifi.faults import FaultSpec
+from ..swifi.injector import InjectionSession
+
+#: The configuration matrix the conformance gate must hold over.
+DEFAULT_JOBS_AXIS = (1, 4)
+
+
+@dataclass(frozen=True)
+class MatrixConfig:
+    """One point of the {engine} x {snapshot} x {jobs} matrix."""
+
+    engine: str = ENGINE_SIMPLE
+    snapshot: str = SNAPSHOT_OFF
+    jobs: int = 1
+
+    def label(self) -> str:
+        return f"engine={self.engine}/snapshot={self.snapshot}/jobs={self.jobs}"
+
+    def to_dict(self) -> dict:
+        return {"engine": self.engine, "snapshot": self.snapshot, "jobs": self.jobs}
+
+
+def full_matrix(jobs_axis: tuple[int, ...] = DEFAULT_JOBS_AXIS) -> list[MatrixConfig]:
+    return [
+        MatrixConfig(engine, snapshot, jobs)
+        for engine in ENGINES
+        for snapshot in SNAPSHOT_POLICIES
+        for jobs in jobs_axis
+    ]
+
+
+BASE_CONFIG = MatrixConfig()
+
+
+# ---------------------------------------------------------------------------
+# State digests
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StateDigest:
+    """Everything observable about one finished run, hashed where bulky."""
+
+    status: str
+    exit_code: int | None
+    trap_kind: str | None
+    instructions: int
+    activations: int
+    injections: int
+    console_sha: str
+    state_sha: str
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "exit_code": self.exit_code,
+            "trap_kind": self.trap_kind,
+            "instructions": self.instructions,
+            "activations": self.activations,
+            "injections": self.injections,
+            "console_sha": self.console_sha,
+            "state_sha": self.state_sha,
+        }
+
+
+def machine_digest(machine, result, session: InjectionSession | None,
+                   fault_id: str) -> StateDigest:
+    """Digest a finished machine: registers, memory image, heap, console."""
+    hasher = hashlib.sha256()
+    for core in machine.cores:
+        hasher.update(
+            b"%d|%d|%d|%d|%d|" % (core.core_id, core.pc, core.lr, core.cr,
+                                  1 if core.halted else 0)
+        )
+        hasher.update(b",".join(b"%d" % reg for reg in core.regs))
+        hasher.update(b";")
+    hasher.update(bytes(machine.memory.data))
+    cursor, allocated, free_by_size = machine.heap.capture()
+    hasher.update(repr((cursor, sorted(allocated), sorted(free_by_size))).encode())
+    return StateDigest(
+        status=result.status,
+        exit_code=result.exit_code,
+        trap_kind=result.trap.kind if result.trap is not None else None,
+        instructions=result.instructions,
+        activations=session.activation_count(fault_id) if session else 0,
+        injections=session.injection_count(fault_id) if session else 0,
+        console_sha=hashlib.sha256(bytes(machine.console)).hexdigest(),
+        state_sha=hasher.hexdigest(),
+    )
+
+
+def run_state(executable, spec: FaultSpec | None, case: InputCase, *,
+              budget: int, engine: str, quantum: int = 64) -> StateDigest:
+    """One fresh-boot injection run with direct machine access."""
+    machine = boot(executable, inputs=dict(case.pokes), engine=engine)
+    session = InjectionSession(machine)
+    fault_id = spec.fault_id if spec is not None else "none"
+    if spec is not None:
+        session.arm(spec)
+    result = session.run(budget, quantum=quantum)
+    return machine_digest(machine, result, session, fault_id)
+
+
+# ---------------------------------------------------------------------------
+# Divergences
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Divergence:
+    """One disagreement between two configurations on one case."""
+
+    tier: str                      # "state" | "record"
+    program: str
+    fault_id: str
+    case_id: str
+    config_a: MatrixConfig
+    config_b: MatrixConfig
+    detail_a: dict
+    detail_b: dict
+    fields: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"[{self.tier}] {self.program} fault={self.fault_id} "
+            f"case={self.case_id}: {self.config_a.label()} != "
+            f"{self.config_b.label()} on {', '.join(self.fields) or 'records'}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "tier": self.tier,
+            "program": self.program,
+            "fault_id": self.fault_id,
+            "case_id": self.case_id,
+            "config_a": self.config_a.to_dict(),
+            "config_b": self.config_b.to_dict(),
+            "detail_a": self.detail_a,
+            "detail_b": self.detail_b,
+            "fields": list(self.fields),
+        }
+
+
+def _digest_diff(a: StateDigest, b: StateDigest) -> list[str]:
+    da, db = a.to_dict(), b.to_dict()
+    return [key for key in da if da[key] != db[key]]
+
+
+def _record_diff(a: RunRecord, b: RunRecord) -> list[str]:
+    da, db = a.to_dict(), b.to_dict()
+    return [key for key in da if da[key] != db[key]]
+
+
+# ---------------------------------------------------------------------------
+# The oracle
+# ---------------------------------------------------------------------------
+
+
+def default_budget(golden_instructions: int) -> int:
+    """The campaign runner's hang budget, derived the same way it does."""
+    return max(DEFAULT_MIN_BUDGET, golden_instructions * DEFAULT_BUDGET_FACTOR)
+
+
+class DifferentialOracle:
+    """Runs one program's case batch across the matrix and compares."""
+
+    def __init__(self, compiled, cases: list[InputCase], *,
+                 matrix: list[MatrixConfig] | None = None,
+                 state_engines: tuple[str, ...] = (ENGINE_SIMPLE, ENGINE_BLOCK)):
+        self.compiled = compiled
+        self.cases = cases
+        self.matrix = full_matrix() if matrix is None else list(matrix)
+        self.state_engines = state_engines
+        self.runs = 0
+
+    # -- state tier ------------------------------------------------------
+
+    def check_state(self, spec: FaultSpec | None, case: InputCase, *,
+                    budget: int) -> tuple[Divergence | None, dict[str, StateDigest]]:
+        """Cross-engine full-state comparison for one (fault, case).
+
+        ``spec=None`` compares the fault-free run — the pure engine
+        conformance case.
+        """
+        fault_id = spec.fault_id if spec is not None else "golden"
+        digests: dict[str, StateDigest] = {}
+        for engine in self.state_engines:
+            digests[engine] = run_state(
+                self.compiled.executable, spec, case, budget=budget, engine=engine
+            )
+            self.runs += 1
+        base_engine = self.state_engines[0]
+        base = digests[base_engine]
+        for engine in self.state_engines[1:]:
+            fields = _digest_diff(base, digests[engine])
+            if fields:
+                return (
+                    Divergence(
+                        tier="state",
+                        program=self.compiled.name,
+                        fault_id=fault_id,
+                        case_id=case.case_id,
+                        config_a=MatrixConfig(engine=base_engine),
+                        config_b=MatrixConfig(engine=engine),
+                        detail_a=base.to_dict(),
+                        detail_b=digests[engine].to_dict(),
+                        fields=fields,
+                    ),
+                    digests,
+                )
+        return None, digests
+
+    # -- record tier -----------------------------------------------------
+
+    def check_records(self, faults: list[FaultSpec]) -> list[Divergence]:
+        """Run the faults x cases campaign under every matrix config."""
+        base_records = self._campaign(BASE_CONFIG, faults)
+        divergences: list[Divergence] = []
+        for config in self.matrix:
+            if config == BASE_CONFIG:
+                continue
+            records = self._campaign(config, faults)
+            divergences.extend(self._compare(base_records, records, config))
+        return divergences
+
+    def _campaign(self, config: MatrixConfig, faults: list[FaultSpec]) -> list[RunRecord]:
+        runner = CampaignRunner(self.compiled, self.cases)
+        result = runner.run(
+            faults,
+            config=CampaignConfig(
+                jobs=config.jobs, snapshot=config.snapshot, engine=config.engine
+            ),
+        )
+        self.runs += len(result.records)
+        return result.records
+
+    def _compare(self, base: list[RunRecord], other: list[RunRecord],
+                 config: MatrixConfig) -> list[Divergence]:
+        divergences: list[Divergence] = []
+        if len(base) != len(other):
+            divergences.append(
+                Divergence(
+                    tier="record", program=self.compiled.name,
+                    fault_id="*", case_id="*",
+                    config_a=BASE_CONFIG, config_b=config,
+                    detail_a={"record_count": len(base)},
+                    detail_b={"record_count": len(other)},
+                    fields=["record_count"],
+                )
+            )
+            return divergences
+        for record_a, record_b in zip(base, other):
+            fields = _record_diff(record_a, record_b)
+            if fields:
+                divergences.append(
+                    Divergence(
+                        tier="record", program=self.compiled.name,
+                        fault_id=record_a.fault_id, case_id=record_a.case_id,
+                        config_a=BASE_CONFIG, config_b=config,
+                        detail_a=record_a.to_dict(), detail_b=record_b.to_dict(),
+                        fields=fields,
+                    )
+                )
+        return divergences

@@ -1,0 +1,215 @@
+"""Automatic minimization of a failing (program, fault) case.
+
+Given a generated program and a fault descriptor on which the
+differential oracle reported a divergence, the shrinker searches for the
+smallest variant that *still* diverges.  The caller supplies the
+predicate (recompile + re-run the disagreeing configurations); the
+shrinker only proposes edits:
+
+* **statement removal** — delta-debugging style chunked deletion over
+  every statement list in the program (function bodies, ``main``, and
+  every compound's body), halving the chunk size down to single
+  statements;
+* **compound flattening** — replace an ``if``/``for`` statement with its
+  (concatenated) children, discarding the control structure;
+* **function dropping** — remove helper functions once nothing calls
+  them any more;
+* **fault simplification** — canonicalize the descriptor (fire every
+  time instead of on the n-th activation, single-bit instead of
+  multi-bit masks, breakpoint mode instead of trap insertion) as long as
+  the divergence persists.
+
+Every proposed edit is applied in place, checked, and rolled back when
+the predicate stops failing, so the live program is always the smallest
+known-failing variant.  The predicate must treat a non-compiling or
+non-realizable candidate as "does not fail".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from .generator import GenProgram, Stmt
+from .sampler import FaultDescriptor
+from ..swifi.faults import MODE_BREAKPOINT
+
+#: Stop after this many predicate evaluations by default; each one costs
+#: a recompile plus a handful of machine runs.
+DEFAULT_MAX_CHECKS = 400
+
+Predicate = Callable[[GenProgram, "FaultDescriptor | None"], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized case plus bookkeeping about the search."""
+
+    program: GenProgram
+    descriptor: FaultDescriptor | None
+    source: str
+    statements_before: int
+    statements_after: int
+    rounds: int
+    checks: int
+
+    def to_dict(self) -> dict:
+        return {
+            "statements_before": self.statements_before,
+            "statements_after": self.statements_after,
+            "rounds": self.rounds,
+            "checks": self.checks,
+        }
+
+
+class _Budget:
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.used = 0
+
+    def spend(self) -> bool:
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def shrink_case(program: GenProgram, descriptor: FaultDescriptor | None,
+                still_fails: Predicate, *,
+                max_checks: int = DEFAULT_MAX_CHECKS) -> ShrinkResult:
+    """Minimize *(program, descriptor)* under the *still_fails* predicate.
+
+    ``descriptor=None`` shrinks a fault-free (golden) divergence; only the
+    program passes apply.
+    """
+    prog = program.clone()
+    desc = descriptor
+    before = prog.statement_count()
+    budget = _Budget(max_checks)
+    rounds = 0
+    changed = True
+    while changed and budget.used < budget.limit:
+        changed = False
+        rounds += 1
+        if _pass_remove_statements(prog, desc, still_fails, budget):
+            changed = True
+        if _pass_flatten(prog, desc, still_fails, budget):
+            changed = True
+        if _pass_drop_functions(prog, desc, still_fails, budget):
+            changed = True
+        desc, desc_changed = _pass_simplify_descriptor(prog, desc, still_fails, budget)
+        if desc_changed:
+            changed = True
+    return ShrinkResult(
+        program=prog,
+        descriptor=desc,
+        source=prog.render(),
+        statements_before=before,
+        statements_after=prog.statement_count(),
+        rounds=rounds,
+        checks=budget.used,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Program passes
+# ---------------------------------------------------------------------------
+
+
+def _pass_remove_statements(prog: GenProgram, desc: FaultDescriptor,
+                            still_fails: Predicate, budget: _Budget) -> bool:
+    changed = False
+    for body in prog.bodies():
+        chunk = max(1, len(body))
+        while chunk >= 1:
+            index = 0
+            while index + chunk <= len(body):
+                removed = body[index:index + chunk]
+                del body[index:index + chunk]
+                if budget.spend() and still_fails(prog, desc):
+                    changed = True
+                    # The list shifted left; retry the same index.
+                    continue
+                body[index:index] = removed  # re-insert, don't overwrite
+                index += chunk
+            chunk //= 2
+    return changed
+
+
+def _pass_flatten(prog: GenProgram, desc: FaultDescriptor,
+                  still_fails: Predicate, budget: _Budget) -> bool:
+    changed = False
+    for body in prog.bodies():
+        index = 0
+        while index < len(body):
+            stmt = body[index]
+            if stmt.kind not in ("if", "for") or not (stmt.body or stmt.orelse):
+                index += 1
+                continue
+            children: list[Stmt] = stmt.body + stmt.orelse
+            body[index:index + 1] = children
+            if budget.spend() and still_fails(prog, desc):
+                changed = True
+                continue
+            body[index:index + len(children)] = [stmt]
+            index += 1
+    return changed
+
+
+def _pass_drop_functions(prog: GenProgram, desc: FaultDescriptor,
+                         still_fails: Predicate, budget: _Budget) -> bool:
+    changed = False
+    for position in range(len(prog.functions) - 1, -1, -1):
+        func = prog.functions[position]
+        del prog.functions[position]
+        # Cheap pre-filter: a surviving call site cannot compile, so only
+        # spend a check when the name is gone from the rendered source.
+        if func.name not in prog.render() and budget.spend() \
+                and still_fails(prog, desc):
+            changed = True
+            continue
+        prog.functions.insert(position, func)
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# Descriptor pass
+# ---------------------------------------------------------------------------
+
+
+def _descriptor_candidates(desc: FaultDescriptor | None) -> list[FaultDescriptor]:
+    """Simpler descriptors to try, most aggressive first."""
+    candidates: list[FaultDescriptor] = []
+    if desc is None:
+        return candidates
+    if desc.when != "every":
+        candidates.append(replace(desc, when="every", when_n=2))
+    if desc.when == "nth" and desc.when_n > 2:
+        candidates.append(replace(desc, when_n=2))
+    if desc.mode != MODE_BREAKPOINT:
+        candidates.append(replace(desc, mode=MODE_BREAKPOINT))
+    if desc.op in ("xor", "or") and desc.operand and desc.operand & (desc.operand - 1):
+        lowest = desc.operand & -desc.operand
+        candidates.append(replace(desc, operand=lowest))
+    if desc.op == "and":
+        inverted = ~desc.operand & 0xFFFFFFFF
+        if inverted and inverted & (inverted - 1):
+            keep = inverted & -inverted
+            candidates.append(replace(desc, operand=0xFFFFFFFF ^ keep))
+    return candidates
+
+
+def _pass_simplify_descriptor(prog: GenProgram, desc: FaultDescriptor | None,
+                              still_fails: Predicate,
+                              budget: _Budget) -> tuple[FaultDescriptor | None, bool]:
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        for candidate in _descriptor_candidates(desc):
+            if budget.spend() and still_fails(prog, candidate):
+                desc = candidate
+                changed = True
+                progress = True
+                break
+    return desc, changed

@@ -123,3 +123,49 @@ class TestTraceCommand:
         assert os.path.exists(perfetto)
         with open(perfetto, "r", encoding="utf-8") as handle:
             assert json.load(handle)["traceEvents"]
+
+
+class TestFiguresChoiceValidation:
+    def test_bad_engine_exits_2_naming_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["figures", "--engine", "bogus"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "simple" in err and "block" in err
+
+    def test_bad_snapshot_exits_2_naming_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["figures", "--snapshot", "bogus"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "off" in err and "auto" in err and "verify" in err
+
+    def test_valid_choices_parse(self):
+        args = build_parser().parse_args(
+            ["figures", "--engine", "block", "--snapshot", "verify"])
+        assert args.engine == "block"
+        assert args.snapshot == "verify"
+
+
+class TestVerifyCommand:
+    def test_fuzz_flags_parse(self):
+        args = build_parser().parse_args(
+            ["verify", "fuzz", "--seed", "7", "--cases", "50",
+             "--time-budget", "30", "--artifact-dir", "out", "--state-only",
+             "--no-shrink", "--quiet"])
+        assert args.command == "verify"
+        assert args.seed == 7
+        assert args.cases == 50
+        assert args.time_budget == 30.0
+        assert args.state_only and args.no_shrink and args.quiet
+
+    def test_small_fuzz_run_is_clean(self, capsys):
+        assert main(["verify", "fuzz", "--seed", "3", "--cases", "6",
+                     "--inputs", "1", "--faults", "2", "--state-only",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "no divergences" in out
+
+    def test_replay_missing_artifact_exits_2(self, capsys):
+        assert main(["verify", "replay", "does/not/exist.json"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -103,3 +103,30 @@ class TestDebugPort:
     def test_read_cstring_limit(self, memory):
         memory.debug_write(0x4000, b"a" * 16)
         assert memory.read_cstring(0x4000, limit=8) == b"a" * 8
+
+
+class TestReadCString:
+    """read_cstring serves program-supplied pointers (SYS_PUTS); bad
+    pointers must trap like any other checked access."""
+
+    def test_unmapped_pointer_traps(self, memory):
+        with pytest.raises(MemoryTrap):
+            memory.read_cstring(0x9000)
+
+    def test_negative_pointer_traps_instead_of_wrapping(self, memory):
+        # Regression: bytearray indexing silently wrapped negative
+        # addresses to the end of physical memory.
+        with pytest.raises(MemoryTrap):
+            memory.read_cstring(-4)
+
+    def test_pointer_past_physical_memory_traps(self, memory):
+        with pytest.raises(MemoryTrap):
+            memory.read_cstring(0xFFFF_FFF0)
+
+    def test_string_running_off_segment_end_traps(self, memory):
+        # No NUL before the segment boundary: the scan must trap at the
+        # boundary, not read the unmapped zero byte beyond it.
+        memory.write_byte(0x4FFE, ord("x"))
+        memory.write_byte(0x4FFF, ord("y"))
+        with pytest.raises(MemoryTrap):
+            memory.read_cstring(0x4FFE)

@@ -124,3 +124,56 @@ class TestParallelSyscalls:
     def test_num_cores(self):
         _, result = run_asm("sc 6\nmr r3, r3\nsc 1\naddi r3, r0, 0\nsc 0", num_cores=3)
         assert result.console == b"333"
+
+
+class TestSyscallErrorPaths:
+    """Corrupted syscall arguments must surface as machine traps, never
+    as tool-level Python exceptions or silent wraparound reads."""
+
+    def test_put_str_unmapped_pointer_traps(self):
+        from repro.machine import MemoryTrap
+
+        # r3 points into the unmapped gap below the code segment.
+        _, result = run_asm("addi r3, r0, 16\nsc 8\nsc 0")
+        assert result.status == "trapped"
+        assert isinstance(result.trap, MemoryTrap)
+
+    def test_put_str_negative_pointer_traps(self):
+        from repro.machine import MemoryTrap
+
+        # A negative register value is a huge unsigned address; it used
+        # to wrap around bytearray indexing and read from the *end* of
+        # physical memory.
+        _, result = run_asm("addi r3, r0, -4\nsc 8\nsc 0")
+        assert result.status == "trapped"
+        assert isinstance(result.trap, MemoryTrap)
+
+    def test_free_of_never_allocated_pointer_traps(self):
+        _, result = run_asm("addi r3, r0, 4096\nsc 4\nsc 0")
+        assert result.status == "trapped"
+        assert isinstance(result.trap, HeapTrap)
+
+    def test_double_free_traps(self):
+        source = """
+        addi r3, r0, 16
+        sc 3
+        mr r4, r3
+        sc 4
+        mr r3, r4
+        sc 4
+        sc 0
+        """
+        _, result = run_asm(source)
+        assert result.status == "trapped"
+        assert isinstance(result.trap, HeapTrap)
+
+    def test_negative_malloc_size_returns_null(self):
+        _, result = run_asm("addi r3, r0, -8\nsc 3\nsc 1\naddi r3, r0, 0\nsc 0")
+        assert result.status == "exited"
+        assert result.console == b"0"
+
+    def test_unknown_syscall_number_names_it(self):
+        _, result = run_asm("sc 42")
+        assert result.status == "trapped"
+        assert isinstance(result.trap, InvalidSyscallTrap)
+        assert "42" in str(result.trap)

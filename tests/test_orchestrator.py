@@ -381,3 +381,79 @@ class TestJsonTelemetryWriterStreaming:
         assert os.path.getmtime(path) == first
         with open(path, "r", encoding="utf-8") as handle:
             assert json.load(handle)[0]["executed_runs"] == 1
+
+
+class TestJournalCrashRecovery:
+    """A kill mid-append leaves a partial trailing line; every layer must
+    tolerate it — the reader by dropping it, the writer by trimming it
+    before appending (so the next resume never sees mid-file garbage)."""
+
+    def _crashed_journal(self, tmp_path):
+        directory = str(tmp_path / "j")
+        journal = CampaignJournal(directory, fingerprint())
+        journal.open(resume=False)
+        journal.append_record(0, make_record())
+        journal.append_record(1, make_record(case="b"))
+        journal.close()
+        # Simulate a kill mid-append: a truncated, unterminated record.
+        with open(journal.runs_path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "run", "index": 2, "rec')
+        return directory, journal.runs_path
+
+    def test_reader_drops_partial_trailing_line(self, tmp_path):
+        from repro.orchestrator.journal import load_runs_file
+
+        _, runs_path = self._crashed_journal(tmp_path)
+        state = load_runs_file(runs_path)
+        assert sorted(state.records) == [0, 1]
+
+    def test_resume_after_crash_loads_complete_records(self, tmp_path):
+        directory, _ = self._crashed_journal(tmp_path)
+        journal = CampaignJournal(directory, fingerprint())
+        state = journal.open(resume=True)
+        journal.close()
+        assert sorted(state.records) == [0, 1]
+
+    def test_append_after_crash_does_not_corrupt_midfile(self, tmp_path):
+        # The regression: appending onto the partial line used to fuse
+        # the fragment with the next record, so the *second* resume died
+        # on a corrupt line in the middle of the file.
+        directory, runs_path = self._crashed_journal(tmp_path)
+        journal = CampaignJournal(directory, fingerprint())
+        journal.open(resume=True)
+        journal.append_record(2, make_record(fault="f2"))
+        journal.close()
+
+        reopened = CampaignJournal(directory, fingerprint())
+        state = reopened.open(resume=True)
+        reopened.close()
+        assert sorted(state.records) == [0, 1, 2]
+        with open(runs_path, "r", encoding="utf-8") as handle:
+            for line in handle.read().splitlines():
+                json.loads(line)  # every surviving line is valid JSON
+
+    def test_whole_file_partial_line_trimmed(self, tmp_path):
+        directory = str(tmp_path / "j")
+        journal = CampaignJournal(directory, fingerprint())
+        journal.open(resume=False)
+        journal.close()
+        with open(journal.runs_path, "w", encoding="utf-8") as handle:
+            handle.write('{"type": "ru')  # no complete record at all
+        reopened = CampaignJournal(directory, fingerprint())
+        state = reopened.open(resume=True)
+        reopened.append_record(0, make_record())
+        reopened.close()
+        third = CampaignJournal(directory, fingerprint())
+        state = third.open(resume=True)
+        third.close()
+        assert sorted(state.records) == [0]
+
+    def test_midfile_corruption_still_raises(self, tmp_path):
+        from repro.orchestrator.journal import load_runs_file
+
+        directory, runs_path = self._crashed_journal(tmp_path)
+        with open(runs_path, "a", encoding="utf-8") as handle:
+            handle.write("\n")  # terminate the fragment: now mid-file junk
+            handle.write('{"type": "shard-failed", "shard": 0, "runs": [], "error": "x"}\n')
+        with pytest.raises(JournalError, match="corrupt journal line"):
+            load_runs_file(runs_path)
