@@ -1,0 +1,112 @@
+"""Planner-off vs warm-planner campaign wall-clock.
+
+The planning engine's headline scenario: a fig7 campaign whose outcome
+memo was seeded by an earlier invocation (the cold run here, untimed)
+re-runs in sub-linear time — every injection whose (machine state,
+fault behavior, budget) key is already memoized replays its record
+instead of booting.  The bench times the planner-off baseline against
+that warm re-run and records both wall-clocks plus the speedup to
+``results/BENCH_planning_speedup.{json,txt}``.
+
+Both sides run serially in one process, so the ≥3× floor is a property
+of memoized replay itself (a dict lookup instead of a reboot plus
+post-trigger execution), not of the host's CPU count.  The floor can be
+adjusted for slow or noisy hosts via ``REPRO_PLAN_SPEEDUP_FLOOR``.
+"""
+
+import os
+import time
+
+from repro.experiments import ExperimentConfig, run_section6
+from repro.planning import plan_from_records
+
+SPEEDUP_FLOOR = float(os.environ.get("REPRO_PLAN_SPEEDUP_FLOOR", "3.0"))
+PROGRAM = "JB.team6"
+CLASSES = ("assignment",)  # the Figure-7 campaign
+
+
+def _campaign_config(bench_config: ExperimentConfig) -> ExperimentConfig:
+    # Mirrors the snapshot fast-path bench: enough faults x inputs for
+    # the per-case bookkeeping to amortise, small enough for seconds.
+    return ExperimentConfig(
+        seed=bench_config.seed,
+        campaign_inputs=max(8, bench_config.campaign_inputs * 2),
+        location_fraction=0.8,
+        budget_factor=bench_config.budget_factor,
+    )
+
+
+def test_planning_speedup(benchmark, bench_config, save_result, tmp_path):
+    config = _campaign_config(bench_config)
+    memo_dir = str(tmp_path / "memo")
+
+    # Seed the memo (untimed): the campaign an earlier invocation ran.
+    # Memoization alone is what makes the re-run sub-linear (the prover
+    # is timed nowhere here: its equivalence is the test suite's job, and
+    # rebuilding golden traces would only blur the replay measurement).
+    cold = run_section6(
+        config, programs=[PROGRAM], classes=CLASSES,
+        memoize=True, memo_dir=memo_dir,
+    )
+
+    started = time.perf_counter()
+    baseline = run_section6(config, programs=[PROGRAM], classes=CLASSES)
+    baseline_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = benchmark.pedantic(
+        lambda: run_section6(
+            config, programs=[PROGRAM], classes=CLASSES,
+            memoize=True, memo_dir=memo_dir,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    warm_seconds = time.perf_counter() - started
+
+    # Bit-identical outcomes are part of the contract being timed.
+    assert warm.total_runs == baseline.total_runs
+    for ours, theirs in zip(baseline.campaigns, warm.campaigns):
+        assert ours.records == theirs.records
+    for ours, theirs in zip(baseline.campaigns, cold.campaigns):
+        assert ours.records == theirs.records
+
+    plan = plan_from_records(
+        [record for campaign in warm.campaigns for record in campaign.records]
+    )
+    # The warm run must actually be sub-linear, not just fast.
+    assert plan.executed_fraction <= 0.40
+
+    speedup = baseline_seconds / warm_seconds if warm_seconds > 0 else 0.0
+    data = {
+        "program": PROGRAM,
+        "classes": list(CLASSES),
+        "campaign_runs": baseline.total_runs,
+        "baseline_seconds": round(baseline_seconds, 3),
+        "warm_planner_seconds": round(warm_seconds, 3),
+        "speedup": round(speedup, 3),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "pruned": plan.pruned,
+        "memoized": plan.memoized,
+        "executed": plan.executed,
+        "executed_fraction": round(plan.executed_fraction, 4),
+        "identical_records": True,
+    }
+    text = (
+        "Campaign planner - one fig7 campaign, planner-off vs warm memo\n"
+        f"  program: {PROGRAM} ({'+'.join(CLASSES)})   runs: "
+        f"{baseline.total_runs}\n"
+        f"  planner off: {baseline_seconds:8.2f}s\n"
+        f"  warm memo:   {warm_seconds:8.2f}s\n"
+        f"  speedup:     {speedup:8.2f}x (floor {SPEEDUP_FLOOR}x)\n"
+        f"  partition:   pruned={plan.pruned} memoized={plan.memoized} "
+        f"executed={plan.executed} "
+        f"({100.0 * plan.executed_fraction:.1f}% executed; outcomes "
+        "bit-identical)"
+    )
+    save_result("BENCH_planning_speedup", text, data)
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"expected the warm planner to be >= {SPEEDUP_FLOOR}x faster than "
+        f"planner-off execution, measured {speedup:.2f}x"
+    )

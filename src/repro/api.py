@@ -29,6 +29,9 @@ Grouped by layer:
   ``CampaignConfig(telemetry=...)``;
 * **observability** — run-level tracing controls and the journal-backed
   trace reports behind ``repro trace report``;
+* **planning** — the campaign planner behind
+  ``CampaignConfig(prune=..., memoize=...)``: dormancy proving, outcome
+  memoization, and the plan reports behind ``repro plan report``;
 * **verify** — the differential verification subsystem behind
   ``repro verify fuzz``: seeded program generation, fault sampling, the
   cross-configuration oracle, shrinking and divergence artifacts.
@@ -81,6 +84,18 @@ from .observability import (
     export_perfetto,
     render_trace_report,
     tracing_enabled,
+)
+from .planning import (
+    PROVENANCE_EXECUTED,
+    PROVENANCE_MEMOIZED,
+    PROVENANCE_PRUNED,
+    CampaignPlan,
+    PlannerCache,
+    PlanningDivergence,
+    PlanReport,
+    build_plan_report,
+    plan_from_records,
+    render_plan_report,
 )
 from .orchestrator import (
     CompositeSink,
@@ -246,6 +261,17 @@ __all__ = [
     "enable_tracing",
     "disable_tracing",
     "tracing_enabled",
+    # planning (CampaignConfig.prune/.memoize / repro plan report)
+    "PlannerCache",
+    "PlanningDivergence",
+    "CampaignPlan",
+    "PlanReport",
+    "PROVENANCE_EXECUTED",
+    "PROVENANCE_MEMOIZED",
+    "PROVENANCE_PRUNED",
+    "build_plan_report",
+    "plan_from_records",
+    "render_plan_report",
     # verify (repro verify fuzz / replay)
     "FuzzConfig",
     "FuzzReport",

@@ -9,10 +9,12 @@ Usage (also via ``python -m repro``)::
     python -m repro sec5             # real-fault emulation verdicts
     python -m repro figures          # figures 7-10 (runs the campaigns)
     python -m repro figures --programs JB.team6 SOR
+    python -m repro figures --prune --memoize --memo-dir memo/
     python -m repro ablation-metrics
     python -m repro ablation-triggers
     python -m repro ablation-hardware
     python -m repro trace report DIR # per-phase/fallback report of --trace journals
+    python -m repro plan report DIR  # pruned/memoized/executed partition of journals
     python -m repro disasm PROGRAM   # RX32 listing of a workload program
     python -m repro coverage PROGRAM # fault-site coverage under random inputs
     python -m repro inject FILE.c    # locate+inject faults in your MiniC file
@@ -46,6 +48,21 @@ from .experiments import (
     run_table4,
     run_trigger_ablation,
 )
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for counts that must be >= 1 (``--jobs 0`` is a
+    config error, not a request for zero workers — reject it at parse
+    time with the usual argparse exit code 2)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (got {value})"
+        )
+    return value
 
 
 def _scale(args: argparse.Namespace) -> float:
@@ -99,6 +116,10 @@ def _cmd_figures(args):
         snapshot=args.snapshot,
         trace=args.trace,
         engine=args.engine,
+        prune=args.prune,
+        memoize=args.memoize,
+        memo_dir=args.memo_dir,
+        plan_verify=args.plan_verify,
     )
     for figure in (fig7(results), fig8(results), fig9(results), fig10(results)):
         print(figure.render())
@@ -121,6 +142,18 @@ def _cmd_ablation_hardware(args):
     print(run_hardware_comparison(_config(args), jobs=getattr(args, "jobs", 1),
                                   snapshot=getattr(args, "snapshot", "off"),
                                   engine=getattr(args, "engine", "simple")).render())
+
+
+def _cmd_plan_report(args):
+    from .planning import build_plan_report, render_plan_report
+
+    try:
+        report = build_plan_report(args.journal_dir)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(render_plan_report(report))
+    return 0
 
 
 def _cmd_trace_report(args):
@@ -270,7 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
     figures = sub.add_parser("figures", parents=[shared], help="Figures 7-10 (runs the S6 campaigns)")
     figures.add_argument("--programs", nargs="*", default=None,
                          help="restrict to these Table-2 programs")
-    figures.add_argument("--jobs", type=int, default=1,
+    figures.add_argument("--jobs", type=_positive_int, default=1,
                          help="worker processes per campaign (default 1 = serial; "
                               "results are bit-identical at any value)")
     figures.add_argument("--journal-dir", default=None,
@@ -298,6 +331,24 @@ def build_parser() -> argparse.ArgumentParser:
                               "snapshot fast-path accounting) into the journal "
                               "and telemetry; read back with 'repro trace "
                               "report'")
+    figures.add_argument("--prune", action="store_true",
+                         help="campaign planner: statically prove faults "
+                              "dormant or invisible against the golden-run "
+                              "access trace and synthesize their records "
+                              "without booting (bit-identical results)")
+    figures.add_argument("--memoize", action="store_true",
+                         help="campaign planner: replay post-trigger outcomes "
+                              "from the memo cache instead of re-executing "
+                              "identical injections (bit-identical results)")
+    figures.add_argument("--memo-dir", default=None,
+                         help="persist the outcome memo here so later "
+                              "invocations (and resumes) start warm; "
+                              "requires --memoize")
+    figures.add_argument("--plan-verify", type=float, default=0.0,
+                         metavar="FRACTION",
+                         help="re-execute this fraction of planner-answered "
+                              "runs and fail loudly on any mismatch "
+                              "(0.0-1.0; default 0)")
     figures.set_defaults(fn=_cmd_figures)
 
     trace = sub.add_parser(
@@ -318,13 +369,28 @@ def build_parser() -> argparse.ArgumentParser:
                                    "Chrome/Perfetto trace-event JSON")
     trace_report.set_defaults(fn=_cmd_trace_report)
 
+    plan = sub.add_parser(
+        "plan", parents=[shared],
+        help="inspect the campaign planner's pruned/memoized/executed split",
+    )
+    plan_sub = plan.add_subparsers(dest="plan_command", required=True)
+    plan_report = plan_sub.add_parser(
+        "report", parents=[shared],
+        help="pruned/memoized/executed partition (with per-fault-class "
+             "breakdown) of a journal directory, or a directory of journals",
+    )
+    plan_report.add_argument("journal_dir",
+                             help="a campaign journal directory, or a parent "
+                                  "directory holding one journal per campaign")
+    plan_report.set_defaults(fn=_cmd_plan_report)
+
     metrics = sub.add_parser("ablation-metrics", parents=[shared], help="A1: metric-guided allocation")
     metrics.add_argument("--faults", type=int, default=100)
     metrics.set_defaults(fn=_cmd_ablation_metrics)
 
     triggers = sub.add_parser("ablation-triggers", parents=[shared],
                               help="A2: failure modes vs trigger When policy")
-    triggers.add_argument("--jobs", type=int, default=1)
+    triggers.add_argument("--jobs", type=_positive_int, default=1)
     triggers.add_argument("--snapshot", choices=("off", "auto", "verify"),
                           default="off")
     triggers.add_argument("--engine", choices=("simple", "block"),
@@ -332,7 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
     triggers.set_defaults(fn=_cmd_ablation_triggers)
     hardware = sub.add_parser("ablation-hardware", parents=[shared],
                               help="A3: software vs random hardware faults")
-    hardware.add_argument("--jobs", type=int, default=1)
+    hardware.add_argument("--jobs", type=_positive_int, default=1)
     hardware.add_argument("--snapshot", choices=("off", "auto", "verify"),
                           default="off")
     hardware.add_argument("--engine", choices=("simple", "block"),

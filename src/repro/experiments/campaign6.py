@@ -165,6 +165,10 @@ def run_section6(
     snapshot: str = SNAPSHOT_OFF,
     trace: bool = False,
     engine: str = ENGINE_SIMPLE,
+    prune: bool = False,
+    memoize: bool = False,
+    memo_dir: str | None = None,
+    plan_verify: float = 0.0,
 ) -> Section6Results:
     """Run the §6 campaigns over the Table-2 programs.
 
@@ -181,6 +185,10 @@ def run_section6(
     and telemetry (``repro trace report <journal_dir>`` reads them back).
     ``engine`` picks the machine execution engine (simple / block); the
     block engine is faster but bit-identical, so figures never change.
+    ``prune``/``memoize``/``memo_dir``/``plan_verify`` drive the campaign
+    planner (:mod:`repro.planning`): statically pruned and memoized runs
+    synthesize their records without booting, bit-identical by
+    construction and spot-checkable via ``plan_verify``.
     """
     config = config or ExperimentConfig()
     results = Section6Results()
@@ -229,6 +237,10 @@ def run_section6(
                     label=f"{workload.name}/{klass}",
                     trace=trace,
                     engine=engine,
+                    prune=prune,
+                    memoize=memoize,
+                    memo_dir=memo_dir,
+                    plan_verify=plan_verify,
                 ),
             )
             campaign.records = outcome.records

@@ -28,6 +28,8 @@ from .trace import (
     FALLBACK_REASONS,
     PATH_DORMANT,
     PATH_FRESH,
+    PATH_MEMO,
+    PATH_PRUNED,
     PATH_SNAPSHOT,
     REASON_GOLDEN_EXIT,
     TraceStats,
@@ -135,6 +137,8 @@ def _path_rows(report: TraceReport) -> list[tuple[str, int]]:
     rows: list[tuple[str, int]] = []
     rows.append(("snapshot restore", stats.paths[PATH_SNAPSHOT]))
     rows.append((f"dormant synthesis ({REASON_GOLDEN_EXIT})", stats.paths[PATH_DORMANT]))
+    rows.append(("plan: statically pruned", stats.paths[PATH_PRUNED]))
+    rows.append(("plan: memoized outcome", stats.paths[PATH_MEMO]))
     fresh_with_reason = 0
     for reason in FALLBACK_REASONS:
         if reason == REASON_GOLDEN_EXIT:

@@ -46,6 +46,8 @@ PHASE_POST_TRIGGER = "post-trigger-execute"
 PHASE_EXECUTE = "execute"  # full fresh-boot execution (prefix + suffix)
 PHASE_CLASSIFY = "classify"
 PHASE_BLOCK_COMPILE = "block-compile"  # block engine compiling a basic block
+PHASE_PLAN_PROVE = "plan-prove"        # planner: golden access trace + rules
+PHASE_MEMO_LOOKUP = "memo-lookup"      # planner: outcome-memo key + lookup
 
 PHASES = (
     PHASE_BOOT,
@@ -56,6 +58,8 @@ PHASES = (
     PHASE_EXECUTE,
     PHASE_CLASSIFY,
     PHASE_BLOCK_COMPILE,
+    PHASE_PLAN_PROVE,
+    PHASE_MEMO_LOOKUP,
 )
 
 # -- execution paths and fallback reasons ------------------------------------
@@ -63,7 +67,9 @@ PHASES = (
 PATH_FRESH = "fresh"
 PATH_SNAPSHOT = "snapshot"
 PATH_DORMANT = "dormant"
-PATHS = (PATH_SNAPSHOT, PATH_DORMANT, PATH_FRESH)
+PATH_PRUNED = "pruned"      # planner synthesized the record statically
+PATH_MEMO = "memoized"      # planner replayed a cached outcome
+PATHS = (PATH_SNAPSHOT, PATH_DORMANT, PATH_PRUNED, PATH_MEMO, PATH_FRESH)
 
 REASON_TEMPORAL = "temporal-trigger"
 REASON_TRAP_MODE = "trap-mode"
@@ -366,8 +372,11 @@ class TraceStats:
 
     @property
     def fast_path_hits(self) -> int:
-        """Runs served without a fresh boot (restore or synthesis)."""
-        return self.paths[PATH_SNAPSHOT] + self.paths[PATH_DORMANT]
+        """Runs served without a fresh boot (restore, synthesis, plan)."""
+        return (
+            self.paths[PATH_SNAPSHOT] + self.paths[PATH_DORMANT]
+            + self.paths[PATH_PRUNED] + self.paths[PATH_MEMO]
+        )
 
     def add_run(self, payload: dict) -> None:
         self.runs += 1
@@ -436,6 +445,8 @@ __all__ = [
     "PATHS",
     "PATH_DORMANT",
     "PATH_FRESH",
+    "PATH_MEMO",
+    "PATH_PRUNED",
     "PATH_SNAPSHOT",
     "PHASES",
     "PHASE_BLOCK_COMPILE",
@@ -443,6 +454,8 @@ __all__ = [
     "PHASE_CLASSIFY",
     "PHASE_EXECUTE",
     "PHASE_GOLDEN_RUN",
+    "PHASE_MEMO_LOOKUP",
+    "PHASE_PLAN_PROVE",
     "PHASE_POST_TRIGGER",
     "PHASE_SNAPSHOT_CAPTURE",
     "PHASE_SNAPSHOT_RESTORE",

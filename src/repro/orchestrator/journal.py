@@ -72,6 +72,9 @@ class JournalState:
     #: Per-run trace payloads (see repro.observability.trace), present
     #: only for runs journaled with tracing enabled.
     traces: dict[int, dict] = field(default_factory=dict)
+    #: The campaign's plan-partition summary (see repro.planning.plan),
+    #: appended once at completion; last one wins across resumes.
+    plan: dict | None = None
 
     @property
     def completed_runs(self) -> int:
@@ -112,6 +115,8 @@ def load_runs_file(path: str) -> JournalState:
             state.traces[int(entry["index"])] = entry["trace"]
         elif kind == "shard-failed":
             state.past_failures.append(entry)
+        elif kind == "plan":
+            state.plan = entry.get("plan")
         else:
             raise JournalError(
                 f"unknown journal entry type {kind!r} in {path!r}"
@@ -202,6 +207,10 @@ class CampaignJournal:
     def append_trace(self, run_index: int, trace: dict) -> None:
         """Journal one run's trace payload next to its run entry."""
         self._append({"type": "trace", "index": run_index, "trace": trace})
+
+    def append_plan(self, plan: dict) -> None:
+        """Journal the campaign's plan-partition summary (schema-additive)."""
+        self._append({"type": "plan", "plan": plan})
 
     def append_shard_failure(
         self, shard_id: int, run_indices: list[int], error: str

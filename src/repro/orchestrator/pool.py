@@ -76,6 +76,10 @@ class OrchestratorOptions:
     snapshot: str = "off"                   # golden-run restore fast path
     trace: bool = False                     # per-run span tracing
     engine: str = "simple"                  # machine execution engine
+    prune: bool = False                     # planner: dormant-fault pruning
+    memoize: bool = False                   # planner: outcome memoization
+    memo_dir: str | None = None             # planner: on-disk memo (JSONL)
+    plan_verify: float = 0.0                # planner: re-execute sample
     shard_size: int | None = None
     max_retries: int = 2
     shard_deadline: float | None = None     # seconds per shard attempt
@@ -229,6 +233,15 @@ class CampaignOrchestrator:
                 self._run_inline(pending, completed, journal, aggregator)
             else:
                 self._run_pool(pending, completed, failed, journal, aggregator)
+            if journal is not None:
+                from ..planning.plan import plan_from_records
+
+                plan = plan_from_records(
+                    completed[index]
+                    for index in sorted(completed)
+                    if index not in failed
+                )
+                journal.append_plan(plan.to_dict())
         finally:
             if self.options.trace:
                 _trace.set_tracing(previous_tracing)
@@ -264,6 +277,25 @@ class CampaignOrchestrator:
             engine=self.options.engine,
         )
 
+    def _planner_cache(self):
+        """One campaign planner for this process, or ``None``."""
+        if not self.options.prune and not self.options.memoize:
+            return None
+        from ..planning import PlannerCache
+
+        return PlannerCache(
+            self.executable,
+            self.faults,
+            num_cores=self.num_cores,
+            quantum=self.quantum,
+            engine=self.options.engine,
+            prune=self.options.prune,
+            memoize=self.options.memoize,
+            memo_dir=self.options.memo_dir,
+            verify_fraction=self.options.plan_verify,
+            seed=self.options.seed,
+        )
+
     # -- inline (jobs=1) path ------------------------------------------
 
     def _run_inline(
@@ -274,37 +306,43 @@ class CampaignOrchestrator:
         aggregator: TelemetryAggregator,
     ) -> None:
         snapshots = self._snapshot_cache()
-        for index in pending:
-            spec, case = self._pair(index)
-            record = execute_injection_run(
-                self.executable,
-                spec,
-                case,
-                budget=self.budgets[case.case_id],
-                num_cores=self.num_cores,
-                quantum=self.quantum,
-                snapshots=snapshots,
-                engine=self.options.engine,
-            )
-            trace_payload = _trace.take_completed() if self.options.trace else None
-            completed[index] = record
-            if journal is not None:
-                journal.append_record(index, record)
-                if trace_payload is not None:
-                    journal.append_trace(index, trace_payload)
-            aggregator.record_run(record, trace=trace_payload)
-            self.telemetry.update(aggregator.snapshot())
-            self._notify_progress(len(completed))
-            if (
-                self.options.interrupt_after is not None
-                and aggregator.executed >= self.options.interrupt_after
-            ):
-                raise CampaignInterrupted(
-                    f"campaign stopped after {aggregator.executed} runs "
-                    "(interrupt_after)",
-                    len(completed),
-                    self.total_runs,
+        planner = self._planner_cache()
+        try:
+            for index in pending:
+                spec, case = self._pair(index)
+                record = execute_injection_run(
+                    self.executable,
+                    spec,
+                    case,
+                    budget=self.budgets[case.case_id],
+                    num_cores=self.num_cores,
+                    quantum=self.quantum,
+                    snapshots=snapshots,
+                    engine=self.options.engine,
+                    planner=planner,
                 )
+                trace_payload = _trace.take_completed() if self.options.trace else None
+                completed[index] = record
+                if journal is not None:
+                    journal.append_record(index, record)
+                    if trace_payload is not None:
+                        journal.append_trace(index, trace_payload)
+                aggregator.record_run(record, trace=trace_payload)
+                self.telemetry.update(aggregator.snapshot())
+                self._notify_progress(len(completed))
+                if (
+                    self.options.interrupt_after is not None
+                    and aggregator.executed >= self.options.interrupt_after
+                ):
+                    raise CampaignInterrupted(
+                        f"campaign stopped after {aggregator.executed} runs "
+                        "(interrupt_after)",
+                        len(completed),
+                        self.total_runs,
+                    )
+        finally:
+            if planner is not None:
+                planner.close()
 
     # -- parallel path --------------------------------------------------
 
@@ -345,6 +383,10 @@ class CampaignOrchestrator:
             snapshot=self.options.snapshot,
             trace=self.options.trace,
             engine=self.options.engine,
+            prune=self.options.prune,
+            memoize=self.options.memoize,
+            memo_dir=self.options.memo_dir,
+            plan_verify=self.options.plan_verify,
             crash_after_runs=crash_after if crash_attempts else None,
             crash_attempts=crash_attempts,
             stall_seconds=stall_seconds,

@@ -56,6 +56,12 @@ class TelemetrySnapshot:
     #: Aggregated run tracing (TraceStats.to_dict()); None when tracing
     #: is off — the JSON key is then absent entirely (schema-additive).
     trace: dict | None = None
+    #: Runs answered by the campaign planner (repro.planning) instead of
+    #: a fresh boot: statically pruned / replayed from the outcome memo.
+    #: Zero outside planner campaigns — the JSON keys are then absent,
+    #: so schema-v2 consumers are unaffected.
+    pruned_runs: int = 0
+    memoized_runs: int = 0
 
     @property
     def completed_runs(self) -> int:
@@ -82,6 +88,10 @@ class TelemetrySnapshot:
         }
         if self.trace is not None:
             payload["trace"] = dict(self.trace)
+        if self.pruned_runs:
+            payload["pruned_runs"] = self.pruned_runs
+        if self.memoized_runs:
+            payload["memoized_runs"] = self.memoized_runs
         return payload
 
 
@@ -99,6 +109,8 @@ class TelemetryAggregator:
         self.failed = 0
         self.retries = 0
         self.modes: Counter = Counter()
+        self.pruned = 0
+        self.memoized = 0
         self.resumed_runs = 0
         self._recent: list[float] = []  # completion times inside RATE_WINDOW
         self.trace_stats: TraceStats | None = TraceStats() if tracing else None
@@ -106,14 +118,22 @@ class TelemetryAggregator:
             self.resumed_runs = len(resumed)
             for record in resumed.values():
                 self.modes[record.mode.value] += 1
+                self._note_provenance(record)
             if self.trace_stats is not None:
                 self.trace_stats.resume_skips = len(resumed)
 
     # -- event intake ---------------------------------------------------
 
+    def _note_provenance(self, record: RunRecord) -> None:
+        if record.provenance == "pruned":
+            self.pruned += 1
+        elif record.provenance == "memoized":
+            self.memoized += 1
+
     def record_run(self, record: RunRecord, trace: dict | None = None) -> None:
         self.executed += 1
         self.modes[record.mode.value] += 1
+        self._note_provenance(record)
         if self.trace_stats is not None and trace is not None:
             self.trace_stats.add_run(trace)
         now = time.monotonic()
@@ -168,6 +188,8 @@ class TelemetryAggregator:
             eta_seconds=eta,
             mode_tallies={mode.value: self.modes.get(mode.value, 0) for mode in MODE_ORDER},
             trace=None if self.trace_stats is None else self.trace_stats.to_dict(),
+            pruned_runs=self.pruned,
+            memoized_runs=self.memoized,
         )
 
 
@@ -245,6 +267,10 @@ class ProgressRenderer(TelemetrySink):
             tallies,
             f"jobs={snapshot.workers}",
         ]
+        if snapshot.pruned_runs:
+            parts.append(f"pruned={snapshot.pruned_runs}")
+        if snapshot.memoized_runs:
+            parts.append(f"memo={snapshot.memoized_runs}")
         if snapshot.resumed_runs:
             parts.append(f"resumed={snapshot.resumed_runs}")
         if snapshot.retries:

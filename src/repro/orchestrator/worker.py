@@ -62,6 +62,11 @@ class ShardTask:
     snapshot: str = "off"  # golden-run restore policy; cache built in-process
     trace: bool = False    # per-run span tracing (repro.observability)
     engine: str = "simple"  # machine execution engine for every run
+    # -- campaign planner (repro.planning); cache built in-process ------
+    prune: bool = False
+    memoize: bool = False
+    memo_dir: str | None = None
+    plan_verify: float = 0.0
     # -- supervision drill hooks (exercised by the test suite) ----------
     crash_after_runs: int | None = None
     crash_attempts: int = 0
@@ -103,6 +108,24 @@ def shard_worker_main(task: ShardTask, queue) -> None:
                 policy=task.snapshot,
                 engine=task.engine,
             )
+        planner = None
+        if task.prune or task.memoize:
+            # Built fresh per worker like the snapshot cache; workers
+            # share outcomes only through the on-disk memo directory.
+            from ..planning import PlannerCache
+
+            planner = PlannerCache(
+                task.executable,
+                task.faults,
+                num_cores=task.num_cores,
+                quantum=task.quantum,
+                engine=task.engine,
+                prune=task.prune,
+                memoize=task.memoize,
+                memo_dir=task.memo_dir,
+                verify_fraction=task.plan_verify,
+                seed=task.seed,
+            )
         for run_index, fault_pos, case_pos in task.runs:
             spec = task.faults[fault_pos]
             case = task.cases[case_pos]
@@ -115,12 +138,15 @@ def shard_worker_main(task: ShardTask, queue) -> None:
                 quantum=task.quantum,
                 snapshots=snapshots,
                 engine=task.engine,
+                planner=planner,
             )
             payload = _trace.take_completed() if task.trace else None
             queue.put((MSG_RUN, task.shard_id, run_index, record.to_dict(), payload))
             sent += 1
             if task.should_crash(sent):
                 _die_abruptly(queue)
+        if planner is not None:
+            planner.close()
         queue.put((MSG_DONE, task.shard_id, task.attempt))
     except BaseException:
         queue.put((MSG_ERROR, task.shard_id, traceback.format_exc()))

@@ -1,0 +1,144 @@
+"""State digests and fingerprints shared by verification and planning.
+
+:class:`StateDigest` and :func:`machine_digest` started life in
+``repro.verify.oracle`` as the differential oracle's full-state
+comparison unit.  The campaign planner needs the same hashing to key its
+outcome memo, so both live here and ``repro.verify`` re-exports them —
+existing imports and persisted artifacts keep working unchanged.
+
+On top of the digest the planner adds three fingerprint helpers:
+
+* :func:`state_fingerprint` — one hex string over a machine's complete
+  architectural state (cores, memory image, heap allocator, console);
+  hashing a freshly booted machine yields a *case fingerprint* that
+  covers the executable image and every input poke;
+* :func:`behavior_fingerprint` — a stable hash of everything that shapes
+  a fault's runtime behaviour (trigger, actions, when-policy, mode) while
+  excluding its identity (``fault_id``, metadata), so two faults that
+  *act* identically share a fingerprint;
+* :func:`memo_key` — the outcome-memo cache key: case fingerprint +
+  behaviour fingerprint + every execution parameter that could change
+  the outcome (budget, quantum, core count, engine) + the oracle's
+  expected output (the failure-mode classification depends on it).
+
+Keying on the *pre-injection* boot state plus the behaviour fingerprint
+— rather than on a mid-run post-injection digest alone — is what makes
+the memo sound for ``when=every()`` faults: after the first injection
+the fault is still armed, so two runs in identical machine states but
+with different residual fault behaviour may still diverge.  The
+behaviour fingerprint captures exactly that residue.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..swifi.faults import FaultSpec
+
+
+@dataclass(frozen=True)
+class StateDigest:
+    """Everything observable about one finished run, hashed where bulky."""
+
+    status: str
+    exit_code: int | None
+    trap_kind: str | None
+    instructions: int
+    activations: int
+    injections: int
+    console_sha: str
+    state_sha: str
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "exit_code": self.exit_code,
+            "trap_kind": self.trap_kind,
+            "instructions": self.instructions,
+            "activations": self.activations,
+            "injections": self.injections,
+            "console_sha": self.console_sha,
+            "state_sha": self.state_sha,
+        }
+
+
+def _hash_machine_state(machine) -> "hashlib._Hash":
+    """SHA-256 over registers, memory image and heap allocator state.
+
+    The exact byte layout predates this module (it came from the
+    differential oracle) and is kept bit-identical so digests recorded in
+    old fuzzer artifacts still match.
+    """
+    hasher = hashlib.sha256()
+    for core in machine.cores:
+        hasher.update(
+            b"%d|%d|%d|%d|%d|" % (core.core_id, core.pc, core.lr, core.cr,
+                                  1 if core.halted else 0)
+        )
+        hasher.update(b",".join(b"%d" % reg for reg in core.regs))
+        hasher.update(b";")
+    hasher.update(bytes(machine.memory.data))
+    cursor, allocated, free_by_size = machine.heap.capture()
+    hasher.update(repr((cursor, sorted(allocated), sorted(free_by_size))).encode())
+    return hasher
+
+
+def machine_digest(machine, result, session, fault_id: str) -> StateDigest:
+    """Digest a finished machine: registers, memory image, heap, console."""
+    hasher = _hash_machine_state(machine)
+    return StateDigest(
+        status=result.status,
+        exit_code=result.exit_code,
+        trap_kind=result.trap.kind if result.trap is not None else None,
+        instructions=result.instructions,
+        activations=session.activation_count(fault_id) if session else 0,
+        injections=session.injection_count(fault_id) if session else 0,
+        console_sha=hashlib.sha256(bytes(machine.console)).hexdigest(),
+        state_sha=hasher.hexdigest(),
+    )
+
+
+def state_fingerprint(machine) -> str:
+    """One hex string over a machine's complete architectural state."""
+    hasher = _hash_machine_state(machine)
+    hasher.update(b"#console:")
+    hasher.update(bytes(machine.console))
+    return hasher.hexdigest()
+
+
+def behavior_fingerprint(spec: FaultSpec) -> str:
+    """Hash of a fault's runtime behaviour, independent of its identity.
+
+    Trigger, actions, when-policy and mode are all frozen dataclasses
+    with stable value-based reprs, so the repr is a canonical encoding.
+    ``fault_id`` and metadata deliberately stay out: they label the fault
+    but never change what it does to the machine.
+    """
+    payload = repr((spec.trigger, spec.actions, spec.when, spec.mode))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def memo_key(case_fingerprint: str, expected: bytes, spec: FaultSpec, *,
+             budget: int, quantum: int, num_cores: int, engine: str) -> str:
+    """The outcome-memo key for one (case, fault, execution-config) run."""
+    hasher = hashlib.sha256()
+    hasher.update(case_fingerprint.encode())
+    hasher.update(b"|expected:")
+    hasher.update(hashlib.sha256(expected).digest())
+    hasher.update(b"|behavior:")
+    hasher.update(behavior_fingerprint(spec).encode())
+    hasher.update(
+        b"|budget=%d|quantum=%d|cores=%d|engine=" % (budget, quantum, num_cores)
+    )
+    hasher.update(engine.encode())
+    return hasher.hexdigest()
+
+
+__all__ = [
+    "StateDigest",
+    "behavior_fingerprint",
+    "machine_digest",
+    "memo_key",
+    "state_fingerprint",
+]

@@ -1,0 +1,136 @@
+"""The outcome memoizer: identical runs replay their cached outcome.
+
+Two runs whose complete pre-injection machine state, fault behaviour and
+execution parameters coincide are the same deterministic computation —
+the second one's outcome is already known.  :func:`repro.planning.digest.memo_key`
+captures exactly that equivalence class; this module stores the outcome
+side of the mapping.
+
+The cache holds only the *outcome* fields of a run record — failure-mode
+classification, status, exit code, trap kind, counters — never the fault
+identity.  ``fault_id``, ``case_id`` and metadata are rebuilt from the
+fault spec at replay time, so two distinct faults that share a behaviour
+fingerprint (the common case: generated fault sets repeat the same
+corruption at the same site across probe/error pairs) correctly share
+one cached outcome while keeping their own identities.
+
+Persistence is append-only JSONL, one file per writer process
+(``memo-<pid>.jsonl``) so concurrent shard workers never interleave
+writes.  Loading reads every ``*.jsonl`` in the directory and skips torn
+trailing lines, which makes kill + resume safe: a campaign resumed over
+a warm memo directory replays every previously executed outcome.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..swifi.campaign import InputCase, RunRecord
+from ..swifi.faults import FaultSpec
+from ..swifi.outcomes import FailureMode
+
+#: The run-outcome fields a memo entry carries (identity fields excluded).
+OUTCOME_FIELDS = (
+    "mode", "status", "exit_code", "trap_kind",
+    "activations", "injections", "instructions",
+)
+
+
+def outcome_from_record(record: RunRecord) -> dict:
+    """The identity-free outcome payload of one executed record."""
+    return {
+        "mode": record.mode.value,
+        "status": record.status,
+        "exit_code": record.exit_code,
+        "trap_kind": record.trap_kind,
+        "activations": record.activations,
+        "injections": record.injections,
+        "instructions": record.instructions,
+    }
+
+
+def record_from_outcome(outcome: dict, spec: FaultSpec,
+                        case: InputCase) -> RunRecord:
+    """Rebuild a full record: cached outcome + the current fault identity."""
+    return RunRecord(
+        fault_id=spec.fault_id,
+        case_id=case.case_id,
+        mode=FailureMode(outcome["mode"]),
+        status=outcome["status"],
+        exit_code=outcome["exit_code"],
+        trap_kind=outcome["trap_kind"],
+        activations=outcome["activations"],
+        injections=outcome["injections"],
+        instructions=outcome["instructions"],
+        metadata=spec.metadata,
+        provenance="memoized",
+    )
+
+
+class OutcomeCache:
+    """In-memory memo with optional on-disk JSONL persistence."""
+
+    def __init__(self, memo_dir: str | Path | None = None) -> None:
+        self._outcomes: dict[str, dict] = {}
+        self._dir = Path(memo_dir) if memo_dir is not None else None
+        self._sink = None
+        self.loaded = 0
+        if self._dir is not None:
+            self._dir.mkdir(parents=True, exist_ok=True)
+            self.loaded = self._load()
+
+    def _load(self) -> int:
+        loaded = 0
+        for path in sorted(self._dir.glob("*.jsonl")):
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            for line in text.splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    entry = json.loads(line)
+                    key = entry["key"]
+                    outcome = entry["outcome"]
+                except (ValueError, KeyError, TypeError):
+                    # torn write from a killed process — resume past it
+                    continue
+                if key not in self._outcomes:
+                    loaded += 1
+                self._outcomes[key] = outcome
+        return loaded
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+    def get(self, key: str) -> dict | None:
+        return self._outcomes.get(key)
+
+    def put(self, key: str, outcome: dict) -> None:
+        if key in self._outcomes:
+            return
+        self._outcomes[key] = outcome
+        if self._dir is not None:
+            if self._sink is None:
+                self._sink = open(
+                    self._dir / f"memo-{os.getpid()}.jsonl", "a",
+                    encoding="utf-8",
+                )
+            self._sink.write(json.dumps({"key": key, "outcome": outcome}) + "\n")
+            self._sink.flush()
+
+    def close(self) -> None:
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+
+__all__ = [
+    "OUTCOME_FIELDS",
+    "OutcomeCache",
+    "outcome_from_record",
+    "record_from_outcome",
+]

@@ -1,0 +1,607 @@
+"""Instrumented golden-run replay: per-address access facts for pruning.
+
+The dormancy prover needs to know, for one (program, input case) pair,
+what the fault-free run actually touches:
+
+* how often every code address is fetched (trigger activation counts),
+  and the *last* instruction index that fetched it;
+* for each address the campaign's fault set triggers on, the condition
+  register and effective address observed at every activation (branch
+  decision equivalence, dead-store analysis);
+* the last instruction index at which every memory word is read — by a
+  load or by the ``puts`` syscall walking a string (dead-location
+  analysis);
+* read/write event lists for the registers the fault set corrupts
+  (dead-register analysis);
+* load/store counts on data-trigger addresses (data-trigger dormancy).
+
+:class:`CaseTrace` (the snapshot fast path) pauses a real ``machine.run``
+at watchpoints, which is cheap because it instruments only a handful of
+addresses.  Access tracing instruments *every* instruction, so driving it
+through one-instruction quanta would be ruinously slow on multi-million
+instruction workloads.  Instead this module re-implements the ``simple``
+engine's interpreter loop (:meth:`repro.machine.cpu.Core._run_quantum_simple`)
+with the bookkeeping inlined, running over a really booted machine so
+syscalls, the heap and the console behave identically.
+
+Fail-safe by construction: the trace only reports ``ok`` when the replay
+exited cleanly within budget (and below :func:`trace_cap`) and its
+console output matches the case oracle byte-for-byte.  Any divergence —
+an interpreter-drift bug here, a hanging golden run, an oversized
+workload — disables planning for the case rather than risking a wrong
+synthesized record.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from ..isa.encoding import (
+    COND_ALWAYS,
+    COND_EQ,
+    COND_GE,
+    COND_GT,
+    COND_LE,
+    COND_LT,
+    COND_NE,
+    OP_ADDI,
+    OP_ADDIS,
+    OP_ANDI,
+    OP_B,
+    OP_BC,
+    OP_BL,
+    OP_BLR,
+    OP_CMPI,
+    OP_CMPLI,
+    OP_LBZ,
+    OP_LWZ,
+    OP_MFLR,
+    OP_MTLR,
+    OP_MULLI,
+    OP_ORI,
+    OP_SC,
+    OP_SLWI,
+    OP_SRAWI,
+    OP_SRWI,
+    OP_STB,
+    OP_STW,
+    OP_TRAP,
+    OP_XO,
+    OP_XORI,
+    XO_ADD,
+    XO_AND,
+    XO_CMP,
+    XO_DIVW,
+    XO_MODW,
+    XO_MUL,
+    XO_NEG,
+    XO_NOR,
+    XO_NOT,
+    XO_OR,
+    XO_SLW,
+    XO_SRAW,
+    XO_SRW,
+    XO_SUB,
+    XO_XOR,
+)
+from ..machine.cpu import decode_fields
+from ..machine.loader import Executable, boot
+from ..machine.machine import RunResult
+from ..machine.syscalls import SYS_PUTS
+from ..machine.traps import (
+    ArithmeticTrap,
+    IllegalInstructionTrap,
+    MemoryTrap,
+    Trap,
+    TrapInstructionHit,
+)
+from ..swifi.campaign import InputCase
+
+_MASK = 0xFFFFFFFF
+_SIGN = 0x80000000
+
+#: Default per-case instruction ceiling for access tracing.  Beyond it the
+#: trace declares itself unusable and the planner falls back to normal
+#: execution for the whole case — pruning is an optimisation, never worth
+#: an unbounded golden replay.
+DEFAULT_TRACE_CAP = 8_000_000
+
+#: Taken/not-taken for each branch condition over the three condition
+#: register states, indexed (cr < 0, cr == 0, cr > 0).
+COND_TRIPLES: dict[int, tuple[bool, bool, bool]] = {
+    COND_LT: (True, False, False),
+    COND_LE: (True, True, False),
+    COND_EQ: (False, True, False),
+    COND_GE: (False, True, True),
+    COND_GT: (False, False, True),
+    COND_NE: (True, False, True),
+    COND_ALWAYS: (True, True, True),
+}
+
+_ALU_IMM_OPCODES = frozenset(
+    {OP_ADDI, OP_ADDIS, OP_MULLI, OP_ANDI, OP_ORI, OP_XORI,
+     OP_SLWI, OP_SRWI, OP_SRAWI}
+)
+
+
+def trace_cap() -> int:
+    """The instruction ceiling, overridable via ``REPRO_PLAN_TRACE_CAP``."""
+    return int(os.environ.get("REPRO_PLAN_TRACE_CAP", str(DEFAULT_TRACE_CAP)))
+
+
+def cond_taken(cond: int, cr: int) -> bool | None:
+    """Whether branch condition *cond* is taken under *cr*; None if illegal."""
+    triple = COND_TRIPLES.get(cond)
+    if triple is None:
+        return None
+    return triple[0] if cr < 0 else (triple[1] if cr == 0 else triple[2])
+
+
+class GoldenAccessTrace:
+    """One instrumented fault-free run of (executable, case).
+
+    Instruction indices are 0-based retirement positions: the instruction
+    at index ``i`` is the ``i+1``-th to execute.  "Read at index i" means
+    the instruction executing at position i observed the value, so a
+    store at index ``s`` is dead when no read of its target word has an
+    index greater than ``s``.
+    """
+
+    def __init__(
+        self,
+        executable: Executable,
+        case: InputCase,
+        *,
+        watch_pcs: Iterable[int] = (),
+        data_addrs: Iterable[int] = (),
+        tracked_regs: Iterable[int] = (),
+        budget: int,
+        cap: int | None = None,
+    ) -> None:
+        self.case = case
+        self.failure: str | None = None
+        cap = trace_cap() if cap is None else cap
+
+        machine = boot(executable, num_cores=1, inputs=dict(case.pokes))
+        self._code_base = machine.code_base
+        self._code_end = machine.code_end
+        self._code_words = list(machine.code_words)
+        self._mapped = [(s.start, s.end) for s in machine.memory.segments]
+        n_words = len(self._code_words)
+
+        self._exec_count = [0] * n_words
+        self._exec_last = [-1] * n_words
+        self._events: dict[int, list[tuple[int, int | None, int]]] = {
+            pc: [] for pc in watch_pcs
+            if self._code_base <= pc < self._code_end
+        }
+        self._last_read: dict[int, int] = {}
+        self._data_counts: dict[tuple[str, int], int] = {}
+        self._data_addrs = frozenset(data_addrs)
+        # r0 reads as zero even right after a corruption (the injector
+        # resets it), so tracking it would only add noise.
+        self._tracked_regs = frozenset(tracked_regs) - {0}
+        self._reg_events: dict[int, list[tuple[int, bool]]] = {
+            reg: [] for reg in self._tracked_regs
+        }
+
+        limit = min(budget, cap)
+        status, exit_code, executed = self._run(machine, limit)
+        if status != "exited" and executed >= limit and limit < budget:
+            self.failure = "trace-cap"
+        console = bytes(machine.console)
+        self.result = RunResult(
+            status=status, exit_code=exit_code, trap=None,
+            instructions=executed, console=console,
+        )
+        self.instructions = executed
+        self.ok = status == "exited" and console == case.expected
+        if not self.ok and self.failure is None:
+            self.failure = (
+                "console-mismatch" if status == "exited" else f"golden-{status}"
+            )
+
+    # -- the instrumented interpreter loop -----------------------------
+
+    def _run(self, machine, limit: int) -> tuple[str, int | None, int]:
+        """Replay the golden run; returns (status, exit_code, executed)."""
+        core = machine.cores[0]
+        mem = machine.memory
+        read_word = mem.read_word
+        write_word = mem.write_word
+        read_byte = mem.read_byte
+        write_byte = mem.write_byte
+        mem_data = mem.data
+        regs = core.regs
+        code_base = self._code_base
+        code_end = self._code_end
+        code_words = self._code_words
+        decode_cache: list = [None] * len(code_words)
+        syscall = machine.syscalls.dispatch
+        read_ranges, write_ranges = machine.access_ranges()
+
+        exec_count = self._exec_count
+        exec_last = self._exec_last
+        events = self._events
+        last_read = self._last_read
+        data_counts = self._data_counts
+        data_addrs = self._data_addrs
+        tracked = self._tracked_regs
+        reg_events = self._reg_events
+
+        pc = core.pc
+        lr = core.lr
+        cr = core.cr
+        idx = 0
+        status = "hung"
+        try:
+            while idx < limit:
+                if pc < code_base or pc >= code_end:
+                    raise MemoryTrap(
+                        f"instruction fetch outside code segment at {pc:#010x}",
+                        address=pc,
+                    )
+                index = (pc - code_base) >> 2
+                exec_count[index] += 1
+                exec_last[index] = idx
+                decoded = decode_cache[index]
+                if decoded is None:
+                    decoded = decode_fields(code_words[index])
+                    decode_cache[index] = decoded
+                opcode, rd, ra, rb, imm = decoded
+
+                if events and pc in events:
+                    if opcode in (OP_LWZ, OP_STW, OP_LBZ, OP_STB):
+                        ea_evt = (regs[ra] + imm) & _MASK
+                    else:
+                        ea_evt = None
+                    events[pc].append((idx, ea_evt, cr))
+
+                if tracked:
+                    self._note_regs(reg_events, tracked, idx, opcode, rd, ra, rb)
+
+                if opcode == OP_ADDI:
+                    regs[rd] = (regs[ra] + imm) & _MASK
+                    regs[0] = 0
+                    pc += 4
+                elif opcode == OP_LWZ:
+                    ea = (regs[ra] + imm) & _MASK
+                    last_read[ea & ~3] = idx
+                    if ea & 3:
+                        last_read[(ea + 3) & ~3] = idx
+                    if data_addrs and ea in data_addrs:
+                        key = ("load", ea)
+                        data_counts[key] = data_counts.get(key, 0) + 1
+                    if ea & 3 == 0:
+                        for lo, hi in read_ranges:
+                            if lo <= ea < hi:
+                                value = int.from_bytes(mem_data[ea:ea + 4], "big")
+                                break
+                        else:
+                            value = read_word(ea, pc)
+                    else:
+                        value = read_word(ea, pc)
+                    regs[rd] = value
+                    regs[0] = 0
+                    pc += 4
+                elif opcode == OP_STW:
+                    ea = (regs[ra] + imm) & _MASK
+                    if data_addrs and ea in data_addrs:
+                        key = ("store", ea)
+                        data_counts[key] = data_counts.get(key, 0) + 1
+                    value = regs[rd]
+                    if ea & 3 == 0:
+                        for lo, hi in write_ranges:
+                            if lo <= ea < hi:
+                                mem_data[ea:ea + 4] = value.to_bytes(4, "big")
+                                break
+                        else:
+                            write_word(ea, value, pc)
+                    else:
+                        write_word(ea, value, pc)
+                    pc += 4
+                elif opcode == OP_BC:
+                    if rd == COND_LT:
+                        taken = cr < 0
+                    elif rd == COND_LE:
+                        taken = cr <= 0
+                    elif rd == COND_EQ:
+                        taken = cr == 0
+                    elif rd == COND_GE:
+                        taken = cr >= 0
+                    elif rd == COND_GT:
+                        taken = cr > 0
+                    elif rd == COND_NE:
+                        taken = cr != 0
+                    elif rd == COND_ALWAYS:
+                        taken = True
+                    else:
+                        raise IllegalInstructionTrap(
+                            f"illegal branch condition {rd} at {pc:#010x}"
+                        )
+                    pc = (pc + imm * 4) & _MASK if taken else pc + 4
+                elif opcode == OP_XO:
+                    a = regs[ra]
+                    b = regs[rb]
+                    if imm == XO_ADD:
+                        regs[rd] = (a + b) & _MASK
+                    elif imm == XO_SUB:
+                        regs[rd] = (a - b) & _MASK
+                    elif imm == XO_MUL:
+                        regs[rd] = (a * b) & _MASK
+                    elif imm == XO_CMP:
+                        if a & _SIGN:
+                            a -= 0x100000000
+                        if b & _SIGN:
+                            b -= 0x100000000
+                        cr = -1 if a < b else (1 if a > b else 0)
+                        pc += 4
+                        idx += 1
+                        continue
+                    elif imm == XO_DIVW or imm == XO_MODW:
+                        if a & _SIGN:
+                            a -= 0x100000000
+                        if b & _SIGN:
+                            b -= 0x100000000
+                        if b == 0:
+                            raise ArithmeticTrap(
+                                f"integer division by zero at {pc:#010x}"
+                            )
+                        quotient = abs(a) // abs(b)
+                        if (a < 0) != (b < 0):
+                            quotient = -quotient
+                        if imm == XO_DIVW:
+                            regs[rd] = quotient & _MASK
+                        else:
+                            regs[rd] = (a - quotient * b) & _MASK
+                    elif imm == XO_AND:
+                        regs[rd] = a & b
+                    elif imm == XO_OR:
+                        regs[rd] = a | b
+                    elif imm == XO_XOR:
+                        regs[rd] = a ^ b
+                    elif imm == XO_NOR:
+                        regs[rd] = (a | b) ^ _MASK
+                    elif imm == XO_SLW:
+                        regs[rd] = (a << (b & 31)) & _MASK
+                    elif imm == XO_SRW:
+                        regs[rd] = a >> (b & 31)
+                    elif imm == XO_SRAW:
+                        if a & _SIGN:
+                            a -= 0x100000000
+                        regs[rd] = (a >> (b & 31)) & _MASK
+                    elif imm == XO_NEG:
+                        regs[rd] = (-a) & _MASK
+                    elif imm == XO_NOT:
+                        regs[rd] = a ^ _MASK
+                    else:
+                        raise IllegalInstructionTrap(
+                            f"illegal XO sub-opcode {imm:#x} at {pc:#010x}"
+                        )
+                    regs[0] = 0
+                    pc += 4
+                elif opcode == OP_CMPI:
+                    a = regs[ra]
+                    if a & _SIGN:
+                        a -= 0x100000000
+                    cr = -1 if a < imm else (1 if a > imm else 0)
+                    pc += 4
+                elif opcode == OP_B:
+                    pc = (pc + imm * 4) & _MASK
+                elif opcode == OP_BL:
+                    lr = pc + 4
+                    pc = (pc + imm * 4) & _MASK
+                elif opcode == OP_BLR:
+                    pc = lr
+                elif opcode == OP_LBZ:
+                    ea = (regs[ra] + imm) & _MASK
+                    last_read[ea & ~3] = idx
+                    if data_addrs and ea in data_addrs:
+                        key = ("load", ea)
+                        data_counts[key] = data_counts.get(key, 0) + 1
+                    for lo, hi in read_ranges:
+                        if lo <= ea < hi:
+                            value = mem_data[ea]
+                            break
+                    else:
+                        value = read_byte(ea, pc)
+                    regs[rd] = value
+                    regs[0] = 0
+                    pc += 4
+                elif opcode == OP_STB:
+                    ea = (regs[ra] + imm) & _MASK
+                    if data_addrs and ea in data_addrs:
+                        key = ("store", ea)
+                        data_counts[key] = data_counts.get(key, 0) + 1
+                    value = regs[rd]
+                    for lo, hi in write_ranges:
+                        if lo <= ea < hi:
+                            mem_data[ea] = value & 0xFF
+                            break
+                    else:
+                        write_byte(ea, value, pc)
+                    pc += 4
+                elif opcode == OP_ADDIS:
+                    regs[rd] = (regs[ra] + (imm << 16)) & _MASK
+                    regs[0] = 0
+                    pc += 4
+                elif opcode == OP_MULLI:
+                    regs[rd] = (regs[ra] * imm) & _MASK
+                    regs[0] = 0
+                    pc += 4
+                elif opcode == OP_ANDI:
+                    regs[rd] = regs[ra] & imm
+                    regs[0] = 0
+                    pc += 4
+                elif opcode == OP_ORI:
+                    regs[rd] = regs[ra] | imm
+                    regs[0] = 0
+                    pc += 4
+                elif opcode == OP_XORI:
+                    regs[rd] = regs[ra] ^ imm
+                    regs[0] = 0
+                    pc += 4
+                elif opcode == OP_CMPLI:
+                    a = regs[ra]
+                    cr = -1 if a < imm else (1 if a > imm else 0)
+                    pc += 4
+                elif opcode == OP_SLWI:
+                    regs[rd] = (regs[ra] << (imm & 31)) & _MASK
+                    regs[0] = 0
+                    pc += 4
+                elif opcode == OP_SRWI:
+                    regs[rd] = regs[ra] >> (imm & 31)
+                    regs[0] = 0
+                    pc += 4
+                elif opcode == OP_SRAWI:
+                    a = regs[ra]
+                    if a & _SIGN:
+                        a -= 0x100000000
+                    regs[rd] = (a >> (imm & 31)) & _MASK
+                    regs[0] = 0
+                    pc += 4
+                elif opcode == OP_MFLR:
+                    regs[rd] = lr & _MASK
+                    regs[0] = 0
+                    pc += 4
+                elif opcode == OP_MTLR:
+                    lr = regs[rd]
+                    pc += 4
+                elif opcode == OP_SC:
+                    core.pc = pc
+                    core.cr = cr
+                    core.lr = lr
+                    if imm == SYS_PUTS:
+                        start = regs[3]
+                        before = len(machine.console)
+                        syscall(core, imm)
+                        # puts walked the string plus its NUL terminator:
+                        # every word it touched counts as read here.
+                        n = len(machine.console) - before
+                        for addr in range((start & ~3), ((start + n) & ~3) + 4, 4):
+                            last_read[addr] = idx
+                    else:
+                        syscall(core, imm)
+                    pc += 4
+                    idx += 1
+                    if core.halted or core.blocked:
+                        break
+                    continue
+                elif opcode == OP_TRAP:
+                    raise TrapInstructionHit(
+                        f"trap instruction (code {imm}) at {pc:#010x}"
+                    )
+                else:
+                    raise IllegalInstructionTrap(
+                        f"illegal opcode {opcode:#x} at {pc:#010x}"
+                    )
+                idx += 1
+        except Trap:
+            core.pc = pc
+            core.cr = cr
+            core.lr = lr
+            return "trapped", None, idx + 1
+        core.pc = pc
+        core.cr = cr
+        core.lr = lr
+        core.instret = idx
+        machine.instret = idx
+        if core.halted:
+            return "exited", core.exit_code, idx
+        return "hung", None, idx
+
+    @staticmethod
+    def _note_regs(reg_events, tracked, idx, opcode, rd, ra, rb) -> None:
+        """Append (index, is_write) events for tracked registers.
+
+        Reads are appended before writes, matching within-instruction
+        order.  Conservative on syscalls: r3 is treated as read by every
+        ``sc`` and its result writes are ignored (missing a write can
+        only under-prune, never mis-prune).
+        """
+        reads: tuple[int, ...]
+        writes: tuple[int, ...]
+        if opcode in _ALU_IMM_OPCODES:
+            reads, writes = (ra,), (rd,)
+        elif opcode == OP_LWZ or opcode == OP_LBZ:
+            reads, writes = (ra,), (rd,)
+        elif opcode == OP_STW or opcode == OP_STB:
+            reads, writes = (ra, rd), ()
+        elif opcode == OP_XO:
+            # all XO forms read ra; NEG/NOT ignore rb but counting an
+            # extra read is conservative-safe (it can only under-prune)
+            reads, writes = (ra, rb), (rd,)
+        elif opcode == OP_CMPI or opcode == OP_CMPLI:
+            reads, writes = (ra,), ()
+        elif opcode == OP_MFLR:
+            reads, writes = (), (rd,)
+        elif opcode == OP_MTLR:
+            reads, writes = (rd,), ()
+        elif opcode == OP_SC:
+            reads, writes = (3,), ()
+        else:  # branches, trap
+            reads, writes = (), ()
+        for reg in reads:
+            if reg in tracked:
+                reg_events[reg].append((idx, False))
+        for reg in writes:
+            if reg in tracked:
+                reg_events[reg].append((idx, True))
+
+    # -- prover accessors ----------------------------------------------
+
+    def _index_of(self, pc: int) -> int | None:
+        if pc < self._code_base or pc >= self._code_end or pc & 3:
+            return None
+        return (pc - self._code_base) >> 2
+
+    def exec_count_at(self, pc: int) -> int:
+        index = self._index_of(pc)
+        return 0 if index is None else self._exec_count[index]
+
+    def last_exec_at(self, pc: int) -> int:
+        """Last instruction index that fetched *pc*, or -1."""
+        index = self._index_of(pc)
+        return -1 if index is None else self._exec_last[index]
+
+    def events_at(self, pc: int) -> list[tuple[int, int | None, int]]:
+        """Per-activation (index, effective address, cr) for a watched pc."""
+        return self._events.get(pc, [])
+
+    def last_read_at(self, word_addr: int) -> int:
+        """Last instruction index that read any byte of the word, or -1."""
+        return self._last_read.get(word_addr & ~3, -1)
+
+    def data_access_count(self, addr: int, *, on_load: bool, on_store: bool) -> int:
+        count = 0
+        if on_load:
+            count += self._data_counts.get(("load", addr), 0)
+        if on_store:
+            count += self._data_counts.get(("store", addr), 0)
+        return count
+
+    def reg_events_at(self, reg: int) -> list[tuple[int, bool]] | None:
+        """(index, is_write) events for *reg*; None when it wasn't tracked.
+
+        An empty list is a real answer (tracked, never accessed); None
+        means the trace cannot say and the caller must decline.
+        """
+        return self._reg_events.get(reg)
+
+    def golden_word(self, pc: int) -> int | None:
+        index = self._index_of(pc)
+        return None if index is None else self._code_words[index]
+
+    def is_mapped(self, addr: int) -> bool:
+        """Whether a debug-port word write at *addr* would land in a segment."""
+        return any(lo <= addr and addr + 4 <= hi for lo, hi in self._mapped)
+
+
+__all__ = [
+    "COND_TRIPLES",
+    "DEFAULT_TRACE_CAP",
+    "GoldenAccessTrace",
+    "cond_taken",
+    "trace_cap",
+]

@@ -38,6 +38,7 @@ from .outcomes import MODE_ORDER, FailureMode, classify
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..machine.loader import Executable
     from ..orchestrator.telemetry import TelemetrySink
+    from ..planning import PlannerCache
     from .snapshot import SnapshotCache
 
 DEFAULT_BUDGET_FACTOR = 15
@@ -95,6 +96,16 @@ class CampaignConfig:
       per-instruction interpreter, ``"block"`` the block-compiling engine
       (:mod:`repro.machine.blocks`), which is faster and falls back to
       the interpreter around every fault-injection hook;
+    * ``prune``/``memoize`` — the campaign planner
+      (:mod:`repro.planning`): ``prune`` statically synthesizes records
+      for provably dormant / invisible faults without booting a machine,
+      ``memoize`` replays cached outcomes of behaviourally identical
+      runs; ``memo_dir`` persists the memo on disk (append-only JSONL)
+      so it survives kill + resume and warms later campaigns;
+    * ``plan_verify`` — re-execute this fraction of pruned/memoized
+      records with a real fresh-boot run and raise
+      :class:`repro.planning.PlanningDivergence` on any mismatch
+      (``1.0`` in the CI smoke job keeps the planner honest);
     * ``budget_factor``/``min_budget`` — override the runner's hang
       budget calibration (``None`` keeps the runner's values).
 
@@ -112,6 +123,10 @@ class CampaignConfig:
     engine: str = ENGINE_SIMPLE
     budget_factor: int | None = None
     min_budget: int | None = None
+    prune: bool = False
+    memoize: bool = False
+    memo_dir: str | None = None
+    plan_verify: float = 0.0
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -126,6 +141,16 @@ class CampaignConfig:
             )
         if self.resume and self.journal_dir is None:
             raise ValueError("resume=True needs a journal_dir to resume from")
+        if self.memo_dir is not None and not self.memoize:
+            raise ValueError("memo_dir needs memoize=True")
+        if not 0.0 <= self.plan_verify <= 1.0:
+            raise ValueError(
+                f"plan_verify must be in [0, 1], got {self.plan_verify!r}"
+            )
+        if self.plan_verify > 0.0 and not (self.prune or self.memoize):
+            raise ValueError(
+                "plan_verify needs the planner on (prune and/or memoize)"
+            )
 
 
 #: run() keyword arguments accepted by the deprecated pre-config API.
@@ -157,6 +182,13 @@ class RunRecord:
     injections: int
     instructions: int
     metadata: tuple[tuple[str, object], ...] = ()
+    #: How the record was obtained: "executed" (a real run), "pruned"
+    #: (synthesized by the planner's dormancy prover) or "memoized"
+    #: (replayed from the outcome memo).  Excluded from equality: the
+    #: planner's contract is that every *outcome* field is bit-identical
+    #: regardless of provenance, and the differential oracle holds it to
+    #: that.
+    provenance: str = field(default="executed", compare=False)
 
     @property
     def meta(self) -> dict[str, object]:
@@ -181,6 +213,7 @@ class RunRecord:
             "injections": self.injections,
             "instructions": self.instructions,
             "metadata": [[key, value] for key, value in self.metadata],
+            "provenance": self.provenance,
         }
 
     @staticmethod
@@ -201,6 +234,7 @@ class RunRecord:
             injections=payload["injections"],
             instructions=payload["instructions"],
             metadata=pairs,
+            provenance=payload.get("provenance", "executed"),
         )
 
 
@@ -299,6 +333,7 @@ def execute_injection_run(
     quantum: int = 64,
     snapshots: "SnapshotCache | None" = None,
     engine: str = ENGINE_SIMPLE,
+    planner: "PlannerCache | None" = None,
 ) -> RunRecord:
     """One injection run: fresh boot, arm, execute, classify.
 
@@ -307,6 +342,14 @@ def execute_injection_run(
     module-level function of picklable arguments is what lets a shard be
     shipped to a fresh process (the paper's "the target system is rebooted
     between injections" becomes "a fresh machine in a fresh worker").
+
+    With a :class:`repro.planning.PlannerCache` (per process, like the
+    snapshot cache), the run is first offered to the campaign planner:
+    provably dormant/invisible faults get their record synthesized and
+    memoized repeats replay their cached outcome, no machine involved.
+    Whatever the planner declines flows to the snapshot fast path and
+    finally the fresh-boot path below, and the resulting record is fed
+    back so the outcome memo warms as the campaign proceeds.
 
     With a :class:`repro.swifi.snapshot.SnapshotCache` (built per process
     / per shard — it is deliberately not picklable state), eligible runs
@@ -317,12 +360,24 @@ def execute_injection_run(
     fault_id = spec.fault_id if spec is not None else "none"
     run_trace = _trace.begin_run(fault_id, case.case_id)
     try:
+        if planner is not None and spec is not None:
+            record = planner.execute(spec, case, budget)
+            if record is not None:
+                if run_trace is not None:
+                    path, reason = planner.last_path
+                    run_trace.set_path(path, reason)
+                _trace.end_run(run_trace, record)
+                return record
         if snapshots is not None and spec is not None:
             record = snapshots.execute(spec, case, budget)
             if run_trace is not None:
                 path, reason = snapshots.last_path
                 run_trace.set_path(path, reason)
             if record is not None:
+                if planner is not None:
+                    # snapshot-path outcomes are real executions — warm
+                    # the memo with them too
+                    planner.record_executed(spec, case, budget, record)
                 _trace.end_run(run_trace, record)
                 return record
         with _trace.phase(_trace.PHASE_BOOT):
@@ -349,6 +404,8 @@ def execute_injection_run(
             instructions=result.instructions,
             metadata=spec.metadata if spec is not None else (),
         )
+        if planner is not None:
+            planner.record_executed(spec, case, budget, record)
         _trace.end_run(run_trace, record)
         return record
     except BaseException:
@@ -509,26 +566,47 @@ class CampaignRunner:
                     policy=config.snapshot,
                     engine=config.engine,
                 )
+            planner = None
+            if config.prune or config.memoize:
+                from ..planning import PlannerCache
+
+                planner = PlannerCache(
+                    self.compiled.executable,
+                    faults,
+                    num_cores=self.num_cores,
+                    quantum=self.quantum,
+                    engine=config.engine,
+                    prune=config.prune,
+                    memoize=config.memoize,
+                    memo_dir=config.memo_dir,
+                    verify_fraction=config.plan_verify,
+                    seed=config.seed,
+                )
             result = CampaignResult(program=self.compiled.name)
             total = len(faults) * len(self.cases)
             done = 0
-            for spec in faults:
-                for case in self.cases:
-                    result.records.append(
-                        execute_injection_run(
-                            self.compiled.executable,
-                            spec,
-                            case,
-                            budget=self._budget_for(case),
-                            num_cores=self.num_cores,
-                            quantum=self.quantum,
-                            snapshots=snapshots,
-                            engine=config.engine,
+            try:
+                for spec in faults:
+                    for case in self.cases:
+                        result.records.append(
+                            execute_injection_run(
+                                self.compiled.executable,
+                                spec,
+                                case,
+                                budget=self._budget_for(case),
+                                num_cores=self.num_cores,
+                                quantum=self.quantum,
+                                snapshots=snapshots,
+                                engine=config.engine,
+                                planner=planner,
+                            )
                         )
-                    )
-                    done += 1
-                    if progress is not None:
-                        progress(done, total)
+                        done += 1
+                        if progress is not None:
+                            progress(done, total)
+            finally:
+                if planner is not None:
+                    planner.close()
             return result
 
         from ..orchestrator import CampaignOrchestrator, OrchestratorOptions
@@ -544,6 +622,10 @@ class CampaignRunner:
                 snapshot=config.snapshot,
                 trace=config.trace,
                 engine=config.engine,
+                prune=config.prune,
+                memoize=config.memoize,
+                memo_dir=config.memo_dir,
+                plan_verify=config.plan_verify,
             ),
             telemetry=config.telemetry,
             progress=progress,

@@ -24,7 +24,6 @@ both sides, ready for the shrinker.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 
 from ..machine.loader import boot
@@ -46,27 +45,45 @@ from ..swifi.injector import InjectionSession
 DEFAULT_JOBS_AXIS = (1, 4)
 
 
+#: The planner axis of the configuration matrix: campaign planning off,
+#: or dormant-fault pruning plus outcome memoization (with a fresh
+#: in-memory memo per campaign).
+PLANNER_OFF = "off"
+PLANNER_ON = "prune+memo"
+PLANNER_POLICIES = (PLANNER_OFF, PLANNER_ON)
+
+
 @dataclass(frozen=True)
 class MatrixConfig:
-    """One point of the {engine} x {snapshot} x {jobs} matrix."""
+    """One point of the {engine} x {snapshot} x {jobs} x {planner} matrix."""
 
     engine: str = ENGINE_SIMPLE
     snapshot: str = SNAPSHOT_OFF
     jobs: int = 1
+    planner: str = PLANNER_OFF
 
     def label(self) -> str:
-        return f"engine={self.engine}/snapshot={self.snapshot}/jobs={self.jobs}"
+        return (
+            f"engine={self.engine}/snapshot={self.snapshot}/jobs={self.jobs}"
+            f"/planner={self.planner}"
+        )
 
     def to_dict(self) -> dict:
-        return {"engine": self.engine, "snapshot": self.snapshot, "jobs": self.jobs}
+        return {
+            "engine": self.engine,
+            "snapshot": self.snapshot,
+            "jobs": self.jobs,
+            "planner": self.planner,
+        }
 
 
 def full_matrix(jobs_axis: tuple[int, ...] = DEFAULT_JOBS_AXIS) -> list[MatrixConfig]:
     return [
-        MatrixConfig(engine, snapshot, jobs)
+        MatrixConfig(engine, snapshot, jobs, planner)
         for engine in ENGINES
         for snapshot in SNAPSHOT_POLICIES
         for jobs in jobs_axis
+        for planner in PLANNER_POLICIES
     ]
 
 
@@ -77,57 +94,10 @@ BASE_CONFIG = MatrixConfig()
 # State digests
 # ---------------------------------------------------------------------------
 
-
-@dataclass(frozen=True)
-class StateDigest:
-    """Everything observable about one finished run, hashed where bulky."""
-
-    status: str
-    exit_code: int | None
-    trap_kind: str | None
-    instructions: int
-    activations: int
-    injections: int
-    console_sha: str
-    state_sha: str
-
-    def to_dict(self) -> dict:
-        return {
-            "status": self.status,
-            "exit_code": self.exit_code,
-            "trap_kind": self.trap_kind,
-            "instructions": self.instructions,
-            "activations": self.activations,
-            "injections": self.injections,
-            "console_sha": self.console_sha,
-            "state_sha": self.state_sha,
-        }
-
-
-def machine_digest(machine, result, session: InjectionSession | None,
-                   fault_id: str) -> StateDigest:
-    """Digest a finished machine: registers, memory image, heap, console."""
-    hasher = hashlib.sha256()
-    for core in machine.cores:
-        hasher.update(
-            b"%d|%d|%d|%d|%d|" % (core.core_id, core.pc, core.lr, core.cr,
-                                  1 if core.halted else 0)
-        )
-        hasher.update(b",".join(b"%d" % reg for reg in core.regs))
-        hasher.update(b";")
-    hasher.update(bytes(machine.memory.data))
-    cursor, allocated, free_by_size = machine.heap.capture()
-    hasher.update(repr((cursor, sorted(allocated), sorted(free_by_size))).encode())
-    return StateDigest(
-        status=result.status,
-        exit_code=result.exit_code,
-        trap_kind=result.trap.kind if result.trap is not None else None,
-        instructions=result.instructions,
-        activations=session.activation_count(fault_id) if session else 0,
-        injections=session.injection_count(fault_id) if session else 0,
-        console_sha=hashlib.sha256(bytes(machine.console)).hexdigest(),
-        state_sha=hasher.hexdigest(),
-    )
+# StateDigest and machine_digest moved to repro.planning.digest (the
+# campaign planner keys its outcome memo on the same hashing); they are
+# re-imported here so every historical import path keeps working.
+from ..planning.digest import StateDigest, machine_digest  # noqa: E402
 
 
 def run_state(executable, spec: FaultSpec | None, case: InputCase, *,
@@ -189,7 +159,10 @@ def _digest_diff(a: StateDigest, b: StateDigest) -> list[str]:
 
 def _record_diff(a: RunRecord, b: RunRecord) -> list[str]:
     da, db = a.to_dict(), b.to_dict()
-    return [key for key in da if da[key] != db[key]]
+    # provenance says *how* a record was obtained (executed / pruned /
+    # memoized) — by design it varies across the planner axis while every
+    # outcome field must stay bit-identical.
+    return [key for key in da if key != "provenance" and da[key] != db[key]]
 
 
 # ---------------------------------------------------------------------------
@@ -266,10 +239,12 @@ class DifferentialOracle:
 
     def _campaign(self, config: MatrixConfig, faults: list[FaultSpec]) -> list[RunRecord]:
         runner = CampaignRunner(self.compiled, self.cases)
+        planned = config.planner == PLANNER_ON
         result = runner.run(
             faults,
             config=CampaignConfig(
-                jobs=config.jobs, snapshot=config.snapshot, engine=config.engine
+                jobs=config.jobs, snapshot=config.snapshot, engine=config.engine,
+                prune=planned, memoize=planned,
             ),
         )
         self.runs += len(result.records)

@@ -27,10 +27,11 @@ class TestParser:
         parser = build_parser()
         for command in ("table1", "table2", "table3", "table4", "sec5",
                         "figures", "ablation-metrics", "ablation-triggers",
-                        "ablation-hardware", "disasm", "inject"):
+                        "ablation-hardware", "disasm", "inject", "plan"):
             args = parser.parse_args(
                 [command] + (["C.team1"] if command == "disasm" else [])
                 + (["f.c"] if command == "inject" else [])
+                + (["report", "d"] if command == "plan" else [])
             )
             assert args.command == command
 
@@ -145,6 +146,92 @@ class TestFiguresChoiceValidation:
             ["figures", "--engine", "block", "--snapshot", "verify"])
         assert args.engine == "block"
         assert args.snapshot == "verify"
+
+
+class TestJobsValidation:
+    @pytest.mark.parametrize("command", ["figures", "ablation-triggers",
+                                         "ablation-hardware"])
+    @pytest.mark.parametrize("value", ["0", "-1", "-4"])
+    def test_non_positive_jobs_exits_2(self, capsys, command, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--jobs", value])
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_non_numeric_jobs_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["figures", "--jobs", "many"])
+        assert excinfo.value.code == 2
+        assert "invalid int value" in capsys.readouterr().err
+
+    def test_positive_jobs_parse(self):
+        assert build_parser().parse_args(["figures", "--jobs", "4"]).jobs == 4
+
+
+class TestPlanCommand:
+    def test_planner_flags_registered_on_figures(self):
+        args = build_parser().parse_args(
+            ["figures", "--prune", "--memoize", "--memo-dir", "m",
+             "--plan-verify", "0.25"])
+        assert args.prune and args.memoize
+        assert args.memo_dir == "m"
+        assert args.plan_verify == 0.25
+        bare = build_parser().parse_args(["figures"])
+        assert not bare.prune and not bare.memoize
+        assert bare.memo_dir is None and bare.plan_verify == 0.0
+
+    def test_plan_report_missing_journal_is_an_error(self, capsys, tmp_path):
+        assert main(["plan", "report", str(tmp_path / "nope")]) == 1
+        assert "no campaign journal" in capsys.readouterr().err
+
+    def test_plan_report_totals_match_journal(self, capsys, tmp_path):
+        import json
+        import os
+
+        from repro.lang import compile_source
+        from repro.swifi import (
+            Action, Arithmetic, CampaignConfig, CampaignRunner, FaultSpec,
+            InputCase, OpcodeFetch, StoreValue, Temporal,
+        )
+
+        source = (
+            "int in_x;\n"
+            "void main() {\n"
+            "    int total = in_x + 1;\n"
+            "    print_int(total);\n"
+            "    exit(0);\n"
+            "}\n"
+        )
+        compiled = compile_source(source, "addone")
+        cases = [InputCase("a", {"in_x": 4}, b"5")]
+        site = compiled.debug.assignments[0]
+        faults = [
+            FaultSpec("fetch", OpcodeFetch(site.address),
+                      (Action(StoreValue(), Arithmetic(1)),),
+                      metadata=(("klass", "assignment"),)),
+            # Triggers far beyond the golden instruction count: the
+            # dormancy prover answers it without booting.
+            FaultSpec("late", Temporal(10_000_000),
+                      (Action(StoreValue(), Arithmetic(1)),),
+                      metadata=(("klass", "assignment"),)),
+        ]
+        journal_dir = str(tmp_path / "journal")
+        CampaignRunner(compiled, cases).run(faults, config=CampaignConfig(
+            journal_dir=journal_dir, prune=True, memoize=True, seed=1,
+        ))
+        assert main(["plan", "report", journal_dir]) == 0
+        out = capsys.readouterr().out
+        with open(os.path.join(journal_dir, "runs.jsonl"), encoding="utf-8") as handle:
+            entries = [json.loads(line) for line in handle if line.strip()]
+        run_count = sum(1 for entry in entries if entry["type"] == "run")
+        assert f"journaled runs: {run_count}" in out
+        assert run_count == 2
+        assert "pruned: 1" in out
+        # The journaled plan line agrees with the recomputed partition.
+        plans = [entry for entry in entries if entry["type"] == "plan"]
+        assert len(plans) == 1
+        assert plans[0]["plan"]["pruned"] == 1
+        assert plans[0]["plan"]["total"] == run_count
 
 
 class TestVerifyCommand:

@@ -1,0 +1,343 @@
+"""Unit tests for the campaign planner (repro.planning).
+
+Covers the three planner layers in isolation: the dormancy prover's
+rules on crafted programs, the outcome memo's disk round-trip (including
+torn-line tolerance and the verify policy catching a poisoned memo), and
+the plan-partition records behind ``repro plan report``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.lang import compile_source
+from repro.planning import (
+    CampaignPlan,
+    GoldenAccessTrace,
+    OutcomeCache,
+    PlannerCache,
+    PlanningDivergence,
+    classify_fault,
+    outcome_from_record,
+    plan_from_records,
+    record_from_outcome,
+    synthesize_record,
+    trace_requirements,
+)
+from repro.planning.prover import (
+    RULE_DEAD_STORE,
+    RULE_DORMANT,
+    RULE_IDENTITY,
+)
+from repro.swifi import (
+    Action,
+    Arithmetic,
+    BitFlip,
+    CampaignConfig,
+    CampaignRunner,
+    DataAccess,
+    FaultSpec,
+    FetchedWord,
+    InputCase,
+    OpcodeFetch,
+    RegisterTarget,
+    StoreValue,
+    Temporal,
+    WhenPolicy,
+)
+from repro.swifi.campaign import execute_injection_run
+
+# One store to `sink` that is never read again (a provably dead store)
+# and one to `live` that print_int reads back (a provably live one).
+DEAD_STORE_SOURCE = (
+    "int in_x;\n"
+    "int sink;\n"
+    "int live;\n"
+    "void main() {\n"
+    "    sink = in_x + 1;\n"
+    "    live = in_x + 2;\n"
+    "    print_int(live);\n"
+    "    exit(0);\n"
+    "}\n"
+)
+
+
+@pytest.fixture(scope="module")
+def dead_store_program():
+    compiled = compile_source(DEAD_STORE_SOURCE, "deadstore")
+    case = InputCase("a", {"in_x": 4}, b"6")
+    return compiled, case
+
+
+def _trace(compiled, case, faults, budget=100_000):
+    watch, data, regs = trace_requirements(faults)
+    return GoldenAccessTrace(
+        compiled.executable, case,
+        watch_pcs=watch, data_addrs=data, tracked_regs=regs,
+        budget=budget,
+    )
+
+
+def _spec(fault_id, trigger, *actions, when=None):
+    kwargs = {}
+    if when is not None:
+        kwargs["when"] = when
+    return FaultSpec(fault_id, trigger, tuple(actions), **kwargs)
+
+
+class TestDormancyProver:
+    def test_temporal_past_golden_end_is_dormant(self, dead_store_program):
+        compiled, case = dead_store_program
+        spec = _spec("late", Temporal(10_000_000),
+                     Action(StoreValue(), Arithmetic(1)))
+        decision = classify_fault(spec, _trace(compiled, case, [spec]))
+        assert decision.prune
+        assert decision.rule == RULE_DORMANT
+        assert decision.activations == 0 and decision.injections == 0
+
+    def test_temporal_before_golden_end_declines(self, dead_store_program):
+        compiled, case = dead_store_program
+        spec = _spec("early", Temporal(2),
+                     Action(StoreValue(), Arithmetic(1)))
+        decision = classify_fault(spec, _trace(compiled, case, [spec]))
+        assert not decision.prune
+        assert decision.reason == "temporal-live"
+
+    def test_untouched_data_address_is_dormant(self, dead_store_program):
+        compiled, case = dead_store_program
+        spec = _spec("data", DataAccess(0x7FF0),
+                     Action(StoreValue(), Arithmetic(1)))
+        decision = classify_fault(spec, _trace(compiled, case, [spec]))
+        assert decision.prune
+        assert decision.rule == RULE_DORMANT
+
+    def test_accessed_data_address_declines(self, dead_store_program):
+        compiled, case = dead_store_program
+        live = compiled.executable.symbols["live"]
+        spec = _spec("data-live", DataAccess(live),
+                     Action(StoreValue(), Arithmetic(1)))
+        decision = classify_fault(spec, _trace(compiled, case, [spec]))
+        assert not decision.prune
+        # `sink` is stored but never loaded: a load-only data trigger on
+        # it is provably dormant, a store-watching one is not.
+        sink = compiled.executable.symbols["sink"]
+        load_only = _spec("sink-load", DataAccess(sink),
+                          Action(StoreValue(), Arithmetic(1)))
+        on_store = _spec("sink-store", DataAccess(sink, on_store=True),
+                         Action(StoreValue(), Arithmetic(1)))
+        trace = _trace(compiled, case, [load_only, on_store])
+        assert classify_fault(load_only, trace).prune
+        assert not classify_fault(on_store, trace).prune
+
+    def test_never_firing_when_policy_is_dormant(self, dead_store_program):
+        compiled, case = dead_store_program
+        site = compiled.debug.assignments[0]
+        spec = _spec("never", OpcodeFetch(site.address),
+                     Action(StoreValue(), Arithmetic(1)),
+                     when=WhenPolicy.nth(50))
+        decision = classify_fault(spec, _trace(compiled, case, [spec]))
+        assert decision.prune
+        assert decision.rule == RULE_DORMANT
+        assert decision.activations >= 1 and decision.injections == 0
+
+    def test_dead_store_is_pruned_live_store_is_not(self, dead_store_program):
+        compiled, case = dead_store_program
+        dead_site, live_site = compiled.debug.assignments[:2]
+        dead = _spec("dead", OpcodeFetch(dead_site.address),
+                     Action(StoreValue(), Arithmetic(1)))
+        live = _spec("live", OpcodeFetch(live_site.address),
+                     Action(StoreValue(), Arithmetic(1)))
+        trace = _trace(compiled, case, [dead, live])
+        dead_decision = classify_fault(dead, trace)
+        assert dead_decision.prune
+        assert dead_decision.rule == RULE_DEAD_STORE
+        assert not classify_fault(live, trace).prune
+
+    def test_identity_corruption_is_pruned(self, dead_store_program):
+        compiled, case = dead_store_program
+        live_site = compiled.debug.assignments[1]
+        spec = _spec("noop", OpcodeFetch(live_site.address),
+                     Action(StoreValue(), BitFlip(0)))
+        decision = classify_fault(spec, _trace(compiled, case, [spec]))
+        assert decision.prune
+        assert decision.rule == RULE_IDENTITY
+
+    def test_r0_register_target_is_identity(self, dead_store_program):
+        compiled, case = dead_store_program
+        live_site = compiled.debug.assignments[1]
+        spec = _spec("r0", OpcodeFetch(live_site.address),
+                     Action(RegisterTarget(0), Arithmetic(7)))
+        decision = classify_fault(spec, _trace(compiled, case, [spec]))
+        assert decision.prune
+        assert decision.rule == RULE_IDENTITY
+
+    def test_temporal_with_fetched_word_declines(self, dead_store_program):
+        compiled, case = dead_store_program
+        spec = _spec("arm", Temporal(10_000_000),
+                     Action(FetchedWord(), Arithmetic(1)))
+        decision = classify_fault(spec, _trace(compiled, case, [spec]))
+        assert not decision.prune
+        assert decision.reason == "arm-error"
+
+    def test_synthesized_records_match_real_execution(self, dead_store_program):
+        """The soundness contract: every pruned record is bit-identical
+        to what a fresh boot would have produced."""
+        compiled, case = dead_store_program
+        dead_site = compiled.debug.assignments[0]
+        specs = [
+            _spec("late", Temporal(10_000_000),
+                  Action(StoreValue(), Arithmetic(1))),
+            _spec("dead", OpcodeFetch(dead_site.address),
+                  Action(StoreValue(), Arithmetic(1))),
+            _spec("noop", OpcodeFetch(dead_site.address),
+                  Action(StoreValue(), BitFlip(0))),
+        ]
+        trace = _trace(compiled, case, specs)
+        for spec in specs:
+            decision = classify_fault(spec, trace)
+            assert decision.prune, spec.fault_id
+            synthesized = synthesize_record(spec, case, trace, decision)
+            real = execute_injection_run(
+                compiled.executable, spec, case, budget=100_000,
+            )
+            assert synthesized == real, spec.fault_id
+            assert synthesized.provenance == "pruned"
+            assert real.provenance == "executed"
+
+
+class TestOutcomeMemo:
+    def _one_record(self, dead_store_program):
+        compiled, case = dead_store_program
+        site = compiled.debug.assignments[1]
+        spec = _spec("hit", OpcodeFetch(site.address),
+                     Action(StoreValue(), Arithmetic(1)))
+        record = execute_injection_run(
+            compiled.executable, spec, case, budget=100_000,
+        )
+        return spec, case, record
+
+    def test_outcome_round_trip(self, dead_store_program):
+        spec, case, record = self._one_record(dead_store_program)
+        rebuilt = record_from_outcome(outcome_from_record(record), spec, case)
+        assert rebuilt == record  # provenance is compare=False
+        assert rebuilt.provenance == "memoized"
+
+    def test_disk_round_trip_survives_reopen(self, tmp_path, dead_store_program):
+        spec, case, record = self._one_record(dead_store_program)
+        outcome = outcome_from_record(record)
+        cache = OutcomeCache(str(tmp_path))
+        cache.put("k1", outcome)
+        cache.close()
+        warm = OutcomeCache(str(tmp_path))
+        assert warm.get("k1") == outcome
+        assert warm.get("missing") is None
+
+    def test_torn_and_malformed_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "memo-1.jsonl"
+        good = {"key": "k1", "outcome": {"mode": "correct"}}
+        path.write_text(
+            json.dumps(good) + "\n"
+            + "not json at all\n"
+            + '{"missing": "fields"}\n'
+            + json.dumps({"key": "k2", "outcome": {"mode": "crash"}})[:10]
+        )
+        cache = OutcomeCache(str(tmp_path))
+        assert cache.get("k1") == {"mode": "correct"}
+        assert cache.get("k2") is None
+
+    def test_verify_policy_catches_poisoned_memo(self, tmp_path,
+                                                 dead_store_program):
+        compiled, case = dead_store_program
+        site = compiled.debug.assignments[1]
+        spec = _spec("hit", OpcodeFetch(site.address),
+                     Action(StoreValue(), Arithmetic(1)))
+        memo_dir = str(tmp_path)
+        planner = PlannerCache(
+            compiled.executable, [spec], prune=False, memoize=True,
+            memo_dir=memo_dir,
+        )
+        assert planner.execute(spec, case, 100_000) is None  # cold miss
+        record = execute_injection_run(
+            compiled.executable, spec, case, budget=100_000,
+        )
+        planner.record_executed(spec, case, 100_000, record)
+        planner.close()
+
+        # Poison the persisted outcome, then re-open with full verification.
+        (memo_file,) = [f for f in os.listdir(memo_dir) if f.endswith(".jsonl")]
+        path = os.path.join(memo_dir, memo_file)
+        entry = json.loads(open(path, encoding="utf-8").read())
+        entry["outcome"]["instructions"] += 1
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry) + "\n")
+
+        poisoned = PlannerCache(
+            compiled.executable, [spec], prune=False, memoize=True,
+            memo_dir=memo_dir, verify_fraction=1.0,
+        )
+        with pytest.raises(PlanningDivergence):
+            poisoned.execute(spec, case, 100_000)
+
+        # An honest memo passes the same full verification.
+        honest = PlannerCache(
+            compiled.executable, [spec], prune=False, memoize=True,
+            verify_fraction=1.0,
+        )
+        honest.memo.put(planner._memo_key(spec, case, 100_000),
+                        outcome_from_record(record))
+        replayed = honest.execute(spec, case, 100_000)
+        assert replayed == record
+        assert honest.stats["verified"] == 1
+
+
+class TestCampaignPlan:
+    def test_plan_from_records_partitions_by_provenance(self, dead_store_program):
+        compiled, case = dead_store_program
+        dead_site, live_site = compiled.debug.assignments[:2]
+        faults = [
+            _spec("dead", OpcodeFetch(dead_site.address),
+                  Action(StoreValue(), Arithmetic(1))),
+            _spec("live", OpcodeFetch(live_site.address),
+                  Action(StoreValue(), Arithmetic(1))),
+        ]
+        result = CampaignRunner(compiled, [case]).run(
+            faults, config=CampaignConfig(prune=True, seed=1),
+        )
+        plan = plan_from_records(result.records)
+        assert plan.pruned == 1 and plan.executed == 1 and plan.memoized == 0
+        assert plan.total == 2
+        assert plan.executed_fraction == 0.5
+        merged = CampaignPlan()
+        merged.merge(plan)
+        merged.merge(plan)
+        assert merged.total == 4
+        assert CampaignPlan.from_dict(plan.to_dict()) == plan
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(memo_dir="somewhere")  # requires memoize
+        with pytest.raises(ValueError):
+            CampaignConfig(memoize=True, plan_verify=1.5)
+        with pytest.raises(ValueError):
+            CampaignConfig(plan_verify=0.5)  # nothing to verify
+
+
+class TestDigestReexport:
+    def test_state_digest_is_the_same_class_everywhere(self):
+        from repro.planning import StateDigest as planning_digest
+        from repro.verify import StateDigest as verify_digest
+
+        assert planning_digest is verify_digest
+
+    def test_digest_round_trip(self, dead_store_program):
+        from repro.machine import boot
+        from repro.planning import StateDigest, machine_digest
+
+        compiled, case = dead_store_program
+        machine = boot(compiled.executable, num_cores=1,
+                       inputs=dict(case.pokes))
+        result = machine.run(100_000)
+        digest = machine_digest(machine, result, None, "golden")
+        payload = digest.to_dict()
+        assert StateDigest(**payload) == digest

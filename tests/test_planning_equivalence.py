@@ -1,0 +1,150 @@
+"""The campaign planner must be bit-identical to plain execution.
+
+ISSUE acceptance: a §6 campaign with ``prune=True, memoize=True``
+produces per-run records identical to the planner-off path — serially,
+at ``jobs=4``, and with the snapshot fast path stacked on top; a warm
+on-disk memo answers (nearly) every run without executing it; and a
+campaign killed mid-way resumes from its journal with a warm memo
+without re-executing journaled runs.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, fig7, run_section6
+from repro.lang import compile_source
+from repro.orchestrator import (
+    CampaignInterrupted,
+    CampaignOrchestrator,
+    OrchestratorOptions,
+)
+from repro.planning import plan_from_records
+from repro.swifi import (
+    Action,
+    Arithmetic,
+    CampaignRunner,
+    FaultSpec,
+    InputCase,
+    OpcodeFetch,
+    StoreValue,
+)
+
+PROGRAMS = ["JB.team6"]
+
+
+def small_config():
+    return ExperimentConfig(seed=2000).scaled(0.05)
+
+
+def records_of(results):
+    return [
+        (campaign.program, campaign.klass, campaign.records)
+        for campaign in results.campaigns
+    ]
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """The planner-off §6 campaign every planner variant must equal."""
+    return run_section6(small_config(), programs=PROGRAMS)
+
+
+class TestFig7Equivalence:
+    @pytest.mark.parametrize("jobs,snapshot", [
+        (1, "off"), (4, "off"), (1, "auto"), (4, "auto"),
+    ])
+    def test_planner_on_matches_off_bit_for_bit(self, baseline, jobs, snapshot):
+        planned = run_section6(
+            small_config(), programs=PROGRAMS, jobs=jobs, snapshot=snapshot,
+            prune=True, memoize=True, plan_verify=1.0 if jobs == 1 else 0.0,
+        )
+        assert records_of(planned) == records_of(baseline)
+        assert fig7(planned).render() == fig7(baseline).render()
+
+    def test_warm_memo_executes_almost_nothing(self, baseline, tmp_path):
+        memo_dir = str(tmp_path / "memo")
+        cold = run_section6(
+            small_config(), programs=PROGRAMS,
+            prune=True, memoize=True, memo_dir=memo_dir,
+        )
+        assert records_of(cold) == records_of(baseline)
+        warm = run_section6(
+            small_config(), programs=PROGRAMS,
+            prune=True, memoize=True, memo_dir=memo_dir,
+        )
+        assert records_of(warm) == records_of(baseline)
+        plan = plan_from_records(
+            [record for campaign in warm.campaigns
+             for record in campaign.records]
+        )
+        assert plan.total > 0
+        # The ISSUE's bar is <= 40% executed; a warm memo answers every
+        # run it saw before, so the fraction is essentially zero.
+        assert plan.executed_fraction <= 0.40
+        assert plan.memoized + plan.pruned >= plan.total - 1
+
+
+SOURCE = """
+int in_x;
+void main() {
+    int doubled = in_x * 2;
+    print_int(doubled);
+    exit(0);
+}
+"""
+
+
+class TestKillResumeWithWarmMemo:
+    def test_interrupted_campaign_resumes_on_warm_memo(self, tmp_path):
+        compiled = compile_source(SOURCE, "double")
+        cases = [
+            InputCase("a", {"in_x": 3}, b"6"),
+            InputCase("b", {"in_x": -5}, b"-10"),
+        ]
+        runner = CampaignRunner(compiled, cases)
+        site = compiled.debug.assignments[0]
+        faults = [
+            FaultSpec(
+                f"f{delta}",
+                OpcodeFetch(site.address),
+                (Action(StoreValue(), Arithmetic(delta)),),
+            ).with_metadata(klass="assignment")
+            for delta in range(1, 7)
+        ]
+        serial = runner.run(faults)
+        memo_dir = str(tmp_path / "memo")
+
+        # Seed the memo, then kill a second campaign mid-way.
+        def orchestrate(**options):
+            orchestrator = CampaignOrchestrator.from_runner(
+                runner, faults, options=OrchestratorOptions(
+                    seed=11, memoize=True, memo_dir=memo_dir, **options
+                )
+            )
+            return orchestrator.run()
+
+        seeded = orchestrate(jobs=1)
+        assert seeded.result.records == serial.records
+
+        journal_dir = str(tmp_path / "journal")
+        with pytest.raises(CampaignInterrupted) as info:
+            orchestrate(jobs=2, shard_size=2, journal_dir=journal_dir,
+                        interrupt_after=5)
+        journaled = info.value.completed_runs
+        assert 0 < journaled < len(serial.records)
+
+        outcome = orchestrate(jobs=2, shard_size=2, journal_dir=journal_dir,
+                              resume=True)
+        assert outcome.result.records == serial.records
+        assert outcome.resumed_runs == journaled
+        # Every non-resumed run replays from the warm memo: nothing in the
+        # merged result was freshly executed.
+        plan = plan_from_records(outcome.result.records)
+        assert plan.memoized == len(serial.records)
+        # The journal's plan line reflects the merged campaign.
+        from repro.orchestrator.journal import load_runs_file
+        import os
+
+        state = load_runs_file(os.path.join(journal_dir, "runs.jsonl"))
+        assert state.plan is not None
+        assert state.plan["total"] == len(serial.records)
+        assert state.plan["memoized"] == len(serial.records)

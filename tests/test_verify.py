@@ -121,7 +121,7 @@ def _compiled_case(seed=0, index=0):
 class TestOracle:
     def test_full_matrix_covers_every_axis(self):
         matrix = full_matrix((1, 4))
-        assert len(matrix) == 2 * 3 * 2  # engines x snapshots x jobs
+        assert len(matrix) == 2 * 3 * 2 * 2  # engines x snapshots x jobs x planner
         labels = {config.label() for config in matrix}
         assert len(labels) == len(matrix)
 
