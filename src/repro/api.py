@@ -18,9 +18,15 @@ Grouped by layer:
   snapshot types;
 * **lang** — :func:`compile_source`, :class:`CompiledProgram`;
 * **swifi** — the What/Where/Which/When fault model, the
-  :class:`InjectionSession` engine, outcome classification, and the
-  campaign layer (:class:`CampaignRunner`, :class:`CampaignConfig`,
-  snapshot fast-path controls);
+  :class:`InjectionSpec` tier hierarchy (:class:`MachineFault` /
+  :class:`SourceFault`), the :class:`InjectionSession` engine, outcome
+  classification, and the campaign layer (:class:`CampaignRunner`,
+  :class:`CampaignConfig`, snapshot fast-path controls,
+  ``CampaignConfig(tier="source")`` routing);
+* **srcfi** — the source-level injection tier: ODC-typed mutation
+  operators, the :class:`SourceLocator` site enumerator, mutant
+  realization (:func:`realize_source_fault`), and the source campaign
+  executor;
 * **emulation** — :class:`FaultLocator` and the §6.3
   :func:`generate_error_set` rules;
 * **experiments** — :class:`ExperimentConfig` and the per-table/figure
@@ -49,7 +55,10 @@ from .emulation import (
 from .emulation.operators import swap_error_type
 from .emulation.rules import GeneratedErrorSet, generate_both_classes, generate_error_set
 from .experiments import (
+    CompareReport,
     ExperimentConfig,
+    PairOutcome,
+    RealFaultOutcome,
     Section6Results,
     fig7,
     fig8,
@@ -59,6 +68,7 @@ from .experiments import (
     run_metric_guidance,
     run_sec5,
     run_section6,
+    run_srcfi_compare,
     run_table1,
     run_table2,
     run_table3,
@@ -103,6 +113,19 @@ from .orchestrator import (
     ProgressRenderer,
     TelemetrySink,
 )
+from .srcfi import (
+    OPERATORS,
+    MutationOperator,
+    MutationSite,
+    SourceFault,
+    SourceLocator,
+    SourceMutant,
+    generate_source_error_set,
+    get_operator,
+    operators_for_class,
+    realize_source_fault,
+    run_source_campaign,
+)
 from .swifi import (
     ENGINE_BLOCK,
     ENGINE_SIMPLE,
@@ -114,6 +137,9 @@ from .swifi import (
     SNAPSHOT_OFF,
     SNAPSHOT_POLICIES,
     SNAPSHOT_VERIFY,
+    TIER_MACHINE,
+    TIER_SOURCE,
+    TIERS,
     Action,
     Arithmetic,
     BitAnd,
@@ -130,7 +156,9 @@ from .swifi import (
     FaultSpec,
     FetchedWord,
     InjectionSession,
+    InjectionSpec,
     InputCase,
+    MachineFault,
     LegacyCampaignAPIWarning,
     LoadValue,
     MemoryWord,
@@ -152,6 +180,7 @@ from .verify import (
     FaultDescriptor,
     FuzzConfig,
     FuzzReport,
+    MachineFaultRecipe,
     MatrixConfig,
     generate_program,
     replay_artifact,
@@ -172,6 +201,13 @@ __all__ = [
     # lang
     "compile_source",
     "CompiledProgram",
+    # injection-tier hierarchy (InjectionSpec, tier="machine"|"source")
+    "InjectionSpec",
+    "MachineFault",
+    "SourceFault",
+    "TIER_MACHINE",
+    "TIER_SOURCE",
+    "TIERS",
     # swifi fault model (What / Where / Which / When)
     "FaultSpec",
     "Action",
@@ -225,6 +261,17 @@ __all__ = [
     "CHECKING_CLASS",
     "NotEmulableError",
     "swap_error_type",
+    # srcfi (source-level injection tier)
+    "OPERATORS",
+    "MutationOperator",
+    "MutationSite",
+    "SourceLocator",
+    "SourceMutant",
+    "generate_source_error_set",
+    "get_operator",
+    "operators_for_class",
+    "realize_source_fault",
+    "run_source_campaign",
     # workloads
     "get_workload",
     "table2_workloads",
@@ -233,6 +280,10 @@ __all__ = [
     "Section6Results",
     "run_section6",
     "run_sec5",
+    "run_srcfi_compare",
+    "CompareReport",
+    "PairOutcome",
+    "RealFaultOutcome",
     "run_table1",
     "run_table2",
     "run_table3",
@@ -280,6 +331,7 @@ __all__ = [
     "Divergence",
     "MatrixConfig",
     "FaultDescriptor",
+    "MachineFaultRecipe",
     "generate_program",
     "sample_descriptors",
     "shrink_case",

@@ -19,7 +19,11 @@ Usage (also via ``python -m repro``)::
     python -m repro coverage PROGRAM # fault-site coverage under random inputs
     python -m repro inject FILE.c    # locate+inject faults in your MiniC file
     python -m repro verify fuzz --seed 0 --cases 200   # differential fuzzer
+    python -m repro verify fuzz --tier source          # fuzz the mutant pipeline
     python -m repro verify replay ARTIFACT.json        # re-run a divergence
+    python -m repro srcfi sites JB.team6               # mutation-site listing
+    python -m repro srcfi campaign --programs SOR      # source-tier campaigns
+    python -m repro srcfi compare --out results        # two-tier agreement study
 
 Scaling flags: ``--scale`` multiplies every run count; ``--seed`` fixes
 the RNG.  Defaults regenerate everything at the reduced scale documented
@@ -29,6 +33,7 @@ in EXPERIMENTS.md.
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 
@@ -120,6 +125,7 @@ def _cmd_figures(args):
         memoize=args.memoize,
         memo_dir=args.memo_dir,
         plan_verify=args.plan_verify,
+        tier=args.tier,
     )
     for figure in (fig7(results), fig8(results), fig9(results), fig10(results)):
         print(figure.render())
@@ -241,6 +247,9 @@ def _cmd_verify_fuzz(args):
     progress = None
     if not args.quiet:
         progress = lambda message: print(message, file=sys.stderr)  # noqa: E731
+    extra = {}
+    if args.jobs is not None:
+        extra["jobs_axis"] = (1, args.jobs) if args.jobs > 1 else (1,)
     report = run_fuzz(FuzzConfig(
         seed=args.seed,
         cases=args.cases,
@@ -251,9 +260,87 @@ def _cmd_verify_fuzz(args):
         shrink=not args.no_shrink,
         artifact_dir=args.artifact_dir,
         progress=progress,
+        tier=args.tier,
+        journal_dir=args.journal_dir,
+        resume=args.resume,
+        trace=args.trace,
+        **extra,
     ))
     print("\n".join(report.summary_lines()))
     return 0 if report.ok() else 1
+
+
+def _cmd_srcfi_sites(args):
+    from .srcfi import SourceLocator
+    from .workloads import get_workload
+
+    workload = get_workload(args.program)
+    locator = SourceLocator(workload.compiled())
+    lines = locator.describe()
+    print(f"{args.program}: {len(lines)} mutation site(s)")
+    for line in lines:
+        print(f"  {line}")
+
+
+def _cmd_srcfi_campaign(args):
+    from .swifi.outcomes import MODE_ORDER
+
+    classes = tuple(args.classes) if args.classes else ("assignment", "checking")
+    results = run_section6(
+        _config(args),
+        programs=args.programs,
+        classes=classes,
+        jobs=args.jobs,
+        journal_dir=args.journal_dir,
+        resume=args.resume,
+        trace=args.trace,
+        engine=args.engine,
+        tier=args.tier,
+    )
+    for campaign in results.campaigns:
+        total = len(campaign.records) or 1
+        tallies = "  ".join(
+            f"{mode.value}="
+            f"{100.0 * sum(1 for r in campaign.records if r.mode == mode) / total:.1f}%"
+            for mode in MODE_ORDER
+        )
+        inputs = len(campaign.records) // campaign.fault_count \
+            if campaign.fault_count else 0
+        print(f"{campaign.program}/{campaign.klass}: "
+              f"{campaign.fault_count} faults x {inputs} input(s) "
+              f"({len(campaign.records)} runs)")
+        print(f"  {tallies}")
+
+
+def _cmd_srcfi_compare(args):
+    from .experiments import run_srcfi_compare
+
+    progress = None
+    if not args.quiet:
+        progress = lambda done, total: print(  # noqa: E731
+            f"  pair {done}/{total}", file=sys.stderr)
+    report = run_srcfi_compare(
+        _config(args),
+        programs=args.programs,
+        max_sites=args.max_sites,
+        include_real=not args.no_real,
+        jobs=args.jobs,
+        journal_dir=args.journal_dir,
+        resume=args.resume,
+        trace=args.trace,
+        engine=args.engine,
+        progress=progress,
+    )
+    rendered = report.render()
+    print(rendered)
+    if args.out is not None:
+        os.makedirs(args.out, exist_ok=True)
+        json_path = os.path.join(args.out, "srcfi_agreement.json")
+        text_path = os.path.join(args.out, "srcfi_agreement.txt")
+        report.to_json(json_path)
+        with open(text_path, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"\nwrote {json_path} and {text_path}")
 
 
 def _cmd_verify_replay(args):
@@ -349,6 +436,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="re-execute this fraction of planner-answered "
                               "runs and fail loudly on any mismatch "
                               "(0.0-1.0; default 0)")
+    figures.add_argument("--tier", choices=("machine", "source"),
+                         default="machine",
+                         help="injection tier: 'machine' rewrites Table-3 "
+                              "errors into the running binary, 'source' "
+                              "compiles repro.srcfi mutation operators into "
+                              "mutant binaries (snapshot/planner are "
+                              "machine-tier-only)")
     figures.set_defaults(fn=_cmd_figures)
 
     trace = sub.add_parser(
@@ -455,6 +549,24 @@ def build_parser() -> argparse.ArgumentParser:
                       help="report divergences without minimizing them")
     fuzz.add_argument("--quiet", action="store_true",
                       help="suppress per-program progress on stderr")
+    fuzz.add_argument("--jobs", type=_positive_int, default=None,
+                      help="widen the record-tier jobs axis to {1, JOBS} "
+                           "(default: the oracle's standard axis)")
+    fuzz.add_argument("--journal-dir", default=None,
+                      help="journal cleanly finished programs here so a "
+                           "killed fuzz campaign can be resumed")
+    fuzz.add_argument("--resume", action="store_true",
+                      help="skip programs journaled in --journal-dir, "
+                           "keeping their counts")
+    fuzz.add_argument("--trace", action="store_true",
+                      help="accepted for flag uniformity; the fuzzer records "
+                           "no per-run span traces")
+    fuzz.add_argument("--tier", choices=("machine", "source"),
+                      default="machine",
+                      help="fuzz the machine tier (sampled Table-3 "
+                           "descriptors) or the source tier (srcfi mutants: "
+                           "engine conformance, revert oracle, source-"
+                           "campaign record matrix)")
     fuzz.set_defaults(fn=_cmd_verify_fuzz)
     replay = verify_sub.add_parser(
         "replay",
@@ -463,6 +575,82 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("artifact", help="path to a divergence-*.json artifact")
     replay.set_defaults(fn=_cmd_verify_replay)
+
+    srcfi = sub.add_parser(
+        "srcfi", parents=[shared],
+        help="source-level fault injection: mutation sites, source-tier "
+             "campaigns, and the two-tier agreement study",
+    )
+    srcfi_sub = srcfi.add_subparsers(dest="srcfi_command", required=True)
+    srcfi_sites = srcfi_sub.add_parser(
+        "sites", parents=[shared],
+        help="list every (operator, site) mutation point of a workload program",
+    )
+    srcfi_sites.add_argument("program", help="workload name, e.g. JB.team6")
+    srcfi_sites.set_defaults(fn=_cmd_srcfi_sites)
+
+    srcfi_campaign = srcfi_sub.add_parser(
+        "campaign", parents=[shared],
+        help="run S6-style campaigns at either tier and print "
+             "failure-mode tallies",
+    )
+    srcfi_campaign.add_argument("--programs", nargs="*", default=None,
+                                help="restrict to these Table-2 programs")
+    srcfi_campaign.add_argument(
+        "--classes", nargs="*", default=None,
+        choices=("assignment", "checking", "algorithm", "function"),
+        help="fault classes to inject (default: assignment checking; "
+             "algorithm/function are source-tier-only)")
+    srcfi_campaign.add_argument("--jobs", type=_positive_int, default=1,
+                                help="worker processes per campaign")
+    srcfi_campaign.add_argument("--journal-dir", default=None,
+                                help="journal completed runs here for --resume")
+    srcfi_campaign.add_argument("--resume", action="store_true",
+                                help="skip runs journaled in --journal-dir")
+    srcfi_campaign.add_argument("--trace", action="store_true",
+                                help="machine tier: record per-run span traces "
+                                     "(accepted no-op at the source tier)")
+    srcfi_campaign.add_argument("--engine", choices=("simple", "block"),
+                                default="simple",
+                                help="machine execution engine")
+    srcfi_campaign.add_argument("--tier", choices=("machine", "source"),
+                                default="source",
+                                help="injection tier (default source)")
+    srcfi_campaign.set_defaults(fn=_cmd_srcfi_campaign)
+
+    srcfi_compare = srcfi_sub.add_parser(
+        "compare", parents=[shared],
+        help="differential emulation-accuracy study: every source fault vs "
+             "its best machine-tier counterpart on the same inputs, "
+             "agreement aggregated per ODC class (the paper's S5 split)",
+    )
+    srcfi_compare.add_argument("--programs", nargs="*", default=None,
+                               help="restrict to these Table-2 programs")
+    srcfi_compare.add_argument("--max-sites", type=_positive_int, default=4,
+                               help="cap sites per (program, operator) "
+                                    "(default 4)")
+    srcfi_compare.add_argument("--no-real", action="store_true",
+                               help="skip the S5 real-fault agreement section")
+    srcfi_compare.add_argument("--jobs", type=_positive_int, default=1,
+                               help="worker processes over (program, fault) "
+                                    "pairs")
+    srcfi_compare.add_argument("--journal-dir", default=None,
+                               help="journal completed pairs here for --resume")
+    srcfi_compare.add_argument("--resume", action="store_true",
+                               help="skip pairs journaled in --journal-dir")
+    srcfi_compare.add_argument("--trace", action="store_true",
+                               help="accepted for flag uniformity; the pair "
+                                    "runner records no span traces")
+    srcfi_compare.add_argument("--engine", choices=("simple", "block"),
+                               default="simple",
+                               help="machine execution engine for both tiers")
+    srcfi_compare.add_argument("--out", default=None, metavar="DIR",
+                               help="additionally write srcfi_agreement.json "
+                                    "and srcfi_agreement.txt into this "
+                                    "directory")
+    srcfi_compare.add_argument("--quiet", action="store_true",
+                               help="suppress per-pair progress on stderr")
+    srcfi_compare.set_defaults(fn=_cmd_srcfi_compare)
     return parser
 
 

@@ -4,7 +4,7 @@ This automates §6.3 step 1 ("all possible fault locations were identified
 ... at the assembly level", guided by the compiler's symbol tables) and
 step 3 (selecting the applicable Table-3 error types per location), and
 then compiles each (location, error type) pair into a complete
-What/Where/Which/When :class:`repro.swifi.FaultSpec`:
+What/Where/Which/When :class:`repro.swifi.MachineFault`:
 
 * **Which** — opcode fetch from the anchored instruction ("the
   instructions selected to work as trigger for the injection were the same
@@ -29,7 +29,7 @@ from ..swifi.faults import (
     Action,
     Arithmetic,
     CodeWord,
-    FaultSpec,
+    MachineFault,
     FetchedWord,
     OpcodeFetch,
     PatchField,
@@ -166,8 +166,8 @@ class FaultLocator:
         mode: str = "breakpoint",
         when: WhenPolicy | None = None,
         fault_id: str | None = None,
-    ) -> FaultSpec:
-        """Compile one (location, error type) pair into a FaultSpec."""
+    ) -> MachineFault:
+        """Compile one (location, error type) pair into a MachineFault."""
         if error_type not in location.error_types:
             raise LocatorError(
                 f"error type {error_type.name} does not apply at {location.describe()}"
@@ -188,7 +188,7 @@ class FaultLocator:
             f"{location.program}:{location.function}:{location.line}"
             f"@{trigger_address:#x}:{error_type.name}"
         )
-        spec = FaultSpec(
+        spec = MachineFault(
             fault_id=identifier,
             trigger=OpcodeFetch(trigger_address),
             actions=tuple(actions),
@@ -310,7 +310,7 @@ class FaultLocator:
         strategy: str = STRATEGY_DATABUS,
         mode: str = "breakpoint",
         when: WhenPolicy | None = None,
-    ) -> list[FaultSpec]:
+    ) -> list[MachineFault]:
         """All applicable error types at one location (§6.3 step 3)."""
         return [
             self.build_fault(

@@ -14,7 +14,7 @@ high-level language terms", that the §6 campaigns draw from:
 
 Each error type carries the exact machine-level rewrite it corresponds to
 on RX32; :mod:`repro.emulation.locator` turns (site, error type) pairs into
-:class:`repro.swifi.FaultSpec` objects.
+:class:`repro.swifi.MachineFault` objects.
 
 "The number of error types from table 3 that can be applied to each fault
 location depends on the actual instruction" — applicability here: a

@@ -41,7 +41,7 @@ from ..swifi.faults import (
     Action,
     Arithmetic,
     CodeWord,
-    FaultSpec,
+    MachineFault,
     FetchedWord,
     OpcodeFetch,
     PatchField,
@@ -125,7 +125,7 @@ class EmulationStrategy:
     """Builds the fault specs that emulate one real fault on the corrected binary."""
 
     #: how many hardware breakpoints the emulation needs in breakpoint mode
-    def build(self, corrected: CompiledProgram, *, mode: str = "breakpoint") -> list[FaultSpec]:
+    def build(self, corrected: CompiledProgram, *, mode: str = "breakpoint") -> list[MachineFault]:
         raise NotImplementedError  # pragma: no cover
 
     def describe(self) -> str:
@@ -142,12 +142,12 @@ class ValueDeltaEmulation(EmulationStrategy):
     kind: str | None = None
     nth: int = 0
 
-    def build(self, corrected: CompiledProgram, *, mode: str = "breakpoint") -> list[FaultSpec]:
+    def build(self, corrected: CompiledProgram, *, mode: str = "breakpoint") -> list[MachineFault]:
         site = find_assignment(
             corrected, function=self.function, target=self.target, kind=self.kind, nth=self.nth
         )
         assert site.address is not None
-        spec = FaultSpec(
+        spec = MachineFault(
             fault_id=f"emulate:{corrected.name}:{self.describe()}",
             trigger=OpcodeFetch(site.address),
             actions=(Action(StoreValue(), Arithmetic(self.delta)),),
@@ -170,13 +170,13 @@ class OperatorSwapEmulation(EmulationStrategy):
     nth: int = 0
     line: int | None = None
 
-    def build(self, corrected: CompiledProgram, *, mode: str = "breakpoint") -> list[FaultSpec]:
+    def build(self, corrected: CompiledProgram, *, mode: str = "breakpoint") -> list[MachineFault]:
         site = find_check(
             corrected, function=self.function, op=self.from_op, nth=self.nth, line=self.line
         )
         assert site.address is not None
         new_cond = REL_COND[self.to_op]
-        spec = FaultSpec(
+        spec = MachineFault(
             fault_id=f"emulate:{corrected.name}:{self.describe()}",
             trigger=OpcodeFetch(site.address),
             actions=(Action(FetchedWord(), PatchField(21, 5, new_cond)),),
@@ -194,7 +194,7 @@ class OperatorSwapEmulation(EmulationStrategy):
 class StackShiftEmulation(EmulationStrategy):
     """Shift every frame reference to one local variable by *delta* bytes.
 
-    ``mode="breakpoint"``: one FaultSpec per referencing instruction, each
+    ``mode="breakpoint"``: one MachineFault per referencing instruction, each
     needing its own instruction-address breakpoint — arming fails when the
     references outnumber the two IABRs (the paper's §5 finding B).
 
@@ -230,7 +230,7 @@ class StackShiftEmulation(EmulationStrategy):
             raise NotEmulableError("shifted frame displacement out of range")
         return (word & ~0xFFFF) | (new_displacement & 0xFFFF)
 
-    def build(self, corrected: CompiledProgram, *, mode: str = "breakpoint") -> list[FaultSpec]:
+    def build(self, corrected: CompiledProgram, *, mode: str = "breakpoint") -> list[MachineFault]:
         refs = self._reference_sites(corrected)
         if mode == "memory":
             actions = []
@@ -244,7 +244,7 @@ class StackShiftEmulation(EmulationStrategy):
                     )
                 )
             first = min(ref.address for ref in refs if ref.address is not None)
-            spec = FaultSpec(
+            spec = MachineFault(
                 fault_id=f"emulate:{corrected.name}:{self.describe()}",
                 trigger=OpcodeFetch(first),
                 actions=tuple(actions),
@@ -256,7 +256,7 @@ class StackShiftEmulation(EmulationStrategy):
         specs = []
         for position, ref in enumerate(refs):
             assert ref.address is not None
-            spec = FaultSpec(
+            spec = MachineFault(
                 fault_id=(
                     f"emulate:{corrected.name}:{self.describe()}#ref{position}"
                 ),
@@ -293,7 +293,7 @@ class NoEmulation(EmulationStrategy):
     reason: str
     function: str | None = None
 
-    def build(self, corrected: CompiledProgram, *, mode: str = "breakpoint") -> list[FaultSpec]:
+    def build(self, corrected: CompiledProgram, *, mode: str = "breakpoint") -> list[MachineFault]:
         evidence: dict[str, object] = {}
         if self.function and self.function in corrected.debug.functions:
             info = corrected.debug.functions[self.function]
@@ -330,7 +330,7 @@ class RealFault:
 
     def build_emulation(
         self, corrected: CompiledProgram, *, mode: str = "breakpoint"
-    ) -> list[FaultSpec]:
+    ) -> list[MachineFault]:
         return self.strategy.build(corrected, mode=mode)
 
 

@@ -26,7 +26,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..lang.compiler import CompiledProgram
-from ..swifi.faults import FaultSpec
+from ..swifi.faults import MachineFault
 from .locator import STRATEGY_DATABUS, FaultLocation, FaultLocator
 from .operators import ASSIGNMENT_CLASS, CHECKING_CLASS
 
@@ -39,7 +39,7 @@ class GeneratedErrorSet:
     klass: str
     possible_locations: int
     chosen_locations: int
-    faults: list[FaultSpec] = field(default_factory=list)
+    faults: list[MachineFault] = field(default_factory=list)
     locations: list[FaultLocation] = field(default_factory=list)
 
     def injected_faults(self, runs_per_fault: int) -> int:
@@ -67,7 +67,7 @@ def generate_error_set(
         rng.sample(all_locations, count),                          # step 2
         key=lambda location: (location.function, location.line, location.address),
     )
-    faults: list[FaultSpec] = []
+    faults: list[MachineFault] = []
     for location in chosen:                                        # steps 3-5
         faults.extend(
             locator.faults_for_location(location, rng=rng, strategy=strategy, mode=mode)

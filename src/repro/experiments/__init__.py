@@ -20,6 +20,12 @@ from .config import (
 from .exposure import ExposureResult, ExposureRow, run_exposure
 from .figures import FigureResult, fig7, fig8, fig9, fig10
 from .sec5 import CATEGORY_A, CATEGORY_B, CATEGORY_C, Sec5Result, Sec5Row, run_sec5
+from .srcfi_compare import (
+    CompareReport,
+    PairOutcome,
+    RealFaultOutcome,
+    run_srcfi_compare,
+)
 from .table1 import Table1Result, Table1Row, run_table1
 from .table2 import Table2Result, Table2Row, run_table2
 from .table3 import Table3Result, run_table3
@@ -55,6 +61,10 @@ __all__ = [
     "Sec5Result",
     "Sec5Row",
     "run_sec5",
+    "CompareReport",
+    "PairOutcome",
+    "RealFaultOutcome",
+    "run_srcfi_compare",
     "Table1Result",
     "Table1Row",
     "run_table1",

@@ -29,6 +29,7 @@ from ..swifi.campaign import (
     CampaignRunner,
     RunRecord,
 )
+from ..swifi.spec import TIER_MACHINE, TIER_SOURCE, TIERS
 from ..swifi.outcomes import MODE_ORDER, FailureMode
 from ..workloads import table2_workloads
 from .config import ExperimentConfig
@@ -169,6 +170,7 @@ def run_section6(
     memoize: bool = False,
     memo_dir: str | None = None,
     plan_verify: float = 0.0,
+    tier: str = TIER_MACHINE,
 ) -> Section6Results:
     """Run the §6 campaigns over the Table-2 programs.
 
@@ -189,7 +191,13 @@ def run_section6(
     planner (:mod:`repro.planning`): statically pruned and memoized runs
     synthesize their records without booting, bit-identical by
     construction and spot-checkable via ``plan_verify``.
+    ``tier`` selects the injection tier: ``"machine"`` (Table-3 SWIFI
+    rewrites, the default) or ``"source"`` (:mod:`repro.srcfi` mutation
+    operators compiled into mutant binaries).  Snapshot restore and the
+    campaign planner are machine-tier-only options.
     """
+    if tier not in TIERS:
+        raise ValueError(f"tier must be one of {TIERS}, got {tier!r}")
     config = config or ExperimentConfig()
     results = Section6Results()
     for workload in table2_workloads():
@@ -205,13 +213,23 @@ def run_section6(
         )
         rng = random.Random(config.seed + 31)
         for klass in classes:
-            error_set = generate_error_set(
-                compiled,
-                klass,
-                max_locations=config.chosen_locations(workload.name, klass),
-                rng=rng,
-                strategy=strategy,
-            )
+            if tier == TIER_SOURCE:
+                from ..srcfi import generate_source_error_set
+
+                error_set = generate_source_error_set(
+                    compiled,
+                    klass,
+                    max_locations=config.chosen_locations(workload.name, klass),
+                    rng=rng,
+                )
+            else:
+                error_set = generate_error_set(
+                    compiled,
+                    klass,
+                    max_locations=config.chosen_locations(workload.name, klass),
+                    rng=rng,
+                    strategy=strategy,
+                )
             campaign = ProgramCampaign(
                 program=workload.name,
                 klass=klass,
@@ -241,6 +259,7 @@ def run_section6(
                     memoize=memoize,
                     memo_dir=memo_dir,
                     plan_verify=plan_verify,
+                    tier=tier,
                 ),
             )
             campaign.records = outcome.records

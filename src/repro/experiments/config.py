@@ -71,7 +71,7 @@ class ExperimentConfig:
     def chosen_locations(self, program: str, klass: str) -> int:
         """Scaled version of the paper's per-program chosen-location count."""
         paper = PAPER_TABLE4.get(program)
-        paper_chosen = paper[klass][1] if paper else 8
+        paper_chosen = paper[klass][1] if paper and klass in paper else 8
         return max(self.min_locations, round(paper_chosen * self.location_fraction))
 
     def scaled(self, factor: float) -> "ExperimentConfig":

@@ -17,13 +17,14 @@ fault emulations consume.
 
 from . import astnodes
 from .codegen import CompileError
-from .compiler import CompiledProgram, compile_source
+from .compiler import CompiledProgram, compile_source, compile_tree
 from .debuginfo import (
     AssignmentSite,
     CheckSite,
     DebugInfo,
     FunctionInfo,
     JunctionSite,
+    StatementSite,
     VarRefSite,
 )
 from .lexer import LexError, Token, tokenize
@@ -47,11 +48,13 @@ __all__ = [
     "CompileError",
     "CompiledProgram",
     "compile_source",
+    "compile_tree",
     "AssignmentSite",
     "CheckSite",
     "DebugInfo",
     "FunctionInfo",
     "JunctionSite",
+    "StatementSite",
     "VarRefSite",
     "LexError",
     "Token",

@@ -54,6 +54,7 @@ from .debuginfo import (
     DebugInfo,
     FunctionInfo,
     JunctionSite,
+    StatementSite,
     VarRefSite,
 )
 from .types import (
@@ -357,7 +358,23 @@ class CodeGen:
         if new_scope:
             self.scopes.pop()
 
+    _STATEMENT_KINDS = {
+        ast.Declaration: "decl", ast.ExprStatement: "expr", ast.If: "if",
+        ast.While: "while", ast.For: "for", ast.Return: "return",
+        ast.Break: "break", ast.Continue: "continue",
+    }
+
     def _compile_statement(self, statement: ast.Stmt) -> None:
+        kind = self._STATEMENT_KINDS.get(type(statement))
+        if kind is not None and self.current_function is not None:
+            self.debug.statements.append(
+                StatementSite(
+                    function=self.current_function,
+                    line=statement.line,
+                    kind=kind,
+                    start_index=self.asm.position,
+                )
+            )
         if isinstance(statement, ast.Block):
             self._compile_block(statement)
         elif isinstance(statement, ast.Declaration):

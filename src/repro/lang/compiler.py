@@ -49,12 +49,20 @@ class CompiledProgram:
         return count
 
 
-def compile_source(source: str, name: str = "prog") -> CompiledProgram:
-    """Compile MiniC *source* into a loadable program image."""
-    tree = parse(source)
+def compile_tree(tree: ast.Program, name: str = "prog",
+                 source: str = "") -> CompiledProgram:
+    """Compile an already-parsed (possibly mutated) AST into an image.
+
+    This is the srcfi mutation tier's entry point: mutants are deep
+    copies of a compiled program's tree with one statement rewritten, so
+    there is no source text to re-parse.  Code generation is a pure
+    function of the tree — compiling the same tree twice yields
+    bit-identical code and data images (the mutation round-trip suite
+    asserts this).
+    """
     generator = CodeGen(tree, name=name)
     assembled, data_image, symbols, debug = generator.compile()
-    debug.source_lines = source.count("\n") + 1
+    debug.source_lines = source.count("\n") + 1 if source else 0
     executable = Executable(
         code=assembled.code,
         entry=symbols["__start"],
@@ -75,4 +83,9 @@ def compile_source(source: str, name: str = "prog") -> CompiledProgram:
     )
 
 
-__all__ = ["CompiledProgram", "CompileError", "compile_source"]
+def compile_source(source: str, name: str = "prog") -> CompiledProgram:
+    """Compile MiniC *source* into a loadable program image."""
+    return compile_tree(parse(source), name=name, source=source)
+
+
+__all__ = ["CompiledProgram", "CompileError", "compile_source", "compile_tree"]

@@ -87,6 +87,30 @@ class JunctionSite:
 
 
 @dataclass
+class StatementSite:
+    """Anchor of one *generic* statement: its first emitted instruction.
+
+    Assignments and checks already get precise per-instruction anchors
+    above; the statement anchor is the coarse fallback the source-level
+    tier (:mod:`repro.srcfi`) uses for statements the machine tier has no
+    Table-3 rule for — bare calls, compound statements, returns.  The
+    anchor is the word index the statement's first instruction was (or
+    would have been) emitted at.
+    """
+
+    function: str
+    line: int
+    kind: str             # 'decl' | 'expr' | 'if' | 'while' | 'for' |
+                          # 'return' | 'break' | 'continue'
+    start_index: int      # word index of the statement's first instruction
+    address: int | None = None  # filled by resolve()
+
+    @property
+    def key(self) -> str:
+        return f"{self.function}:{self.line}:{self.kind}:{self.start_index}"
+
+
+@dataclass
 class VarRefSite:
     function: str
     var: str
@@ -117,6 +141,7 @@ class DebugInfo:
     assignments: list[AssignmentSite] = field(default_factory=list)
     checks: list[CheckSite] = field(default_factory=list)
     junctions: list[JunctionSite] = field(default_factory=list)
+    statements: list[StatementSite] = field(default_factory=list)
     var_refs: dict[tuple[str, str], list[VarRefSite]] = field(default_factory=dict)
     functions: dict[str, FunctionInfo] = field(default_factory=dict)
     source_lines: int = 0
@@ -127,6 +152,15 @@ class DebugInfo:
     def refs_for(self, function: str, var: str) -> list[VarRefSite]:
         return self.var_refs.get((function, var), [])
 
+    def statements_for(self, function: str, line: int,
+                       kind: str | None = None) -> list[StatementSite]:
+        """Statement anchors at one source position, in emission order."""
+        return [
+            site for site in self.statements
+            if site.function == function and site.line == line
+            and (kind is None or site.kind == kind)
+        ]
+
     def resolve(self, code_base: int, symbols: dict[str, int]) -> None:
         """Convert word indices to absolute addresses; resolve labels."""
         def addr(index: int) -> int:
@@ -134,6 +168,8 @@ class DebugInfo:
 
         for site in self.assignments:
             site.address = addr(site.store_index)
+        for stmt in self.statements:
+            stmt.address = addr(stmt.start_index)
         for check in self.checks:
             check.address = addr(check.bc_index)
             check.true_address = symbols[check.true_label]

@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING, Callable
 
 from ..observability import trace as _trace
 from ..swifi.campaign import CampaignResult, InputCase, RunRecord, execute_injection_run
-from ..swifi.faults import FaultSpec
+from ..swifi.faults import MachineFault
 from .journal import CampaignJournal, JournalState, campaign_fingerprint
 from .scheduler import Shard, pair_for_index, plan_shards
 from .telemetry import (
@@ -126,7 +126,7 @@ class CampaignOrchestrator:
         program: str,
         executable,
         cases: list[InputCase],
-        faults: list[FaultSpec],
+        faults: list[MachineFault],
         budgets: dict[str, int],
         num_cores: int = 1,
         quantum: int = 64,
@@ -154,7 +154,7 @@ class CampaignOrchestrator:
     def from_runner(
         cls,
         runner: "CampaignRunner",
-        faults: list[FaultSpec],
+        faults: list[MachineFault],
         *,
         options: OrchestratorOptions | None = None,
         telemetry: TelemetrySink | None = None,
@@ -179,7 +179,7 @@ class CampaignOrchestrator:
 
     # ------------------------------------------------------------------
 
-    def _pair(self, run_index: int) -> tuple[FaultSpec, InputCase]:
+    def _pair(self, run_index: int) -> tuple[MachineFault, InputCase]:
         fault_index, case_index = pair_for_index(run_index, len(self.cases))
         return self.faults[fault_index], self.cases[case_index]
 
@@ -350,7 +350,7 @@ class CampaignOrchestrator:
         indices = tuple(sorted(state.remaining))
         fault_positions: dict[int, int] = {}
         case_positions: dict[int, int] = {}
-        faults: list[FaultSpec] = []
+        faults: list[MachineFault] = []
         cases: list[InputCase] = []
         runs: list[tuple[int, int, int]] = []
         for index in indices:

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from ..machine.loader import Executable
 from ..observability import trace as _trace
 from ..swifi.campaign import InputCase, execute_injection_run
-from ..swifi.faults import FaultSpec
+from ..swifi.faults import MachineFault
 
 #: Message tags on the result queue.
 MSG_RUN = "run"          # (MSG_RUN, shard_id, run_index, record_dict, trace|None)
@@ -55,7 +55,7 @@ class ShardTask:
     num_cores: int
     quantum: int
     budgets: dict[str, int]
-    faults: tuple[FaultSpec | None, ...]
+    faults: tuple[MachineFault | None, ...]
     cases: tuple[InputCase, ...]
     runs: tuple[tuple[int, int, int], ...]  # (run_index, fault_pos, case_pos)
     seed: int

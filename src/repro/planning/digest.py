@@ -34,7 +34,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
-from ..swifi.faults import FaultSpec
+from ..swifi.faults import MachineFault
 
 
 @dataclass(frozen=True)
@@ -107,7 +107,7 @@ def state_fingerprint(machine) -> str:
     return hasher.hexdigest()
 
 
-def behavior_fingerprint(spec: FaultSpec) -> str:
+def behavior_fingerprint(spec: MachineFault) -> str:
     """Hash of a fault's runtime behaviour, independent of its identity.
 
     Trigger, actions, when-policy and mode are all frozen dataclasses
@@ -119,7 +119,7 @@ def behavior_fingerprint(spec: FaultSpec) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def memo_key(case_fingerprint: str, expected: bytes, spec: FaultSpec, *,
+def memo_key(case_fingerprint: str, expected: bytes, spec: MachineFault, *,
              budget: int, quantum: int, num_cores: int, engine: str) -> str:
     """The outcome-memo key for one (case, fault, execution-config) run."""
     hasher = hashlib.sha256()

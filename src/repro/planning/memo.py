@@ -28,7 +28,7 @@ import os
 from pathlib import Path
 
 from ..swifi.campaign import InputCase, RunRecord
-from ..swifi.faults import FaultSpec
+from ..swifi.faults import MachineFault
 from ..swifi.outcomes import FailureMode
 
 #: The run-outcome fields a memo entry carries (identity fields excluded).
@@ -51,7 +51,7 @@ def outcome_from_record(record: RunRecord) -> dict:
     }
 
 
-def record_from_outcome(outcome: dict, spec: FaultSpec,
+def record_from_outcome(outcome: dict, spec: MachineFault,
                         case: InputCase) -> RunRecord:
     """Rebuild a full record: cached outcome + the current fault identity."""
     return RunRecord(

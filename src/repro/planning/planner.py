@@ -39,7 +39,7 @@ from ..machine.loader import Executable, boot
 from ..machine.machine import ENGINE_SIMPLE
 from ..observability import trace as _trace
 from ..swifi.campaign import InputCase, RunRecord
-from ..swifi.faults import FaultSpec
+from ..swifi.faults import MachineFault
 from .digest import memo_key, state_fingerprint
 from .memo import OutcomeCache, outcome_from_record, record_from_outcome
 from .prover import classify_fault, synthesize_record, trace_requirements
@@ -123,7 +123,7 @@ class PlannerCache:
             self._case_fps[case.case_id] = fingerprint
         return fingerprint
 
-    def _memo_key(self, spec: FaultSpec, case: InputCase, budget: int) -> str:
+    def _memo_key(self, spec: MachineFault, case: InputCase, budget: int) -> str:
         return memo_key(
             self._fingerprint_for(case), case.expected, spec,
             budget=budget, quantum=self.quantum,
@@ -133,7 +133,7 @@ class PlannerCache:
     # -- the planning fast path -----------------------------------------
 
     def execute(
-        self, spec: FaultSpec, case: InputCase, budget: int
+        self, spec: MachineFault, case: InputCase, budget: int
     ) -> RunRecord | None:
         """Planned record for one run, or ``None`` to fall through."""
         if self.prune and self.num_cores == 1:
@@ -162,7 +162,7 @@ class PlannerCache:
         return None
 
     def record_executed(
-        self, spec: FaultSpec | None, case: InputCase, budget: int,
+        self, spec: MachineFault | None, case: InputCase, budget: int,
         record: RunRecord,
     ) -> None:
         """Feed an executed run's outcome into the memo."""
@@ -176,7 +176,7 @@ class PlannerCache:
     # -- the honesty check ----------------------------------------------
 
     def _maybe_verify(
-        self, spec: FaultSpec, case: InputCase, budget: int, record: RunRecord
+        self, spec: MachineFault, case: InputCase, budget: int, record: RunRecord
     ) -> None:
         if self.verify_fraction <= 0.0:
             return

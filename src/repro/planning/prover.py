@@ -41,7 +41,7 @@ from ..swifi.faults import (
     BitOr,
     CodeWord,
     DataAccess,
-    FaultSpec,
+    MachineFault,
     FetchedWord,
     LoadValue,
     MODE_BREAKPOINT,
@@ -96,7 +96,7 @@ class PruneDecision:
 
 
 def trace_requirements(
-    faults: list[FaultSpec],
+    faults: list[MachineFault],
 ) -> tuple[frozenset[int], frozenset[int], frozenset[int]]:
     """(watch pcs, data addresses, register ordinals) a trace must record
     to classify every fault in the set."""
@@ -131,7 +131,7 @@ def _is_identity(corruption) -> bool:
 
 
 def classify_fault(
-    spec: FaultSpec, trace: GoldenAccessTrace
+    spec: MachineFault, trace: GoldenAccessTrace
 ) -> PruneDecision:
     """Decide whether the (spec, trace.case) run can be synthesized."""
     if not trace.ok:
@@ -193,7 +193,7 @@ def classify_fault(
 
 
 def _actions_invisible(
-    spec: FaultSpec,
+    spec: MachineFault,
     trace: GoldenAccessTrace,
     pc: int,
     fired: list[tuple[int, int | None, int]],
@@ -372,7 +372,7 @@ def _word_invisible(
 
 
 def synthesize_record(
-    spec: FaultSpec,
+    spec: MachineFault,
     case: InputCase,
     trace: GoldenAccessTrace,
     decision: PruneDecision,

@@ -1,0 +1,136 @@
+"""Source-level fault-site enumeration and error-set generation.
+
+The source-tier analogue of :class:`repro.emulation.FaultLocator` and
+:func:`repro.emulation.rules.generate_error_set`: enumerate where each
+mutation operator applies (reusing the compiler's debug records to keep
+only sites whose machine-tier anchoring is unambiguous, where exactness
+demands it), and sample §6.3-style error sets over those locations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..lang.compiler import CompiledProgram
+from ..swifi.spec import TIER_SOURCE
+from .operators import (
+    MUTATION_CLASSES,
+    OPERATORS,
+    MutationError,
+    MutationOperator,
+    MutationSite,
+    get_operator,
+    operators_for_class,
+)
+from .spec import SourceFault
+
+
+@dataclass
+class SourceErrorSet:
+    """A §6.3-style sampled error set at the source tier."""
+
+    program: str
+    klass: str
+    possible_locations: int
+    chosen_locations: int
+    faults: list[SourceFault] = field(default_factory=list)
+
+
+class SourceLocator:
+    """Enumerates mutation sites of one compiled program."""
+
+    def __init__(self, compiled: CompiledProgram) -> None:
+        self.compiled = compiled
+
+    def sites(self, operator: "str | MutationOperator") -> list[MutationSite]:
+        if isinstance(operator, str):
+            operator = get_operator(operator)
+        return operator.sites(self.compiled)
+
+    def source_faults(
+        self,
+        klass: str | None = None,
+        *,
+        max_sites_per_operator: int | None = None,
+    ) -> list[SourceFault]:
+        """Every applicable (operator, site) pair as a :class:`SourceFault`.
+
+        Metadata carries the grouping keys the figures and the compare
+        study slice on (program, klass, operator, error label, position,
+        counterpart kind).
+        """
+        operators = OPERATORS if klass is None else operators_for_class(klass)
+        faults: list[SourceFault] = []
+        for operator in operators:
+            sites = operator.sites(self.compiled)
+            if max_sites_per_operator is not None:
+                sites = sites[:max_sites_per_operator]
+            for index, site in enumerate(sites):
+                faults.append(self._fault(operator, index, site))
+        return faults
+
+    def _fault(self, operator: MutationOperator, index: int,
+               site: MutationSite) -> SourceFault:
+        return SourceFault(
+            operator=operator.name,
+            site_index=index,
+            metadata=(
+                ("program", self.compiled.name),
+                ("klass", operator.klass),
+                ("operator", operator.name),
+                ("error_type", operator.name),
+                ("error_label", operator.label),
+                ("function", site.function),
+                ("line", site.line),
+                ("counterpart", operator.counterpart),
+                ("tier", TIER_SOURCE),
+            ),
+        )
+
+    def describe(self) -> list[str]:
+        """One human-readable line per (operator, site) — CLI listing."""
+        lines: list[str] = []
+        for operator in OPERATORS:
+            for index, site in enumerate(operator.sites(self.compiled)):
+                lines.append(
+                    f"{self.compiled.name}:{site.function}:{site.line} "
+                    f"[{operator.klass}/{operator.name}#{index}] {site.detail}"
+                )
+        return lines
+
+
+def generate_source_error_set(
+    compiled: CompiledProgram,
+    klass: str,
+    *,
+    max_locations: int,
+    rng: random.Random,
+) -> SourceErrorSet:
+    """Apply the §6.3 sampling rules at the source tier.
+
+    Locations are distinct ``(function, line)`` positions where any
+    operator of the class applies; ``max_locations`` of them are sampled
+    and every applicable operator at a chosen location contributes one
+    fault — mirroring the machine tier's per-location error types.
+    """
+    if klass not in MUTATION_CLASSES:
+        raise MutationError(f"unknown mutation class {klass!r}")
+    locator = SourceLocator(compiled)
+    faults = locator.source_faults(klass)
+    locations = sorted({
+        (fault.meta["function"], fault.meta["line"]) for fault in faults
+    })
+    count = min(max_locations, len(locations))
+    chosen = set(sorted(rng.sample(locations, count)))
+    kept = [
+        fault for fault in faults
+        if (fault.meta["function"], fault.meta["line"]) in chosen
+    ]
+    return SourceErrorSet(
+        program=compiled.name,
+        klass=klass,
+        possible_locations=len(locations),
+        chosen_locations=count,
+        faults=kept,
+    )

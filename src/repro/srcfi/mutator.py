@@ -1,0 +1,124 @@
+"""Mutant compilation: SourceFault -> mutant binary (+ machine counterpart).
+
+Mutants are compiled from a ``deepcopy`` of the original program's
+statement tree via :func:`repro.lang.compile_tree`; the original
+:class:`~repro.lang.CompiledProgram` is never touched, and reverting (i.e.
+recompiling the untouched tree) reproduces the original binary
+bit-identically (:func:`recompiled_identical` asserts exactly that — it is
+the mutation round-trip oracle the test suite and the source-tier fuzzer
+lean on).
+
+Compilation dominates source-tier campaign cost, so realized mutants are
+cached per process in a bounded :class:`MutantCache` keyed by
+``(program, operator, resolved site ordinal)`` — the same role the
+machine tier's snapshot cache plays, one layer up.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..lang.compiler import CompiledProgram, CompileError, compile_tree
+from ..swifi.faults import MachineFault
+from .operators import OPERATORS_BY_NAME, MutationOperator, MutationSite
+from .spec import SourceFault
+
+
+class SrcfiError(RuntimeError):
+    """A source fault that cannot be realized against this program."""
+
+
+@dataclass
+class SourceMutant:
+    """A realized source fault: the mutant binary plus its machine twin."""
+
+    fault: SourceFault
+    operator: MutationOperator
+    site: MutationSite
+    compiled: CompiledProgram          # the mutant binary
+    counterpart: MachineFault | None   # best machine-tier emulation, if any
+
+
+class MutantCache:
+    """Bounded LRU of compiled mutants, keyed per (program, operator, site)."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, CompiledProgram] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> CompiledProgram | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, compiled: CompiledProgram) -> None:
+        self._entries[key] = compiled
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def realize_source_fault(
+    compiled: CompiledProgram,
+    fault: SourceFault,
+    cache: MutantCache | None = None,
+) -> SourceMutant:
+    """Compile the mutant a :class:`SourceFault` describes.
+
+    The fault's ``site_index`` wraps over the operator's deterministic
+    site enumeration for this program; an operator with no applicable
+    sites raises :class:`SrcfiError`.
+    """
+    operator = OPERATORS_BY_NAME.get(fault.operator)
+    if operator is None:
+        raise SrcfiError(f"unknown mutation operator {fault.operator!r}")
+    sites = operator.sites(compiled)
+    if not sites:
+        raise SrcfiError(
+            f"{compiled.name}: no {fault.operator} mutation sites"
+        )
+    resolved = fault.site_index % len(sites)
+    site = sites[resolved]
+    key = (compiled.name, fault.operator, resolved)
+    mutant = cache.get(key) if cache is not None else None
+    if mutant is None:
+        tree = copy.deepcopy(compiled.tree)
+        operator.apply(tree, site)
+        try:
+            mutant = compile_tree(tree, name=compiled.name, source=compiled.source)
+        except CompileError as error:
+            raise SrcfiError(
+                f"{compiled.name}: mutant {fault.fault_id} does not compile: {error}"
+            ) from error
+        if cache is not None:
+            cache.put(key, mutant)
+    counterpart = operator.machine_counterpart(compiled, site)
+    return SourceMutant(
+        fault=fault, operator=operator, site=site,
+        compiled=mutant, counterpart=counterpart,
+    )
+
+
+def recompiled_identical(compiled: CompiledProgram) -> bool:
+    """The revert oracle: recompiling the untouched tree must reproduce
+    the original binary bit-for-bit (code and data segments)."""
+    rebuilt = compile_tree(
+        copy.deepcopy(compiled.tree), name=compiled.name, source=compiled.source
+    )
+    return (
+        rebuilt.executable.code == compiled.executable.code
+        and rebuilt.executable.data == compiled.executable.data
+    )

@@ -1,0 +1,768 @@
+"""ODC-typed mutation operators over MiniC statement trees.
+
+The paper's headline negative result is that machine-level SWIFI can only
+emulate *assignment* and *checking* faults — the ~44% of field faults in
+the *algorithm* and *function* ODC classes have no Table-3 counterpart.
+This module is the other side of that experiment: first-class
+**source-level** fault injection.  Each operator mutates the compiler's
+statement tree (the change a programmer's bug would have made), and also
+knows the best machine-level emulation the Table-3 vocabulary can offer:
+
+========================  ==========  =============================
+operator                  ODC class   machine counterpart
+========================  ==========  =============================
+``assign-plus-1``         assignment  exact (``value+1`` store corruption)
+``assign-minus-1``        assignment  exact (``value-1`` store corruption)
+``assign-omit``           assignment  exact (store elided, ``no-assign``)
+``bound-swap``            checking    exact (branch-condition patch)
+``check-invert``          checking    exact (branch-condition patch)
+``check-drop``            checking    exact (``false->true`` forcing)
+``branch-swap``           algorithm   approximate (``true->false``)
+``call-omit``             algorithm   approximate (NOP one instruction)
+``call-dup``              algorithm   none (cannot add instructions)
+``block-omit``            function    approximate (NOP one instruction)
+========================  ==========  =============================
+
+Exact counterparts only exist where the machine rewrite provably computes
+the same program: those operators restrict their site lists (unique debug
+anchor, side-effect-free subexpressions where the two tiers evaluate
+different code).  The algorithm/function operators deliberately offer only
+what a machine-level tool could actually do — measuring their divergence
+*is* the experiment (:mod:`repro.experiments.srcfi_compare`).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..emulation.locator import FaultLocation, FaultLocator, LocatorError
+from ..emulation.operators import (
+    ASSIGNMENT_CLASS,
+    ASSIGNMENT_ERROR_TYPES,
+    CHECKING_CLASS,
+    NO_ASSIGN,
+    REL_COND,
+    VALUE_MINUS_1,
+    VALUE_PLUS_1,
+    checking_swaps_for,
+    swap_error_type,
+)
+from ..isa.encoding import COND_ALWAYS, NOP_WORD
+from ..lang import astnodes as ast
+from ..lang.compiler import CompiledProgram
+from ..lang.debuginfo import AssignmentSite, CheckSite, StatementSite
+from ..odc.defect_types import DefectType
+from ..swifi.faults import (
+    Action,
+    FetchedWord,
+    MachineFault,
+    OpcodeFetch,
+    PatchField,
+    SetValue,
+)
+
+ALGORITHM_CLASS = "algorithm"
+FUNCTION_CLASS = "function"
+MUTATION_CLASSES = (ASSIGNMENT_CLASS, CHECKING_CLASS, ALGORITHM_CLASS, FUNCTION_CLASS)
+
+COUNTERPART_EXACT = "exact"
+COUNTERPART_APPROXIMATE = "approximate"
+COUNTERPART_NONE = "none"
+
+#: One navigation step: ``(attribute, None)`` reads the attribute,
+#: ``(attribute, i)`` reads element ``i`` of the attribute (a list).
+PathStep = "tuple[str, int | None]"
+Path = "tuple[tuple[str, int | None], ...]"
+
+
+class MutationError(ValueError):
+    """A mutation that cannot be applied where it was asked to."""
+
+
+@dataclass(frozen=True)
+class MutationSite:
+    """One place a mutation operator applies, addressed structurally.
+
+    The ``path`` is a stable index path from the :class:`ast.Program` root
+    (attribute / list-index steps), so it survives a ``deepcopy`` of the
+    tree — mutants are always built on copies, the original tree is never
+    touched.
+    """
+
+    function: str
+    line: int
+    path: tuple
+    detail: str
+
+    def describe(self) -> str:
+        return f"{self.function}:{self.line} {self.detail}"
+
+
+# -- structural navigation ---------------------------------------------------
+
+def node_at(root: ast.Program, path: tuple) -> object:
+    node: object = root
+    for attr, index in path:
+        node = getattr(node, attr)
+        if index is not None:
+            node = node[index]
+    return node
+
+
+def replace_at(root: ast.Program, path: tuple, replacement: object) -> None:
+    if not path:
+        raise MutationError("cannot replace the program root")
+    parent: object = root
+    for attr, index in path[:-1]:
+        parent = getattr(parent, attr)
+        if index is not None:
+            parent = parent[index]
+    attr, index = path[-1]
+    if index is None:
+        setattr(parent, attr, replacement)
+    else:
+        getattr(parent, attr)[index] = replacement
+
+
+def iter_statements(program: ast.Program) -> Iterator[tuple]:
+    """Yield ``(function_name, statement, path)`` in emission order."""
+    for fi, function in enumerate(program.functions):
+        if function.body is None:
+            continue
+        base = (("functions", fi), ("body", None))
+        yield from _walk(function.name, function.body, base)
+
+
+def _walk(function: str, stmt: object, path: tuple) -> Iterator[tuple]:
+    yield function, stmt, path
+    if isinstance(stmt, ast.Block):
+        for i, child in enumerate(stmt.statements):
+            yield from _walk(function, child, path + (("statements", i),))
+    elif isinstance(stmt, ast.If):
+        yield from _walk(function, stmt.then, path + (("then", None),))
+        if stmt.other is not None:
+            yield from _walk(function, stmt.other, path + (("other", None),))
+    elif isinstance(stmt, ast.While):
+        yield from _walk(function, stmt.body, path + (("body", None),))
+    elif isinstance(stmt, ast.For):
+        if stmt.init is not None:
+            yield from _walk(function, stmt.init, path + (("init", None),))
+        yield from _walk(function, stmt.body, path + (("body", None),))
+
+
+def _expr_children(expr: object) -> list:
+    if isinstance(expr, ast.Unary):
+        return [expr.operand]
+    if isinstance(expr, ast.Binary):
+        return [expr.left, expr.right]
+    if isinstance(expr, ast.Ternary):
+        return [expr.cond, expr.then, expr.other]
+    if isinstance(expr, ast.Assign):
+        return [expr.target, expr.value]
+    if isinstance(expr, ast.IncDec):
+        return [expr.target]
+    if isinstance(expr, ast.Call):
+        return list(expr.args)
+    if isinstance(expr, ast.Index):
+        return [expr.base, expr.index]
+    if isinstance(expr, ast.Member):
+        return [expr.base]
+    return []
+
+
+def _contains(expr: object, kinds: tuple) -> bool:
+    if isinstance(expr, kinds):
+        return True
+    return any(_contains(child, kinds) for child in _expr_children(expr))
+
+
+# Pure *and trap-free*: no calls, no writes, no loads from computed
+# addresses, no division (the machine tier keeps evaluating the original
+# expression after an "omit" mutation, so it must be impossible for that
+# evaluation to differ observably from not evaluating at all).
+_PURE_UNARY_OPS = frozenset({"-", "!", "~", "&"})
+_PURE_BINARY_OPS = frozenset({
+    "+", "-", "*", "&", "|", "^", "<<", ">>",
+    "<", "<=", ">", ">=", "==", "!=", "&&", "||",
+})
+
+
+def _is_pure(expr: object) -> bool:
+    if isinstance(expr, (ast.IntLiteral, ast.Identifier, ast.SizeOf)):
+        return True
+    if isinstance(expr, ast.Unary):
+        return expr.op in _PURE_UNARY_OPS and _is_pure(expr.operand)
+    if isinstance(expr, ast.Binary):
+        return (expr.op in _PURE_BINARY_OPS
+                and _is_pure(expr.left) and _is_pure(expr.right))
+    if isinstance(expr, ast.Ternary):
+        return _is_pure(expr.cond) and _is_pure(expr.then) and _is_pure(expr.other)
+    return False
+
+
+# -- debug-record matching ---------------------------------------------------
+
+def _unique_assignment_site(compiled: CompiledProgram, function: str,
+                            line: int) -> AssignmentSite | None:
+    matches = [
+        site for site in compiled.debug.assignments
+        if site.function == function and site.line == line and site.kind == "assign"
+    ]
+    return matches[0] if len(matches) == 1 else None
+
+
+def _unique_check_site(compiled: CompiledProgram, function: str, line: int,
+                       context: str, op: str | None = None) -> CheckSite | None:
+    matches = [
+        site for site in compiled.debug.checks
+        if site.function == function and site.line == line
+        and site.context == context and (op is None or site.op == op)
+    ]
+    return matches[0] if len(matches) == 1 else None
+
+
+def _unique_statement_anchor(compiled: CompiledProgram, function: str,
+                             line: int, kind: str) -> StatementSite | None:
+    matches = compiled.debug.statements_for(function, line, kind)
+    return matches[0] if len(matches) == 1 else None
+
+
+def _cond_patch(compiled: CompiledProgram, site: CheckSite, cond_code: int,
+                error_type: str, error_label: str, klass: str) -> MachineFault:
+    """A branch-condition-field patch at a check site's bc instruction.
+
+    Same databus mechanism as the locator's Table-3 swaps, constructed
+    directly because the complement swaps (``< -> >=`` etc.) are not all
+    in the Table-3 vocabulary.
+    """
+    assert site.address is not None
+    spec = MachineFault(
+        fault_id=(f"{compiled.name}:{site.function}:{site.line}"
+                  f"@{site.address:#x}:{error_type}"),
+        trigger=OpcodeFetch(site.address),
+        actions=(Action(FetchedWord(), PatchField(21, 5, cond_code)),),
+    )
+    return spec.with_metadata(
+        program=compiled.name, klass=klass, error_type=error_type,
+        error_label=error_label, function=site.function, line=site.line,
+        strategy="databus",
+    )
+
+
+def _nop_anchor(compiled: CompiledProgram, address: int, function: str,
+                line: int, error_type: str, error_label: str,
+                klass: str) -> MachineFault:
+    """NOP one anchored instruction — the strongest move a machine-level
+    tool has against a statement it cannot re-express."""
+    spec = MachineFault(
+        fault_id=f"{compiled.name}:{function}:{line}@{address:#x}:{error_type}",
+        trigger=OpcodeFetch(address),
+        actions=(Action(FetchedWord(), SetValue(NOP_WORD)),),
+    )
+    return spec.with_metadata(
+        program=compiled.name, klass=klass, error_type=error_type,
+        error_label=error_label, function=function, line=line,
+        strategy="databus",
+    )
+
+
+# -- operator base -----------------------------------------------------------
+
+class MutationOperator:
+    """One source-level mutation: where it applies, how to apply it, and
+    the closest machine-level emulation of it."""
+
+    name: str = ""
+    odc: DefectType = DefectType.ASSIGNMENT
+    label: str = ""
+    counterpart: str = COUNTERPART_NONE
+    description: str = ""
+
+    @property
+    def klass(self) -> str:
+        return self.odc.value
+
+    def sites(self, compiled: CompiledProgram) -> list[MutationSite]:
+        raise NotImplementedError
+
+    def apply(self, tree: ast.Program, site: MutationSite) -> None:
+        """Mutate ``tree`` (a deepcopy — never the original) in place."""
+        raise NotImplementedError
+
+    def machine_counterpart(self, compiled: CompiledProgram,
+                            site: MutationSite) -> MachineFault | None:
+        """The Table-3 emulation of this mutation, or None if the
+        machine-level vocabulary cannot express anything for it."""
+        return None
+
+
+# -- assignment operators ----------------------------------------------------
+
+def _describe_target(target: object) -> str:
+    if isinstance(target, ast.Identifier):
+        return target.name
+    if isinstance(target, ast.Index):
+        return f"{_describe_target(target.base)}[...]"
+    if isinstance(target, ast.Member):
+        sep = "->" if target.arrow else "."
+        return f"{_describe_target(target.base)}{sep}{target.field}"
+    if isinstance(target, ast.Unary) and target.op == "*":
+        return f"*{_describe_target(target.operand)}"
+    return "<lvalue>"
+
+
+class _AssignmentOperator(MutationOperator):
+    odc = DefectType.ASSIGNMENT
+    counterpart = COUNTERPART_EXACT
+
+    def _statement_applies(self, stmt: ast.ExprStatement) -> bool:
+        return True
+
+    def sites(self, compiled: CompiledProgram) -> list[MutationSite]:
+        out: list[MutationSite] = []
+        for function, stmt, path in iter_statements(compiled.tree):
+            if not (isinstance(stmt, ast.ExprStatement)
+                    and isinstance(stmt.expr, ast.Assign)
+                    and stmt.expr.op == "="):
+                continue
+            # Exactly one assignment in the statement, and exactly one
+            # 'assign'-kind store anchored at this source position — the
+            # machine counterpart must hit the *same* store.
+            if _contains(stmt.expr.value, (ast.Assign, ast.IncDec)):
+                continue
+            if _contains(stmt.expr.target, (ast.Assign, ast.IncDec)):
+                continue
+            if _unique_assignment_site(compiled, function, stmt.line) is None:
+                continue
+            if not self._statement_applies(stmt):
+                continue
+            out.append(MutationSite(
+                function=function, line=stmt.line, path=path,
+                detail=f"{_describe_target(stmt.expr.target)} = ... ({self.name})",
+            ))
+        return out
+
+    def _location(self, compiled: CompiledProgram,
+                  site: MutationSite) -> FaultLocation | None:
+        anchor = _unique_assignment_site(compiled, site.function, site.line)
+        if anchor is None:
+            return None
+        return FaultLocation(
+            program=compiled.name, klass=ASSIGNMENT_CLASS,
+            site=anchor, error_types=ASSIGNMENT_ERROR_TYPES,
+        )
+
+
+class AssignPlusOne(_AssignmentOperator):
+    name = "assign-plus-1"
+    label = "value +1"
+    description = "assigned expression replaced by expression+1"
+
+    delta = 1
+    error_type = VALUE_PLUS_1
+
+    def apply(self, tree: ast.Program, site: MutationSite) -> None:
+        stmt = node_at(tree, site.path)
+        if not (isinstance(stmt, ast.ExprStatement)
+                and isinstance(stmt.expr, ast.Assign)):
+            raise MutationError(f"no assignment at {site.describe()}")
+        op = "+" if self.delta > 0 else "-"
+        stmt.expr.value = ast.Binary(
+            stmt.line, op, stmt.expr.value, ast.IntLiteral(stmt.line, abs(self.delta))
+        )
+
+    def machine_counterpart(self, compiled: CompiledProgram,
+                            site: MutationSite) -> MachineFault | None:
+        location = self._location(compiled, site)
+        if location is None:
+            return None
+        try:
+            return FaultLocator(compiled).build_fault(location, self.error_type)
+        except LocatorError:
+            return None
+
+
+class AssignMinusOne(AssignPlusOne):
+    name = "assign-minus-1"
+    label = "value -1"
+    description = "assigned expression replaced by expression-1"
+
+    delta = -1
+    error_type = VALUE_MINUS_1
+
+
+class AssignOmit(_AssignmentOperator):
+    name = "assign-omit"
+    label = "no assign"
+    description = "assignment statement deleted"
+
+    def _statement_applies(self, stmt: ast.ExprStatement) -> bool:
+        # The machine tier's no-assign still *evaluates* the right-hand
+        # side (only the store is NOPed), so the source deletion is only
+        # equivalent when that evaluation has no observable effect.
+        return (isinstance(stmt.expr.target, ast.Identifier)
+                and _is_pure(stmt.expr.value))
+
+    def apply(self, tree: ast.Program, site: MutationSite) -> None:
+        stmt = node_at(tree, site.path)
+        if not (isinstance(stmt, ast.ExprStatement)
+                and isinstance(stmt.expr, ast.Assign)):
+            raise MutationError(f"no assignment at {site.describe()}")
+        replace_at(tree, site.path, ast.Block(stmt.line, []))
+
+    def machine_counterpart(self, compiled: CompiledProgram,
+                            site: MutationSite) -> MachineFault | None:
+        location = self._location(compiled, site)
+        if location is None:
+            return None
+        try:
+            return FaultLocator(compiled).build_fault(location, NO_ASSIGN)
+        except LocatorError:
+            return None
+
+
+# -- checking operators ------------------------------------------------------
+
+_CONTEXT_BY_STMT = {ast.If: "if", ast.While: "while", ast.For: "for"}
+
+#: Off-by-one bound rewrites (the single-target Table-3 swaps).
+BOUND_SWAPS = {"<": "<=", "<=": "<", ">": ">=", ">=": ">"}
+
+#: Relational complements (inverted checks).
+COMPLEMENT = {"<": ">=", ">=": "<", ">": "<=", "<=": ">", "==": "!=", "!=": "=="}
+
+
+class _CondOperator(MutationOperator):
+    odc = DefectType.CHECKING
+    counterpart = COUNTERPART_EXACT
+
+    #: which relational operators this operator rewrites
+    table: dict = {}
+
+    def sites(self, compiled: CompiledProgram) -> list[MutationSite]:
+        out: list[MutationSite] = []
+        for function, stmt, path in iter_statements(compiled.tree):
+            context = _CONTEXT_BY_STMT.get(type(stmt))
+            if context is None:
+                continue
+            cond = stmt.cond
+            if cond is None or not isinstance(cond, ast.Binary):
+                continue
+            if cond.op not in self.table:
+                continue
+            if _unique_check_site(compiled, function, stmt.line, context,
+                                  cond.op) is None:
+                continue
+            out.append(MutationSite(
+                function=function, line=stmt.line, path=path,
+                detail=f"{context} ({cond.op}) -> ({self.table[cond.op]})",
+            ))
+        return out
+
+    def apply(self, tree: ast.Program, site: MutationSite) -> None:
+        stmt = node_at(tree, site.path)
+        cond = getattr(stmt, "cond", None)
+        if not isinstance(cond, ast.Binary) or cond.op not in self.table:
+            raise MutationError(f"no rewritable condition at {site.describe()}")
+        cond.op = self.table[cond.op]
+
+    def _anchor(self, compiled: CompiledProgram,
+                site: MutationSite) -> tuple[CheckSite, str] | None:
+        stmt = node_at(compiled.tree, site.path)
+        context = _CONTEXT_BY_STMT.get(type(stmt))
+        cond = getattr(stmt, "cond", None)
+        if context is None or not isinstance(cond, ast.Binary):
+            return None
+        anchor = _unique_check_site(compiled, site.function, site.line,
+                                    context, cond.op)
+        if anchor is None:
+            return None
+        return anchor, cond.op
+
+
+class BoundSwap(_CondOperator):
+    name = "bound-swap"
+    label = "bound swap"
+    description = "off-by-one bound: relational operator swapped with its weak/strict pair"
+
+    table = BOUND_SWAPS
+
+    def machine_counterpart(self, compiled: CompiledProgram,
+                            site: MutationSite) -> MachineFault | None:
+        anchored = self._anchor(compiled, site)
+        if anchored is None:
+            return None
+        anchor, op = anchored
+        location = FaultLocation(
+            program=compiled.name, klass=CHECKING_CLASS,
+            site=anchor, error_types=checking_swaps_for(op),
+        )
+        try:
+            return FaultLocator(compiled).build_fault(
+                location, swap_error_type(op, self.table[op])
+            )
+        except LocatorError:
+            return None
+
+
+class CheckInvert(_CondOperator):
+    name = "check-invert"
+    label = "inverted check"
+    description = "relational condition replaced by its complement"
+
+    table = COMPLEMENT
+
+    def machine_counterpart(self, compiled: CompiledProgram,
+                            site: MutationSite) -> MachineFault | None:
+        anchored = self._anchor(compiled, site)
+        if anchored is None:
+            return None
+        anchor, op = anchored
+        return _cond_patch(
+            compiled, anchor, REL_COND[self.table[op]],
+            error_type=f"invert:{op}->{self.table[op]}",
+            error_label=self.label, klass=CHECKING_CLASS,
+        )
+
+
+class CheckDrop(MutationOperator):
+    name = "check-drop"
+    odc = DefectType.CHECKING
+    label = "omitted check"
+    counterpart = COUNTERPART_EXACT
+    description = "condition replaced by the constant 1 (check omitted)"
+
+    def sites(self, compiled: CompiledProgram) -> list[MutationSite]:
+        out: list[MutationSite] = []
+        for function, stmt, path in iter_statements(compiled.tree):
+            if not isinstance(stmt, (ast.If, ast.While)):
+                continue
+            context = _CONTEXT_BY_STMT[type(stmt)]
+            # The machine tier's false->true still evaluates the original
+            # condition before forcing the branch, so the condition must
+            # be side-effect- and trap-free for the tiers to coincide.
+            if not _is_pure(stmt.cond):
+                continue
+            # A constant condition is not a check: dropping it would be a
+            # no-op mutation (same binary bytes).
+            if isinstance(stmt.cond, ast.IntLiteral):
+                continue
+            if _unique_check_site(compiled, function, stmt.line, context) is None:
+                continue
+            out.append(MutationSite(
+                function=function, line=stmt.line, path=path,
+                detail=f"{context} (...) -> (1)",
+            ))
+        return out
+
+    def apply(self, tree: ast.Program, site: MutationSite) -> None:
+        stmt = node_at(tree, site.path)
+        if not isinstance(stmt, (ast.If, ast.While)):
+            raise MutationError(f"no check to drop at {site.describe()}")
+        stmt.cond = ast.IntLiteral(stmt.line, 1)
+
+    def machine_counterpart(self, compiled: CompiledProgram,
+                            site: MutationSite) -> MachineFault | None:
+        stmt = node_at(compiled.tree, site.path)
+        context = _CONTEXT_BY_STMT.get(type(stmt))
+        if context is None:
+            return None
+        anchor = _unique_check_site(compiled, site.function, site.line, context)
+        if anchor is None:
+            return None
+        return _cond_patch(
+            compiled, anchor, COND_ALWAYS,
+            error_type="false->true", error_label=self.label,
+            klass=CHECKING_CLASS,
+        )
+
+
+# -- algorithm operators -----------------------------------------------------
+
+class BranchSwap(MutationOperator):
+    name = "branch-swap"
+    odc = DefectType.ALGORITHM
+    label = "wrong branch"
+    counterpart = COUNTERPART_APPROXIMATE
+    description = "then/else branches of an if exchanged"
+
+    def sites(self, compiled: CompiledProgram) -> list[MutationSite]:
+        out: list[MutationSite] = []
+        for function, stmt, path in iter_statements(compiled.tree):
+            if isinstance(stmt, ast.If) and stmt.other is not None:
+                out.append(MutationSite(
+                    function=function, line=stmt.line, path=path,
+                    detail="if then/else swapped",
+                ))
+        return out
+
+    def apply(self, tree: ast.Program, site: MutationSite) -> None:
+        stmt = node_at(tree, site.path)
+        if not isinstance(stmt, ast.If) or stmt.other is None:
+            raise MutationError(f"no two-armed if at {site.describe()}")
+        stmt.then, stmt.other = stmt.other, stmt.then
+
+    def machine_counterpart(self, compiled: CompiledProgram,
+                            site: MutationSite) -> MachineFault | None:
+        # Best the Table-3 vocabulary offers: force the branch one way
+        # (true->false).  Right whenever the condition held, wrong on
+        # every run where it ever failed — the measured divergence is the
+        # point.
+        anchor = _unique_check_site(compiled, site.function, site.line, "if")
+        if anchor is None:
+            return None
+        assert anchor.address is not None
+        return _nop_anchor(
+            compiled, anchor.address, site.function, site.line,
+            error_type="true->false", error_label=self.label,
+            klass=ALGORITHM_CLASS,
+        )
+
+
+class CallOmit(MutationOperator):
+    name = "call-omit"
+    odc = DefectType.ALGORITHM
+    label = "missing call"
+    counterpart = COUNTERPART_APPROXIMATE
+    description = "call statement deleted"
+
+    def sites(self, compiled: CompiledProgram) -> list[MutationSite]:
+        out: list[MutationSite] = []
+        for function, stmt, path in iter_statements(compiled.tree):
+            if (isinstance(stmt, ast.ExprStatement)
+                    and isinstance(stmt.expr, ast.Call)):
+                out.append(MutationSite(
+                    function=function, line=stmt.line, path=path,
+                    detail=f"call {stmt.expr.name}(...) deleted",
+                ))
+        return out
+
+    def apply(self, tree: ast.Program, site: MutationSite) -> None:
+        stmt = node_at(tree, site.path)
+        if not (isinstance(stmt, ast.ExprStatement)
+                and isinstance(stmt.expr, ast.Call)):
+            raise MutationError(f"no call statement at {site.describe()}")
+        replace_at(tree, site.path, ast.Block(stmt.line, []))
+
+    def machine_counterpart(self, compiled: CompiledProgram,
+                            site: MutationSite) -> MachineFault | None:
+        anchor = _unique_statement_anchor(compiled, site.function, site.line, "expr")
+        if anchor is None or anchor.address is None:
+            return None
+        return _nop_anchor(
+            compiled, anchor.address, site.function, site.line,
+            error_type="nop-statement", error_label=self.label,
+            klass=ALGORITHM_CLASS,
+        )
+
+
+class CallDup(MutationOperator):
+    name = "call-dup"
+    odc = DefectType.ALGORITHM
+    label = "extra call"
+    counterpart = COUNTERPART_NONE
+    description = "call statement duplicated"
+
+    def sites(self, compiled: CompiledProgram) -> list[MutationSite]:
+        out: list[MutationSite] = []
+        for function, stmt, path in iter_statements(compiled.tree):
+            if not (isinstance(stmt, ast.ExprStatement)
+                    and isinstance(stmt.expr, ast.Call)):
+                continue
+            attr, index = path[-1]
+            if attr != "statements" or index is None:
+                continue  # duplication needs a statement-list slot
+            out.append(MutationSite(
+                function=function, line=stmt.line, path=path,
+                detail=f"call {stmt.expr.name}(...) duplicated",
+            ))
+        return out
+
+    def apply(self, tree: ast.Program, site: MutationSite) -> None:
+        parent: object = tree
+        for attr, index in site.path[:-1]:
+            parent = getattr(parent, attr)
+            if index is not None:
+                parent = parent[index]
+        attr, index = site.path[-1]
+        if attr != "statements" or index is None:
+            raise MutationError(f"no statement list at {site.describe()}")
+        statements = getattr(parent, attr)
+        statements.insert(index + 1, copy.deepcopy(statements[index]))
+
+    # machine_counterpart stays None: machine-level SWIFI can corrupt or
+    # suppress existing instructions but cannot add new ones — exactly the
+    # paper's argument for why extra-code faults are not emulable.
+
+
+class BlockOmit(MutationOperator):
+    name = "block-omit"
+    odc = DefectType.FUNCTION
+    label = "missing block"
+    counterpart = COUNTERPART_APPROXIMATE
+    description = "whole if/while/for construct deleted"
+
+    def sites(self, compiled: CompiledProgram) -> list[MutationSite]:
+        out: list[MutationSite] = []
+        for function, stmt, path in iter_statements(compiled.tree):
+            if isinstance(stmt, (ast.If, ast.While, ast.For)):
+                kind = _CONTEXT_BY_STMT[type(stmt)]
+                out.append(MutationSite(
+                    function=function, line=stmt.line, path=path,
+                    detail=f"{kind} construct deleted",
+                ))
+        return out
+
+    def apply(self, tree: ast.Program, site: MutationSite) -> None:
+        stmt = node_at(tree, site.path)
+        if not isinstance(stmt, (ast.If, ast.While, ast.For)):
+            raise MutationError(f"no compound statement at {site.describe()}")
+        replace_at(tree, site.path, ast.Block(stmt.line, []))
+
+    def machine_counterpart(self, compiled: CompiledProgram,
+                            site: MutationSite) -> MachineFault | None:
+        stmt = node_at(compiled.tree, site.path)
+        kind = _CONTEXT_BY_STMT.get(type(stmt))
+        if kind is None:
+            return None
+        anchor = _unique_statement_anchor(compiled, site.function, site.line, kind)
+        if anchor is None or anchor.address is None:
+            return None
+        return _nop_anchor(
+            compiled, anchor.address, site.function, site.line,
+            error_type="nop-statement", error_label=self.label,
+            klass=FUNCTION_CLASS,
+        )
+
+
+# -- registry ----------------------------------------------------------------
+
+OPERATORS: tuple[MutationOperator, ...] = (
+    AssignPlusOne(),
+    AssignMinusOne(),
+    AssignOmit(),
+    BoundSwap(),
+    CheckInvert(),
+    CheckDrop(),
+    BranchSwap(),
+    CallOmit(),
+    CallDup(),
+    BlockOmit(),
+)
+
+OPERATORS_BY_NAME: dict[str, MutationOperator] = {op.name: op for op in OPERATORS}
+
+
+def get_operator(name: str) -> MutationOperator:
+    try:
+        return OPERATORS_BY_NAME[name]
+    except KeyError:
+        raise MutationError(f"unknown mutation operator {name!r}") from None
+
+
+def operators_for_class(klass: str) -> list[MutationOperator]:
+    if klass not in MUTATION_CLASSES:
+        raise MutationError(f"unknown mutation class {klass!r}")
+    return [op for op in OPERATORS if op.klass == klass]

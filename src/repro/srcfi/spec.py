@@ -1,0 +1,73 @@
+"""The source-tier injection spec.
+
+A :class:`SourceFault` is the ``tier="source"`` member of the unified
+:class:`repro.swifi.InjectionSpec` hierarchy: instead of a machine-level
+trigger/action program, it names a mutation operator and a site ordinal
+within that operator's deterministic site enumeration.  Realization
+(:func:`repro.srcfi.mutator.realize_source_fault`) turns it into a mutant
+binary; campaigns then run the mutant fault-free through the exact same
+record pipeline machine-tier injections use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..swifi.spec import InjectionSpec, TIER_SOURCE
+
+
+@dataclass(frozen=True)
+class SourceFault(InjectionSpec):
+    """One source-level fault: (operator, site ordinal).
+
+    ``site_index`` indexes the operator's site list for the target
+    program (wrapping, so any non-negative ordinal is valid).  Metadata
+    rides along into every :class:`repro.swifi.RunRecord` the fault
+    produces, exactly like :class:`repro.swifi.MachineFault` metadata.
+    """
+
+    operator: str
+    site_index: int
+    metadata: tuple[tuple[str, object], ...] = field(default=())
+
+    tier = TIER_SOURCE
+
+    @property
+    def fault_id(self) -> str:
+        return f"sf:{self.operator}:{self.site_index}"
+
+    @property
+    def spec_id(self) -> str:
+        return self.fault_id
+
+    @property
+    def meta(self) -> dict[str, object]:
+        return dict(self.metadata)
+
+    def with_metadata(self, **extra: object) -> "SourceFault":
+        merged = dict(self.metadata)
+        merged.update(extra)
+        return replace(self, metadata=tuple(merged.items()))
+
+    def describe(self) -> str:
+        where = ""
+        meta = self.meta
+        if "function" in meta and "line" in meta:
+            where = f" at {meta['function']}:{meta['line']}"
+        return f"{self.fault_id}{where} [source tier]"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "tier": TIER_SOURCE,
+            "operator": self.operator,
+            "site_index": self.site_index,
+            "metadata": [[key, value] for key, value in self.metadata],
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "SourceFault":
+        return SourceFault(
+            operator=payload["operator"],
+            site_index=payload["site_index"],
+            metadata=tuple((key, value) for key, value in payload.get("metadata", [])),
+        )

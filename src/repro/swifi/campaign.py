@@ -31,9 +31,16 @@ from ..machine.loader import boot
 from ..machine.machine import ENGINE_BLOCK, ENGINE_SIMPLE, ENGINES
 from ..observability import trace as _trace
 from ..persist import atomic_write_json
-from .faults import FaultSpec
+from .faults import MachineFault
 from .injector import InjectionSession
 from .outcomes import MODE_ORDER, FailureMode, classify
+from .spec import (
+    InjectionSpec,
+    LegacyCampaignAPIWarning,
+    TIER_MACHINE,
+    TIER_SOURCE,
+    TIERS,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..machine.loader import Executable
@@ -60,15 +67,10 @@ class CampaignError(RuntimeError):
     """Raised when the fault-free program disagrees with its oracle."""
 
 
-class LegacyCampaignAPIWarning(DeprecationWarning):
-    """Campaign execution options passed as loose keyword arguments.
-
-    ``CampaignRunner.run(faults, jobs=..., journal_dir=..., ...)`` still
-    works, but the supported spelling is
-    ``CampaignRunner.run(faults, config=CampaignConfig(...))``.  Internal
-    callers must use the config form; CI promotes this warning to an
-    error outside the shim's own tests.
-    """
+# LegacyCampaignAPIWarning historically lived here; it moved to
+# repro.swifi.spec when the legacy FaultSpec/FaultDescriptor constructor
+# shims started emitting it too.  Re-exported so existing warning filters
+# keyed on "repro.swifi.campaign.LegacyCampaignAPIWarning" keep working.
 
 
 @dataclass(frozen=True)
@@ -107,7 +109,12 @@ class CampaignConfig:
       :class:`repro.planning.PlanningDivergence` on any mismatch
       (``1.0`` in the CI smoke job keeps the planner honest);
     * ``budget_factor``/``min_budget`` — override the runner's hang
-      budget calibration (``None`` keeps the runner's values).
+      budget calibration (``None`` keeps the runner's values);
+    * ``tier`` — which injection backend realizes the fault list:
+      ``"machine"`` arms :class:`MachineFault` specs on the original
+      binary (the paper's SWIFI tool), ``"source"`` compiles each
+      :class:`repro.srcfi.SourceFault` mutation into a mutant binary and
+      runs it fault-free through the same record pipeline.
 
     Results are bit-identical across every combination of these options.
     """
@@ -127,8 +134,13 @@ class CampaignConfig:
     memoize: bool = False
     memo_dir: str | None = None
     plan_verify: float = 0.0
+    tier: str = TIER_MACHINE
 
     def __post_init__(self) -> None:
+        if self.tier not in TIERS:
+            raise ValueError(
+                f"tier must be one of {TIERS}, got {self.tier!r}"
+            )
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
         if self.snapshot not in SNAPSHOT_POLICIES:
@@ -197,7 +209,7 @@ class RunRecord:
     def to_dict(self) -> dict[str, object]:
         """Schema-v2 payload: metadata as an ordered list of [key, value].
 
-        Metadata order is part of the fault's identity (``FaultSpec`` keeps
+        Metadata order is part of the fault's identity (``MachineFault`` keeps
         it as a tuple of pairs), so serialising through a plain JSON object
         and re-sorting on load — the schema-v1 behaviour — silently
         reordered it and broke record round-trip equality.
@@ -325,7 +337,7 @@ class CampaignResult:
 
 def execute_injection_run(
     executable: "Executable",
-    spec: FaultSpec | None,
+    spec: MachineFault | None,
     case: InputCase,
     *,
     budget: int,
@@ -475,7 +487,7 @@ class CampaignRunner:
 
     # ------------------------------------------------------------------
 
-    def run_one(self, spec: FaultSpec | None, case: InputCase) -> RunRecord:
+    def run_one(self, spec: MachineFault | None, case: InputCase) -> RunRecord:
         """One injection run: fresh boot, arm, execute, classify."""
         return execute_injection_run(
             self.compiled.executable,
@@ -500,7 +512,7 @@ class CampaignRunner:
 
     def run(
         self,
-        faults: list[FaultSpec],
+        faults: "list[InjectionSpec]",
         progress: Callable[[int, int], None] | None = None,
         *,
         config: CampaignConfig | None = None,
@@ -546,6 +558,14 @@ class CampaignRunner:
             self.engine = config.engine
             # Budgets are engine-independent (instret is bit-identical),
             # so calibrations from a previous engine remain valid.
+
+        if config.tier == TIER_SOURCE:
+            # Source-tier faults are AST mutations: each one compiles to
+            # a mutant binary that runs fault-free through the same
+            # record pipeline.  Lazy import: srcfi sits above swifi.
+            from ..srcfi.campaign import run_source_campaign
+
+            return run_source_campaign(self, faults, config, progress)
 
         if (
             config.jobs == 1

@@ -25,8 +25,11 @@ This module encodes exactly that decomposition:
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Union
+
+from .spec import InjectionSpec, LegacyCampaignAPIWarning, TIER_MACHINE
 
 # ---------------------------------------------------------------------------
 # What: corruptions
@@ -268,8 +271,8 @@ MODE_TRAP = "trap"              # inserted trap instructions (unlimited, intrusi
 
 
 @dataclass(frozen=True)
-class FaultSpec:
-    """Everything the injector needs for one fault."""
+class MachineFault(InjectionSpec):
+    """Everything the injector needs for one machine-tier fault."""
 
     fault_id: str
     trigger: Trigger
@@ -278,6 +281,8 @@ class FaultSpec:
     mode: str = MODE_BREAKPOINT
     metadata: tuple[tuple[str, object], ...] = ()
 
+    tier = TIER_MACHINE
+
     def __post_init__(self) -> None:
         if self.mode not in (MODE_BREAKPOINT, MODE_TRAP):
             raise ValueError(f"unknown injection mode {self.mode!r}")
@@ -285,10 +290,14 @@ class FaultSpec:
             raise ValueError("a fault needs at least one action")
 
     @property
+    def spec_id(self) -> str:
+        return self.fault_id
+
+    @property
     def meta(self) -> dict[str, object]:
         return dict(self.metadata)
 
-    def with_metadata(self, **extra: object) -> "FaultSpec":
+    def with_metadata(self, **extra: object) -> "MachineFault":
         merged = dict(self.metadata)
         merged.update(extra)
         return replace(self, metadata=tuple(sorted(merged.items())))
@@ -301,7 +310,26 @@ class FaultSpec:
         )
 
 
-def probe(probe_id: str, address: int, mode: str = MODE_BREAKPOINT) -> FaultSpec:
+class FaultSpec(MachineFault):
+    """Deprecated pre-tier spelling of :class:`MachineFault`.
+
+    Constructing one works exactly like ``MachineFault`` but emits
+    :class:`LegacyCampaignAPIWarning`; every consumer accepts either
+    (``FaultSpec`` *is a* ``MachineFault``).
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "FaultSpec is the legacy name of the machine-tier injection "
+            "spec; construct repro.swifi.MachineFault (or a srcfi "
+            "SourceFault for the source tier) instead",
+            LegacyCampaignAPIWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
+
+
+def probe(probe_id: str, address: int, mode: str = MODE_BREAKPOINT) -> MachineFault:
     """An *observation probe*: a trigger that counts but corrupts nothing.
 
     The corruption is the identity (xor 0), so arming a probe measures how
@@ -311,7 +339,7 @@ def probe(probe_id: str, address: int, mode: str = MODE_BREAKPOINT) -> FaultSpec
     consume debug-unit resources exactly like real faults: at most two can
     ride the breakpoint registers.
     """
-    spec = FaultSpec(
+    spec = MachineFault(
         fault_id=probe_id,
         trigger=OpcodeFetch(address),
         actions=(Action(FetchedWord(), BitFlip(0)),),

@@ -31,7 +31,7 @@ from .faults import (
     Action,
     BitFlip,
     CodeWord,
-    FaultSpec,
+    MachineFault,
     FetchedWord,
     OpcodeFetch,
     RegisterTarget,
@@ -75,7 +75,7 @@ def generate_hardware_fault(
     rng: random.Random,
     model: HardwareFaultModel | None = None,
     fault_id: str | None = None,
-) -> FaultSpec:
+) -> MachineFault:
     """One random hardware fault against *compiled*."""
     model = model or HardwareFaultModel()
     klass = rng.choice(model.classes)
@@ -85,7 +85,7 @@ def generate_hardware_fault(
 
     if klass == HW_REGISTER:
         register = rng.randrange(1, 32)  # r0 is hardwired zero
-        spec = FaultSpec(
+        spec = MachineFault(
             identifier,
             Temporal(rng.randrange(1, model.temporal_window)),
             (Action(RegisterTarget(register), BitFlip(mask)),),
@@ -95,7 +95,7 @@ def generate_hardware_fault(
         data_base = compiled.executable.data_base
         data_size = max(4, compiled.executable.data_size & ~3)
         address = data_base + 4 * rng.randrange(data_size // 4)
-        spec = FaultSpec(
+        spec = MachineFault(
             identifier,
             Temporal(rng.randrange(1, model.temporal_window)),
             (Action(CodeWord(address), BitFlip(mask)),),  # debug-port word write
@@ -103,7 +103,7 @@ def generate_hardware_fault(
         )
     elif klass == HW_CODE:
         address = code_base + 4 * rng.randrange((code_end - code_base) // 4)
-        spec = FaultSpec(
+        spec = MachineFault(
             identifier,
             Temporal(rng.randrange(1, model.temporal_window)),
             (Action(CodeWord(address), BitFlip(mask)),),
@@ -111,7 +111,7 @@ def generate_hardware_fault(
         )
     else:  # HW_BUS: transient corruption of one random instruction fetch
         address = code_base + 4 * rng.randrange((code_end - code_base) // 4)
-        spec = FaultSpec(
+        spec = MachineFault(
             identifier,
             OpcodeFetch(address),
             (Action(FetchedWord(), BitFlip(mask)),),
@@ -131,7 +131,7 @@ def generate_hardware_fault_set(
     count: int,
     rng: random.Random,
     model: HardwareFaultModel | None = None,
-) -> list[FaultSpec]:
+) -> list[MachineFault]:
     """A population of *count* random hardware faults."""
     return [
         generate_hardware_fault(compiled, rng, model, fault_id=f"hw:{compiled.name}:{index}")

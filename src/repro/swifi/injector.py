@@ -33,7 +33,7 @@ from .faults import (
     Action,
     CodeWord,
     DataAccess,
-    FaultSpec,
+    MachineFault,
     FetchedWord,
     LoadValue,
     MemoryWord,
@@ -59,12 +59,12 @@ class InjectionSession:
         self.activations: dict[str, int] = {}
         self.injections: dict[str, int] = {}
         self.first_injection_instret: dict[str, int] = {}
-        self._temporal: list[FaultSpec] = []
-        self._armed: list[FaultSpec] = []
+        self._temporal: list[MachineFault] = []
+        self._armed: list[MachineFault] = []
 
     # ------------------------------------------------------------------
 
-    def arm(self, spec: FaultSpec) -> None:
+    def arm(self, spec: MachineFault) -> None:
         """Program the debug unit (or the temporal queue) for *spec*.
 
         Raises :class:`DebugResourceError` when breakpoint-register mode
@@ -101,7 +101,7 @@ class InjectionSession:
             raise InjectionError(f"unknown trigger {trigger!r}")
         self._armed.append(spec)
 
-    def arm_all(self, specs: list[FaultSpec]) -> None:
+    def arm_all(self, specs: list[MachineFault]) -> None:
         for spec in specs:
             self.arm(spec)
 
@@ -146,7 +146,7 @@ class InjectionSession:
         if fault_id not in self.first_injection_instret:
             self.first_injection_instret[fault_id] = self.machine.instret
 
-    def _apply_actions(self, spec: FaultSpec, core: "Core", word: int | None) -> int | None:
+    def _apply_actions(self, spec: MachineFault, core: "Core", word: int | None) -> int | None:
         """Apply every action; return the substitute fetched word, if any."""
         self._note_injection(spec.fault_id)
         machine = self.machine
@@ -172,7 +172,7 @@ class InjectionSession:
                 raise InjectionError(f"unknown location {location!r}")
         return substitute
 
-    def _make_fetch_handler(self, spec: FaultSpec):
+    def _make_fetch_handler(self, spec: MachineFault):
         fault_id = spec.fault_id
         when = spec.when
 
@@ -184,7 +184,7 @@ class InjectionSession:
 
         return on_fetch
 
-    def _make_data_handler(self, spec: FaultSpec):
+    def _make_data_handler(self, spec: MachineFault):
         fault_id = spec.fault_id
         when = spec.when
 

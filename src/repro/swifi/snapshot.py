@@ -63,7 +63,7 @@ from .campaign import (
     RunRecord,
     execute_injection_run,
 )
-from .faults import MODE_BREAKPOINT, DataAccess, FaultSpec, OpcodeFetch, Temporal
+from .faults import MODE_BREAKPOINT, DataAccess, MachineFault, OpcodeFetch, Temporal
 from .injector import InjectionSession
 from .outcomes import classify
 
@@ -94,7 +94,7 @@ class SnapshotPoint(Exception):
         self.core = core
 
 
-def trigger_events(spec: FaultSpec) -> TriggerKey | None:
+def trigger_events(spec: MachineFault) -> TriggerKey | None:
     """The trigger's watch events, or ``None`` when ineligible.
 
     Eligible are spatial triggers armed without touching machine state:
@@ -116,7 +116,7 @@ def trigger_events(spec: FaultSpec) -> TriggerKey | None:
     return None
 
 
-def ineligible_reason(spec: FaultSpec, num_cores: int) -> str | None:
+def ineligible_reason(spec: MachineFault, num_cores: int) -> str | None:
     """Why the fast path must decline *spec* up front, or ``None``.
 
     One of the :data:`repro.observability.trace.FALLBACK_REASONS`:
@@ -235,7 +235,7 @@ class CaseTrace:
 
     # -- fast-path runs ------------------------------------------------
 
-    def _dormant_record(self, spec: FaultSpec) -> RunRecord:
+    def _dormant_record(self, spec: MachineFault) -> RunRecord:
         golden = self.golden
         assert golden is not None
         return RunRecord(
@@ -252,7 +252,7 @@ class CaseTrace:
         )
 
     def run_fast(
-        self, spec: FaultSpec, key: TriggerKey, budget: int, quantum: int
+        self, spec: MachineFault, key: TriggerKey, budget: int, quantum: int
     ) -> RunRecord | None:
         """One injection run from the trigger's checkpoint; None on miss."""
         snapshot = self.snapshots.get(key)
@@ -336,7 +336,7 @@ class SnapshotCache:
         #: process, so a plain attribute is race-free).
         self.last_path: tuple[str, str | None] = (_trace.PATH_FRESH, None)
 
-    def wants(self, spec: FaultSpec) -> bool:
+    def wants(self, spec: MachineFault) -> bool:
         """Whether the fast path may handle *spec* (it can still miss)."""
         return self.num_cores == 1 and trigger_events(spec) is not None
 
@@ -350,7 +350,7 @@ class SnapshotCache:
             self._traces[case.case_id] = trace
         return trace
 
-    def execute(self, spec: FaultSpec, case: InputCase, budget: int) -> RunRecord | None:
+    def execute(self, spec: MachineFault, case: InputCase, budget: int) -> RunRecord | None:
         """Fast-path record for one run, or ``None`` to fall back."""
         reason = ineligible_reason(spec, self.num_cores)
         if reason is not None:

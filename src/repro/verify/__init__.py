@@ -20,7 +20,12 @@ from .oracle import (
     full_matrix,
     run_state,
 )
-from .sampler import FaultDescriptor, SamplerError, sample_descriptors
+from .sampler import (
+    FaultDescriptor,
+    MachineFaultRecipe,
+    SamplerError,
+    sample_descriptors,
+)
 from .shrinker import ShrinkResult, shrink_case
 
 __all__ = [
@@ -31,6 +36,7 @@ __all__ = [
     "FuzzConfig",
     "FuzzReport",
     "GenProgram",
+    "MachineFaultRecipe",
     "MatrixConfig",
     "SamplerError",
     "ShrinkResult",

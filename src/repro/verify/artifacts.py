@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from .generator import GenProgram
-from .sampler import FaultDescriptor
+from .sampler import MachineFaultRecipe
 from ..swifi.campaign import InputCase
 
 #: Bump when the artifact layout changes incompatibly.
@@ -60,7 +60,7 @@ def _serialize_case(case: InputCase) -> dict:
 
 
 def write_artifact(directory: Path, *, ordinal: int, divergence, program: GenProgram,
-                   descriptor: FaultDescriptor | None, case: InputCase,
+                   descriptor: MachineFaultRecipe | None, case: InputCase,
                    shrink=None) -> list[Path]:
     """Persist one divergence; returns the written paths (json first)."""
     directory = Path(directory)
@@ -100,7 +100,7 @@ class LoadedArtifact:
     payload: dict
     source: str
     case: InputCase
-    descriptor: FaultDescriptor | None
+    descriptor: MachineFaultRecipe | None
     config_a: "MatrixConfig"
     config_b: "MatrixConfig"
     tier: str
@@ -117,7 +117,7 @@ def load_artifact(path: str | Path) -> LoadedArtifact:
     raw_case = payload["case"]
     case = InputCase(raw_case["case_id"], raw_case["pokes"], b"")
     raw_descriptor = payload.get("descriptor")
-    descriptor = (FaultDescriptor.from_dict(raw_descriptor)
+    descriptor = (MachineFaultRecipe.from_dict(raw_descriptor)
                   if raw_descriptor is not None else None)
     divergence = payload["divergence"]
     return LoadedArtifact(

@@ -20,10 +20,27 @@ On the first divergence for a program the shrinker
 artifact is written (:mod:`repro.verify.artifacts`).  The campaign stops
 after ``cases`` state-tier comparisons, when the wall-clock budget runs
 out, or after ``max_divergences`` distinct failures.
+
+``FuzzConfig(tier="source")`` fuzzes the source tier instead: the same
+generated programs are mutated through :mod:`repro.srcfi` operators,
+every mutant binary must be engine-conformant (cross-engine state
+digests), reverting the mutation must restore a bit-identical binary,
+and the record tier compares source-campaign records across the
+{engine} x {jobs} matrix (snapshot and planner axes are machine-only).
+Source-tier divergences are reported without shrinking — the shrinker
+and replay artifacts are built around machine fault descriptors.
+
+With ``journal_dir`` set, every cleanly finished program appends one
+JSONL entry; re-running with ``resume=True`` skips those programs while
+keeping their counts, so a killed fuzz campaign picks up where it
+stopped.  Programs that diverged are never journaled — they re-run on
+resume so shrinks and artifacts are regenerated.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import random
 import time
 from dataclasses import dataclass, field
@@ -33,6 +50,7 @@ from typing import Callable
 from .artifacts import write_artifact
 from .generator import generate_pokes, generate_program, GenProgram
 from .oracle import (
+    BASE_CONFIG,
     DEFAULT_JOBS_AXIS,
     DifferentialOracle,
     Divergence,
@@ -41,15 +59,24 @@ from .oracle import (
     full_matrix,
     run_state,
 )
-from .sampler import FaultDescriptor, SamplerError, sample_descriptors
+from .sampler import MachineFaultRecipe, SamplerError, sample_descriptors
 from .shrinker import ShrinkResult, shrink_case
 from ..lang import compile_source
-from ..machine.machine import ENGINE_SIMPLE
-from ..swifi.campaign import CampaignError, InputCase
+from ..machine.machine import ENGINE_SIMPLE, ENGINES
+from ..swifi.campaign import (
+    CampaignConfig,
+    CampaignError,
+    CampaignRunner,
+    InputCase,
+)
+from ..swifi.spec import TIER_MACHINE, TIER_SOURCE, TIERS
 
 #: Generous budget for the very first fault-free run of a fresh program
 #: (before we know its golden instruction count).
 GOLDEN_BUDGET = 2_000_000
+
+#: JSONL journal of cleanly finished programs (``journal_dir``).
+FUZZ_JOURNAL = "fuzz_journal.jsonl"
 
 
 @dataclass
@@ -68,6 +95,10 @@ class FuzzConfig:
     max_divergences: int = 5         # stop fuzzing after this many failures
     artifact_dir: str | Path | None = None
     progress: Callable[[str], None] | None = None
+    tier: str = TIER_MACHINE         # injection tier under test
+    journal_dir: str | Path | None = None
+    resume: bool = False             # skip journaled programs
+    trace: bool = False              # accepted for CLI uniformity; no spans here
 
 
 @dataclass
@@ -76,6 +107,7 @@ class FuzzReport:
 
     seed: int
     programs: int = 0
+    resumed_programs: int = 0
     state_cases: int = 0
     record_campaigns: int = 0
     total_runs: int = 0
@@ -96,6 +128,10 @@ class FuzzReport:
             f"runs={self.total_runs} elapsed={self.elapsed:.1f}s"
             + (" (stopped early: budget)" if self.stopped_early else ""),
         ]
+        if self.resumed_programs:
+            lines.append(
+                f"  resumed past {self.resumed_programs} journaled programs"
+            )
         if self.skipped_faults:
             lines.append(f"  skipped {self.skipped_faults} unrealizable fault descriptors")
         if not self.divergences:
@@ -160,7 +196,7 @@ def _golden_console(compiled, pokes) -> bytes:
     return bytes(machine.console)
 
 
-def realize_faults(compiled, descriptors: list[FaultDescriptor],
+def realize_faults(compiled, descriptors: list[MachineFaultRecipe],
                    golden_instructions: int):
     """(spec, descriptor) pairs for the realizable subset, skip count."""
     realized = []
@@ -175,11 +211,60 @@ def realize_faults(compiled, descriptors: list[FaultDescriptor],
     return realized, skipped
 
 
+# ---------------------------------------------------------------------------
+# Journal: cleanly finished programs, skipped on resume
+# ---------------------------------------------------------------------------
+
+
+def _open_journal(config: FuzzConfig) -> tuple[Path | None, dict[int, dict]]:
+    if config.journal_dir is None:
+        return None, {}
+    directory = Path(config.journal_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    journal = directory / FUZZ_JOURNAL
+    done: dict[int, dict] = {}
+    if config.resume and journal.exists():
+        with open(journal, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn tail write of a killed campaign
+                if (entry.get("type") == "program"
+                        and entry.get("seed") == config.seed
+                        and entry.get("tier") == config.tier):
+                    done[int(entry["index"])] = entry
+    return journal, done
+
+
+def _journal_program(journal: Path, config: FuzzConfig, index: int,
+                     report: FuzzReport, before: tuple) -> None:
+    entry = {
+        "type": "program",
+        "seed": config.seed,
+        "tier": config.tier,
+        "index": index,
+        "state_cases": report.state_cases - before[0],
+        "record_campaigns": report.record_campaigns - before[1],
+        "runs": report.total_runs - before[2],
+        "skipped": report.skipped_faults - before[3],
+    }
+    with open(journal, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry) + "\n")
+
+
 def run_fuzz(config: FuzzConfig) -> FuzzReport:
     """Run one seeded fuzz campaign; see the module docstring."""
+    if config.tier not in TIERS:
+        raise CampaignError(
+            f"tier must be one of {TIERS}, got {config.tier!r}"
+        )
     report = FuzzReport(seed=config.seed)
     clock = _Clock(config.time_budget)
-    matrix = full_matrix(config.jobs_axis) if config.record_tier else []
+    journal, done = _open_journal(config)
     index = 0
     while report.state_cases < config.cases:
         if clock.expired:
@@ -187,64 +272,25 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
             break
         if len(report.divergences) >= config.max_divergences:
             break
-        program = generate_program(config.seed, index)
-        compiled = compile_source(program.render(), program.name)
-        cases = build_cases(compiled, config.seed, index, config.inputs_per_program)
-        oracle = DifferentialOracle(compiled, cases, matrix=matrix)
-        report.programs += 1
-        program_diverged = False
-
-        # -- golden conformance: no fault, every engine -----------------
-        golden_instructions = 0
-        for case in cases:
-            divergence, digests = oracle.check_state(None, case, budget=GOLDEN_BUDGET)
-            golden_instructions = max(
-                golden_instructions, digests[ENGINE_SIMPLE].instructions
-            )
-            report.state_cases += 1
-            if divergence is not None:
-                _handle_divergence(config, report, program, None, case,
-                                   cases, divergence)
-                program_diverged = True
-                break
-        budget = default_budget(golden_instructions)
-
-        # -- state tier: every realized fault on every input ------------
-        faults = []
-        if not program_diverged:
-            rng = random.Random(f"repro.verify.faults:{config.seed}:{index}")
-            descriptors = sample_descriptors(rng, config.faults_per_program)
-            faults, skipped = realize_faults(compiled, descriptors,
-                                             golden_instructions)
-            report.skipped_faults += skipped
-            for spec, descriptor in faults:
-                for case in cases:
-                    if report.state_cases >= config.cases or clock.expired:
-                        break
-                    divergence, _ = oracle.check_state(spec, case, budget=budget)
-                    report.state_cases += 1
-                    if divergence is not None:
-                        _handle_divergence(config, report, program, descriptor,
-                                           case, cases, divergence)
-                        program_diverged = True
-                        break
-                if program_diverged:
-                    break
-
-        # -- record tier: the full configuration matrix -----------------
-        if config.record_tier and faults and not program_diverged \
-                and not clock.expired:
-            divergences = oracle.check_records([spec for spec, _ in faults])
-            report.record_campaigns += len(matrix)
-            for divergence in divergences:
-                descriptor = _descriptor_for(faults, divergence.fault_id)
-                case = _case_for(cases, divergence.case_id)
-                _handle_divergence(config, report, program, descriptor, case,
-                                   cases, divergence)
-                if len(report.divergences) >= config.max_divergences:
-                    break
-
-        report.total_runs += oracle.runs
+        if index in done:
+            entry = done[index]
+            report.programs += 1
+            report.resumed_programs += 1
+            report.state_cases += entry.get("state_cases", 0)
+            report.record_campaigns += entry.get("record_campaigns", 0)
+            report.total_runs += entry.get("runs", 0)
+            report.skipped_faults += entry.get("skipped", 0)
+            index += 1
+            continue
+        before = (report.state_cases, report.record_campaigns,
+                  report.total_runs, report.skipped_faults,
+                  len(report.divergences))
+        if config.tier == TIER_SOURCE:
+            _fuzz_source_program(config, report, clock, index)
+        else:
+            _fuzz_machine_program(config, report, clock, index)
+        if journal is not None and len(report.divergences) == before[4]:
+            _journal_program(journal, config, index, report, before)
         _emit(config, f"program {index}: {report.state_cases}/{config.cases} "
                       f"state cases, {len(report.divergences)} divergences")
         index += 1
@@ -252,7 +298,202 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
     return report
 
 
-def _descriptor_for(faults, fault_id: str) -> FaultDescriptor | None:
+# ---------------------------------------------------------------------------
+# Machine tier: sampled descriptors against the full configuration matrix
+# ---------------------------------------------------------------------------
+
+
+def _fuzz_machine_program(config: FuzzConfig, report: FuzzReport,
+                          clock: _Clock, index: int) -> None:
+    matrix = full_matrix(config.jobs_axis) if config.record_tier else []
+    program = generate_program(config.seed, index)
+    compiled = compile_source(program.render(), program.name)
+    cases = build_cases(compiled, config.seed, index, config.inputs_per_program)
+    oracle = DifferentialOracle(compiled, cases, matrix=matrix)
+    report.programs += 1
+    program_diverged = False
+
+    # -- golden conformance: no fault, every engine -----------------
+    golden_instructions = 0
+    for case in cases:
+        divergence, digests = oracle.check_state(None, case, budget=GOLDEN_BUDGET)
+        golden_instructions = max(
+            golden_instructions, digests[ENGINE_SIMPLE].instructions
+        )
+        report.state_cases += 1
+        if divergence is not None:
+            _handle_divergence(config, report, program, None, case,
+                               cases, divergence)
+            program_diverged = True
+            break
+    budget = default_budget(golden_instructions)
+
+    # -- state tier: every realized fault on every input ------------
+    faults = []
+    if not program_diverged:
+        rng = random.Random(f"repro.verify.faults:{config.seed}:{index}")
+        descriptors = sample_descriptors(rng, config.faults_per_program)
+        faults, skipped = realize_faults(compiled, descriptors,
+                                         golden_instructions)
+        report.skipped_faults += skipped
+        for spec, descriptor in faults:
+            for case in cases:
+                if report.state_cases >= config.cases or clock.expired:
+                    break
+                divergence, _ = oracle.check_state(spec, case, budget=budget)
+                report.state_cases += 1
+                if divergence is not None:
+                    _handle_divergence(config, report, program, descriptor,
+                                       case, cases, divergence)
+                    program_diverged = True
+                    break
+            if program_diverged:
+                break
+
+    # -- record tier: the full configuration matrix -----------------
+    if config.record_tier and faults and not program_diverged \
+            and not clock.expired:
+        divergences = oracle.check_records([spec for spec, _ in faults])
+        report.record_campaigns += len(matrix)
+        for divergence in divergences:
+            descriptor = _descriptor_for(faults, divergence.fault_id)
+            case = _case_for(cases, divergence.case_id)
+            _handle_divergence(config, report, program, descriptor, case,
+                               cases, divergence)
+            if len(report.divergences) >= config.max_divergences:
+                break
+
+    report.total_runs += oracle.runs
+
+
+# ---------------------------------------------------------------------------
+# Source tier: every mutant binary must itself be engine-conformant
+# ---------------------------------------------------------------------------
+
+
+def _source_matrix(jobs_axis: tuple[int, ...]) -> list[MatrixConfig]:
+    """The {engine} x {jobs} slice — snapshot/planner are machine-only."""
+    return [
+        MatrixConfig(engine=engine, jobs=jobs)
+        for engine in ENGINES
+        for jobs in jobs_axis
+        if MatrixConfig(engine=engine, jobs=jobs) != BASE_CONFIG
+    ]
+
+
+def _source_records(compiled, cases, faults, matrix_config: MatrixConfig):
+    runner = CampaignRunner(compiled, cases)
+    result = runner.run(
+        faults,
+        config=CampaignConfig(
+            jobs=matrix_config.jobs,
+            engine=matrix_config.engine,
+            tier=TIER_SOURCE,
+        ),
+    )
+    return result.records
+
+
+def _record_source_divergence(config: FuzzConfig, report: FuzzReport,
+                              divergence: Divergence) -> None:
+    """Append + announce; shrinker/artifacts are machine-descriptor tools."""
+    report.divergences.append(divergence)
+    _emit(config, f"divergence: {divergence.summary()}")
+
+
+def _fuzz_source_program(config: FuzzConfig, report: FuzzReport,
+                         clock: _Clock, index: int) -> None:
+    from ..srcfi import (
+        MutantCache,
+        SourceLocator,
+        SrcfiError,
+        realize_source_fault,
+        recompiled_identical,
+    )
+
+    program = generate_program(config.seed, index)
+    compiled = compile_source(program.render(), program.name)
+    cases = build_cases(compiled, config.seed, index, config.inputs_per_program)
+    oracle = DifferentialOracle(compiled, cases, matrix=[])
+    report.programs += 1
+
+    # -- golden conformance: identical to the machine tier -----------
+    golden_instructions = 0
+    for case in cases:
+        divergence, digests = oracle.check_state(None, case, budget=GOLDEN_BUDGET)
+        golden_instructions = max(
+            golden_instructions, digests[ENGINE_SIMPLE].instructions
+        )
+        report.state_cases += 1
+        if divergence is not None:
+            _record_source_divergence(config, report, divergence)
+            report.total_runs += oracle.runs
+            return
+    budget = default_budget(golden_instructions)
+    report.total_runs += oracle.runs
+
+    # -- revert oracle: recompiling the unmutated tree is bit-identical
+    if not recompiled_identical(compiled):
+        _record_source_divergence(config, report, Divergence(
+            tier="state", program=compiled.name, fault_id="revert",
+            case_id="*", config_a=BASE_CONFIG, config_b=BASE_CONFIG,
+            detail_a={"recompiled_identical": True},
+            detail_b={"recompiled_identical": False},
+            fields=["code", "data"],
+        ))
+        return
+
+    # -- sample + realize source faults ------------------------------
+    rng = random.Random(f"repro.verify.srcfaults:{config.seed}:{index}")
+    all_faults = SourceLocator(compiled).source_faults()
+    count = min(config.faults_per_program, len(all_faults))
+    sampled = rng.sample(all_faults, count) if count else []
+    mutants = []
+    cache = MutantCache()
+    for fault in sampled:
+        try:
+            mutants.append(realize_source_fault(compiled, fault, cache))
+        except SrcfiError:
+            report.skipped_faults += 1
+
+    # -- state tier: cross-engine conformance of every mutant binary -
+    program_diverged = False
+    for mutant in mutants:
+        mutant_oracle = DifferentialOracle(mutant.compiled, cases, matrix=[])
+        for case in cases:
+            if report.state_cases >= config.cases or clock.expired:
+                break
+            divergence, _ = mutant_oracle.check_state(None, case, budget=budget)
+            report.state_cases += 1
+            if divergence is not None:
+                divergence = dataclasses.replace(
+                    divergence, fault_id=mutant.fault.fault_id
+                )
+                _record_source_divergence(config, report, divergence)
+                program_diverged = True
+                break
+        report.total_runs += mutant_oracle.runs
+        if program_diverged:
+            break
+
+    # -- record tier: source campaigns across {engine} x {jobs} ------
+    if config.record_tier and mutants and not program_diverged \
+            and not clock.expired:
+        faults = [mutant.fault for mutant in mutants]
+        base_records = _source_records(compiled, cases, faults, BASE_CONFIG)
+        report.total_runs += len(base_records)
+        for matrix_config in _source_matrix(config.jobs_axis):
+            records = _source_records(compiled, cases, faults, matrix_config)
+            report.total_runs += len(records)
+            report.record_campaigns += 1
+            for divergence in oracle._compare(base_records, records,
+                                              matrix_config):
+                _record_source_divergence(config, report, divergence)
+            if len(report.divergences) >= config.max_divergences:
+                break
+
+
+def _descriptor_for(faults, fault_id: str) -> MachineFaultRecipe | None:
     for spec, descriptor in faults:
         if spec.fault_id == fault_id:
             return descriptor
@@ -272,7 +513,7 @@ def _case_for(cases: list[InputCase], case_id: str) -> InputCase:
 
 
 def _handle_divergence(config: FuzzConfig, report: FuzzReport,
-                       program: GenProgram, descriptor: FaultDescriptor | None,
+                       program: GenProgram, descriptor: MachineFaultRecipe | None,
                        case: InputCase, cases: list[InputCase],
                        divergence: Divergence) -> None:
     report.divergences.append(divergence)
@@ -312,7 +553,7 @@ def make_predicate(case: InputCase, divergence: Divergence):
     """
 
     def still_fails(program: GenProgram,
-                    descriptor: FaultDescriptor | None) -> bool:
+                    descriptor: MachineFaultRecipe | None) -> bool:
         try:
             compiled = compile_source(program.render(), program.name)
         except Exception:

@@ -38,7 +38,7 @@ from ..swifi.campaign import (
     SNAPSHOT_OFF,
     SNAPSHOT_POLICIES,
 )
-from ..swifi.faults import FaultSpec
+from ..swifi.faults import MachineFault
 from ..swifi.injector import InjectionSession
 
 #: The configuration matrix the conformance gate must hold over.
@@ -100,7 +100,7 @@ BASE_CONFIG = MatrixConfig()
 from ..planning.digest import StateDigest, machine_digest  # noqa: E402
 
 
-def run_state(executable, spec: FaultSpec | None, case: InputCase, *,
+def run_state(executable, spec: MachineFault | None, case: InputCase, *,
               budget: int, engine: str, quantum: int = 64) -> StateDigest:
     """One fresh-boot injection run with direct machine access."""
     machine = boot(executable, inputs=dict(case.pokes), engine=engine)
@@ -189,7 +189,7 @@ class DifferentialOracle:
 
     # -- state tier ------------------------------------------------------
 
-    def check_state(self, spec: FaultSpec | None, case: InputCase, *,
+    def check_state(self, spec: MachineFault | None, case: InputCase, *,
                     budget: int) -> tuple[Divergence | None, dict[str, StateDigest]]:
         """Cross-engine full-state comparison for one (fault, case).
 
@@ -226,7 +226,7 @@ class DifferentialOracle:
 
     # -- record tier -----------------------------------------------------
 
-    def check_records(self, faults: list[FaultSpec]) -> list[Divergence]:
+    def check_records(self, faults: list[MachineFault]) -> list[Divergence]:
         """Run the faults x cases campaign under every matrix config."""
         base_records = self._campaign(BASE_CONFIG, faults)
         divergences: list[Divergence] = []
@@ -237,7 +237,7 @@ class DifferentialOracle:
             divergences.extend(self._compare(base_records, records, config))
         return divergences
 
-    def _campaign(self, config: MatrixConfig, faults: list[FaultSpec]) -> list[RunRecord]:
+    def _campaign(self, config: MatrixConfig, faults: list[MachineFault]) -> list[RunRecord]:
         runner = CampaignRunner(self.compiled, self.cases)
         planned = config.planner == PLANNER_ON
         result = runner.run(

@@ -1,8 +1,11 @@
 """Randomized fault sampling for the differential fuzzer.
 
-A sampled fault is stored as a :class:`FaultDescriptor` — a small,
-JSON-serializable *recipe* rather than a concrete :class:`FaultSpec`.
-The descriptor names things structurally ("the k-th Table-3 checking
+A sampled fault is stored as a :class:`MachineFaultRecipe` — a small,
+JSON-serializable *recipe* rather than a concrete :class:`MachineFault`.
+The recipe is part of the unified :class:`repro.swifi.InjectionSpec`
+hierarchy (tier ``"machine"``); ``FaultDescriptor`` survives as a
+deprecated constructor shim.
+The recipe names things structurally ("the k-th Table-3 checking
 location", "the j-th divw/modw word in the code segment", "the global
 ``gout`` plus byte offset 8") and is *realized* against a compiled
 program on demand.  That indirection is what lets the shrinker edit the
@@ -30,6 +33,7 @@ from __future__ import annotations
 import hashlib
 import json
 import random
+import warnings
 from dataclasses import asdict, dataclass, replace
 
 from ..emulation import ASSIGNMENT_CLASS, CHECKING_CLASS, NotEmulableError
@@ -52,9 +56,9 @@ from ..swifi.faults import (
     CodeWord,
     Corruption,
     DataAccess,
-    FaultSpec,
     FetchedWord,
     LoadValue,
+    MachineFault,
     MemoryWord,
     MODE_BREAKPOINT,
     MODE_TRAP,
@@ -65,6 +69,7 @@ from ..swifi.faults import (
     Temporal,
     WhenPolicy,
 )
+from ..swifi.spec import InjectionSpec, LegacyCampaignAPIWarning, TIER_MACHINE
 
 _MEM_OPCODES = (OP_LWZ, OP_STW, OP_LBZ, OP_STB)
 
@@ -79,11 +84,14 @@ class SamplerError(ValueError):
 
 
 @dataclass(frozen=True)
-class FaultDescriptor:
-    """A portable recipe for one fault (see module docstring).
+class MachineFaultRecipe(InjectionSpec):
+    """A portable recipe for one machine-tier fault (see module docstring).
 
     Fields are a flat union over both kinds; unused fields stay at their
     defaults so ``asdict`` round-trips cleanly through JSON.
+    Realization (:meth:`realize`) is the single ordinal-wrapping
+    implementation — the legacy ``FaultDescriptor`` shim inherits it
+    rather than keeping a private copy.
     """
 
     kind: str                     # "table3" | "raw"
@@ -108,6 +116,8 @@ class FaultDescriptor:
     when_n: int = 2
     seed: int = 0                 # rng stream for table3 random-value types
 
+    tier = TIER_MACHINE
+
     # -- identity --------------------------------------------------------
 
     def fault_id(self) -> str:
@@ -116,17 +126,28 @@ class FaultDescriptor:
         ).hexdigest()[:12]
         return f"vf-{self.kind}-{digest}"
 
+    @property
+    def spec_id(self) -> str:
+        return self.fault_id()
+
+    def describe(self) -> str:
+        if self.kind == "table3":
+            return (f"{self.fault_id()}: table3 {self.klass} "
+                    f"location#{self.location_index} fault#{self.fault_offset}")
+        return (f"{self.fault_id()}: raw {self.trigger}/{self.target} "
+                f"{self.op} {self.operand:#x}")
+
     def to_dict(self) -> dict:
         return asdict(self)
 
     @staticmethod
-    def from_dict(payload: dict) -> "FaultDescriptor":
-        return FaultDescriptor(**payload)
+    def from_dict(payload: dict) -> "MachineFaultRecipe":
+        return MachineFaultRecipe(**payload)
 
     # -- realization -----------------------------------------------------
 
-    def realize(self, compiled, golden_instructions: int) -> FaultSpec:
-        """Build the concrete :class:`FaultSpec` for *compiled*.
+    def realize(self, compiled, golden_instructions: int) -> MachineFault:
+        """Build the concrete :class:`MachineFault` for *compiled*.
 
         Ordinals wrap modulo the candidate count so the descriptor stays
         realizable on shrunken program variants.  Raises
@@ -141,7 +162,7 @@ class FaultDescriptor:
             raise SamplerError(f"unknown descriptor kind {self.kind!r}")
         return replace(spec, fault_id=self.fault_id())
 
-    def _realize_table3(self, compiled) -> FaultSpec:
+    def _realize_table3(self, compiled) -> MachineFault:
         locator = FaultLocator(compiled)
         locations = locator.locations(self.klass)
         if not locations:
@@ -158,7 +179,7 @@ class FaultDescriptor:
             raise SamplerError(f"no faults at location {location!r}")
         return faults[self.fault_offset % len(faults)]
 
-    def _realize_raw(self, compiled, golden_instructions: int) -> FaultSpec:
+    def _realize_raw(self, compiled, golden_instructions: int) -> MachineFault:
         executable = compiled.executable
         code_words = _decode_code_words(executable)
         action = self._action()
@@ -168,14 +189,14 @@ class FaultDescriptor:
                 action = Action(RegisterTarget(self.register), action.corruption)
             action = self._fill_address(action, executable, code_words)
             at = max(1, (golden_instructions * self.instret_permille) // 1000)
-            return FaultSpec("raw", Temporal(at), (action,), when=when,
+            return MachineFault("raw", Temporal(at), (action,), when=when,
                              mode=MODE_BREAKPOINT)
         if self.trigger == "data":
             if isinstance(action.location, FetchedWord):
                 action = Action(LoadValue(), action.corruption)
             action = self._fill_address(action, executable, code_words)
             address = self._data_address(executable)
-            return FaultSpec(
+            return MachineFault(
                 "raw", DataAccess(address, on_load=self.on_load or not self.on_store,
                                   on_store=self.on_store),
                 (action,), when=when, mode=MODE_BREAKPOINT,
@@ -192,7 +213,7 @@ class FaultDescriptor:
                 # Self-corrupting instruction: persistent rewrite of the
                 # very word whose fetch triggered the fault.
                 action = Action(CodeWord(address), action.corruption)
-        return FaultSpec("raw", OpcodeFetch(address), (action,), when=when,
+        return MachineFault("raw", OpcodeFetch(address), (action,), when=when,
                          mode=self.mode)
 
     def _fill_address(self, action: Action, executable, code_words: list[int]) -> Action:
@@ -250,6 +271,24 @@ class FaultDescriptor:
         return base + 4 * (self.operand % 4 if name.endswith("arr") else 0)
 
 
+class FaultDescriptor(MachineFaultRecipe):
+    """Deprecated pre-tier spelling of :class:`MachineFaultRecipe`.
+
+    Constructing one works exactly like ``MachineFaultRecipe`` (identical
+    fields, identical ``fault_id`` digest, the same inherited
+    :meth:`realize`) but emits :class:`LegacyCampaignAPIWarning`.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "FaultDescriptor is the legacy name of the machine-tier fault "
+            "recipe; construct repro.verify.MachineFaultRecipe instead",
+            LegacyCampaignAPIWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
+
+
 def _decode_code_words(executable) -> list[int]:
     code = executable.code
     return [int.from_bytes(code[k:k + 4], "big") for k in range(0, len(code), 4)]
@@ -278,10 +317,10 @@ def _fetch_candidates(code_words: list[int], category: str) -> list[int]:
 #: (kind-weighted) sampling plan: roughly half Table-3 rule faults, half
 #: raw SWIFI corruptions, with the raw half biased toward the div/mem
 #: fetch categories and a sprinkle of trap-mode and temporal cases.
-def sample_descriptors(rng: random.Random, count: int) -> list[FaultDescriptor]:
+def sample_descriptors(rng: random.Random, count: int) -> list[MachineFaultRecipe]:
     """Draw *count* distinct fault descriptors from the seeded stream."""
     seen: set[str] = set()
-    out: list[FaultDescriptor] = []
+    out: list[MachineFaultRecipe] = []
     attempts = 0
     while len(out) < count and attempts < count * 20:
         attempts += 1
@@ -294,9 +333,9 @@ def sample_descriptors(rng: random.Random, count: int) -> list[FaultDescriptor]:
     return out
 
 
-def _sample_one(rng: random.Random) -> FaultDescriptor:
+def _sample_one(rng: random.Random) -> MachineFaultRecipe:
     if rng.random() < 0.45:
-        return FaultDescriptor(
+        return MachineFaultRecipe(
             kind="table3",
             klass=rng.choice((ASSIGNMENT_CLASS, CHECKING_CLASS)),
             location_index=rng.randrange(64),
@@ -323,7 +362,7 @@ def _sample_one(rng: random.Random) -> FaultDescriptor:
         operand = rng.choice((1, -1, 2, -2, 4, 0x100))
     else:
         operand = rng.getrandbits(32)
-    return FaultDescriptor(
+    return MachineFaultRecipe(
         kind="raw",
         trigger=trigger,
         category=rng.choice(("div", "mem", "mem", "any")),

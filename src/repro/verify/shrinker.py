@@ -31,14 +31,14 @@ from dataclasses import dataclass, replace
 from typing import Callable
 
 from .generator import GenProgram, Stmt
-from .sampler import FaultDescriptor
+from .sampler import MachineFaultRecipe
 from ..swifi.faults import MODE_BREAKPOINT
 
 #: Stop after this many predicate evaluations by default; each one costs
 #: a recompile plus a handful of machine runs.
 DEFAULT_MAX_CHECKS = 400
 
-Predicate = Callable[[GenProgram, "FaultDescriptor | None"], bool]
+Predicate = Callable[[GenProgram, "MachineFaultRecipe | None"], bool]
 
 
 @dataclass
@@ -46,7 +46,7 @@ class ShrinkResult:
     """The minimized case plus bookkeeping about the search."""
 
     program: GenProgram
-    descriptor: FaultDescriptor | None
+    descriptor: MachineFaultRecipe | None
     source: str
     statements_before: int
     statements_after: int
@@ -74,7 +74,7 @@ class _Budget:
         return True
 
 
-def shrink_case(program: GenProgram, descriptor: FaultDescriptor | None,
+def shrink_case(program: GenProgram, descriptor: MachineFaultRecipe | None,
                 still_fails: Predicate, *,
                 max_checks: int = DEFAULT_MAX_CHECKS) -> ShrinkResult:
     """Minimize *(program, descriptor)* under the *still_fails* predicate.
@@ -116,7 +116,7 @@ def shrink_case(program: GenProgram, descriptor: FaultDescriptor | None,
 # ---------------------------------------------------------------------------
 
 
-def _pass_remove_statements(prog: GenProgram, desc: FaultDescriptor,
+def _pass_remove_statements(prog: GenProgram, desc: MachineFaultRecipe,
                             still_fails: Predicate, budget: _Budget) -> bool:
     changed = False
     for body in prog.bodies():
@@ -136,7 +136,7 @@ def _pass_remove_statements(prog: GenProgram, desc: FaultDescriptor,
     return changed
 
 
-def _pass_flatten(prog: GenProgram, desc: FaultDescriptor,
+def _pass_flatten(prog: GenProgram, desc: MachineFaultRecipe,
                   still_fails: Predicate, budget: _Budget) -> bool:
     changed = False
     for body in prog.bodies():
@@ -156,7 +156,7 @@ def _pass_flatten(prog: GenProgram, desc: FaultDescriptor,
     return changed
 
 
-def _pass_drop_functions(prog: GenProgram, desc: FaultDescriptor,
+def _pass_drop_functions(prog: GenProgram, desc: MachineFaultRecipe,
                          still_fails: Predicate, budget: _Budget) -> bool:
     changed = False
     for position in range(len(prog.functions) - 1, -1, -1):
@@ -177,9 +177,9 @@ def _pass_drop_functions(prog: GenProgram, desc: FaultDescriptor,
 # ---------------------------------------------------------------------------
 
 
-def _descriptor_candidates(desc: FaultDescriptor | None) -> list[FaultDescriptor]:
+def _descriptor_candidates(desc: MachineFaultRecipe | None) -> list[MachineFaultRecipe]:
     """Simpler descriptors to try, most aggressive first."""
-    candidates: list[FaultDescriptor] = []
+    candidates: list[MachineFaultRecipe] = []
     if desc is None:
         return candidates
     if desc.when != "every":
@@ -199,9 +199,9 @@ def _descriptor_candidates(desc: FaultDescriptor | None) -> list[FaultDescriptor
     return candidates
 
 
-def _pass_simplify_descriptor(prog: GenProgram, desc: FaultDescriptor | None,
+def _pass_simplify_descriptor(prog: GenProgram, desc: MachineFaultRecipe | None,
                               still_fails: Predicate,
-                              budget: _Budget) -> tuple[FaultDescriptor | None, bool]:
+                              budget: _Budget) -> tuple[MachineFaultRecipe | None, bool]:
     changed = False
     progress = True
     while progress:

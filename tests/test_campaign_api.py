@@ -14,7 +14,7 @@ from repro.swifi import (
     CampaignResult,
     CampaignRunner,
     FailureMode,
-    FaultSpec,
+    MachineFault,
     InputCase,
     LegacyCampaignAPIWarning,
     OpcodeFetch,
@@ -42,7 +42,7 @@ def campaign():
     ]
     site = compiled.debug.assignments[0]
     faults = [
-        FaultSpec(
+        MachineFault(
             f"f{delta}", OpcodeFetch(site.address),
             (Action(StoreValue(), Arithmetic(delta)),),
         )

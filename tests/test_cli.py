@@ -91,7 +91,7 @@ class TestTraceCommand:
     def test_trace_report_renders_journal(self, capsys, tmp_path):
         from repro.lang import compile_source
         from repro.swifi import (
-            Action, Arithmetic, CampaignConfig, CampaignRunner, FaultSpec,
+            Action, Arithmetic, CampaignConfig, CampaignRunner, MachineFault,
             InputCase, OpcodeFetch, StoreValue,
         )
 
@@ -106,7 +106,7 @@ class TestTraceCommand:
         compiled = compile_source(source, "addone")
         cases = [InputCase("a", {"in_x": 4}, b"5")]
         site = compiled.debug.assignments[0]
-        faults = [FaultSpec("fetch", OpcodeFetch(site.address),
+        faults = [MachineFault("fetch", OpcodeFetch(site.address),
                             (Action(StoreValue(), Arithmetic(1)),))]
         journal_dir = str(tmp_path / "journal")
         CampaignRunner(compiled, cases).run(faults, config=CampaignConfig(
@@ -190,7 +190,7 @@ class TestPlanCommand:
 
         from repro.lang import compile_source
         from repro.swifi import (
-            Action, Arithmetic, CampaignConfig, CampaignRunner, FaultSpec,
+            Action, Arithmetic, CampaignConfig, CampaignRunner, MachineFault,
             InputCase, OpcodeFetch, StoreValue, Temporal,
         )
 
@@ -206,12 +206,12 @@ class TestPlanCommand:
         cases = [InputCase("a", {"in_x": 4}, b"5")]
         site = compiled.debug.assignments[0]
         faults = [
-            FaultSpec("fetch", OpcodeFetch(site.address),
+            MachineFault("fetch", OpcodeFetch(site.address),
                       (Action(StoreValue(), Arithmetic(1)),),
                       metadata=(("klass", "assignment"),)),
             # Triggers far beyond the golden instruction count: the
             # dormancy prover answers it without booting.
-            FaultSpec("late", Temporal(10_000_000),
+            MachineFault("late", Temporal(10_000_000),
                       (Action(StoreValue(), Arithmetic(1)),),
                       metadata=(("klass", "assignment"),)),
         ]
@@ -256,3 +256,94 @@ class TestVerifyCommand:
     def test_replay_missing_artifact_exits_2(self, capsys):
         assert main(["verify", "replay", "does/not/exist.json"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestTierFlag:
+    @pytest.mark.parametrize("argv", [
+        ["figures", "--tier", "bogus"],
+        ["verify", "fuzz", "--tier", "bogus"],
+        ["srcfi", "campaign", "--tier", "bogus"],
+    ])
+    def test_bad_tier_exits_2_naming_choices(self, capsys, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "machine" in err and "source" in err
+
+    def test_tier_defaults(self):
+        assert build_parser().parse_args(["figures"]).tier == "machine"
+        assert build_parser().parse_args(["verify", "fuzz"]).tier == "machine"
+        assert build_parser().parse_args(["srcfi", "campaign"]).tier == "source"
+
+
+class TestUniformFlags:
+    """--jobs/--journal-dir/--resume/--trace parse the same everywhere."""
+
+    @pytest.mark.parametrize("prefix", [
+        ["figures"],
+        ["verify", "fuzz"],
+        ["srcfi", "campaign"],
+        ["srcfi", "compare"],
+    ])
+    def test_uniform_flags_parse(self, prefix):
+        args = build_parser().parse_args(
+            prefix + ["--jobs", "2", "--journal-dir", "j",
+                      "--resume", "--trace"])
+        assert args.jobs == 2
+        assert args.journal_dir == "j"
+        assert args.resume and args.trace
+
+    @pytest.mark.parametrize("prefix", [
+        ["figures"],
+        ["verify", "fuzz"],
+        ["srcfi", "campaign"],
+        ["srcfi", "compare"],
+    ])
+    def test_non_positive_jobs_exits_2(self, capsys, prefix):
+        with pytest.raises(SystemExit) as excinfo:
+            main(prefix + ["--jobs", "0"])
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+
+class TestSrcfiCommand:
+    def test_sites_lists_mutation_points(self, capsys):
+        assert main(["srcfi", "sites", "JB.team6"]) == 0
+        out = capsys.readouterr().out
+        assert "mutation site" in out
+        assert "assign-plus-1" in out
+
+    def test_unknown_srcfi_subcommand_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["srcfi", "nope"])
+        assert excinfo.value.code == 2
+
+    def test_bad_class_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["srcfi", "campaign", "--classes", "cosmic"])
+        assert excinfo.value.code == 2
+        assert "algorithm" in capsys.readouterr().err
+
+    def test_campaign_prints_mode_tallies(self, capsys):
+        assert main(["srcfi", "campaign", "--programs", "JB.team6",
+                     "--classes", "checking", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "JB.team6/checking" in out
+        assert "correct=" in out
+
+    def test_compare_writes_artifacts(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "results")
+        assert main(["srcfi", "compare", "--programs", "JB.team6",
+                     "--max-sites", "2", "--no-real", "--quiet",
+                     "--scale", "0.3", "--out", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "ODC class" in out
+        assert (tmp_path / "results" / "srcfi_agreement.json").exists()
+        assert (tmp_path / "results" / "srcfi_agreement.txt").exists()
+
+    def test_fuzz_source_tier_runs_clean(self, capsys):
+        assert main(["verify", "fuzz", "--tier", "source", "--seed", "2",
+                     "--cases", "4", "--inputs", "1", "--faults", "2",
+                     "--jobs", "2", "--quiet"]) == 0
+        assert "no divergences" in capsys.readouterr().out

@@ -1,7 +1,7 @@
 """Tests for the fault locator: every Table-3 error type, behaviourally.
 
 A small program with a known output is compiled; for each error type the
-locator builds a FaultSpec, the injector runs it, and the observed output
+locator builds a MachineFault, the injector runs it, and the observed output
 must equal what the *source-level* mutation would produce — this is the
 core soundness property of the emulation layer.
 """

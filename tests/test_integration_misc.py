@@ -83,7 +83,7 @@ class TestHangClassification:
         runner = CampaignRunner(compiled, cases, budget_factor=3, min_budget=0)
         runner.calibrate()
         # Corrupt the loop bound register read: make in_n read as a huge value.
-        from repro.swifi import Action, FaultSpec, LoadValue, OpcodeFetch, SetValue
+        from repro.swifi import Action, MachineFault, LoadValue, OpcodeFetch, SetValue
 
         site = next(s for s in compiled.debug.checks if s.op == "<")
         # trigger at the compare's feeding load: use the bc anchor and
@@ -91,7 +91,7 @@ class TestHangClassification:
         from repro.swifi import DataAccess
 
         bound_address = compiled.executable.symbols["in_n"]
-        spec = FaultSpec(
+        spec = MachineFault(
             "huge-bound", DataAccess(bound_address, on_load=True),
             (Action(LoadValue(), SetValue(50_000_000)),),
         )

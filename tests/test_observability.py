@@ -34,7 +34,7 @@ from repro.swifi import (
     CampaignConfig,
     CampaignRunner,
     DataAccess,
-    FaultSpec,
+    MachineFault,
     InputCase,
     LoadValue,
     OpcodeFetch,
@@ -81,22 +81,22 @@ def tracing_off_after():
     trace_mod.take_completed()
 
 
-def fault_for(compiled, cause: str) -> FaultSpec:
+def fault_for(compiled, cause: str) -> MachineFault:
     """One fault whose every run takes exactly the given fallback cause."""
     site = compiled.debug.assignments[0]
     unused = compiled.executable.symbols["unused_global"]
     if cause == trace_mod.REASON_TEMPORAL:
-        return FaultSpec("temporal", Temporal(40),
+        return MachineFault("temporal", Temporal(40),
                          (Action(RegisterTarget(9), BitFlip(3)),),
                          when=WhenPolicy.once())
     if cause == trace_mod.REASON_TRAP_MODE:
-        return FaultSpec("trap-mode", OpcodeFetch(site.address),
+        return MachineFault("trap-mode", OpcodeFetch(site.address),
                          (Action(StoreValue(), Arithmetic(1)),), mode=MODE_TRAP)
     if cause == trace_mod.REASON_GOLDEN_EXIT:
-        return FaultSpec("dormant", DataAccess(unused, on_load=True),
+        return MachineFault("dormant", DataAccess(unused, on_load=True),
                          (Action(LoadValue(), BitFlip(1)),))
     if cause == trace_mod.REASON_MULTI_CORE:
-        return FaultSpec("fetch", OpcodeFetch(site.address),
+        return MachineFault("fetch", OpcodeFetch(site.address),
                          (Action(StoreValue(), Arithmetic(1)),))
     raise AssertionError(cause)
 
@@ -267,9 +267,9 @@ class TestFallbackReasons:
         in_x = compiled.executable.symbols["in_x"]
         unused = compiled.executable.symbols["unused_global"]
         faults = [
-            FaultSpec("fetch", OpcodeFetch(site.address),
+            MachineFault("fetch", OpcodeFetch(site.address),
                       (Action(StoreValue(), Arithmetic(1)),)),
-            FaultSpec("data-load", DataAccess(in_x, on_load=True),
+            MachineFault("data-load", DataAccess(in_x, on_load=True),
                       (Action(LoadValue(), Arithmetic(2)),)),
             fault_for(compiled, trace_mod.REASON_TEMPORAL),
             fault_for(compiled, trace_mod.REASON_TRAP_MODE),
@@ -313,7 +313,7 @@ def run_traced_campaign(compiled, cases, faults, journal_dir, *, jobs=1,
 def small_faults(compiled):
     site = compiled.debug.assignments[0]
     return [
-        FaultSpec("fetch", OpcodeFetch(site.address),
+        MachineFault("fetch", OpcodeFetch(site.address),
                   (Action(StoreValue(), Arithmetic(1)),)),
         fault_for(compiled, trace_mod.REASON_TEMPORAL),
     ]

@@ -29,7 +29,7 @@ from repro.swifi import (
     Action,
     Arithmetic,
     CampaignRunner,
-    FaultSpec,
+    MachineFault,
     InputCase,
     OpcodeFetch,
     StoreValue,
@@ -55,7 +55,7 @@ def campaign():
     runner = CampaignRunner(compiled, cases)
     site = compiled.debug.assignments[0]
     faults = [
-        FaultSpec(
+        MachineFault(
             f"f{delta}",
             OpcodeFetch(site.address),
             (Action(StoreValue(), Arithmetic(delta)),),

@@ -37,7 +37,7 @@ from repro.swifi import (
     CampaignConfig,
     CampaignRunner,
     DataAccess,
-    FaultSpec,
+    MachineFault,
     FetchedWord,
     InputCase,
     OpcodeFetch,
@@ -83,7 +83,7 @@ def _spec(fault_id, trigger, *actions, when=None):
     kwargs = {}
     if when is not None:
         kwargs["when"] = when
-    return FaultSpec(fault_id, trigger, tuple(actions), **kwargs)
+    return MachineFault(fault_id, trigger, tuple(actions), **kwargs)
 
 
 class TestDormancyProver:

@@ -22,7 +22,7 @@ from repro.swifi import (
     Action,
     Arithmetic,
     CampaignRunner,
-    FaultSpec,
+    MachineFault,
     InputCase,
     OpcodeFetch,
     StoreValue,
@@ -103,7 +103,7 @@ class TestKillResumeWithWarmMemo:
         runner = CampaignRunner(compiled, cases)
         site = compiled.debug.assignments[0]
         faults = [
-            FaultSpec(
+            MachineFault(
                 f"f{delta}",
                 OpcodeFetch(site.address),
                 (Action(StoreValue(), Arithmetic(delta)),),

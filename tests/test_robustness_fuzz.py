@@ -16,7 +16,7 @@ from repro.swifi import (
     Action,
     BitFlip,
     CodeWord,
-    FaultSpec,
+    MachineFault,
     InjectionSession,
     OpcodeFetch,
     RegisterTarget,
@@ -63,7 +63,7 @@ class TestRandomCorruption:
             mask = 1 << rng.randrange(32)
             machine = boot(compiled.executable, inputs={"in_x": rng.randrange(100)})
             session = InjectionSession(machine)
-            session.arm(FaultSpec(
+            session.arm(MachineFault(
                 "fuzz", OpcodeFetch(address),
                 (Action(CodeWord(address), BitFlip(mask)),),
                 when=WhenPolicy.once(),
@@ -80,7 +80,7 @@ class TestRandomCorruption:
         for _ in range(60):
             machine = boot(compiled.executable, inputs={"in_x": 5})
             session = InjectionSession(machine)
-            session.arm(FaultSpec(
+            session.arm(MachineFault(
                 "stomp", Temporal(rng.randrange(1, 2_000)),
                 (Action(RegisterTarget(rng.randrange(1, 32)),
                         SetValue(rng.getrandbits(32))),),
@@ -93,7 +93,7 @@ class TestRandomCorruption:
         for value in (0, 0xFFFFFFFF, 0x1000, 0x7FFFFFFF):
             machine = boot(compiled.executable, inputs={"in_x": 5})
             session = InjectionSession(machine)
-            session.arm(FaultSpec(
+            session.arm(MachineFault(
                 "sp", Temporal(50),
                 (Action(RegisterTarget(1), SetValue(value)),),
                 when=WhenPolicy.once(),

@@ -26,7 +26,7 @@ from repro.swifi import (
     CampaignConfig,
     CampaignRunner,
     DataAccess,
-    FaultSpec,
+    MachineFault,
     InputCase,
     LoadValue,
     OpcodeFetch,
@@ -77,16 +77,16 @@ def mixed_fault_set(compiled):
     in_x = compiled.executable.symbols["in_x"]
     unused = compiled.executable.symbols["unused_global"]
     return [
-        FaultSpec("fetch", OpcodeFetch(site.address),
+        MachineFault("fetch", OpcodeFetch(site.address),
                   (Action(StoreValue(), Arithmetic(1)),)),
-        FaultSpec("data-load", DataAccess(in_x, on_load=True),
+        MachineFault("data-load", DataAccess(in_x, on_load=True),
                   (Action(LoadValue(), Arithmetic(2)),)),
-        FaultSpec("temporal", Temporal(40),
+        MachineFault("temporal", Temporal(40),
                   (Action(RegisterTarget(9), BitFlip(3)),),
                   when=WhenPolicy.once()),
-        FaultSpec("trap-mode", OpcodeFetch(site.address),
+        MachineFault("trap-mode", OpcodeFetch(site.address),
                   (Action(StoreValue(), Arithmetic(1)),), mode=MODE_TRAP),
-        FaultSpec("dormant", DataAccess(unused, on_load=True, on_store=True),
+        MachineFault("dormant", DataAccess(unused, on_load=True, on_store=True),
                   (Action(LoadValue(), BitFlip(1)),)),
     ]
 

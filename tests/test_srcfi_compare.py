@@ -1,0 +1,75 @@
+"""The two-tier agreement study must reproduce the paper's S5 split."""
+
+import json
+
+import pytest
+
+from repro.experiments import CompareReport, ExperimentConfig, PairOutcome, run_srcfi_compare
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_srcfi_compare(
+        ExperimentConfig().tiny(),
+        programs=["JB.team6"],
+        max_sites=3,
+        include_real=False,
+    )
+
+
+class TestDirectionalSplit:
+    def test_assignment_and_checking_agree(self, report):
+        per_class = report.per_class()
+        assert per_class["assignment"]["agreement"] >= 0.9
+        assert per_class["checking"]["agreement"] >= 0.9
+
+    def test_algorithm_diverges(self, report):
+        """The 44% the paper couldn't emulate: agreement must drop hard."""
+        per_class = report.per_class()
+        emulable = min(per_class["assignment"]["agreement"],
+                       per_class["checking"]["agreement"])
+        assert per_class["algorithm"]["agreement"] <= 0.5
+        assert per_class["algorithm"]["agreement"] < emulable
+        assert per_class["function"]["agreement"] < emulable
+
+    def test_every_class_was_measured(self, report):
+        assert set(report.per_class()) == \
+            {"assignment", "checking", "algorithm", "function"}
+
+
+class TestReportPlumbing:
+    def test_render_mentions_classes_and_operators(self, report):
+        text = report.render()
+        assert "ODC class" in text
+        assert "assignment" in text and "algorithm" in text
+        assert "Operator" in text
+
+    def test_json_round_trip(self, report, tmp_path):
+        path = str(tmp_path / "agreement.json")
+        report.to_json(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["per_class"].keys() == report.per_class().keys()
+        restored = [PairOutcome.from_dict(p) for p in payload["pairs"]]
+        assert restored == report.pairs
+
+    def test_unknown_program_raises(self):
+        with pytest.raises(ValueError, match="unknown"):
+            run_srcfi_compare(
+                ExperimentConfig().tiny(), programs=["NOPE"],
+                include_real=False)
+
+
+class TestExecutionModes:
+    def test_jobs_and_resume_match_serial(self, report, tmp_path):
+        config = ExperimentConfig().tiny()
+        journal_dir = str(tmp_path / "pairs")
+        parallel = run_srcfi_compare(
+            config, programs=["JB.team6"], max_sites=3,
+            include_real=False, jobs=2, journal_dir=journal_dir)
+        assert parallel.pairs == report.pairs
+
+        resumed = run_srcfi_compare(
+            config, programs=["JB.team6"], max_sites=3,
+            include_real=False, journal_dir=journal_dir, resume=True)
+        assert resumed.pairs == report.pairs

@@ -1,0 +1,124 @@
+"""Per-operator mutation round-trips: mutate, compile, revert bit-identical."""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.srcfi import (
+    MUTATION_CLASSES,
+    OPERATORS,
+    OPERATORS_BY_NAME,
+    MutationError,
+    SourceFault,
+    SourceLocator,
+    get_operator,
+    operators_for_class,
+    realize_source_fault,
+    recompiled_identical,
+)
+from repro.verify.generator import generate_program
+from repro.workloads import get_workload
+
+MAX_SITES_PER_OPERATOR = 3
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """Seeded generator programs plus two Table-2 workloads."""
+    compiled = []
+    for seed in (0, 1):
+        for index in range(3):
+            program = generate_program(seed, index)
+            compiled.append(compile_source(program.render(), program.name))
+    compiled.append(get_workload("JB.team6").compiled())
+    compiled.append(get_workload("SOR").compiled())
+    return compiled
+
+
+class TestRegistry:
+    def test_names_are_unique(self):
+        names = [operator.name for operator in OPERATORS]
+        assert len(names) == len(set(names))
+        assert set(names) == set(OPERATORS_BY_NAME)
+
+    def test_get_operator_rejects_unknown(self):
+        with pytest.raises(MutationError):
+            get_operator("frobnicate")
+
+    def test_classes_partition_the_operators(self):
+        by_class = [
+            operator
+            for klass in MUTATION_CLASSES
+            for operator in operators_for_class(klass)
+        ]
+        assert sorted(o.name for o in by_class) == \
+            sorted(o.name for o in OPERATORS)
+
+
+class TestRoundTrip:
+    def test_every_operator_has_sites_somewhere(self, pool):
+        for operator in OPERATORS:
+            assert any(operator.sites(compiled) for compiled in pool), \
+                f"{operator.name} found no site in the whole pool"
+
+    def test_every_mutation_compiles_and_changes_the_binary(self, pool):
+        mutated = 0
+        for compiled in pool:
+            for operator in OPERATORS:
+                sites = operator.sites(compiled)
+                for index in range(min(len(sites), MAX_SITES_PER_OPERATOR)):
+                    fault = SourceFault(operator=operator.name, site_index=index)
+                    mutant = realize_source_fault(compiled, fault)
+                    assert mutant.compiled.name == compiled.name
+                    assert (
+                        bytes(mutant.compiled.executable.code)
+                        != bytes(compiled.executable.code)
+                        or bytes(mutant.compiled.executable.data)
+                        != bytes(compiled.executable.data)
+                    ), f"{operator.name}#{index} on {compiled.name} was a no-op"
+                    mutated += 1
+        assert mutated > 50  # the pool really exercises the operators
+
+    def test_revert_restores_bit_identical_binary(self, pool):
+        # Mutation deep-copies the tree, so after mutating everything the
+        # original must still recompile to the exact same bytes.
+        for compiled in pool:
+            assert recompiled_identical(compiled), compiled.name
+
+
+class TestSiteGating:
+    def test_assign_omit_requires_pure_rhs(self):
+        source = """
+int sink[2];
+
+int next(int x) {
+    return x + 1;
+}
+
+void main() {
+    int a;
+    int b;
+    a = 3 + 4;
+    b = next(a);
+    sink[0] = a;
+    sink[1] = b;
+    exit(0);
+}
+"""
+        compiled = compile_source(source, "gating")
+        omit = get_operator("assign-omit")
+        lines = {site.line for site in omit.sites(compiled)}
+        assert 11 in lines       # a = 3 + 4: pure, omittable
+        assert 12 not in lines   # b = next(a): the call must not be dropped
+
+    def test_counterpart_policy_matches_metadata(self):
+        compiled = get_workload("JB.team6").compiled()
+        faults = SourceLocator(compiled).source_faults()
+        assert faults
+        for fault in faults:
+            mutant = realize_source_fault(compiled, fault)
+            counterpart = str(fault.meta["counterpart"])
+            if counterpart == "none":
+                assert mutant.counterpart is None
+            else:
+                assert mutant.counterpart is not None
+                assert mutant.counterpart.tier == "machine"

@@ -13,7 +13,7 @@ from repro.swifi import (
     CampaignResult,
     CampaignRunner,
     FailureMode,
-    FaultSpec,
+    MachineFault,
     InputCase,
     MODE_ORDER,
     OpcodeFetch,
@@ -74,7 +74,7 @@ def runner():
 def make_fault(runner_fixture, delta=1, fault_id="f1"):
     compiled = runner_fixture.compiled
     site = compiled.debug.assignments[0]
-    return FaultSpec(
+    return MachineFault(
         fault_id, OpcodeFetch(site.address),
         (Action(StoreValue(), Arithmetic(delta)),),
     ).with_metadata(klass="assignment", error_type="value+1")

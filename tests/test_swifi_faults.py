@@ -10,7 +10,7 @@ from repro.swifi import (
     BitAnd,
     BitFlip,
     BitOr,
-    FaultSpec,
+    MachineFault,
     FetchedWord,
     OpcodeFetch,
     PatchField,
@@ -73,7 +73,7 @@ class TestWhenPolicy:
         assert not WhenPolicy(start=3).fires(2)
 
 
-class TestFaultSpec:
+class TestMachineFault:
     def _spec(self, **kwargs):
         defaults = dict(
             fault_id="f",
@@ -81,7 +81,7 @@ class TestFaultSpec:
             actions=(Action(FetchedWord(), SetValue(0)),),
         )
         defaults.update(kwargs)
-        return FaultSpec(**defaults)
+        return MachineFault(**defaults)
 
     def test_requires_actions(self):
         with pytest.raises(ValueError):

@@ -90,7 +90,7 @@ class TestExecution:
             Action,
             BitAnd,
             CodeWord,
-            FaultSpec,
+            MachineFault,
             Temporal,
             WhenPolicy,
         )
@@ -98,7 +98,7 @@ class TestExecution:
         # Zero an instruction inside the loop so it is re-fetched after
         # the corruption lands (the all-zero word is an illegal opcode).
         loop_store = compiled.debug.assignments[-1].address
-        spec = FaultSpec(
+        spec = MachineFault(
             "hw-zero",
             Temporal(50),
             (Action(CodeWord(loop_store), BitAnd(0)),),

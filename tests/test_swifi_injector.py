@@ -11,7 +11,7 @@ from repro.swifi import (
     CodeWord,
     DataAccess,
     DebugResourceError,
-    FaultSpec,
+    MachineFault,
     FetchedWord,
     InjectionError,
     InjectionSession,
@@ -51,7 +51,7 @@ class TestOpcodeFetchTrigger:
         machine, program = make_machine()
         session = InjectionSession(machine)
         increment = program.symbols["loop"]
-        spec = FaultSpec(
+        spec = MachineFault(
             "count", OpcodeFetch(increment),
             (Action(FetchedWord(), SetValue(ins.addi(3, 3, 1).encode())),),
         )
@@ -64,7 +64,7 @@ class TestOpcodeFetchTrigger:
     def test_fetched_word_substitution_changes_behavior(self):
         machine, program = make_machine()
         session = InjectionSession(machine)
-        spec = FaultSpec(
+        spec = MachineFault(
             "sub", OpcodeFetch(program.symbols["loop"]),
             (Action(FetchedWord(), SetValue(ins.addi(3, 3, 2).encode())),),
         )
@@ -75,7 +75,7 @@ class TestOpcodeFetchTrigger:
     def test_substitution_is_transient(self):
         machine, program = make_machine()
         session = InjectionSession(machine)
-        spec = FaultSpec(
+        spec = MachineFault(
             "once", OpcodeFetch(program.symbols["loop"]),
             (Action(FetchedWord(), SetValue(NOP_WORD)),),
             when=WhenPolicy.once(),
@@ -90,7 +90,7 @@ class TestOpcodeFetchTrigger:
         machine, program = make_machine()
         session = InjectionSession(machine)
         target = program.symbols["loop"]
-        spec = FaultSpec(
+        spec = MachineFault(
             "patch", OpcodeFetch(target),
             (Action(CodeWord(target), SetValue(NOP_WORD)),),
             when=WhenPolicy.once(),
@@ -104,7 +104,7 @@ class TestOpcodeFetchTrigger:
     def test_register_corruption(self):
         machine, program = make_machine()
         session = InjectionSession(machine)
-        spec = FaultSpec(
+        spec = MachineFault(
             "reg", OpcodeFetch(program.symbols["loop"]),
             (Action(RegisterTarget(4), SetValue(2)),),
             when=WhenPolicy.once(),
@@ -116,7 +116,7 @@ class TestOpcodeFetchTrigger:
     def test_register_zero_stays_zero(self):
         machine, program = make_machine()
         session = InjectionSession(machine)
-        spec = FaultSpec(
+        spec = MachineFault(
             "r0", OpcodeFetch(program.symbols["loop"]),
             (Action(RegisterTarget(0), SetValue(123)),),
         )
@@ -127,7 +127,7 @@ class TestOpcodeFetchTrigger:
     def test_when_nth(self):
         machine, program = make_machine()
         session = InjectionSession(machine)
-        spec = FaultSpec(
+        spec = MachineFault(
             "nth", OpcodeFetch(program.symbols["loop"]),
             (Action(FetchedWord(), SetValue(NOP_WORD)),),
             when=WhenPolicy.nth(3),
@@ -154,7 +154,7 @@ class TestOperandCorruptions:
         machine, program = make_machine(STORE_PROGRAM, data=b"\x00" * 8)
         session = InjectionSession(machine)
         store_address = 0x1000 + 8  # the stw
-        spec = FaultSpec(
+        spec = MachineFault(
             "sv", OpcodeFetch(store_address),
             (Action(StoreValue(), Arithmetic(10)),),
         )
@@ -166,7 +166,7 @@ class TestOperandCorruptions:
         machine, program = make_machine(STORE_PROGRAM, data=b"\x00" * 8)
         session = InjectionSession(machine)
         load_address = 0x1000 + 12  # the lwz
-        spec = FaultSpec(
+        spec = MachineFault(
             "lv", OpcodeFetch(load_address),
             (Action(LoadValue(), BitFlip(0x1)),),
         )
@@ -179,7 +179,7 @@ class TestOperandCorruptions:
         session = InjectionSession(machine)
         from repro.machine import DATA_BASE
 
-        spec = FaultSpec(
+        spec = MachineFault(
             "da", DataAccess(DATA_BASE, on_load=True),
             (Action(LoadValue(), SetValue(99)),),
         )
@@ -191,7 +191,7 @@ class TestOperandCorruptions:
     def test_data_access_rejects_fetch_corruption(self):
         machine, _ = make_machine()
         session = InjectionSession(machine)
-        spec = FaultSpec(
+        spec = MachineFault(
             "bad", DataAccess(0x4000),
             (Action(FetchedWord(), SetValue(0)),),
         )
@@ -204,7 +204,7 @@ class TestBreakpointResources:
         machine, program = make_machine()
         session = InjectionSession(machine)
         for index, address in enumerate((0x1000, 0x1004)):
-            session.arm(FaultSpec(
+            session.arm(MachineFault(
                 f"bp{index}", OpcodeFetch(address),
                 (Action(FetchedWord(), SetValue(NOP_WORD)),),
                 when=WhenPolicy.nth(10_000),
@@ -215,12 +215,12 @@ class TestBreakpointResources:
         machine, _ = make_machine()
         session = InjectionSession(machine)
         for index, address in enumerate((0x1000, 0x1004)):
-            session.arm(FaultSpec(
+            session.arm(MachineFault(
                 f"bp{index}", OpcodeFetch(address),
                 (Action(FetchedWord(), SetValue(NOP_WORD)),),
             ))
         with pytest.raises(DebugResourceError):
-            session.arm(FaultSpec(
+            session.arm(MachineFault(
                 "bp2", OpcodeFetch(0x1008),
                 (Action(FetchedWord(), SetValue(NOP_WORD)),),
             ))
@@ -229,7 +229,7 @@ class TestBreakpointResources:
         machine, program = make_machine()
         session = InjectionSession(machine)
         for index, address in enumerate((0x1000, 0x1004, 0x1008)):
-            session.arm(FaultSpec(
+            session.arm(MachineFault(
                 f"tp{index}", OpcodeFetch(address),
                 (Action(FetchedWord(), SetValue(NOP_WORD)),),
                 when=WhenPolicy.nth(10_000),
@@ -245,7 +245,7 @@ class TestTemporalTrigger:
     def test_temporal_register_corruption(self):
         machine, _ = make_machine()
         session = InjectionSession(machine)
-        spec = FaultSpec(
+        spec = MachineFault(
             "t", Temporal(4),
             (Action(RegisterTarget(4), SetValue(1)),),
         )
@@ -259,7 +259,7 @@ class TestTemporalTrigger:
         machine, program = make_machine()
         session = InjectionSession(machine)
         target = program.symbols["loop"]
-        spec = FaultSpec(
+        spec = MachineFault(
             "tm", Temporal(3),
             (Action(MemoryWord(target), SetValue(NOP_WORD)),),
         )
@@ -270,7 +270,7 @@ class TestTemporalTrigger:
     def test_temporal_rejects_fetch_corruption(self):
         machine, _ = make_machine()
         session = InjectionSession(machine)
-        spec = FaultSpec(
+        spec = MachineFault(
             "tf", Temporal(5),
             (Action(FetchedWord(), SetValue(0)),),
         )
@@ -280,7 +280,7 @@ class TestTemporalTrigger:
     def test_temporal_after_exit_is_dormant(self):
         machine, _ = make_machine()
         session = InjectionSession(machine)
-        spec = FaultSpec(
+        spec = MachineFault(
             "late", Temporal(10_000),
             (Action(RegisterTarget(3), SetValue(0)),),
         )
@@ -295,7 +295,7 @@ class TestCompoundActions:
         machine, program = make_machine()
         session = InjectionSession(machine)
         loop = program.symbols["loop"]
-        spec = FaultSpec(
+        spec = MachineFault(
             "multi", OpcodeFetch(loop),
             (
                 Action(RegisterTarget(4), SetValue(3)),

@@ -19,7 +19,7 @@ from repro.machine.machine import ENGINE_BLOCK, ENGINE_SIMPLE
 from repro.swifi.campaign import InputCase
 from repro.verify import (
     DifferentialOracle,
-    FaultDescriptor,
+    MachineFaultRecipe,
     FuzzConfig,
     MatrixConfig,
     full_matrix,
@@ -88,7 +88,7 @@ class TestSampler:
 
     def test_dict_round_trip(self):
         for descriptor in sample_descriptors(random.Random(9), 25):
-            back = FaultDescriptor.from_dict(descriptor.to_dict())
+            back = MachineFaultRecipe.from_dict(descriptor.to_dict())
             assert back == descriptor
             assert back.fault_id() == descriptor.fault_id()
 
