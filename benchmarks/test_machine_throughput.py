@@ -2,15 +2,17 @@
 
 Not a paper artefact — these track the interpreter and compiler speeds
 that all campaign wall-clock numbers derive from, so regressions in the
-hot loop show up here first.  Both execution engines are measured: the
-per-instruction interpreter (``simple``) and the block-compiling engine
-(``block``), whose headline is the retired-instructions/second ratio
-pinned by :func:`test_block_engine_speedup_floor` and published to
+hot loop show up here first.  All three execution engines are measured:
+the per-instruction interpreter (``simple``), the block-compiling engine
+(``block``) and the superblock tier (``trace``); the headline
+retired-instructions/second ratios are pinned by
+:func:`test_block_engine_speedup_floor` and published to
 ``results/BENCH_machine_throughput.{txt,json}``.
 
-``REPRO_BLOCK_SPEEDUP_FLOOR`` relaxes (or tightens) the required ALU-loop
-speedup — CI runners are noisy, so the workflow pins a softer floor than
-the >=2x measured on quiet hardware.
+``REPRO_BLOCK_SPEEDUP_FLOOR`` / ``REPRO_TRACE_SPEEDUP_FLOOR`` relax (or
+tighten) the required ALU-loop speedups — CI runners are noisy, so the
+workflow pins softer floors than the >=2x / >=10x measured on quiet
+hardware.
 """
 
 import os
@@ -19,7 +21,7 @@ import time
 import pytest
 
 from repro.lang import compile_source
-from repro.machine import ENGINE_BLOCK, ENGINE_SIMPLE, boot
+from repro.machine import ENGINE_BLOCK, ENGINE_SIMPLE, ENGINE_TRACE, boot
 
 ALU_LOOP = """
 void main() {
@@ -50,7 +52,7 @@ void main() {
 """
 MEMORY_CONSOLE = b"-2"
 
-ENGINES = (ENGINE_SIMPLE, ENGINE_BLOCK)
+ENGINES = (ENGINE_SIMPLE, ENGINE_BLOCK, ENGINE_TRACE)
 
 
 def _run(compiled, engine, expected_console):
@@ -126,9 +128,11 @@ def test_block_engine_speedup_floor(save_result):
     both engines alike instead of biasing the ratio.
     """
     floor = float(os.environ.get("REPRO_BLOCK_SPEEDUP_FLOOR", "2.0"))
+    trace_floor = float(os.environ.get("REPRO_TRACE_SPEEDUP_FLOOR", "10.0"))
     rounds = int(os.environ.get("REPRO_BLOCK_BENCH_ROUNDS", "4"))
 
-    data = {"floor": floor, "rounds": rounds, "loops": {}}
+    data = {"floor": floor, "trace_floor": trace_floor,
+            "rounds": rounds, "loops": {}}
     for name, source, console in (
         ("alu", ALU_LOOP, ALU_CONSOLE),
         ("memory", MEMORY_LOOP, MEMORY_CONSOLE),
@@ -147,6 +151,10 @@ def test_block_engine_speedup_floor(save_result):
                 engine: round(best[engine] / 1e6, 3) for engine in ENGINES
             },
             "speedup": round(best[ENGINE_BLOCK] / best[ENGINE_SIMPLE], 3),
+            "speedups": {
+                engine: round(best[engine] / best[ENGINE_SIMPLE], 3)
+                for engine in ENGINES
+            },
         }
 
     alu_compiled = compile_source(ALU_LOOP, "alu-loop")
@@ -158,17 +166,21 @@ def test_block_engine_speedup_floor(save_result):
     lines = ["machine throughput (best-of-%d, Minstr/s)" % rounds, ""]
     for name, loop in data["loops"].items():
         rates = loop["minstr_per_sec"]
+        speedups = loop["speedups"]
         lines.append(
             f"  {name:<8} simple {rates[ENGINE_SIMPLE]:7.2f}   "
-            f"block {rates[ENGINE_BLOCK]:7.2f}   "
-            f"speedup {loop['speedup']:5.2f}x   "
+            f"block {rates[ENGINE_BLOCK]:7.2f} ({speedups[ENGINE_BLOCK]:.2f}x)   "
+            f"trace {rates[ENGINE_TRACE]:7.2f} ({speedups[ENGINE_TRACE]:.2f}x)   "
             f"({loop['instructions']} instr, console {loop['console']!r})"
         )
     lines.append(
         f"  boot     simple {data['boot_ms'][ENGINE_SIMPLE]:7.2f}ms "
-        f"  block {data['boot_ms'][ENGINE_BLOCK]:7.2f}ms"
+        f"  block {data['boot_ms'][ENGINE_BLOCK]:7.2f}ms "
+        f"  trace {data['boot_ms'][ENGINE_TRACE]:7.2f}ms"
     )
-    lines.append(f"  required ALU speedup floor: {floor:.2f}x")
+    lines.append(f"  required ALU speedup floors: block {floor:.2f}x, "
+                 f"trace {trace_floor:.2f}x")
     save_result("BENCH_machine_throughput", "\n".join(lines), data)
 
     assert data["loops"]["alu"]["speedup"] >= floor
+    assert data["loops"]["alu"]["speedups"][ENGINE_TRACE] >= trace_floor

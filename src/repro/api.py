@@ -129,6 +129,7 @@ from .srcfi import (
 from .swifi import (
     ENGINE_BLOCK,
     ENGINE_SIMPLE,
+    ENGINE_TRACE,
     ENGINES,
     MODE_BREAKPOINT,
     MODE_TRAP,
@@ -245,6 +246,7 @@ __all__ = [
     "RESULT_SCHEMA_VERSION",
     "ENGINE_BLOCK",
     "ENGINE_SIMPLE",
+    "ENGINE_TRACE",
     "ENGINES",
     "SNAPSHOT_OFF",
     "SNAPSHOT_AUTO",

@@ -105,8 +105,43 @@ def _cmd_sec5(args):
     print(run_sec5(_config(args)).render())
 
 
+def _reject_source_tier_flags(args) -> int | None:
+    """Exit-2 guard: machine-tier-only flags combined with ``--tier source``.
+
+    The source tier reboots a fresh mutant binary per run, so the snapshot
+    fast path and the planner have nothing to attach to — reject the
+    combination here with a one-line diagnostic instead of surfacing the
+    deep ``run_source_campaign`` rejection as a traceback.
+    """
+    if getattr(args, "tier", "machine") != "source":
+        return None
+    offending = []
+    if getattr(args, "snapshot", "off") != "off":
+        offending.append(f"--snapshot {args.snapshot}")
+    if getattr(args, "prune", False):
+        offending.append("--prune")
+    if getattr(args, "memoize", False):
+        offending.append("--memoize")
+    if getattr(args, "memo_dir", None) is not None:
+        offending.append("--memo-dir")
+    if getattr(args, "plan_verify", 0):
+        offending.append("--plan-verify")
+    if not offending:
+        return None
+    print(
+        f"error: {', '.join(offending)} require(s) --tier machine "
+        "(snapshot fast path and planner are machine-tier-only)",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def _cmd_figures(args):
     from .orchestrator import CompositeSink, JsonTelemetryWriter, ProgressRenderer
+
+    exit_code = _reject_source_tier_flags(args)
+    if exit_code is not None:
+        return exit_code
 
     sinks = [ProgressRenderer(sys.stderr)]
     if args.telemetry_json:
@@ -408,7 +443,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "trigger instead of rebooting per run (auto), "
                               "or cross-check both paths (verify); outcomes "
                               "are bit-identical to off")
-    figures.add_argument("--engine", choices=("simple", "block"),
+    figures.add_argument("--engine", choices=("simple", "block", "trace"),
                          default="simple",
                          help="machine execution engine: 'block' compiles "
                               "straight-line RX32 runs into Python closures "
@@ -487,7 +522,7 @@ def build_parser() -> argparse.ArgumentParser:
     triggers.add_argument("--jobs", type=_positive_int, default=1)
     triggers.add_argument("--snapshot", choices=("off", "auto", "verify"),
                           default="off")
-    triggers.add_argument("--engine", choices=("simple", "block"),
+    triggers.add_argument("--engine", choices=("simple", "block", "trace"),
                           default="simple")
     triggers.set_defaults(fn=_cmd_ablation_triggers)
     hardware = sub.add_parser("ablation-hardware", parents=[shared],
@@ -495,7 +530,7 @@ def build_parser() -> argparse.ArgumentParser:
     hardware.add_argument("--jobs", type=_positive_int, default=1)
     hardware.add_argument("--snapshot", choices=("off", "auto", "verify"),
                           default="off")
-    hardware.add_argument("--engine", choices=("simple", "block"),
+    hardware.add_argument("--engine", choices=("simple", "block", "trace"),
                           default="simple")
     hardware.set_defaults(fn=_cmd_ablation_hardware)
 
@@ -610,7 +645,7 @@ def build_parser() -> argparse.ArgumentParser:
     srcfi_campaign.add_argument("--trace", action="store_true",
                                 help="machine tier: record per-run span traces "
                                      "(accepted no-op at the source tier)")
-    srcfi_campaign.add_argument("--engine", choices=("simple", "block"),
+    srcfi_campaign.add_argument("--engine", choices=("simple", "block", "trace"),
                                 default="simple",
                                 help="machine execution engine")
     srcfi_campaign.add_argument("--tier", choices=("machine", "source"),
@@ -641,7 +676,7 @@ def build_parser() -> argparse.ArgumentParser:
     srcfi_compare.add_argument("--trace", action="store_true",
                                help="accepted for flag uniformity; the pair "
                                     "runner records no span traces")
-    srcfi_compare.add_argument("--engine", choices=("simple", "block"),
+    srcfi_compare.add_argument("--engine", choices=("simple", "block", "trace"),
                                default="simple",
                                help="machine execution engine for both tiers")
     srcfi_compare.add_argument("--out", default=None, metavar="DIR",

@@ -32,7 +32,21 @@ the memory's segment version, and the literal fetch-watch address set
 The Python *code objects* are cached at module level keyed by the raw
 word tuple — a campaign boots a fresh machine per injection run, so
 per-machine instantiation must be cheap: it is one factory call per
-block, not a re-``compile()``.
+block, not a re-``compile()``.  The module cache is a bounded LRU
+(:class:`FactoryCache`) backed by an on-disk tier keyed by a content
+hash of the emitted code, so repeated campaign boots of the same binary
+— including the orchestrator's fresh worker processes — skip source
+generation *and* ``compile()`` entirely.
+
+:class:`TraceEngine` builds on block dispatch with a trace-compiling
+tier: it profiles block-entry execution counts and branch outcomes
+during warmup, chains hot blocks across predictable branches into
+**superblock traces** (the profiled path, guarded by cheap side-exits
+that fall back to block dispatch), batches self-looping traces into a
+budget-bounded inner loop, and promotes constant-offset stack slots into
+Python locals behind a per-entry alignment/range guard.  A trace closure
+returns ``(next_pc, executed)``; ``executed == 0`` signals a failed
+entry guard and nothing has run.
 
 Correctness contract (enforced by ``tests/test_engine_equivalence.py``):
 for any program and any fault from the paper's Table-3 classes, the
@@ -43,6 +57,11 @@ and retired-instruction count) as the simple interpreter.
 
 from __future__ import annotations
 
+import hashlib
+import importlib.util
+import marshal
+import os
+from collections import OrderedDict
 from struct import pack_into, unpack_from
 from typing import TYPE_CHECKING
 
@@ -197,6 +216,12 @@ class _Emitter:
         self.r0_zero = False
         self.can_trap = False
 
+    def pc_offset(self, k: int) -> int:
+        """Byte offset of instruction *k* from ``entry_pc``.  Blocks are
+        contiguous; the trace emitter overrides this with the stitched
+        path's real (possibly backward) offsets."""
+        return 4 * k
+
     # -- register plumbing ------------------------------------------------
 
     def read(self, reg: int) -> str:
@@ -303,7 +328,7 @@ class _Emitter:
 
     def _effective_address(self, k: int, ra: int, imm: int) -> None:
         self.can_trap = True
-        self.prelude.append(f"_pc{k} = entry_pc + {4 * k}")
+        self.prelude.append(f"_pc{k} = entry_pc + {self.pc_offset(k)}")
         self.lines.append(f"ip = {k}")
         a = self.read(ra)
         if a == "0":
@@ -387,7 +412,7 @@ class _Emitter:
             self.can_trap = True
             self.prelude.append(
                 f"_msg{k} = 'integer division by zero at ' "
-                f"+ format(entry_pc + {4 * k}, '#010x')"
+                f"+ format(entry_pc + {self.pc_offset(k)}, '#010x')"
             )
             self.lines.append(f"ip = {k}")
             t = self._signed(a, "t")
@@ -521,28 +546,547 @@ def _generate_source(decoded: tuple[tuple[int, int, int, int, int], ...]) -> str
     return "\n".join(out)
 
 
-#: Code-object cache: raw word tuple → compiled factory.  Shared across
-#: machines (and therefore across the campaign's per-run fresh boots), so
-#: ``compile()`` is paid once per distinct block, not once per run.
-_FACTORY_CACHE: dict[tuple[int, ...], object] = {}
+# ---------------------------------------------------------------------------
+# Superblock traces
+# ---------------------------------------------------------------------------
+
+#: Block-entry executions before the dispatcher tries to form a trace.
+TRACE_HOT = 32
+#: A failed formation attempt is retried once the entry gets this hot
+#: (the branch profile may have been too thin at ``TRACE_HOT``).
+TRACE_RETRY = 1024
+#: Minimum profiled outcomes before a conditional branch is predictable.
+TRACE_MIN_EDGE = 8
+#: Required bias toward one successor for the branch to be stitched over.
+TRACE_BIAS = 0.85
+#: Formation caps: blocks per trace / instructions per iteration.
+TRACE_MAX_BLOCKS = 16
+TRACE_MAX_INSTR = 256
+#: Stack-slot promotion cap (each slot adds entry-guard cost).
+TRACE_MAX_SLOTS = 6
+
+#: Trace-cache entry for an entry PC where formation failed or the
+#: promoted-slot guard bailed: block dispatch handles it from now on.
+_NO_TRACE: tuple[int, None] = (0, None)
+
+#: Deferred-exit placeholder: "<marker><target-expr>\x00<count-expr>".
+#: Expanded after emission into slot flushes + register write-backs +
+#: ``return target, count`` — the full write-back set is only known once
+#: the whole trace has been emitted.
+_EXIT = "\x00EXIT\x00"
+
+#: Opcodes that write their ``rd`` field (promotion-safety analysis).
+_WRITES_RD = frozenset(
+    {
+        OP_ADDI,
+        OP_ADDIS,
+        OP_MULLI,
+        OP_ANDI,
+        OP_ORI,
+        OP_XORI,
+        OP_SLWI,
+        OP_SRWI,
+        OP_SRAWI,
+        OP_MFLR,
+        OP_LWZ,
+        OP_LBZ,
+    }
+)
+
+
+class _TraceEmitter(_Emitter):
+    """Emits one superblock trace: straight-line instructions from many
+    blocks, guard side-exits at internal conditional branches, and
+    (optionally) promoted stack-slot locals in place of memory traffic.
+    """
+
+    def __init__(self, offsets: list[int], slots: dict[int, str]) -> None:
+        super().__init__()
+        self.offsets = offsets  # instruction index -> byte offset
+        self.slots = slots      # displacement -> slot local (promotion)
+
+    def pc_offset(self, k: int) -> int:
+        return self.offsets[k]
+
+    def _emit_load_word(self, k: int, rd: int, ra: int, imm: int) -> None:
+        name = self.slots.get(imm)
+        if name is None:
+            super()._emit_load_word(k, rd, ra, imm)
+        else:
+            self.write(rd, name)
+
+    def _emit_store_word(self, k: int, rd: int, ra: int, imm: int) -> None:
+        name = self.slots.get(imm)
+        if name is None:
+            super()._emit_store_word(k, rd, ra, imm)
+        else:
+            self.lines.append(f"{name} = {self.read(rd)}")
+
+    def emit_guard(self, k: int, cond: int, predicted_taken: bool,
+                   exit_off: int) -> None:
+        """Side-exit guard for an internal conditional branch: when the
+        profiled-unlikely direction is taken, flush and leave the trace
+        at the unstitched target (``k + 1`` instructions retired this
+        iteration, the branch itself included)."""
+        self.uses_cr = True
+        label = f"_sx{k}"
+        self.prelude.append(
+            f"{label} = (entry_pc + {exit_off}) & 0xFFFFFFFF"
+        )
+        expr = _COND_EXPR[cond]
+        test = f"not ({expr})" if predicted_taken else expr
+        self.lines.append(f"if {test}:")
+        self.lines.append(f"    {_EXIT}{label}\x00n + {k + 1}")
+
+
+def _analyze_promotion(steps) -> tuple[int, tuple] | None:
+    """Decide whether every memory access in the trace can be promoted
+    to a Python local.
+
+    Safe only when *all* memory operations are word-sized with a
+    constant displacement off one shared base register that the trace
+    never writes (so every slot's effective address is fixed for the
+    whole trace and distinct aligned slots cannot overlap).  Returns
+    ``(base_reg, ((disp, written), ...))`` or ``None``.
+    """
+    base: int | None = None
+    slots: dict[int, bool] = {}
+    instrs = [dec for _off, dec, role, _aux in steps if role == "i"]
+    for dec in instrs:
+        op = dec[0]
+        if op in (OP_LWZ, OP_STW):
+            ra = dec[2]
+            if ra == 0:
+                return None
+            if base is None:
+                base = ra
+            elif ra != base:
+                return None
+            disp = dec[4]
+            slots[disp] = slots.get(disp, False) or (op == OP_STW)
+        elif op in (OP_LBZ, OP_STB):
+            return None
+    if base is None or len(slots) > TRACE_MAX_SLOTS:
+        return None
+    for dec in instrs:
+        op, rd = dec[0], dec[1]
+        if rd == base and (
+            op in _WRITES_RD or (op == OP_XO and dec[4] != XO_CMP)
+        ):
+            return None
+    return base, tuple(sorted(slots.items()))
+
+
+def _generate_trace_source(steps, terminal, promo, count, looping) -> str:
+    """Python source of the factory producing one trace's ``run`` closure.
+
+    ``run(core, regs, budget) -> (next_pc, executed)``.  The dispatcher
+    only calls it with ``budget >= count``; a looping trace batches full
+    iterations while ``n + count <= budget`` still holds.  A return of
+    ``(entry_pc, 0)`` means the promoted-slot entry guard failed and no
+    architectural state was touched.
+    """
+    offsets = [step[0] for step in steps]
+    tkind, tdec, toff, taux = terminal
+    if tkind != "fall":
+        offsets.append(toff)
+
+    slots: list[tuple[int, str, bool]] = []
+    slot_names: dict[int, str] = {}
+    if promo is not None:
+        for index, (disp, written) in enumerate(promo[1]):
+            name = f"_s{index}"
+            slots.append((disp, name, written))
+            slot_names[disp] = name
+
+    em = _TraceEmitter(offsets, slot_names)
+    if promo is not None:
+        em.used[promo[0]] = True  # slot addresses come off the base reg
+    for k, (off, dec, role, aux) in enumerate(steps):
+        if role == "i":
+            em.emit(k, dec)
+        elif role == "s":
+            pass  # internal unconditional branch: the path is baked in
+        else:
+            em.emit_guard(k, dec[1], role == "gt", aux)
+
+    lines = em.lines
+    if tkind == "fall":
+        em.prelude.append(f"_end = (entry_pc + {toff}) & 0xFFFFFFFF")
+        lines.append(f"{_EXIT}_end\x00n + {count}")
+    elif tkind == "loop":
+        lines.append(f"n += {count}")
+        lines.append(f"if n + {count} <= budget:")
+        lines.append("    continue")
+        lines.append(f"{_EXIT}entry_pc\x00n")
+    elif tkind in ("loop_taken", "loop_fall"):
+        em.uses_cr = True
+        em.prelude.append(f"_x = (entry_pc + {taux}) & 0xFFFFFFFF")
+        lines.append(f"n += {count}")
+        if tkind == "loop_taken":
+            lines.append(f"if {_COND_EXPR[tdec[1]]}:")
+            lines.append(f"    if n + {count} <= budget:")
+            lines.append("        continue")
+            lines.append(f"    {_EXIT}entry_pc\x00n")
+            lines.append(f"{_EXIT}_x\x00n")
+        else:
+            lines.append(f"if {_COND_EXPR[tdec[1]]}:")
+            lines.append(f"    {_EXIT}_x\x00n")
+            lines.append(f"if n + {count} <= budget:")
+            lines.append("    continue")
+            lines.append(f"{_EXIT}entry_pc\x00n")
+    elif tkind == "b":
+        em.prelude.append(f"_t = (entry_pc + {taux}) & 0xFFFFFFFF")
+        lines.append(f"{_EXIT}_t\x00n + {count}")
+    elif tkind == "bl":
+        em.uses_lr = True
+        em.prelude.append(f"_t = (entry_pc + {taux}) & 0xFFFFFFFF")
+        em.prelude.append(f"_l = entry_pc + {toff + 4}")
+        lines.append("lr = _l")
+        lines.append(f"{_EXIT}_t\x00n + {count}")
+    elif tkind == "blr":
+        em.uses_lr = True
+        lines.append(f"{_EXIT}lr\x00n + {count}")
+    else:
+        assert tkind == "bc"
+        em.uses_cr = True
+        em.prelude.append(f"_t = (entry_pc + {taux[0]}) & 0xFFFFFFFF")
+        em.prelude.append(f"_f = (entry_pc + {taux[1]}) & 0xFFFFFFFF")
+        lines.append(f"if {_COND_EXPR[tdec[1]]}:")
+        lines.append(f"    {_EXIT}_t\x00n + {count}")
+        lines.append(f"{_EXIT}_f\x00n + {count}")
+
+    hoists = [f"r{reg} = regs[{reg}]" for reg in em.used]
+    writebacks = [f"regs[{reg}] = r{reg}" for reg in em.used]
+    if em.uses_cr:
+        hoists.append("cr = core.cr")
+        writebacks.append("core.cr = cr")
+    if em.uses_lr:
+        hoists.append("lr = core.lr")
+        writebacks.append("core.lr = lr")
+    flushes = [
+        f"pack_into('>I', mem_data, _ea{index}, {name})"
+        for index, (_disp, name, written) in enumerate(slots)
+        if written
+    ]
+    exits = flushes + writebacks
+
+    # Promoted-slot entry guard: fixed effective addresses, all aligned,
+    # each inside one fast range — else bail before touching anything.
+    guard: list[str] = []
+    if slots:
+        base = promo[0]
+        for index, (disp, _name, _written) in enumerate(slots):
+            guard.append(f"_ea{index} = (r{base} + {disp}) & 0xFFFFFFFF")
+        ors = " | ".join(f"_ea{index}" for index in range(len(slots)))
+        guard.append(f"if ({ors}) & 3:")
+        guard.append("    return entry_pc, 0")
+        for index, (_disp, _name, written) in enumerate(slots):
+            ranges = "write_ranges" if written else "read_ranges"
+            guard.append(f"for lo, hi in {ranges}:")
+            guard.append(f"    if lo <= _ea{index} < hi:")
+            guard.append("        break")
+            guard.append("else:")
+            guard.append("    return entry_pc, 0")
+        for index, (_disp, name, _written) in enumerate(slots):
+            guard.append(f"{name} = unpack_from('>I', mem_data, _ea{index})[0]")
+
+    out = [
+        "def factory(entry_pc, mem_data, read_ranges, write_ranges, machine,",
+        "            read_word, write_word, read_byte, write_byte,",
+        "            unpack_from, pack_into, ArithmeticTrap, Trap):",
+    ]
+    out += ["    " + line for line in em.prelude]
+    if em.can_trap:
+        pcs = ", ".join(str(off) for off in offsets)
+        if len(offsets) == 1:
+            pcs += ","
+        out.append(f"    _tpcs = ({pcs})")
+    out.append("    def run(core, regs, budget):")
+    for line in hoists + guard:
+        out.append("        " + line)
+    out.append("        n = 0")
+    inner = "        "
+    if em.can_trap:
+        out.append("        ip = 0")
+        out.append("        try:")
+        inner += "    "
+    if looping:
+        out.append(inner + "while True:")
+        inner += "    "
+    for line in lines:
+        out.append(inner + line)
+    if em.can_trap:
+        out.append("        except Trap as err:")
+        handler = "            "
+        for line in exits:
+            out.append(handler + line)
+        out += [
+            handler + "_n = n + ip + 1",
+            handler + "core.instret += _n",
+            handler + "machine.instret += _n",
+            handler + "pc = entry_pc + _tpcs[ip]",
+            handler + "core.pc = pc",
+            handler + "if err.pc is None:",
+            handler + "    err.pc = pc",
+            handler + "if err.core_id is None:",
+            handler + "    err.core_id = core.core_id",
+            handler + "raise",
+        ]
+    out.append("    return run")
+    out.append("")
+
+    final: list[str] = []
+    for line in out:
+        stripped = line.lstrip()
+        if stripped.startswith(_EXIT):
+            indent = line[: len(line) - len(stripped)]
+            target, n_expr = stripped[len(_EXIT):].split("\x00")
+            for exit_line in exits:
+                final.append(indent + exit_line)
+            final.append(indent + f"return {target}, {n_expr}")
+        else:
+            final.append(line)
+    return "\n".join(final)
+
+
+# ---------------------------------------------------------------------------
+# Factory caching: in-memory LRU + on-disk emitted-code tier
+# ---------------------------------------------------------------------------
 
 #: Backstop against pathological churn (randomised fuzz programs); real
 #: campaigns use a handful of programs and never approach this.
 _FACTORY_CACHE_LIMIT = 8192
 
+#: Bump to orphan every on-disk entry (key-format changes).  Emitter
+#: *code* changes are caught automatically by :func:`_emitter_fingerprint`.
+_CODEGEN_VERSION = 1
+
+#: Maximum emitted-code entries kept on disk (each entry is a ``.py``
+#: source plus a marshalled code object).
+_DISK_CACHE_LIMIT = 16384
+
+#: On-disk tier telemetry, exposed via :func:`factory_cache_stats`.
+_DISK_STATS = {"hits": 0, "misses": 0, "stores": 0, "errors": 0}
+
+#: Per-directory entry counts (avoids an os.listdir per store).
+_DISK_COUNTS: dict[str, int] = {}
+
+
+class FactoryCache:
+    """Bounded LRU of compiled factory callables.
+
+    Keyed like the srcfi ``MutantCache``: an ``OrderedDict`` in
+    recency order with hit/miss/eviction counters, evicting from the
+    cold end.  Long-lived campaign workers compile thousands of distinct
+    mutant binaries; without the bound the old unbounded dict grew (and
+    was periodically ``clear()``-ed wholesale, dropping the hot set too).
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
+
+    def __init__(self, capacity: int = _FACTORY_CACHE_LIMIT) -> None:
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key, factory) -> None:
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+            return
+        entries[key] = factory
+        while len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+            _trace.add_counter("factory_cache_evictions", 1)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+#: Shared across machines (and therefore across the campaign's per-run
+#: fresh boots), so codegen is paid once per distinct block/trace.
+_FACTORY_CACHE = FactoryCache()
+
+
+def factory_cache_stats() -> dict:
+    """Counters for both caching tiers (tests and telemetry)."""
+    stats = _FACTORY_CACHE.stats()
+    stats["disk"] = dict(_DISK_STATS)
+    return stats
+
+
+def _disk_cache_dir() -> str | None:
+    """Directory of the on-disk code cache, or ``None`` when disabled.
+
+    ``REPRO_CODE_CACHE`` overrides the location; ``0``/``off``/empty
+    disables the tier entirely.
+    """
+    value = os.environ.get("REPRO_CODE_CACHE")
+    if value is not None:
+        if value.strip().lower() in ("", "0", "off", "none"):
+            return None
+        return value
+    root = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(root, "repro", "rx32-code")
+
+
+def _hash_code(h, code) -> None:
+    h.update(code.co_code)
+    for const in code.co_consts:
+        if hasattr(const, "co_code"):
+            _hash_code(h, const)
+        else:
+            h.update(repr(const).encode("utf-8", "replace"))
+
+
+def _emitter_fingerprint() -> str:
+    """Content hash of the code generators themselves.
+
+    Folded into every disk key so that editing (or monkeypatching — the
+    differential fuzzer's mutation tests do) any emitter invalidates
+    stale on-disk entries instead of silently serving old code.
+    """
+    h = hashlib.sha256()
+    for cls in (_Emitter, _TraceEmitter):
+        for name in sorted(vars(cls)):
+            code = getattr(vars(cls)[name], "__code__", None)
+            if code is not None:
+                h.update(name.encode())
+                _hash_code(h, code)
+    for fn in (_generate_source, _generate_trace_source):
+        _hash_code(h, fn.__code__)
+    return h.hexdigest()
+
+
+def _disk_load(digest: str):
+    """Fetch a compiled factory code object from the disk tier."""
+    directory = _disk_cache_dir()
+    if directory is None:
+        return None
+    magic = importlib.util.MAGIC_NUMBER
+    try:
+        with open(os.path.join(directory, digest + ".bin"), "rb") as handle:
+            blob = handle.read()
+        if blob[: len(magic)] == magic:
+            code = marshal.loads(blob[len(magic):])
+            _DISK_STATS["hits"] += 1
+            return code
+        # Bytecode from another interpreter version: recompile the
+        # stored source instead (and the store below refreshes .bin).
+        path = os.path.join(directory, digest + ".py")
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        code = compile(source, path, "exec")
+        _DISK_STATS["hits"] += 1
+        return code
+    except (OSError, ValueError, EOFError, TypeError, SyntaxError):
+        _DISK_STATS["misses"] += 1
+        return None
+
+
+def _disk_store(digest: str, source: str, code) -> None:
+    """Persist emitted source + marshalled code object, atomically.
+
+    Failures only cost the cache (never correctness); a full directory
+    stops accepting new entries rather than racing concurrent workers
+    over eviction.
+    """
+    directory = _disk_cache_dir()
+    if directory is None:
+        return
+    try:
+        count = _DISK_COUNTS.get(directory)
+        if count is None:
+            try:
+                count = len(os.listdir(directory)) // 2
+            except OSError:
+                count = 0
+            _DISK_COUNTS[directory] = count
+        if count >= _DISK_CACHE_LIMIT:
+            return
+        os.makedirs(directory, exist_ok=True)
+        blob = importlib.util.MAGIC_NUMBER + marshal.dumps(code)
+        for name, data in (
+            (digest + ".py", source.encode("utf-8")),
+            (digest + ".bin", blob),
+        ):
+            path = os.path.join(directory, name)
+            tmp = f"{path}.tmp{os.getpid()}"
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        _DISK_COUNTS[directory] = count + 1
+        _DISK_STATS["stores"] += 1
+    except OSError:
+        _DISK_STATS["errors"] += 1
+
+
+def _load_factory(kind: str, key, filename: str, generate):
+    """Resolve a factory through both cache tiers, generating on miss."""
+    cache_key = (kind, key)
+    factory = _FACTORY_CACHE.get(cache_key)
+    if factory is not None:
+        return factory
+    digest = hashlib.sha256(
+        repr(
+            (kind, _CODEGEN_VERSION, _emitter_fingerprint(), key)
+        ).encode("ascii")
+    ).hexdigest()
+    code = _disk_load(digest)
+    if code is None:
+        source = generate()
+        code = compile(source, filename, "exec")
+        _disk_store(digest, source, code)
+    namespace: dict = {}
+    exec(code, namespace)
+    factory = namespace["factory"]
+    _FACTORY_CACHE.put(cache_key, factory)
+    return factory
+
 
 def _factory_for(words: tuple[int, ...]):
-    factory = _FACTORY_CACHE.get(words)
-    if factory is None:
-        if len(_FACTORY_CACHE) >= _FACTORY_CACHE_LIMIT:
-            _FACTORY_CACHE.clear()
+    def generate() -> str:
         decoded = tuple(decode_fields(word) for word in words)
-        source = _generate_source(decoded)
-        namespace: dict = {}
-        exec(compile(source, f"<rx32-block[{len(words)}]>", "exec"), namespace)
-        factory = namespace["factory"]
-        _FACTORY_CACHE[words] = factory
-    return factory
+        return _generate_source(decoded)
+
+    return _load_factory("block", words, f"<rx32-block[{len(words)}]>", generate)
+
+
+def _trace_factory_for(steps, terminal, promo, count, looping):
+    key = (steps, terminal, promo, count, looping)
+    return _load_factory(
+        "trace",
+        key,
+        f"<rx32-trace[{count}]>",
+        lambda: _generate_trace_source(steps, terminal, promo, count, looping),
+    )
 
 
 class BlockEngine:
@@ -601,15 +1145,16 @@ class BlockEngine:
 
     # -- compilation -------------------------------------------------------
 
-    def _compile(self, entry_pc: int) -> tuple:
+    def _scan_block(self, entry_pc: int) -> list[tuple[int, int, int, int, int]]:
+        """Decode the basic block headed at *entry_pc* (empty when the
+        PC cannot head a compiled block)."""
         machine = self.machine
         words = machine.code_words
         code_base = machine.code_base
         watched = self._watch_keys
-        index = (entry_pc - code_base) >> 2
         total = len(words)
         decoded: list[tuple[int, int, int, int, int]] = []
-        k = index
+        k = (entry_pc - code_base) >> 2
         while k < total and len(decoded) < MAX_BLOCK:
             # A fetch-watched PC (including the entry itself) is never
             # part of a compiled block: the dispatcher single-steps it so
@@ -623,6 +1168,14 @@ class BlockEngine:
             k += 1
             if fields[0] in _TERMINATORS:
                 break
+        return decoded
+
+    def _compile(self, entry_pc: int) -> tuple:
+        machine = self.machine
+        words = machine.code_words
+        code_base = machine.code_base
+        index = (entry_pc - code_base) >> 2
+        decoded = self._scan_block(entry_pc)
         if not decoded:
             self.blocks[entry_pc] = _UNCOMPILED
             return _UNCOMPILED
@@ -760,4 +1313,312 @@ class BlockEngine:
             raise
 
 
-__all__ = ["BlockEngine", "MAX_BLOCK"]
+class TraceEngine(BlockEngine):
+    """Block dispatch plus a trace-compiling tier (see module docstring).
+
+    Warmup profiling rides on the block dispatch loop: every block
+    execution counts its entry PC and the observed successor.  Once an
+    entry is hot, the profiled path is stitched into a superblock trace
+    and dispatched as one closure call — side-exit guards return control
+    to block dispatch whenever a stitched branch goes the unprofiled
+    way, and a failed promoted-slot entry guard retires the trace
+    without touching any architectural state.
+    """
+
+    __slots__ = ("traces", "_prof", "traces_compiled", "trace_bailouts")
+
+    def __init__(self, machine: "Machine") -> None:
+        super().__init__(machine)
+        #: entry pc → (iteration instruction count, run closure); the
+        #: ``_NO_TRACE`` sentinel marks entries block dispatch owns.
+        self.traces: dict[int, tuple] = {}
+        #: entry pc → [execution count, {successor pc: count}]
+        self._prof: dict[int, list] = {}
+        self.traces_compiled = 0
+        self.trace_bailouts = 0
+
+    def invalidate(self) -> None:
+        super().invalidate()
+        if self.traces:
+            _trace.add_counter("traces_invalidated", len(self.traces))
+            self.traces.clear()
+        self._prof.clear()
+
+    # -- trace formation ---------------------------------------------------
+
+    def _plan_trace(self, entry_pc: int):
+        """Stitch the profiled hot path headed at *entry_pc*.
+
+        Returns ``(steps, terminal, promo, count, looping)`` for the
+        generator, or ``None`` when no worthwhile trace exists.  Each
+        step is ``(byte_off, decoded, role, aux)`` with role ``"i"``
+        (straight-line), ``"s"`` (internal unconditional branch) or
+        ``"gt"``/``"gf"`` (guard, predicted taken / fall-through, with
+        the side-exit offset in ``aux``).
+        """
+        machine = self.machine
+        code_base, code_end = machine.code_base, machine.code_end
+        prof = self._prof
+        segs: list[list] = []  # [pc, decoded, successor, predicted_taken]
+        visited: set[int] = set()
+        total = 0
+        looping = False
+        pc = entry_pc
+        while len(segs) < TRACE_MAX_BLOCKS and total < TRACE_MAX_INSTR:
+            if not code_base <= pc < code_end:
+                break
+            decoded = self._scan_block(pc)
+            if not decoded:
+                break
+            visited.add(pc)
+            seg = [pc, decoded, None, None]
+            segs.append(seg)
+            total += len(decoded)
+            last = decoded[-1]
+            op = last[0]
+            if op not in _TERMINATORS or op in (OP_BL, OP_BLR):
+                break
+            kterm = len(decoded) - 1
+            taken = (pc + 4 * (kterm + last[4])) & 0xFFFFFFFF
+            if op == OP_B or last[1] == COND_ALWAYS:
+                succ = taken
+            else:
+                fall = pc + 4 * kterm + 4
+                stats = prof.get(pc)
+                outcomes = stats[1] if stats else {}
+                n_taken = outcomes.get(taken, 0)
+                n_fall = outcomes.get(fall, 0)
+                observed = n_taken + n_fall
+                if observed < TRACE_MIN_EDGE:
+                    break
+                predicted_taken = n_taken >= n_fall
+                winner = n_taken if predicted_taken else n_fall
+                if winner / observed < TRACE_BIAS:
+                    break
+                succ = taken if predicted_taken else fall
+                seg[3] = predicted_taken
+            seg[2] = succ
+            if succ == entry_pc:
+                looping = True
+                break
+            if succ in visited:
+                break
+            pc = succ
+        if not segs or (not looping and len(segs) < 2):
+            return None
+
+        steps: list[tuple] = []
+        last_index = len(segs) - 1
+        for i, (spc, decoded, succ, predicted_taken) in enumerate(segs):
+            base_off = spc - entry_pc
+            kterm = len(decoded) - 1
+            has_term = decoded[kterm][0] in _TERMINATORS
+            for j, dec in enumerate(decoded):
+                off = base_off + 4 * j
+                if j == kterm and has_term:
+                    if i < last_index and succ is not None:
+                        op = dec[0]
+                        if op == OP_B or (op == OP_BC and dec[1] == COND_ALWAYS):
+                            steps.append((off, dec, "s", None))
+                        else:
+                            taken_off = off + 4 * dec[4]
+                            exit_off = off + 4 if predicted_taken else taken_off
+                            role = "gt" if predicted_taken else "gf"
+                            steps.append((off, dec, role, exit_off))
+                    # terminal instruction: handled below, not a step
+                else:
+                    steps.append((off, dec, "i", None))
+
+        spc, decoded, succ, predicted_taken = segs[last_index]
+        base_off = spc - entry_pc
+        kterm = len(decoded) - 1
+        last = decoded[kterm]
+        toff = base_off + 4 * kterm
+        if last[0] not in _TERMINATORS:
+            terminal = ("fall", None, base_off + 4 * len(decoded), None)
+        elif looping:
+            if last[0] != OP_BC or last[1] == COND_ALWAYS:
+                terminal = ("loop", last, toff, None)
+            elif predicted_taken:
+                terminal = ("loop_taken", last, toff, toff + 4)
+            else:
+                terminal = ("loop_fall", last, toff, toff + 4 * last[4])
+        else:
+            op = last[0]
+            if op == OP_B or (op == OP_BC and last[1] == COND_ALWAYS):
+                terminal = ("b", last, toff, toff + 4 * last[4])
+            elif op == OP_BL:
+                terminal = ("bl", last, toff, toff + 4 * last[4])
+            elif op == OP_BLR:
+                terminal = ("blr", last, toff, None)
+            else:
+                terminal = ("bc", last, toff, (toff + 4 * last[4], toff + 4))
+
+        # Stack-slot promotion only pays inside a batched loop, where it
+        # removes the memory traffic from every iteration.
+        promo = _analyze_promotion(steps) if looping else None
+        return tuple(steps), terminal, promo, total, looping
+
+    def _build_trace(self, entry_pc: int) -> None:
+        with _trace.phase(_trace.PHASE_TRACE_COMPILE):
+            plan = self._plan_trace(entry_pc)
+            if plan is None:
+                self.traces[entry_pc] = _NO_TRACE
+                return
+            steps, terminal, promo, count, looping = plan
+            factory = _trace_factory_for(steps, terminal, promo, count, looping)
+            machine = self.machine
+            memory = machine.memory
+            read_ranges, write_ranges = machine.access_ranges()
+            run = factory(
+                entry_pc,
+                memory.data,
+                read_ranges,
+                write_ranges,
+                machine,
+                memory.read_word,
+                memory.write_word,
+                memory.read_byte,
+                memory.write_byte,
+                unpack_from,
+                pack_into,
+                ArithmeticTrap,
+                Trap,
+            )
+            self.traces[entry_pc] = (count, run)
+            self.traces_compiled += 1
+            _trace.add_counter("traces_compiled", 1)
+            _trace.add_counter("trace_instructions", count)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch(self, core: "Core", limit: int) -> int:
+        """Block dispatch with a trace fast path and warmup profiling.
+
+        Mirrors :meth:`BlockEngine.dispatch` exactly on the block path
+        (same contract, same pending-flush discipline); traces are tried
+        first for PCs that have one, and every block execution feeds the
+        branch profile that forms them.
+        """
+        machine = self.machine
+        self._sync()
+        blocks_get = self.blocks.get
+        traces_get = self.traces.get
+        prof = self._prof
+        simple = core._run_quantum_simple
+        regs = core.regs
+        executed = 0
+        pending = 0
+        pc = core.pc
+        check_hooks = True
+        try:
+            while executed < limit:
+                if check_hooks:
+                    if (
+                        machine._load_watch
+                        or machine._store_watch
+                        or core._load_transform is not None
+                        or core._store_transform is not None
+                    ):
+                        core.pc = pc
+                        core.instret += pending
+                        machine.instret += pending
+                        pending = 0
+                        executed += simple(limit - executed)
+                        if core.halted or core.blocked:
+                            return executed
+                        pc = core.pc
+                        continue  # handlers may have disarmed; re-check
+                    check_hooks = False
+                entry = traces_get(pc)
+                if entry is not None:
+                    need = entry[0]
+                    if need and need <= limit - executed:
+                        new_pc, ran = entry[1](core, regs, limit - executed)
+                        if ran:
+                            pending += ran
+                            executed += ran
+                            pc = new_pc
+                            continue
+                        # Entry guard bailed: nothing ran.  Retire the
+                        # trace — block dispatch owns this PC until the
+                        # next invalidation.
+                        self.traces[pc] = _NO_TRACE
+                        self.trace_bailouts += 1
+                        _trace.add_counter("trace_bailouts", 1)
+                entry = blocks_get(pc)
+                if entry is None:
+                    core.pc = pc
+                    if pc < machine.code_base or pc >= machine.code_end:
+                        core.instret += pending
+                        machine.instret += pending
+                        pending = 0
+                        executed += simple(limit - executed)  # fetch trap
+                        if core.halted or core.blocked:  # pragma: no cover
+                            return executed
+                        pc = core.pc  # pragma: no cover
+                        continue  # pragma: no cover
+                    entry = self._compile(pc)
+                count = entry[0]
+                if count == 0:
+                    core.pc = pc
+                    core.instret += pending
+                    machine.instret += pending
+                    pending = 0
+                    executed += simple(1)
+                    if core.halted or core.blocked:
+                        return executed
+                    self._sync()
+                    blocks_get = self.blocks.get
+                    traces_get = self.traces.get
+                    check_hooks = True
+                    pc = core.pc
+                    continue
+                if count > limit - executed:
+                    core.pc = pc
+                    core.instret += pending
+                    machine.instret += pending
+                    pending = 0
+                    executed += simple(limit - executed)
+                    if core.halted or core.blocked:
+                        return executed
+                    pc = core.pc
+                    continue
+                new_pc = entry[1](core, regs)
+                pending += count
+                executed += count
+                # -- warmup profiling (drives superblock formation) ----
+                stats = prof.get(pc)
+                if stats is None:
+                    prof[pc] = stats = [0, {}]
+                stats[0] += 1
+                outcomes = stats[1]
+                outcomes[new_pc] = outcomes.get(new_pc, 0) + 1
+                hot = stats[0]
+                if hot == TRACE_HOT or (
+                    hot == TRACE_RETRY and traces_get(pc) is _NO_TRACE
+                ):
+                    if pc not in self.traces or traces_get(pc) is _NO_TRACE:
+                        if traces_get(pc) is _NO_TRACE:
+                            del self.traces[pc]
+                        self._build_trace(pc)
+                        traces_get = self.traces.get
+                pc = new_pc
+            core.pc = pc
+            core.instret += pending
+            machine.instret += pending
+            pending = 0
+            return executed
+        except BaseException:
+            core.instret += pending
+            machine.instret += pending
+            raise
+
+
+__all__ = [
+    "BlockEngine",
+    "TraceEngine",
+    "FactoryCache",
+    "factory_cache_stats",
+    "MAX_BLOCK",
+]

@@ -40,10 +40,13 @@ DEFAULT_BUDGET = 50_000_000
 # Execution engines (see cpu.py and blocks.py).  ``simple`` is the
 # per-instruction threaded interpreter; ``block`` compiles basic blocks
 # into specialized closures and falls back to ``simple`` around every
-# fault-injection hook, so outcomes are bit-identical between the two.
+# fault-injection hook, so outcomes are bit-identical between the two;
+# ``trace`` additionally chains hot blocks into superblock traces across
+# profiled-predictable branches (same bit-identical contract).
 ENGINE_SIMPLE = "simple"
 ENGINE_BLOCK = "block"
-ENGINES = (ENGINE_SIMPLE, ENGINE_BLOCK)
+ENGINE_TRACE = "trace"
+ENGINES = (ENGINE_SIMPLE, ENGINE_BLOCK, ENGINE_TRACE)
 
 
 @dataclass(frozen=True)
@@ -110,6 +113,10 @@ class Machine:
             from .blocks import BlockEngine
 
             self.block_engine = BlockEngine(self)
+        elif engine == ENGINE_TRACE:
+            from .blocks import TraceEngine
+
+            self.block_engine = TraceEngine(self)
         else:
             self.block_engine = None
 

@@ -46,6 +46,7 @@ PHASE_POST_TRIGGER = "post-trigger-execute"
 PHASE_EXECUTE = "execute"  # full fresh-boot execution (prefix + suffix)
 PHASE_CLASSIFY = "classify"
 PHASE_BLOCK_COMPILE = "block-compile"  # block engine compiling a basic block
+PHASE_TRACE_COMPILE = "trace-compile"  # trace engine stitching a superblock
 PHASE_PLAN_PROVE = "plan-prove"        # planner: golden access trace + rules
 PHASE_MEMO_LOOKUP = "memo-lookup"      # planner: outcome-memo key + lookup
 
@@ -58,6 +59,7 @@ PHASES = (
     PHASE_EXECUTE,
     PHASE_CLASSIFY,
     PHASE_BLOCK_COMPILE,
+    PHASE_TRACE_COMPILE,
     PHASE_PLAN_PROVE,
     PHASE_MEMO_LOOKUP,
 )
@@ -459,6 +461,7 @@ __all__ = [
     "PHASE_POST_TRIGGER",
     "PHASE_SNAPSHOT_CAPTURE",
     "PHASE_SNAPSHOT_RESTORE",
+    "PHASE_TRACE_COMPILE",
     "REASON_CACHE_MISS",
     "REASON_GOLDEN_EXIT",
     "REASON_MULTI_CORE",

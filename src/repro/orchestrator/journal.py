@@ -31,7 +31,7 @@ import json
 import os
 from dataclasses import dataclass, field
 
-from ..persist import atomic_write_json
+from ..persist import atomic_write_json, trim_partial_tail
 from ..swifi.campaign import RunRecord
 
 MANIFEST_NAME = "manifest.json"
@@ -126,15 +126,7 @@ def load_runs_file(path: str) -> JournalState:
 
 def _trim_partial_tail(path: str) -> None:
     """Truncate an unterminated final line left by a crash mid-append."""
-    if not os.path.exists(path):
-        return
-    with open(path, "rb") as handle:
-        data = handle.read()
-    if not data or data.endswith(b"\n"):
-        return
-    keep = data.rfind(b"\n") + 1  # 0 when the whole file is one partial line
-    with open(path, "r+b") as handle:
-        handle.truncate(keep)
+    trim_partial_tail(path)
 
 
 class CampaignJournal:

@@ -8,6 +8,15 @@ orchestrator's journal manifest therefore go through the same helper:
 write the full payload to a temporary file *in the same directory* (so
 ``os.replace`` stays on one filesystem and is atomic), fsync, then
 replace the target in one step.
+
+Append-only JSON-lines journals (the campaign runs file, the planner's
+on-disk outcome memos, the verify fuzzer's case journal, the srcfi
+campaign journal) have the complementary hazard: a crash mid-append
+leaves an unterminated final line.  Readers tolerate that torn tail,
+but a *writer* re-opening in append mode would fuse its first new
+record onto the partial line, corrupting two records at once.
+:func:`trim_partial_tail` is the repair every such writer applies
+before appending to a journal it did not create in this process.
 """
 
 from __future__ import annotations
@@ -41,3 +50,23 @@ def atomic_write_text(path: str, text: str) -> None:
 def atomic_write_json(path: str, payload: object, *, indent: int | None = None) -> None:
     """Serialise *payload* and atomically write it to *path*."""
     atomic_write_text(path, json.dumps(payload, indent=indent))
+
+
+def trim_partial_tail(path: str | os.PathLike) -> None:
+    """Truncate an unterminated final line left by a crash mid-append.
+
+    No-op for missing files, empty files and files whose last byte is a
+    newline.  Otherwise truncates back to just after the last newline
+    (to zero bytes when the whole file is one partial line), so the next
+    append starts a fresh, well-formed record.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        return
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if not data or data.endswith(b"\n"):
+        return
+    keep = data.rfind(b"\n") + 1  # 0 when the whole file is one partial line
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)

@@ -27,6 +27,7 @@ import json
 import os
 from pathlib import Path
 
+from ..persist import trim_partial_tail
 from ..swifi.campaign import InputCase, RunRecord
 from ..swifi.faults import MachineFault
 from ..swifi.outcomes import FailureMode
@@ -115,10 +116,11 @@ class OutcomeCache:
         self._outcomes[key] = outcome
         if self._dir is not None:
             if self._sink is None:
-                self._sink = open(
-                    self._dir / f"memo-{os.getpid()}.jsonl", "a",
-                    encoding="utf-8",
-                )
+                # A previous process with this pid may have been killed
+                # mid-append; fuse-proof the tail before the first write.
+                sink_path = self._dir / f"memo-{os.getpid()}.jsonl"
+                trim_partial_tail(sink_path)
+                self._sink = open(sink_path, "a", encoding="utf-8")
             self._sink.write(json.dumps({"key": key, "outcome": outcome}) + "\n")
             self._sink.flush()
 

@@ -36,6 +36,7 @@ from ..swifi.campaign import (
     RunRecord,
     execute_injection_run,
 )
+from ..persist import trim_partial_tail
 from ..swifi.spec import TIER_SOURCE
 from .mutator import MutantCache, SourceMutant, SrcfiError, realize_source_fault
 from .spec import SourceFault
@@ -172,6 +173,9 @@ def run_source_campaign(
     if config.journal_dir is not None:
         os.makedirs(config.journal_dir, exist_ok=True)
         journal_path = os.path.join(config.journal_dir, JOURNAL_NAME)
+        # Repair a crash-torn tail before the append below fuses a new
+        # record onto it (the resume reader only *tolerates* the tear).
+        trim_partial_tail(journal_path)
         if config.resume:
             done = _load_journal(journal_path)
 

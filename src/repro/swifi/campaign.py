@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
 from ..lang.compiler import CompiledProgram
 from ..machine.loader import boot
-from ..machine.machine import ENGINE_BLOCK, ENGINE_SIMPLE, ENGINES
+from ..machine.machine import ENGINE_BLOCK, ENGINE_SIMPLE, ENGINE_TRACE, ENGINES
 from ..observability import trace as _trace
 from ..persist import atomic_write_json
 from .faults import MachineFault

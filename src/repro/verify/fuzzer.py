@@ -63,6 +63,7 @@ from .sampler import MachineFaultRecipe, SamplerError, sample_descriptors
 from .shrinker import ShrinkResult, shrink_case
 from ..lang import compile_source
 from ..machine.machine import ENGINE_SIMPLE, ENGINES
+from ..persist import trim_partial_tail
 from ..swifi.campaign import (
     CampaignConfig,
     CampaignError,
@@ -222,6 +223,9 @@ def _open_journal(config: FuzzConfig) -> tuple[Path | None, dict[int, dict]]:
     directory = Path(config.journal_dir)
     directory.mkdir(parents=True, exist_ok=True)
     journal = directory / FUZZ_JOURNAL
+    # Repair a crash-torn tail before this campaign's first append would
+    # fuse onto it; the resume reader below then never sees a torn line.
+    trim_partial_tail(journal)
     done: dict[int, dict] = {}
     if config.resume and journal.exists():
         with open(journal, "r", encoding="utf-8") as handle:

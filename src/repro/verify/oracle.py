@@ -180,7 +180,7 @@ class DifferentialOracle:
 
     def __init__(self, compiled, cases: list[InputCase], *,
                  matrix: list[MatrixConfig] | None = None,
-                 state_engines: tuple[str, ...] = (ENGINE_SIMPLE, ENGINE_BLOCK)):
+                 state_engines: tuple[str, ...] = ENGINES):
         self.compiled = compiled
         self.cases = cases
         self.matrix = full_matrix() if matrix is None else list(matrix)

@@ -147,6 +147,46 @@ class TestFiguresChoiceValidation:
         assert args.engine == "block"
         assert args.snapshot == "verify"
 
+    def test_trace_engine_parses_everywhere(self):
+        for argv in (
+            ["figures", "--engine", "trace"],
+            ["ablation-triggers", "--engine", "trace"],
+            ["ablation-hardware", "--engine", "trace"],
+            ["srcfi", "campaign", "--engine", "trace"],
+            ["srcfi", "compare", "--engine", "trace"],
+        ):
+            assert build_parser().parse_args(argv).engine == "trace"
+
+
+class TestSourceTierFlagConflicts:
+    """--tier source + machine-tier-only flags: a one-line exit-2
+    diagnostic from the CLI, not the deep run_source_campaign rejection."""
+
+    @pytest.mark.parametrize("extra, named", [
+        (["--snapshot", "auto"], "--snapshot auto"),
+        (["--snapshot", "verify"], "--snapshot verify"),
+        (["--prune"], "--prune"),
+        (["--memoize"], "--memoize"),
+        (["--memoize", "--memo-dir", "m"], "--memo-dir"),
+        (["--memoize", "--plan-verify", "0.5"], "--plan-verify"),
+    ])
+    def test_machine_only_flags_exit_2(self, capsys, extra, named):
+        code = main(["figures", "--tier", "source"] + extra)
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one-line diagnostic
+        assert named in err
+        assert "--tier machine" in err
+
+    def test_conflicting_flags_are_all_named(self, capsys):
+        code = main(["figures", "--tier", "source", "--snapshot", "auto",
+                     "--prune", "--memoize"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--snapshot auto" in err
+        assert "--prune" in err
+        assert "--memoize" in err
+
 
 class TestJobsValidation:
     @pytest.mark.parametrize("command", ["figures", "ablation-triggers",

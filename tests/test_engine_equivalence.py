@@ -1,10 +1,11 @@
-"""The block-compiled engine must be bit-identical to the interpreter.
+"""The compiled engines must be bit-identical to the interpreter.
 
-ISSUE acceptance for the execution-engine tentpole: for any program and
-any fault, ``Machine(engine="block")`` produces the same
-:class:`RunResult` *and* the same final architectural state (registers,
-cr/lr/pc, full memory image, console, retired-instruction counts) as the
-per-instruction interpreter — including traps raised mid-block, budget
+ISSUE acceptance for the execution-engine tentpoles: for any program and
+any fault, ``Machine(engine="block")`` and the superblock tier
+``Machine(engine="trace")`` produce the same :class:`RunResult` *and*
+the same final architectural state (registers, cr/lr/pc, full memory
+image, console, retired-instruction counts) as the per-instruction
+interpreter — including traps raised mid-block, budget
 exhaustion at exact instruction counts, ``pause_at_instret`` boundaries,
 fault-injection watches (which force per-instruction fallback), snapshot
 restore, and the ``jobs=4`` orchestrated path.
@@ -17,11 +18,11 @@ import pytest
 from repro.emulation import ASSIGNMENT_CLASS, CHECKING_CLASS
 from repro.emulation.rules import generate_error_set
 from repro.lang import compile_source
-from repro.machine import ENGINE_BLOCK, ENGINE_SIMPLE, boot
+from repro.machine import ENGINE_BLOCK, ENGINE_SIMPLE, ENGINE_TRACE, boot
 from repro.swifi import CampaignConfig, CampaignRunner, InputCase
 from repro.swifi.campaign import execute_injection_run
 
-ENGINES = (ENGINE_SIMPLE, ENGINE_BLOCK)
+ENGINES = (ENGINE_SIMPLE, ENGINE_BLOCK, ENGINE_TRACE)
 
 
 def final_state(machine, result):
@@ -41,8 +42,9 @@ def final_state(machine, result):
     }
 
 
-def run_both(compiled, *, inputs=None, num_cores=1, budget=2_000_000,
-             pause_at_instret=None):
+def run_engines(compiled, *, inputs=None, num_cores=1, budget=2_000_000,
+                pause_at_instret=None):
+    """Final state per engine, in ``ENGINES`` order (simple first)."""
     states = []
     for engine in ENGINES:
         machine = boot(compiled.executable, num_cores=num_cores,
@@ -51,6 +53,12 @@ def run_both(compiled, *, inputs=None, num_cores=1, budget=2_000_000,
                              pause_at_instret=pause_at_instret)
         states.append(final_state(machine, result))
     return states
+
+
+def assert_engines_identical(states):
+    simple = states[0]
+    for engine, state in zip(ENGINES[1:], states[1:]):
+        assert state == simple, f"engine {engine!r} diverged"
 
 
 # ---------------------------------------------------------------------------
@@ -98,8 +106,7 @@ class TestRandomProgramEquivalence:
         compiled = compile_source(random_program(rng), f"rand{seed}")
         inputs = {"in_a": rng.randint(-1 << 31, (1 << 31) - 1),
                   "in_b": rng.randint(-100, 100)}
-        simple, block = run_both(compiled, inputs=inputs)
-        assert block == simple
+        assert_engines_identical(run_engines(compiled, inputs=inputs))
 
     def test_division_by_zero_trap_identical(self):
         source = """
@@ -112,9 +119,9 @@ class TestRandomProgramEquivalence:
         }
         """
         compiled = compile_source(source, "divzero")
-        simple, block = run_both(compiled, inputs={"in_x": 0})
-        assert simple["status"] == "trapped"
-        assert block == simple
+        states = run_engines(compiled, inputs={"in_x": 0})
+        assert states[0]["status"] == "trapped"
+        assert_engines_identical(states)
 
 
 SUM_SOURCE = """
@@ -139,19 +146,19 @@ class TestBoundaryEquivalence:
         return compile_source(SUM_SOURCE, "summer")
 
     def test_budget_exhaustion_exact(self, summer):
-        simple, block = run_both(summer, inputs={"in_x": 1 << 30}, budget=997)
-        assert simple["status"] == "hung"
-        assert simple["instructions"] == 997
-        assert block == simple
+        states = run_engines(summer, inputs={"in_x": 1 << 30}, budget=997)
+        assert states[0]["status"] == "hung"
+        assert states[0]["instructions"] == 997
+        assert_engines_identical(states)
 
     @pytest.mark.parametrize("pause", [1, 2, 63, 64, 65, 500])
     def test_pause_at_instret_exact(self, summer, pause):
-        simple, block = run_both(
+        states = run_engines(
             summer, inputs={"in_x": 1 << 30}, pause_at_instret=pause
         )
-        assert simple["status"] == "paused"
-        assert simple["machine_instret"] == pause
-        assert block == simple
+        assert states[0]["status"] == "paused"
+        assert states[0]["machine_instret"] == pause
+        assert_engines_identical(states)
 
     def test_multicore_round_robin_identical(self):
         source = """
@@ -167,9 +174,9 @@ class TestBoundaryEquivalence:
         }
         """
         compiled = compile_source(source, "multicore")
-        simple, block = run_both(compiled, num_cores=2)
-        assert simple["status"] == "exited"
-        assert block == simple
+        states = run_engines(compiled, num_cores=2)
+        assert states[0]["status"] == "exited"
+        assert_engines_identical(states)
 
 
 class TestInvalidation:
@@ -187,8 +194,7 @@ class TestInvalidation:
             # first word of main into a no-op-like addi r0, r0, 0.
             machine.debug_write_code(machine.code_base, 0x14 << 26)
             machines.append((machine, machine.run()))
-        simple, block = (final_state(m, r) for m, r in machines)
-        assert block == simple
+        assert_engines_identical([final_state(m, r) for m, r in machines])
 
     def test_snapshot_restore_reexecutes_identically(self):
         from repro.machine.snapshot import (
@@ -251,7 +257,8 @@ class TestInjectionEquivalence:
                     ).to_dict()
                     for engine in ENGINES
                 ]
-                assert records[1] == records[0], spec.fault_id
+                for engine, record in zip(ENGINES[1:], records[1:]):
+                    assert record == records[0], (spec.fault_id, engine)
 
     def test_campaign_block_engine_matches_simple(self):
         compiled = compile_source(SUM_SOURCE, "summer")
@@ -266,8 +273,106 @@ class TestInjectionEquivalence:
             CampaignConfig(engine=ENGINE_BLOCK, snapshot="auto"),
             CampaignConfig(engine=ENGINE_BLOCK, snapshot="verify"),
             CampaignConfig(engine=ENGINE_BLOCK, jobs=4, seed=11),
+            CampaignConfig(engine=ENGINE_TRACE),
+            CampaignConfig(engine=ENGINE_TRACE, snapshot="auto"),
+            CampaignConfig(engine=ENGINE_TRACE, snapshot="verify"),
+            CampaignConfig(engine=ENGINE_TRACE, jobs=4, seed=11),
         ):
             outcome = CampaignRunner(compiled, cases).run(
                 error_set.faults, config=config
             )
             assert outcome.records == baseline.records
+
+
+# ---------------------------------------------------------------------------
+# Trap-boundary accounting: instret must be exact at every trap offset
+# ---------------------------------------------------------------------------
+
+
+class TestTrapBoundaryAccounting:
+    """Audit of the dispatch ``pending``-flush paths (ISSUE 8 satellite).
+
+    A trap is planted at *every* offset of straight-line blocks of many
+    shapes (including blocks crossing ``MAX_BLOCK``) and at every offset
+    of hot loop bodies (so the superblock tier traps from inside a
+    compiled trace).  ``core.instret`` / ``machine.instret`` / ``pc`` at
+    the trap boundary must match the interpreter exactly — any partial
+    write-back drift in the except-arm accounting shows up here.
+    """
+
+    _WRITE = (7, 8, 9)  # registers fillers may clobber
+
+    def _filler(self, rng):
+        d = rng.choice(self._WRITE)
+        a = rng.randint(3, 9)
+        b = rng.randint(3, 9)
+        return rng.choice([
+            f"addi r{d}, r{a}, {rng.randint(-99, 99)}",
+            f"ori r{d}, r{a}, {rng.randint(0, 0xFFFF)}",
+            f"add r{d}, r{a}, r{b}",
+            f"xor r{d}, r{a}, r{b}",
+            f"mulli r{d}, r{a}, {rng.randint(-9, 9)}",
+        ])
+
+    def _run_engines_asm(self, source, budget=100_000):
+        from repro.isa import assemble_text
+        from repro.machine import Executable
+
+        program = assemble_text(source, base=0x1000)
+        executable = Executable(code=program.code, entry=0x1000,
+                                symbols=program.symbols)
+        out = []
+        for engine in ENGINES:
+            machine = boot(executable, engine=engine)
+            result = machine.run(max_instructions=budget)
+            out.append((machine, final_state(machine, result)))
+        return out
+
+    @pytest.mark.parametrize("length", [1, 2, 3, 7, 64, 65, 96])
+    def test_trap_at_every_straight_line_offset(self, length):
+        rng = random.Random(8800 + length)
+        for offset in range(length):
+            trap = rng.choice(["divw r10, r6, r0",   # divide by zero
+                               "lwz r10, 0(r0)"])    # unmapped load
+            lines = ["addi r6, r0, 100"]
+            lines += [self._filler(rng) for _ in range(offset)]
+            lines.append(trap)
+            lines += [self._filler(rng) for _ in range(length - 1 - offset)]
+            lines.append("sc 0")
+            runs = self._run_engines_asm("\n".join(lines))
+            golden = runs[0][1]
+            assert golden["status"] == "trapped", (length, offset)
+            assert golden["machine_instret"] == golden["cores"][0][3]
+            for engine, (machine, state) in zip(ENGINES[1:], runs[1:]):
+                assert state == golden, (length, offset, engine)
+
+    @pytest.mark.parametrize("body", [0, 1, 2, 3, 5, 8, 13])
+    def test_trap_at_every_loop_body_offset(self, body):
+        rng = random.Random(9900 + body)
+        for offset in range(body + 1):
+            lines = [
+                "addi r3, r0, 0",     # i
+                "addi r4, r0, 40",    # trap iteration
+                "addi r6, r0, 100",
+                "loop:",
+            ]
+            lines += [self._filler(rng) for _ in range(offset)]
+            lines.append("sub r5, r4, r3")
+            lines.append("divw r10, r6, r5")  # traps when i == 40
+            lines += [self._filler(rng) for _ in range(body - offset)]
+            lines += [
+                "addi r3, r3, 1",
+                "cmpi r3, 60",
+                "bc lt, loop",
+                "sc 0",
+            ]
+            runs = self._run_engines_asm("\n".join(lines))
+            golden = runs[0][1]
+            assert golden["status"] == "trapped", (body, offset)
+            assert golden["machine_instret"] == golden["cores"][0][3]
+            for engine, (machine, state) in zip(ENGINES[1:], runs[1:]):
+                assert state == golden, (body, offset, engine)
+            # The superblock tier must have been exercised, not merely
+            # have fallen back to block dispatch for the whole run.
+            trace_machine = runs[-1][0]
+            assert trace_machine.block_engine.traces_compiled > 0

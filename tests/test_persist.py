@@ -1,0 +1,161 @@
+"""Crash-truncated journal tails: every resumable writer repairs them.
+
+A ``kill -9`` mid-append leaves an unterminated final line in a JSON-lines
+journal.  Readers tolerate the torn line, but a writer re-opening in append
+mode would fuse its first new record onto it — corrupting two records.
+These tests simulate the kill (truncate mid-line) and assert each resumable
+artefact repairs the tail before appending: the campaign runs journal
+(already covered by the orchestrator tests), the planner's on-disk memo
+dir, the verify fuzzer's case journal and the srcfi campaign journal.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.persist import trim_partial_tail
+
+
+def _lines(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return [line for line in handle.read().splitlines() if line.strip()]
+
+
+def _assert_all_lines_parse(path):
+    for line in _lines(path):
+        json.loads(line)  # raises on a fused/torn record
+
+
+class TestTrimPartialTail:
+    def test_missing_file_is_a_noop(self, tmp_path):
+        trim_partial_tail(tmp_path / "absent.jsonl")
+        assert not (tmp_path / "absent.jsonl").exists()
+
+    def test_empty_and_clean_files_untouched(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_bytes(b"")
+        clean = tmp_path / "clean.jsonl"
+        clean.write_bytes(b'{"a": 1}\n{"b": 2}\n')
+        trim_partial_tail(empty)
+        trim_partial_tail(clean)
+        assert empty.read_bytes() == b""
+        assert clean.read_bytes() == b'{"a": 1}\n{"b": 2}\n'
+
+    def test_torn_tail_is_truncated_to_last_newline(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_bytes(b'{"a": 1}\n{"b": 2}\n{"c": ')
+        trim_partial_tail(path)
+        assert path.read_bytes() == b'{"a": 1}\n{"b": 2}\n'
+
+    def test_single_partial_line_truncates_to_empty(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_bytes(b'{"never finis')
+        trim_partial_tail(path)
+        assert path.read_bytes() == b""
+
+
+class TestMemoDirRepair:
+    def test_append_after_kill_does_not_fuse_records(self, tmp_path):
+        from repro.planning.memo import OutcomeCache
+
+        # A process with this very pid was killed mid-append earlier
+        # (pid reuse): one whole record plus a torn tail.
+        sink = tmp_path / f"memo-{os.getpid()}.jsonl"
+        good = {"key": "k1", "outcome": {"mode": "correct"}}
+        sink.write_text(json.dumps(good) + "\n"
+                        + json.dumps({"key": "k2", "outcome": {}})[:9])
+
+        cache = OutcomeCache(str(tmp_path))
+        assert cache.get("k1") == {"mode": "correct"}
+        cache.put("k3", {"mode": "crash"})
+        cache.close()
+
+        _assert_all_lines_parse(sink)
+        warm = OutcomeCache(str(tmp_path))
+        assert warm.get("k1") == {"mode": "correct"}
+        assert warm.get("k3") == {"mode": "crash"}
+        assert warm.get("k2") is None  # torn record stays dead
+
+
+class TestFuzzJournalRepair:
+    def test_resume_after_kill_repairs_then_extends(self, tmp_path):
+        from repro.verify import FuzzConfig, run_fuzz
+        from repro.verify.fuzzer import FUZZ_JOURNAL
+
+        journal_dir = tmp_path / "fuzz"
+        config = dict(seed=3, cases=4, faults_per_program=2,
+                      inputs_per_program=1, record_tier=False,
+                      journal_dir=str(journal_dir))
+        first = run_fuzz(FuzzConfig(**config))
+        assert first.ok()
+
+        journal = journal_dir / FUZZ_JOURNAL
+        whole = _lines(journal)
+        assert whole  # the run journaled something
+
+        # Simulate a kill mid-append: last record loses its tail.
+        with open(journal, "r+b") as handle:
+            data = handle.read()
+            handle.truncate(len(data) - 7)
+
+        resumed = run_fuzz(FuzzConfig(**config, resume=True))
+        assert resumed.ok()
+        _assert_all_lines_parse(journal)
+        # The torn program was re-run and re-journaled, nothing fused.
+        assert resumed.resumed_programs == len(whole) - 1
+        final = [json.loads(line) for line in _lines(journal)]
+        assert sorted(e["index"] for e in final) == sorted(
+            e["index"] for e in (json.loads(l) for l in whole)
+        )
+
+
+class TestSrcfiJournalRepair:
+    @pytest.fixture(scope="class")
+    def target(self):
+        from repro.lang import compile_source
+        from repro.srcfi import SourceLocator
+        from repro.swifi import InputCase
+
+        source = """
+        int in_x;
+        void main() {
+            int i; int total = 0;
+            for (i = 0; i < 4; i++) { total = total + in_x; }
+            print_int(total);
+            exit(0);
+        }
+        """
+        compiled = compile_source(source, "persist-target")
+        cases = [InputCase("a", {"in_x": 3}, b"12")]
+        faults = SourceLocator(compiled).source_faults(
+            max_sites_per_operator=2)
+        assert len(faults) >= 2
+        return compiled, cases, faults
+
+    def test_resume_after_kill_repairs_then_extends(self, tmp_path, target):
+        from repro.srcfi.campaign import JOURNAL_NAME
+        from repro.swifi import CampaignConfig, CampaignRunner
+
+        compiled, cases, faults = target
+        journal_dir = str(tmp_path / "j")
+        first = CampaignRunner(compiled, cases).run(
+            faults, config=CampaignConfig(
+                tier="source", journal_dir=journal_dir))
+
+        journal = os.path.join(journal_dir, JOURNAL_NAME)
+        whole = _lines(journal)
+        assert len(whole) == len(first.records)
+
+        with open(journal, "r+b") as handle:
+            data = handle.read()
+            handle.truncate(len(data) - 9)
+
+        resumed = CampaignRunner(compiled, cases).run(
+            faults, config=CampaignConfig(
+                tier="source", journal_dir=journal_dir, resume=True))
+        _assert_all_lines_parse(journal)
+        assert [r.to_dict() for r in resumed.records] == \
+            [r.to_dict() for r in first.records]
+        # Torn record re-executed and re-appended exactly once.
+        assert len(_lines(journal)) == len(whole)

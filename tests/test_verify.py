@@ -121,7 +121,7 @@ def _compiled_case(seed=0, index=0):
 class TestOracle:
     def test_full_matrix_covers_every_axis(self):
         matrix = full_matrix((1, 4))
-        assert len(matrix) == 2 * 3 * 2 * 2  # engines x snapshots x jobs x planner
+        assert len(matrix) == 3 * 3 * 2 * 2  # engines x snapshots x jobs x planner
         labels = {config.label() for config in matrix}
         assert len(labels) == len(matrix)
 
@@ -285,6 +285,73 @@ def broken_block_multiply():
     finally:
         blocks._Emitter._emit_xo = original
         blocks._FACTORY_CACHE.clear()
+
+
+@contextlib.contextmanager
+def broken_trace_guard():
+    """Sabotage the superblock tier: side-exit guards are dropped, so a
+    trace follows its predicted path even when the branch disagrees."""
+    original = blocks._TraceEmitter.emit_guard
+    hot, edge = blocks.TRACE_HOT, blocks.TRACE_MIN_EDGE
+
+    def sabotaged(self, k, cond, predicted_taken, exit_off):
+        return None  # guard elided: the unlikely direction is never taken
+
+    blocks._TraceEmitter.emit_guard = sabotaged
+    # Lower the heat thresholds so the fuzzer's short loops form traces.
+    blocks.TRACE_HOT, blocks.TRACE_MIN_EDGE = 4, 2
+    blocks._FACTORY_CACHE.clear()
+    try:
+        yield
+    finally:
+        blocks._TraceEmitter.emit_guard = original
+        blocks.TRACE_HOT, blocks.TRACE_MIN_EDGE = hot, edge
+        blocks._FACTORY_CACHE.clear()
+
+
+class TestTraceGuardMutation:
+    """The fuzzer must catch a sabotaged superblock side-exit guard."""
+
+    GUARDED_LOOP = """
+    int in_n;
+    void main() {
+        int i; int acc = 0;
+        for (i = 0; i < in_n; i++) {
+            if (i % 37 == 5) { acc = acc + 1000; }
+            acc = acc + i;
+        }
+        print_int(acc);
+        exit(0);
+    }
+    """
+
+    def _states(self):
+        compiled = compile_source(self.GUARDED_LOOP, "guarded-loop")
+        states = []
+        for engine in (ENGINE_SIMPLE, "trace"):
+            machine = boot(compiled.executable, inputs={"in_n": 300},
+                           engine=engine)
+            result = machine.run(max_instructions=2_000_000)
+            states.append((result.status, result.console, machine.instret))
+        return states
+
+    def test_fuzzer_catches_sabotaged_side_exit_guard(self):
+        with broken_trace_guard():
+            # Deterministic repro: a 97%-biased branch forms a trace whose
+            # guard would fire on the minority iterations.
+            simple, trace = self._states()
+            assert trace != simple, "elided guard went unnoticed"
+            # And the seeded fuzzer's state oracle catches it unaided.
+            report = run_fuzz(FuzzConfig(seed=0, cases=60,
+                                         inputs_per_program=1,
+                                         faults_per_program=2,
+                                         record_tier=False,
+                                         max_divergences=1))
+            assert not report.ok(), "sabotaged guard went undetected"
+            assert report.divergences[0].tier == "state"
+        # Reverting the sabotage restores bit-identical execution.
+        simple, trace = self._states()
+        assert trace == simple
 
 
 class TestFuzzer:
