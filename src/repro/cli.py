@@ -20,6 +20,7 @@ Usage (also via ``python -m repro``)::
     python -m repro inject FILE.c    # locate+inject faults in your MiniC file
     python -m repro verify fuzz --seed 0 --cases 200   # differential fuzzer
     python -m repro verify fuzz --tier source          # fuzz the mutant pipeline
+    python -m repro verify fuzz --opt 1                # add the O0-vs-O1 axis
     python -m repro verify replay ARTIFACT.json        # re-run a divergence
     python -m repro srcfi sites JB.team6               # mutation-site listing
     python -m repro srcfi campaign --programs SOR      # source-tier campaigns
@@ -70,8 +71,44 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _opt_level(text: str) -> int:
+    """Argparse type for ``--opt``: the only levels are 0 and 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value not in (0, 1):
+        raise argparse.ArgumentTypeError(
+            f"optimization level must be 0 or 1 (got {value})"
+        )
+    return value
+
+
 def _scale(args: argparse.Namespace) -> float:
     return getattr(args, "scale", 1.0)
+
+
+def _opt(args: argparse.Namespace) -> int:
+    return getattr(args, "opt", 0)
+
+
+def _reject_paper_opt(args) -> int | None:
+    """Exit-2 guard: the paper's tables/figures are defined on O0 binaries.
+
+    Every published number was measured against the unoptimized compiler
+    output (slot-per-variable codegen); running them at O1 would silently
+    change fault-location counts and outcome tallies.  Reject the
+    combination with a one-line diagnostic instead of producing figures
+    that no longer match the paper.
+    """
+    if _opt(args) == 0:
+        return None
+    print(
+        "error: --opt 1 is not allowed here: paper tables/figures are "
+        "defined on the unoptimized (O0) binaries",
+        file=sys.stderr,
+    )
+    return 2
 
 
 def _seed(args: argparse.Namespace) -> int:
@@ -86,22 +123,37 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
 
 
 def _cmd_table1(args):
+    exit_code = _reject_paper_opt(args)
+    if exit_code is not None:
+        return exit_code
     print(run_table1(_config(args)).render())
 
 
 def _cmd_table2(args):
+    exit_code = _reject_paper_opt(args)
+    if exit_code is not None:
+        return exit_code
     print(run_table2().render())
 
 
 def _cmd_table3(args):
+    exit_code = _reject_paper_opt(args)
+    if exit_code is not None:
+        return exit_code
     print(run_table3().render())
 
 
 def _cmd_table4(args):
+    exit_code = _reject_paper_opt(args)
+    if exit_code is not None:
+        return exit_code
     print(run_table4(_config(args)).render())
 
 
 def _cmd_sec5(args):
+    exit_code = _reject_paper_opt(args)
+    if exit_code is not None:
+        return exit_code
     print(run_sec5(_config(args)).render())
 
 
@@ -139,7 +191,9 @@ def _reject_source_tier_flags(args) -> int | None:
 def _cmd_figures(args):
     from .orchestrator import CompositeSink, JsonTelemetryWriter, ProgressRenderer
 
-    exit_code = _reject_source_tier_flags(args)
+    exit_code = _reject_paper_opt(args)
+    if exit_code is None:
+        exit_code = _reject_source_tier_flags(args)
     if exit_code is not None:
         return exit_code
 
@@ -168,18 +222,27 @@ def _cmd_figures(args):
 
 
 def _cmd_ablation_metrics(args):
+    exit_code = _reject_paper_opt(args)
+    if exit_code is not None:
+        return exit_code
     result = run_metric_guidance(total_faults=args.faults)
     print(result.render())
     print(f"\nSpearman(mccabe, sites) = {result.rank_correlation('mccabe', 'sites'):.2f}")
 
 
 def _cmd_ablation_triggers(args):
+    exit_code = _reject_paper_opt(args)
+    if exit_code is not None:
+        return exit_code
     print(run_trigger_ablation(_config(args), jobs=getattr(args, "jobs", 1),
                                snapshot=getattr(args, "snapshot", "off"),
                                engine=getattr(args, "engine", "simple")).render())
 
 
 def _cmd_ablation_hardware(args):
+    exit_code = _reject_paper_opt(args)
+    if exit_code is not None:
+        return exit_code
     print(run_hardware_comparison(_config(args), jobs=getattr(args, "jobs", 1),
                                   snapshot=getattr(args, "snapshot", "off"),
                                   engine=getattr(args, "engine", "simple")).render())
@@ -217,7 +280,7 @@ def _cmd_disasm(args):
     from .workloads import get_workload
 
     workload = get_workload(args.program)
-    compiled = workload.compiled()
+    compiled = workload.compiled(_opt(args))
     symbols = {
         name: address
         for name, address in compiled.executable.symbols.items()
@@ -234,7 +297,7 @@ def _cmd_coverage(args):
     from .workloads import get_workload
 
     workload = get_workload(args.program)
-    compiled = workload.compiled()
+    compiled = workload.compiled(_opt(args))
     session = CoverageSession(compiled)
     rng = random.Random(_seed(args))
     merged_counts: dict[int, int] = {}
@@ -261,7 +324,7 @@ def _cmd_inject(args):
 
     with open(args.file, "r", encoding="utf-8") as handle:
         source = handle.read()
-    compiled = compile_source(source, args.file)
+    compiled = compile_source(source, args.file, opt_level=_opt(args))
     locator = FaultLocator(compiled)
     print(f"{args.file}: {compiled.source_lines} lines")
     print(f"  assignment locations: {len(locator.assignment_locations())}")
@@ -285,6 +348,8 @@ def _cmd_verify_fuzz(args):
     extra = {}
     if args.jobs is not None:
         extra["jobs_axis"] = (1, args.jobs) if args.jobs > 1 else (1,)
+    if _opt(args):
+        extra["opt_axis"] = (0, 1)
     report = run_fuzz(FuzzConfig(
         seed=args.seed,
         cases=args.cases,
@@ -320,6 +385,9 @@ def _cmd_srcfi_sites(args):
 def _cmd_srcfi_campaign(args):
     from .swifi.outcomes import MODE_ORDER
 
+    exit_code = _reject_paper_opt(args)
+    if exit_code is not None:
+        return exit_code
     classes = tuple(args.classes) if args.classes else ("assignment", "checking")
     results = run_section6(
         _config(args),
@@ -350,6 +418,9 @@ def _cmd_srcfi_campaign(args):
 def _cmd_srcfi_compare(args):
     from .experiments import run_srcfi_compare
 
+    exit_code = _reject_paper_opt(args)
+    if exit_code is not None:
+        return exit_code
     progress = None
     if not args.quiet:
         progress = lambda done, total: print(  # noqa: E731
@@ -409,6 +480,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="multiply every run count (default 1.0)")
     shared.add_argument("--seed", type=int, default=argparse.SUPPRESS,
                         help="master RNG seed (default 2000)")
+    shared.add_argument("--opt", type=_opt_level, default=argparse.SUPPRESS,
+                        metavar="{0,1}",
+                        help="compiler optimization level (default 0; the "
+                             "paper tables/figures require 0)")
     parser = argparse.ArgumentParser(
         prog="repro",
         parents=[shared],
@@ -602,6 +677,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "descriptors) or the source tier (srcfi mutants: "
                            "engine conformance, revert oracle, source-"
                            "campaign record matrix)")
+    fuzz.add_argument("--opt", type=_opt_level, default=0, metavar="{0,1}",
+                      help="1 widens the oracle with the compiler axis: "
+                           "every generated program is also compiled at O1 "
+                           "and must match the O0 binary's console bytes, "
+                           "exit code and outcome on every engine "
+                           "(default 0 = off)")
     fuzz.set_defaults(fn=_cmd_verify_fuzz)
     replay = verify_sub.add_parser(
         "replay",

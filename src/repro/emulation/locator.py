@@ -110,11 +110,14 @@ class FaultLocator:
                 error_types=ASSIGNMENT_ERROR_TYPES,
             )
             for site in self.compiled.debug.assignments
+            if site.anchorable
         ]
 
     def checking_locations(self) -> list[FaultLocation]:
         locations: list[FaultLocation] = []
         for site in self.compiled.debug.checks:
+            if not site.anchorable:
+                continue
             error_types: list[ErrorType] = []
             if site.op in REL_COND:
                 error_types.extend(checking_swaps_for(site.op))
@@ -133,6 +136,8 @@ class FaultLocator:
                 )
             )
         for junction in self.compiled.debug.junctions:
+            if not junction.anchorable:
+                continue
             locations.append(
                 FaultLocation(
                     program=self.compiled.name,

@@ -13,6 +13,15 @@ The compiler's distinguishing feature for this reproduction is its debug
 info (:mod:`repro.lang.debuginfo`): machine-level anchors for every
 assignment and checking statement, which the fault locator and the §5
 fault emulations consume.
+
+``compile_source(..., opt_level=1)`` routes through the optimizing
+middle-end (:mod:`repro.lang.ir` → :mod:`repro.lang.optimize` →
+:mod:`repro.lang.regalloc`): constant folding, copy propagation,
+dead-code elimination and linear-scan register allocation.  Debug
+anchors survive optimization — statements folded away are marked
+unanchorable instead of silently dropped — so the injection tiers work
+at both levels.  The default stays ``opt_level=0`` so the paper figures
+remain bit-identical.
 """
 
 from . import astnodes

@@ -24,6 +24,7 @@ class CompiledProgram:
     tree: ast.Program
     executable: Executable
     debug: DebugInfo
+    opt_level: int = 0
 
     @property
     def source_lines(self) -> int:
@@ -50,7 +51,7 @@ class CompiledProgram:
 
 
 def compile_tree(tree: ast.Program, name: str = "prog",
-                 source: str = "") -> CompiledProgram:
+                 source: str = "", opt_level: int = 0) -> CompiledProgram:
     """Compile an already-parsed (possibly mutated) AST into an image.
 
     This is the srcfi mutation tier's entry point: mutants are deep
@@ -59,9 +60,24 @@ def compile_tree(tree: ast.Program, name: str = "prog",
     function of the tree — compiling the same tree twice yields
     bit-identical code and data images (the mutation round-trip suite
     asserts this).
+
+    ``opt_level`` selects the backend: 0 is the untouched slot-per-variable
+    generator (bit-identical to every published figure), 1 routes through
+    the IR middle-end (:mod:`repro.lang.ir` → :mod:`repro.lang.optimize` →
+    :mod:`repro.lang.regalloc`).  Both are pure functions of the tree.
     """
-    generator = CodeGen(tree, name=name)
-    assembled, data_image, symbols, debug = generator.compile()
+    if opt_level not in (0, 1):
+        raise CompileError(f"unsupported opt_level {opt_level!r} (expected 0 or 1)")
+    if opt_level == 0:
+        generator = CodeGen(tree, name=name)
+        assembled, data_image, symbols, debug = generator.compile()
+    else:
+        from .ir import lower_program
+        from .optimize import optimize_program
+        from .regalloc import emit_program
+
+        ir_program = optimize_program(lower_program(tree, name=name))
+        assembled, data_image, symbols, debug = emit_program(ir_program)
     debug.source_lines = source.count("\n") + 1 if source else 0
     executable = Executable(
         code=assembled.code,
@@ -80,12 +96,15 @@ def compile_tree(tree: ast.Program, name: str = "prog",
         tree=tree,
         executable=executable,
         debug=debug,
+        opt_level=opt_level,
     )
 
 
-def compile_source(source: str, name: str = "prog") -> CompiledProgram:
+def compile_source(source: str, name: str = "prog",
+                   opt_level: int = 0) -> CompiledProgram:
     """Compile MiniC *source* into a loadable program image."""
-    return compile_tree(parse(source), name=name, source=source)
+    return compile_tree(parse(source), name=name, source=source,
+                        opt_level=opt_level)
 
 
 __all__ = ["CompiledProgram", "CompileError", "compile_source", "compile_tree"]

@@ -24,6 +24,17 @@ instructions *anchor* the statement:
 Indices are word indices into the code stream until
 :meth:`DebugInfo.resolve` turns them into absolute addresses using the
 assembled symbol table.
+
+At ``-O1`` (see :mod:`repro.lang.ir`) a site may no longer anchor a real
+instruction: constant folding can delete the compare/branch pair of an
+``if (1)`` outright, and dead-code elimination can delete the committing
+move of a never-read assignment.  Such sites are *marked unanchorable*
+(``anchorable=False``, with the index pointing at the next surviving
+instruction as a best-effort address) rather than silently dropped, so
+consumers can tell "this statement produced no code" apart from "this
+statement was never recorded".  Register allocation also means an
+assignment may commit to a register instead of a frame slot; the
+:attr:`AssignmentSite.location` record says which.
 """
 
 from __future__ import annotations
@@ -42,6 +53,12 @@ class AssignmentSite:
     element_size: int = 4
     via_pointer: bool = False
     address: int | None = None  # filled by resolve()
+    anchorable: bool = True
+    # Where the committed value lives: ("slot", fp_offset) for a frame
+    # store, ("reg", ordinal) when -O1 promoted the target to a register,
+    # None for stores through computed addresses (arrays, pointers,
+    # globals) — and for all O0 sites, which predate the record.
+    location: tuple[str, int] | None = None
 
     @property
     def key(self) -> str:
@@ -63,6 +80,7 @@ class CheckSite:
     true_address: int | None = None
     false_address: int | None = None
     array_load_addresses: list[tuple[int, int]] = field(default_factory=list)
+    anchorable: bool = True
 
     @property
     def key(self) -> str:
@@ -84,6 +102,7 @@ class JunctionSite:
     true_address: int | None = None
     false_address: int | None = None
     mid_address: int | None = None
+    anchorable: bool = True
 
 
 @dataclass
@@ -104,6 +123,7 @@ class StatementSite:
                           # 'return' | 'break' | 'continue'
     start_index: int      # word index of the statement's first instruction
     address: int | None = None  # filled by resolve()
+    anchorable: bool = True
 
     @property
     def key(self) -> str:
@@ -130,7 +150,10 @@ class FunctionInfo:
     start_address: int | None = None
     end_address: int | None = None
     # local variable name -> frame offset relative to the frame pointer
+    # (at -O1 this covers memory-resident locals plus spilled promotions)
     locals: dict[str, int] = field(default_factory=dict)
+    # -O1 only: promoted local name -> physical register ordinal
+    register_locals: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -145,6 +168,7 @@ class DebugInfo:
     var_refs: dict[tuple[str, str], list[VarRefSite]] = field(default_factory=dict)
     functions: dict[str, FunctionInfo] = field(default_factory=dict)
     source_lines: int = 0
+    opt_level: int = 0
 
     def add_var_ref(self, site: VarRefSite) -> None:
         self.var_refs.setdefault((site.function, site.var), []).append(site)

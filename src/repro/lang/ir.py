@@ -1,0 +1,1233 @@
+"""Linear IR for the MiniC optimizing middle-end (``-O1``).
+
+The O0 generator (:mod:`repro.lang.codegen`) keeps every variable in
+memory and evaluates expressions through a LIFO register pool — exactly
+the naive contest-compiler output the paper's fault model wants.  The O1
+pipeline instead lowers the typed AST into the linear, virtual-register
+IR defined here, optimizes it (:mod:`repro.lang.optimize`) and emits it
+through linear-scan register allocation (:mod:`repro.lang.regalloc`).
+
+Shape of the IR:
+
+* an :class:`IROp` is one abstract instruction over *virtual registers*
+  (plain ints, unbounded).  Every op writes a fresh vreg except the
+  committing move of an assignment to a promoted local, which redefines
+  the local's vreg — so the IR is SSA-ish without phi nodes;
+* scalar locals (int/char/pointer) whose address is never taken are
+  *promoted* to a dedicated vreg; arrays, structs, globals and
+  address-taken scalars keep the O0 frame/data layout, accessed through
+  explicit load/store ops;
+* promoted ``char`` locals are kept zero-extended by masking every
+  committed value with ``andi 0xFF`` — the register residue a ``stb`` /
+  ``lbz`` round trip would have produced;
+* control flow is explicit: ``cmp``/``cmpi`` immediately followed by a
+  ``bc``/``b`` pair, mirroring the O0 leaf-condition shape so a
+  :class:`~repro.lang.debuginfo.CheckSite` anchors the same way;
+* debug anchors attach to ops, not indices.  Passes mark ops ``deleted``
+  instead of removing them, so anchors survive optimization and are
+  resolved to word indices at emission (or marked unanchorable when the
+  anchored op is gone).
+
+Lowering is a pure function of the AST: compiling the same tree twice
+yields identical IR and, downstream, bit-identical images — the srcfi
+mutation tier's revert oracle depends on that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.encoding import COND_NE
+from ..machine.machine import DATA_BASE
+from . import astnodes as ast
+from .codegen import _BUILTINS, _REL_COND, CompileError
+from .debuginfo import FunctionInfo
+from .types import (
+    CHAR,
+    INT,
+    VOID,
+    ArrayType,
+    CharType,
+    FunctionType,
+    PointerType,
+    StructType,
+    Type,
+    decay,
+    is_integer,
+    is_pointer,
+    is_scalar,
+)
+
+# Op kinds and their operand conventions (a/b are vregs unless noted):
+#
+#   li        dst = imm (32-bit constant, materialised via li32)
+#   frameaddr dst = FP + imm
+#   unop      dst = op(a)            op in {mr, neg, not}
+#   binop     dst = a op b           op in {add, sub, mul, divw, modw,
+#                                           and, or, xor, slw, srw, sraw}
+#   binimm    dst = a op imm         op in {addi, mulli, slwi, srwi,
+#                                           srawi, andi, ori, xori}
+#   load      dst = size bytes at [a + imm]
+#   loadfp    dst = size bytes at [FP + imm]
+#   store     size bytes of a -> [b + imm]
+#   storefp   size bytes of a -> [FP + imm]
+#   cmp       CR = compare(a, b)     (always immediately before bc)
+#   cmpi      CR = compare(a, imm)
+#   bc        branch to label when CR matches cond
+#   b         branch to label
+#   label     bind label here
+#   call      dst = name(args...)    dst None for void
+#   syscall   dst = sc imm (arg a)   a/dst optional
+#   getparam  dst = physical register `a` (3 + position), at entry
+#   storeparam  size bytes of physical register `a` -> [FP + imm]
+#   ret       return a (None -> 0)
+
+
+@dataclass
+class IROp:
+    kind: str
+    dst: int | None = None
+    a: int | None = None
+    b: int | None = None
+    imm: int | None = None
+    op: str | None = None
+    size: int = 4
+    label: str | None = None
+    cond: int | None = None
+    args: tuple[int, ...] = ()
+    name: str | None = None
+    deleted: bool = False
+    # debug tag: (var, kind) for memory-resident local references
+    var_ref: tuple[str, str] | None = None
+
+    def uses(self) -> tuple[int, ...]:
+        kind = self.kind
+        if kind in ("unop", "binimm", "cmpi", "storefp", "syscall", "ret"):
+            return () if self.a is None else (self.a,)
+        if kind in ("binop", "cmp"):
+            return (self.a, self.b)
+        if kind == "load":
+            return (self.a,)
+        if kind == "store":
+            return (self.a, self.b)
+        if kind == "call":
+            return self.args
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.kind]
+        if self.op:
+            parts.append(self.op)
+        if self.dst is not None:
+            parts.append(f"v{self.dst}")
+        for operand in (self.a, self.b):
+            if operand is not None:
+                parts.append(f"v{operand}")
+        if self.imm is not None:
+            parts.append(str(self.imm))
+        if self.label:
+            parts.append(self.label)
+        if self.name:
+            parts.append(self.name)
+        if self.args:
+            parts.append("(" + ",".join(f"v{a}" for a in self.args) + ")")
+        flag = " [deleted]" if self.deleted else ""
+        return "<" + " ".join(parts) + flag + ">"
+
+
+# -- pending debug records ---------------------------------------------------
+#
+# Site records referencing IROps; regalloc turns them into the index-based
+# dataclasses of repro.lang.debuginfo after emission.
+
+
+@dataclass
+class PendingStatement:
+    function: str
+    line: int
+    kind: str
+    span: tuple[int, int]  # [start, end) positions into IRFunction.ops
+
+
+@dataclass
+class PendingAssignment:
+    function: str
+    line: int
+    target: str
+    kind: str
+    op: IROp              # the committing store / register move
+    is_array_element: bool = False
+    element_size: int = 4
+    via_pointer: bool = False
+    # ("reg", vreg) | ("slot", fp_offset) | None (computed address)
+    location: tuple[str, int] | None = None
+
+
+@dataclass
+class PendingCheck:
+    function: str
+    line: int
+    context: str
+    op: str
+    cmp_op: IROp
+    bc_op: IROp
+    bc_cond: int
+    true_label: str
+    false_label: str
+    array_loads: list[tuple[IROp, int]] = field(default_factory=list)
+
+
+@dataclass
+class PendingJunction:
+    function: str
+    line: int
+    op: str
+    bc_op: IROp
+    b_op: IROp
+    true_label: str
+    false_label: str
+    mid_label: str
+
+
+@dataclass
+class IRFunction:
+    name: str
+    line: int
+    num_params: int
+    ops: list[IROp] = field(default_factory=list)
+    next_vreg: int = 0
+    frame_cursor: int = 8  # saved lr + saved fp, as at O0
+    locals_map: dict[str, int] = field(default_factory=dict)
+    reg_locals: dict[str, int] = field(default_factory=dict)  # name -> vreg
+    statements: list[PendingStatement] = field(default_factory=list)
+    assignments: list[PendingAssignment] = field(default_factory=list)
+    checks: list[PendingCheck] = field(default_factory=list)
+    junctions: list[PendingJunction] = field(default_factory=list)
+
+    def new_vreg(self) -> int:
+        vreg = self.next_vreg
+        self.next_vreg += 1
+        return vreg
+
+    def live_ops(self) -> list[IROp]:
+        return [op for op in self.ops if not op.deleted]
+
+
+@dataclass
+class IRProgram:
+    name: str
+    functions: list[IRFunction]
+    data: bytes
+    data_symbols: dict[str, int]
+    func_sigs: dict[str, FunctionType]
+
+
+# -- address-taken analysis --------------------------------------------------
+
+
+def _addressed_names(node: object, out: set[str]) -> None:
+    """Collect identifiers whose address is taken via a direct ``&`` spine.
+
+    ``&x`` pins x; ``&s.f`` pins s (dot members live inside the struct's
+    storage).  ``&p->f`` and ``&a[i]`` read the base as an rvalue and pin
+    nothing — the pointee was already in memory.
+    """
+    if isinstance(node, ast.Unary) and node.op == "&":
+        spine = node.operand
+        while isinstance(spine, ast.Member) and not spine.arrow:
+            spine = spine.base
+        if isinstance(spine, ast.Identifier):
+            out.add(spine.name)
+        _addressed_names(node.operand, out)
+        return
+    for attr in ("left", "right", "operand", "cond", "then", "other", "value",
+                 "target", "base", "index", "init", "post", "body", "expr"):
+        child = getattr(node, attr, None)
+        if isinstance(child, (ast.Expr, ast.Stmt)):
+            _addressed_names(child, out)
+    for attr in ("args", "statements"):
+        children = getattr(node, attr, None)
+        if children:
+            for child in children:
+                _addressed_names(child, out)
+
+
+# -- lowering ----------------------------------------------------------------
+
+
+@dataclass
+class _IRLValue:
+    """Either a promoted register local or an addressable memory location."""
+
+    kind: str                 # "reg" | "mem"
+    type: Type
+    var: str | None = None    # the named local, when direct
+    vreg: int | None = None   # "reg": the local's vreg; "mem": base (None=FP)
+    disp: int = 0
+
+
+class IRGen:
+    """AST -> IR lowering; mirrors CodeGen's traversal order exactly."""
+
+    def __init__(self, program: ast.Program, name: str = "prog") -> None:
+        self.program = program
+        self.name = name
+        self.data = bytearray()
+        self.data_symbols: dict[str, int] = {}
+        self.global_types: dict[str, Type] = {}
+        self.func_sigs: dict[str, FunctionType] = {}
+        self.strings: dict[bytes, int] = {}
+
+        self.func: IRFunction | None = None
+        self.scopes: list[dict[str, tuple[str, int, Type]]] = []
+        self.addressed: set[str] = set()
+        self.break_labels: list[str] = []
+        self.continue_labels: list[str] = []
+        self._label_counter = 0
+        self._check_loads: list[tuple[IROp, int]] | None = None
+
+    # -- plumbing ----------------------------------------------------------
+
+    def emit(self, op: IROp) -> IROp:
+        assert self.func is not None
+        self.func.ops.append(op)
+        return op
+
+    def new_vreg(self) -> int:
+        assert self.func is not None
+        return self.func.new_vreg()
+
+    def new_label(self, hint: str) -> str:
+        assert self.func is not None
+        self._label_counter += 1
+        return f".{self.func.name}.{hint}{self._label_counter}"
+
+    # -- top level ---------------------------------------------------------
+
+    def lower(self) -> IRProgram:
+        self._layout_globals()
+        defined: set[str] = set()
+        for function in self.program.functions:
+            if function.name in _BUILTINS:
+                raise CompileError(f"{function.name!r} is a builtin", function.line)
+            signature = FunctionType(function.ret, tuple(p.type for p in function.params))
+            if function.name in self.func_sigs:
+                if self.func_sigs[function.name] != signature:
+                    raise CompileError(
+                        f"conflicting declarations of {function.name!r}", function.line
+                    )
+                if function.body is not None and function.name in defined:
+                    raise CompileError(f"function {function.name!r} redefined", function.line)
+            self.func_sigs[function.name] = signature
+            if function.body is not None:
+                defined.add(function.name)
+        if "main" not in self.func_sigs:
+            raise CompileError("program has no main() function")
+
+        functions = [
+            self._lower_function(function)
+            for function in self.program.functions
+            if function.body is not None
+        ]
+        return IRProgram(
+            name=self.name,
+            functions=functions,
+            data=bytes(self.data),
+            data_symbols=dict(self.data_symbols),
+            func_sigs=dict(self.func_sigs),
+        )
+
+    # -- globals and data (same layout rules as CodeGen) -------------------
+
+    def _layout_globals(self) -> None:
+        for decl in self.program.globals:
+            if decl.name in self.global_types:
+                raise CompileError(f"global {decl.name!r} redefined", decl.line)
+            size = max(4, (decl.type.size + 3) & ~3)
+            offset = len(self.data)
+            self.data.extend(b"\x00" * size)
+            self.data_symbols[decl.name] = offset
+            self.global_types[decl.name] = decl.type
+            if decl.init is not None:
+                if not isinstance(decl.init, ast.IntLiteral):
+                    raise CompileError("global initialisers must be constants", decl.line)
+                self._poke_data(offset, decl.init.value, decl.type)
+            if decl.init_list is not None:
+                if not isinstance(decl.type, ArrayType):
+                    raise CompileError("brace initialiser on a non-array", decl.line)
+                if len(decl.init_list) > decl.type.count:
+                    raise CompileError("too many array initialiser values", decl.line)
+                element = decl.type.element
+                for position, value in enumerate(decl.init_list):
+                    self._poke_data(offset + position * element.size, value, element)
+
+    def _poke_data(self, offset: int, value: int, vtype: Type) -> None:
+        if isinstance(vtype, CharType):
+            self.data[offset] = value & 0xFF
+        else:
+            self.data[offset : offset + 4] = (value & 0xFFFFFFFF).to_bytes(4, "big")
+
+    def _intern_string(self, literal: bytes) -> int:
+        if literal not in self.strings:
+            offset = len(self.data)
+            self.data.extend(literal + b"\x00")
+            while len(self.data) % 4:
+                self.data.append(0)
+            self.strings[literal] = DATA_BASE + offset
+        return self.strings[literal]
+
+    # -- functions ---------------------------------------------------------
+
+    def _lower_function(self, function: ast.Function) -> IRFunction:
+        if len(function.params) > 8:
+            raise CompileError("more than 8 parameters are not supported", function.line)
+        self.func = IRFunction(
+            name=function.name,
+            line=function.line,
+            num_params=len(function.params),
+        )
+        self.scopes = [{}]
+        self.break_labels = []
+        self.continue_labels = []
+        self.addressed = set()
+        _addressed_names(function.body, self.addressed)
+
+        for position, param in enumerate(function.params):
+            if not is_scalar(param.type):
+                raise CompileError("parameters must be scalar", param.line)
+            if param.name in self.addressed:
+                offset = self._alloc_slot(param.name, param.type, param.line)
+                self.emit(IROp(
+                    "storeparam", a=3 + position, imm=offset,
+                    size=1 if isinstance(param.type, CharType) else 4,
+                    var_ref=(param.name, "store"),
+                ))
+            else:
+                vreg = self._bind_reg_local(param.name, param.type, param.line)
+                if isinstance(param.type, CharType):
+                    raw = self.new_vreg()
+                    self.emit(IROp("getparam", dst=raw, a=3 + position))
+                    self.emit(IROp("binimm", op="andi", dst=vreg, a=raw, imm=0xFF))
+                else:
+                    self.emit(IROp("getparam", dst=vreg, a=3 + position))
+
+        self._lower_block(function.body, new_scope=False)
+        self.emit(IROp("ret"))  # fall-through return 0, as at O0
+
+        func = self.func
+        self.func = None
+        return func
+
+    def _alloc_slot(self, name: str, vtype: Type, line: int) -> int:
+        assert self.func is not None
+        scope = self.scopes[-1]
+        if name in scope:
+            raise CompileError(f"variable {name!r} redeclared", line)
+        if vtype.size <= 0:
+            raise CompileError(f"variable {name!r} has no size", line)
+        size = (vtype.size + 3) & ~3
+        self.func.frame_cursor += size
+        offset = -self.func.frame_cursor
+        scope[name] = ("mem", offset, vtype)
+        self.func.locals_map[name] = offset
+        return offset
+
+    def _bind_reg_local(self, name: str, vtype: Type, line: int) -> int:
+        assert self.func is not None
+        scope = self.scopes[-1]
+        if name in scope:
+            raise CompileError(f"variable {name!r} redeclared", line)
+        if vtype.size <= 0:
+            raise CompileError(f"variable {name!r} has no size", line)
+        vreg = self.new_vreg()
+        scope[name] = ("reg", vreg, vtype)
+        self.func.reg_locals[name] = vreg
+        return vreg
+
+    def _declare_local(self, name: str, vtype: Type, line: int):
+        """-> ("reg", vreg, t) or ("mem", offset, t); promotion policy."""
+        if is_scalar(vtype) and name not in self.addressed:
+            vreg = self._bind_reg_local(name, vtype, line)
+            return ("reg", vreg, vtype)
+        offset = self._alloc_slot(name, vtype, line)
+        return ("mem", offset, vtype)
+
+    def _lookup(self, name: str, line: int | None = None):
+        """-> ("reg", vreg, t) | ("mem", offset, t) | ("global", addr, t)."""
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        if name in self.global_types:
+            address = DATA_BASE + self.data_symbols[name]
+            return ("global", address, self.global_types[name])
+        raise CompileError(f"undefined variable {name!r}", line)
+
+    # -- statements --------------------------------------------------------
+
+    def _lower_block(self, block: ast.Block, new_scope: bool = True) -> None:
+        if new_scope:
+            self.scopes.append({})
+        for statement in block.statements:
+            self._lower_statement(statement)
+        if new_scope:
+            self.scopes.pop()
+
+    _STATEMENT_KINDS = {
+        ast.Declaration: "decl", ast.ExprStatement: "expr", ast.If: "if",
+        ast.While: "while", ast.For: "for", ast.Return: "return",
+        ast.Break: "break", ast.Continue: "continue",
+    }
+
+    def _lower_statement(self, statement: ast.Stmt) -> None:
+        assert self.func is not None
+        kind = self._STATEMENT_KINDS.get(type(statement))
+        span_start = len(self.func.ops)
+        pending: PendingStatement | None = None
+        if kind is not None:
+            pending = PendingStatement(
+                function=self.func.name,
+                line=statement.line,
+                kind=kind,
+                span=(span_start, span_start),
+            )
+            self.func.statements.append(pending)
+        if isinstance(statement, ast.Block):
+            self._lower_block(statement)
+        elif isinstance(statement, ast.Declaration):
+            self._lower_local_declaration(statement)
+        elif isinstance(statement, ast.ExprStatement):
+            self._lower_expr(statement.expr)
+        elif isinstance(statement, ast.If):
+            self._lower_if(statement)
+        elif isinstance(statement, ast.While):
+            self._lower_while(statement)
+        elif isinstance(statement, ast.For):
+            self._lower_for(statement)
+        elif isinstance(statement, ast.Return):
+            self._lower_return(statement)
+        elif isinstance(statement, ast.Break):
+            if not self.break_labels:
+                raise CompileError("break outside a loop", statement.line)
+            self.emit(IROp("b", label=self.break_labels[-1]))
+        elif isinstance(statement, ast.Continue):
+            if not self.continue_labels:
+                raise CompileError("continue outside a loop", statement.line)
+            self.emit(IROp("b", label=self.continue_labels[-1]))
+        else:  # pragma: no cover - parser produces no other nodes
+            raise CompileError(f"unsupported statement {statement!r}", statement.line)
+        if pending is not None:
+            pending.span = (span_start, len(self.func.ops))
+
+    def _lower_local_declaration(self, decl: ast.Declaration) -> None:
+        assert self.func is not None
+        binding = self._declare_local(decl.name, decl.type, decl.line)
+        if binding[0] == "reg" and decl.init is None:
+            # Deterministic zero for uninitialised promoted scalars (O0
+            # reads whatever the stack slot held; both are "garbage", ours
+            # is reproducible).  DCE removes it when the variable is
+            # properly initialised before use.
+            self.emit(IROp("li", dst=binding[1], imm=0))
+        if decl.init is None:
+            return
+        if not is_scalar(decl.type):
+            raise CompileError("only scalar locals may have initialisers", decl.line)
+        value, value_type = self._lower_expr(decl.init)
+        assert value is not None
+        self._check_assignable(decl.type, value_type, decl.line)
+        if binding[0] == "reg":
+            commit = self._commit_reg(binding[1], value, decl.type)
+            location = ("reg", binding[1])
+        else:
+            size = 1 if isinstance(decl.type, CharType) else 4
+            commit = self.emit(IROp(
+                "storefp", a=value, imm=binding[1], size=size,
+                var_ref=(decl.name, "store"),
+            ))
+            location = ("slot", binding[1])
+        self.func.assignments.append(PendingAssignment(
+            function=self.func.name,
+            line=decl.line,
+            target=decl.name,
+            kind="init",
+            op=commit,
+            element_size=decl.type.size,
+            location=location,
+        ))
+
+    def _commit_reg(self, vreg: int, value: int, vtype: Type) -> IROp:
+        """Redefine a promoted local; chars stay zero-extended."""
+        if isinstance(vtype, CharType):
+            return self.emit(IROp("binimm", op="andi", dst=vreg, a=value, imm=0xFF))
+        return self.emit(IROp("unop", op="mr", dst=vreg, a=value))
+
+    def _lower_if(self, statement: ast.If) -> None:
+        then_label = self.new_label("then")
+        else_label = self.new_label("else")
+        end_label = self.new_label("endif") if statement.other is not None else else_label
+        self._lower_cond(statement.cond, then_label, else_label, "if")
+        self.emit(IROp("label", label=then_label))
+        self._lower_statement(statement.then)
+        if statement.other is not None:
+            self.emit(IROp("b", label=end_label))
+            self.emit(IROp("label", label=else_label))
+            self._lower_statement(statement.other)
+            self.emit(IROp("label", label=end_label))
+        else:
+            self.emit(IROp("label", label=else_label))
+
+    def _lower_while(self, statement: ast.While) -> None:
+        # Rotated loop: the test sits at the bottom and entry jumps to it,
+        # so each iteration retires one taken backward bc instead of a
+        # bc plus the O0 shape's unconditional back-edge.  The check's
+        # cmp/bc/b triple is emitted once, unchanged — debug anchors and
+        # the §5 emulations see the same shape as at O0.
+        top = self.new_label("while")
+        body = self.new_label("body")
+        end = self.new_label("endwhile")
+        self.emit(IROp("b", label=top))
+        self.emit(IROp("label", label=body))
+        self.break_labels.append(end)
+        self.continue_labels.append(top)
+        self._lower_statement(statement.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self.emit(IROp("label", label=top))
+        self._lower_cond(statement.cond, body, end, "while")
+        self.emit(IROp("label", label=end))
+
+    def _lower_for(self, statement: ast.For) -> None:
+        self.scopes.append({})
+        if isinstance(statement.init, ast.Block):
+            for init_statement in statement.init.statements:
+                self._lower_statement(init_statement)
+        elif statement.init is not None:
+            self._lower_statement(statement.init)
+        top = self.new_label("for")
+        body = self.new_label("body")
+        post = self.new_label("post")
+        end = self.new_label("endfor")
+        # Rotated like while: entry jumps to the bottom test; the body
+        # falls through post and the test, branching back while true.
+        self.emit(IROp("b", label=top))
+        self.emit(IROp("label", label=body))
+        self.break_labels.append(end)
+        self.continue_labels.append(post)
+        self._lower_statement(statement.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self.emit(IROp("label", label=post))
+        if statement.post is not None:
+            self._lower_expr(statement.post)
+        self.emit(IROp("label", label=top))
+        if statement.cond is not None:
+            self._lower_cond(statement.cond, body, end, "for")
+        else:
+            self.emit(IROp("b", label=body))
+        self.emit(IROp("label", label=end))
+        self.scopes.pop()
+
+    def _lower_return(self, statement: ast.Return) -> None:
+        if statement.value is not None:
+            value, _ = self._lower_expr(statement.value)
+            self.emit(IROp("ret", a=value))
+        else:
+            self.emit(IROp("ret"))
+
+    # -- conditions --------------------------------------------------------
+
+    def _is_logical(self, expr: ast.Expr) -> bool:
+        return (isinstance(expr, ast.Binary) and expr.op in ("&&", "||")) or (
+            isinstance(expr, ast.Unary) and expr.op == "!"
+        )
+
+    def _last_branch_pair(self) -> tuple[IROp, IROp]:
+        assert self.func is not None
+        bc_op, b_op = self.func.ops[-2], self.func.ops[-1]
+        assert bc_op.kind == "bc" and b_op.kind == "b"
+        return bc_op, b_op
+
+    def _lower_cond(self, expr: ast.Expr, true_label: str, false_label: str,
+                    context: str) -> None:
+        assert self.func is not None
+        if isinstance(expr, ast.Binary) and expr.op == "&&":
+            mid = self.new_label("and")
+            simple = not self._is_logical(expr.left)
+            self._lower_cond(expr.left, mid, false_label, context)
+            if simple:
+                bc_op, b_op = self._last_branch_pair()
+                self.func.junctions.append(PendingJunction(
+                    function=self.func.name, line=expr.line, op="&&",
+                    bc_op=bc_op, b_op=b_op,
+                    true_label=true_label, false_label=false_label,
+                    mid_label=mid,
+                ))
+            self.emit(IROp("label", label=mid))
+            self._lower_cond(expr.right, true_label, false_label, context)
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "||":
+            mid = self.new_label("or")
+            simple = not self._is_logical(expr.left)
+            self._lower_cond(expr.left, true_label, mid, context)
+            if simple:
+                bc_op, b_op = self._last_branch_pair()
+                self.func.junctions.append(PendingJunction(
+                    function=self.func.name, line=expr.line, op="||",
+                    bc_op=bc_op, b_op=b_op,
+                    true_label=true_label, false_label=false_label,
+                    mid_label=mid,
+                ))
+            self.emit(IROp("label", label=mid))
+            self._lower_cond(expr.right, true_label, false_label, context)
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self._lower_cond(expr.operand, false_label, true_label, context)
+            return
+
+        saved_loads = self._check_loads
+        self._check_loads = []
+        if isinstance(expr, ast.Binary) and expr.op in _REL_COND:
+            op = expr.op
+            cond = _REL_COND[op]
+            left, _ = self._lower_expr(expr.left)
+            assert left is not None
+            if (
+                isinstance(expr.right, ast.IntLiteral)
+                and -0x8000 <= expr.right.value <= 0x7FFF
+            ):
+                cmp_op = self.emit(IROp("cmpi", a=left, imm=expr.right.value))
+            else:
+                right, _ = self._lower_expr(expr.right)
+                assert right is not None
+                cmp_op = self.emit(IROp("cmp", a=left, b=right))
+        else:
+            op = "bool"
+            cond = COND_NE
+            value, _ = self._lower_expr(expr)
+            assert value is not None
+            cmp_op = self.emit(IROp("cmpi", a=value, imm=0))
+        bc_op = self.emit(IROp("bc", cond=cond, label=true_label))
+        self.emit(IROp("b", label=false_label))
+        self.func.checks.append(PendingCheck(
+            function=self.func.name,
+            line=expr.line,
+            context=context,
+            op=op,
+            cmp_op=cmp_op,
+            bc_op=bc_op,
+            bc_cond=cond,
+            true_label=true_label,
+            false_label=false_label,
+            array_loads=list(self._check_loads),
+        ))
+        self._check_loads = saved_loads
+
+    def _cond_value(self, expr: ast.Expr) -> tuple[int, Type]:
+        result = self.new_vreg()
+        true_label = self.new_label("vt")
+        false_label = self.new_label("vf")
+        end_label = self.new_label("vend")
+        self._lower_cond(expr, true_label, false_label, "expr")
+        self.emit(IROp("label", label=true_label))
+        self.emit(IROp("li", dst=result, imm=1))
+        self.emit(IROp("b", label=end_label))
+        self.emit(IROp("label", label=false_label))
+        self.emit(IROp("li", dst=result, imm=0))
+        self.emit(IROp("label", label=end_label))
+        return result, INT
+
+    # -- expressions -------------------------------------------------------
+
+    def _lower_expr(self, expr: ast.Expr) -> tuple[int | None, Type]:
+        if isinstance(expr, ast.IntLiteral):
+            dst = self.new_vreg()
+            self.emit(IROp("li", dst=dst, imm=expr.value))
+            return dst, INT
+        if isinstance(expr, ast.StringLiteral):
+            address = self._intern_string(expr.value)
+            dst = self.new_vreg()
+            self.emit(IROp("li", dst=dst, imm=address))
+            return dst, PointerType(CHAR)
+        if isinstance(expr, ast.SizeOf):
+            dst = self.new_vreg()
+            self.emit(IROp("li", dst=dst, imm=expr.target.size))
+            return dst, INT
+        if isinstance(expr, ast.Identifier):
+            return self._lower_identifier(expr)
+        if isinstance(expr, ast.Unary):
+            return self._lower_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.Ternary):
+            return self._lower_ternary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._lower_assign(expr)
+        if isinstance(expr, ast.IncDec):
+            return self._lower_incdec(expr)
+        if isinstance(expr, ast.Call):
+            return self._lower_call(expr)
+        if isinstance(expr, ast.Index):
+            return self._lower_index_rvalue(expr)
+        if isinstance(expr, ast.Member):
+            return self._load_lvalue(self._lower_lvalue(expr), expr.line)
+        raise CompileError(f"unsupported expression {expr!r}", expr.line)
+
+    def _lower_identifier(self, expr: ast.Identifier) -> tuple[int, Type]:
+        kind, location, vtype = self._lookup(expr.name, expr.line)
+        if isinstance(vtype, ArrayType):
+            dst = self.new_vreg()
+            if kind == "mem":
+                self.emit(IROp("frameaddr", dst=dst, imm=location,
+                               var_ref=(expr.name, "addr")))
+            else:
+                self.emit(IROp("li", dst=dst, imm=location))
+            return dst, PointerType(vtype.element)
+        if kind == "reg":
+            # Copy the current value so later redefinitions of the local
+            # cannot retroactively change this rvalue (x + (x = 3) must
+            # use the old x).  Copy propagation removes the move when the
+            # local is not redefined before the use.
+            dst = self.new_vreg()
+            self.emit(IROp("unop", op="mr", dst=dst, a=location))
+            return dst, INT if isinstance(vtype, CharType) else vtype
+        dst = self.new_vreg()
+        if kind == "mem":
+            self.emit(IROp(
+                "loadfp", dst=dst, imm=location,
+                size=1 if isinstance(vtype, CharType) else 4,
+                var_ref=(expr.name, "load"),
+            ))
+        else:
+            base = self.new_vreg()
+            self.emit(IROp("li", dst=base, imm=location))
+            self.emit(IROp(
+                "load", dst=dst, a=base, imm=0,
+                size=1 if isinstance(vtype, CharType) else 4,
+            ))
+        return dst, INT if isinstance(vtype, CharType) else vtype
+
+    def _lower_unary(self, expr: ast.Unary) -> tuple[int, Type]:
+        if expr.op == "!":
+            return self._cond_value(expr)
+        if expr.op == "-":
+            value, vtype = self._lower_expr(expr.operand)
+            self._require_integer(vtype, expr.line, "unary -")
+            dst = self.new_vreg()
+            self.emit(IROp("unop", op="neg", dst=dst, a=value))
+            return dst, INT
+        if expr.op == "~":
+            value, vtype = self._lower_expr(expr.operand)
+            self._require_integer(vtype, expr.line, "unary ~")
+            dst = self.new_vreg()
+            self.emit(IROp("unop", op="not", dst=dst, a=value))
+            return dst, INT
+        if expr.op == "*":
+            lvalue = self._lower_lvalue(expr)
+            return self._load_lvalue(lvalue, expr.line)
+        if expr.op == "&":
+            lvalue = self._lower_lvalue(expr.operand)
+            return self._lvalue_address(lvalue, expr.line)
+        raise CompileError(f"unsupported unary operator {expr.op!r}", expr.line)
+
+    def _lvalue_address(self, lvalue: _IRLValue, line: int) -> tuple[int, Type]:
+        if lvalue.kind == "reg":  # pragma: no cover - promotion forbids this
+            raise CompileError("internal: address of a promoted local", line)
+        dst = self.new_vreg()
+        if lvalue.vreg is None:
+            self.emit(IROp("frameaddr", dst=dst, imm=lvalue.disp,
+                           var_ref=(lvalue.var, "addr") if lvalue.var else None))
+        else:
+            self.emit(IROp("binimm", op="addi", dst=dst, a=lvalue.vreg,
+                           imm=lvalue.disp))
+        return dst, PointerType(lvalue.type)
+
+    def _lower_binary(self, expr: ast.Binary) -> tuple[int | None, Type]:
+        op = expr.op
+        if op in ("&&", "||") or op in _REL_COND:
+            return self._cond_value(expr)
+        if op == ",":
+            self._lower_expr(expr.left)
+            return self._lower_expr(expr.right)
+
+        left, left_type = self._lower_expr(expr.left)
+        right, right_type = self._lower_expr(expr.right)
+        assert left is not None and right is not None
+        result_type: Type = INT
+
+        binop_name = {
+            "+": "add", "-": "sub", "*": "mul", "/": "divw", "%": "modw",
+            "&": "and", "|": "or", "^": "xor", "<<": "slw", ">>": "sraw",
+        }.get(op)
+        if binop_name is None:  # pragma: no cover
+            raise CompileError(f"unsupported binary operator {op!r}", expr.line)
+
+        if op == "+":
+            if is_pointer(left_type) and is_integer(right_type):
+                right = self._scale(right, left_type)
+                result_type = left_type
+            elif is_integer(left_type) and is_pointer(right_type):
+                left = self._scale(left, right_type)
+                result_type = right_type
+            elif not (is_integer(left_type) and is_integer(right_type)):
+                raise CompileError("invalid operands to +", expr.line)
+        elif op == "-":
+            if is_pointer(left_type) and is_integer(right_type):
+                right = self._scale(right, left_type)
+                result_type = left_type
+            elif not (is_integer(left_type) and is_integer(right_type)):
+                raise CompileError("invalid operands to -", expr.line)
+        elif op in ("*", "/", "%"):
+            self._require_integer(left_type, expr.line, op)
+            if op == "*":
+                self._require_integer(right_type, expr.line, op)
+
+        dst = self.new_vreg()
+        self.emit(IROp("binop", op=binop_name, dst=dst, a=left, b=right))
+        return dst, result_type
+
+    def _scale(self, vreg: int, pointer_type: Type) -> int:
+        assert isinstance(pointer_type, PointerType)
+        size = max(1, pointer_type.target.size)
+        if size == 1:
+            return vreg
+        dst = self.new_vreg()
+        if size & (size - 1) == 0:
+            self.emit(IROp("binimm", op="slwi", dst=dst, a=vreg,
+                           imm=size.bit_length() - 1))
+        else:
+            self.emit(IROp("binimm", op="mulli", dst=dst, a=vreg, imm=size))
+        return dst
+
+    def _lower_ternary(self, expr: ast.Ternary) -> tuple[int, Type]:
+        result = self.new_vreg()
+        true_label = self.new_label("tt")
+        false_label = self.new_label("tf")
+        end_label = self.new_label("tend")
+        self._lower_cond(expr.cond, true_label, false_label, "ternary")
+        self.emit(IROp("label", label=true_label))
+        then_value, then_type = self._lower_expr(expr.then)
+        assert then_value is not None
+        self.emit(IROp("unop", op="mr", dst=result, a=then_value))
+        self.emit(IROp("b", label=end_label))
+        self.emit(IROp("label", label=false_label))
+        other_value, _ = self._lower_expr(expr.other)
+        assert other_value is not None
+        self.emit(IROp("unop", op="mr", dst=result, a=other_value))
+        self.emit(IROp("label", label=end_label))
+        result_type = then_type if not isinstance(then_type, CharType) else INT
+        return result, result_type
+
+    # -- assignment --------------------------------------------------------
+
+    def _describe_lvalue(self, expr: ast.Expr) -> str:
+        if isinstance(expr, ast.Identifier):
+            return expr.name
+        if isinstance(expr, ast.Index):
+            return f"{self._describe_lvalue(expr.base)}[...]"
+        if isinstance(expr, ast.Member):
+            sep = "->" if expr.arrow else "."
+            return f"{self._describe_lvalue(expr.base)}{sep}{expr.field}"
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return f"*{self._describe_lvalue(expr.operand)}"
+        return "<expr>"
+
+    def _store_lvalue(self, lvalue: _IRLValue, value: int) -> IROp:
+        if lvalue.kind == "reg":
+            assert lvalue.vreg is not None
+            return self._commit_reg(lvalue.vreg, value, lvalue.type)
+        size = 1 if isinstance(lvalue.type, CharType) else 4
+        if lvalue.vreg is None:
+            return self.emit(IROp(
+                "storefp", a=value, imm=lvalue.disp, size=size,
+                var_ref=(lvalue.var, "store") if lvalue.var else None,
+            ))
+        return self.emit(IROp(
+            "store", a=value, b=lvalue.vreg, imm=lvalue.disp, size=size,
+        ))
+
+    def _location_of(self, lvalue: _IRLValue) -> tuple[str, int] | None:
+        if lvalue.kind == "reg":
+            assert lvalue.vreg is not None
+            return ("reg", lvalue.vreg)
+        if lvalue.vreg is None:
+            return ("slot", lvalue.disp)
+        return None
+
+    def _record_assignment(self, expr: ast.Expr, lvalue: _IRLValue | None,
+                           commit: IROp, kind: str,
+                           target: str | None = None) -> None:
+        assert self.func is not None
+        if target is None:
+            target = self._describe_lvalue(
+                expr.target if isinstance(expr, (ast.Assign, ast.IncDec)) else expr
+            )
+        is_array = isinstance(expr, (ast.Assign, ast.IncDec)) and isinstance(
+            expr.target, ast.Index
+        )
+        via_pointer = isinstance(expr, (ast.Assign, ast.IncDec)) and isinstance(
+            expr.target, (ast.Member, ast.Unary)
+        )
+        element_size = 4
+        if lvalue is not None:
+            element_size = max(1, lvalue.type.size)
+        self.func.assignments.append(PendingAssignment(
+            function=self.func.name,
+            line=expr.line,
+            target=target,
+            kind=kind,
+            op=commit,
+            is_array_element=is_array,
+            element_size=element_size,
+            via_pointer=via_pointer,
+            location=self._location_of(lvalue) if lvalue is not None else None,
+        ))
+
+    def _lower_assign(self, expr: ast.Assign) -> tuple[int, Type]:
+        if expr.op == "=":
+            value, value_type = self._lower_expr(expr.value)
+            assert value is not None
+            lvalue = self._lower_lvalue(expr.target)
+            self._check_assignable(lvalue.type, value_type, expr.line)
+            commit = self._store_lvalue(lvalue, value)
+            self._record_assignment(expr, lvalue, commit, "assign")
+            return value, decay(lvalue.type)
+
+        value, value_type = self._lower_expr(expr.value)
+        assert value is not None
+        lvalue = self._lower_lvalue(expr.target)
+        current = self._load_lvalue_raw(lvalue)
+        arith = expr.op[0]
+        if is_pointer(lvalue.type) and arith in "+-" and is_integer(value_type):
+            value = self._scale(value, lvalue.type)
+        binop_name = {"+": "add", "-": "sub", "*": "mul",
+                      "/": "divw", "%": "modw"}.get(arith)
+        if binop_name is None:  # pragma: no cover
+            raise CompileError(f"unsupported compound assignment {expr.op!r}", expr.line)
+        combined = self.new_vreg()
+        self.emit(IROp("binop", op=binop_name, dst=combined, a=current, b=value))
+        commit = self._store_lvalue(lvalue, combined)
+        self._record_assignment(expr, lvalue, commit, "compound")
+        return combined, decay(lvalue.type)
+
+    def _lower_incdec(self, expr: ast.IncDec) -> tuple[int, Type]:
+        lvalue = self._lower_lvalue(expr.target)
+        if not is_scalar(lvalue.type):
+            raise CompileError("++/-- needs a scalar operand", expr.line)
+        step = 1
+        if is_pointer(lvalue.type):
+            step = max(1, lvalue.type.target.size)
+        if expr.op == "--":
+            step = -step
+        current = self._load_lvalue_raw(lvalue)
+        updated = self.new_vreg()
+        self.emit(IROp("binimm", op="addi", dst=updated, a=current, imm=step))
+        commit = self._store_lvalue(lvalue, updated)
+        self._record_assignment(expr, None, commit, "incdec",
+                                target=self._describe_lvalue(expr.target))
+        result = updated if expr.prefix else current
+        return result, decay(lvalue.type)
+
+    # -- lvalues -----------------------------------------------------------
+
+    def _lower_lvalue(self, expr: ast.Expr) -> _IRLValue:
+        if isinstance(expr, ast.Identifier):
+            kind, location, vtype = self._lookup(expr.name, expr.line)
+            if isinstance(vtype, ArrayType):
+                raise CompileError(f"cannot assign to array {expr.name!r}", expr.line)
+            if kind == "reg":
+                return _IRLValue("reg", vtype, var=expr.name, vreg=location)
+            if kind == "mem":
+                return _IRLValue("mem", vtype, var=expr.name, vreg=None,
+                                 disp=location)
+            base = self.new_vreg()
+            self.emit(IROp("li", dst=base, imm=location))
+            return _IRLValue("mem", vtype, vreg=base, disp=0)
+        if isinstance(expr, ast.Index):
+            address, element = self._index_address(expr)
+            if isinstance(element, ArrayType):
+                raise CompileError("cannot assign to an array row", expr.line)
+            return _IRLValue("mem", element, vreg=address, disp=0)
+        if isinstance(expr, ast.Member):
+            if expr.arrow:
+                base, base_type = self._lower_expr(expr.base)
+                assert base is not None
+                if not isinstance(base_type, PointerType) or not isinstance(
+                    base_type.target, StructType
+                ):
+                    raise CompileError("-> needs a struct pointer", expr.line)
+                offset, ftype = self._field_offset(base_type.target, expr.field, expr.line)
+                if isinstance(ftype, ArrayType):
+                    shifted = self.new_vreg()
+                    self.emit(IROp("binimm", op="addi", dst=shifted, a=base,
+                                   imm=offset))
+                    return _IRLValue("mem", ftype, vreg=shifted, disp=0)
+                return _IRLValue("mem", ftype, vreg=base, disp=offset)
+            base = self._lower_lvalue(expr.base)
+            if not isinstance(base.type, StructType):
+                raise CompileError(". needs a struct lvalue", expr.line)
+            offset, ftype = self._field_offset(base.type, expr.field, expr.line)
+            return _IRLValue("mem", ftype, var=base.var, vreg=base.vreg,
+                             disp=base.disp + offset)
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            pointer, ptype = self._lower_expr(expr.operand)
+            assert pointer is not None
+            if not isinstance(ptype, PointerType):
+                raise CompileError("cannot dereference a non-pointer", expr.line)
+            if isinstance(ptype.target, VOID.__class__):
+                raise CompileError("cannot dereference void*", expr.line)
+            return _IRLValue("mem", ptype.target, vreg=pointer, disp=0)
+        raise CompileError("expression is not assignable", expr.line)
+
+    def _index_address(self, expr: ast.Index) -> tuple[int, Type]:
+        base, base_type = self._lower_expr(expr.base)
+        assert base is not None
+        if not isinstance(base_type, PointerType):
+            raise CompileError("cannot index a non-array value", expr.line)
+        element = base_type.target
+        if element.size <= 0:
+            raise CompileError("cannot index pointer to void", expr.line)
+        index, index_type = self._lower_expr(expr.index)
+        assert index is not None
+        self._require_integer(index_type, expr.line, "array subscript")
+        size = max(1, element.size)
+        if size != 1:
+            scaled = self.new_vreg()
+            if size & (size - 1) == 0:
+                self.emit(IROp("binimm", op="slwi", dst=scaled, a=index,
+                               imm=size.bit_length() - 1))
+            else:
+                self.emit(IROp("binimm", op="mulli", dst=scaled, a=index,
+                               imm=size))
+            index = scaled
+        address = self.new_vreg()
+        self.emit(IROp("binop", op="add", dst=address, a=base, b=index))
+        return address, element
+
+    def _lower_index_rvalue(self, expr: ast.Index) -> tuple[int, Type]:
+        address, element = self._index_address(expr)
+        if isinstance(element, ArrayType):
+            return address, PointerType(element.element)
+        dst = self.new_vreg()
+        size = 1 if isinstance(element, CharType) else 4
+        load = self.emit(IROp("load", dst=dst, a=address, imm=0, size=size))
+        if self._check_loads is not None:
+            self._check_loads.append((load, max(1, element.size)))
+        return dst, INT if isinstance(element, CharType) else element
+
+    def _load_lvalue_raw(self, lvalue: _IRLValue) -> int:
+        """Current value of a scalar lvalue (no array decay)."""
+        if lvalue.kind == "reg":
+            assert lvalue.vreg is not None
+            dst = self.new_vreg()
+            self.emit(IROp("unop", op="mr", dst=dst, a=lvalue.vreg))
+            return dst
+        dst = self.new_vreg()
+        size = 1 if isinstance(lvalue.type, CharType) else 4
+        if lvalue.vreg is None:
+            self.emit(IROp(
+                "loadfp", dst=dst, imm=lvalue.disp, size=size,
+                var_ref=(lvalue.var, "load") if lvalue.var else None,
+            ))
+        else:
+            self.emit(IROp("load", dst=dst, a=lvalue.vreg, imm=lvalue.disp,
+                           size=size))
+        return dst
+
+    def _load_lvalue(self, lvalue: _IRLValue, line: int) -> tuple[int, Type]:
+        if isinstance(lvalue.type, ArrayType):
+            if lvalue.kind == "mem" and lvalue.vreg is not None and lvalue.disp:
+                shifted = self.new_vreg()
+                self.emit(IROp("binimm", op="addi", dst=shifted,
+                               a=lvalue.vreg, imm=lvalue.disp))
+                return shifted, PointerType(lvalue.type.element)
+            if lvalue.kind == "mem" and lvalue.vreg is not None:
+                return lvalue.vreg, PointerType(lvalue.type.element)
+            address, _ = self._lvalue_address(lvalue, line)
+            return address, PointerType(lvalue.type.element)
+        value = self._load_lvalue_raw(lvalue)
+        promoted = INT if isinstance(lvalue.type, CharType) else lvalue.type
+        return value, promoted
+
+    # -- calls -------------------------------------------------------------
+
+    def _lower_call(self, expr: ast.Call) -> tuple[int | None, Type]:
+        if expr.name in _BUILTINS:
+            syscall, nargs, ret = _BUILTINS[expr.name]
+            if len(expr.args) != nargs:
+                raise CompileError(
+                    f"{expr.name}() takes {nargs} argument(s), got {len(expr.args)}",
+                    expr.line,
+                )
+            arg = None
+            if nargs:
+                arg, _ = self._lower_expr(expr.args[0])
+                assert arg is not None
+            if isinstance(ret, VOID.__class__):
+                self.emit(IROp("syscall", imm=syscall, a=arg))
+                return None, VOID
+            dst = self.new_vreg()
+            self.emit(IROp("syscall", imm=syscall, a=arg, dst=dst))
+            return dst, ret
+
+        signature = self.func_sigs.get(expr.name)
+        if signature is None:
+            raise CompileError(f"call to undefined function {expr.name!r}", expr.line)
+        if len(expr.args) != len(signature.params):
+            raise CompileError(
+                f"{expr.name}() takes {len(signature.params)} argument(s), "
+                f"got {len(expr.args)}",
+                expr.line,
+            )
+        args: list[int] = []
+        for argument, expected in zip(expr.args, signature.params):
+            value, value_type = self._lower_expr(argument)
+            assert value is not None
+            self._check_assignable(expected, value_type, expr.line)
+            args.append(value)
+        if isinstance(signature.ret, VOID.__class__):
+            self.emit(IROp("call", name=expr.name, args=tuple(args)))
+            return None, VOID
+        dst = self.new_vreg()
+        self.emit(IROp("call", name=expr.name, args=tuple(args), dst=dst))
+        return dst, signature.ret
+
+    # -- type helpers ------------------------------------------------------
+
+    def _field_offset(self, struct: StructType, field_name: str,
+                      line: int) -> tuple[int, Type]:
+        from .types import TypeError_
+
+        try:
+            return struct.field_offset(field_name)
+        except TypeError_ as error:
+            raise CompileError(str(error), line) from None
+
+    def _require_integer(self, t: Type, line: int, what: str) -> None:
+        if not is_integer(t):
+            raise CompileError(f"{what} needs an integer operand, got {t!r}", line)
+
+    def _check_assignable(self, dst: Type, src: Type, line: int) -> None:
+        if is_integer(dst) and is_integer(src):
+            return
+        if is_pointer(dst) and (is_pointer(src) or is_integer(src)):
+            return
+        if is_integer(dst) and is_pointer(src):
+            return
+        raise CompileError(f"cannot assign {src!r} to {dst!r}", line)
+
+
+def lower_program(program: ast.Program, name: str = "prog") -> IRProgram:
+    """Lower a typed AST into the linear IR."""
+    return IRGen(program, name=name).lower()
+
+
+__all__ = [
+    "IROp",
+    "IRFunction",
+    "IRProgram",
+    "IRGen",
+    "PendingAssignment",
+    "PendingCheck",
+    "PendingJunction",
+    "PendingStatement",
+    "lower_program",
+]

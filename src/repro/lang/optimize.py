@@ -1,0 +1,738 @@
+"""Optimization passes over the MiniC linear IR.
+
+Three classic passes, iterated to a fixpoint:
+
+* **constant folding** — forward walk tracking vreg -> constant; arithmetic
+  over known operands collapses to ``li``, one known operand strength-reduces
+  ``binop`` to ``binimm`` (or an ``mr`` for identities), and a compare whose
+  outcome is known folds its ``bc``/``b`` pair into straight-line flow.
+  Folding semantics replicate the RX32 core exactly: 32-bit wraparound,
+  C-style truncating division, shift amounts masked to 5 bits.  A division
+  whose divisor is 0 (or unknown) never folds — it must still trap at run
+  time;
+* **copy propagation** — uses of ``mr``-defined vregs are rewritten to the
+  source while neither side has been redefined.  This is what erases the
+  defensive copies the lowering makes of promoted locals;
+* **dead-code elimination** — iterative global liveness over the CFG; pure
+  ops (constants, moves, arithmetic, loads) whose destination is dead are
+  deleted.  Stores, calls, syscalls, compares and potentially-trapping
+  divisions are never deleted.
+
+Passes mark ops ``deleted`` rather than removing them, so the debug anchors
+attached by the lowering keep pointing at live Python objects; emission
+(:mod:`repro.lang.regalloc`) turns anchors on deleted ops into *unanchorable*
+debug sites.  State is reset at every label (a join point may have other
+predecessors) but flows through fall-through branches.
+"""
+
+from __future__ import annotations
+
+from ..isa.encoding import (
+    COND_EQ,
+    COND_GE,
+    COND_GT,
+    COND_LE,
+    COND_LT,
+    COND_NE,
+)
+from .ir import IRFunction, IROp, IRProgram
+
+_MASK = 0xFFFFFFFF
+
+# Test hook (see tests/test_verify_opt.py): when enabled, DCE deliberately
+# deletes the first *live* assignment commit of every function — the
+# differential fuzzer's O0-vs-O1 axis must catch the miscompile.
+SABOTAGE_DELETE_LIVE_STORE = False
+
+
+def _signed(value: int) -> int:
+    value &= _MASK
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def _fold_binop(op: str, a: int, b: int) -> int | None:
+    """RX32 semantics of ``a op b``; None when the fold is unsafe."""
+    if op == "add":
+        return (a + b) & _MASK
+    if op == "sub":
+        return (a - b) & _MASK
+    if op == "mul":
+        return (a * b) & _MASK
+    if op in ("divw", "modw"):
+        sa, sb = _signed(a), _signed(b)
+        if sb == 0:
+            return None  # must trap at run time
+        quotient = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            quotient = -quotient
+        if op == "divw":
+            return quotient & _MASK
+        return (sa - quotient * sb) & _MASK
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "slw":
+        return (a << (b & 31)) & _MASK
+    if op == "srw":
+        return (a & _MASK) >> (b & 31)
+    if op == "sraw":
+        return (_signed(a) >> (b & 31)) & _MASK
+    return None
+
+
+def _fold_binimm(op: str, a: int, imm: int) -> int | None:
+    if op == "addi":
+        return (a + imm) & _MASK
+    if op == "mulli":
+        return (a * imm) & _MASK
+    if op == "andi":
+        return a & (imm & 0xFFFF)
+    if op == "ori":
+        return a | (imm & 0xFFFF)
+    if op == "xori":
+        return a ^ (imm & 0xFFFF)
+    if op == "slwi":
+        return (a << (imm & 31)) & _MASK
+    if op == "srwi":
+        return (a & _MASK) >> (imm & 31)
+    if op == "srawi":
+        return (_signed(a) >> (imm & 31)) & _MASK
+    return None
+
+
+def _fold_unop(op: str, a: int) -> int | None:
+    if op == "mr":
+        return a & _MASK
+    if op == "neg":
+        return (-a) & _MASK
+    if op == "not":
+        return (a ^ _MASK) & _MASK
+    return None
+
+
+_COND_TAKEN = {
+    COND_LT: lambda cr: cr < 0,
+    COND_LE: lambda cr: cr <= 0,
+    COND_GT: lambda cr: cr > 0,
+    COND_GE: lambda cr: cr >= 0,
+    COND_EQ: lambda cr: cr == 0,
+    COND_NE: lambda cr: cr != 0,
+}
+
+_IMM16 = range(-0x8000, 0x8000)
+
+
+def _rewrite_li(op: IROp, value: int) -> None:
+    op.kind = "li"
+    op.op = None
+    op.a = None
+    op.b = None
+    op.imm = value & _MASK
+    op.cond = None
+
+def _rewrite_mr(op: IROp, source: int) -> None:
+    op.kind = "unop"
+    op.op = "mr"
+    op.a = source
+    op.b = None
+
+
+def constant_fold(func: IRFunction) -> bool:
+    """One forward folding sweep; returns True when anything changed."""
+    changed = False
+    consts: dict[int, int] = {}
+    pending_cr: int | None = None  # known compare outcome awaiting its bc
+    cmp_op: IROp | None = None
+
+    ops = func.ops
+    for position, op in enumerate(ops):
+        if op.deleted:
+            continue
+        kind = op.kind
+        if kind == "label":
+            consts.clear()
+            pending_cr = None
+            cmp_op = None
+            continue
+        if kind == "li":
+            consts[op.dst] = op.imm & _MASK
+            continue
+        if kind == "unop":
+            value = consts.get(op.a)
+            if value is not None:
+                folded = _fold_unop(op.op, value)
+                if folded is not None:
+                    # Rewrite to li only when the constant fits one word;
+                    # a big constant would cost a 2-word li32 where the
+                    # original op was 1 word.  The value is still *known*
+                    # either way, so downstream folds keep working.
+                    if _signed(folded) in _IMM16:
+                        _rewrite_li(op, folded)
+                        changed = True
+                    consts[op.dst] = folded & _MASK
+                    continue
+            consts.pop(op.dst, None)
+            continue
+        if kind == "binimm":
+            value = consts.get(op.a)
+            if value is not None:
+                folded = _fold_binimm(op.op, value, op.imm)
+                if folded is not None:
+                    if _signed(folded) in _IMM16:
+                        _rewrite_li(op, folded)
+                        changed = True
+                    consts[op.dst] = folded & _MASK
+                    continue
+            consts.pop(op.dst, None)
+            continue
+        if kind == "binop":
+            left = consts.get(op.a)
+            right = consts.get(op.b)
+            if left is not None and right is not None:
+                folded = _fold_binop(op.op, left, right)
+                if folded is not None:
+                    _rewrite_li(op, folded)
+                    consts[op.dst] = folded
+                    changed = True
+                    continue
+            elif right is not None or left is not None:
+                if self_strength_reduce(op, left, right):
+                    changed = True
+                    if op.kind == "li":
+                        consts[op.dst] = op.imm
+                        continue
+            consts.pop(op.dst, None)
+            continue
+        if kind == "cmpi":
+            value = consts.get(op.a)
+            pending_cr = None
+            cmp_op = op
+            if value is not None:
+                sa = _signed(value)
+                pending_cr = -1 if sa < op.imm else (1 if sa > op.imm else 0)
+            continue
+        if kind == "cmp":
+            left = consts.get(op.a)
+            right = consts.get(op.b)
+            pending_cr = None
+            cmp_op = op
+            if right is not None and _signed(right) in _IMM16 and left is None:
+                op.kind = "cmpi"
+                op.imm = _signed(right)
+                op.b = None
+                changed = True
+            if left is not None and right is not None:
+                sa, sb = _signed(left), _signed(right)
+                pending_cr = -1 if sa < sb else (1 if sa > sb else 0)
+            continue
+        if kind == "bc":
+            if pending_cr is not None and cmp_op is not None:
+                taken = _COND_TAKEN[op.cond](pending_cr)
+                cmp_op.deleted = True
+                if taken:
+                    op.kind = "b"
+                    op.cond = None
+                    # the never-reached fall-through branch dies with it
+                    for trailing in ops[position + 1:]:
+                        if trailing.deleted:
+                            continue
+                        if trailing.kind == "b":
+                            trailing.deleted = True
+                        break
+                else:
+                    op.deleted = True
+                changed = True
+            pending_cr = None
+            cmp_op = None
+            continue
+        # any other def invalidates its vreg's known constant
+        if op.dst is not None:
+            consts.pop(op.dst, None)
+    return changed
+
+
+def self_strength_reduce(op: IROp, left: int | None, right: int | None) -> bool:
+    """Rewrite a binop with one known operand to binimm/mr/li when safe."""
+    name = op.op
+    if name == "add":
+        if right is not None:
+            const, other = right, op.a
+        else:
+            const, other = left, op.b
+        if const == 0:
+            _rewrite_mr(op, other)
+            return True
+        if _signed(const) in _IMM16:
+            op.kind = "binimm"
+            op.op = "addi"
+            op.a = other
+            op.b = None
+            op.imm = _signed(const)
+            return True
+        return False
+    if name == "sub" and right is not None:
+        if right == 0:
+            _rewrite_mr(op, op.a)
+            return True
+        if -_signed(right) in _IMM16:
+            op.kind = "binimm"
+            op.op = "addi"
+            op.b = None
+            op.imm = -_signed(right)
+            return True
+        return False
+    if name == "mul":
+        if right is not None:
+            const, other = right, op.a
+        else:
+            const, other = left, op.b
+        if const == 0:
+            _rewrite_li(op, 0)
+            return True
+        if const == 1:
+            _rewrite_mr(op, other)
+            return True
+        if _signed(const) in _IMM16:
+            op.kind = "binimm"
+            op.op = "mulli"
+            op.a = other
+            op.b = None
+            op.imm = _signed(const)
+            return True
+        return False
+    if name in ("and", "or", "xor"):
+        if right is not None:
+            const, other = right, op.a
+        else:
+            const, other = left, op.b
+        if const == 0:
+            if name == "and":
+                _rewrite_li(op, 0)
+            else:
+                _rewrite_mr(op, other)
+            return True
+        if 0 < const <= 0xFFFF:  # andi/ori/xori take an unsigned imm16
+            op.kind = "binimm"
+            op.op = name + "i"
+            op.a = other
+            op.b = None
+            op.imm = const
+            return True
+        return False
+    if name in ("slw", "srw", "sraw") and right is not None:
+        shift = right & 31  # the register form masks the amount the same way
+        if shift == 0:
+            _rewrite_mr(op, op.a)
+            return True
+        op.kind = "binimm"
+        op.op = {"slw": "slwi", "srw": "srwi", "sraw": "srawi"}[name]
+        op.b = None
+        op.imm = shift
+        return True
+    return False
+
+
+def copy_propagate(func: IRFunction) -> bool:
+    """Forward per-region copy propagation (state resets at labels)."""
+    changed = False
+    copies: dict[int, int] = {}
+
+    def chase(vreg: int) -> int:
+        seen = set()
+        while vreg in copies and vreg not in seen:
+            seen.add(vreg)
+            vreg = copies[vreg]
+        return vreg
+
+    for op in func.ops:
+        if op.deleted:
+            continue
+        kind = op.kind
+        if kind == "label":
+            copies.clear()
+            continue
+        # rewrite vreg uses (never the physical-register fields of
+        # getparam/storeparam)
+        if kind in ("unop", "binimm", "cmpi", "storefp", "load"):
+            if op.a is not None and chase(op.a) != op.a:
+                op.a = chase(op.a)
+                changed = True
+        elif kind in ("binop", "cmp", "store"):
+            if chase(op.a) != op.a:
+                op.a = chase(op.a)
+                changed = True
+            if chase(op.b) != op.b:
+                op.b = chase(op.b)
+                changed = True
+        elif kind in ("syscall", "ret"):
+            if op.a is not None and chase(op.a) != op.a:
+                op.a = chase(op.a)
+                changed = True
+        elif kind == "call":
+            rewritten = tuple(chase(a) for a in op.args)
+            if rewritten != op.args:
+                op.args = rewritten
+                changed = True
+        # a def kills copies through the defined vreg
+        if op.dst is not None:
+            copies.pop(op.dst, None)
+            for key in [k for k, v in copies.items() if v == op.dst]:
+                copies.pop(key)
+            if kind == "unop" and op.op == "mr" and op.a != op.dst:
+                copies[op.dst] = op.a
+    return changed
+
+
+# -- data-page rebasing ------------------------------------------------------
+
+
+def rebase_globals(func: IRFunction) -> bool:
+    """Materialise the data segment's base address once per function.
+
+    Every global access lowers to ``li`` of an absolute data address —
+    a 2-word ``li32`` (``addis``+``ori``) each time, re-executed on every
+    loop iteration.  When a function holds two or more such constants
+    within one 32 KiB page of ``DATA_BASE``, load the page base into one
+    vreg at entry and turn each absolute ``li`` into a 1-word
+    ``addi page, offset``.  :func:`fold_addressing` then folds those
+    offsets straight into load/store displacements, making a global
+    scalar access a single instruction.
+
+    The inserted entry op shifts every position by one, so the pending
+    statement spans (the only position-based debug records) are fixed up
+    here; all other anchors reference ops directly.
+    """
+    from ..machine.machine import DATA_BASE
+
+    targets = [
+        op for op in func.ops
+        if not op.deleted and op.kind == "li" and op.imm is not None
+        and DATA_BASE <= op.imm < DATA_BASE + 0x8000
+    ]
+    if len(targets) < 2:
+        return False
+    page = func.new_vreg()
+    func.ops.insert(0, IROp("li", dst=page, imm=DATA_BASE))
+    for pending in func.statements:
+        pending.span = (pending.span[0] + 1, pending.span[1] + 1)
+    for op in targets:
+        offset = op.imm - DATA_BASE
+        op.kind = "binimm"
+        op.op = "addi"
+        op.a = page
+        op.imm = offset
+    return True
+
+
+# -- addressing folds --------------------------------------------------------
+
+
+def fold_addressing(func: IRFunction) -> bool:
+    """Fold ``addi base, off`` / ``frameaddr off`` into memory displacements.
+
+    Region-local (state resets at labels): track vregs holding
+    ``base + offset`` where base is another vreg or the frame pointer,
+    and rewrite loads/stores through them to use the base directly with a
+    combined displacement.  The defining address op usually goes dead and
+    DCE removes it.  Entries die when their vreg or base vreg is
+    redefined.  ``var_ref`` tags migrate from a folded-away ``frameaddr``
+    onto the memory op so the stack-shift emulation still sees the
+    reference.
+    """
+    changed = False
+    # vreg -> (base vreg | "fp", offset, source var name | None)
+    bases: dict[int, tuple[int | str, int, str | None]] = {}
+
+    for op in func.ops:
+        if op.deleted:
+            continue
+        kind = op.kind
+        if kind == "label":
+            bases.clear()
+            continue
+        if kind == "load" and op.a in bases:
+            base, offset, var = bases[op.a]
+            combined = offset + op.imm
+            if _signed(combined) in _IMM16:
+                if base == "fp":
+                    op.kind = "loadfp"
+                    op.a = None
+                    if op.var_ref is None and var is not None:
+                        op.var_ref = (var, "load")
+                else:
+                    op.a = base
+                op.imm = combined
+                changed = True
+        elif kind == "store" and op.b in bases:
+            base, offset, var = bases[op.b]
+            combined = offset + op.imm
+            if _signed(combined) in _IMM16:
+                if base == "fp":
+                    op.kind = "storefp"
+                    op.b = None
+                    if op.var_ref is None and var is not None:
+                        op.var_ref = (var, "store")
+                else:
+                    op.b = base
+                op.imm = combined
+                changed = True
+        elif (kind == "binimm" and op.op == "addi" and op.a in bases
+              and op.a != op.dst):
+            base, offset, _var = bases[op.a]
+            combined = offset + op.imm
+            if base != "fp" and _signed(combined) in _IMM16:
+                op.a = base
+                op.imm = combined
+                changed = True
+        if op.dst is not None:
+            for stale in [vreg for vreg, (base, _o, _v) in bases.items()
+                          if vreg == op.dst or base == op.dst]:
+                del bases[stale]
+            if kind == "frameaddr":
+                bases[op.dst] = ("fp", op.imm,
+                                 op.var_ref[0] if op.var_ref else None)
+            elif (kind == "binimm" and op.op == "addi"
+                  and op.a != op.dst):
+                held = bases.get(op.a)
+                if held is not None and held[0] != "fp":
+                    base, offset, _v = held
+                    combined = offset + op.imm
+                    if _signed(combined) in _IMM16:
+                        bases[op.dst] = (base, combined, None)
+                    else:
+                        bases[op.dst] = (op.a, op.imm, None)
+                else:
+                    bases[op.dst] = (op.a, op.imm, None)
+    return changed
+
+
+# -- local value numbering ---------------------------------------------------
+
+_MEMORY_CLOBBERS = ("store", "storefp", "storeparam", "call", "syscall")
+
+
+def _value_key(op: IROp) -> tuple | None:
+    kind = op.kind
+    if kind == "li":
+        return ("li", op.imm)
+    if kind == "frameaddr":
+        return ("fa", op.imm)
+    if kind == "unop" and op.op != "mr":
+        return ("un", op.op, op.a)
+    if kind == "binimm":
+        return ("bi", op.op, op.a, op.imm)
+    if kind == "binop":
+        return ("bo", op.op, op.a, op.b)
+    if kind == "load":
+        return ("ld", op.a, op.imm, op.size)
+    if kind == "loadfp":
+        return ("lf", op.imm, op.size)
+    return None
+
+
+def common_subexpressions(func: IRFunction) -> bool:
+    """Per-region local value numbering: a pure op recomputing a value an
+    earlier op already produced becomes a copy of that op's vreg.
+
+    Loads participate but are invalidated by anything that can write
+    memory (stores, calls, syscalls) — all stores alias all loads, which
+    is conservative but sound.  State resets at labels; a redefinition of
+    a vreg (promoted-local commits) invalidates every cached value
+    computed from it and the cached value it holds.  Repeated ``divw`` /
+    ``modw`` with identical operands fold too: the first occurrence
+    already trapped if the divisor was zero.
+    """
+    changed = False
+    available: dict[tuple, int] = {}
+
+    for op in func.ops:
+        if op.deleted:
+            continue
+        if op.kind == "label":
+            available.clear()
+            continue
+        if op.kind in _MEMORY_CLOBBERS:
+            for key in [k for k in available if k[0] in ("ld", "lf")]:
+                del available[key]
+        key = _value_key(op)
+        if key is not None:
+            held = available.get(key)
+            if held is not None and held != op.dst:
+                _rewrite_mr(op, held)
+                op.imm = None
+                changed = True
+                key = None  # the op no longer computes the value
+        if op.dst is not None:
+            for cached in [k for k, v in available.items()
+                           if v == op.dst or op.dst in k]:
+                del available[cached]
+            if key is not None:
+                available[key] = op.dst
+    return changed
+
+
+# -- dead-code elimination ---------------------------------------------------
+
+_TERMINATORS = ("b", "bc", "ret")
+
+
+def _build_blocks(ops: list[IROp]) -> tuple[list[list[int]], list[list[int]]]:
+    """CFG over non-deleted op positions -> (blocks, successor lists)."""
+    positions = [i for i, op in enumerate(ops) if not op.deleted]
+    if not positions:
+        return [], []
+    leaders: set[int] = {positions[0]}
+    previous_was_terminator = False
+    for position in positions:
+        op = ops[position]
+        if previous_was_terminator or op.kind == "label":
+            leaders.add(position)
+        previous_was_terminator = op.kind in _TERMINATORS
+
+    blocks: list[list[int]] = []
+    label_block: dict[str, int] = {}
+    current: list[int] = []
+    for position in positions:
+        if position in leaders and current:
+            blocks.append(current)
+            current = []
+        current.append(position)
+        op = ops[position]
+        if op.kind == "label":
+            label_block[op.label] = len(blocks)
+    if current:
+        blocks.append(current)
+
+    successors: list[list[int]] = []
+    for index, block in enumerate(blocks):
+        last = ops[block[-1]]
+        succ: list[int] = []
+        if last.kind == "b":
+            if last.label in label_block:
+                succ.append(label_block[last.label])
+        elif last.kind == "bc":
+            if last.label in label_block:
+                succ.append(label_block[last.label])
+            if index + 1 < len(blocks):
+                succ.append(index + 1)
+        elif last.kind == "ret":
+            pass
+        elif index + 1 < len(blocks):
+            succ.append(index + 1)
+        successors.append(succ)
+    return blocks, successors
+
+
+def _removable(op: IROp) -> bool:
+    kind = op.kind
+    if kind in ("li", "frameaddr", "unop", "binimm", "load", "loadfp",
+                "getparam"):
+        return True
+    if kind == "binop":
+        return op.op not in ("divw", "modw")
+    return False
+
+
+def analyze_liveness(func: IRFunction):
+    """-> (blocks, successors, live_in, live_out) over non-deleted ops.
+
+    Blocks are lists of positions into ``func.ops``; liveness is the
+    standard backward dataflow fixpoint.  Used by DCE here and by the
+    linear-scan allocator (:mod:`repro.lang.regalloc`) to build live
+    intervals that correctly cover loop back edges.
+    """
+    ops = func.ops
+    blocks, successors = _build_blocks(ops)
+
+    use_sets: list[set[int]] = []
+    def_sets: list[set[int]] = []
+    for block in blocks:
+        uses: set[int] = set()
+        defs: set[int] = set()
+        for position in block:
+            op = ops[position]
+            for vreg in op.uses():
+                if vreg not in defs:
+                    uses.add(vreg)
+            if op.dst is not None:
+                defs.add(op.dst)
+        use_sets.append(uses)
+        def_sets.append(defs)
+
+    live_in: list[set[int]] = [set() for _ in blocks]
+    live_out: list[set[int]] = [set() for _ in blocks]
+    changed_sets = True
+    while changed_sets:
+        changed_sets = False
+        for index in range(len(blocks) - 1, -1, -1):
+            out: set[int] = set()
+            for succ in successors[index]:
+                out |= live_in[succ]
+            new_in = use_sets[index] | (out - def_sets[index])
+            if out != live_out[index] or new_in != live_in[index]:
+                live_out[index] = out
+                live_in[index] = new_in
+                changed_sets = True
+    return blocks, successors, live_in, live_out
+
+
+def eliminate_dead_code(func: IRFunction) -> bool:
+    """One global-liveness sweep deleting dead pure defs."""
+    ops = func.ops
+    blocks, _successors, _live_in, live_out = analyze_liveness(func)
+    if not blocks:
+        return False
+
+    deleted_any = False
+    for index, block in enumerate(blocks):
+        live = set(live_out[index])
+        for position in reversed(block):
+            op = ops[position]
+            dst = op.dst
+            if dst is not None and dst not in live and _removable(op):
+                op.deleted = True
+                deleted_any = True
+                continue
+            if dst is not None:
+                live.discard(dst)
+            live.update(op.uses())
+    return deleted_any
+
+
+def optimize_function(func: IRFunction, max_rounds: int = 8) -> None:
+    rebase_globals(func)
+    for _ in range(max_rounds):
+        changed = constant_fold(func)
+        changed |= common_subexpressions(func)
+        changed |= copy_propagate(func)
+        changed |= fold_addressing(func)
+        changed |= eliminate_dead_code(func)
+        if not changed:
+            break
+    if SABOTAGE_DELETE_LIVE_STORE:
+        for pending in func.assignments:
+            if not pending.op.deleted:
+                pending.op.deleted = True
+                break
+
+
+def optimize_program(program: IRProgram) -> IRProgram:
+    for func in program.functions:
+        optimize_function(func)
+    return program
+
+
+__all__ = [
+    "analyze_liveness",
+    "common_subexpressions",
+    "constant_fold",
+    "copy_propagate",
+    "eliminate_dead_code",
+    "fold_addressing",
+    "optimize_function",
+    "optimize_program",
+    "rebase_globals",
+]

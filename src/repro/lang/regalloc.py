@@ -1,0 +1,532 @@
+"""Linear-scan register allocation and emission for the MiniC IR.
+
+Takes the optimized :class:`~repro.lang.ir.IRProgram` and produces the
+same ``(assembled, data, symbols, debug)`` tuple the O0 generator's
+``compile()`` returns, through the same :class:`~repro.isa.assembler`
+encoder.
+
+Allocation is the classic Poletto/Sarkar linear scan: one coarse live
+interval per vreg — ``[first position live or defined, last position live
+or defined]``, with block-level liveness extending intervals over loop
+back edges — allocated in start order over the 14 caller-saved
+``EVAL_POOL`` registers (r14–r27).  Under pressure the interval with the
+farthest end is spilled to a fresh frame slot below the function's
+locals.  Spill traffic goes through r11/r12 (SCRATCH0/1), which the
+generated code never allocates; prologue/epilogue keep using r12/r13
+exactly as at O0.
+
+Calling convention matches O0: args in r3..r10, result in r3, allocated
+physical registers live across a call are pushed below SP around it
+(callees clobber the pool freely), syscalls preserve everything but r3.
+
+After emission the pending debug records attached to IR ops are resolved
+into :class:`~repro.lang.debuginfo.DebugInfo`: anchors on surviving ops
+get their word indices (plus a register-or-slot location record for
+assignments), anchors whose op was folded away are marked unanchorable
+with the next surviving instruction as a best-effort address.
+"""
+
+from __future__ import annotations
+
+from ..isa import ins
+from ..isa.assembler import Assembler
+from ..isa.registers import EVAL_POOL, SCRATCH0, SCRATCH1, SCRATCH2, SP
+from ..machine.syscalls import SYS_EXIT
+from .codegen import FP, CompileError
+from .debuginfo import (
+    AssignmentSite,
+    CheckSite,
+    DebugInfo,
+    FunctionInfo,
+    JunctionSite,
+    StatementSite,
+    VarRefSite,
+)
+from .ir import IRFunction, IROp, IRProgram
+from .optimize import analyze_liveness
+
+_SPILL_A = SCRATCH0  # r11: spill reads/writes, first operand
+_SPILL_B = SCRATCH1  # r12: spill reads, second operand
+_EPI_A = SCRATCH1    # epilogue scratch, as at O0
+_EPI_B = SCRATCH2
+
+
+class _Allocation:
+    """vreg -> ("reg", physical) | ("slot", fp_offset) for one function."""
+
+    def __init__(self, func: IRFunction) -> None:
+        self.intervals: dict[int, tuple[int, int]] = {}
+        self.location: dict[int, tuple[str, int]] = {}
+        self.frame_cursor = func.frame_cursor
+        self._build_intervals(func)
+        self._linear_scan()
+
+    def _extend(self, vreg: int, position: int) -> None:
+        interval = self.intervals.get(vreg)
+        if interval is None:
+            self.intervals[vreg] = (position, position)
+        else:
+            self.intervals[vreg] = (
+                min(interval[0], position), max(interval[1], position)
+            )
+
+    def _build_intervals(self, func: IRFunction) -> None:
+        blocks, _succ, live_in, live_out = analyze_liveness(func)
+        ops = func.ops
+        for index, block in enumerate(blocks):
+            for vreg in live_in[index]:
+                self._extend(vreg, block[0])
+            for vreg in live_out[index]:
+                self._extend(vreg, block[-1])
+            for position in block:
+                op = ops[position]
+                for vreg in op.uses():
+                    self._extend(vreg, position)
+                if op.dst is not None:
+                    self._extend(op.dst, position)
+
+    def _spill(self, vreg: int) -> None:
+        self.frame_cursor += 4
+        self.location[vreg] = ("slot", -self.frame_cursor)
+
+    def _linear_scan(self) -> None:
+        order = sorted(self.intervals.items(), key=lambda kv: (kv[1][0], kv[0]))
+        free = list(EVAL_POOL)
+        active: list[tuple[int, int, int]] = []  # (end, vreg, physical)
+        for vreg, (start, end) in order:
+            while active and active[0][0] < start:
+                _end, _v, physical = active.pop(0)
+                free.append(physical)
+                free.sort()
+            if free:
+                physical = free.pop(0)
+                self.location[vreg] = ("reg", physical)
+                active.append((end, vreg, physical))
+                active.sort()
+                continue
+            # pressure: spill the interval that ends farthest away
+            farthest_end, farthest_vreg, physical = active[-1]
+            if farthest_end > end:
+                self._spill(farthest_vreg)
+                active.pop()
+                self.location[vreg] = ("reg", physical)
+                active.append((end, vreg, physical))
+                active.sort()
+            else:
+                self._spill(vreg)
+
+    def live_physicals_across(self, position: int) -> list[int]:
+        """Allocated registers whose interval strictly covers *position*."""
+        covering = []
+        for vreg, (start, end) in self.intervals.items():
+            if start < position < end:
+                loc = self.location[vreg]
+                if loc[0] == "reg":
+                    covering.append(loc[1])
+        return sorted(set(covering))
+
+
+def _live_after_calls(func: IRFunction) -> dict[int, set[int]]:
+    """call position -> vregs live immediately after the call.
+
+    Coarse intervals say a promoted local is "live" across every call in
+    the function even when no path uses it afterwards; per-position
+    liveness keeps caller-save sets honest.  The call's own destination is
+    excluded — its value arrives in r3 *after* the restores.
+    """
+    blocks, _succ, _live_in, live_out = analyze_liveness(func)
+    ops = func.ops
+    result: dict[int, set[int]] = {}
+    for index, block in enumerate(blocks):
+        live = set(live_out[index])
+        for position in reversed(block):
+            op = ops[position]
+            if op.kind == "call":
+                result[position] = live - {op.dst}
+            if op.dst is not None:
+                live.discard(op.dst)
+            live.update(op.uses())
+    return result
+
+
+class _FunctionEmitter:
+    def __init__(self, func: IRFunction, asm: Assembler, debug: DebugInfo) -> None:
+        self.func = func
+        self.asm = asm
+        self.debug = debug
+        self.alloc = _Allocation(func)
+        # id(op) -> (first word index, last word index)
+        self.emitted: dict[int, tuple[int, int]] = {}
+        # id(op) -> position in func.ops (IROp is a value-equal dataclass,
+        # so list.index would find the wrong twin)
+        self.positions = {id(op): index for index, op in enumerate(func.ops)}
+        self.live_after_call = _live_after_calls(func)
+
+    # -- operand plumbing --------------------------------------------------
+
+    def _loc(self, vreg: int) -> tuple[str, int]:
+        location = self.alloc.location.get(vreg)
+        if location is None:
+            # defined and used nowhere live (can happen for sabotaged IR);
+            # give it a scratch home so emission still succeeds
+            return ("reg", _SPILL_A)
+        return location
+
+    def _read(self, vreg: int, scratch: int) -> int:
+        kind, value = self._loc(vreg)
+        if kind == "reg":
+            return value
+        self.asm.emit(ins.lwz(scratch, value, FP))
+        return scratch
+
+    def _dst(self, vreg: int) -> int:
+        kind, value = self._loc(vreg)
+        return value if kind == "reg" else _SPILL_A
+
+    def _writeback(self, vreg: int, physical: int) -> None:
+        kind, value = self._loc(vreg)
+        if kind == "slot":
+            self.asm.emit(ins.stw(physical, value, FP))
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self) -> None:
+        func, asm = self.func, self.asm
+        info = FunctionInfo(
+            name=func.name,
+            label=func.name,
+            num_params=func.num_params,
+            start_index=asm.position,
+        )
+        asm.label(func.name)
+        asm.emit(ins.mflr(_EPI_B))
+        asm.emit(ins.stw(_EPI_B, -4, SP))
+        asm.emit(ins.stw(FP, -8, SP))
+        asm.emit(ins.mr(FP, SP))
+        frame_patch = asm.emit(ins.addi(SP, SP, 0))  # patched below
+
+        for position, op in enumerate(func.ops):
+            if op.deleted:
+                continue
+            first = asm.position
+            self._emit_op(op, position)
+            self.emitted[id(op)] = (first, max(first, asm.position - 1))
+
+        frame_size = (self.alloc.frame_cursor + 7) & ~7
+        asm.patch(frame_patch, ins.addi(SP, SP, -frame_size))
+        info.frame_size = frame_size
+        info.end_index = asm.position
+        info.locals = dict(func.locals_map)
+        for name, vreg in func.reg_locals.items():
+            kind, value = self._loc(vreg)
+            if kind == "reg":
+                info.register_locals[name] = value
+            else:
+                info.locals[name] = value
+        self.debug.functions[func.name] = info
+        self._resolve_debug()
+
+    def _emit_epilogue(self) -> None:
+        asm = self.asm
+        asm.emit(ins.lwz(_EPI_A, -4, FP))
+        asm.emit(ins.mtlr(_EPI_A))
+        asm.emit(ins.lwz(_EPI_B, -8, FP))
+        asm.emit(ins.mr(SP, FP))
+        asm.emit(ins.mr(FP, _EPI_B))
+        asm.emit(ins.blr())
+
+    _BINOP_INS = {
+        "add": ins.add, "sub": ins.sub, "mul": ins.mul,
+        "divw": ins.divw, "modw": ins.modw,
+        "and": ins.and_, "or": ins.or_, "xor": ins.xor,
+        "slw": ins.slw, "srw": ins.srw, "sraw": ins.sraw,
+    }
+    _BINIMM_INS = {
+        "addi": ins.addi, "mulli": ins.mulli, "andi": ins.andi,
+        "ori": ins.ori, "xori": ins.xori, "slwi": ins.slwi,
+        "srwi": ins.srwi, "srawi": ins.srawi,
+    }
+
+    def _emit_op(self, op: IROp, position: int) -> None:
+        asm = self.asm
+        kind = op.kind
+        if kind == "label":
+            asm.label(op.label)
+            return
+        if kind == "li":
+            dst = self._dst(op.dst)
+            asm.emit(ins.li32(dst, op.imm))
+            self._writeback(op.dst, dst)
+            return
+        if kind == "frameaddr":
+            dst = self._dst(op.dst)
+            asm.emit(ins.addi(dst, FP, op.imm))
+            self._writeback(op.dst, dst)
+            return
+        if kind == "unop":
+            source = self._read(op.a, _SPILL_B)
+            if op.op == "mr":
+                loc_kind, value = self._loc(op.dst)
+                if loc_kind == "slot":
+                    asm.emit(ins.stw(source, value, FP))
+                else:
+                    asm.emit(ins.mr(value, source))
+                return
+            dst = self._dst(op.dst)
+            asm.emit(ins.neg(dst, source) if op.op == "neg"
+                     else ins.not_(dst, source))
+            self._writeback(op.dst, dst)
+            return
+        if kind == "binop":
+            left = self._read(op.a, _SPILL_A)
+            right = self._read(op.b, _SPILL_B)
+            dst = self._dst(op.dst)
+            asm.emit(self._BINOP_INS[op.op](dst, left, right))
+            self._writeback(op.dst, dst)
+            return
+        if kind == "binimm":
+            source = self._read(op.a, _SPILL_B)
+            dst = self._dst(op.dst)
+            asm.emit(self._BINIMM_INS[op.op](dst, source, op.imm))
+            self._writeback(op.dst, dst)
+            return
+        if kind == "load":
+            base = self._read(op.a, _SPILL_B)
+            dst = self._dst(op.dst)
+            asm.emit(ins.lbz(dst, op.imm, base) if op.size == 1
+                     else ins.lwz(dst, op.imm, base))
+            self._writeback(op.dst, dst)
+            return
+        if kind == "loadfp":
+            dst = self._dst(op.dst)
+            asm.emit(ins.lbz(dst, op.imm, FP) if op.size == 1
+                     else ins.lwz(dst, op.imm, FP))
+            self._writeback(op.dst, dst)
+            return
+        if kind == "store":
+            value = self._read(op.a, _SPILL_A)
+            base = self._read(op.b, _SPILL_B)
+            asm.emit(ins.stb(value, op.imm, base) if op.size == 1
+                     else ins.stw(value, op.imm, base))
+            return
+        if kind == "storefp":
+            value = self._read(op.a, _SPILL_A)
+            asm.emit(ins.stb(value, op.imm, FP) if op.size == 1
+                     else ins.stw(value, op.imm, FP))
+            return
+        if kind == "cmp":
+            left = self._read(op.a, _SPILL_A)
+            right = self._read(op.b, _SPILL_B)
+            asm.emit(ins.cmp(left, right))
+            return
+        if kind == "cmpi":
+            left = self._read(op.a, _SPILL_A)
+            asm.emit(ins.cmpi(left, op.imm))
+            return
+        if kind == "bc":
+            asm.emit_cond_branch(op.cond, op.label)
+            return
+        if kind == "b":
+            asm.emit_branch(op.label)
+            return
+        if kind == "call":
+            self._emit_call(op, position)
+            return
+        if kind == "syscall":
+            if op.a is not None:
+                asm.emit(ins.mr(3, self._read(op.a, _SPILL_A)))
+            asm.emit(ins.sc(op.imm))
+            if op.dst is not None:
+                loc_kind, value = self._loc(op.dst)
+                if loc_kind == "reg":
+                    asm.emit(ins.mr(value, 3))
+                else:
+                    asm.emit(ins.stw(3, value, FP))
+            return
+        if kind == "getparam":
+            loc_kind, value = self._loc(op.dst)
+            if loc_kind == "reg":
+                asm.emit(ins.mr(value, op.a))
+            else:
+                asm.emit(ins.stw(op.a, value, FP))
+            return
+        if kind == "storeparam":
+            asm.emit(ins.stb(op.a, op.imm, FP) if op.size == 1
+                     else ins.stw(op.a, op.imm, FP))
+            return
+        if kind == "ret":
+            if op.a is not None:
+                source = self._read(op.a, _SPILL_A)
+                asm.emit(ins.mr(3, source))
+            else:
+                asm.emit(ins.addi(3, 0, 0))
+            self._emit_epilogue()
+            return
+        raise CompileError(f"internal: unknown IR op {op!r}")  # pragma: no cover
+
+    def _emit_call(self, op: IROp, position: int) -> None:
+        asm = self.asm
+        saved = sorted({
+            self.alloc.location[vreg][1]
+            for vreg in self.live_after_call.get(position, ())
+            if self.alloc.location.get(vreg, ("slot", 0))[0] == "reg"
+        })
+        for physical in saved:
+            asm.emit(ins.addi(SP, SP, -4))
+            asm.emit(ins.stw(physical, 0, SP))
+        for index, arg in enumerate(op.args):
+            kind, value = self._loc(arg)
+            if kind == "reg":
+                asm.emit(ins.mr(3 + index, value))
+            else:
+                asm.emit(ins.lwz(3 + index, value, FP))
+        asm.emit_call(op.name)
+        if op.dst is not None:
+            kind, value = self._loc(op.dst)
+            if kind == "reg":
+                asm.emit(ins.mr(value, 3))
+            else:
+                asm.emit(ins.stw(3, value, FP))
+        for physical in reversed(saved):
+            asm.emit(ins.lwz(physical, 0, SP))
+            asm.emit(ins.addi(SP, SP, 4))
+
+    # -- debug resolution --------------------------------------------------
+
+    def _first(self, op: IROp) -> int | None:
+        entry = self.emitted.get(id(op))
+        return entry[0] if entry else None
+
+    def _last(self, op: IROp) -> int | None:
+        entry = self.emitted.get(id(op))
+        return entry[1] if entry else None
+
+    def _fallback_index(self, op: IROp) -> int:
+        """Word index of the next surviving instruction after a dead op."""
+        ops = self.func.ops
+        start = self.positions.get(id(op), len(ops))
+        for follower in ops[start:]:
+            entry = self.emitted.get(id(follower))
+            if entry is not None:
+                return entry[0]
+        return self.debug.functions[self.func.name].end_index
+
+    def _location_record(self, location: tuple[str, int] | None):
+        if location is None:
+            return None
+        kind, value = location
+        if kind == "slot":
+            return ("slot", value)
+        # ("reg", vreg): where did allocation put the promoted local?
+        loc_kind, resolved = self._loc(value)
+        return ("reg", resolved) if loc_kind == "reg" else ("slot", resolved)
+
+    def _resolve_debug(self) -> None:
+        func, debug = self.func, self.debug
+        for pending in func.assignments:
+            live = not pending.op.deleted
+            debug.assignments.append(AssignmentSite(
+                function=pending.function,
+                line=pending.line,
+                target=pending.target,
+                kind=pending.kind,
+                store_index=(self._last(pending.op) if live
+                             else self._fallback_index(pending.op)),
+                is_array_element=pending.is_array_element,
+                element_size=pending.element_size,
+                via_pointer=pending.via_pointer,
+                anchorable=live,
+                location=self._location_record(pending.location),
+            ))
+        for pending in func.checks:
+            live = not pending.bc_op.deleted and pending.bc_op.kind == "bc"
+            debug.checks.append(CheckSite(
+                function=pending.function,
+                line=pending.line,
+                context=pending.context,
+                op=pending.op,
+                bc_index=(self._first(pending.bc_op) if live
+                          else self._fallback_index(pending.bc_op)),
+                bc_cond=pending.bc_cond,
+                true_label=pending.true_label,
+                false_label=pending.false_label,
+                array_loads=[
+                    (self._first(load), size)
+                    for load, size in pending.array_loads
+                    if not load.deleted
+                ],
+                anchorable=live,
+            ))
+        for pending in func.junctions:
+            live = (not pending.bc_op.deleted and pending.bc_op.kind == "bc"
+                    and not pending.b_op.deleted and pending.b_op.kind == "b")
+            debug.junctions.append(JunctionSite(
+                function=pending.function,
+                line=pending.line,
+                op=pending.op,
+                bc_index=(self._first(pending.bc_op) if live
+                          else self._fallback_index(pending.bc_op)),
+                b_index=(self._first(pending.b_op) if live
+                         else self._fallback_index(pending.b_op)),
+                true_label=pending.true_label,
+                false_label=pending.false_label,
+                mid_label=pending.mid_label,
+                anchorable=live,
+            ))
+        for pending in func.statements:
+            start, end = pending.span
+            anchor: int | None = None
+            for op in func.ops[start:end]:
+                entry = self.emitted.get(id(op))
+                if entry is not None:
+                    anchor = entry[0]
+                    break
+            if anchor is None:
+                fallback = self.debug.functions[func.name].end_index
+                for op in func.ops[start:]:
+                    entry = self.emitted.get(id(op))
+                    if entry is not None:
+                        fallback = entry[0]
+                        break
+                debug.statements.append(StatementSite(
+                    function=pending.function, line=pending.line,
+                    kind=pending.kind, start_index=fallback,
+                    anchorable=False,
+                ))
+            else:
+                debug.statements.append(StatementSite(
+                    function=pending.function, line=pending.line,
+                    kind=pending.kind, start_index=anchor,
+                ))
+        for op in func.ops:
+            if op.deleted or op.var_ref is None:
+                continue
+            entry = self.emitted.get(id(op))
+            if entry is None:
+                continue
+            var, ref_kind = op.var_ref
+            debug.add_var_ref(VarRefSite(func.name, var, entry[1], ref_kind))
+
+
+def emit_program(program: IRProgram):
+    """Allocate registers and emit; -> (assembled, data, symbols, debug)."""
+    from ..machine.machine import CODE_BASE, DATA_BASE
+
+    asm = Assembler()
+    debug = DebugInfo(name=program.name, opt_level=1)
+    asm.label("__start")
+    asm.emit_call("main")
+    asm.emit(ins.sc(SYS_EXIT))
+
+    for func in program.functions:
+        _FunctionEmitter(func, asm, debug).emit()
+
+    assembled = asm.assemble(CODE_BASE)
+    symbols = dict(assembled.symbols)
+    for name, offset in program.data_symbols.items():
+        symbols[name] = DATA_BASE + offset
+    debug.resolve(CODE_BASE, assembled.symbols)
+    return assembled, program.data, symbols, debug
+
+
+__all__ = ["emit_program"]

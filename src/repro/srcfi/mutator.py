@@ -92,13 +92,15 @@ def realize_source_fault(
         )
     resolved = fault.site_index % len(sites)
     site = sites[resolved]
-    key = (compiled.name, fault.operator, resolved)
+    key = (compiled.name, fault.operator, resolved, compiled.opt_level)
     mutant = cache.get(key) if cache is not None else None
     if mutant is None:
         tree = copy.deepcopy(compiled.tree)
         operator.apply(tree, site)
         try:
-            mutant = compile_tree(tree, name=compiled.name, source=compiled.source)
+            mutant = compile_tree(tree, name=compiled.name,
+                                  source=compiled.source,
+                                  opt_level=compiled.opt_level)
         except CompileError as error:
             raise SrcfiError(
                 f"{compiled.name}: mutant {fault.fault_id} does not compile: {error}"
@@ -116,7 +118,8 @@ def recompiled_identical(compiled: CompiledProgram) -> bool:
     """The revert oracle: recompiling the untouched tree must reproduce
     the original binary bit-for-bit (code and data segments)."""
     rebuilt = compile_tree(
-        copy.deepcopy(compiled.tree), name=compiled.name, source=compiled.source
+        copy.deepcopy(compiled.tree), name=compiled.name,
+        source=compiled.source, opt_level=compiled.opt_level,
     )
     return (
         rebuilt.executable.code == compiled.executable.code

@@ -114,7 +114,11 @@ class CampaignConfig:
       ``"machine"`` arms :class:`MachineFault` specs on the original
       binary (the paper's SWIFI tool), ``"source"`` compiles each
       :class:`repro.srcfi.SourceFault` mutation into a mutant binary and
-      runs it fault-free through the same record pipeline.
+      runs it fault-free through the same record pipeline;
+    * ``opt_level`` — the optimization level the target binary was
+      compiled at (0 or 1); the runner refuses a compiled program whose
+      ``opt_level`` disagrees, so campaign records always name the
+      binary they actually ran against.
 
     Results are bit-identical across every combination of these options.
     """
@@ -135,8 +139,13 @@ class CampaignConfig:
     memo_dir: str | None = None
     plan_verify: float = 0.0
     tier: str = TIER_MACHINE
+    opt_level: int = 0
 
     def __post_init__(self) -> None:
+        if self.opt_level not in (0, 1):
+            raise ValueError(
+                f"opt_level must be 0 or 1, got {self.opt_level!r}"
+            )
         if self.tier not in TIERS:
             raise ValueError(
                 f"tier must be one of {TIERS}, got {self.tier!r}"
@@ -554,6 +563,12 @@ class CampaignRunner:
         elif config is None:
             config = CampaignConfig()
         self._apply_budget_overrides(config)
+        if config.opt_level != self.compiled.opt_level:
+            raise CampaignError(
+                f"{self.compiled.name}: campaign config says opt_level="
+                f"{config.opt_level} but the compiled program was built at "
+                f"opt_level={self.compiled.opt_level}"
+            )
         if config.engine != self.engine:
             self.engine = config.engine
             # Budgets are engine-independent (instret is bit-identical),

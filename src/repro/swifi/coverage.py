@@ -85,12 +85,16 @@ class CoverageSession:
         self.points: list[CoveragePoint] = []
         seen: set[int] = set()
         for site in compiled.debug.assignments:
+            if not site.anchorable:
+                continue
             if site.address is not None and site.address not in seen:
                 seen.add(site.address)
                 self.points.append(
                     CoveragePoint(site.address, "assignment", site.function, site.line)
                 )
         for site in compiled.debug.checks:
+            if not site.anchorable:
+                continue
             if site.address is not None and site.address not in seen:
                 seen.add(site.address)
                 self.points.append(

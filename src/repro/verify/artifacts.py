@@ -139,8 +139,14 @@ def replay_artifact(path: str | Path):
     they still disagree.  Raises :class:`SamplerError` if the recorded
     fault descriptor no longer realizes against the recorded source.
     """
-    from .fuzzer import GOLDEN_BUDGET, _golden_console
-    from .oracle import DifferentialOracle, default_budget, run_state
+    from .fuzzer import (
+        GOLDEN_BUDGET,
+        _binary_fingerprint,
+        _golden_console,
+        _observable_state,
+        _opt_divergence_fields,
+    )
+    from .oracle import DifferentialOracle, Divergence, default_budget, run_state
     from ..lang import compile_source
     from ..machine.machine import ENGINE_SIMPLE
 
@@ -148,6 +154,45 @@ def replay_artifact(path: str | Path):
     compiled = compile_source(artifact.source, artifact.payload["program"])
     golden = run_state(compiled.executable, None, artifact.case,
                        budget=GOLDEN_BUDGET, engine=ENGINE_SIMPLE)
+    if artifact.tier == "opt":
+        # The two sides ran different binaries of the same source; the
+        # replay recompiles both and re-compares the observable contract.
+        level = artifact.config_b.opt
+        budget = default_budget(golden.instructions)
+        try:
+            recompiled = compile_source(
+                artifact.source, artifact.payload["program"], opt_level=level
+            )
+        except Exception as error:
+            return Divergence(
+                tier="opt", program=artifact.payload["program"],
+                fault_id="golden", case_id=artifact.case.case_id,
+                config_a=artifact.config_a, config_b=artifact.config_b,
+                detail_a=_binary_fingerprint(compiled),
+                detail_b={"opt_level": level, "compile_error": str(error)},
+                fields=["compile"],
+            )
+        engine = artifact.config_b.engine
+        base = _observable_state(compiled, artifact.case, budget=budget,
+                                 engine=engine)
+        other = _observable_state(recompiled, artifact.case, budget=budget,
+                                  engine=engine)
+        fields = _opt_divergence_fields(base, other)
+        if not fields:
+            return None
+        return Divergence(
+            tier="opt", program=artifact.payload["program"],
+            fault_id="golden", case_id=artifact.case.case_id,
+            config_a=artifact.config_a, config_b=artifact.config_b,
+            detail_a={**base, **_binary_fingerprint(compiled)},
+            detail_b={**other, **_binary_fingerprint(recompiled)},
+            fields=fields,
+        )
+    if artifact.config_b.opt != 0:
+        compiled = compile_source(artifact.source, artifact.payload["program"],
+                                  opt_level=artifact.config_b.opt)
+        golden = run_state(compiled.executable, None, artifact.case,
+                           budget=GOLDEN_BUDGET, engine=ENGINE_SIMPLE)
     spec = None
     if artifact.descriptor is not None:
         spec = artifact.descriptor.realize(compiled, golden.instructions)

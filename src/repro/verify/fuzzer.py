@@ -40,6 +40,7 @@ resume so shrinks and artifacts are regenerated.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import random
 import time
@@ -91,6 +92,7 @@ class FuzzConfig:
     inputs_per_program: int = 2
     record_tier: bool = True         # run the full-matrix campaign tier
     jobs_axis: tuple[int, ...] = DEFAULT_JOBS_AXIS
+    opt_axis: tuple[int, ...] = (0,)  # compiler levels; (0, 1) adds O0-vs-O1
     shrink: bool = True
     max_shrink_checks: int = 400
     max_divergences: int = 5         # stop fuzzing after this many failures
@@ -110,6 +112,7 @@ class FuzzReport:
     programs: int = 0
     resumed_programs: int = 0
     state_cases: int = 0
+    opt_cases: int = 0               # O0-vs-O1 observable comparisons
     record_campaigns: int = 0
     total_runs: int = 0
     skipped_faults: int = 0
@@ -132,6 +135,11 @@ class FuzzReport:
         if self.resumed_programs:
             lines.append(
                 f"  resumed past {self.resumed_programs} journaled programs"
+            )
+        if self.opt_cases:
+            lines.append(
+                f"  compiler axis: {self.opt_cases} O0-vs-O1 observable "
+                "comparisons"
             )
         if self.skipped_faults:
             lines.append(f"  skipped {self.skipped_faults} unrealizable fault descriptors")
@@ -255,6 +263,7 @@ def _journal_program(journal: Path, config: FuzzConfig, index: int,
         "record_campaigns": report.record_campaigns - before[1],
         "runs": report.total_runs - before[2],
         "skipped": report.skipped_faults - before[3],
+        "opt_cases": report.opt_cases - before[5],
     }
     with open(journal, "a", encoding="utf-8") as handle:
         handle.write(json.dumps(entry) + "\n")
@@ -265,6 +274,12 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
     if config.tier not in TIERS:
         raise CampaignError(
             f"tier must be one of {TIERS}, got {config.tier!r}"
+        )
+    if 0 not in config.opt_axis or any(
+            level not in (0, 1) for level in config.opt_axis):
+        raise CampaignError(
+            "opt_axis levels must be drawn from (0, 1) and include the "
+            f"O0 baseline, got {config.opt_axis!r}"
         )
     report = FuzzReport(seed=config.seed)
     clock = _Clock(config.time_budget)
@@ -284,11 +299,12 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
             report.record_campaigns += entry.get("record_campaigns", 0)
             report.total_runs += entry.get("runs", 0)
             report.skipped_faults += entry.get("skipped", 0)
+            report.opt_cases += entry.get("opt_cases", 0)
             index += 1
             continue
         before = (report.state_cases, report.record_campaigns,
                   report.total_runs, report.skipped_faults,
-                  len(report.divergences))
+                  len(report.divergences), report.opt_cases)
         if config.tier == TIER_SOURCE:
             _fuzz_source_program(config, report, clock, index)
         else:
@@ -300,6 +316,108 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
         index += 1
     report.elapsed = clock.elapsed
     return report
+
+
+# ---------------------------------------------------------------------------
+# Compiler axis: the same program at O0 and O1 must behave identically
+# ---------------------------------------------------------------------------
+
+#: What "behave identically" means across opt levels: the two binaries
+#: are different by design (fewer instructions, different registers), so
+#: only the observable contract is compared — never register files,
+#: memory images or retired counts.
+_OBSERVABLE_FIELDS = ("status", "exit_code", "console")
+
+
+def _binary_fingerprint(compiled) -> dict:
+    """Identify which binary a divergence side ran (for artifacts)."""
+    code = bytes(compiled.executable.code)
+    return {
+        "opt_level": compiled.opt_level,
+        "code_sha256": hashlib.sha256(code).hexdigest(),
+        "code_words": len(code) // 4,
+    }
+
+
+def _observable_state(compiled, case: InputCase, *, budget: int,
+                      engine: str) -> dict:
+    """One fault-free run reduced to the observable contract."""
+    from ..machine.loader import boot
+
+    machine = boot(compiled.executable, inputs=dict(case.pokes), engine=engine)
+    result = machine.run(budget)
+    return {
+        "status": result.status,
+        "exit_code": result.exit_code,
+        "console": bytes(machine.console).hex(),
+    }
+
+
+def _opt_divergence_fields(a: dict, b: dict) -> list[str]:
+    return [key for key in _OBSERVABLE_FIELDS if a[key] != b[key]]
+
+
+def _check_opt_axis(config: FuzzConfig, report: FuzzReport, clock: _Clock,
+                    program: GenProgram, compiled, cases: list[InputCase],
+                    budget: int):
+    """Compile at every extra opt level; compare observables per engine.
+
+    Returns ``(binaries, diverged)`` where *binaries* maps each extra
+    level to its compiled program (for the O1 record tier) and *diverged*
+    says whether any comparison failed.  Both sides of an opt divergence
+    carry the fingerprint of the binary they ran, so artifacts record
+    which pair of machine codes disagreed.
+    """
+    binaries = {}
+    diverged = False
+    for level in config.opt_axis:
+        if level == 0 or level in binaries or diverged:
+            continue
+        try:
+            recompiled = compile_source(program.render(), program.name,
+                                        opt_level=level)
+        except Exception as error:
+            divergence = Divergence(
+                tier="opt", program=program.name, fault_id="golden",
+                case_id=cases[0].case_id,
+                config_a=MatrixConfig(),
+                config_b=MatrixConfig(opt=level),
+                detail_a=_binary_fingerprint(compiled),
+                detail_b={"opt_level": level, "compile_error": str(error)},
+                fields=["compile"],
+            )
+            _handle_divergence(config, report, program, None, cases[0],
+                               cases, divergence)
+            diverged = True
+            continue
+        binaries[level] = recompiled
+        for case in cases:
+            if clock.expired or diverged:
+                break
+            for engine in ENGINES:
+                base = _observable_state(compiled, case, budget=budget,
+                                         engine=engine)
+                other = _observable_state(recompiled, case, budget=budget,
+                                          engine=engine)
+                report.opt_cases += 1
+                report.state_cases += 1
+                report.total_runs += 2
+                fields = _opt_divergence_fields(base, other)
+                if fields:
+                    divergence = Divergence(
+                        tier="opt", program=program.name, fault_id="golden",
+                        case_id=case.case_id,
+                        config_a=MatrixConfig(engine=engine),
+                        config_b=MatrixConfig(engine=engine, opt=level),
+                        detail_a={**base, **_binary_fingerprint(compiled)},
+                        detail_b={**other, **_binary_fingerprint(recompiled)},
+                        fields=fields,
+                    )
+                    _handle_divergence(config, report, program, None, case,
+                                       cases, divergence)
+                    diverged = True
+                    break
+    return binaries, diverged
 
 
 # ---------------------------------------------------------------------------
@@ -332,6 +450,14 @@ def _fuzz_machine_program(config: FuzzConfig, report: FuzzReport,
             break
     budget = default_budget(golden_instructions)
 
+    # -- compiler axis: O0 vs O1 on the observable contract ----------
+    opt_binaries = {}
+    if not program_diverged:
+        opt_binaries, opt_diverged = _check_opt_axis(
+            config, report, clock, program, compiled, cases, budget
+        )
+        program_diverged = program_diverged or opt_diverged
+
     # -- state tier: every realized fault on every input ------------
     faults = []
     if not program_diverged:
@@ -359,6 +485,7 @@ def _fuzz_machine_program(config: FuzzConfig, report: FuzzReport,
             and not clock.expired:
         divergences = oracle.check_records([spec for spec, _ in faults])
         report.record_campaigns += len(matrix)
+        program_diverged = program_diverged or bool(divergences)
         for divergence in divergences:
             descriptor = _descriptor_for(faults, divergence.fault_id)
             case = _case_for(cases, divergence.case_id)
@@ -366,6 +493,46 @@ def _fuzz_machine_program(config: FuzzConfig, report: FuzzReport,
                                cases, divergence)
             if len(report.divergences) >= config.max_divergences:
                 break
+
+    # -- record tier again, on the optimized binary ------------------
+    # The opt conformance above proved O0 and O1 print the same bytes;
+    # this leg proves the whole {engine} x {snapshot} x {jobs} matrix
+    # stays internally bit-identical when the target binary is the O1
+    # one (different addresses, registers and instruction counts).
+    if config.record_tier and opt_binaries and not program_diverged \
+            and not clock.expired:
+        for level, recompiled in sorted(opt_binaries.items()):
+            golden = run_state(recompiled.executable, None, cases[0],
+                               budget=GOLDEN_BUDGET, engine=ENGINE_SIMPLE)
+            rng = random.Random(
+                f"repro.verify.faults:{config.seed}:{index}:O{level}"
+            )
+            descriptors = sample_descriptors(rng, config.faults_per_program)
+            opt_faults, skipped = realize_faults(recompiled, descriptors,
+                                                 golden.instructions)
+            report.skipped_faults += skipped
+            if not opt_faults:
+                continue
+            opt_oracle = DifferentialOracle(recompiled, cases, matrix=matrix)
+            divergences = opt_oracle.check_records(
+                [spec for spec, _ in opt_faults]
+            )
+            report.record_campaigns += len(matrix)
+            report.total_runs += opt_oracle.runs
+            for divergence in divergences:
+                divergence = dataclasses.replace(
+                    divergence,
+                    config_a=dataclasses.replace(divergence.config_a,
+                                                 opt=level),
+                    config_b=dataclasses.replace(divergence.config_b,
+                                                 opt=level),
+                )
+                descriptor = _descriptor_for(opt_faults, divergence.fault_id)
+                case = _case_for(cases, divergence.case_id)
+                _handle_divergence(config, report, program, descriptor, case,
+                                   cases, divergence)
+                if len(report.divergences) >= config.max_divergences:
+                    break
 
     report.total_runs += oracle.runs
 
@@ -435,6 +602,13 @@ def _fuzz_source_program(config: FuzzConfig, report: FuzzReport,
             return
     budget = default_budget(golden_instructions)
     report.total_runs += oracle.runs
+
+    # -- compiler axis: same observable contract at every opt level --
+    _, opt_diverged = _check_opt_axis(
+        config, report, clock, program, compiled, cases, budget
+    )
+    if opt_diverged:
+        return
 
     # -- revert oracle: recompiling the unmutated tree is bit-identical
     if not recompiled_identical(compiled):
@@ -566,13 +740,29 @@ def make_predicate(case: InputCase, divergence: Divergence):
                            budget=GOLDEN_BUDGET, engine=ENGINE_SIMPLE)
         if golden.status != "exited" or golden.exit_code != 0:
             return False
+        budget = default_budget(golden.instructions)
+        if divergence.tier == "opt":
+            return _opt_still_fails(program, compiled, case, divergence,
+                                    budget)
+        if divergence.config_b.opt != 0:
+            # A record-tier divergence found on the optimized binary:
+            # rebuild the variant at that level before comparing configs.
+            try:
+                compiled = compile_source(program.render(), program.name,
+                                          opt_level=divergence.config_b.opt)
+            except Exception:
+                return False
+            golden = run_state(compiled.executable, None, case,
+                               budget=GOLDEN_BUDGET, engine=ENGINE_SIMPLE)
+            if golden.status != "exited" or golden.exit_code != 0:
+                return False
+            budget = default_budget(golden.instructions)
         spec = None
         if descriptor is not None:
             try:
                 spec = descriptor.realize(compiled, golden.instructions)
             except SamplerError:
                 return False
-        budget = default_budget(golden.instructions)
         replay_case = InputCase(case.case_id, case.pokes,
                                 _golden_console(compiled, case.pokes))
         return check_configs(compiled, spec, replay_case,
@@ -580,6 +770,31 @@ def make_predicate(case: InputCase, divergence: Divergence):
                              budget=budget, tier=divergence.tier)
 
     return still_fails
+
+
+def _opt_still_fails(program: GenProgram, compiled, case: InputCase,
+                     divergence: Divergence, budget: int) -> bool:
+    """Does a shrink variant still reproduce an O0-vs-O1 divergence?
+
+    A variant whose original failure was an O1 compile error still fails
+    while O1 compilation keeps erroring; an observable-mismatch original
+    still fails while the two binaries disagree on the recorded engine.
+    """
+    level = divergence.config_b.opt
+    try:
+        recompiled = compile_source(program.render(), program.name,
+                                    opt_level=level)
+    except Exception:
+        return "compile" in divergence.fields
+    if "compile" in divergence.fields:
+        return False
+    engine = divergence.config_b.engine
+    replay_case = InputCase(case.case_id, case.pokes, b"")
+    base = _observable_state(compiled, replay_case, budget=budget,
+                             engine=engine)
+    other = _observable_state(recompiled, replay_case, budget=budget,
+                              engine=engine)
+    return bool(_opt_divergence_fields(base, other))
 
 
 def check_configs(compiled, spec, case: InputCase, config_a: MatrixConfig,

@@ -55,18 +55,28 @@ PLANNER_POLICIES = (PLANNER_OFF, PLANNER_ON)
 
 @dataclass(frozen=True)
 class MatrixConfig:
-    """One point of the {engine} x {snapshot} x {jobs} x {planner} matrix."""
+    """One point of the {engine} x {snapshot} x {jobs} x {planner} matrix.
+
+    ``opt`` names the compiler optimization level of the binary under
+    test; it only differs from 0 in the fuzzer's O0-vs-O1 compiler axis
+    (``FuzzConfig(opt_axis=(0, 1))``), where the two sides of a
+    divergence ran *different binaries* of the same program.
+    """
 
     engine: str = ENGINE_SIMPLE
     snapshot: str = SNAPSHOT_OFF
     jobs: int = 1
     planner: str = PLANNER_OFF
+    opt: int = 0
 
     def label(self) -> str:
-        return (
+        label = (
             f"engine={self.engine}/snapshot={self.snapshot}/jobs={self.jobs}"
             f"/planner={self.planner}"
         )
+        if self.opt:
+            label += f"/opt={self.opt}"
+        return label
 
     def to_dict(self) -> dict:
         return {
@@ -74,6 +84,7 @@ class MatrixConfig:
             "snapshot": self.snapshot,
             "jobs": self.jobs,
             "planner": self.planner,
+            "opt": self.opt,
         }
 
 
@@ -245,6 +256,7 @@ class DifferentialOracle:
             config=CampaignConfig(
                 jobs=config.jobs, snapshot=config.snapshot, engine=config.engine,
                 prune=planned, memoize=planned,
+                opt_level=getattr(self.compiled, "opt_level", 0),
             ),
         )
         self.runs += len(result.records)

@@ -4,7 +4,7 @@ A :class:`Workload` bundles everything campaigns need about one target
 program: its (corrected) MiniC source, the optional faulty variant
 carrying one of the paper's seven real faults, the family input
 generator/oracle, the core count, and the Table-1/Table-2 metadata.
-Compilation is cached per workload instance.
+Compilation is cached per (workload instance, opt_level).
 """
 
 from __future__ import annotations
@@ -31,24 +31,26 @@ class Workload:
     num_cores: int = 1
     in_table2: bool = False        # participates in the §6 campaigns
     paper_table1_percent: float | None = None  # paper's measured % wrong
-    _compiled: CompiledProgram | None = field(default=None, repr=False)
-    _compiled_faulty: CompiledProgram | None = field(default=None, repr=False)
+    _compiled: dict = field(default_factory=dict, repr=False)
+    _compiled_faulty: dict = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
 
-    def compiled(self) -> CompiledProgram:
-        if self._compiled is None:
-            self._compiled = compile_source(self.source, self.name)
-        return self._compiled
+    def compiled(self, opt_level: int = 0) -> CompiledProgram:
+        if opt_level not in self._compiled:
+            self._compiled[opt_level] = compile_source(
+                self.source, self.name, opt_level=opt_level
+            )
+        return self._compiled[opt_level]
 
-    def compiled_faulty(self) -> CompiledProgram:
+    def compiled_faulty(self, opt_level: int = 0) -> CompiledProgram:
         if self.faulty_source is None:
             raise ValueError(f"{self.name} has no faulty variant")
-        if self._compiled_faulty is None:
-            self._compiled_faulty = compile_source(
-                self.faulty_source, f"{self.name}-faulty"
+        if opt_level not in self._compiled_faulty:
+            self._compiled_faulty[opt_level] = compile_source(
+                self.faulty_source, f"{self.name}-faulty", opt_level=opt_level
             )
-        return self._compiled_faulty
+        return self._compiled_faulty[opt_level]
 
     @property
     def has_real_fault(self) -> bool:

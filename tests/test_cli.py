@@ -347,6 +347,82 @@ class TestUniformFlags:
         assert "positive integer" in capsys.readouterr().err
 
 
+class TestOptFlag:
+    """--opt {0,1}: parse-time validation plus the paper-fidelity guard."""
+
+    @pytest.mark.parametrize("value", ["2", "-1", "9"])
+    def test_out_of_range_opt_exits_2(self, capsys, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["disasm", "C.team1", "--opt", value])
+        assert excinfo.value.code == 2
+        assert "must be 0 or 1" in capsys.readouterr().err
+
+    def test_non_numeric_opt_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["disasm", "C.team1", "--opt", "fast"])
+        assert excinfo.value.code == 2
+        assert "invalid int value" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("argv", [
+        ["figures", "--opt", "1"],
+        ["table1", "--opt", "1"],
+        ["table4", "--opt", "1"],
+        ["sec5", "--opt", "1"],
+        ["ablation-triggers", "--opt", "1"],
+        ["ablation-hardware", "--opt", "1"],
+        ["srcfi", "compare", "--opt", "1"],
+        ["srcfi", "campaign", "--opt", "1"],
+    ])
+    def test_paper_commands_reject_opt_1(self, capsys, argv):
+        code = main(argv)
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one-line diagnostic
+        assert "O0" in err
+
+    def test_paper_commands_accept_explicit_opt_0(self, capsys):
+        assert main(["table2", "--opt", "0"]) == 0
+        assert "SOR" in capsys.readouterr().out
+
+    def test_disasm_at_o1_differs_from_o0(self, capsys):
+        assert main(["disasm", "JB.team11"]) == 0
+        o0_listing = capsys.readouterr().out
+        assert main(["disasm", "JB.team11", "--opt", "1"]) == 0
+        o1_listing = capsys.readouterr().out
+        assert "main:" in o1_listing and "blr" in o1_listing
+        assert o1_listing != o0_listing
+        assert o1_listing.count("\n") < o0_listing.count("\n")
+
+    def test_coverage_runs_at_o1(self, capsys):
+        assert main(["coverage", "JB.team11", "--inputs", "1",
+                     "--opt", "1"]) == 0
+        assert "fault-site coverage" in capsys.readouterr().out
+
+    def test_inject_runs_at_o1(self, capsys, tmp_path):
+        source = tmp_path / "mini.c"
+        source.write_text(
+            "int in_x;\nint out;\n"
+            "void main() { out = in_x + 2; if (out < 9) { out = 9; } "
+            "print_int(out); exit(0); }"
+        )
+        assert main(["inject", str(source), "--locations", "2",
+                     "--opt", "1"]) == 0
+        assert "assignment locations" in capsys.readouterr().out
+
+    def test_verify_fuzz_opt_flag_parses(self):
+        args = build_parser().parse_args(["verify", "fuzz", "--opt", "1"])
+        assert args.opt == 1
+        assert build_parser().parse_args(["verify", "fuzz"]).opt == 0
+
+    def test_small_opt_axis_fuzz_run_is_clean(self, capsys):
+        assert main(["verify", "fuzz", "--seed", "5", "--cases", "8",
+                     "--inputs", "1", "--faults", "2", "--state-only",
+                     "--quiet", "--opt", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "no divergences" in out
+        assert "O0-vs-O1" in out
+
+
 class TestSrcfiCommand:
     def test_sites_lists_mutation_points(self, capsys):
         assert main(["srcfi", "sites", "JB.team6"]) == 0

@@ -1,0 +1,423 @@
+"""The optimizing middle-end: IR passes, linear scan, debug anchors.
+
+Every behavioural test here compares the O1 binary against the O0 one on
+the observable contract (console bytes + exit code) — the optimizer's
+whole correctness story is "same observables, fewer instructions".
+"""
+
+import pytest
+
+from repro.lang import CompileError, compile_source
+from repro.lang.ir import lower_program
+from repro.lang.optimize import (
+    constant_fold,
+    eliminate_dead_code,
+    optimize_program,
+)
+from repro.lang.parser import parse
+from repro.machine import boot
+
+
+def run_console(compiled, inputs=None, budget=2_000_000):
+    machine = boot(compiled.executable, inputs=dict(inputs or {}))
+    result = machine.run(budget)
+    return result, bytes(machine.console)
+
+
+def both_levels(source, name="prog", inputs=None):
+    """Compile at O0 and O1, assert observable agreement, return both."""
+    o0 = compile_source(source, name)
+    o1 = compile_source(source, name, opt_level=1)
+    result0, console0 = run_console(o0, inputs)
+    result1, console1 = run_console(o1, inputs)
+    assert result0.status == result1.status == "exited"
+    assert result0.exit_code == result1.exit_code
+    assert console0 == console1
+    return o0, o1, result0, result1
+
+
+class TestOptLevelPlumbing:
+    def test_default_is_o0_and_bit_identical_to_before(self):
+        source = "void main() { print_int(6 * 7); exit(0); }"
+        default = compile_source(source, "p")
+        explicit = compile_source(source, "p", opt_level=0)
+        assert default.opt_level == 0
+        assert bytes(default.executable.code) == bytes(explicit.executable.code)
+
+    def test_bad_opt_level_is_a_compile_error(self):
+        with pytest.raises(CompileError, match="opt_level"):
+            compile_source("void main() { exit(0); }", "p", opt_level=2)
+
+    def test_o1_sets_metadata(self):
+        o1 = compile_source("void main() { exit(0); }", "p", opt_level=1)
+        assert o1.opt_level == 1
+        assert o1.debug.opt_level == 1
+
+    def test_o1_compilation_is_deterministic(self):
+        source = """
+int table[8];
+void main() {
+    int i;
+    for (i = 0; i < 8; i++) { table[i] = i * i; }
+    print_int(table[5]);
+    exit(0);
+}
+"""
+        a = compile_source(source, "p", opt_level=1)
+        b = compile_source(source, "p", opt_level=1)
+        assert bytes(a.executable.code) == bytes(b.executable.code)
+        assert bytes(a.executable.data) == bytes(b.executable.data)
+
+
+class TestPassCorrectness:
+    def test_constant_folding_shrinks_and_agrees(self):
+        source = """
+void main() {
+    int x = (3 + 4) * (10 - 2);
+    print_int(x / 7);
+    exit(0);
+}
+"""
+        _, o1, result0, result1 = both_levels(source)
+        assert result1.instructions < result0.instructions
+
+    def test_dead_store_is_eliminated(self):
+        source = """
+void main() {
+    int dead = 1234;
+    int live = 5;
+    dead = 99;
+    print_int(live);
+    exit(0);
+}
+"""
+        o0, o1, result0, result1 = both_levels(source)
+        assert result1.instructions < result0.instructions
+        # the 1234 constant never survives into the O1 binary
+        assert 1234 not in [
+            word & 0xFFFF
+            for word in _words(o1.executable.code)
+        ]
+
+    def test_copy_propagation_through_chains(self):
+        source = """
+void main() {
+    int a = 7;
+    int b = a;
+    int c = b;
+    int d = c;
+    print_int(d + d);
+    exit(0);
+}
+"""
+        both_levels(source)
+
+    def test_division_by_zero_is_not_folded_away(self):
+        # Constant folding must not evaluate 1/0 at compile time; the
+        # machine's own divide-by-zero behaviour is the spec.
+        source = """
+int in_x;
+void main() {
+    print_int(in_x / (3 - 3));
+    exit(0);
+}
+"""
+        o0 = compile_source(source, "p")
+        o1 = compile_source(source, "p", opt_level=1)
+        r0, c0 = run_console(o0, {"in_x": 9})
+        r1, c1 = run_console(o1, {"in_x": 9})
+        assert (r0.status, r0.exit_code, c0) == (r1.status, r1.exit_code, c1)
+
+    def test_loops_and_globals(self):
+        source = """
+int acc;
+int data[16];
+void main() {
+    int i;
+    for (i = 0; i < 16; i++) { data[i] = i * 3; }
+    i = 0;
+    while (i < 16) {
+        acc = acc + data[i];
+        i = i + 1;
+    }
+    print_int(acc);
+    exit(0);
+}
+"""
+        _, _, result0, result1 = both_levels(source)
+        assert result1.instructions < result0.instructions
+
+    def test_functions_calls_and_recursion(self):
+        source = """
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+void main() {
+    print_int(fib(12));
+    exit(0);
+}
+"""
+        both_levels(source)
+
+    def test_pointers_structs_and_chars(self):
+        source = """
+struct point { int x; int y; };
+struct point origin;
+void main() {
+    struct point *p = &origin;
+    char c = 'A';
+    p->x = 11;
+    p->y = p->x * 2;
+    print_int(p->x + p->y);
+    print_char(c);
+    exit(0);
+}
+"""
+        both_levels(source)
+
+    def test_short_circuit_and_ternary(self):
+        source = """
+int in_a;
+int in_b;
+void main() {
+    int r = 0;
+    if (in_a > 2 && in_b < 10) { r = 1; }
+    if (in_a == 0 || in_b == 0) { r = r + 2; }
+    print_int(r ? r * 10 : -1);
+    exit(0);
+}
+"""
+        for pokes in ({"in_a": 3, "in_b": 4}, {"in_a": 0, "in_b": 0},
+                      {"in_a": 1, "in_b": 20}):
+            o0 = compile_source(source, "p")
+            o1 = compile_source(source, "p", opt_level=1)
+            r0, c0 = run_console(o0, pokes)
+            r1, c1 = run_console(o1, pokes)
+            assert (r0.exit_code, c0) == (r1.exit_code, c1)
+
+
+class TestRegisterPressure:
+    def test_spilling_with_more_live_values_than_registers(self):
+        # 18 simultaneously live locals exceed the 14-register pool, so
+        # linear scan must spill; the program sums them all at the end
+        # to keep every one live across every other's definition.
+        names = [f"v{i}" for i in range(18)]
+        decls = "\n    ".join(f"int {n} = {i + 1} * in_x;"
+                              for i, n in enumerate(names))
+        total = " + ".join(names)
+        source = f"""
+int in_x;
+void main() {{
+    {decls}
+    print_int({total});
+    exit(0);
+}}
+"""
+        o0 = compile_source(source, "spill")
+        o1 = compile_source(source, "spill", opt_level=1)
+        r0, c0 = run_console(o0, {"in_x": 3})
+        r1, c1 = run_console(o1, {"in_x": 3})
+        assert (r0.status, r0.exit_code, c0) == (r1.status, r1.exit_code, c1)
+        assert c1 == str(sum((i + 1) * 3 for i in range(18))).encode()
+
+    def test_spilling_across_calls(self):
+        names = [f"v{i}" for i in range(16)]
+        decls = "\n    ".join(f"int {n} = {i + 2};"
+                              for i, n in enumerate(names))
+        total = " + ".join(names)
+        source = f"""
+int twice(int x) {{ return x * 2; }}
+void main() {{
+    {decls}
+    int mid = twice(v0);
+    print_int({total} + mid);
+    exit(0);
+}}
+"""
+        both_levels(source)
+
+
+class TestIRPasses:
+    def lower(self, source):
+        return lower_program(parse(source), name="p")
+
+    def test_constant_fold_reports_progress(self):
+        program = self.lower("""
+void main() {
+    int x = 2 + 3;
+    print_int(x);
+    exit(0);
+}
+""")
+        func = program.functions[0]
+        assert constant_fold(func) is True
+
+    def test_dce_never_removes_ops_only_marks(self):
+        program = self.lower("""
+void main() {
+    int dead = 7;
+    exit(0);
+}
+""")
+        func = program.functions[0]
+        count_before = len(func.ops)
+        constant_fold(func)
+        eliminate_dead_code(func)
+        assert len(func.ops) == count_before
+        assert any(op.deleted for op in func.ops)
+
+    def test_optimize_program_returns_same_object(self):
+        program = self.lower("void main() { exit(0); }")
+        assert optimize_program(program) is program
+
+
+class TestDebugAnchors:
+    SOURCE = """
+int flag;
+void main() {
+    int x = 3;
+    int dead = 8;
+    if (x < flag) { x = x + 1; }
+    while (x > 0) { x = x - 2; }
+    print_int(x);
+    exit(0);
+}
+"""
+
+    def compiled(self):
+        return compile_source(self.SOURCE, "anchors", opt_level=1)
+
+    def test_every_anchorable_site_has_an_address_in_code(self):
+        o1 = self.compiled()
+        base = o1.executable.code_base
+        end = base + len(o1.executable.code)
+        for site in o1.debug.assignments:
+            if site.anchorable:
+                assert site.address is not None
+                assert base <= site.address < end
+        for site in o1.debug.checks:
+            if site.anchorable:
+                assert base <= site.address < end
+
+    def test_dead_store_is_unanchorable_not_dropped(self):
+        o1 = self.compiled()
+        dead = [s for s in o1.debug.assignments if s.target == "dead"]
+        assert dead, "the dead store's anchor record must survive"
+        assert not dead[0].anchorable
+        live = [s for s in o1.debug.assignments
+                if s.target == "x" and s.anchorable]
+        assert live
+
+    def test_location_records_name_register_or_slot(self):
+        o1 = self.compiled()
+        for site in o1.debug.assignments:
+            if site.anchorable and site.location is not None:
+                kind, where = site.location
+                assert kind in ("reg", "slot")
+                if kind == "reg":
+                    assert 0 <= where <= 31
+
+    def test_folded_branch_check_is_unanchorable(self):
+        source = """
+void main() {
+    int x = 0;
+    if (1 < 2) { x = 5; }
+    print_int(x);
+    exit(0);
+}
+"""
+        o1 = compile_source(source, "folded", opt_level=1)
+        # the constant check folds away; its site must be kept but
+        # marked unanchorable so the locator skips it
+        folded = [s for s in o1.debug.checks if not s.anchorable]
+        assert folded
+
+    def test_register_locals_recorded_per_function(self):
+        o1 = self.compiled()
+        info = o1.debug.functions["main"]
+        assert info.register_locals or info.locals
+
+    def test_locator_enumerates_only_anchorable_sites(self):
+        from repro.emulation import FaultLocator
+
+        o1 = self.compiled()
+        locator = FaultLocator(o1)
+        for location in locator.assignment_locations():
+            assert location.site.anchorable
+            assert location.address is not None
+        for location in locator.checking_locations():
+            assert location.site.anchorable
+
+    def test_coverage_session_skips_unanchorable_sites(self):
+        from repro.swifi.coverage import CoverageSession
+
+        o1 = self.compiled()
+        session = CoverageSession(o1)
+        assert session.points
+        machine = boot(o1.executable, inputs={"flag": 10})
+        _, report = session.attach_and_run(machine)
+        assert report.total_points == len(session.points)
+
+
+class TestCampaignPlumbing:
+    def test_campaign_config_validates_opt_level(self):
+        from repro.swifi import CampaignConfig
+
+        with pytest.raises(ValueError, match="opt_level"):
+            CampaignConfig(opt_level=3)
+        assert CampaignConfig(opt_level=1).opt_level == 1
+
+    def test_runner_rejects_opt_level_mismatch(self):
+        from repro.swifi import (
+            CampaignConfig, CampaignError, CampaignRunner, InputCase,
+        )
+
+        source = (
+            "int in_x;\n"
+            "void main() { print_int(in_x + 1); exit(0); }\n"
+        )
+        o1 = compile_source(source, "mismatch", opt_level=1)
+        runner = CampaignRunner(o1, [InputCase("a", {"in_x": 4}, b"5")])
+        with pytest.raises(CampaignError, match="opt_level"):
+            runner.run([], config=CampaignConfig(opt_level=0))
+
+    def test_machine_campaign_runs_against_o1_binary(self):
+        from repro.swifi import (
+            Action, Arithmetic, CampaignConfig, CampaignRunner, InputCase,
+            MachineFault, OpcodeFetch, StoreValue,
+        )
+
+        source = (
+            "int in_x;\n"
+            "int acc;\n"
+            "void main() {\n"
+            "    acc = in_x + 1;\n"
+            "    print_int(acc);\n"
+            "    exit(0);\n"
+            "}\n"
+        )
+        o1 = compile_source(source, "addone", opt_level=1)
+        sites = [s for s in o1.debug.assignments if s.anchorable]
+        assert sites
+        faults = [MachineFault("fetch", OpcodeFetch(sites[0].address),
+                               (Action(StoreValue(), Arithmetic(1)),))]
+        runner = CampaignRunner(o1, [InputCase("a", {"in_x": 4}, b"5")])
+        result = runner.run(faults, config=CampaignConfig(opt_level=1))
+        assert len(result.records) == 1
+
+    def test_workload_cache_is_per_level(self):
+        from repro.workloads import get_workload
+
+        workload = get_workload("JB.team6")
+        o0 = workload.compiled()
+        o1 = workload.compiled(opt_level=1)
+        assert o0.opt_level == 0 and o1.opt_level == 1
+        assert workload.compiled() is o0
+        assert workload.compiled(opt_level=1) is o1
+        assert bytes(o0.executable.code) != bytes(o1.executable.code)
+
+
+def _words(code: bytes):
+    return [int.from_bytes(code[i:i + 4], "big")
+            for i in range(0, len(code), 4)]

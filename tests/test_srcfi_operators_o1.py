@@ -1,0 +1,122 @@
+"""Per-operator mutation round-trips against *optimized* binaries.
+
+Mirror of test_srcfi_operators.py with the pool compiled at O1: every
+srcfi operator must still locate sites, every mutant must compile (at
+the same level as its original) and change the binary, and reverting
+must reproduce the original O1 binary bit-for-bit.  This is the
+debug-anchor-preservation contract from the source-injection side.
+"""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.srcfi import (
+    OPERATORS,
+    SourceFault,
+    realize_source_fault,
+    recompiled_identical,
+)
+from repro.verify.generator import generate_program
+from repro.workloads import get_workload
+
+MAX_SITES_PER_OPERATOR = 2
+
+
+@pytest.fixture(scope="module")
+def pool():
+    """The O0 pool's programs, compiled at O1."""
+    compiled = []
+    for seed in (0, 1):
+        for index in range(3):
+            program = generate_program(seed, index)
+            compiled.append(
+                compile_source(program.render(), program.name, opt_level=1)
+            )
+    compiled.append(get_workload("JB.team6").compiled(opt_level=1))
+    compiled.append(get_workload("SOR").compiled(opt_level=1))
+    return compiled
+
+
+class TestRoundTripAtO1:
+    def test_pool_is_really_optimized(self, pool):
+        assert all(compiled.opt_level == 1 for compiled in pool)
+        assert all(compiled.debug.opt_level == 1 for compiled in pool)
+
+    def test_every_operator_has_sites_somewhere(self, pool):
+        for operator in OPERATORS:
+            assert any(operator.sites(compiled) for compiled in pool), \
+                f"{operator.name} found no site in the O1 pool"
+
+    def test_every_mutation_compiles_at_o1_and_mostly_changes_the_binary(
+            self, pool):
+        # Unlike O0, a mutant can legitimately compile to the *identical*
+        # binary at O1 when the optimizer absorbs it — e.g. check-drop
+        # rewriting ``if (v2 != 0)`` to ``if (1)`` where v2 is a known
+        # non-zero constant folds to the very same code.  That is the
+        # paper's emulability question under optimization in miniature:
+        # such faults are unemulable at O1 because no machine-level
+        # difference exists.  They must stay rare.
+        mutated = 0
+        absorbed = []
+        for compiled in pool:
+            for operator in OPERATORS:
+                sites = operator.sites(compiled)
+                for index in range(min(len(sites), MAX_SITES_PER_OPERATOR)):
+                    fault = SourceFault(operator=operator.name,
+                                        site_index=index)
+                    mutant = realize_source_fault(compiled, fault)
+                    assert mutant.compiled.opt_level == 1
+                    mutated += 1
+                    if (
+                        bytes(mutant.compiled.executable.code)
+                        == bytes(compiled.executable.code)
+                        and bytes(mutant.compiled.executable.data)
+                        == bytes(compiled.executable.data)
+                    ):
+                        absorbed.append(
+                            f"{operator.name}#{index} on {compiled.name}"
+                        )
+        assert mutated > 50
+        # ~5% of the pool's mutations sit on constant guards or dead
+        # stores the optimizer folds either way; anything beyond 10%
+        # would mean O1 is erasing real mutations.
+        assert len(absorbed) <= mutated // 10, absorbed
+
+    def test_revert_restores_bit_identical_o1_binary(self, pool):
+        for compiled in pool:
+            assert recompiled_identical(compiled), compiled.name
+
+
+class TestMachineTierAtO1:
+    def test_locator_builds_faults_on_the_o1_pool(self, pool):
+        import random
+
+        from repro.emulation import FaultLocator
+
+        rng = random.Random(7)
+        built = 0
+        for compiled in pool:
+            base = compiled.executable.code_base
+            end = base + len(compiled.executable.code)
+            locator = FaultLocator(compiled)
+            for location in (locator.assignment_locations()
+                             + locator.checking_locations()):
+                for fault in locator.faults_for_location(location, rng=rng):
+                    # array error types anchor on the load, everything
+                    # else on the site itself — always inside the code
+                    assert base <= fault.trigger.address < end
+                    built += 1
+        assert built > 100
+
+    def test_generated_error_sets_exist_at_o1(self, pool):
+        import random
+
+        from repro.emulation.rules import generate_error_set
+
+        rng = random.Random(11)
+        for compiled in pool:
+            for klass in ("assignment", "checking"):
+                error_set = generate_error_set(
+                    compiled, klass, max_locations=3, rng=rng
+                )
+                assert error_set.faults, f"{compiled.name}/{klass}"

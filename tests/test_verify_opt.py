@@ -1,0 +1,144 @@
+"""The differential fuzzer's compiler axis: O0 vs O1 on observables.
+
+The oracle's claim is narrow by design — the two binaries differ in
+registers, addresses and instruction counts, but the observable contract
+(console bytes, exit code, outcome) must be bit-identical on every
+engine.  The sabotage tests prove the axis has teeth: a deliberately
+miscompiling DCE must be caught, shrunk and persisted.
+"""
+
+import json
+
+import pytest
+
+from repro.lang import optimize
+from repro.swifi.campaign import CampaignError
+from repro.verify import FuzzConfig, replay_artifact, run_fuzz
+
+
+@pytest.fixture
+def sabotaged_dce():
+    """Enable the deliberate miscompile hook for one test."""
+    optimize.SABOTAGE_DELETE_LIVE_STORE = True
+    try:
+        yield
+    finally:
+        optimize.SABOTAGE_DELETE_LIVE_STORE = False
+
+
+class TestOptAxisConfig:
+    def test_axis_must_include_the_baseline(self):
+        with pytest.raises(CampaignError, match="opt_axis"):
+            run_fuzz(FuzzConfig(seed=0, cases=1, opt_axis=(1,)))
+
+    def test_axis_rejects_unknown_levels(self):
+        with pytest.raises(CampaignError, match="opt_axis"):
+            run_fuzz(FuzzConfig(seed=0, cases=1, opt_axis=(0, 2)))
+
+    def test_default_axis_is_o0_only(self):
+        assert FuzzConfig().opt_axis == (0,)
+
+
+class TestOptAxisClean:
+    def test_generated_programs_agree_across_levels_and_engines(self):
+        report = run_fuzz(FuzzConfig(
+            seed=0, cases=12, faults_per_program=2, inputs_per_program=2,
+            record_tier=False, opt_axis=(0, 1),
+        ))
+        assert report.ok(), [d.summary() for d in report.divergences]
+        assert report.opt_cases > 0
+        assert any("O0-vs-O1" in line for line in report.summary_lines())
+
+    def test_record_tier_runs_on_the_optimized_binary(self):
+        report = run_fuzz(FuzzConfig(
+            seed=1, cases=8, faults_per_program=2, inputs_per_program=1,
+            record_tier=True, jobs_axis=(1,), opt_axis=(0, 1),
+        ))
+        assert report.ok(), [d.summary() for d in report.divergences]
+        # the matrix ran twice per program: once per binary
+        assert report.record_campaigns > 0
+
+    def test_journal_resume_keeps_opt_counts(self, tmp_path):
+        config = dict(seed=0, cases=10, faults_per_program=2,
+                      inputs_per_program=1, record_tier=False,
+                      opt_axis=(0, 1), journal_dir=tmp_path)
+        first = run_fuzz(FuzzConfig(**config))
+        assert first.ok() and first.opt_cases > 0
+        second = run_fuzz(FuzzConfig(**config, resume=True))
+        assert second.ok()
+        assert second.resumed_programs == first.programs
+        assert second.opt_cases == first.opt_cases
+
+
+class TestSabotagedDceIsCaught:
+    def test_fuzzer_flags_the_miscompile(self, sabotaged_dce):
+        report = run_fuzz(FuzzConfig(
+            seed=0, cases=10, faults_per_program=1, inputs_per_program=1,
+            record_tier=False, shrink=False, opt_axis=(0, 1),
+            max_divergences=1,
+        ))
+        assert not report.ok(), "sabotaged DCE must be caught"
+        divergence = report.divergences[0]
+        assert divergence.tier == "opt"
+        assert divergence.config_b.opt == 1
+        # both sides name the binary they ran
+        assert divergence.detail_a["opt_level"] == 0
+        assert divergence.detail_b["opt_level"] == 1
+        assert divergence.detail_a["code_sha256"] != \
+            divergence.detail_b["code_sha256"]
+
+    def test_without_sabotage_the_same_seed_is_clean(self):
+        report = run_fuzz(FuzzConfig(
+            seed=0, cases=10, faults_per_program=1, inputs_per_program=1,
+            record_tier=False, shrink=False, opt_axis=(0, 1),
+            max_divergences=1,
+        ))
+        assert report.ok(), [d.summary() for d in report.divergences]
+
+    def test_artifact_records_both_binaries_and_replays(self, tmp_path,
+                                                        sabotaged_dce):
+        report = run_fuzz(FuzzConfig(
+            seed=0, cases=10, faults_per_program=1, inputs_per_program=1,
+            record_tier=False, shrink=True, max_shrink_checks=40,
+            opt_axis=(0, 1), max_divergences=1, artifact_dir=tmp_path,
+        ))
+        assert not report.ok()
+        assert report.shrinks, "opt divergences go through the shrinker"
+        json_artifacts = [p for p in report.artifacts
+                          if str(p).endswith(".json")]
+        assert json_artifacts
+        payload = json.loads(json_artifacts[0].read_text())
+        divergence = payload["divergence"]
+        assert divergence["tier"] == "opt"
+        assert divergence["config_b"]["opt"] == 1
+        assert divergence["detail_a"]["code_sha256"] != \
+            divergence["detail_b"]["code_sha256"]
+        # still sabotaged: the artifact reproduces
+        live = replay_artifact(json_artifacts[0])
+        assert live is not None and live.tier == "opt"
+
+    def test_replay_goes_quiet_once_the_bug_is_fixed(self, tmp_path):
+        optimize.SABOTAGE_DELETE_LIVE_STORE = True
+        try:
+            report = run_fuzz(FuzzConfig(
+                seed=0, cases=10, faults_per_program=1, inputs_per_program=1,
+                record_tier=False, shrink=False, opt_axis=(0, 1),
+                max_divergences=1, artifact_dir=tmp_path,
+            ))
+        finally:
+            optimize.SABOTAGE_DELETE_LIVE_STORE = False
+        json_artifacts = [p for p in report.artifacts
+                          if str(p).endswith(".json")]
+        assert json_artifacts
+        # the "fix" (hook off) makes the recorded divergence vanish
+        assert replay_artifact(json_artifacts[0]) is None
+
+
+class TestSourceTierOptAxis:
+    def test_source_tier_checks_the_compiler_axis_too(self):
+        report = run_fuzz(FuzzConfig(
+            seed=2, cases=6, faults_per_program=2, inputs_per_program=1,
+            record_tier=False, tier="source", opt_axis=(0, 1),
+        ))
+        assert report.ok(), [d.summary() for d in report.divergences]
+        assert report.opt_cases > 0
