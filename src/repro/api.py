@@ -38,6 +38,11 @@ Grouped by layer:
 * **planning** — the campaign planner behind
   ``CampaignConfig(prune=..., memoize=...)``: dormancy proving, outcome
   memoization, and the plan reports behind ``repro plan report``;
+* **service** — the distributed campaign service behind ``repro serve``
+  / ``repro work`` / ``repro submit``: the durable :class:`BrokerState`
+  and its HTTP front-end, the lease/execute/report worker loop, and the
+  fingerprint-keyed segment merge that reproduces a local ``--jobs 1``
+  journal bit-for-bit;
 * **verify** — the differential verification subsystem behind
   ``repro verify fuzz``: seeded program generation, fault sampling, the
   cross-configuration oracle, shrinking and divergence artifacts.
@@ -174,6 +179,22 @@ from .swifi import (
     WhenPolicy,
     classify,
     probe,
+)
+from .service import (
+    BrokerClient,
+    BrokerState,
+    BrokerUnavailable,
+    CampaignBundle,
+    CampaignOptions,
+    MergeConflict,
+    ServiceError,
+    ServiceWorker,
+    campaign_id_for,
+    merge_segment_files,
+    run_broker,
+    run_submit,
+    worker_main,
+    write_canonical_journal,
 )
 from .verify import (
     DifferentialOracle,
@@ -325,6 +346,21 @@ __all__ = [
     "build_plan_report",
     "plan_from_records",
     "render_plan_report",
+    # service (repro serve / work / submit)
+    "BrokerClient",
+    "BrokerState",
+    "BrokerUnavailable",
+    "CampaignBundle",
+    "CampaignOptions",
+    "MergeConflict",
+    "ServiceError",
+    "ServiceWorker",
+    "campaign_id_for",
+    "merge_segment_files",
+    "run_broker",
+    "run_submit",
+    "worker_main",
+    "write_canonical_journal",
     # verify (repro verify fuzz / replay)
     "FuzzConfig",
     "FuzzReport",

@@ -22,6 +22,9 @@ Usage (also via ``python -m repro``)::
     python -m repro verify fuzz --tier source          # fuzz the mutant pipeline
     python -m repro verify fuzz --opt 1                # add the O0-vs-O1 axis
     python -m repro verify replay ARTIFACT.json        # re-run a divergence
+    python -m repro serve --state-dir state/           # campaign broker
+    python -m repro work http://127.0.0.1:8642         # work-stealing worker
+    python -m repro submit http://127.0.0.1:8642 --journal-dir out/
     python -m repro srcfi sites JB.team6               # mutation-site listing
     python -m repro srcfi campaign --programs SOR      # source-tier campaigns
     python -m repro srcfi compare --out results        # two-tier agreement study
@@ -67,6 +70,34 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(
             f"must be a positive integer (got {value})"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type for durations that must be > 0 (``--lease-timeout 0``
+    would expire every lease instantly — a config error, rejected at
+    parse time with the usual argparse exit code 2)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number (got {value})"
+        )
+    return value
+
+
+def _port_int(text: str) -> int:
+    """Argparse type for ``--port``: 1-65535, or 0 for an ephemeral port."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if not 0 <= value <= 65535:
+        raise argparse.ArgumentTypeError(
+            f"port must be 0 (ephemeral) or 1-65535 (got {value})"
         )
     return value
 
@@ -464,6 +495,108 @@ def _cmd_verify_replay(args):
     return 1
 
 
+def _cmd_serve(args):
+    from .service import run_broker
+
+    return run_broker(
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+        lease_timeout=args.lease_timeout,
+        max_attempts=args.max_attempts,
+        port_file=args.port_file,
+    )
+
+
+def _cmd_work(args):
+    import threading
+
+    from .service import BrokerUnavailable, ServiceWorker, worker_main
+
+    try:
+        if args.workers == 1:
+            return worker_main(
+                args.broker,
+                worker_id=args.worker_id,
+                poll_interval=args.poll_interval,
+                max_idle=args.max_idle,
+            )
+        # N workers in one process: independent lease loops with distinct
+        # worker ids; runs execute under the GIL but lease bookkeeping,
+        # heartbeats and reporting all overlap, which is what matters on
+        # a one-core host driving a remote broker.
+        base = args.worker_id or f"w-{os.uname().nodename}-{os.getpid()}"
+        workers = [
+            ServiceWorker(
+                args.broker,
+                worker_id=f"{base}-t{index}",
+                poll_interval=args.poll_interval,
+                max_idle=args.max_idle,
+            )
+            for index in range(args.workers)
+        ]
+        failures = []
+
+        def run_worker(worker):
+            try:
+                worker.run()
+            except BrokerUnavailable as error:
+                failures.append(error)
+
+        threads = [
+            threading.Thread(target=run_worker, args=(worker,), daemon=True)
+            for worker in workers
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise BrokerUnavailable(failures[0])
+        return 0
+    except BrokerUnavailable as error:
+        print(f"error: broker unreachable: {error}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 130
+
+
+def _cmd_submit(args):
+    from .service import BrokerRequestError, BrokerUnavailable, run_submit
+    from .service.protocol import ProtocolError
+
+    if getattr(args, "tier", "machine") == "source":
+        print(
+            "error: --tier source is not supported by the campaign service "
+            "(the source tier compiles mutants locally; the broker shards "
+            "machine-tier campaigns only)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        return run_submit(
+            args.broker,
+            config=_config(args),
+            programs=args.programs,
+            shard_size=args.shard_size,
+            engine=args.engine,
+            snapshot=args.snapshot,
+            trace=args.trace,
+            journal_dir=args.journal_dir,
+            wait=not args.no_wait,
+            timeout=args.timeout,
+            quiet=args.quiet,
+        )
+    except BrokerUnavailable as error:
+        print(f"error: broker unreachable: {error}", file=sys.stderr)
+        return 1
+    except (BrokerRequestError, ProtocolError) as error:
+        print(f"error: broker rejected request: {error}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 130
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -767,6 +900,95 @@ def build_parser() -> argparse.ArgumentParser:
     srcfi_compare.add_argument("--quiet", action="store_true",
                                help="suppress per-pair progress on stderr")
     srcfi_compare.set_defaults(fn=_cmd_srcfi_compare)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the campaign broker: accept submissions, shard the "
+             "fault x case matrix, lease shards to workers, merge the "
+             "returned journal segments",
+    )
+    serve.add_argument("--state-dir", required=True,
+                       help="durable broker state: campaign manifests, "
+                            "journal segments, merged journals (restart the "
+                            "broker on the same directory to resume)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=_port_int, default=0,
+                       help="TCP port, or 0 to bind an ephemeral port "
+                            "(announced on stderr and via --port-file)")
+    serve.add_argument("--lease-timeout", type=_positive_float, default=30.0,
+                       metavar="SECONDS",
+                       help="missed-heartbeat window before a shard lease "
+                            "expires and the shard is re-queued for "
+                            "stealing (default 30)")
+    serve.add_argument("--max-attempts", type=_positive_int, default=None,
+                       help="give up on a shard after this many leases "
+                            "(default 16); its runs are recorded as failed")
+    serve.add_argument("--port-file", default=None, metavar="FILE",
+                       help="write the bound port here once listening "
+                            "(for scripts wrapping --port 0)")
+    serve.set_defaults(fn=_cmd_serve)
+
+    work = sub.add_parser(
+        "work",
+        help="run campaign workers against a broker: lease shards, execute "
+             "them with the standard run loop, stream results back",
+    )
+    work.add_argument("broker", metavar="BROKER_URL",
+                      help="broker base URL, e.g. http://127.0.0.1:8642")
+    work.add_argument("--workers", type=_positive_int, default=1,
+                      help="worker loops to run in this process "
+                           "(default 1)")
+    work.add_argument("--worker-id", default=None,
+                      help="stable worker identity for lease bookkeeping "
+                           "(default: host and pid derived)")
+    work.add_argument("--poll-interval", type=_positive_float, default=0.5,
+                      metavar="SECONDS",
+                      help="idle re-poll interval (default 0.5)")
+    work.add_argument("--max-idle", type=_positive_float, default=None,
+                      metavar="SECONDS",
+                      help="exit 0 after this long with no work "
+                           "(default: keep polling forever)")
+    work.set_defaults(fn=_cmd_work)
+
+    submit = sub.add_parser(
+        "submit", parents=[shared],
+        help="submit the S6 campaigns to a broker, follow progress, and "
+             "download the merged journals",
+    )
+    submit.add_argument("broker", metavar="BROKER_URL",
+                        help="broker base URL, e.g. http://127.0.0.1:8642")
+    submit.add_argument("--programs", nargs="*", default=None,
+                        help="restrict to these Table-2 programs")
+    submit.add_argument("--shard-size", type=_positive_int, default=None,
+                        help="runs per shard (default: matrix split across "
+                             "the expected worker count)")
+    submit.add_argument("--engine", choices=("simple", "block", "trace"),
+                        default="simple",
+                        help="machine execution engine used by the workers")
+    submit.add_argument("--snapshot", choices=("off", "auto", "verify"),
+                        default="off",
+                        help="golden-run snapshot policy used by the workers")
+    submit.add_argument("--trace", action="store_true",
+                        help="record per-run span traces into the merged "
+                             "journal")
+    submit.add_argument("--journal-dir", default=None,
+                        help="download each campaign's merged journal into "
+                             "this directory (bit-identical to a local "
+                             "--jobs 1 journal)")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="submit and exit without waiting for completion")
+    submit.add_argument("--timeout", type=_positive_float, default=None,
+                        metavar="SECONDS",
+                        help="fail if a campaign is still running after this "
+                             "long (default: wait forever)")
+    submit.add_argument("--quiet", action="store_true",
+                        help="suppress submission/progress lines on stderr")
+    submit.add_argument("--tier", choices=("machine", "source"),
+                        default="machine",
+                        help="injection tier; the service is machine-tier "
+                             "only (source mutants compile locally)")
+    submit.set_defaults(fn=_cmd_submit)
     return parser
 
 

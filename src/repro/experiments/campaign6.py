@@ -196,10 +196,87 @@ def run_section6(
     operators compiled into mutant binaries).  Snapshot restore and the
     campaign planner are machine-tier-only options.
     """
+    config = config or ExperimentConfig()
+    results = Section6Results()
+    for spec in iter_section6_campaigns(
+        config, programs=programs, classes=classes, strategy=strategy, tier=tier
+    ):
+        campaign = ProgramCampaign(
+            program=spec.program,
+            klass=spec.klass,
+            possible_locations=spec.error_set.possible_locations,
+            chosen_locations=spec.error_set.chosen_locations,
+            fault_count=len(spec.error_set.faults),
+        )
+        campaign_journal = None
+        if journal_dir is not None:
+            campaign_journal = os.path.join(journal_dir, spec.journal_name)
+        outcome = spec.runner.run(
+            spec.error_set.faults,
+            progress=progress,
+            config=CampaignConfig(
+                jobs=jobs,
+                journal_dir=campaign_journal,
+                resume=resume,
+                seed=config.seed,
+                snapshot=snapshot,
+                telemetry=telemetry,
+                label=spec.label,
+                trace=trace,
+                engine=engine,
+                prune=prune,
+                memoize=memoize,
+                memo_dir=memo_dir,
+                plan_verify=plan_verify,
+                tier=tier,
+            ),
+        )
+        campaign.records = outcome.records
+        results.campaigns.append(campaign)
+    return results
+
+
+@dataclass
+class CampaignSpec:
+    """One (program, fault class) campaign, fully built but not yet run.
+
+    The enumeration order and RNG consumption of
+    :func:`iter_section6_campaigns` are part of the campaign identity:
+    the distributed service's ``repro submit`` builds its submissions
+    through the same generator, so a campaign submitted to a broker is
+    bit-identical — same fault ids, same cases, same seed derivation —
+    to the one ``run_section6`` would execute locally.  ``runner`` is
+    shared across the classes of one workload (budget calibration is
+    per-program, not per-class).
+    """
+
+    program: str
+    klass: str
+    error_set: object
+    runner: CampaignRunner
+    seed: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.program}/{self.klass}"
+
+    @property
+    def journal_name(self) -> str:
+        return f"{self.program}__{self.klass}"
+
+
+def iter_section6_campaigns(
+    config: ExperimentConfig | None = None,
+    *,
+    programs: list[str] | None = None,
+    classes: tuple[str, ...] = FAULT_CLASSES,
+    strategy: str = "databus",
+    tier: str = TIER_MACHINE,
+):
+    """Yield the §6 campaigns over the Table-2 programs, in run order."""
     if tier not in TIERS:
         raise ValueError(f"tier must be one of {TIERS}, got {tier!r}")
     config = config or ExperimentConfig()
-    results = Section6Results()
     for workload in table2_workloads():
         if programs is not None and workload.name not in programs:
             continue
@@ -230,38 +307,10 @@ def run_section6(
                     rng=rng,
                     strategy=strategy,
                 )
-            campaign = ProgramCampaign(
+            yield CampaignSpec(
                 program=workload.name,
                 klass=klass,
-                possible_locations=error_set.possible_locations,
-                chosen_locations=error_set.chosen_locations,
-                fault_count=len(error_set.faults),
+                error_set=error_set,
+                runner=runner,
+                seed=config.seed,
             )
-            campaign_journal = None
-            if journal_dir is not None:
-                campaign_journal = os.path.join(
-                    journal_dir, f"{workload.name}__{klass}"
-                )
-            outcome = runner.run(
-                error_set.faults,
-                progress=progress,
-                config=CampaignConfig(
-                    jobs=jobs,
-                    journal_dir=campaign_journal,
-                    resume=resume,
-                    seed=config.seed,
-                    snapshot=snapshot,
-                    telemetry=telemetry,
-                    label=f"{workload.name}/{klass}",
-                    trace=trace,
-                    engine=engine,
-                    prune=prune,
-                    memoize=memoize,
-                    memo_dir=memo_dir,
-                    plan_verify=plan_verify,
-                    tier=tier,
-                ),
-            )
-            campaign.records = outcome.records
-            results.campaigns.append(campaign)
-    return results

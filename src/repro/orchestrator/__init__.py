@@ -49,13 +49,20 @@ from .telemetry import (
     TelemetrySink,
     TelemetrySnapshot,
 )
-from .worker import CRASH_EXIT_CODE, ShardTask, shard_worker_main
+from .worker import (
+    CRASH_EXIT_CODE,
+    ShardTask,
+    build_shard_task,
+    execute_shard_runs,
+    shard_worker_main,
+)
 
 __all__ = [
     "CampaignJournal",
     "JournalError",
     "JournalState",
     "campaign_fingerprint",
+    "encode_entry",
     "load_runs_file",
     "CampaignInterrupted",
     "CampaignOrchestrator",

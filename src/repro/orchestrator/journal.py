@@ -39,6 +39,18 @@ RUNS_NAME = "runs.jsonl"
 JOURNAL_VERSION = 1
 
 
+def encode_entry(entry: dict) -> str:
+    """Serialise one journal entry to its canonical JSONL line.
+
+    Every writer of ``runs.jsonl`` — the in-process journal below and the
+    service broker's segment merge (:mod:`repro.service.merge`) — must go
+    through this function: the distributed chaos suite asserts merged
+    journals bit-identical to serial ones, so the byte encoding of a line
+    is part of the journal contract, not an implementation detail.
+    """
+    return json.dumps(entry) + "\n"
+
+
 class JournalError(RuntimeError):
     """Raised for fingerprint mismatches and malformed journal files."""
 
@@ -190,7 +202,7 @@ class CampaignJournal:
     def _append(self, entry: dict) -> None:
         if self._handle is None:
             raise JournalError("journal is not open")
-        self._handle.write(json.dumps(entry) + "\n")
+        self._handle.write(encode_entry(entry))
         self._handle.flush()
 
     def append_record(self, run_index: int, record: RunRecord) -> None:

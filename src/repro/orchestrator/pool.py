@@ -38,7 +38,14 @@ from .telemetry import (
     TelemetrySink,
     TelemetrySnapshot,
 )
-from .worker import MSG_DONE, MSG_ERROR, MSG_RUN, ShardTask, shard_worker_main
+from .worker import (
+    MSG_DONE,
+    MSG_ERROR,
+    MSG_RUN,
+    ShardTask,
+    build_shard_task,
+    shard_worker_main,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..swifi.campaign import CampaignRunner
@@ -347,38 +354,23 @@ class CampaignOrchestrator:
     # -- parallel path --------------------------------------------------
 
     def _make_task(self, state: _ShardState) -> ShardTask:
-        indices = tuple(sorted(state.remaining))
-        fault_positions: dict[int, int] = {}
-        case_positions: dict[int, int] = {}
-        faults: list[MachineFault] = []
-        cases: list[InputCase] = []
-        runs: list[tuple[int, int, int]] = []
-        for index in indices:
-            fault_index, case_index = pair_for_index(index, len(self.cases))
-            if fault_index not in fault_positions:
-                fault_positions[fault_index] = len(faults)
-                faults.append(self.faults[fault_index])
-            if case_index not in case_positions:
-                case_positions[case_index] = len(cases)
-                cases.append(self.cases[case_index])
-            runs.append((index, fault_positions[fault_index], case_positions[case_index]))
         crash_attempts, crash_after = self.options.crash_shards.get(
             state.shard.shard_id, (0, 0)
         )
         stall_attempts, stall_seconds = self.options.stall_shards.get(
             state.shard.shard_id, (0, 0.0)
         )
-        return ShardTask(
+        return build_shard_task(
             shard_id=state.shard.shard_id,
             attempt=state.attempt,
+            indices=sorted(state.remaining),
             program=self.program,
             executable=self.executable,
+            faults=self.faults,
+            cases=self.cases,
+            budgets=self.budgets,
             num_cores=self.num_cores,
             quantum=self.quantum,
-            budgets={case.case_id: self.budgets[case.case_id] for case in cases},
-            faults=tuple(faults),
-            cases=tuple(cases),
-            runs=tuple(runs),
             seed=state.shard.seed,
             snapshot=self.options.snapshot,
             trace=self.options.trace,

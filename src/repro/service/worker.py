@@ -1,0 +1,235 @@
+"""The service worker: lease shards over HTTP, execute, stream segments.
+
+A worker is a loop around three verbs — *lease*, *execute*, *report* —
+with exactly the run loop the ``multiprocessing`` pool workers use
+(:func:`repro.orchestrator.execute_shard_runs`), so engines, snapshot
+policies, tracing and the planner behave identically on a remote host.
+
+Failure behaviour, which the chaos suite SIGKILLs into relief:
+
+* every completed run is reported immediately, so a worker killed
+  mid-shard loses at most the run in flight — the rest is already in a
+  broker-side segment and the re-leased shard shrinks accordingly;
+* a report answered ``lost`` (lease expired and stolen, or the broker
+  restarted) aborts the shard with :class:`LeaseLost`; the results
+  reported so far remain valid because segment merge deduplicates;
+* a broker that stops answering is retried with bounded backoff — a
+  broker restart must look to the fleet like a slow network, nothing
+  more (``max_idle`` bounds the patience: unreachable time counts as
+  idle time, and a worker that never reached the broker at all reports
+  the bad URL instead of exiting cleanly);
+* a background heartbeat renews the lease while a single long run
+  executes, and flags the loop to abandon the shard the moment the
+  broker reports the lease gone.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from ..orchestrator.worker import ShardTask, execute_shard_runs
+from ..swifi.campaign import RunRecord
+from .client import BrokerClient, BrokerRequestError, BrokerUnavailable
+from .protocol import STATUS_IDLE, STATUS_LEASE, STATUS_OK, STATUS_SHUTDOWN, decode_blob
+
+#: Backoff ceiling while the broker is unreachable.
+MAX_BACKOFF = 2.0
+
+
+class LeaseLost(RuntimeError):
+    """This worker's lease was stolen or voided; abandon the shard."""
+
+
+class ServiceWorker:
+    """One worker process' lease/execute/report loop."""
+
+    def __init__(
+        self,
+        broker_url: str,
+        *,
+        worker_id: str | None = None,
+        poll_interval: float = 0.5,
+        max_idle: float | None = None,
+        client: BrokerClient | None = None,
+        stop_event: threading.Event | None = None,
+    ) -> None:
+        self.client = client or BrokerClient(broker_url)
+        self.worker_id = worker_id or f"w-{os.uname().nodename}-{os.getpid()}"
+        self.poll_interval = poll_interval
+        self.max_idle = max_idle
+        self.stop_event = stop_event or threading.Event()
+        self.shards_completed = 0
+        self.runs_completed = 0
+
+    # -- the loop ------------------------------------------------------
+
+    def run(self) -> int:
+        """Work until shutdown (0), or until idle past ``max_idle`` (0).
+
+        An unreachable broker is retried with bounded backoff — forever
+        by default, because to a fleet a broker restart must look like a
+        slow network.  With ``max_idle`` set, unreachable time counts as
+        idle time; if the timeout elapses without the broker ever having
+        answered, the :class:`BrokerUnavailable` propagates so the CLI
+        can report a bad URL instead of exiting as if work were done.
+        """
+        idle_since: float | None = None
+        backoff = self.poll_interval
+        connected = False
+        while not self.stop_event.is_set():
+            try:
+                reply = self.client.lease(self.worker_id)
+            except BrokerUnavailable:
+                now = time.monotonic()
+                idle_since = idle_since if idle_since is not None else now
+                if self.max_idle is not None and now - idle_since >= self.max_idle:
+                    if not connected:
+                        raise
+                    return 0
+                self._sleep(backoff)
+                backoff = min(backoff * 2, MAX_BACKOFF)
+                continue
+            connected = True
+            backoff = self.poll_interval
+            status = reply.get("status")
+            if status == STATUS_SHUTDOWN:
+                return 0
+            if status == STATUS_IDLE:
+                now = time.monotonic()
+                idle_since = idle_since if idle_since is not None else now
+                if self.max_idle is not None and now - idle_since >= self.max_idle:
+                    return 0
+                self._sleep(self.poll_interval)
+                continue
+            if status != STATUS_LEASE:
+                self._sleep(self.poll_interval)
+                continue
+            idle_since = None
+            try:
+                self._run_lease(reply)
+            except LeaseLost:
+                continue  # results so far are safe; lease fresh work
+        return 0
+
+    def _sleep(self, seconds: float) -> None:
+        self.stop_event.wait(seconds)
+
+    # -- one lease -----------------------------------------------------
+
+    def _run_lease(self, lease: dict) -> None:
+        task = decode_blob(lease["task"])
+        if not isinstance(task, ShardTask):
+            raise LeaseLost()  # mis-routed blob; never execute it
+        campaign_id = lease["campaign_id"]
+        shard_id = int(lease["shard_id"])
+        attempt = int(lease["attempt"])
+        lease_seconds = float(lease.get("lease_seconds", 30.0))
+        lost = threading.Event()
+        heartbeat_stop = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(campaign_id, shard_id, attempt,
+                  max(lease_seconds / 3.0, 0.05), heartbeat_stop, lost),
+            daemon=True,
+        )
+        heartbeat.start()
+        try:
+            def emit(run_index: int, record: RunRecord, trace: dict | None) -> None:
+                if lost.is_set() or self.stop_event.is_set():
+                    raise LeaseLost()
+                entries = [{"type": "run", "index": run_index,
+                            "record": record.to_dict()}]
+                if trace is not None:
+                    entries.append({"type": "trace", "index": run_index,
+                                    "trace": trace})
+                reply = self._report_with_retry(
+                    campaign_id, shard_id, attempt, entries
+                )
+                self.runs_completed += 1
+                if reply.get("status") != STATUS_OK:
+                    raise LeaseLost()
+
+            execute_shard_runs(task, emit)
+            reply = self._report_with_retry(
+                campaign_id, shard_id, attempt, [], complete=True
+            )
+            if reply.get("status") == STATUS_OK:
+                self.shards_completed += 1
+        finally:
+            heartbeat_stop.set()
+            heartbeat.join(timeout=2.0)
+
+    def _report_with_retry(
+        self,
+        campaign_id: str,
+        shard_id: int,
+        attempt: int,
+        entries: list[dict],
+        *,
+        complete: bool = False,
+    ) -> dict:
+        """Report, riding out broker restarts; give up via LeaseLost.
+
+        Retries ``BrokerUnavailable`` with backoff for roughly two lease
+        lifetimes — past that the lease is certainly void, and the shard
+        will be re-leased from the broker's durable state anyway.
+        """
+        deadline = time.monotonic() + MAX_BACKOFF * 8
+        backoff = 0.1
+        while True:
+            try:
+                return self.client.report(
+                    self.worker_id, campaign_id, shard_id, attempt, entries,
+                    complete=complete,
+                )
+            except BrokerUnavailable:
+                if time.monotonic() >= deadline or self.stop_event.is_set():
+                    raise LeaseLost() from None
+                self._sleep(backoff)
+                backoff = min(backoff * 2, MAX_BACKOFF)
+            except BrokerRequestError:
+                # Unknown campaign/shard: the broker lost (or finished)
+                # this campaign across a restart.  Abandon the shard.
+                raise LeaseLost() from None
+
+    def _heartbeat_loop(
+        self,
+        campaign_id: str,
+        shard_id: int,
+        attempt: int,
+        interval: float,
+        stop: threading.Event,
+        lost: threading.Event,
+    ) -> None:
+        while not stop.wait(interval):
+            try:
+                reply = self.client.heartbeat(
+                    self.worker_id, campaign_id, shard_id, attempt
+                )
+            except BrokerUnavailable:
+                continue  # the report path owns give-up policy
+            except BrokerRequestError:
+                lost.set()
+                return
+            if reply.get("status") != STATUS_OK:
+                lost.set()
+                return
+
+
+def worker_main(
+    broker_url: str,
+    *,
+    worker_id: str | None = None,
+    poll_interval: float = 0.5,
+    max_idle: float | None = None,
+) -> int:
+    """Entry point for one worker process (``repro work``)."""
+    worker = ServiceWorker(
+        broker_url,
+        worker_id=worker_id,
+        poll_interval=poll_interval,
+        max_idle=max_idle,
+    )
+    return worker.run()

@@ -1,0 +1,210 @@
+"""Chaos regression test: the distributed service under SIGKILL fire.
+
+The headline acceptance test of the service PR.  A real (scaled-down)
+fig7 mini-campaign — the C.team1 §6 campaigns — runs distributed over
+three worker processes while a chaos controller:
+
+* SIGKILLs a randomly chosen worker every time the broker grants new
+  shard leases (replacing it so the fleet stays at three), and
+* SIGKILLs and restarts the broker itself once mid-run, on the same
+  state directory and port.
+
+When the dust settles, the merged journals the broker serves must be
+**bit-identical** to the journals a plain serial ``--jobs 1`` run of the
+same campaigns writes.  Work stealing, at-least-once segment intake,
+torn-tail repair and broker recovery all have to hold simultaneously for
+that to come out true.
+
+Everything is seeded; the only nondeterminism is scheduling, which is
+exactly what the merge invariant is supposed to absorb.
+"""
+
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_section6
+from repro.orchestrator.journal import MANIFEST_NAME, RUNS_NAME
+from repro.service import BrokerClient, BrokerUnavailable
+
+PROGRAMS = ["C.team1"]
+SCALE = 0.5          # 2 campaigns x (16 + 8) = 24 runs total
+SEED = 2000          # the CLI default, so `repro submit` fingerprints match
+SHARD_SIZE = 3       # many shards => many leases => many kill opportunities
+LEASE_TIMEOUT = 3.0  # quick steals after a kill
+MAX_WORKER_KILLS = 4
+DEADLINE = 480.0     # hard wall for the whole scenario
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(signal, "SIGKILL"), reason="chaos needs SIGKILL"
+)
+
+
+def env():
+    environment = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    environment["PYTHONPATH"] = os.path.abspath(src)
+    return environment
+
+
+def spawn(args, log_path):
+    handle = open(log_path, "ab")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        stdout=handle, stderr=handle, env=env(),
+        start_new_session=True,  # a killed worker must not take us along
+    )
+
+
+def start_broker(state_dir, port_file, log, port=0):
+    if os.path.exists(port_file):
+        os.unlink(port_file)
+    process = spawn(
+        ["serve", "--state-dir", state_dir, "--port", str(port),
+         "--port-file", port_file, "--lease-timeout", str(LEASE_TIMEOUT)],
+        log,
+    )
+    deadline = time.monotonic() + 30.0
+    while not os.path.exists(port_file):
+        assert process.poll() is None, "broker died before announcing a port"
+        assert time.monotonic() < deadline, "broker never wrote its port file"
+        time.sleep(0.05)
+    with open(port_file, encoding="utf-8") as handle:
+        return process, int(handle.read().strip())
+
+
+def start_worker(url, index, log_dir):
+    return spawn(
+        ["work", url, "--workers", "1", "--poll-interval", "0.1",
+         "--worker-id", f"chaos-w{index}"],
+        os.path.join(log_dir, f"worker-{index}.log"),
+    )
+
+
+def total_leases(client):
+    try:
+        snapshot = client.status()
+    except (BrokerUnavailable, Exception):
+        return None
+    return sum(c["leases_granted"] for c in snapshot["campaigns"]), snapshot
+
+
+@pytest.fixture(scope="module")
+def serial_journals(tmp_path_factory):
+    """Ground truth: the same campaigns journaled by a serial local run."""
+    journal_dir = str(tmp_path_factory.mktemp("serial"))
+    config = ExperimentConfig(seed=SEED).scaled(SCALE)
+    run_section6(config, programs=PROGRAMS, jobs=1, journal_dir=journal_dir)
+    journals = {}
+    for name in sorted(os.listdir(journal_dir)):
+        directory = os.path.join(journal_dir, name)
+        with open(os.path.join(directory, RUNS_NAME), "rb") as handle:
+            runs = handle.read()
+        with open(os.path.join(directory, MANIFEST_NAME), "rb") as handle:
+            manifest = handle.read()
+        journals[name] = (runs, manifest)
+    assert len(journals) == 2  # C.team1 assignment + checking
+    return journals
+
+
+def test_chaos_kill_workers_and_broker_yields_bit_identical_journals(
+    serial_journals, tmp_path
+):
+    rng = random.Random(SEED)
+    state_dir = str(tmp_path / "state")
+    merged_dir = str(tmp_path / "merged")
+    log_dir = str(tmp_path / "logs")
+    os.makedirs(log_dir)
+    port_file = str(tmp_path / "port.txt")
+    broker_log = os.path.join(log_dir, "broker.log")
+
+    broker, port = start_broker(state_dir, port_file, broker_log)
+    url = f"http://127.0.0.1:{port}"
+    client = BrokerClient(url, timeout=10.0)
+    workers = [start_worker(url, index, log_dir) for index in range(3)]
+    next_worker_index = 3
+    submit = spawn(
+        ["submit", url, "--programs", *PROGRAMS, "--scale", str(SCALE),
+         "--seed", str(SEED), "--shard-size", str(SHARD_SIZE),
+         "--journal-dir", merged_dir, "--quiet"],
+        os.path.join(log_dir, "submit.log"),
+    )
+
+    kills = 0
+    broker_restarts = 0
+    last_leases = 0
+    deadline = time.monotonic() + DEADLINE
+    try:
+        while submit.poll() is None:
+            assert time.monotonic() < deadline, _diagnostics(log_dir)
+            time.sleep(0.3)
+            observed = total_leases(client)
+            if observed is None:
+                continue  # broker restarting; try again next tick
+            leases, snapshot = observed
+            if leases < last_leases:
+                last_leases = leases  # counters reset across broker restart
+            # Chaos rule 1: fresh shard leases draw SIGKILL fire on a
+            # random worker, and a replacement keeps the fleet at three.
+            if leases > last_leases and kills < MAX_WORKER_KILLS:
+                last_leases = leases
+                victim = rng.randrange(len(workers))
+                if workers[victim].poll() is None:
+                    os.kill(workers[victim].pid, signal.SIGKILL)
+                    workers[victim].wait()
+                    kills += 1
+                    workers[victim] = start_worker(
+                        url, next_worker_index, log_dir
+                    )
+                    next_worker_index += 1
+            # Chaos rule 2: once, mid-campaign, the broker itself dies
+            # and is restarted on the same state directory and port.
+            running = [c for c in snapshot["campaigns"]
+                       if c["state"] == "running"]
+            if (broker_restarts == 0 and running
+                    and 0 < running[0]["completed_runs"]
+                    < running[0]["total_runs"] - 2 * SHARD_SIZE):
+                os.kill(broker.pid, signal.SIGKILL)
+                broker.wait()
+                broker, rebound = start_broker(
+                    state_dir, port_file, broker_log, port=port
+                )
+                assert rebound == port
+                broker_restarts += 1
+                last_leases = 0
+        assert submit.wait() == 0, _diagnostics(log_dir)
+    finally:
+        for process in workers + [broker, submit]:
+            if process.poll() is None:
+                os.kill(process.pid, signal.SIGKILL)
+                process.wait()
+
+    # The chaos actually happened: workers died after leases, and the
+    # broker was restarted mid-run.
+    assert kills >= 1, "no worker was ever killed: chaos never engaged"
+    assert broker_restarts == 1, "the broker restart never happened"
+
+    # The invariant: merged journals == serial --jobs 1 journals, byte
+    # for byte, despite duplicated shards, torn segments and the restart.
+    assert sorted(os.listdir(merged_dir)) == sorted(serial_journals)
+    for name, (runs, manifest) in serial_journals.items():
+        directory = os.path.join(merged_dir, name)
+        with open(os.path.join(directory, RUNS_NAME), "rb") as handle:
+            assert handle.read() == runs, f"{name}: runs.jsonl diverged"
+        with open(os.path.join(directory, MANIFEST_NAME), "rb") as handle:
+            assert handle.read() == manifest, f"{name}: manifest diverged"
+
+
+def _diagnostics(log_dir):
+    parts = []
+    for name in sorted(os.listdir(log_dir)):
+        path = os.path.join(log_dir, name)
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            tail = handle.read()[-2000:]
+        parts.append(f"----- {name} -----\n{tail}")
+    return "chaos scenario stuck or failed; log tails:\n" + "\n".join(parts)
